@@ -1,0 +1,66 @@
+// Extension — cluster-size scalability study.
+//
+// The paper fixes 6 nodes (Table 1). Sweeping the cluster from 2 to 16
+// nodes at a fixed heavy workload exposes the system's Amdahl ceiling:
+// replication parallelizes only the two replicable subtasks, while the
+// serial stages and the workload-proportional buffer delay (eq. 5) set a
+// floor no amount of processors can remove.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto& spec = bench::aawSpec();
+  const auto& fitted = bench::fittedModels();
+
+  workload::RampParams ramp;
+  ramp.min_workload = DataSize::tracks(500.0);
+  ramp.max_workload = DataSize::tracks(14000.0);
+  ramp.ramp_periods = 30;
+  const workload::Triangular pat(ramp);
+
+  printBanner(std::cout,
+              "Scalability: nodes 2..16, triangular max 14000 tracks, "
+              "predictive allocator");
+  Table t({"nodes", "missed %", "mean e2e (ms)", "avg replicas",
+           "cpu %", "net %"},
+          2);
+  double missed_small = 0.0;
+  double missed_mid = 0.0;
+  double missed_large = 0.0;
+  for (const std::size_t nodes : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    experiments::EpisodeConfig cfg;
+    cfg.periods = 72;
+    cfg.scenario.node_count = nodes;
+    const auto r = runEpisode(spec, pat, fitted.models,
+                              experiments::AlgorithmKind::kPredictive, cfg);
+    t.addRow({static_cast<long long>(nodes), r.missed_pct,
+              r.metrics.end_to_end_ms.mean(), r.avg_replicas, r.cpu_pct,
+              r.net_pct});
+    if (nodes == 2) {
+      missed_small = r.missed_pct;
+    }
+    if (nodes == 6) {
+      missed_mid = r.missed_pct;
+    }
+    if (nodes == 16) {
+      missed_large = r.missed_pct;
+    }
+  }
+  t.print(std::cout);
+  if (t.writeCsv("ext_scalability.csv")) {
+    std::cout << "(series written to ext_scalability.csv)\n";
+  }
+
+  // More nodes must help up to the serial floor, after which adding
+  // processors buys (almost) nothing.
+  const bool ok = missed_small > missed_mid + 5.0 &&
+                  missed_large <= missed_mid + 2.0;
+  std::cout << (ok ? "\nShape check PASSED: misses fall steeply up to the "
+                     "baseline size, then flatten at the serial/Dbuf "
+                     "floor (Amdahl).\n"
+                   : "\nShape check FAILED.\n");
+  return ok ? 0 : 1;
+}

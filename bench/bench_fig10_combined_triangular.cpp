@@ -1,0 +1,40 @@
+// Figure 10 — Combined performance metric
+// C = MD + U_cpu + U_net + Rbar/Max(R) for the triangular pattern
+// (smaller is better).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto points = bench::runPaperSweep("triangular");
+  bench::printSweepMetric(
+      "Figure 10: Combined performance metric — triangular (smaller is "
+      "better)",
+      points, bench::combinedMetric, "fig10_combined_triangular");
+
+  // Paper: equal at small workloads (no replication), predictive better at
+  // larger ones.
+  int pred_wins = 0;
+  int comparisons = 0;
+  bool small_equal = true;
+  for (const auto& p : points) {
+    if (p.max_workload_units <= 4.0) {
+      small_equal = small_equal &&
+                    std::abs(p.predictive.combined -
+                             p.non_predictive.combined) < 0.08;
+    } else {
+      ++comparisons;
+      pred_wins += p.predictive.combined <= p.non_predictive.combined ? 1 : 0;
+    }
+  }
+  const bool ok = small_equal && pred_wins * 2 > comparisons;
+  std::cout << "\npredictive wins " << pred_wins << "/" << comparisons
+            << " of the replication-bound points; small-workload parity: "
+            << (small_equal ? "yes" : "no") << "\n";
+  std::cout << (ok ? "Shape check PASSED: predictive dominates the combined "
+                     "metric under fluctuating workload.\n"
+                   : "Shape check FAILED.\n");
+  return ok ? 0 : 1;
+}

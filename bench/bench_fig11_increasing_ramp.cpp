@@ -1,0 +1,38 @@
+// Figure 11 — Performance of the algorithms for the increasing-ramp
+// workload pattern: missed deadlines, CPU utilization, network utilization
+// and replica counts versus max workload.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto points = bench::runPaperSweep("increasing");
+
+  bench::printSweepMetric(
+      "Figure 11(a): Missed deadline ratio (%) — increasing ramp", points,
+      bench::missedPct, "fig11a_missed");
+  bench::printSweepMetric(
+      "Figure 11(b): Average CPU utilization (%) — increasing ramp", points,
+      bench::cpuPct, "fig11b_cpu");
+  bench::printSweepMetric(
+      "Figure 11(c): Average network utilization (%) — increasing ramp",
+      points, bench::netPct, "fig11c_net");
+  bench::printSweepMetric(
+      "Figure 11(d): Average number of subtask replicas — increasing ramp",
+      points, bench::avgReplicas, "fig11d_replicas");
+
+  // Both algorithms must actually adapt along the ramp.
+  bool ok = true;
+  for (const auto& p : points) {
+    if (p.max_workload_units >= 20.0) {
+      ok = ok && p.predictive.avg_replicas > 1.0 &&
+           p.non_predictive.avg_replicas > 1.0;
+    }
+  }
+  std::cout << (ok ? "\nShape check PASSED: both algorithms replicate under "
+                     "heavy increasing ramps.\n"
+                   : "\nShape check FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Figure 12 — Performance of the algorithms for the decreasing-ramp
+// workload pattern (starts at max workload, descends to min): the four
+// evaluation metrics versus max workload.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto points = bench::runPaperSweep("decreasing");
+
+  bench::printSweepMetric(
+      "Figure 12(a): Missed deadline ratio (%) — decreasing ramp", points,
+      bench::missedPct, "fig12a_missed");
+  bench::printSweepMetric(
+      "Figure 12(b): Average CPU utilization (%) — decreasing ramp", points,
+      bench::cpuPct, "fig12b_cpu");
+  bench::printSweepMetric(
+      "Figure 12(c): Average network utilization (%) — decreasing ramp",
+      points, bench::netPct, "fig12c_net");
+  bench::printSweepMetric(
+      "Figure 12(d): Average number of subtask replicas — decreasing ramp",
+      points, bench::avgReplicas, "fig12d_replicas");
+
+  // Shutdown must reclaim replicas as the workload descends: the average
+  // replica count stays well below the peak the heavy start demands.
+  bool ok = true;
+  for (const auto& p : points) {
+    if (p.max_workload_units >= 20.0) {
+      ok = ok && p.predictive.metrics.shutdown_actions > 0;
+    }
+  }
+  std::cout << (ok ? "\nShape check PASSED: replicas are shut down as the "
+                     "ramp descends.\n"
+                   : "\nShape check FAILED.\n");
+  return ok ? 0 : 1;
+}

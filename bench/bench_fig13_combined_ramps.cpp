@@ -1,0 +1,43 @@
+// Figure 13 — Combined performance metric for (a) the increasing-ramp and
+// (b) the decreasing-ramp patterns.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto inc = bench::runPaperSweep("increasing");
+  const auto dec = bench::runPaperSweep("decreasing");
+
+  bench::printSweepMetric(
+      "Figure 13(a): Combined performance metric — increasing ramp", inc,
+      bench::combinedMetric, "fig13a_combined_increasing");
+  bench::printSweepMetric(
+      "Figure 13(b): Combined performance metric — decreasing ramp", dec,
+      bench::combinedMetric, "fig13b_combined_decreasing");
+
+  // Paper §5.2: predictive wins up to a workload threshold (~28 units);
+  // beyond it the two algorithms trade places. Check the pre-threshold
+  // band on both ramps.
+  auto preThresholdWins = [](const std::vector<experiments::SweepPoint>& pts) {
+    int wins = 0;
+    int total = 0;
+    for (const auto& p : pts) {
+      if (p.max_workload_units > 4.0 && p.max_workload_units <= 28.0) {
+        ++total;
+        wins += p.predictive.combined <= p.non_predictive.combined ? 1 : 0;
+      }
+    }
+    return std::pair<int, int>{wins, total};
+  };
+  const auto [wi, ti] = preThresholdWins(inc);
+  const auto [wd, td] = preThresholdWins(dec);
+  std::cout << "\npre-threshold (<= 28 units) predictive wins: increasing "
+            << wi << "/" << ti << ", decreasing " << wd << "/" << td << "\n";
+  const bool ok = wi * 2 > ti && wd * 2 > td;
+  std::cout << (ok ? "Shape check PASSED: predictive leads below the "
+                     "workload threshold on both ramps.\n"
+                   : "Shape check FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Figure 2 — Execution latencies of the Filter program at 80% CPU
+// utilization and different data sizes: measured "y", second-order
+// per-level regression "Y", and the combined eq.-3 surface "Y-".
+#include "bench_util.hpp"
+
+int main() {
+  const bool ok = rtdrm::bench::runProfileFigure(
+      rtdrm::apps::kFilterStage, 0.8,
+      "Figure 2: Execution latencies of Filter at 80% CPU utilization",
+      "fig2_filter_profile");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// Figure 3 — Execution latencies of the EvalDecide program at 60% CPU
+// utilization and different data sizes ("y", "Y", "Y-" series).
+#include "bench_util.hpp"
+
+int main() {
+  const bool ok = rtdrm::bench::runProfileFigure(
+      rtdrm::apps::kEvalDecideStage, 0.6,
+      "Figure 3: Execution latencies of EvalDecide at 60% CPU utilization",
+      "fig3_evaldecide_profile");
+  return ok ? 0 : 1;
+}

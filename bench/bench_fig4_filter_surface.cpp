@@ -1,0 +1,75 @@
+// Figure 4 — Execution latencies of Filter at different CPU utilizations
+// and data sizes: the full measured (u, d) -> latency surface next to the
+// fitted eq.-3 surface.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "profile/exec_profiler.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const task::TaskSpec& spec = bench::aawSpec();
+
+  profile::ExecProfileConfig cfg;
+  cfg.utilization_levels = {0.0, 0.2, 0.4, 0.6, 0.8};
+  cfg.data_sizes = profile::paperDataGrid();
+  cfg.samples_per_point = 6;
+  const auto samples =
+      profile::profileExecution(spec.subtasks[apps::kFilterStage], cfg);
+  const regress::ExecLatencyModel& surface =
+      bench::fittedModels().models.exec[apps::kFilterStage];
+
+  printBanner(std::cout,
+              "Figure 4: Execution latencies of Filter at different CPU "
+              "utilizations and data sizes");
+  Table t({"u", "data size (x300 tracks)", "measured (ms)", "fit Y- (ms)",
+           "rel. error %"},
+          2);
+  double worst = 0.0;
+  double mean_abs = 0.0;
+  int cells = 0;
+  for (double u : cfg.utilization_levels) {
+    for (const DataSize d : cfg.data_sizes) {
+      double sum = 0.0;
+      int n = 0;
+      for (const auto& s : samples) {
+        if (s.u == u && s.d_hundreds == d.hundreds()) {
+          sum += s.latency_ms;
+          ++n;
+        }
+      }
+      const double y = sum / n;
+      const double fit = surface.evalMs(d.hundreds(), u);
+      const double rel = std::abs(fit - y) / y * 100.0;
+      worst = std::max(worst, rel);
+      mean_abs += rel;
+      ++cells;
+      // Print a decimated grid (every 4th data size) to keep the console
+      // readable; the CSV carries everything.
+      if (static_cast<int>(d.count() / 300.0) % 4 == 1) {
+        t.addRow({u, d.count() / 300.0, y, fit, rel});
+      }
+    }
+  }
+  t.print(std::cout);
+  mean_abs /= cells;
+  std::cout << "surface fit vs measurements over " << cells
+            << " grid cells: mean |rel err| = " << mean_abs
+            << "%, worst = " << worst << "%\n";
+
+  // Full-resolution CSV.
+  Table full({"u", "d_hundreds", "measured_ms", "fit_ms"}, 4);
+  for (const auto& s : samples) {
+    full.addRow({s.u, s.d_hundreds, s.latency_ms,
+                 surface.evalMs(s.d_hundreds, s.u)});
+  }
+  if (full.writeCsv("fig4_filter_surface.csv")) {
+    std::cout << "(full surface written to fig4_filter_surface.csv)\n";
+  }
+  const bool ok = mean_abs < 20.0;
+  std::cout << (ok ? "Shape check PASSED: eq. 3 tracks the measured surface.\n"
+                   : "Shape check FAILED.\n");
+  return ok ? 0 : 1;
+}

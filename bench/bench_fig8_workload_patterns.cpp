@@ -1,0 +1,45 @@
+// Figure 8 — Workload patterns for evaluating the algorithms: increasing
+// ramp, decreasing ramp, and triangular, between a minimum and a maximum
+// workload.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workload/patterns.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  workload::RampParams p;
+  p.min_workload = DataSize::tracks(500.0);
+  p.max_workload = DataSize::tracks(10000.0);
+  p.ramp_periods = 30;
+
+  const auto inc = workload::makeFig8Pattern("increasing", p);
+  const auto dec = workload::makeFig8Pattern("decreasing", p);
+  const auto tri = workload::makeFig8Pattern("triangular", p);
+
+  printBanner(std::cout, "Figure 8: Workload patterns (tracks per period)");
+  Table t({"period", "increasing ramp", "decreasing ramp", "triangular"}, 0);
+  bool ok = true;
+  for (std::uint64_t c = 0; c < 72; ++c) {
+    t.addRow({static_cast<long long>(c),
+              static_cast<long long>(inc->at(c).count()),
+              static_cast<long long>(dec->at(c).count()),
+              static_cast<long long>(tri->at(c).count())});
+    ok = ok && inc->at(c) >= p.min_workload && inc->at(c) <= p.max_workload &&
+         dec->at(c) >= p.min_workload && dec->at(c) <= p.max_workload &&
+         tri->at(c) >= p.min_workload && tri->at(c) <= p.max_workload;
+  }
+  t.print(std::cout);
+  if (t.writeCsv("fig8_workload_patterns.csv")) {
+    std::cout << "(series written to fig8_workload_patterns.csv)\n";
+  }
+
+  // Shape invariants of Fig. 8.
+  ok = ok && inc->at(0) == p.min_workload && inc->at(30) == p.max_workload &&
+       dec->at(0) == p.max_workload && dec->at(30) == p.min_workload &&
+       tri->at(0) == p.min_workload && tri->at(30) == p.max_workload &&
+       tri->at(60) == p.min_workload;
+  std::cout << (ok ? "Shape check PASSED.\n" : "Shape check FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Figure 9 — Performance of the algorithms for the triangular workload
+// pattern: (a) missed-deadline ratio, (b) average CPU utilization,
+// (c) average network utilization, (d) average number of subtask replicas,
+// each versus the pattern's maximum workload (scale unit = 500 tracks).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto points = bench::runPaperSweep("triangular");
+
+  bench::printSweepMetric("Figure 9(a): Missed deadline ratio (%) — triangular",
+                          points, bench::missedPct, "fig9a_missed");
+  bench::printSweepMetric(
+      "Figure 9(b): Average CPU utilization (%) — triangular", points,
+      bench::cpuPct, "fig9b_cpu");
+  bench::printSweepMetric(
+      "Figure 9(c): Average network utilization (%) — triangular", points,
+      bench::netPct, "fig9c_net");
+  bench::printSweepMetric(
+      "Figure 9(d): Average number of subtask replicas — triangular", points,
+      bench::avgReplicas, "fig9d_replicas");
+
+  // Shape check (paper §5.2): the non-predictive algorithm uses more
+  // replicas and network at the heavy end of the sweep.
+  double pred_rep = 0.0;
+  double nonp_rep = 0.0;
+  double pred_net = 0.0;
+  double nonp_net = 0.0;
+  int heavy = 0;
+  for (const auto& p : points) {
+    if (p.max_workload_units >= 16.0) {
+      pred_rep += p.predictive.avg_replicas;
+      nonp_rep += p.non_predictive.avg_replicas;
+      pred_net += p.predictive.net_pct;
+      nonp_net += p.non_predictive.net_pct;
+      ++heavy;
+    }
+  }
+  const bool ok = heavy > 0 && nonp_rep >= pred_rep && nonp_net >= pred_net * 0.95;
+  std::cout << (ok ? "\nShape check PASSED: non-predictive replicates more "
+                     "aggressively on heavy triangular workloads.\n"
+                   : "\nShape check FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,224 @@
+// Micro-benchmarks (google-benchmark): the run-time costs of the manager's
+// building blocks. The paper's algorithm runs *online* inside a resource
+// manager, so its decision latency must be negligible against the 1 s
+// period — these benches quantify that.
+#include <benchmark/benchmark.h>
+
+#include "apps/dynbench.hpp"
+#include "core/allocators.hpp"
+#include "core/eqf.hpp"
+#include "experiments/episode.hpp"
+#include "regress/exec_model.hpp"
+#include "sim/simulator.hpp"
+#include "common/histogram.hpp"
+#include "regress/rls.hpp"
+#include "sim/trace.hpp"
+#include "workload/patterns.hpp"
+
+using namespace rtdrm;
+
+namespace {
+
+// ---- simulation kernel -----------------------------------------------
+
+void BM_EventQueue_ScheduleAndFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.scheduleAt(SimTime::millis(static_cast<double>((i * 7919) % n)),
+                     [&sink] { ++sink; });
+    }
+    sim.runAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueue_ScheduleAndFire)->Arg(1000)->Arg(100000);
+
+void BM_Processor_RoundRobin(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    node::Processor cpu(sim, ProcessorId{0});
+    for (std::size_t i = 0; i < jobs; ++i) {
+      cpu.submit(node::Job{SimDuration::millis(5.0), nullptr, "j"});
+    }
+    sim.runAll();
+    benchmark::DoNotOptimize(cpu.jobsCompleted());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) *
+                          state.iterations());
+}
+BENCHMARK(BM_Processor_RoundRobin)->Arg(16)->Arg(256);
+
+void BM_Ethernet_MessageDelivery(benchmark::State& state) {
+  const auto msgs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Ethernet ether(sim, 6);
+    for (std::size_t i = 0; i < msgs; ++i) {
+      ether.send(net::Message{ProcessorId{static_cast<std::uint32_t>(i % 6)},
+                              ProcessorId{static_cast<std::uint32_t>((i + 1) % 6)},
+                              Bytes::kilo(40.0), "m", {}});
+    }
+    sim.runAll();
+    benchmark::DoNotOptimize(ether.messagesDelivered());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ethernet_MessageDelivery)->Arg(64);
+
+// ---- the manager's online decision path --------------------------------
+
+void BM_EqfAssignment(benchmark::State& state) {
+  const core::EqfInput in{{1.0, 1.5, 21.6, 1.0, 16.7},
+                          {7.5, 7.5, 7.5, 7.5},
+                          990.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::assignEqf(in));
+  }
+}
+BENCHMARK(BM_EqfAssignment);
+
+void BM_ExecModelEval(benchmark::State& state) {
+  regress::ExecLatencyModel m;
+  m.a1 = -0.0016;
+  m.a3 = 0.118;
+  m.b1 = 0.03;
+  m.b3 = 0.98;
+  double d = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.evalMs(d, 0.4));
+    d += 0.001;
+  }
+}
+BENCHMARK(BM_ExecModelEval);
+
+void BM_TwoStageFit(benchmark::State& state) {
+  // The full Table-2-sized profiling dataset: 5 levels x 25 sizes.
+  std::vector<regress::ExecSample> samples;
+  for (double u : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    for (double dd = 1.0; dd <= 25.0; dd += 1.0) {
+      samples.push_back(regress::ExecSample{
+          dd, u, (0.118 * dd * dd + 0.98 * dd) / (1.0 - 0.9 * u)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regress::fitExecModelTwoStage(samples));
+  }
+}
+BENCHMARK(BM_TwoStageFit);
+
+void BM_PredictiveDecision(benchmark::State& state) {
+  // One full Fig.-5 allocation on a 6-node cluster under load.
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 6);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    cluster.processor(ProcessorId{i})
+        .submit(node::Job{SimDuration::millis(10.0 * (i + 1)), nullptr, "l"});
+  }
+  sim.runUntil(SimTime::millis(100.0));
+  cluster.sampleUtilization();
+
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  core::PredictiveModels models;
+  for (std::size_t i = 0; i < spec.stageCount(); ++i) {
+    regress::ExecLatencyModel m;
+    m.a3 = spec.subtasks[i].cost.alpha_ms;
+    m.b3 = spec.subtasks[i].cost.beta_ms;
+    m.b1 = 1.0;
+    models.exec.push_back(m);
+  }
+  const core::EqfBudgets budgets = core::assignEqf(
+      {{1.0, 1.5, 21.6, 1.0, 16.7}, {7.5, 7.5, 7.5, 7.5}, 990.0});
+  core::PredictiveAllocator alloc(models);
+  const core::AllocationContext ctx{spec, cluster, DataSize::tracks(8000.0),
+                                    budgets, 0.2};
+  for (auto _ : state) {
+    task::ReplicaSet rs(ProcessorId{2});
+    benchmark::DoNotOptimize(alloc.replicate(ctx, apps::kFilterStage, rs));
+  }
+}
+BENCHMARK(BM_PredictiveDecision);
+
+void BM_RlsUpdate(benchmark::State& state) {
+  regress::RecursiveLeastSquares rls(6, 0.99);
+  double d = 1.0;
+  for (auto _ : state) {
+    const double d2 = d * d;
+    rls.update({0.16 * d2, 0.4 * d2, d2, 0.16 * d, 0.4 * d, d}, 10.0 * d);
+    d += 0.001;
+    if (d > 30.0) {
+      d = 1.0;
+    }
+  }
+}
+BENCHMARK(BM_RlsUpdate);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h(0.0, 3000.0, 60);
+  double x = 0.0;
+  for (auto _ : state) {
+    h.add(x);
+    x += 1.7;
+    if (x > 3200.0) {
+      x = 0.0;
+    }
+  }
+  benchmark::DoNotOptimize(h.total());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_TraceRecord(benchmark::State& state) {
+  sim::TraceRecorder trace(1u << 20);
+  for (auto _ : state) {
+    trace.record(SimTime::millis(1.0), sim::TraceCategory::kReplicate,
+                 "Filter", 3.0);
+    if (trace.events().size() >= (1u << 20) - 2) {
+      state.PauseTiming();
+      trace.clear();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_JitteredPatternEval(benchmark::State& state) {
+  workload::RampParams p;
+  const workload::Triangular base(p);
+  const workload::Jittered pat(base, 0.2, 7);
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pat.at(c++).count());
+  }
+}
+BENCHMARK(BM_JitteredPatternEval);
+
+void BM_FullEpisode(benchmark::State& state) {
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  core::PredictiveModels models;
+  for (std::size_t i = 0; i < spec.stageCount(); ++i) {
+    regress::ExecLatencyModel m;
+    m.a3 = spec.subtasks[i].cost.alpha_ms;
+    m.b3 = spec.subtasks[i].cost.beta_ms;
+    m.b1 = 1.0;
+    models.exec.push_back(m);
+  }
+  workload::RampParams ramp;
+  ramp.max_workload = DataSize::tracks(8000.0);
+  const workload::Triangular pattern(ramp);
+  experiments::EpisodeConfig cfg;
+  cfg.periods = 24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::runEpisode(
+        spec, pattern, models, experiments::AlgorithmKind::kPredictive, cfg));
+  }
+}
+BENCHMARK(BM_FullEpisode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Table 1 — Baseline parameters.
+//
+// Prints the effective configuration of the reproduced testbed and checks
+// every row against the paper's Table 1.
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/scenario.hpp"
+#include "bench_util.hpp"
+
+using namespace rtdrm;
+
+namespace {
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "MISMATCH vs Table 1: " << what << "\n";
+    ++g_failures;
+  }
+}
+}  // namespace
+
+int main() {
+  const apps::ScenarioConfig scenario{};
+  const task::TaskSpec& spec = bench::aawSpec();
+
+  printBanner(std::cout, "Table 1: Baseline parameters");
+  Table t({"parameter", "paper", "this reproduction"});
+  t.addRow({std::string("Number of nodes"), std::string("6"),
+            std::string(std::to_string(scenario.node_count))});
+  t.addRow({std::string("CPU scheduler at each node"),
+            std::string("Round-Robin (slice = 1 ms)"),
+            std::string(scenario.cpu.policy == node::SchedPolicy::kRoundRobin
+                            ? "Round-Robin (slice = " +
+                                  std::to_string(scenario.cpu.quantum.ms()) +
+                                  " ms)"
+                            : "FIFO")});
+  t.addRow({std::string("Network"), std::string("Ethernet, 100 Mbps"),
+            std::string("Ethernet, " +
+                        std::to_string(scenario.ethernet.rate.bitsPerSecond() /
+                                       1e6) +
+                        " Mbps")});
+  t.addRow({std::string("Data item (track) size"), std::string("80 bytes"),
+            std::string(std::to_string(spec.messages[0].bytes_per_track) +
+                        " bytes")});
+  t.addRow({std::string("Data arrival period"), std::string("1 sec"),
+            std::string(std::to_string(spec.period.sec()) + " sec")});
+  t.addRow({std::string("Relative end-to-end deadline"),
+            std::string("990 ms"),
+            std::string(std::to_string(spec.deadline.ms()) + " ms")});
+  t.addRow({std::string("Number of periodic tasks"), std::string("1"),
+            std::string("1")});
+  t.addRow({std::string("Number of subtasks per task"), std::string("5"),
+            std::string(std::to_string(spec.stageCount()))});
+  std::size_t replicable = 0;
+  for (const auto& st : spec.subtasks) {
+    replicable += st.replicable ? 1 : 0;
+  }
+  t.addRow({std::string("Replicable subtasks per task"), std::string("2"),
+            std::string(std::to_string(replicable))});
+  t.addRow({std::string("CPU utilization threshold UT (non-predictive)"),
+            std::string("20%"), std::string("20%")});
+  t.print(std::cout);
+
+  check(scenario.node_count == 6, "node count");
+  check(scenario.cpu.policy == node::SchedPolicy::kRoundRobin, "scheduler");
+  check(scenario.cpu.quantum == SimDuration::millis(1.0), "time slice");
+  check(scenario.ethernet.rate == BitRate::mbps(100.0), "link rate");
+  check(spec.messages[0].bytes_per_track == 80.0, "track size");
+  check(spec.period == SimDuration::seconds(1.0), "period");
+  check(spec.deadline == SimDuration::millis(990.0), "deadline");
+  check(spec.stageCount() == 5, "subtask count");
+  check(replicable == 2, "replicable subtasks");
+  check(experiments::EpisodeConfig{}.nonpredictive_threshold ==
+            Utilization::percent(20.0),
+        "UT threshold");
+
+  if (g_failures == 0) {
+    std::cout << "\nAll Table 1 parameters match the paper.\n";
+    return EXIT_SUCCESS;
+  }
+  std::cout << "\n" << g_failures << " parameter(s) diverge from Table 1.\n";
+  return EXIT_FAILURE;
+}

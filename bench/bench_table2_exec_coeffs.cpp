@@ -1,0 +1,87 @@
+// Table 2 — Coefficients of the execution-latency regression equation.
+//
+// Profiles the two replicable subtasks (Filter = subtask 3, EvalDecide =
+// subtask 5) over the paper's (data size x CPU utilization) grid and fits
+// eq. (3) with the two-stage procedure. The paper's measured coefficients
+// are printed alongside for comparison.
+//
+// Interpretation note (DESIGN.md §2): u is a fraction in [0, 1]; the
+// paper's coefficients are only dimensionally consistent in that reading.
+// Absolute agreement in a1/a2/b1/b2 is not expected — those encode how the
+// authors' testbed degraded under load, ours encode round-robin processor
+// sharing — but a3/b3 (the u -> 0 column) must approximate the ground-truth
+// cost that both systems share.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "profile/exec_profiler.hpp"
+
+using namespace rtdrm;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  std::size_t stage;
+  double a1, a2, a3, b1, b2, b3;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Filter (subtask 3)", apps::kFilterStage, -0.00155, 1.535e-05,
+     0.11816174, 0.0298276, -0.000285, 0.983699},
+    {"EvalDecide (subtask 5)", apps::kEvalDecideStage, 0.002123, -1.596e-05,
+     0.022324, -0.023927, 0.000108, 1.443762},
+};
+
+}  // namespace
+
+int main() {
+  const auto& fitted = bench::fittedModels();
+
+  printBanner(std::cout,
+              "Table 2: Coefficients of the execution latency regression "
+              "equation (eq. 3)");
+  Table t({"subtask", "source", "a1", "a2", "a3", "b1", "b2", "b3", "R^2"},
+          5);
+  bool ok = true;
+  for (const PaperRow& row : kPaper) {
+    const auto& fit = fitted.exec_fits[row.stage];
+    const auto& m = fit.model;
+    t.addRow({std::string(row.name), std::string("paper"), row.a1, row.a2,
+              row.a3, row.b1, row.b2, row.b3, std::string("-")});
+    t.addRow({std::string(row.name), std::string("measured"), m.a1, m.a2,
+              m.a3, m.b1, m.b2, m.b3, fit.diagnostics.r_squared});
+    // a3 (the u->0 quadratic term) must track the shared ground truth; R^2
+    // is judged against the sample scatter, which is irreducible for the
+    // lighter subtask at high utilization.
+    ok = ok && std::abs(m.a3 - row.a3) < 0.08 &&
+         fit.diagnostics.r_squared > 0.75;
+  }
+  t.print(std::cout);
+
+  // Generalization check: 5-fold cross-validated held-out error of the
+  // Filter model (the paper reports in-sample fits only).
+  {
+    profile::ExecProfileConfig pcfg;
+    pcfg.data_sizes = profile::paperDataGrid();
+    pcfg.samples_per_point = 4;
+    const auto samples = profile::profileExecution(
+        bench::aawSpec().subtasks[apps::kFilterStage], pcfg);
+    const auto cv = regress::crossValidateExecModel(samples, 5, true);
+    std::cout << "\nFilter 5-fold cross-validation: held-out RMSE = "
+              << cv.mean_rmse << " ms, held-out R^2 = " << cv.mean_r_squared
+              << "\n";
+  }
+
+  std::cout << "\nPer-utilization-level stage-1 fits (Filter):\n";
+  Table lv({"u", "c2 (d^2 term)", "c1 (d term)", "R^2"}, 4);
+  for (const auto& l : fitted.exec_fits[apps::kFilterStage].levels) {
+    lv.addRow({l.u, l.c2, l.c1, l.diagnostics.r_squared});
+  }
+  lv.print(std::cout);
+
+  std::cout << (ok ? "\nShape check PASSED: u->0 coefficients track ground "
+                     "truth and fits are tight.\n"
+                   : "\nShape check FAILED: fitted coefficients diverge.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Table 3 — Coefficient of the buffer-delay regression equation (eq. 5).
+//
+// Runs the pipeline at a sweep of constant periodic workloads, records the
+// buffer delay every inter-subtask message experienced, and fits the
+// through-origin slope k. The paper measured k = 0.7 for both replicable
+// subtasks' messages.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "profile/comm_profiler.hpp"
+
+using namespace rtdrm;
+
+int main() {
+  const auto& spec = bench::aawSpec();
+  profile::CommProfileConfig cfg;
+  cfg.workload_levels = profile::defaultCommGrid();
+
+  const auto samples = profile::profileBufferDelay(spec, cfg);
+  const auto fit = regress::fitBufferDelay(samples);
+
+  printBanner(std::cout,
+              "Table 3: Coefficient of the buffer delay regression "
+              "equation (eq. 5)");
+  Table t({"message", "paper k", "measured k", "R^2", "samples"}, 4);
+  t.addRow({std::string("inter-subtask messages (all stages)"), 0.7,
+            fit.model.k_ms_per_hundred, fit.diagnostics.r_squared,
+            static_cast<long long>(samples.size())});
+  t.print(std::cout);
+
+  std::cout << "\nMean measured buffer delay per workload level:\n";
+  Table lv({"total workload (tracks)", "mean Dbuf (ms)",
+            "eq. 5 prediction (ms)"},
+           3);
+  for (const DataSize level : cfg.workload_levels) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& s : samples) {
+      if (s.total_workload_hundreds == level.hundreds()) {
+        sum += s.buffer_delay_ms;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      lv.addRow({level.count(), sum / n,
+                 fit.model.evalMs(level.hundreds())});
+    }
+  }
+  lv.print(std::cout);
+
+  const bool ok = fit.model.k_ms_per_hundred > 0.5 &&
+                  fit.model.k_ms_per_hundred < 1.0 &&
+                  fit.diagnostics.r_squared > 0.9;
+  std::cout << (ok ? "\nShape check PASSED: linear Dbuf with slope near the "
+                     "paper's 0.7 ms per hundred tracks.\n"
+                   : "\nShape check FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Quickstart: profile, fit, and race the two allocators on one pattern.
+//
+//   1. Build the AAW benchmark task (Table 1 baseline).
+//   2. Profile its subtasks on the simulated testbed and fit the paper's
+//      regression models (eq. 3 per subtask, eq. 5 slope).
+//   3. Run one triangular-workload episode per algorithm and compare the
+//      four evaluation metrics plus the combined metric.
+//
+// Run:  ./quickstart [--max-tracks N] [--periods N] [--seed N]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/dynbench.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "experiments/episode.hpp"
+#include "experiments/model_store.hpp"
+
+using namespace rtdrm;
+
+int main(int argc, char** argv) {
+  double max_tracks = 8000.0;
+  std::int64_t periods = 72;
+  std::int64_t seed = 42;
+  ArgParser args("quickstart",
+                 "profile, fit, and race the two allocators on a "
+                 "triangular workload");
+  args.addDouble("max-tracks", "triangular pattern peak (tracks)",
+                 &max_tracks)
+      .addInt("periods", "episode length in periods", &periods)
+      .addInt("seed", "master RNG seed", &seed);
+  if (!args.parse(argc, argv)) {
+    return args.helpRequested() ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  std::cout << "Task: " << spec.name << " — " << spec.stageCount()
+            << " subtasks, period " << spec.period.ms() << " ms, deadline "
+            << spec.deadline.ms() << " ms\n";
+
+  std::cout << "\nProfiling subtasks and fitting regression models "
+               "(eq. 3 / eq. 5)...\n";
+  const auto fitted =
+      experiments::fitAllModels(spec, experiments::defaultModelFitConfig());
+
+  Table coeffs({"subtask", "a1", "a2", "a3", "b1", "b2", "b3", "R^2"}, 4);
+  for (std::size_t i = 0; i < spec.stageCount(); ++i) {
+    const auto& m = fitted.models.exec[i];
+    coeffs.addRow({spec.subtasks[i].name, m.a1, m.a2, m.a3, m.b1, m.b2, m.b3,
+                   fitted.exec_fits[i].diagnostics.r_squared});
+  }
+  coeffs.print(std::cout);
+  std::cout << "Buffer-delay slope k = "
+            << fitted.comm_fit.model.k_ms_per_hundred
+            << " ms per hundred tracks (paper Table 3: 0.7)\n";
+
+  workload::RampParams ramp;
+  ramp.min_workload = DataSize::tracks(500);
+  ramp.max_workload = DataSize::tracks(max_tracks);
+  ramp.ramp_periods = 30;
+  const workload::Triangular pattern(ramp);
+
+  experiments::EpisodeConfig cfg;
+  cfg.periods = static_cast<std::uint64_t>(periods);
+  cfg.scenario.seed = static_cast<std::uint64_t>(seed);
+  std::cout << "\nRunning " << cfg.periods
+            << "-period triangular episodes (max workload " << max_tracks
+            << " tracks)...\n";
+
+  Table results({"algorithm", "missed %", "cpu %", "net %", "avg replicas",
+                 "combined C"},
+                2);
+  for (const auto kind : {experiments::AlgorithmKind::kPredictive,
+                          experiments::AlgorithmKind::kNonPredictive}) {
+    const auto r =
+        experiments::runEpisode(spec, pattern, fitted.models, kind, cfg);
+    results.addRow({experiments::algorithmName(kind), r.missed_pct, r.cpu_pct,
+                    r.net_pct, r.avg_replicas, r.combined});
+  }
+  results.print(std::cout);
+  std::cout << "(smaller combined metric is better)\n";
+  return 0;
+}

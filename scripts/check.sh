@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification sweep: release build + tests + benches, then an
+# AddressSanitizer/UBSan test pass. Run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== release build =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== unit/integration tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== benches (each checks its figure's shape) =="
+mkdir -p bench_out
+(cd bench_out && for b in ../build/bench/bench_*; do
+  echo "--- $(basename "$b")"
+  "$b" > "$(basename "$b").log" 2>&1 || { echo "FAILED: $b"; exit 1; }
+done)
+
+echo "== sanitizer pass (ASan + UBSan) =="
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DRTDRM_BUILD_BENCH=OFF -DRTDRM_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+echo "ALL CHECKS PASSED"

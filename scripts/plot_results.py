@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench binaries emit.
+
+Usage:  python3 scripts/plot_results.py [csv_dir] [out_dir]
+
+Looks for the fig*/ext* CSVs written by the bench binaries (by default in
+./bench_out) and renders one PNG per figure into out_dir (default
+./bench_out/plots). Requires matplotlib; degrades to a clear message if it
+is unavailable (the benches' aligned-table output stands on its own).
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def plot_sweep(plt, path, out_dir):
+    """Two-series sweep CSVs: x = max workload, PREDICTIVE/NON-PREDICTIVE."""
+    header, rows = read_csv(path)
+    if len(header) < 3 or not rows:
+        return False
+    x = [float(r[0]) for r in rows]
+    pred = [float(r[1]) for r in rows]
+    nonp = [float(r[2]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(x, pred, marker="o", label="predictive")
+    ax.plot(x, nonp, marker="s", label="non-predictive")
+    ax.set_xlabel(header[0])
+    ax.set_ylabel(os.path.basename(path).replace(".csv", ""))
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(out_dir,
+                       os.path.basename(path).replace(".csv", ".png"))
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return True
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_out"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        csv_dir, "plots")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; the bench tables/logs already "
+              "contain every series")
+        return 0
+    os.makedirs(out_dir, exist_ok=True)
+    count = 0
+    for name in sorted(os.listdir(csv_dir)):
+        if not name.endswith(".csv"):
+            continue
+        path = os.path.join(csv_dir, name)
+        try:
+            if plot_sweep(plt, path, out_dir):
+                count += 1
+        except (ValueError, IndexError):
+            print(f"skipped {name} (not a two-series sweep)")
+    print(f"{count} plots written to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#include "apps/dynbench.hpp"
+
+namespace rtdrm::apps {
+
+task::TaskSpec makeAawTaskSpec(const AawTaskParams& params) {
+  task::TaskSpec spec;
+  spec.name = "AAW";
+  spec.period = params.period;
+  spec.deadline = params.deadline;
+
+  // Non-replicable stages are lightweight, near-linear bookkeeping steps;
+  // the heavy, data-quadratic work sits in the two replicable stages, which
+  // is what makes replication the effective adaptation lever (paper item 6).
+  spec.subtasks = {
+      task::SubtaskSpec{"Detect", task::SubtaskCost{0.002, 0.25}, false,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Correlate", task::SubtaskCost{0.003, 0.30}, false,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Filter",
+                        task::SubtaskCost{kFilterAlpha, kFilterBeta}, true,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Assess", task::SubtaskCost{0.002, 0.25}, false,
+                        params.noise_sigma},
+      task::SubtaskSpec{"EvalDecide",
+                        task::SubtaskCost{kEvalDecideAlpha, kEvalDecideBeta},
+                        true, params.noise_sigma},
+  };
+  spec.messages.assign(4, task::MessageSpec{params.bytes_per_track});
+  spec.validate();
+  return spec;
+}
+
+task::TaskSpec makeEngagePathSpec(const AawTaskParams& params) {
+  task::TaskSpec spec;
+  spec.name = "Engage";
+  spec.period = SimDuration::millis(500.0);
+  spec.deadline = SimDuration::millis(450.0);
+  spec.subtasks = {
+      task::SubtaskSpec{"Designate", task::SubtaskCost{0.001, 0.15}, false,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Correlate", task::SubtaskCost{0.03, 0.8}, true,
+                        params.noise_sigma},
+      task::SubtaskSpec{"ThreatEval", task::SubtaskCost{0.05, 1.2}, true,
+                        params.noise_sigma},
+      task::SubtaskSpec{"WeaponAssign", task::SubtaskCost{0.002, 0.3},
+                        false, params.noise_sigma},
+      task::SubtaskSpec{"Guide", task::SubtaskCost{0.02, 0.9}, true,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Fire", task::SubtaskCost{0.0, 0.1}, false,
+                        params.noise_sigma},
+  };
+  spec.messages.assign(5, task::MessageSpec{params.bytes_per_track});
+  spec.validate();
+  return spec;
+}
+
+task::TaskSpec makeSurveillancePathSpec(const AawTaskParams& params) {
+  task::TaskSpec spec;
+  spec.name = "Surveil";
+  spec.period = SimDuration::seconds(2.0);
+  spec.deadline = SimDuration::millis(1800.0);
+  spec.subtasks = {
+      task::SubtaskSpec{"Sweep", task::SubtaskCost{0.0, 0.4}, false,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Compress", task::SubtaskCost{0.04, 1.5}, true,
+                        params.noise_sigma},
+      task::SubtaskSpec{"Log", task::SubtaskCost{0.0, 0.2}, false,
+                        params.noise_sigma},
+  };
+  spec.messages.assign(2, task::MessageSpec{params.bytes_per_track});
+  spec.validate();
+  return spec;
+}
+
+}  // namespace rtdrm::apps

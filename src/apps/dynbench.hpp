@@ -1,0 +1,55 @@
+// The synthetic AAW (Anti-Air Warfare) benchmark application.
+//
+// The paper profiles a real-time benchmark derived from the U.S. Navy AAW
+// system [SWR99, WRSB98]: one periodic task of five serial subtasks, two of
+// which (numbers 3 and 5 — "Filter" and "EvalDecide") are replicable
+// (Table 1). We rebuild it synthetically: each subtask's *ground-truth*
+// CPU demand is alpha*h^2 + beta*h ms (h = hundreds of tracks), with
+// Filter's and EvalDecide's (alpha, beta) taken from the u->0 limit of the
+// paper's measured regression coefficients (Table 2, a3/b3 columns), so a
+// profiling pass over our simulator recovers coefficients directly
+// comparable to the paper's.
+#pragma once
+
+#include "task/spec.hpp"
+
+namespace rtdrm::apps {
+
+/// Indices (0-based) of the replicable subtasks in the AAW task.
+inline constexpr std::size_t kFilterStage = 2;      // paper's subtask 3
+inline constexpr std::size_t kEvalDecideStage = 4;  // paper's subtask 5
+
+/// Ground-truth cost coefficients of the two profiled subtasks, from the
+/// u->0 limit of the paper's Table 2 (a3 = quadratic, b3 = linear term).
+inline constexpr double kFilterAlpha = 0.11816174;
+inline constexpr double kFilterBeta = 0.983699;
+inline constexpr double kEvalDecideAlpha = 0.022324;
+inline constexpr double kEvalDecideBeta = 1.443762;
+
+struct AawTaskParams {
+  SimDuration period = SimDuration::seconds(1.0);       // Table 1
+  SimDuration deadline = SimDuration::millis(990.0);    // Table 1
+  double bytes_per_track = 80.0;                        // Table 1
+  /// Execution-time noise applied to every subtask run.
+  double noise_sigma = 0.05;
+};
+
+/// Builds the 5-subtask AAW periodic task:
+///   1 Detect -> 2 Correlate -> 3 Filter* -> 4 Assess -> 5 EvalDecide*
+/// (* replicable).
+task::TaskSpec makeAawTaskSpec(const AawTaskParams& params = {});
+
+/// The DynBench benchmark [SWR99] the AAW task derives from has several
+/// "paths"; two more are rebuilt here for heterogeneous task-set studies.
+
+/// Engage path — a longer, faster chain active during engagements
+/// (500 ms period, 6 stages, 3 replicable):
+///   Designate -> Correlate* -> ThreatEval* -> WeaponAssign -> Guide* ->
+///   Fire.
+task::TaskSpec makeEngagePathSpec(const AawTaskParams& params = {});
+
+/// Surveillance path — a short, light bookkeeping chain:
+///   Sweep -> Compress* -> Log   (2 s period, generous deadline).
+task::TaskSpec makeSurveillancePathSpec(const AawTaskParams& params = {});
+
+}  // namespace rtdrm::apps

@@ -1,0 +1,25 @@
+#include "apps/scenario.hpp"
+
+namespace rtdrm::apps {
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      streams_(config.seed),
+      sim_(),
+      cluster_(sim_, config.node_count, config.cpu, config.node_speeds),
+      ethernet_(sim_, config.node_count, config.ethernet),
+      clocks_(sim_, config.node_count, streams_.get("clock-fabric"),
+              config.clock_sync),
+      net_probe_(sim_, ethernet_) {
+  cluster_.attachBackgroundLoad(streams_, config.background);
+  if (config.ambient_load.value() > 0.0) {
+    for (ProcessorId id : cluster_.ids()) {
+      cluster_.backgroundLoad(id).setTarget(config.ambient_load);
+    }
+  }
+  if (config.start_clock_sync) {
+    clocks_.startSync();
+  }
+}
+
+}  // namespace rtdrm::apps

@@ -1,0 +1,65 @@
+// Scenario: the fully wired simulated testbed (Table 1 baseline).
+//
+// Owns the simulator and every substrate — cluster, Ethernet segment,
+// synchronized clocks, RNG streams — in construction order so teardown is
+// safe. Examples, tests, the profiler, and the experiment runner all build
+// on this instead of hand-wiring substrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/clock_sync.hpp"
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "task/runtime.hpp"
+
+namespace rtdrm::apps {
+
+struct ScenarioConfig {
+  std::size_t node_count = 6;                       // Table 1
+  node::ProcessorConfig cpu{};                      // RR, 1 ms slice
+  /// Per-node relative speeds (extension); empty = homogeneous (paper).
+  std::vector<double> node_speeds{};
+  net::EthernetConfig ethernet{};                   // 100 Mbps
+  net::ClockSyncConfig clock_sync{};
+  node::BackgroundLoadConfig background{};
+  /// Ambient CPU load on every node at scenario start (other system
+  /// activity); profiling and ablations override per node.
+  Utilization ambient_load = Utilization::fraction(0.05);
+  std::uint64_t seed = 42;
+  /// Start the clock synchronization service on construction.
+  bool start_clock_sync = true;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  const ScenarioConfig& config() const { return config_; }
+  sim::Simulator& sim() { return sim_; }
+  node::Cluster& cluster() { return cluster_; }
+  net::Ethernet& ethernet() { return ethernet_; }
+  net::ClockFabric& clocks() { return clocks_; }
+  RngStreams& streams() { return streams_; }
+  net::NetworkProbe& netProbe() { return net_probe_; }
+
+  task::Runtime runtime() {
+    return task::Runtime{sim_, cluster_, ethernet_, clocks_};
+  }
+
+ private:
+  ScenarioConfig config_;
+  RngStreams streams_;
+  sim::Simulator sim_;
+  node::Cluster cluster_;
+  net::Ethernet ethernet_;
+  net::ClockFabric clocks_;
+  net::NetworkProbe net_probe_;
+};
+
+}  // namespace rtdrm::apps

@@ -1,0 +1,35 @@
+// Lightweight always-on assertion macros.
+//
+// Simulation code is full of invariants whose violation indicates a logic
+// error, not a recoverable condition; we want those checked in release
+// builds too (the simulator is the measurement instrument — a silently
+// corrupted run is worse than an aborted one).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtdrm::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rtdrm assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rtdrm::detail
+
+#define RTDRM_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::rtdrm::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (false)
+
+#define RTDRM_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::rtdrm::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,105 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rtdrm {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), counts_(bucket_count, 0) {
+  RTDRM_ASSERT(hi > lo);
+  RTDRM_ASSERT(bucket_count >= 1);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto i = static_cast<std::size_t>(
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  counts_[std::min(i, counts_.size() - 1)] += 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  RTDRM_ASSERT_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                       counts_.size() == other.counts_.size(),
+                   "histogram shapes must match");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bucketLow(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  RTDRM_ASSERT(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucketLow(i) + frac * (bucketHigh(i) - bucketLow(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t first = counts_.size();
+  std::size_t last = 0;
+  std::uint64_t peak = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+      peak = std::max(peak, counts_[i]);
+    }
+  }
+  std::string out;
+  if (peak == 0) {
+    return "(empty histogram)\n";
+  }
+  char line[160];
+  for (std::size_t i = first; i <= last; ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%10.2f, %10.2f) %8llu |", bucketLow(i),
+                  bucketHigh(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(line, sizeof line, "(underflow %llu, overflow %llu)\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rtdrm

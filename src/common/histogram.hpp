@@ -1,0 +1,49 @@
+// Fixed-bucket histogram for latency distributions.
+//
+// The evaluation figures report means, but tails decide deadline misses;
+// EpisodeMetrics keeps an end-to-end latency histogram so examples and
+// benches can print distributions without retaining every sample.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtdrm {
+
+class Histogram {
+ public:
+  /// Uniform buckets over [lo, hi); samples outside are counted in
+  /// underflow/overflow. Requires hi > lo and bucket_count >= 1.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void add(double x);
+  void merge(const Histogram& other);  ///< shapes must match
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t bucketCount() const { return counts_.size(); }
+  std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+  double bucketLow(std::size_t i) const;
+  double bucketHigh(std::size_t i) const { return bucketLow(i + 1); }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bucket; under/overflow samples clamp to the range ends.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering; `width` is the bar width of the fullest
+  /// bucket. Empty leading/trailing buckets are elided.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rtdrm

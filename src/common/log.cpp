@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rtdrm {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+namespace detail {
+void logEmit(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[rtdrm %-5s] %s\n", levelName(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace rtdrm

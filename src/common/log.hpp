@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator and resource manager log allocation decisions and deadline
+// misses at Debug/Trace level; benches run with Warn so output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rtdrm {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void logEmit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: RTDRM_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::logEmit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace rtdrm
+
+#define RTDRM_LOG(level)                                  \
+  if (::rtdrm::LogLevel::level < ::rtdrm::logLevel()) {   \
+  } else                                                  \
+    ::rtdrm::LogLine(::rtdrm::LogLevel::level)

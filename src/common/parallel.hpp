@@ -1,0 +1,79 @@
+// Minimal data-parallel helper for embarrassingly parallel sweeps.
+//
+// Experiment sweeps (Figs. 9-13) run dozens of fully independent simulation
+// episodes; parallelFor fans them out across hardware threads. Each index
+// is claimed from an atomic counter, so uneven episode costs balance
+// automatically. Exceptions in workers are captured and rethrown on the
+// caller thread (first one wins).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtdrm {
+
+/// Invokes fn(i) for i in [0, n) using up to `threads` workers (0 = one per
+/// hardware thread). fn must be safe to call concurrently for distinct i.
+inline void parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)>& fn,
+                        unsigned threads = 0) {
+  if (n == 0) {
+    return;
+  }
+  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(hw, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace rtdrm

@@ -1,0 +1,109 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rtdrm {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.next();
+  }
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  RTDRM_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Xoshiro256::uniformInt(std::int64_t lo, std::int64_t hi) {
+  RTDRM_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t r = next();
+  while (r >= limit) {
+    r = next();
+  }
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * mul;
+  has_cached_normal_ = true;
+  return u * mul;
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Xoshiro256::exponentialMean(double mean) {
+  RTDRM_ASSERT(mean > 0.0);
+  double u = uniform01();
+  while (u == 0.0) {
+    u = uniform01();
+  }
+  return -mean * std::log(u);
+}
+
+double Xoshiro256::lognormalUnitMean(double sigma) {
+  if (sigma <= 0.0) {
+    return 1.0;
+  }
+  // X = exp(N(mu, sigma)) with mu = -sigma^2/2 gives E[X] = 1.
+  return std::exp(normal(-0.5 * sigma * sigma, sigma));
+}
+
+Xoshiro256 RngStreams::get(std::string_view name, std::uint64_t index) const {
+  // Combine master seed, name hash, and index through SplitMix64 so that
+  // nearby keys do not produce correlated states.
+  SplitMix64 sm(master_ ^ fnv1a64(name));
+  const std::uint64_t a = sm.next();
+  SplitMix64 sm2(a ^ (index * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+  return Xoshiro256(sm2.next());
+}
+
+}  // namespace rtdrm

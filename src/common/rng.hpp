@@ -1,0 +1,97 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator (background load, execution
+// noise, clock drift, workload jitter) draws from its own named stream so
+// that adding a new consumer never perturbs the draws seen by existing
+// ones — a prerequisite for reproducible experiments and for paired
+// comparisons between the predictive and non-predictive allocators (both
+// see identical workloads and noise for the same master seed).
+//
+// Engine: xoshiro256** (Blackman & Vigna), seeded through SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rtdrm {
+
+/// SplitMix64 — used for seeding and for hashing stream names.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given mean (not rate).
+  double exponentialMean(double mean);
+  /// Lognormal multiplicative noise factor with E[X] = 1 and the given
+  /// coefficient-of-variation-like sigma of the underlying normal.
+  double lognormalUnitMean(double sigma);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Derives independent, reproducible child streams from a master seed.
+///
+/// Streams are keyed by (name, index); e.g. `streams.get("bg-load", nodeId)`.
+class RngStreams {
+ public:
+  explicit RngStreams(std::uint64_t master_seed) : master_(master_seed) {}
+
+  std::uint64_t masterSeed() const { return master_; }
+
+  /// A generator for the stream keyed by `name` and `index`. Identical keys
+  /// always yield identical streams for the same master seed.
+  Xoshiro256 get(std::string_view name, std::uint64_t index = 0) const;
+
+ private:
+  std::uint64_t master_;
+};
+
+/// FNV-1a 64-bit hash of a string (used for stream-name derivation).
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace rtdrm

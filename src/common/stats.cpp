@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rtdrm {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedMean::update(double t, double value) {
+  if (started_) {
+    RTDRM_ASSERT_MSG(t >= last_t_, "time must be non-decreasing");
+    const double dt = t - last_t_;
+    weighted_sum_ += last_value_ * dt;
+    total_time_ += dt;
+  }
+  started_ = true;
+  last_t_ = t;
+  last_value_ = value;
+}
+
+double TimeWeightedMean::mean() const {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : last_value_;
+}
+
+void TimeWeightedMean::reset() { *this = TimeWeightedMean{}; }
+
+double percentile(std::vector<double> samples, double p) {
+  RTDRM_ASSERT(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+}  // namespace rtdrm

@@ -1,0 +1,83 @@
+// Streaming statistics accumulators.
+//
+// Metrics in the evaluation (missed-deadline ratio, mean utilizations,
+// mean replica counts — Figs. 9, 11, 12) are all streaming means over a
+// simulation episode; Welford's algorithm keeps them numerically stable
+// without retaining samples.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace rtdrm {
+
+/// Welford running mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counter of binary outcomes; `ratio()` is e.g. the missed-deadline ratio.
+class HitRatio {
+ public:
+  void add(bool hit) {
+    ++total_;
+    if (hit) {
+      ++hits_;
+    }
+  }
+  std::size_t hits() const { return hits_; }
+  std::size_t total() const { return total_; }
+  double ratio() const {
+    return total_ > 0 ? static_cast<double>(hits_) / static_cast<double>(total_)
+                      : 0.0;
+  }
+  void reset() { hits_ = total_ = 0; }
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. replica count
+/// or queue length over simulated time).
+class TimeWeightedMean {
+ public:
+  /// Record that the signal held `value` from the previous update until `t`.
+  void update(double t, double value);
+  double mean() const;
+  void reset();
+
+ private:
+  bool started_ = false;
+  double last_t_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Percentile from a sample vector (linear interpolation, p in [0,100]).
+/// The input is copied and sorted; intended for post-run reporting.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace rtdrm

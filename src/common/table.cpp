@@ -1,0 +1,127 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtdrm {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), precision_(double_precision) {
+  RTDRM_ASSERT(!headers_.empty());
+}
+
+Table& Table::addRow(std::vector<TableCell> row) {
+  RTDRM_ASSERT_MSG(row.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::string Table::format(const TableCell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<long long>(&c)) {
+    return std::to_string(*i);
+  }
+  const double d = std::get<double>(c);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision_, d);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(format(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  auto hline = [&] {
+    os << '+';
+    for (auto w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto printRow = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << ' ' << r[i] << std::string(widths[i] - r[i].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  hline();
+  printRow(headers_);
+  hline();
+  for (const auto& r : cells) {
+    printRow(r);
+  }
+  hline();
+}
+
+namespace {
+void csvEscape(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') {
+      os << '"';
+    }
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::printCsv(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    csvEscape(os, headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        os << ',';
+      }
+      csvEscape(os, format(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+bool Table::writeCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "rtdrm: failed to open " << path << " for writing\n";
+    return false;
+  }
+  printCsv(f);
+  return static_cast<bool>(f);
+}
+
+void printBanner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace rtdrm

@@ -1,0 +1,43 @@
+// Aligned console tables and CSV emission.
+//
+// Every bench binary prints the paper's rows/series both as a human-readable
+// aligned table and, optionally, as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rtdrm {
+
+/// A cell is a string, an integer, or a double (formatted with a per-table
+/// precision).
+using TableCell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int double_precision = 3);
+
+  Table& addRow(std::vector<TableCell> row);
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Renders as an aligned, boxed text table.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (headers + rows).
+  void printCsv(std::ostream& os) const;
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool writeCsv(const std::string& path) const;
+
+ private:
+  std::string format(const TableCell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_;
+};
+
+/// Prints a section banner like "== Figure 9(a): Missed deadline ratio ==".
+void printBanner(std::ostream& os, const std::string& title);
+
+}  // namespace rtdrm

@@ -1,0 +1,207 @@
+// Strong unit types used throughout rtdrm.
+//
+// The paper mixes milliseconds, track counts, "hundreds of tracks", bytes
+// and utilization fractions; encoding each as its own vocabulary type makes
+// the regression equations (eqs. 1-6 of the paper) read like the paper and
+// prevents the classic ms-vs-s and percent-vs-fraction unit bugs.
+//
+// Conventions (documented in DESIGN.md §2):
+//   * SimTime / SimDuration carry milliseconds in a double.
+//   * DataSize counts individual tracks (sensor reports); the regression
+//     equations consume DataSize::hundreds().
+//   * Utilization is a fraction in [0, 1].
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace rtdrm {
+
+/// A span of simulated time, in milliseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  static constexpr SimDuration millis(double ms) { return SimDuration{ms}; }
+  static constexpr SimDuration seconds(double s) {
+    return SimDuration{s * 1000.0};
+  }
+  static constexpr SimDuration micros(double us) {
+    return SimDuration{us / 1000.0};
+  }
+  static constexpr SimDuration zero() { return SimDuration{0.0}; }
+
+  constexpr double ms() const { return ms_; }
+  constexpr double sec() const { return ms_ / 1000.0; }
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration{ms_ + o.ms_};
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration{ms_ - o.ms_};
+  }
+  constexpr SimDuration operator*(double k) const {
+    return SimDuration{ms_ * k};
+  }
+  constexpr SimDuration operator/(double k) const {
+    return SimDuration{ms_ / k};
+  }
+  constexpr double operator/(SimDuration o) const { return ms_ / o.ms_; }
+  SimDuration& operator+=(SimDuration o) {
+    ms_ += o.ms_;
+    return *this;
+  }
+  SimDuration& operator-=(SimDuration o) {
+    ms_ -= o.ms_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+ private:
+  constexpr explicit SimDuration(double ms) : ms_(ms) {}
+  double ms_ = 0.0;
+};
+
+constexpr SimDuration operator*(double k, SimDuration d) { return d * k; }
+
+/// An absolute point on the simulation clock, in milliseconds since t=0.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime millis(double ms) { return SimTime{ms}; }
+  static constexpr SimTime seconds(double s) { return SimTime{s * 1000.0}; }
+  static constexpr SimTime zero() { return SimTime{0.0}; }
+
+  constexpr double ms() const { return ms_; }
+  constexpr double sec() const { return ms_ / 1000.0; }
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime{ms_ + d.ms()};
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime{ms_ - d.ms()};
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::millis(ms_ - o.ms_);
+  }
+  SimTime& operator+=(SimDuration d) {
+    ms_ += d.ms();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(double ms) : ms_(ms) {}
+  double ms_ = 0.0;
+};
+
+/// Number of data items ("tracks", i.e. sensor reports) in a data stream.
+///
+/// The paper's regression equation (eq. 3) measures data size in *hundreds*
+/// of tracks; `hundreds()` performs that conversion exactly once, here.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  static constexpr DataSize tracks(double n) { return DataSize{n}; }
+  static constexpr DataSize hundredsOf(double h) { return DataSize{h * 100.0}; }
+  static constexpr DataSize zero() { return DataSize{0.0}; }
+
+  constexpr double count() const { return n_; }
+  /// Data size in the unit used by regression equation (3): hundreds of tracks.
+  constexpr double hundreds() const { return n_ / 100.0; }
+
+  constexpr DataSize operator+(DataSize o) const { return DataSize{n_ + o.n_}; }
+  constexpr DataSize operator-(DataSize o) const { return DataSize{n_ - o.n_}; }
+  constexpr DataSize operator*(double k) const { return DataSize{n_ * k}; }
+  constexpr DataSize operator/(double k) const {
+    RTDRM_ASSERT(k != 0.0);
+    return DataSize{n_ / k};
+  }
+  DataSize& operator+=(DataSize o) {
+    n_ += o.n_;
+    return *this;
+  }
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+ private:
+  constexpr explicit DataSize(double n) : n_(n) {}
+  double n_ = 0.0;
+};
+
+/// Message / frame payload size in bytes.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  static constexpr Bytes of(double b) { return Bytes{b}; }
+  static constexpr Bytes kilo(double kb) { return Bytes{kb * 1000.0}; }
+  static constexpr Bytes zero() { return Bytes{0.0}; }
+
+  constexpr double count() const { return b_; }
+  constexpr double bits() const { return b_ * 8.0; }
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes{b_ + o.b_}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{b_ - o.b_}; }
+  constexpr Bytes operator*(double k) const { return Bytes{b_ * k}; }
+  constexpr Bytes operator/(double k) const { return Bytes{b_ / k}; }
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+ private:
+  constexpr explicit Bytes(double b) : b_(b) {}
+  double b_ = 0.0;
+};
+
+/// Link speed. 100 Mbps Ethernet in the paper's baseline (Table 1).
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  static constexpr BitRate bps(double v) { return BitRate{v}; }
+  static constexpr BitRate mbps(double v) { return BitRate{v * 1e6}; }
+
+  constexpr double bitsPerSecond() const { return bps_; }
+
+  /// Time to serialize `b` onto the wire: eq. (6), Dtrans = d / ls.
+  constexpr SimDuration transmissionTime(Bytes b) const {
+    return SimDuration::seconds(b.bits() / bps_);
+  }
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+ private:
+  constexpr explicit BitRate(double bps) : bps_(bps) {}
+  double bps_ = 1.0;
+};
+
+/// CPU or network utilization as a fraction in [0, 1].
+///
+/// The paper prints utilization "in percentage" but Table 2's coefficients
+/// are only dimensionally consistent with a [0, 1] fraction (see DESIGN.md);
+/// this type stores the fraction and offers percent() for display.
+class Utilization {
+ public:
+  constexpr Utilization() = default;
+  static constexpr Utilization fraction(double f) {
+    return Utilization{std::clamp(f, 0.0, 1.0)};
+  }
+  static constexpr Utilization percent(double p) {
+    return Utilization{std::clamp(p / 100.0, 0.0, 1.0)};
+  }
+  static constexpr Utilization zero() { return Utilization{0.0}; }
+
+  constexpr double value() const { return f_; }
+  constexpr double asPercent() const { return f_ * 100.0; }
+
+  constexpr auto operator<=>(const Utilization&) const = default;
+
+ private:
+  constexpr explicit Utilization(double f) : f_(f) {}
+  double f_ = 0.0;
+};
+
+/// Identifier for a processor node. Index into the cluster's processor array.
+struct ProcessorId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const ProcessorId&) const = default;
+};
+
+}  // namespace rtdrm

@@ -1,0 +1,120 @@
+#include "core/allocators.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rtdrm::core {
+
+ProcessorId selectShutdownVictim(const task::ReplicaSet& rs,
+                                 const node::Cluster& cluster,
+                                 ShutdownSelection selection) {
+  RTDRM_ASSERT(rs.size() > 1);
+  if (selection == ShutdownSelection::kLastAdded) {
+    return rs.nodes().back();
+  }
+  // kMostUtilized: the busiest non-primary node (FIFO among ties: the
+  // earliest added wins so the set keeps shrinking deterministically).
+  ProcessorId victim = rs.nodes()[1];
+  double worst = -1.0;
+  for (std::size_t i = 1; i < rs.nodes().size(); ++i) {
+    const double u = cluster.lastUtilization(rs.nodes()[i]).value();
+    if (u > worst) {
+      worst = u;
+      victim = rs.nodes()[i];
+    }
+  }
+  return victim;
+}
+
+SimDuration PredictiveAllocator::forecastReplicaLatency(
+    const AllocationContext& ctx, std::size_t stage,
+    std::size_t replica_count, Utilization u) const {
+  // No specific node: an id beyond any override table falls back to the
+  // stage model.
+  return forecastReplicaLatencyOn(ctx, stage, replica_count,
+                                  ProcessorId{0xffffffffu}, u);
+}
+
+SimDuration PredictiveAllocator::forecastReplicaLatencyOn(
+    const AllocationContext& ctx, std::size_t stage,
+    std::size_t replica_count, ProcessorId node, Utilization u) const {
+  RTDRM_ASSERT(replica_count >= 1);
+  // Optional provisioning margin on the observed workload.
+  const DataSize planned =
+      ctx.workload * (1.0 + config_.workload_headroom);
+  // Each replica processes 1/k of the data stream (Fig. 5 step 6.2)...
+  const DataSize share = planned / static_cast<double>(replica_count);
+  const SimDuration eex = models_.execLatencyOn(stage, node, share, u);
+  // ... and its incoming message now carries 1/k of the data (step 6.4).
+  // The first stage has no predecessor message.
+  SimDuration ecd = SimDuration::zero();
+  if (stage > 0) {
+    // Dbuf depends on the cluster-wide periodic workload (eq. 5), plus the
+    // same planning margin on this task's own contribution.
+    const DataSize total =
+        ctx.effectiveTotal() + ctx.workload * config_.workload_headroom;
+    ecd = models_.commDelay(share, ctx.spec.messages[stage - 1].bytes_per_track,
+                            total);
+  }
+  return eex + ecd;
+}
+
+AllocStatus PredictiveAllocator::replicate(const AllocationContext& ctx,
+                                           std::size_t stage,
+                                           task::ReplicaSet& rs) {
+  RTDRM_ASSERT(stage < ctx.spec.stageCount());
+  const double budget = ctx.budgets.stageBudgetMs(stage);
+  const double limit = budget - ctx.slack_fraction * budget;  // dl - sl
+
+  // Fig. 5, steps 2-7: the monitor calls us because the observed slack is
+  // low, so at least one replica is always added. After each addition the
+  // forecast is re-checked for *every* replica (each now processes a
+  // smaller 1/k share); on any violation another processor is taken — the
+  // least utilized one not yet hosting the subtask — until the forecast
+  // fits or processors run out.
+  while (true) {
+    const auto pmin = ctx.cluster.leastUtilized(rs.nodes());
+    if (!pmin) {
+      RTDRM_LOG(kDebug) << "predictive: out of processors for stage "
+                        << stage << " (|PS|=" << rs.size() << ")";
+      return AllocStatus::kFailure;  // Fig. 5 step 2.1
+    }
+    rs.add(*pmin);  // steps 3-5
+
+    bool all_fit = true;  // step 6
+    for (ProcessorId q : rs.nodes()) {
+      const Utilization u = ctx.cluster.lastUtilization(q);
+      if (forecastReplicaLatencyOn(ctx, stage, rs.size(), q, u).ms() >
+          limit) {
+        all_fit = false;  // step 6.6: need another replica
+        break;
+      }
+    }
+    if (all_fit) {
+      return AllocStatus::kSuccess;  // step 7
+    }
+  }
+}
+
+AllocStatus NonPredictiveAllocator::replicate(const AllocationContext& ctx,
+                                              std::size_t stage,
+                                              task::ReplicaSet& rs) {
+  RTDRM_ASSERT(stage < ctx.spec.stageCount());
+  // Fig. 7: add every processor whose utilization is below UT.
+  bool added = false;
+  for (std::uint32_t i = 0; i < ctx.cluster.size(); ++i) {
+    const ProcessorId p{i};
+    if (rs.contains(p)) {
+      continue;
+    }
+    if (ctx.cluster.lastUtilization(p) < threshold_) {
+      rs.add(p);
+      added = true;
+    }
+  }
+  return added ? AllocStatus::kSuccess : AllocStatus::kNoChange;
+}
+
+}  // namespace rtdrm::core

@@ -1,0 +1,132 @@
+// The two resource-allocation strategies compared by the paper (§4.2).
+//
+//  * PredictiveAllocator — Fig. 5: add replicas one at a time on the least
+//    utilized processor, forecasting every replica's stage latency with the
+//    regression models, until all forecasts fit the subtask's budget minus
+//    the slack reserve (or processors run out).
+//  * NonPredictiveAllocator — Fig. 7: replicate onto every processor whose
+//    observed utilization is below a fixed threshold UT (Table 1: 20%).
+//
+// Both mutate a ReplicaSet in place; shutdown (Fig. 6) is ReplicaSet::
+// removeLast and lives in the ResourceManager.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/eqf.hpp"
+#include "core/models.hpp"
+#include "node/cluster.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::core {
+
+/// Everything an allocator may look at when deciding (observed state only —
+/// no ground truth).
+struct AllocationContext {
+  const task::TaskSpec& spec;
+  const node::Cluster& cluster;
+  /// ds(T_i, c): this task's current periodic workload (determines each
+  /// replica's share).
+  DataSize workload;
+  const EqfBudgets& budgets;
+  /// sl as a fraction of the stage budget (paper: 0.2).
+  double slack_fraction = 0.2;
+  /// sum_i ds(T_i, c) over *all* tasks (eq. 5's Dbuf input). Equals
+  /// `workload` in single-task deployments.
+  DataSize total_workload = DataSize::zero();
+
+  DataSize effectiveTotal() const {
+    return total_workload > DataSize::zero() ? total_workload : workload;
+  }
+};
+
+/// Which replica the shutdown action (paper Fig. 6) removes.
+enum class ShutdownSelection {
+  kLastAdded,     ///< the paper's rule: pop the most recently added
+  kMostUtilized,  ///< extension: evict the replica on the busiest node
+};
+
+/// Picks the replica `rs` should shed under `selection`; requires
+/// rs.size() > 1. kMostUtilized never evicts the primary.
+ProcessorId selectShutdownVictim(const task::ReplicaSet& rs,
+                                 const node::Cluster& cluster,
+                                 ShutdownSelection selection);
+
+enum class AllocStatus {
+  kSuccess,   ///< forecast (or heuristic) satisfied the budget
+  kFailure,   ///< ran out of processors before the forecast fit
+  kNoChange,  ///< nothing to do / no eligible processor
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+  /// Grow `rs` (the replica set of `stage`) per the strategy.
+  virtual AllocStatus replicate(const AllocationContext& ctx,
+                                std::size_t stage, task::ReplicaSet& rs) = 0;
+  virtual std::string name() const = 0;
+  /// Invoked by the manager when online model refinement produced updated
+  /// regression models. Heuristic allocators ignore it.
+  virtual void onModelsRefreshed(const PredictiveModels& models) {
+    (void)models;
+  }
+};
+
+struct PredictiveConfig {
+  /// Forecast at d * (1 + headroom) instead of the observed workload —
+  /// provisioning margin against rising ramps (0 reproduces Fig. 5
+  /// exactly; an ablation knob, DESIGN.md §6).
+  double workload_headroom = 0.0;
+};
+
+/// Fig. 5. Holds the fitted regression models it forecasts with.
+class PredictiveAllocator final : public Allocator {
+ public:
+  explicit PredictiveAllocator(PredictiveModels models,
+                               PredictiveConfig config = {})
+      : models_(std::move(models)), config_(config) {}
+
+  AllocStatus replicate(const AllocationContext& ctx, std::size_t stage,
+                        task::ReplicaSet& rs) override;
+  std::string name() const override { return "predictive"; }
+  void onModelsRefreshed(const PredictiveModels& models) override {
+    models_ = models;
+  }
+
+  /// Forecast of one replica's stage latency (eex + ecd) if `stage` ran
+  /// with `replica_count` replicas, on a processor at utilization `u`.
+  /// Exposed for tests and the capacity-planning example.
+  SimDuration forecastReplicaLatency(const AllocationContext& ctx,
+                                     std::size_t stage,
+                                     std::size_t replica_count,
+                                     Utilization u) const;
+  /// As above, but for a specific node — uses that node's learned model
+  /// override when per-node refinement has produced one.
+  SimDuration forecastReplicaLatencyOn(const AllocationContext& ctx,
+                                       std::size_t stage,
+                                       std::size_t replica_count,
+                                       ProcessorId node,
+                                       Utilization u) const;
+
+ private:
+  PredictiveModels models_;
+  PredictiveConfig config_;
+};
+
+/// Fig. 7.
+class NonPredictiveAllocator final : public Allocator {
+ public:
+  explicit NonPredictiveAllocator(
+      Utilization threshold = Utilization::percent(20.0))
+      : threshold_(threshold) {}
+
+  AllocStatus replicate(const AllocationContext& ctx, std::size_t stage,
+                        task::ReplicaSet& rs) override;
+  std::string name() const override { return "non-predictive"; }
+
+ private:
+  Utilization threshold_;
+};
+
+}  // namespace rtdrm::core

@@ -1,0 +1,86 @@
+#include "core/eqf.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtdrm::core {
+
+namespace {
+
+double validatedTotal(const EqfInput& input) {
+  const std::size_t n = input.eex_ms.size();
+  RTDRM_ASSERT_MSG(n >= 1, "EQF needs at least one subtask");
+  RTDRM_ASSERT_MSG(input.ecd_ms.size() == n - 1,
+                   "EQF needs exactly n-1 message estimates");
+  RTDRM_ASSERT(input.deadline_ms > 0.0);
+  double total = 0.0;
+  for (double e : input.eex_ms) {
+    RTDRM_ASSERT(e >= 0.0);
+    total += e;
+  }
+  for (double c : input.ecd_ms) {
+    RTDRM_ASSERT(c >= 0.0);
+    total += c;
+  }
+  RTDRM_ASSERT_MSG(total > 0.0, "EQF: all estimates are zero");
+  return total;
+}
+
+/// Lays out budgets from a per-element function of the raw estimate.
+template <typename BudgetFn>
+EqfBudgets layout(const EqfInput& input, double flexibility, BudgetFn fn) {
+  const std::size_t n = input.eex_ms.size();
+  EqfBudgets out;
+  out.flexibility = flexibility;
+  out.subtask_ms.resize(n);
+  out.message_ms.resize(n - 1);
+  out.subtask_abs_ms.resize(n);
+  double cursor = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.subtask_ms[i] = fn(input.eex_ms[i]);
+    cursor += out.subtask_ms[i];
+    out.subtask_abs_ms[i] = cursor;
+    if (i + 1 < n) {
+      out.message_ms[i] = fn(input.ecd_ms[i]);
+      cursor += out.message_ms[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EqfBudgets assignEqf(const EqfInput& input) {
+  const double total = validatedTotal(input);
+  const double ratio = input.deadline_ms / total;
+  return layout(input, ratio, [ratio](double est) { return est * ratio; });
+}
+
+EqfBudgets assignBudgets(const EqfInput& input, DeadlineStrategy strategy) {
+  if (strategy == DeadlineStrategy::kEqf) {
+    return assignEqf(input);
+  }
+  // EQS: equal absolute slack per element. Elements with zero estimate are
+  // excluded from the split (they represent nonexistent work, e.g. a free
+  // message) so real elements keep the whole surplus.
+  const double total = validatedTotal(input);
+  const double slack = input.deadline_ms - total;
+  if (slack < 0.0) {
+    return assignEqf(input);  // proportional compression fallback
+  }
+  std::size_t elements = 0;
+  for (double e : input.eex_ms) {
+    elements += e > 0.0 ? 1 : 0;
+  }
+  for (double c : input.ecd_ms) {
+    elements += c > 0.0 ? 1 : 0;
+  }
+  RTDRM_ASSERT(elements > 0);
+  const double share = slack / static_cast<double>(elements);
+  EqfBudgets out = layout(input, input.deadline_ms / total,
+                          [share](double est) {
+                            return est > 0.0 ? est + share : 0.0;
+                          });
+  return out;
+}
+
+}  // namespace rtdrm::core

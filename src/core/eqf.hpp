@@ -1,0 +1,74 @@
+// Subtask/message deadline assignment from end-to-end deadlines —
+// the paper's "variant of the equal flexibility (EQF) strategy" of
+// Kao & Garcia-Molina (paper §4.1, eqs. 1-2).
+//
+// EQF gives every element of the chain the same flexibility ratio: each
+// subtask and message receives a budget of
+//
+//   budget_i = est_i + slack * est_i / total = est_i * (D / total)
+//
+// where est_i is its estimated latency, total = sum of all estimates and
+// slack = D - total. Budgets therefore sum exactly to the end-to-end
+// deadline D (the paper's printed eq. 1/2 reduce to this form at the chain
+// ends; we apply the uniform ratio throughout, which keeps the invariant
+// sum(budgets) == D that the printed recursion loses mid-chain).
+//
+// If total > D (estimates alone already exceed the deadline) the same
+// formula compresses budgets proportionally — every element then has
+// flexibility ratio < 1 and the monitor will flag the bottleneck stages.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rtdrm::core {
+
+/// Latency estimates for one task chain under assumed operating conditions
+/// (initial conditions at startup; current observed conditions on
+/// re-assignment after an allocation action).
+struct EqfInput {
+  /// Estimated execution latency per subtask (n entries).
+  std::vector<double> eex_ms;
+  /// Estimated communication delay per inter-subtask message (n-1 entries;
+  /// ecd_ms[i] is the message from subtask i to i+1, 0-based).
+  std::vector<double> ecd_ms;
+  double deadline_ms = 0.0;
+};
+
+struct EqfBudgets {
+  /// Relative latency budget per subtask (n entries).
+  std::vector<double> subtask_ms;
+  /// Relative budget per message (n-1 entries).
+  std::vector<double> message_ms;
+  /// Absolute offset (from task release) by which each subtask must finish.
+  std::vector<double> subtask_abs_ms;
+  /// D / total; > 1 means slack exists, < 1 means the chain is infeasible
+  /// at the assumed conditions.
+  double flexibility = 0.0;
+
+  /// Budget for "stage i" as the run-time monitor sees it: incoming message
+  /// (i > 0) plus subtask execution. This is the dl(st) that Fig. 5's
+  /// TotalDelay = eex + ecd is compared against.
+  double stageBudgetMs(std::size_t i) const {
+    return (i > 0 ? message_ms[i - 1] : 0.0) + subtask_ms[i];
+  }
+};
+
+/// Computes EQF budgets. Requires deadline > 0, all estimates >= 0, and a
+/// strictly positive total estimate.
+EqfBudgets assignEqf(const EqfInput& input);
+
+/// Deadline-assignment strategy. Kao & Garcia-Molina propose both:
+/// EQF divides the slack proportionally to each element's estimate (the
+/// paper's choice); EQS gives every element an *equal absolute* share of
+/// the slack. When the chain is infeasible (total estimate > deadline),
+/// EQS also falls back to proportional compression — equal negative slack
+/// would drive short elements' budgets below zero.
+enum class DeadlineStrategy { kEqf, kEqs };
+
+/// Computes budgets under the chosen strategy. assignBudgets(in, kEqf) is
+/// identical to assignEqf(in).
+EqfBudgets assignBudgets(const EqfInput& input, DeadlineStrategy strategy);
+
+}  // namespace rtdrm::core

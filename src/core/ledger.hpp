@@ -1,0 +1,66 @@
+// Shared workload ledger for multi-task deployments.
+//
+// Eq. (5) computes the buffer delay from the *sum of every task's* periodic
+// workload: Dbuf = k * sum_i ds(T_i, c). With a single task (the paper's
+// baseline, Table 1) the sum is just that task's workload; when several
+// periodic tasks share the cluster, each task's resource manager posts its
+// current workload here and reads the total for its communication-delay
+// forecasts.
+//
+// Single-threaded by design: all managers live on one simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace rtdrm::core {
+
+class WorkloadLedger {
+ public:
+  struct TaskId {
+    std::size_t value = 0;
+  };
+
+  /// Registers a task; its posted workload starts at zero.
+  TaskId registerTask(std::string name) {
+    names_.push_back(std::move(name));
+    current_.push_back(DataSize::zero());
+    return TaskId{names_.size() - 1};
+  }
+
+  std::size_t taskCount() const { return names_.size(); }
+  const std::string& taskName(TaskId id) const {
+    RTDRM_ASSERT(id.value < names_.size());
+    return names_[id.value];
+  }
+
+  /// Posts the workload the task released this period.
+  void post(TaskId id, DataSize workload) {
+    RTDRM_ASSERT(id.value < current_.size());
+    current_[id.value] = workload;
+  }
+
+  DataSize posted(TaskId id) const {
+    RTDRM_ASSERT(id.value < current_.size());
+    return current_[id.value];
+  }
+
+  /// The eq.-5 sum over all registered tasks.
+  DataSize total() const {
+    DataSize sum = DataSize::zero();
+    for (const DataSize d : current_) {
+      sum += d;
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<DataSize> current_;
+};
+
+}  // namespace rtdrm::core

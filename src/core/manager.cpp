@@ -1,0 +1,305 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rtdrm::core {
+
+ResourceManager::ResourceManager(task::Runtime rt, const task::TaskSpec& spec,
+                                 task::Placement initial,
+                                 task::TaskRunner::WorkloadFn workload,
+                                 std::unique_ptr<Allocator> allocator,
+                                 PredictiveModels models, ManagerConfig config,
+                                 Xoshiro256 noise_rng)
+    : rt_(rt),
+      spec_(spec),
+      allocator_(std::move(allocator)),
+      models_(std::move(models)),
+      config_(config),
+      monitor_(spec_, config.monitor),
+      net_probe_(rt.sim, rt.net) {
+  RTDRM_ASSERT(allocator_ != nullptr);
+  RTDRM_ASSERT_MSG(models_.exec.size() == spec_.stageCount(),
+                   "need one execution model per subtask for EQF");
+
+  // Wrap the workload source so each release is also posted to the shared
+  // ledger (when attached) — eq. 5 needs every task's current workload.
+  task::TaskRunner::WorkloadFn wrapped =
+      [this, fn = std::move(workload)](std::uint64_t c) {
+        // Load shedding (when engaged) drops a fraction of the offered
+        // stream before it enters the pipeline.
+        const DataSize d = fn(c) * (1.0 - shed_fraction_);
+        if (ledger_ != nullptr) {
+          ledger_->post(ledger_id_, d);
+        }
+        return d;
+      };
+  runner_ = std::make_unique<task::TaskRunner>(
+      rt_, spec_, std::move(initial), std::move(wrapped), noise_rng,
+      config_.pipeline,
+      [this](const task::PeriodRecord& rec) { onRecord(rec); });
+
+  metrics_.stages.resize(spec_.stageCount());
+
+  if (config_.online_refit) {
+    if (config_.refit.per_node) {
+      config_.refit.node_count = rt_.cluster.size();
+      models_.exec_overrides.assign(
+          spec_.stageCount(),
+          std::vector<std::optional<regress::ExecLatencyModel>>(
+              rt_.cluster.size()));
+    }
+    refresher_ =
+        std::make_unique<ModelRefresher>(spec_, models_, config_.refit);
+  }
+
+  // Initial EQF assignment from the assumed initial operating conditions.
+  reassignBudgets(config_.d_init);
+
+  sampler_ = std::make_unique<sim::PeriodicActivity>(
+      rt_.sim, spec_.period, [this](std::uint64_t t) { onPeriodTick(t); });
+}
+
+void ResourceManager::start(SimTime first_release) {
+  // Sample just before each release so allocation decisions in period c see
+  // utilizations measured over period c-1.
+  runner_->start(first_release);
+  sampler_->start(first_release + spec_.period - SimDuration::micros(1.0));
+}
+
+void ResourceManager::stop() {
+  runner_->stop();
+  sampler_->stop();
+}
+
+void ResourceManager::attachLedger(WorkloadLedger& ledger) {
+  RTDRM_ASSERT_MSG(ledger_ == nullptr, "ledger already attached");
+  ledger_ = &ledger;
+  ledger_id_ = ledger.registerTask(spec_.name);
+}
+
+DataSize ResourceManager::totalWorkload(DataSize own) const {
+  if (ledger_ == nullptr) {
+    return own;
+  }
+  // The ledger carries this task's own posting too; use whichever is
+  // fresher for our component.
+  DataSize total = DataSize::zero();
+  for (std::size_t t = 0; t < ledger_->taskCount(); ++t) {
+    total += t == ledger_id_.value
+                 ? own
+                 : ledger_->posted(WorkloadLedger::TaskId{t});
+  }
+  return total;
+}
+
+void ResourceManager::trace(sim::TraceCategory cat, const std::string& label,
+                            double value) {
+  if (trace_ != nullptr) {
+    trace_->record(rt_.sim.now(), cat, spec_.name + "/" + label, value);
+  }
+}
+
+void ResourceManager::onPeriodTick(std::uint64_t) {
+  if (config_.sample_cluster) {
+    rt_.cluster.sampleUtilization();
+  }
+  metrics_.cpu_utilization.add(rt_.cluster.meanUtilization().value());
+  metrics_.net_utilization.add(net_probe_.sample().value());
+
+  metrics_.shed_fraction.add(shed_fraction_);
+
+  // Mean replica count across the replicable stages.
+  double replicas = 0.0;
+  double replicable = 0.0;
+  const task::Placement& placement = runner_->placement();
+  for (std::size_t i = 0; i < spec_.stageCount(); ++i) {
+    if (spec_.subtasks[i].replicable) {
+      replicas += static_cast<double>(placement.stage(i).size());
+      replicable += 1.0;
+    }
+  }
+  if (replicable > 0.0) {
+    metrics_.replicas_per_subtask.add(replicas / replicable);
+  }
+}
+
+void ResourceManager::onRecord(const task::PeriodRecord& record) {
+  const bool missed = record.missed(spec_.deadline);
+  metrics_.missed_deadlines.add(missed);
+  if (missed) {
+    trace(sim::TraceCategory::kMiss,
+          "period " + std::to_string(record.period_index),
+          record.endToEnd().ms());
+  }
+  if (record.completed) {
+    metrics_.end_to_end_ms.add(record.endToEnd().ms());
+    metrics_.end_to_end_hist.add(record.endToEnd().ms());
+    for (std::size_t i = 0; i < record.stages.size(); ++i) {
+      if (record.stages[i].completed) {
+        metrics_.stages[i].latency_ms.add(
+            record.stages[i].measured_latency.ms());
+      }
+    }
+  }
+
+  if (refresher_ != nullptr) {
+    // A-posteriori model refinement: every completed stage is one
+    // (share, utilization, latency) observation of eq. 3.
+    bool any_refreshed = false;
+    for (std::size_t i = 0; i < record.stages.size(); ++i) {
+      const task::StageRecord& st = record.stages[i];
+      if (!st.completed || st.replicas == 0) {
+        continue;
+      }
+      const double share =
+          record.workload.hundreds() / static_cast<double>(st.replicas);
+      const double u =
+          rt_.cluster.lastUtilization(st.worst_exec_node).value();
+      if (refresher_->observe(i, st.worst_exec_node, share, u,
+                              st.worst_exec.ms())) {
+        models_.exec[i] = refresher_->current(i);
+        any_refreshed = true;
+      }
+      if (config_.refit.per_node) {
+        auto node_model = refresher_->currentForNode(i, st.worst_exec_node);
+        if (node_model.has_value()) {
+          models_.exec_overrides[i][st.worst_exec_node.value] =
+              std::move(node_model);
+          any_refreshed = true;
+        }
+      }
+    }
+    if (any_refreshed) {
+      allocator_->onModelsRefreshed(models_);
+    }
+  }
+
+  task::Placement placement = runner_->placement();
+  const std::vector<Action> actions =
+      monitor_.evaluate(record, budgets_, placement);
+  if (actions.empty()) {
+    return;
+  }
+
+  const DataSize workload = runner_->currentWorkload();
+  bool changed = false;
+  for (const Action& a : actions) {
+    task::ReplicaSet& rs = placement.stage(a.stage);
+    if (a.kind == ActionKind::kReplicate) {
+      if (rs.size() >= rt_.cluster.size()) {
+        ++metrics_.allocation_failures;  // already at max concurrency
+        if (config_.allow_load_shedding &&
+            shed_fraction_ < config_.max_shed) {
+          shed_fraction_ = std::min(config_.max_shed,
+                                    shed_fraction_ + config_.shed_step);
+          trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+          changed = true;
+        }
+        continue;
+      }
+      const AllocationContext ctx = makeContext(workload);
+      const AllocStatus status = allocator_->replicate(ctx, a.stage, rs);
+      if (status == AllocStatus::kFailure) {
+        ++metrics_.allocation_failures;
+        if (config_.allow_load_shedding &&
+            shed_fraction_ < config_.max_shed) {
+          // Even full replication cannot hold the budget: degrade quality
+          // instead of missing outright (imprecise computation).
+          shed_fraction_ = std::min(config_.max_shed,
+                                    shed_fraction_ + config_.shed_step);
+          trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+          changed = true;
+        }
+      }
+      if (status != AllocStatus::kNoChange) {
+        ++metrics_.replicate_actions;
+        ++metrics_.stages[a.stage].replicate_actions;
+        changed = true;
+        trace(sim::TraceCategory::kReplicate,
+              spec_.subtasks[a.stage].name,
+              static_cast<double>(rs.size()));
+      }
+      RTDRM_LOG(kDebug) << allocator_->name() << ": stage " << a.stage
+                        << " -> " << rs.size() << " replicas";
+    } else if (config_.allow_load_shedding && shed_fraction_ > 0.0) {
+      // Quality comes back before resources go: high slack first unwinds
+      // the shed fraction, and only then releases replicas.
+      shed_fraction_ = std::max(0.0, shed_fraction_ - config_.shed_step);
+      trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+      changed = true;
+    } else {
+      // Fig. 6 (or the selective-eviction extension): drop one replica.
+      if (rs.size() > 1) {
+        rs.remove(selectShutdownVictim(rs, rt_.cluster,
+                                       config_.shutdown_selection));
+        ++metrics_.shutdown_actions;
+        ++metrics_.stages[a.stage].shutdown_actions;
+        changed = true;
+        trace(sim::TraceCategory::kShutdown, spec_.subtasks[a.stage].name,
+              static_cast<double>(rs.size()));
+        RTDRM_LOG(kDebug) << "shutdown: stage " << a.stage << " -> "
+                          << rs.size() << " replicas";
+      }
+    }
+  }
+
+  if (changed) {
+    if (config_.action_latency > SimDuration::zero()) {
+      // Decisions propagate and replicas spawn; the new placement only
+      // becomes effective after the control-plane latency.
+      rt_.sim.scheduleAfter(
+          config_.action_latency, [this, placement, workload] {
+            runner_->setPlacement(placement);
+            reassignBudgets(workload);
+          });
+      return;
+    }
+    runner_->setPlacement(placement);
+    // §4.1: subtask deadlines are re-assigned after every resource
+    // management action, now at the *current* operating conditions.
+    reassignBudgets(workload);
+  }
+}
+
+AllocationContext ResourceManager::makeContext(DataSize workload) const {
+  return AllocationContext{spec_,    rt_.cluster,
+                           workload, budgets_,
+                           config_.monitor.slack_fraction,
+                           totalWorkload(workload)};
+}
+
+void ResourceManager::reassignBudgets(DataSize d) {
+  const task::Placement& placement = runner_->placement();
+  EqfInput in;
+  in.deadline_ms = spec_.deadline.ms();
+  in.eex_ms.resize(spec_.stageCount());
+  in.ecd_ms.resize(spec_.stageCount() - 1);
+
+  for (std::size_t i = 0; i < spec_.stageCount(); ++i) {
+    const task::ReplicaSet& rs = placement.stage(i);
+    const DataSize share = d / static_cast<double>(rs.size());
+    // Estimate at the primary's observed utilization; before the first
+    // sample this falls back to the configured u_init.
+    Utilization u = rt_.cluster.lastUtilization(rs.primary());
+    if (u.value() <= 0.0) {
+      u = config_.u_init;
+    }
+    in.eex_ms[i] = models_.execLatency(i, share, u).ms();
+    if (i + 1 < spec_.stageCount()) {
+      const std::size_t succ_replicas = placement.stage(i + 1).size();
+      const DataSize succ_share = d / static_cast<double>(succ_replicas);
+      in.ecd_ms[i] = models_
+                         .commDelay(succ_share,
+                                    spec_.messages[i].bytes_per_track,
+                                    totalWorkload(d))
+                         .ms();
+    }
+  }
+  budgets_ = assignBudgets(in, config_.deadline_strategy);
+}
+
+}  // namespace rtdrm::core

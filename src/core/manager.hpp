@@ -1,0 +1,131 @@
+// The adaptive resource manager (paper Fig. 1).
+//
+// Orchestrates the full loop:
+//   1. releases the periodic task (owns a TaskRunner),
+//   2. samples processor/network utilization each period on a global time
+//      scale,
+//   3. feeds every completed period record to the SlackMonitor,
+//   4. applies the configured allocator to replication candidates and
+//      Fig. 6's shutdown to de-allocation candidates,
+//   5. re-assigns EQF budgets after every action (§4.1 last paragraph),
+//   6. accumulates the evaluation metrics.
+#pragma once
+
+#include <memory>
+
+#include "core/allocators.hpp"
+#include "core/eqf.hpp"
+#include "core/ledger.hpp"
+#include "core/metrics.hpp"
+#include "core/models.hpp"
+#include "core/model_refresher.hpp"
+#include "core/monitor.hpp"
+#include "net/ethernet.hpp"
+#include "sim/trace.hpp"
+#include "task/task_runner.hpp"
+
+namespace rtdrm::core {
+
+struct ManagerConfig {
+  MonitorConfig monitor{};
+  /// Initial operating conditions used for the first EQF assignment
+  /// (paper §4.1: d_init, u_init).
+  DataSize d_init = DataSize::tracks(500);
+  Utilization u_init = Utilization::fraction(0.05);
+  task::PipelineConfig pipeline{};
+  /// Whether this manager drives the cluster's utilization sampling window.
+  /// Exactly one manager per cluster must do so; in multi-task deployments
+  /// the first manager samples and the others read the shared snapshot.
+  bool sample_cluster = true;
+  /// Online refinement of the eq.-3 models from run-time observations
+  /// (extension; off = the paper's static offline models).
+  bool online_refit = false;
+  ModelRefresherConfig refit{};
+  /// Shutdown victim selection (paper Fig. 6 = kLastAdded).
+  ShutdownSelection shutdown_selection = ShutdownSelection::kLastAdded;
+  /// Subtask-deadline assignment strategy (the paper uses an EQF variant).
+  DeadlineStrategy deadline_strategy = DeadlineStrategy::kEqf;
+  /// Control-plane latency (extension): decisions take effect only after
+  /// this delay — covering decision distribution and replica process
+  /// startup, which the paper treats as instantaneous. Zero reproduces the
+  /// paper. Overlapping delayed updates apply last-write-wins.
+  SimDuration action_latency = SimDuration::zero();
+  /// Load shedding (extension, imprecise-computation style [LL+91]): when
+  /// even full replication cannot satisfy a subtask budget (allocation
+  /// failure), process only a fraction of the stream instead of missing
+  /// deadlines outright. Shedding backs off before replicas are shut down
+  /// once slack returns. Off by default (the paper misses instead).
+  bool allow_load_shedding = false;
+  /// Shed increment per allocation failure and decrement per high-slack
+  /// period.
+  double shed_step = 0.1;
+  /// Upper bound on the shed fraction (never drop more than this).
+  double max_shed = 0.7;
+};
+
+class ResourceManager {
+ public:
+  /// `models` drive the EQF estimates (both algorithms); `allocator` is the
+  /// strategy under test. The manager owns the task runner; call start().
+  ResourceManager(task::Runtime rt, const task::TaskSpec& spec,
+                  task::Placement initial, task::TaskRunner::WorkloadFn workload,
+                  std::unique_ptr<Allocator> allocator,
+                  PredictiveModels models, ManagerConfig config,
+                  Xoshiro256 noise_rng);
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  void start(SimTime first_release);
+  void stop();
+
+  /// Joins a shared workload ledger (multi-task deployments): the manager
+  /// posts its per-period workload and uses the ledger total in eq.-5
+  /// estimates. Must be called before start(); the ledger must outlive the
+  /// manager.
+  void attachLedger(WorkloadLedger& ledger);
+  /// Posts action/miss events to the recorder (optional; must outlive the
+  /// manager).
+  void attachTrace(sim::TraceRecorder& trace) { trace_ = &trace; }
+
+  const EpisodeMetrics& metrics() const { return metrics_; }
+  const EqfBudgets& budgets() const { return budgets_; }
+  task::TaskRunner& runner() { return *runner_; }
+  const Allocator& allocator() const { return *allocator_; }
+  /// Non-null when online_refit is enabled.
+  const ModelRefresher* refresher() const { return refresher_.get(); }
+  /// Current load-shed fraction (0 unless allow_load_shedding engaged).
+  double shedFraction() const { return shed_fraction_; }
+  /// The models currently driving EQF and (for predictive) allocation —
+  /// refreshed in place when online_refit is on.
+  const PredictiveModels& models() const { return models_; }
+
+ private:
+  void onRecord(const task::PeriodRecord& record);
+  void onPeriodTick(std::uint64_t tick);
+  /// Recomputes the EQF budgets from the models at workload `d`, the
+  /// current replica counts, and the observed utilizations.
+  void reassignBudgets(DataSize d);
+  AllocationContext makeContext(DataSize workload) const;
+  /// Ledger total when attached, else this task's own workload.
+  DataSize totalWorkload(DataSize own) const;
+  void trace(sim::TraceCategory cat, const std::string& label, double value);
+
+  task::Runtime rt_;
+  const task::TaskSpec& spec_;
+  std::unique_ptr<Allocator> allocator_;
+  PredictiveModels models_;
+  ManagerConfig config_;
+  SlackMonitor monitor_;
+  EqfBudgets budgets_;
+  net::NetworkProbe net_probe_;
+  std::unique_ptr<task::TaskRunner> runner_;
+  std::unique_ptr<sim::PeriodicActivity> sampler_;
+  EpisodeMetrics metrics_;
+  WorkloadLedger* ledger_ = nullptr;
+  WorkloadLedger::TaskId ledger_id_{};
+  sim::TraceRecorder* trace_ = nullptr;
+  std::unique_ptr<ModelRefresher> refresher_;
+  double shed_fraction_ = 0.0;
+};
+
+}  // namespace rtdrm::core

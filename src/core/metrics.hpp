@@ -1,0 +1,59 @@
+// Episode metrics (paper §5.2, Figs. 9-13).
+//
+// Per-period samples of: deadline misses, mean CPU utilization across
+// nodes, network utilization, and replica counts — plus the paper's
+// combined performance metric
+//
+//   C = MD + U_cpu + U_net + Rbar / Max(R)
+//
+// (all terms fractions in [0, 1]; smaller is better). Max(R) is bounded by
+// the processor count: replicas of one subtask must sit on distinct nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+
+namespace rtdrm::core {
+
+/// Per-subtask attribution: which stage drove the adaptation and where the
+/// latency lives.
+struct StageMetrics {
+  RunningStats latency_ms;  ///< measured stage latency per completed period
+  std::uint64_t replicate_actions = 0;
+  std::uint64_t shutdown_actions = 0;
+};
+
+struct EpisodeMetrics {
+  HitRatio missed_deadlines;          ///< per completed/aborted period
+  RunningStats cpu_utilization;       ///< mean-over-nodes, sampled per period
+  RunningStats net_utilization;       ///< sampled per period
+  RunningStats replicas_per_subtask;  ///< mean over replicable stages
+  RunningStats end_to_end_ms;         ///< completed periods only
+  /// Latency distribution (0..3 s, 60 buckets; out-of-range counted in
+  /// the overflow bin).
+  Histogram end_to_end_hist{0.0, 3000.0, 60};
+  std::uint64_t replicate_actions = 0;
+  std::uint64_t shutdown_actions = 0;
+  std::uint64_t allocation_failures = 0;
+  /// Fraction of the stream dropped per period (all zeros unless the
+  /// load-shedding extension is enabled and engaged).
+  RunningStats shed_fraction;
+  /// Sized to the task's stage count by the ResourceManager.
+  std::vector<StageMetrics> stages;
+
+  double missedRatio() const { return missed_deadlines.ratio(); }
+
+  /// The paper's combined performance metric; `max_replicas` is the maximum
+  /// exploitable concurrency (the processor count).
+  double combined(std::size_t max_replicas) const {
+    const double r_frac =
+        replicas_per_subtask.mean() / static_cast<double>(max_replicas);
+    return missedRatio() + cpu_utilization.mean() + net_utilization.mean() +
+           r_frac;
+  }
+};
+
+}  // namespace rtdrm::core

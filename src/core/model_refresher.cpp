@@ -1,0 +1,99 @@
+#include "core/model_refresher.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtdrm::core {
+
+ModelRefresher::ModelRefresher(const task::TaskSpec& spec,
+                               const PredictiveModels& seed,
+                               ModelRefresherConfig config)
+    : config_(config) {
+  RTDRM_ASSERT(seed.exec.size() == spec.stageCount());
+  RTDRM_ASSERT(!config_.per_node || config_.node_count > 0);
+  seeds_ = seed.exec;
+  rls_.reserve(spec.stageCount());
+  for (std::size_t s = 0; s < spec.stageCount(); ++s) {
+    rls_.emplace_back(6, config_.forgetting, config_.initial_p);
+    rls_.back().seed(toTheta(seeds_[s]));
+  }
+  if (config_.per_node) {
+    node_rls_.reserve(spec.stageCount() * config_.node_count);
+    for (std::size_t s = 0; s < spec.stageCount(); ++s) {
+      for (std::size_t n = 0; n < config_.node_count; ++n) {
+        node_rls_.emplace_back(6, config_.forgetting, config_.initial_p);
+        node_rls_.back().seed(toTheta(seeds_[s]));
+      }
+    }
+  }
+}
+
+std::size_t ModelRefresher::nodeIndex(std::size_t stage,
+                                      ProcessorId node) const {
+  RTDRM_ASSERT(node.value < config_.node_count);
+  return stage * config_.node_count + node.value;
+}
+
+regress::Vector ModelRefresher::features(double d_hundreds, double u) {
+  const double d2 = d_hundreds * d_hundreds;
+  return regress::Vector{u * u * d2, u * d2,          d2,
+                         u * u * d_hundreds, u * d_hundreds, d_hundreds};
+}
+
+regress::Vector ModelRefresher::toTheta(const regress::ExecLatencyModel& m) {
+  return regress::Vector{m.a1, m.a2, m.a3, m.b1, m.b2, m.b3};
+}
+
+regress::ExecLatencyModel ModelRefresher::toModel(
+    const regress::Vector& theta) {
+  regress::ExecLatencyModel m;
+  m.a1 = theta[0];
+  m.a2 = theta[1];
+  m.a3 = theta[2];
+  m.b1 = theta[3];
+  m.b2 = theta[4];
+  m.b3 = theta[5];
+  return m;
+}
+
+bool ModelRefresher::observe(std::size_t stage, ProcessorId node,
+                             double d_hundreds, double u, double exec_ms) {
+  RTDRM_ASSERT(stage < rls_.size());
+  if (d_hundreds <= 0.0) {
+    return active(stage);  // a zero-data observation carries no signal
+  }
+  const regress::Vector x = features(d_hundreds, u);
+  rls_[stage].update(x, exec_ms);
+  if (config_.per_node) {
+    node_rls_[nodeIndex(stage, node)].update(x, exec_ms);
+  }
+  return active(stage);
+}
+
+std::optional<regress::ExecLatencyModel> ModelRefresher::currentForNode(
+    std::size_t stage, ProcessorId node) const {
+  if (!config_.per_node) {
+    return std::nullopt;
+  }
+  const auto& rls = node_rls_[nodeIndex(stage, node)];
+  if (rls.observations() < config_.min_observations) {
+    return std::nullopt;
+  }
+  return toModel(rls.coefficients());
+}
+
+bool ModelRefresher::active(std::size_t stage) const {
+  RTDRM_ASSERT(stage < rls_.size());
+  return rls_[stage].observations() >= config_.min_observations;
+}
+
+std::uint64_t ModelRefresher::observations(std::size_t stage) const {
+  RTDRM_ASSERT(stage < rls_.size());
+  return rls_[stage].observations();
+}
+
+regress::ExecLatencyModel ModelRefresher::current(std::size_t stage) const {
+  RTDRM_ASSERT(stage < rls_.size());
+  return active(stage) ? toModel(rls_[stage].coefficients()) : seeds_[stage];
+}
+
+}  // namespace rtdrm::core

@@ -1,0 +1,77 @@
+// Online refinement of the eq.-3 execution-latency models.
+//
+// The paper fits its regression models once, from an offline profiling
+// campaign; its related work ([BN+98, RSYJ97]) observes resource usage
+// a-posteriori to refine such estimates. This extension does exactly that:
+// every completed stage contributes one (data share, utilization, observed
+// execution latency) observation to a per-stage recursive-least-squares
+// estimator seeded with the offline coefficients. With a forgetting factor
+// below one, the models track environmental drift — e.g. per-track
+// processing cost changing mid-mission — which the static models cannot.
+//
+// Enabled via ManagerConfig::online_refit (off by default: the paper's
+// algorithm is the default behaviour).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/models.hpp"
+#include "regress/rls.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::core {
+
+struct ModelRefresherConfig {
+  /// RLS forgetting factor; 1 = never forget, smaller adapts faster.
+  double forgetting = 0.99;
+  /// Observations a stage needs before its refreshed model is trusted.
+  std::size_t min_observations = 16;
+  /// Prior covariance scale; smaller trusts the offline seed longer.
+  double initial_p = 50.0;
+  /// Additionally learn a model per (stage, node) — worth it on
+  /// heterogeneous fleets where one fleet-average surface cannot be right
+  /// for every node. Requires node_count > 0.
+  bool per_node = false;
+  std::size_t node_count = 0;
+};
+
+class ModelRefresher {
+ public:
+  ModelRefresher(const task::TaskSpec& spec, const PredictiveModels& seed,
+                 ModelRefresherConfig config = {});
+
+  /// One run-time observation of stage `stage`: a replica processed
+  /// `d_hundreds` (hundreds of tracks) on `node` at utilization `u` in
+  /// `exec_ms`. Returns true once the stage's aggregate refreshed model is
+  /// active (enough observations accumulated).
+  bool observe(std::size_t stage, ProcessorId node, double d_hundreds,
+               double u, double exec_ms);
+
+  /// The stage's current best aggregate model: the refreshed one when
+  /// active, else the offline seed.
+  regress::ExecLatencyModel current(std::size_t stage) const;
+  bool active(std::size_t stage) const;
+  std::uint64_t observations(std::size_t stage) const;
+
+  /// Per-node model, when per_node is on and that (stage, node) pair has
+  /// accumulated enough observations.
+  std::optional<regress::ExecLatencyModel> currentForNode(
+      std::size_t stage, ProcessorId node) const;
+
+ private:
+  static regress::Vector features(double d_hundreds, double u);
+  static regress::Vector toTheta(const regress::ExecLatencyModel& m);
+  static regress::ExecLatencyModel toModel(const regress::Vector& theta);
+  std::size_t nodeIndex(std::size_t stage, ProcessorId node) const;
+
+  ModelRefresherConfig config_;
+  std::vector<regress::ExecLatencyModel> seeds_;
+  std::vector<regress::RecursiveLeastSquares> rls_;
+  /// Per-(stage, node) estimators, [stage * node_count + node]; empty
+  /// unless per_node.
+  std::vector<regress::RecursiveLeastSquares> node_rls_;
+};
+
+}  // namespace rtdrm::core

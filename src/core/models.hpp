@@ -1,0 +1,59 @@
+// The fitted regression models the resource manager plans with.
+//
+// Both algorithms consume these for the EQF deadline assignment (§4.1 uses
+// "estimates of the initial operating conditions"); the predictive
+// allocator additionally uses them to forecast candidate allocations
+// (§4.2.1). The models are the *only* channel through which the manager
+// knows application costs — ground truth stays hidden in the simulator.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "regress/comm_model.hpp"
+#include "regress/exec_model.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::core {
+
+struct PredictiveModels {
+  /// One execution-latency model per subtask (index = stage).
+  std::vector<regress::ExecLatencyModel> exec;
+  /// Shared communication-delay model (eqs. 4-6).
+  regress::CommDelayModel comm;
+  /// Optional per-(stage, node) overrides learned online (per-node
+  /// refinement extension); empty = exec[stage] applies to every node, the
+  /// paper's homogeneous assumption. When non-empty: [stage][node].
+  std::vector<std::vector<std::optional<regress::ExecLatencyModel>>>
+      exec_overrides;
+
+  /// eex(st, d, u) — eq. (3).
+  SimDuration execLatency(std::size_t stage, DataSize d,
+                          Utilization u) const {
+    return exec.at(stage).eval(d, u);
+  }
+
+  /// eex on a specific node: the per-node override when one has been
+  /// learned, else the stage model.
+  SimDuration execLatencyOn(std::size_t stage, ProcessorId node, DataSize d,
+                            Utilization u) const {
+    if (stage < exec_overrides.size() &&
+        node.value < exec_overrides[stage].size() &&
+        exec_overrides[stage][node.value].has_value()) {
+      return exec_overrides[stage][node.value]->eval(d, u);
+    }
+    return execLatency(stage, d, u);
+  }
+
+  /// ecd(m, d, c) — eq. (4): message carrying `share` tracks at
+  /// `bytes_per_track`, during a period whose total workload is
+  /// `total_workload` (the sum in eq. 5).
+  SimDuration commDelay(DataSize share, double bytes_per_track,
+                        DataSize total_workload) const {
+    return comm.eval(Bytes::of(share.count() * bytes_per_track),
+                     total_workload);
+  }
+};
+
+}  // namespace rtdrm::core

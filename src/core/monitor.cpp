@@ -1,0 +1,64 @@
+#include "core/monitor.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtdrm::core {
+
+SlackMonitor::SlackMonitor(const task::TaskSpec& spec, MonitorConfig config)
+    : spec_(spec), config_(config),
+      high_slack_streak_(spec.stageCount(), 0) {
+  RTDRM_ASSERT(config_.slack_fraction >= 0.0 &&
+               config_.slack_fraction < 1.0);
+  RTDRM_ASSERT(config_.shutdown_slack_fraction > config_.slack_fraction);
+  RTDRM_ASSERT(config_.shutdown_hysteresis >= 1);
+}
+
+std::vector<Action> SlackMonitor::evaluate(const task::PeriodRecord& record,
+                                           const EqfBudgets& budgets,
+                                           const task::Placement& placement) {
+  RTDRM_ASSERT(record.stages.size() == spec_.stageCount());
+  ++evaluated_;
+  std::vector<Action> actions;
+
+  for (std::size_t i = 0; i < spec_.stageCount(); ++i) {
+    if (!spec_.subtasks[i].replicable) {
+      continue;
+    }
+    const task::StageRecord& st = record.stages[i];
+    const double budget = budgets.stageBudgetMs(i);
+
+    if (!st.completed) {
+      // The instance was aborted before this stage finished — the most
+      // severe form of deadline violation.
+      high_slack_streak_[i] = 0;
+      actions.push_back(Action{i, ActionKind::kReplicate});
+      continue;
+    }
+
+    const double latency = config_.use_measured_latency
+                               ? st.measured_latency.ms()
+                               : st.trueLatency().ms();
+    const double slack = budget - latency;
+
+    if (slack < config_.slack_fraction * budget) {
+      // Below the reserve (or an outright miss): replicate.
+      high_slack_streak_[i] = 0;
+      actions.push_back(Action{i, ActionKind::kReplicate});
+    } else if (slack > config_.shutdown_slack_fraction * budget &&
+               placement.stage(i).size() > 1) {
+      if (++high_slack_streak_[i] >= config_.shutdown_hysteresis) {
+        high_slack_streak_[i] = 0;
+        actions.push_back(Action{i, ActionKind::kShutdown});
+      }
+    } else {
+      high_slack_streak_[i] = 0;
+    }
+  }
+  return actions;
+}
+
+void SlackMonitor::resetStreaks() {
+  high_slack_streak_.assign(spec_.stageCount(), 0);
+}
+
+}  // namespace rtdrm::core

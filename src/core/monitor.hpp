@@ -1,0 +1,66 @@
+// Run-time monitoring and candidate selection (paper §4.1).
+//
+// Each completed period is checked against the current EQF budgets:
+//  * a replicable stage whose slack falls below the reserve `sl`
+//    (default 20% of its budget) — or that missed its budget outright, or
+//    never completed before the instance was aborted — becomes a
+//    *replication* candidate;
+//  * a replicable stage with more than one replica that shows "very high
+//    slack" for several consecutive periods becomes a *shutdown*
+//    candidate (hysteresis prevents oscillation: the paper leaves "very
+//    high" unspecified; both knobs are ablation parameters).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/eqf.hpp"
+#include "task/pipeline.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::core {
+
+enum class ActionKind { kReplicate, kShutdown };
+
+struct Action {
+  std::size_t stage = 0;
+  ActionKind kind = ActionKind::kReplicate;
+};
+
+struct MonitorConfig {
+  /// sl: minimum slack each subtask must maintain, as a fraction of its
+  /// budget (paper: 0.2).
+  double slack_fraction = 0.2;
+  /// Slack above this fraction of the budget counts as "very high".
+  double shutdown_slack_fraction = 0.6;
+  /// Consecutive very-high-slack periods required before shutting a
+  /// replica down.
+  int shutdown_hysteresis = 3;
+  /// Judge stages by the latency the monitor *measures* with per-node
+  /// clocks (true) or by omniscient simulation time (false; for ablation).
+  bool use_measured_latency = true;
+};
+
+class SlackMonitor {
+ public:
+  SlackMonitor(const task::TaskSpec& spec, MonitorConfig config);
+
+  /// Evaluates one period record; returns at most one action per
+  /// replicable stage.
+  std::vector<Action> evaluate(const task::PeriodRecord& record,
+                               const EqfBudgets& budgets,
+                               const task::Placement& placement);
+
+  /// Clears hysteresis state (call after external placement changes).
+  void resetStreaks();
+
+  std::uint64_t periodsEvaluated() const { return evaluated_; }
+
+ private:
+  const task::TaskSpec& spec_;
+  MonitorConfig config_;
+  std::vector<int> high_slack_streak_;
+  std::uint64_t evaluated_ = 0;
+};
+
+}  // namespace rtdrm::core

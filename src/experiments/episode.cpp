@@ -1,0 +1,131 @@
+#include "experiments/episode.hpp"
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+
+namespace rtdrm::experiments {
+
+std::string algorithmName(AlgorithmKind kind) {
+  return kind == AlgorithmKind::kPredictive ? "predictive" : "non-predictive";
+}
+
+EpisodeResult runEpisode(const task::TaskSpec& spec,
+                         const workload::Pattern& pattern,
+                         const core::PredictiveModels& models,
+                         AlgorithmKind algorithm,
+                         const EpisodeConfig& config) {
+  apps::Scenario scenario(config.scenario);
+
+  // The pipeline reads the spec at job-submission time, so mutating this
+  // local copy mid-run changes the ground truth for subsequent instances.
+  task::TaskSpec live_spec = spec;
+  if (config.drift_at_period > 0) {
+    scenario.sim().scheduleAt(
+        SimTime::zero() + spec.period *
+                              static_cast<double>(config.drift_at_period),
+        [&live_spec, scale = config.drift_cost_scale] {
+          for (auto& st : live_spec.subtasks) {
+            if (st.replicable) {
+              st.cost.alpha_ms *= scale;
+              st.cost.beta_ms *= scale;
+            }
+          }
+        });
+  }
+
+  // Initial placement: chain spread round-robin over the nodes, one replica
+  // per subtask (replication is the run-time system's job).
+  std::vector<ProcessorId> homes;
+  homes.reserve(spec.stageCount());
+  for (std::size_t s = 0; s < spec.stageCount(); ++s) {
+    homes.push_back(ProcessorId{
+        static_cast<std::uint32_t>(s % config.scenario.node_count)});
+  }
+
+  std::unique_ptr<core::Allocator> allocator;
+  if (algorithm == AlgorithmKind::kPredictive) {
+    allocator = std::make_unique<core::PredictiveAllocator>(models);
+  } else {
+    allocator = std::make_unique<core::NonPredictiveAllocator>(
+        config.nonpredictive_threshold);
+  }
+
+  core::ResourceManager manager(
+      scenario.runtime(), live_spec, task::Placement(homes),
+      [&pattern](std::uint64_t period) { return pattern.at(period); },
+      std::move(allocator), models, config.manager,
+      scenario.streams().get("exec-noise"));
+
+  manager.start(scenario.sim().now());
+  scenario.sim().runFor(spec.period * static_cast<double>(config.periods));
+  manager.stop();
+  scenario.sim().runFor(spec.period * config.drain_periods);
+
+  EpisodeResult out;
+  out.metrics = manager.metrics();
+  out.combined = out.metrics.combined(config.scenario.node_count);
+  out.missed_pct = out.metrics.missedRatio() * 100.0;
+  out.cpu_pct = out.metrics.cpu_utilization.mean() * 100.0;
+  out.net_pct = out.metrics.net_utilization.mean() * 100.0;
+  out.avg_replicas = out.metrics.replicas_per_subtask.mean();
+  return out;
+}
+
+std::vector<SweepPoint> runWorkloadSweep(const task::TaskSpec& spec,
+                                         const core::PredictiveModels& models,
+                                         const std::string& pattern,
+                                         const SweepConfig& config) {
+  RTDRM_ASSERT(!config.max_workload_units.empty());
+  std::vector<SweepPoint> points(config.max_workload_units.size());
+
+  parallelFor(
+      points.size(),
+      [&](std::size_t i) {
+        const double units = config.max_workload_units[i];
+        workload::RampParams ramp = config.ramp;
+        ramp.max_workload = DataSize::tracks(units * 500.0);
+
+        EpisodeConfig ep = config.episode;
+        // EQF initial conditions track the pattern's starting workload.
+        ep.manager.d_init = pattern == "decreasing" ? ramp.max_workload
+                                                    : ramp.min_workload;
+
+        const auto pat = workload::makeFig8Pattern(pattern, ramp);
+        SweepPoint& pt = points[i];
+        pt.max_workload_units = units;
+
+        auto averaged = [&](AlgorithmKind kind) {
+          if (config.replications <= 1) {
+            return runEpisode(spec, *pat, models, kind, ep);
+          }
+          EpisodeResult mean;
+          for (std::size_t r = 0; r < config.replications; ++r) {
+            EpisodeConfig rep = ep;
+            rep.scenario.seed = ep.scenario.seed + r;
+            const EpisodeResult one = runEpisode(spec, *pat, models, kind,
+                                                 rep);
+            mean.missed_pct += one.missed_pct;
+            mean.cpu_pct += one.cpu_pct;
+            mean.net_pct += one.net_pct;
+            mean.avg_replicas += one.avg_replicas;
+            mean.combined += one.combined;
+            if (r == 0) {
+              mean.metrics = one.metrics;  // representative first replicate
+            }
+          }
+          const auto n = static_cast<double>(config.replications);
+          mean.missed_pct /= n;
+          mean.cpu_pct /= n;
+          mean.net_pct /= n;
+          mean.avg_replicas /= n;
+          mean.combined /= n;
+          return mean;
+        };
+        pt.predictive = averaged(AlgorithmKind::kPredictive);
+        pt.non_predictive = averaged(AlgorithmKind::kNonPredictive);
+      },
+      config.parallel ? 0 : 1);
+  return points;
+}
+
+}  // namespace rtdrm::experiments

@@ -1,0 +1,88 @@
+// Whole-system evaluation episodes (paper §5.2).
+//
+// One episode = one workload pattern driven through the full stack —
+// scenario (cluster + Ethernet + clocks), task pipeline, resource manager
+// with one of the two allocators — for a fixed number of periods, yielding
+// the metrics of Figs. 9-13. Sweeps run many episodes across max-workload
+// levels; points are independent and execute in parallel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/scenario.hpp"
+#include "core/manager.hpp"
+#include "core/metrics.hpp"
+#include "core/models.hpp"
+#include "task/spec.hpp"
+#include "workload/patterns.hpp"
+
+namespace rtdrm::experiments {
+
+enum class AlgorithmKind { kPredictive, kNonPredictive };
+
+std::string algorithmName(AlgorithmKind kind);
+
+struct EpisodeConfig {
+  apps::ScenarioConfig scenario{};
+  std::uint64_t periods = 72;
+  /// Extra drain time after the last release, in periods.
+  double drain_periods = 3.0;
+  core::ManagerConfig manager{};
+  /// UT for the non-predictive allocator (Table 1: 20%).
+  Utilization nonpredictive_threshold = Utilization::percent(20.0);
+  /// Optional environmental drift: at period `drift_at_period` (> 0) the
+  /// ground-truth cost of every replicable subtask is scaled by
+  /// `drift_cost_scale` — new instances run at the new cost, while the
+  /// offline models keep predicting the old one (pair with
+  /// manager.online_refit to study a-posteriori refinement).
+  std::uint64_t drift_at_period = 0;
+  double drift_cost_scale = 1.0;
+};
+
+struct EpisodeResult {
+  core::EpisodeMetrics metrics;
+  double combined = 0.0;       ///< the paper's C metric
+  double missed_pct = 0.0;     ///< missed-deadline ratio, percent
+  double cpu_pct = 0.0;        ///< mean CPU utilization, percent
+  double net_pct = 0.0;        ///< mean network utilization, percent
+  double avg_replicas = 0.0;   ///< mean replicas per replicable subtask
+};
+
+/// Runs one episode. The same (spec, pattern, seed) with different
+/// algorithms sees identical workloads and noise streams — paired
+/// comparison, as in the paper's per-point experiments.
+EpisodeResult runEpisode(const task::TaskSpec& spec,
+                         const workload::Pattern& pattern,
+                         const core::PredictiveModels& models,
+                         AlgorithmKind algorithm, const EpisodeConfig& config);
+
+/// One x-axis point of Figs. 9-13: both algorithms at one max workload.
+struct SweepPoint {
+  double max_workload_units = 0.0;  ///< in scale units of 500 tracks
+  EpisodeResult predictive;
+  EpisodeResult non_predictive;
+};
+
+struct SweepConfig {
+  EpisodeConfig episode{};
+  workload::RampParams ramp{};  ///< min workload & ramp length; max is swept
+  /// Max-workload grid in scale units of 500 tracks (paper: 2..34).
+  std::vector<double> max_workload_units{2,  4,  6,  8,  10, 12, 14, 16, 18,
+                                         20, 22, 24, 26, 28, 30, 32, 34};
+  /// Episodes per point per algorithm; > 1 averages across seeds
+  /// (base seed + r), smoothing the curves the paper draws from single
+  /// runs.
+  std::size_t replications = 1;
+  bool parallel = true;
+};
+
+/// Runs both algorithms at every max-workload level of the given Fig. 8
+/// pattern ("increasing" | "decreasing" | "triangular").
+std::vector<SweepPoint> runWorkloadSweep(const task::TaskSpec& spec,
+                                         const core::PredictiveModels& models,
+                                         const std::string& pattern,
+                                         const SweepConfig& config);
+
+}  // namespace rtdrm::experiments

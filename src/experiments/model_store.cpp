@@ -1,0 +1,45 @@
+#include "experiments/model_store.hpp"
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+
+namespace rtdrm::experiments {
+
+ModelFitConfig defaultModelFitConfig() {
+  ModelFitConfig cfg;
+  cfg.exec.data_sizes = profile::paperDataGrid();
+  cfg.comm.workload_levels = profile::defaultCommGrid();
+  return cfg;
+}
+
+FittedModelSet fitAllModels(const task::TaskSpec& spec,
+                            const ModelFitConfig& config) {
+  RTDRM_ASSERT(!config.exec.data_sizes.empty());
+  FittedModelSet out;
+  const std::size_t n = spec.stageCount();
+  out.exec_fits.resize(n);
+
+  parallelFor(
+      n,
+      [&](std::size_t i) {
+        profile::ExecProfileConfig cfg = config.exec;
+        cfg.seed = config.exec.seed + i;  // independent streams per subtask
+        const auto samples = profile::profileExecution(spec.subtasks[i], cfg);
+        out.exec_fits[i] = config.two_stage
+                               ? regress::fitExecModelTwoStage(samples)
+                               : regress::fitExecModelJoint(samples);
+      },
+      config.parallel ? 0 : 1);
+
+  out.models.exec.reserve(n);
+  for (const auto& fit : out.exec_fits) {
+    out.models.exec.push_back(fit.model);
+  }
+
+  out.comm_fit = profile::profileAndFitBufferDelay(spec, config.comm);
+  out.models.comm.buffer = out.comm_fit.model;
+  out.models.comm.link_rate = config.link_rate;
+  return out;
+}
+
+}  // namespace rtdrm::experiments

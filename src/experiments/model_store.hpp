@@ -1,0 +1,46 @@
+// One-stop model fitting for a task spec.
+//
+// Runs the execution-latency profiling campaign for every subtask and the
+// buffer-delay campaign for the chain, then fits the paper's regression
+// models. Benches fit once and reuse the result across a whole sweep (the
+// paper likewise profiles once, offline).
+#pragma once
+
+#include <vector>
+
+#include "core/models.hpp"
+#include "profile/comm_profiler.hpp"
+#include "profile/exec_profiler.hpp"
+#include "regress/comm_model.hpp"
+#include "regress/exec_model.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::experiments {
+
+struct FittedModelSet {
+  core::PredictiveModels models;
+  /// Per-subtask fit details (two-stage; index = stage).
+  std::vector<regress::ExecModelFit> exec_fits;
+  regress::BufferDelayFit comm_fit;
+};
+
+struct ModelFitConfig {
+  profile::ExecProfileConfig exec{};
+  profile::CommProfileConfig comm{};
+  /// Link rate for the Dtrans term of the fitted CommDelayModel.
+  BitRate link_rate = BitRate::mbps(100.0);
+  /// Fit exec models with the paper's two-stage procedure (true) or the
+  /// joint 6-parameter fit (false).
+  bool two_stage = true;
+  /// Profile subtasks in parallel (independent mini-simulations).
+  bool parallel = true;
+};
+
+/// Sensible defaults: the paper's (d, u) grid for exec profiling and the
+/// default workload grid for the buffer-delay campaign.
+ModelFitConfig defaultModelFitConfig();
+
+FittedModelSet fitAllModels(const task::TaskSpec& spec,
+                            const ModelFitConfig& config);
+
+}  // namespace rtdrm::experiments

@@ -1,0 +1,79 @@
+#include "experiments/replication.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+
+namespace rtdrm::experiments {
+
+double tCritical95(std::size_t df) {
+  // Two-sided alpha = 0.05 critical values of Student's t.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  if (df == 0) {
+    return 0.0;
+  }
+  if (df <= 30) {
+    return kTable[df - 1];
+  }
+  return 1.96;
+}
+
+ReplicatedMetric summarize(const RunningStats& stats) {
+  ReplicatedMetric out;
+  out.n = stats.count();
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  if (out.n >= 2) {
+    out.ci95_half = tCritical95(out.n - 1) * out.stddev /
+                    std::sqrt(static_cast<double>(out.n));
+  }
+  return out;
+}
+
+ReplicatedResult runReplicatedEpisode(const task::TaskSpec& spec,
+                                      const workload::Pattern& pattern,
+                                      const core::PredictiveModels& models,
+                                      AlgorithmKind algorithm,
+                                      const EpisodeConfig& base,
+                                      std::size_t replications,
+                                      bool parallel) {
+  RTDRM_ASSERT_MSG(replications >= 2,
+                   "confidence intervals need >= 2 replications");
+  std::vector<EpisodeResult> runs(replications);
+  parallelFor(
+      replications,
+      [&](std::size_t r) {
+        EpisodeConfig cfg = base;
+        cfg.scenario.seed = base.scenario.seed + r;
+        runs[r] = runEpisode(spec, pattern, models, algorithm, cfg);
+      },
+      parallel ? 0 : 1);
+
+  RunningStats missed;
+  RunningStats cpu;
+  RunningStats net;
+  RunningStats replicas;
+  RunningStats combined;
+  for (const auto& r : runs) {
+    missed.add(r.missed_pct);
+    cpu.add(r.cpu_pct);
+    net.add(r.net_pct);
+    replicas.add(r.avg_replicas);
+    combined.add(r.combined);
+  }
+  return ReplicatedResult{summarize(missed), summarize(cpu), summarize(net),
+                          summarize(replicas), summarize(combined)};
+}
+
+bool significantlyDifferent(const ReplicatedMetric& a,
+                            const ReplicatedMetric& b) {
+  return a.hi() < b.lo() || b.hi() < a.lo();
+}
+
+}  // namespace rtdrm::experiments

@@ -1,0 +1,56 @@
+// Replicated episodes with confidence intervals.
+//
+// The paper's Figs. 9-13 plot one experiment per point. For statements
+// like "predictive beats non-predictive at workload W" to carry
+// statistical weight, this extension re-runs each episode across
+// independent seeds and reports mean, sample stddev, and a Student-t 95%
+// confidence half-width for every metric.
+#pragma once
+
+#include <cstddef>
+
+#include "experiments/episode.hpp"
+
+namespace rtdrm::experiments {
+
+struct ReplicatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half = 0.0;  ///< Student-t 95% half-width of the mean
+  std::size_t n = 0;
+
+  double lo() const { return mean - ci95_half; }
+  double hi() const { return mean + ci95_half; }
+};
+
+struct ReplicatedResult {
+  ReplicatedMetric missed_pct;
+  ReplicatedMetric cpu_pct;
+  ReplicatedMetric net_pct;
+  ReplicatedMetric avg_replicas;
+  ReplicatedMetric combined;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (exact table through df = 30, 1.96 beyond).
+double tCritical95(std::size_t df);
+
+/// Summarizes a sample into a ReplicatedMetric.
+ReplicatedMetric summarize(const RunningStats& stats);
+
+/// Runs `replications` episodes with seeds base.scenario.seed + r, in
+/// parallel. Requires replications >= 2.
+ReplicatedResult runReplicatedEpisode(const task::TaskSpec& spec,
+                                      const workload::Pattern& pattern,
+                                      const core::PredictiveModels& models,
+                                      AlgorithmKind algorithm,
+                                      const EpisodeConfig& base,
+                                      std::size_t replications,
+                                      bool parallel = true);
+
+/// True when the two means differ beyond their combined 95% intervals
+/// (a conservative non-overlap test).
+bool significantlyDifferent(const ReplicatedMetric& a,
+                            const ReplicatedMetric& b);
+
+}  // namespace rtdrm::experiments

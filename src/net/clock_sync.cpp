@@ -1,0 +1,69 @@
+#include "net/clock_sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::net {
+
+ClockFabric::ClockFabric(sim::Simulator& simulator, std::size_t node_count,
+                         Xoshiro256 rng, ClockSyncConfig config)
+    : sim_(simulator),
+      rng_(rng),
+      config_(config),
+      sync_(simulator, config.sync_period,
+            [this](std::uint64_t) { syncRound(); }) {
+  RTDRM_ASSERT(node_count > 0);
+  clocks_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const double off =
+        rng_.uniform(-config_.initial_offset_max.ms(),
+                     config_.initial_offset_max.ms());
+    const double ppm =
+        rng_.uniform(-config_.drift_ppm_max, config_.drift_ppm_max);
+    clocks_.emplace_back(SimDuration::millis(off), ppm);
+  }
+}
+
+const DriftingClock& ClockFabric::clock(ProcessorId id) const {
+  RTDRM_ASSERT(id.value < clocks_.size());
+  return clocks_[id.value];
+}
+
+SimTime ClockFabric::localNow(ProcessorId id) const {
+  return clock(id).local(sim_.now());
+}
+
+SimDuration ClockFabric::measure(ProcessorId start_node, SimTime true_start,
+                                 ProcessorId end_node,
+                                 SimTime true_end) const {
+  const SimTime a = clock(start_node).local(true_start);
+  const SimTime b = clock(end_node).local(true_end);
+  return b - a;
+}
+
+void ClockFabric::startSync() { sync_.start(sim_.now()); }
+
+void ClockFabric::syncRound() {
+  pre_sync_stats_.add(worstOffsetNow().ms());
+  const SimTime t = sim_.now();
+  for (auto& c : clocks_) {
+    // Estimated offset = true offset + estimation noise; stepping by the
+    // estimate leaves the noise as the residual error.
+    const SimDuration estimate =
+        c.offsetAt(t) +
+        SimDuration::millis(rng_.normal(0.0, config_.estimate_noise.ms()));
+    c.correct(estimate);
+  }
+}
+
+SimDuration ClockFabric::worstOffsetNow() const {
+  double worst = 0.0;
+  for (const auto& c : clocks_) {
+    worst = std::max(worst, std::abs(c.offsetAt(sim_.now()).ms()));
+  }
+  return SimDuration::millis(worst);
+}
+
+}  // namespace rtdrm::net

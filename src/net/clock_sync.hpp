@@ -1,0 +1,100 @@
+// Per-node drifting clocks and a periodic synchronization service.
+//
+// The paper's system model (item 12) assumes processor clocks synchronized
+// with an algorithm such as Mills' NTP [Mills95]. We model each node's clock
+// as true time plus an offset that drifts at a constant ppm rate, and a sync
+// service that periodically estimates and corrects each offset against a
+// reference node, with estimation noise standing in for RTT asymmetry.
+//
+// The run-time monitor timestamps subtask start/end on (possibly different)
+// nodes with *local* clocks; the residual sync error therefore perturbs its
+// latency measurements exactly as it would on real hardware — and its
+// magnitude is an ablation knob (DESIGN.md §6.6).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::net {
+
+/// One node's clock: local(t) = t + offset0 + drift_ppm * 1e-6 * t,
+/// with step corrections applied by the sync service.
+class DriftingClock {
+ public:
+  DriftingClock(SimDuration initial_offset, double drift_ppm)
+      : offset_(initial_offset), drift_ppm_(drift_ppm) {}
+
+  /// Local reading at true simulation time `t`.
+  SimTime local(SimTime t) const {
+    return SimTime::millis(t.ms() + offset_.ms() + drift_ppm_ * 1e-6 * t.ms());
+  }
+
+  /// True offset (local - true) at true time `t`.
+  SimDuration offsetAt(SimTime t) const {
+    return SimDuration::millis(offset_.ms() + drift_ppm_ * 1e-6 * t.ms());
+  }
+
+  /// Step the clock by `-correction` (applied by the sync service).
+  void correct(SimDuration correction) { offset_ -= correction; }
+
+  double driftPpm() const { return drift_ppm_; }
+
+ private:
+  SimDuration offset_;
+  double drift_ppm_;
+};
+
+struct ClockSyncConfig {
+  /// Re-synchronization interval.
+  SimDuration sync_period = SimDuration::seconds(10.0);
+  /// Std-dev of the offset estimation error per sync round (models RTT
+  /// asymmetry); typical LAN NTP achieves well under a millisecond.
+  SimDuration estimate_noise = SimDuration::micros(50.0);
+  /// Initial offsets drawn uniform in [-max, +max].
+  SimDuration initial_offset_max = SimDuration::millis(5.0);
+  /// Drift rates drawn uniform in [-max, +max] ppm.
+  double drift_ppm_max = 50.0;
+};
+
+/// Owns every node's clock plus the periodic sync activity.
+class ClockFabric {
+ public:
+  ClockFabric(sim::Simulator& simulator, std::size_t node_count,
+              Xoshiro256 rng, ClockSyncConfig config = {});
+
+  std::size_t size() const { return clocks_.size(); }
+  const DriftingClock& clock(ProcessorId id) const;
+
+  /// Local clock reading on node `id` at the current true time.
+  SimTime localNow(ProcessorId id) const;
+
+  /// An interval measured with local timestamps: end read on `end_node`,
+  /// start read on `start_node`. Residual sync error appears here.
+  SimDuration measure(ProcessorId start_node, SimTime true_start,
+                      ProcessorId end_node, SimTime true_end) const;
+
+  /// Start the periodic synchronization (first round immediately).
+  void startSync();
+  void stopSync() { sync_.stop(); }
+
+  /// |local - true| of the worst node at the current time.
+  SimDuration worstOffsetNow() const;
+  /// Statistics of worst offsets observed at each sync round (pre-correction).
+  const RunningStats& preSyncOffsetStats() const { return pre_sync_stats_; }
+
+ private:
+  void syncRound();
+
+  sim::Simulator& sim_;
+  Xoshiro256 rng_;
+  ClockSyncConfig config_;
+  std::vector<DriftingClock> clocks_;
+  sim::PeriodicActivity sync_;
+  RunningStats pre_sync_stats_;
+};
+
+}  // namespace rtdrm::net

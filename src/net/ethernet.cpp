@@ -1,0 +1,166 @@
+#include "net/ethernet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::net {
+
+Ethernet::Ethernet(sim::Simulator& simulator, std::size_t node_count,
+                   EthernetConfig config)
+    : sim_(simulator),
+      config_(config),
+      nics_(node_count),
+      marshal_busy_until_(node_count, SimTime::zero()),
+      payload_bytes_from_(node_count, 0.0) {
+  RTDRM_ASSERT(node_count > 0);
+  RTDRM_ASSERT(config_.mtu > Bytes::zero());
+  RTDRM_ASSERT(config_.rate.bitsPerSecond() > 0.0);
+  RTDRM_ASSERT(config_.host_ns_per_byte >= 0.0);
+}
+
+void Ethernet::send(Message msg) {
+  RTDRM_ASSERT(msg.src.value < nics_.size());
+  RTDRM_ASSERT(msg.dst.value < nics_.size());
+  RTDRM_ASSERT(msg.payload >= Bytes::zero());
+
+  if (msg.src == msg.dst) {
+    // Same-node delivery: shared memory hand-off, no wire involvement.
+    const MessageReceipt receipt{sim_.now(), sim_.now(),
+                                 sim_.now() + config_.propagation,
+                                 msg.payload};
+    auto cb = std::move(msg.on_delivered);
+    ++delivered_;
+    sim_.scheduleAfter(config_.propagation, [cb = std::move(cb), receipt] {
+      if (cb) {
+        cb(receipt);
+      }
+    });
+    return;
+  }
+
+  Pending p{std::move(msg), sim_.now(), sim_.now(), Bytes::zero(), false};
+  p.remaining = p.msg.payload;
+  const std::size_t nic = p.msg.src.value;
+
+  // Host marshalling stage (sequential per NIC): the message becomes
+  // wire-eligible only after the protocol stack has processed its bytes.
+  const SimDuration marshal = SimDuration::millis(
+      config_.host_ns_per_byte * p.msg.payload.count() * 1e-6);
+  const SimTime start =
+      std::max(sim_.now(), marshal_busy_until_[nic]);
+  const SimTime done = start + marshal;
+  marshal_busy_until_[nic] = done;
+  if (done <= sim_.now()) {
+    onMarshalled(nic, std::move(p));
+  } else {
+    sim_.scheduleAt(done, [this, nic, p = std::move(p)]() mutable {
+      onMarshalled(nic, std::move(p));
+    });
+  }
+}
+
+void Ethernet::onMarshalled(std::size_t nic, Pending p) {
+  nics_[nic].push_back(std::move(p));
+  arbitrate();
+}
+
+Bytes Ethernet::frameChunk(const Pending& p) const {
+  return std::min(config_.mtu, std::max(p.remaining, Bytes::zero()));
+}
+
+SimDuration Ethernet::frameTime(const Pending& p) const {
+  // Short payloads are padded to the Ethernet minimum on the wire.
+  const Bytes chunk = std::max(frameChunk(p), config_.min_payload);
+  return config_.rate.transmissionTime(chunk + config_.frame_overhead);
+}
+
+void Ethernet::arbitrate() {
+  if (bus_busy_) {
+    return;
+  }
+  // Round-robin scan for a backlogged NIC, starting after the last served.
+  const std::size_t n = nics_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t nic = (rr_next_ + k) % n;
+    if (nics_[nic].empty()) {
+      continue;
+    }
+    Pending& p = nics_[nic].front();
+    if (!p.started) {
+      p.started = true;
+      p.first_bit = sim_.now();
+    }
+    bus_busy_ = true;
+    busy_since_ = sim_.now();
+    rr_next_ = (nic + 1) % n;
+    ++frames_;
+    sim_.scheduleAfter(frameTime(p), [this, nic] { onFrameEnd(nic); });
+    return;
+  }
+}
+
+void Ethernet::onFrameEnd(std::size_t nic) {
+  RTDRM_ASSERT(bus_busy_ && !nics_[nic].empty());
+  busy_accum_ += sim_.now() - busy_since_;
+  bus_busy_ = false;
+
+  Pending& p = nics_[nic].front();
+  const Bytes chunk = frameChunk(p);
+  p.remaining = p.remaining - chunk;
+  payload_bytes_ += chunk.count();
+  payload_bytes_from_[nic] += chunk.count();
+
+  if (p.remaining <= Bytes::zero()) {
+    const MessageReceipt receipt{p.enqueued, p.first_bit,
+                                 sim_.now() + config_.propagation,
+                                 p.msg.payload};
+    auto cb = std::move(p.msg.on_delivered);
+    nics_[nic].pop_front();
+    ++delivered_;
+    sim_.scheduleAfter(config_.propagation, [cb = std::move(cb), receipt] {
+      if (cb) {
+        cb(receipt);
+      }
+    });
+  }
+  arbitrate();
+}
+
+SimDuration Ethernet::busyTime() const {
+  if (!bus_busy_) {
+    return busy_accum_;
+  }
+  return busy_accum_ + (sim_.now() - busy_since_);
+}
+
+double Ethernet::payloadBytesFrom(ProcessorId nic) const {
+  RTDRM_ASSERT(nic.value < payload_bytes_from_.size());
+  return payload_bytes_from_[nic.value];
+}
+
+std::size_t Ethernet::backloggedMessages() const {
+  std::size_t total = 0;
+  for (const auto& q : nics_) {
+    total += q.size();
+  }
+  return total;
+}
+
+Utilization NetworkProbe::peek() const {
+  const SimDuration window = sim_.now() - last_t_;
+  if (window <= SimDuration::zero()) {
+    return Utilization::zero();
+  }
+  return Utilization::fraction((net_.busyTime() - last_busy_) / window);
+}
+
+Utilization NetworkProbe::sample() {
+  const Utilization u = peek();
+  last_t_ = sim_.now();
+  last_busy_ = net_.busyTime();
+  return u;
+}
+
+}  // namespace rtdrm::net

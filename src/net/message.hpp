@@ -1,0 +1,36 @@
+// Inter-subtask message types for the shared-medium network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace rtdrm::net {
+
+/// Delivery receipt passed to the sender's completion callback; the
+/// decomposition mirrors eq. (4): buffer delay (enqueue -> first bit) plus
+/// transmission time (first bit -> delivered).
+struct MessageReceipt {
+  SimTime enqueued;
+  SimTime first_bit;
+  SimTime delivered;
+  Bytes payload;
+
+  SimDuration bufferDelay() const { return first_bit - enqueued; }
+  SimDuration transferDelay() const { return delivered - first_bit; }
+  SimDuration totalDelay() const { return delivered - enqueued; }
+};
+
+struct Message {
+  ProcessorId src;
+  ProcessorId dst;
+  Bytes payload;
+  /// Diagnostic label, e.g. "m3 T1". Not interpreted.
+  std::string tag;
+  /// Invoked when the last frame of the message has been received.
+  std::function<void(const MessageReceipt&)> on_delivered;
+};
+
+}  // namespace rtdrm::net

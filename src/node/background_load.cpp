@@ -1,0 +1,58 @@
+#include "node/background_load.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::node {
+
+BackgroundLoad::BackgroundLoad(sim::Simulator& simulator, Processor& cpu,
+                               Xoshiro256 rng, BackgroundLoadConfig config)
+    : sim_(simulator), cpu_(cpu), rng_(rng), config_(config) {
+  RTDRM_ASSERT(config_.mean_service > SimDuration::zero());
+}
+
+BackgroundLoad::~BackgroundLoad() {
+  if (armed_) {
+    sim_.cancel(pending_);
+  }
+}
+
+void BackgroundLoad::setTarget(Utilization target) {
+  target_ = Utilization::fraction(std::min(target.value(), 0.95));
+  if (target_.value() <= 0.0) {
+    if (armed_) {
+      sim_.cancel(pending_);
+      armed_ = false;
+    }
+    return;
+  }
+  if (!armed_) {
+    armNextArrival();
+  }
+}
+
+void BackgroundLoad::armNextArrival() {
+  const double mean_interarrival_ms =
+      config_.mean_service.ms() / target_.value();
+  const SimDuration gap =
+      SimDuration::millis(rng_.exponentialMean(mean_interarrival_ms));
+  armed_ = true;
+  pending_ = sim_.scheduleAfter(gap, [this] { onArrival(); });
+}
+
+void BackgroundLoad::onArrival() {
+  armed_ = false;
+  const double mean = config_.mean_service.ms();
+  const double demand_ms = config_.exponential_service
+                               ? rng_.exponentialMean(mean)
+                               : rng_.uniform(0.5 * mean, 1.5 * mean);
+  cpu_.submit(Job{SimDuration::millis(demand_ms), nullptr, "bg",
+                  config_.priority});
+  ++injected_;
+  if (target_.value() > 0.0) {
+    armNextArrival();
+  }
+}
+
+}  // namespace rtdrm::node

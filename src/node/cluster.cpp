@@ -1,0 +1,102 @@
+#include "node/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::node {
+
+Cluster::Cluster(sim::Simulator& simulator, std::size_t node_count,
+                 ProcessorConfig cpu_config,
+                 const std::vector<double>& speeds)
+    : sim_(simulator) {
+  RTDRM_ASSERT(node_count > 0);
+  RTDRM_ASSERT_MSG(speeds.empty() || speeds.size() == node_count,
+                   "speeds must be empty or one per node");
+  cpus_.reserve(node_count);
+  probes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    ProcessorConfig cfg = cpu_config;
+    if (!speeds.empty()) {
+      cfg.speed = speeds[i];
+    }
+    cpus_.push_back(std::make_unique<Processor>(
+        simulator, ProcessorId{static_cast<std::uint32_t>(i)}, cfg));
+    probes_.emplace_back(simulator, *cpus_.back());
+  }
+  last_sample_.assign(node_count, Utilization::zero());
+}
+
+Processor& Cluster::processor(ProcessorId id) {
+  RTDRM_ASSERT(id.value < cpus_.size());
+  return *cpus_[id.value];
+}
+
+const Processor& Cluster::processor(ProcessorId id) const {
+  RTDRM_ASSERT(id.value < cpus_.size());
+  return *cpus_[id.value];
+}
+
+std::vector<ProcessorId> Cluster::ids() const {
+  std::vector<ProcessorId> out;
+  out.reserve(cpus_.size());
+  for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+    out.push_back(ProcessorId{i});
+  }
+  return out;
+}
+
+void Cluster::attachBackgroundLoad(const RngStreams& streams,
+                                   BackgroundLoadConfig config) {
+  RTDRM_ASSERT_MSG(bg_.empty(), "background load already attached");
+  bg_.reserve(cpus_.size());
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    bg_.push_back(std::make_unique<BackgroundLoad>(
+        sim_, *cpus_[i], streams.get("bg-load", i), config));
+  }
+}
+
+BackgroundLoad& Cluster::backgroundLoad(ProcessorId id) {
+  RTDRM_ASSERT(hasBackgroundLoad() && id.value < bg_.size());
+  return *bg_[id.value];
+}
+
+const std::vector<Utilization>& Cluster::sampleUtilization() {
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    last_sample_[i] = probes_[i].sample();
+  }
+  return last_sample_;
+}
+
+Utilization Cluster::lastUtilization(ProcessorId id) const {
+  RTDRM_ASSERT(id.value < last_sample_.size());
+  return last_sample_[id.value];
+}
+
+Utilization Cluster::meanUtilization() const {
+  double sum = 0.0;
+  for (const auto& u : last_sample_) {
+    sum += u.value();
+  }
+  return Utilization::fraction(sum / static_cast<double>(last_sample_.size()));
+}
+
+std::optional<ProcessorId> Cluster::leastUtilized(
+    const std::vector<ProcessorId>& exclude) const {
+  std::optional<ProcessorId> best;
+  double best_u = 0.0;
+  for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+    const ProcessorId id{i};
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+    const double u = last_sample_[i].value();
+    if (!best || u < best_u) {
+      best = id;
+      best_u = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace rtdrm::node

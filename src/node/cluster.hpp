@@ -1,0 +1,69 @@
+// A homogeneous cluster of processors (Table 1: 6 nodes).
+//
+// Owns the processors, their per-node background-load generators, and the
+// utilization probes the resource manager samples each period. The network
+// is deliberately *not* here — it is a separate substrate (src/net) wired
+// alongside by the scenario builder.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "node/background_load.hpp"
+#include "node/processor.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+
+class Cluster {
+ public:
+  /// `speeds` (extension): per-node relative speeds; empty = homogeneous
+  /// at cpu_config.speed (the paper's model). Size must equal node_count
+  /// when non-empty.
+  Cluster(sim::Simulator& simulator, std::size_t node_count,
+          ProcessorConfig cpu_config = {},
+          const std::vector<double>& speeds = {});
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::size_t size() const { return cpus_.size(); }
+  Processor& processor(ProcessorId id);
+  const Processor& processor(ProcessorId id) const;
+
+  /// All processor ids, in index order.
+  std::vector<ProcessorId> ids() const;
+
+  /// Creates one background-load generator per node, each with its own RNG
+  /// stream. Must be called at most once.
+  void attachBackgroundLoad(const RngStreams& streams,
+                            BackgroundLoadConfig config = {});
+  bool hasBackgroundLoad() const { return !bg_.empty(); }
+  BackgroundLoad& backgroundLoad(ProcessorId id);
+
+  /// Samples every node's utilization over the window since the previous
+  /// sample; the result is retained and served by lastUtilization().
+  const std::vector<Utilization>& sampleUtilization();
+  /// Most recent sampled utilization of `id` (zero before first sample).
+  Utilization lastUtilization(ProcessorId id) const;
+  /// Mean of the most recent sample across nodes.
+  Utilization meanUtilization() const;
+
+  /// The least-utilized node (by last sample) not contained in `exclude`.
+  /// Ties break toward the lower node id, matching the deterministic
+  /// "pmin" selection in the paper's Fig. 5 step 3.
+  std::optional<ProcessorId> leastUtilized(
+      const std::vector<ProcessorId>& exclude) const;
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Processor>> cpus_;
+  std::vector<std::unique_ptr<BackgroundLoad>> bg_;
+  std::vector<UtilizationProbe> probes_;
+  std::vector<Utilization> last_sample_;
+};
+
+}  // namespace rtdrm::node

@@ -1,0 +1,35 @@
+// CPU job abstraction executed by a Processor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace rtdrm::node {
+
+/// Identifier assigned by the processor on submission.
+struct JobId {
+  std::uint64_t value = 0;
+  constexpr auto operator<=>(const JobId&) const = default;
+};
+
+/// A unit of CPU work: `demand` milliseconds of pure service time.
+///
+/// Under round-robin sharing with other jobs the *response* time observed
+/// by the submitter exceeds the demand — that inflation is exactly what the
+/// paper's regression model eq. (3) captures as a function of utilization.
+struct Job {
+  /// Pure CPU service demand (time on an otherwise idle processor).
+  SimDuration demand = SimDuration::zero();
+  /// Invoked when the job finishes. May be empty.
+  std::function<void()> on_complete;
+  /// Diagnostic label ("bg", "st3/r1", ...). Not interpreted.
+  std::string tag;
+  /// Scheduling priority under SchedPolicy::kPriority: smaller value runs
+  /// first and preempts larger ones. Ignored by RR/FIFO.
+  int priority = 0;
+};
+
+}  // namespace rtdrm::node

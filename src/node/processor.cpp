@@ -1,0 +1,163 @@
+#include "node/processor.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::node {
+
+namespace {
+// Jobs whose residual demand falls below this are complete (guards against
+// floating-point dust from repeated quantum subtraction).
+constexpr double kResidualEpsMs = 1e-9;
+}  // namespace
+
+Processor::Processor(sim::Simulator& simulator, ProcessorId id,
+                     ProcessorConfig config)
+    : sim_(simulator), id_(id), config_(config) {
+  RTDRM_ASSERT(config_.quantum > SimDuration::zero());
+  RTDRM_ASSERT(config_.context_switch >= SimDuration::zero());
+  RTDRM_ASSERT(config_.speed > 0.0);
+}
+
+JobId Processor::submit(Job job) {
+  RTDRM_ASSERT(job.demand >= SimDuration::zero());
+  const JobId id{next_job_++};
+  const int prio = job.priority;
+  // Demand is reference-speed CPU time; this node serves it at its own
+  // speed, so the resident's remaining counter is wall service time.
+  const SimDuration wall = job.demand / config_.speed;
+  queue_.push_back(Resident{id, wall, std::move(job)});
+  if (!running_) {
+    dispatch();
+  } else if (config_.policy == SchedPolicy::kRoundRobin &&
+             stretch_len_ > config_.quantum + config_.context_switch) {
+    // The running job held an extended (uncontended) stretch; contention has
+    // arrived, so truncate it and fall back to quantum-granular slicing.
+    settleRunningStretch();
+    dispatch();
+  } else if (config_.policy == SchedPolicy::kPriority &&
+             prio < queue_.front().job.priority) {
+    // Preemptive priority: the newcomer outranks the running job.
+    settleRunningStretch();
+    dispatch();
+  }
+  return id;
+}
+
+bool Processor::abort(JobId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) {
+      continue;
+    }
+    const bool is_running = running_ && it == queue_.begin();
+    if (is_running) {
+      settleRunningStretch();
+    }
+    queue_.erase(it);
+    ++jobs_aborted_;
+    if (is_running) {
+      dispatch();
+    }
+    return true;
+  }
+  return false;
+}
+
+SimDuration Processor::busyTime() const {
+  if (!running_) {
+    return busy_accum_;
+  }
+  return busy_accum_ + (sim_.now() - stretch_start_);
+}
+
+void Processor::dispatch() {
+  if (running_ || queue_.empty()) {
+    return;
+  }
+  if (config_.policy == SchedPolicy::kPriority && queue_.size() > 1) {
+    // Bring the best-ranked job (lowest priority value; FIFO among equals)
+    // to the front. Stable: the scan keeps the earliest of equal rank.
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      if (it->job.priority < best->job.priority) {
+        best = it;
+      }
+    }
+    if (best != queue_.begin()) {
+      Resident r = std::move(*best);
+      queue_.erase(best);
+      queue_.push_front(std::move(r));
+    }
+  }
+  Resident& head = queue_.front();
+  SimDuration service;
+  if (config_.policy != SchedPolicy::kRoundRobin || queue_.size() == 1) {
+    service = head.remaining;  // run to completion / uncontended stretch
+  } else {
+    service = std::min(config_.quantum, head.remaining);
+  }
+  stretch_len_ = service + config_.context_switch;
+  stretch_start_ = sim_.now();
+  running_ = true;
+  stretch_event_ =
+      sim_.scheduleAfter(stretch_len_, [this] { onStretchEnd(); });
+}
+
+void Processor::onStretchEnd() {
+  RTDRM_ASSERT(running_ && !queue_.empty());
+  busy_accum_ += stretch_len_;
+  Resident& head = queue_.front();
+  head.remaining -= stretch_len_ - config_.context_switch;
+  running_ = false;
+
+  if (head.remaining.ms() <= kResidualEpsMs) {
+    Job done = std::move(head.job);
+    queue_.pop_front();
+    ++jobs_completed_;
+    if (done.on_complete) {
+      done.on_complete();
+    }
+  } else if (queue_.size() > 1) {
+    // Round-robin rotation: expired quantum goes to the tail.
+    Resident r = std::move(queue_.front());
+    queue_.pop_front();
+    queue_.push_back(std::move(r));
+  }
+  dispatch();
+}
+
+void Processor::settleRunningStretch() {
+  RTDRM_ASSERT(running_ && !queue_.empty());
+  const SimDuration elapsed = sim_.now() - stretch_start_;
+  busy_accum_ += elapsed;
+  const SimDuration consumed =
+      std::max(SimDuration::zero(), elapsed - config_.context_switch);
+  queue_.front().remaining -= consumed;
+  // Residual dust: clamp at zero so the job completes on its next stretch.
+  if (queue_.front().remaining < SimDuration::zero()) {
+    queue_.front().remaining = SimDuration::zero();
+  }
+  sim_.cancel(stretch_event_);
+  running_ = false;
+}
+
+Utilization UtilizationProbe::peek() const {
+  const SimDuration window = sim_.now() - last_t_;
+  if (window <= SimDuration::zero()) {
+    return Utilization::zero();
+  }
+  const SimDuration busy = cpu_.busyTime() - last_busy_;
+  return Utilization::fraction(busy / window);
+}
+
+Utilization UtilizationProbe::sample() {
+  const Utilization u = peek();
+  last_t_ = sim_.now();
+  last_busy_ = cpu_.busyTime();
+  return u;
+}
+
+}  // namespace rtdrm::node

@@ -1,0 +1,79 @@
+#include "profile/comm_profiler.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "task/task_runner.hpp"
+
+namespace rtdrm::profile {
+
+std::vector<DataSize> defaultCommGrid() {
+  std::vector<DataSize> grid;
+  for (double tracks = 500.0; tracks <= 12000.0; tracks += 500.0) {
+    grid.push_back(DataSize::tracks(tracks));
+  }
+  return grid;
+}
+
+std::vector<regress::CommSample> profileBufferDelay(
+    const task::TaskSpec& spec, const CommProfileConfig& config) {
+  RTDRM_ASSERT(!config.workload_levels.empty());
+  RTDRM_ASSERT(config.periods_per_level > config.warmup_periods);
+
+  std::vector<regress::CommSample> samples;
+  for (std::size_t li = 0; li < config.workload_levels.size(); ++li) {
+    const DataSize level = config.workload_levels[li];
+
+    // Fresh testbed per level so levels are statistically independent.
+    RngStreams streams(config.seed + li);
+    sim::Simulator sim;
+    node::Cluster cluster(sim, config.node_count, config.cpu);
+    net::Ethernet ethernet(sim, config.node_count, config.ethernet);
+    net::ClockFabric clocks(sim, config.node_count,
+                            streams.get("clock-fabric"), config.clock_sync);
+    clocks.startSync();
+    cluster.attachBackgroundLoad(streams, config.background);
+    for (ProcessorId id : cluster.ids()) {
+      cluster.backgroundLoad(id).setTarget(config.ambient_load);
+    }
+
+    // Spread the chain across nodes so every message crosses the wire.
+    std::vector<ProcessorId> homes;
+    for (std::size_t s = 0; s < spec.stageCount(); ++s) {
+      homes.push_back(
+          ProcessorId{static_cast<std::uint32_t>(s % config.node_count)});
+    }
+
+    task::Runtime rt{sim, cluster, ethernet, clocks};
+    const int warmup = config.warmup_periods;
+    task::TaskRunner runner(
+        rt, spec, task::Placement(homes),
+        [level](std::uint64_t) { return level; },
+        streams.get("exec-noise"), task::PipelineConfig{},
+        [&samples, level, warmup](const task::PeriodRecord& rec) {
+          if (!rec.completed ||
+              rec.period_index < static_cast<std::uint64_t>(warmup)) {
+            return;
+          }
+          for (std::size_t s = 1; s < rec.stages.size(); ++s) {
+            samples.push_back(regress::CommSample{
+                level.hundreds(), rec.stages[s].worst_msg_buffer.ms()});
+          }
+        });
+    runner.start(sim.now());
+    sim.runFor(spec.period * static_cast<double>(config.periods_per_level));
+    runner.stop();
+    // Drain in-flight instances so their records are captured too.
+    sim.runFor(spec.period * 3.0);
+  }
+  return samples;
+}
+
+regress::BufferDelayFit profileAndFitBufferDelay(
+    const task::TaskSpec& spec, const CommProfileConfig& config) {
+  return regress::fitBufferDelay(profileBufferDelay(spec, config));
+}
+
+}  // namespace rtdrm::profile

@@ -1,0 +1,49 @@
+// Buffer-delay profiling (paper §4.2.1.2).
+//
+// "By simulating the execution of the benchmark application on a
+// distributed system under a number of different periodic workload
+// situations, we noticed that Dbuf increases with the increase in the
+// workload" — we do literally that: run the task pipeline at a set of
+// constant workload levels on a fully wired testbed and record the buffer
+// delay each inter-subtask message experienced. fitBufferDelay() then
+// extracts the linear slope k of eq. (5).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/clock_sync.hpp"
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "regress/comm_model.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::profile {
+
+struct CommProfileConfig {
+  /// Constant total periodic workloads to hold the system at (tracks).
+  std::vector<DataSize> workload_levels;
+  int periods_per_level = 16;
+  int warmup_periods = 2;
+  std::size_t node_count = 6;
+  node::ProcessorConfig cpu{};
+  net::EthernetConfig ethernet{};
+  net::ClockSyncConfig clock_sync{};
+  node::BackgroundLoadConfig background{};
+  Utilization ambient_load = Utilization::fraction(0.05);
+  std::uint64_t seed = 11;
+};
+
+/// Default workload grid for the buffer-delay campaign: 500..12000 tracks.
+std::vector<DataSize> defaultCommGrid();
+
+/// One sample per (post-warmup period, message stage): the worst buffer
+/// delay any replica's message saw, against the period's total workload.
+std::vector<regress::CommSample> profileBufferDelay(
+    const task::TaskSpec& spec, const CommProfileConfig& config);
+
+/// Convenience: profile and fit the eq. (5) slope in one call.
+regress::BufferDelayFit profileAndFitBufferDelay(
+    const task::TaskSpec& spec, const CommProfileConfig& config);
+
+}  // namespace rtdrm::profile

@@ -1,0 +1,111 @@
+#include "profile/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace rtdrm::profile {
+
+namespace {
+
+bool parseThreeDoubles(const std::string& line, double& a, double& b,
+                       double& c, bool three) {
+  std::istringstream ss(line);
+  std::string cell;
+  if (!std::getline(ss, cell, ',')) {
+    return false;
+  }
+  try {
+    a = std::stod(cell);
+    if (!std::getline(ss, cell, ',')) {
+      return false;
+    }
+    b = std::stod(cell);
+    if (three) {
+      if (!std::getline(ss, cell, ',')) {
+        return false;
+      }
+      c = std::stod(cell);
+    }
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeExecSamplesCsv(const std::string& path,
+                         const std::vector<regress::ExecSample>& samples) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << "d_hundreds,u,latency_ms\n";
+  for (const auto& s : samples) {
+    f << s.d_hundreds << ',' << s.u << ',' << s.latency_ms << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+bool readExecSamplesCsv(const std::string& path,
+                        std::vector<regress::ExecSample>& out) {
+  out.clear();
+  std::ifstream f(path);
+  if (!f) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(f, line)) {  // header
+    return false;
+  }
+  while (std::getline(f, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    double d = 0.0, u = 0.0, y = 0.0;
+    if (!parseThreeDoubles(line, d, u, y, /*three=*/true)) {
+      return false;
+    }
+    out.push_back(regress::ExecSample{d, u, y});
+  }
+  return true;
+}
+
+bool writeCommSamplesCsv(const std::string& path,
+                         const std::vector<regress::CommSample>& samples) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << "total_workload_hundreds,buffer_delay_ms\n";
+  for (const auto& s : samples) {
+    f << s.total_workload_hundreds << ',' << s.buffer_delay_ms << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+bool readCommSamplesCsv(const std::string& path,
+                        std::vector<regress::CommSample>& out) {
+  out.clear();
+  std::ifstream f(path);
+  if (!f) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(f, line)) {
+    return false;
+  }
+  while (std::getline(f, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    double w = 0.0, y = 0.0, unused = 0.0;
+    if (!parseThreeDoubles(line, w, y, unused, /*three=*/false)) {
+      return false;
+    }
+    out.push_back(regress::CommSample{w, y});
+  }
+  return true;
+}
+
+}  // namespace rtdrm::profile

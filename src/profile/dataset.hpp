@@ -1,0 +1,32 @@
+// Profile-dataset persistence: CSV round-trip for profiling campaigns.
+//
+// The paper's workflow separates the (expensive) measurement campaign from
+// model fitting; persisting datasets lets users re-fit without re-profiling
+// and inspect the raw scatter that figures 2-4 plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "regress/comm_model.hpp"
+#include "regress/exec_model.hpp"
+
+namespace rtdrm::profile {
+
+/// Writes "d_hundreds,u,latency_ms" rows. Returns false on I/O failure.
+bool writeExecSamplesCsv(const std::string& path,
+                         const std::vector<regress::ExecSample>& samples);
+
+/// Parses a CSV produced by writeExecSamplesCsv (header required).
+/// Returns false on I/O or parse failure; `out` is cleared first.
+bool readExecSamplesCsv(const std::string& path,
+                        std::vector<regress::ExecSample>& out);
+
+/// Writes "total_workload_hundreds,buffer_delay_ms" rows.
+bool writeCommSamplesCsv(const std::string& path,
+                         const std::vector<regress::CommSample>& samples);
+
+bool readCommSamplesCsv(const std::string& path,
+                        std::vector<regress::CommSample>& out);
+
+}  // namespace rtdrm::profile

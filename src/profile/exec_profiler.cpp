@@ -1,0 +1,83 @@
+#include "profile/exec_profiler.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::profile {
+
+std::vector<DataSize> paperDataGrid() {
+  // Figs. 2-4: data size axis in scale units of 300 tracks, 1..25.
+  std::vector<DataSize> grid;
+  grid.reserve(25);
+  for (int unit = 1; unit <= 25; ++unit) {
+    grid.push_back(DataSize::tracks(300.0 * unit));
+  }
+  return grid;
+}
+
+std::vector<regress::ExecSample> profileExecution(
+    const task::SubtaskSpec& subtask, const ExecProfileConfig& config) {
+  RTDRM_ASSERT(!config.utilization_levels.empty());
+  RTDRM_ASSERT(!config.data_sizes.empty());
+  RTDRM_ASSERT(config.samples_per_point > 0);
+
+  const RngStreams streams(config.seed);
+  std::vector<regress::ExecSample> samples;
+  samples.reserve(config.utilization_levels.size() *
+                  config.data_sizes.size() *
+                  static_cast<std::size_t>(config.samples_per_point));
+
+  for (std::size_t ui = 0; ui < config.utilization_levels.size(); ++ui) {
+    const double u = config.utilization_levels[ui];
+    RTDRM_ASSERT_MSG(u >= 0.0 && u < 0.95,
+                     "open-loop background load saturates at >= 0.95");
+
+    // A dedicated mini-testbed per utilization level: the measured node is
+    // otherwise idle except for the pinned background load.
+    sim::Simulator sim;
+    node::Processor cpu(sim, ProcessorId{0}, config.cpu);
+    node::BackgroundLoad bg(sim, cpu, streams.get("profile-bg", ui),
+                            config.background);
+    Xoshiro256 noise = streams.get("profile-noise", ui);
+    bg.setTarget(Utilization::fraction(u));
+    sim.runFor(config.warmup);
+
+    for (const DataSize d : config.data_sizes) {
+      for (int s = 0; s < config.samples_per_point; ++s) {
+        const SimDuration demand =
+            subtask.cost.demand(d) *
+            noise.lognormalUnitMean(subtask.noise_sigma);
+        bool done = false;
+        SimTime finish;
+        const SimTime t0 = sim.now();
+        cpu.submit(node::Job{demand,
+                             [&] {
+                               done = true;
+                               finish = sim.now();
+                             },
+                             "probe"});
+        std::uint64_t guard = 0;
+        while (!done) {
+          const bool progressed = sim.step();
+          RTDRM_ASSERT_MSG(progressed, "profiler job lost");
+          RTDRM_ASSERT_MSG(++guard < 100'000'000ULL,
+                           "profiler run did not converge");
+        }
+        samples.push_back(regress::ExecSample{
+            d.hundreds(), u, (finish - t0).ms()});
+        sim.runFor(config.gap);
+      }
+    }
+  }
+  return samples;
+}
+
+regress::ExecModelFit profileAndFit(const task::SubtaskSpec& subtask,
+                                    const ExecProfileConfig& config) {
+  return regress::fitExecModelTwoStage(profileExecution(subtask, config));
+}
+
+}  // namespace rtdrm::profile

@@ -1,0 +1,55 @@
+// Execution-latency profiling (paper §4.2.1.1).
+//
+// "The execution latencies of the application subtasks are profiled for a
+// number of resource utilization conditions and workloads." On the real
+// testbed that means running the benchmark under controlled load; here we
+// run a dedicated mini-simulation per (data size, utilization) grid point:
+// one processor, a background-load generator pinned at the target
+// utilization, and repeated timed executions of the subtask.
+//
+// The profiler observes only response times — never the ground-truth cost
+// coefficients — so the regression stage sees data of exactly the kind the
+// paper's measurement campaign produced.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "node/background_load.hpp"
+#include "node/processor.hpp"
+#include "regress/exec_model.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::profile {
+
+struct ExecProfileConfig {
+  /// Utilization levels to pin the background load at (fractions).
+  std::vector<double> utilization_levels{0.0, 0.2, 0.4, 0.6, 0.8};
+  /// Data sizes to profile, in tracks.
+  std::vector<DataSize> data_sizes;
+  /// Timed executions per grid point (averaged samples are not taken — each
+  /// execution yields one ExecSample, so the regression sees the scatter).
+  int samples_per_point = 6;
+  /// Settling time after load changes before measuring.
+  SimDuration warmup = SimDuration::millis(500.0);
+  /// Idle gap between consecutive timed executions.
+  SimDuration gap = SimDuration::millis(25.0);
+  std::uint64_t seed = 7;
+  node::ProcessorConfig cpu{};
+  node::BackgroundLoadConfig background{};
+};
+
+/// Grid of data sizes matching the paper's Figs. 2-4 x-axis: 1..25 scale
+/// units of 300 tracks each.
+std::vector<DataSize> paperDataGrid();
+
+/// Profile one subtask's execution latency over the (d, u) grid.
+std::vector<regress::ExecSample> profileExecution(
+    const task::SubtaskSpec& subtask, const ExecProfileConfig& config);
+
+/// Convenience: profile and fit in one go with the paper's two-stage
+/// procedure.
+regress::ExecModelFit profileAndFit(const task::SubtaskSpec& subtask,
+                                    const ExecProfileConfig& config);
+
+}  // namespace rtdrm::profile

@@ -1,0 +1,24 @@
+#include "regress/comm_model.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtdrm::regress {
+
+BufferDelayFit fitBufferDelay(const std::vector<CommSample>& samples) {
+  RTDRM_ASSERT(!samples.empty());
+  Vector x;
+  Vector y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(s.total_workload_hundreds);
+    y.push_back(s.buffer_delay_ms);
+  }
+  const FitResult fit = fitProportional(x, y);
+  BufferDelayFit out;
+  out.model.k_ms_per_hundred = fit.coefficients[0];
+  out.diagnostics = fit.diagnostics;
+  return out;
+}
+
+}  // namespace rtdrm::regress

@@ -1,0 +1,67 @@
+// The paper's communication-delay model (eqs. 4-6):
+//
+//   ecd(m, d, c) = Dbuf(d, c) + Dtrans(d)
+//   Dbuf(d, c)   = k * sum_i ds(T_i, c)      (linear regression, eq. 5)
+//   Dtrans(d)    = d / ls                    (eq. 6)
+//
+// Dbuf captures how long data waits in host/network buffers; the paper
+// found a simple linear dependence on the *total* periodic workload, with
+// slope k = 0.7 (Table 3). Dtrans is pure serialization at the link rate.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "regress/least_squares.hpp"
+
+namespace rtdrm::regress {
+
+/// One profiled observation of message buffering delay.
+struct CommSample {
+  /// Total periodic workload across all tasks during the period, in
+  /// hundreds of tracks (the sum in eq. 5).
+  double total_workload_hundreds = 0.0;
+  double buffer_delay_ms = 0.0;
+};
+
+/// Eq. (5): Dbuf = k * (total periodic workload).
+struct BufferDelayModel {
+  double k_ms_per_hundred = 0.7;  ///< Table 3 default
+
+  double evalMs(double total_workload_hundreds) const {
+    const double v = k_ms_per_hundred * total_workload_hundreds;
+    return v > 0.0 ? v : 0.0;
+  }
+  SimDuration eval(DataSize total_workload) const {
+    return SimDuration::millis(evalMs(total_workload.hundreds()));
+  }
+};
+
+struct BufferDelayFit {
+  BufferDelayModel model;
+  FitDiagnostics diagnostics;
+};
+
+/// Fit the buffer-delay slope through the origin (no constant: an idle
+/// network buffers nothing).
+BufferDelayFit fitBufferDelay(const std::vector<CommSample>& samples);
+
+/// Eqs. (4)-(6) combined.
+struct CommDelayModel {
+  BufferDelayModel buffer;
+  BitRate link_rate = BitRate::mbps(100.0);
+  /// Wire bytes per payload byte (framing overhead); 1.0 reproduces the
+  /// paper's bare d/ls.
+  double overhead_factor = 1.0;
+
+  /// Eq. (6).
+  SimDuration transmission(Bytes payload) const {
+    return link_rate.transmissionTime(payload * overhead_factor);
+  }
+  /// Eq. (4).
+  SimDuration eval(Bytes payload, DataSize total_workload) const {
+    return buffer.eval(total_workload) + transmission(payload);
+  }
+};
+
+}  // namespace rtdrm::regress

@@ -1,0 +1,170 @@
+#include "regress/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::regress {
+
+namespace {
+
+FitDiagnostics diagnoseModel(const ExecLatencyModel& model,
+                             const std::vector<ExecSample>& samples) {
+  Vector y;
+  Vector pred;
+  y.reserve(samples.size());
+  pred.reserve(samples.size());
+  for (const auto& s : samples) {
+    y.push_back(s.latency_ms);
+    pred.push_back(model.evalMs(s.d_hundreds, s.u));
+  }
+  return diagnose(y, pred, 6);
+}
+
+}  // namespace
+
+LevelFit fitLevel(const std::vector<ExecSample>& samples) {
+  RTDRM_ASSERT_MSG(samples.size() >= 2, "need >= 2 samples per level");
+  Vector x;
+  Vector y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  double u_sum = 0.0;
+  for (const auto& s : samples) {
+    x.push_back(s.d_hundreds);
+    y.push_back(s.latency_ms);
+    u_sum += s.u;
+  }
+  // No intercept: eq. (3) maps zero data to zero latency.
+  const FitResult fit = fitPolynomial(x, y, 2, /*include_intercept=*/false);
+  LevelFit out;
+  out.u = u_sum / static_cast<double>(samples.size());
+  out.c1 = fit.coefficients[0];
+  out.c2 = fit.coefficients[1];
+  out.diagnostics = fit.diagnostics;
+  return out;
+}
+
+ExecModelFit fitExecModelTwoStage(const std::vector<ExecSample>& samples,
+                                  double u_tolerance) {
+  RTDRM_ASSERT(!samples.empty());
+  // Group samples into utilization levels.
+  std::map<long long, std::vector<ExecSample>> groups;
+  const double inv_tol = 1.0 / std::max(u_tolerance, 1e-12);
+  for (const auto& s : samples) {
+    groups[static_cast<long long>(std::llround(s.u * inv_tol))].push_back(s);
+  }
+  RTDRM_ASSERT_MSG(groups.size() >= 3,
+                   "two-stage fit needs >= 3 utilization levels");
+
+  ExecModelFit out;
+  Vector us;
+  Vector c2s;
+  Vector c1s;
+  for (const auto& [key, group] : groups) {
+    (void)key;
+    LevelFit lf = fitLevel(group);
+    us.push_back(lf.u);
+    c2s.push_back(lf.c2);
+    c1s.push_back(lf.c1);
+    out.levels.push_back(std::move(lf));
+  }
+
+  // Stage 2: quadratic-in-u (with intercept) for each stage-1 coefficient.
+  const FitResult fit_c2 = fitPolynomial(us, c2s, 2, true);
+  const FitResult fit_c1 = fitPolynomial(us, c1s, 2, true);
+  out.model.a3 = fit_c2.coefficients[0];
+  out.model.a2 = fit_c2.coefficients[1];
+  out.model.a1 = fit_c2.coefficients[2];
+  out.model.b3 = fit_c1.coefficients[0];
+  out.model.b2 = fit_c1.coefficients[1];
+  out.model.b1 = fit_c1.coefficients[2];
+  out.diagnostics = diagnoseModel(out.model, samples);
+  return out;
+}
+
+ExecModelFit fitExecModelJoint(const std::vector<ExecSample>& samples) {
+  RTDRM_ASSERT_MSG(samples.size() >= 6, "joint fit needs >= 6 samples");
+  Matrix design(samples.size(), 6);
+  Vector y(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double d = samples[i].d_hundreds;
+    const double u = samples[i].u;
+    const double d2 = d * d;
+    design(i, 0) = u * u * d2;  // a1
+    design(i, 1) = u * d2;      // a2
+    design(i, 2) = d2;          // a3
+    design(i, 3) = u * u * d;   // b1
+    design(i, 4) = u * d;       // b2
+    design(i, 5) = d;           // b3
+    y[i] = samples[i].latency_ms;
+  }
+  const FitResult fit = fitDesignMatrix(design, y);
+  ExecModelFit out;
+  out.model.a1 = fit.coefficients[0];
+  out.model.a2 = fit.coefficients[1];
+  out.model.a3 = fit.coefficients[2];
+  out.model.b1 = fit.coefficients[3];
+  out.model.b2 = fit.coefficients[4];
+  out.model.b3 = fit.coefficients[5];
+  out.diagnostics = diagnoseModel(out.model, samples);
+  return out;
+}
+
+CrossValidation crossValidateExecModel(const std::vector<ExecSample>& samples,
+                                       std::size_t folds, bool two_stage) {
+  RTDRM_ASSERT(folds >= 2);
+  RTDRM_ASSERT(samples.size() >= folds * 2);
+
+  // Stratify: within each utilization level, deal samples round-robin into
+  // folds, so every training set keeps every level.
+  std::map<long long, std::vector<std::size_t>> by_level;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    by_level[static_cast<long long>(std::llround(samples[i].u * 1e6))]
+        .push_back(i);
+  }
+  std::vector<std::size_t> fold_of(samples.size(), 0);
+  for (const auto& [level, idxs] : by_level) {
+    (void)level;
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      fold_of[idxs[j]] = j % folds;
+    }
+  }
+
+  CrossValidation out;
+  Vector all_y;
+  Vector all_pred;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<ExecSample> train;
+    std::vector<ExecSample> test;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (fold_of[i] == f ? test : train).push_back(samples[i]);
+    }
+    if (test.empty()) {
+      continue;
+    }
+    const ExecModelFit fit = two_stage ? fitExecModelTwoStage(train)
+                                       : fitExecModelJoint(train);
+    Vector y;
+    Vector pred;
+    for (const auto& s : test) {
+      y.push_back(s.latency_ms);
+      pred.push_back(fit.model.evalMs(s.d_hundreds, s.u));
+      all_y.push_back(y.back());
+      all_pred.push_back(pred.back());
+    }
+    out.fold_rmse.push_back(diagnose(y, pred, 6).rmse);
+  }
+  const FitDiagnostics overall = diagnose(all_y, all_pred, 6);
+  out.mean_r_squared = overall.r_squared;
+  double acc = 0.0;
+  for (double r : out.fold_rmse) {
+    acc += r;
+  }
+  out.mean_rmse = acc / static_cast<double>(out.fold_rmse.size());
+  return out;
+}
+
+}  // namespace rtdrm::regress

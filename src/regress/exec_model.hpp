@@ -1,0 +1,99 @@
+// The paper's execution-latency regression model (eq. 3):
+//
+//   eex(st, d, u) = (a1 u^2 + a2 u + a3) d^2 + (b1 u^2 + b2 u + b3) d
+//
+// with d in hundreds of data items and u the CPU utilization fraction.
+// Two fitting strategies are provided:
+//
+//  * Two-stage (the paper's §4.2.1.1 procedure, Figs. 2-4): for each
+//    profiled utilization level fit latency ~ c2 d^2 + c1 d (the red "Y"
+//    curves), then fit c2(u) and c1(u) as quadratics in u (yielding the
+//    green "Y-" surface).
+//  * Joint: one 6-column least-squares over all samples at once.
+//
+// Both return the same model type; bench_ablation compares them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "regress/least_squares.hpp"
+
+namespace rtdrm::regress {
+
+/// One profiled observation of a subtask's execution latency.
+struct ExecSample {
+  double d_hundreds = 0.0;  ///< data size, hundreds of tracks
+  double u = 0.0;           ///< CPU utilization fraction in [0, 1)
+  double latency_ms = 0.0;  ///< observed latency
+};
+
+/// Coefficients of eq. (3). Evaluation clamps at zero: a fitted quadratic
+/// can dip below zero outside the profiled region, and a negative latency
+/// forecast is never meaningful.
+struct ExecLatencyModel {
+  double a1 = 0.0, a2 = 0.0, a3 = 0.0;  ///< d^2 coefficient's u-quadratic
+  double b1 = 0.0, b2 = 0.0, b3 = 0.0;  ///< d   coefficient's u-quadratic
+
+  double quadCoeff(double u) const { return (a1 * u + a2) * u + a3; }
+  double linCoeff(double u) const { return (b1 * u + b2) * u + b3; }
+
+  double evalMs(double d_hundreds, double u) const {
+    const double v =
+        quadCoeff(u) * d_hundreds * d_hundreds + linCoeff(u) * d_hundreds;
+    return v > 0.0 ? v : 0.0;
+  }
+  SimDuration eval(DataSize d, Utilization u) const {
+    return SimDuration::millis(evalMs(d.hundreds(), u.value()));
+  }
+};
+
+/// Per-utilization-level quadratic fit (the "Y" curves of Figs. 2 and 3).
+struct LevelFit {
+  double u = 0.0;
+  double c2 = 0.0;  ///< d^2 coefficient at this level
+  double c1 = 0.0;  ///< d coefficient at this level
+  FitDiagnostics diagnostics;
+
+  double evalMs(double d_hundreds) const {
+    const double v = c2 * d_hundreds * d_hundreds + c1 * d_hundreds;
+    return v > 0.0 ? v : 0.0;
+  }
+};
+
+struct ExecModelFit {
+  ExecLatencyModel model;
+  /// Diagnostics of the final model against all samples.
+  FitDiagnostics diagnostics;
+  /// Per-level fits (two-stage only; empty for the joint fit).
+  std::vector<LevelFit> levels;
+};
+
+/// Fit latency ~ c2 d^2 + c1 d over samples that share one utilization level.
+LevelFit fitLevel(const std::vector<ExecSample>& samples);
+
+/// The paper's two-stage procedure. Requires at least three distinct
+/// utilization levels (each with >= 2 distinct data sizes); levels are
+/// grouped with the given tolerance on u.
+ExecModelFit fitExecModelTwoStage(const std::vector<ExecSample>& samples,
+                                  double u_tolerance = 1e-3);
+
+/// Direct 6-parameter joint least squares over all samples.
+ExecModelFit fitExecModelJoint(const std::vector<ExecSample>& samples);
+
+/// K-fold cross-validation of an eq.-3 fit: how well does the model
+/// predict *held-out* observations? Folds are stratified by utilization
+/// level so every training set retains all levels (the two-stage fit
+/// needs them).
+struct CrossValidation {
+  double mean_rmse = 0.0;     ///< mean held-out RMSE across folds
+  double mean_r_squared = 0.0;
+  std::vector<double> fold_rmse;
+};
+
+CrossValidation crossValidateExecModel(const std::vector<ExecSample>& samples,
+                                       std::size_t folds = 5,
+                                       bool two_stage = true);
+
+}  // namespace rtdrm::regress

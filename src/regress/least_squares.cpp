@@ -1,0 +1,109 @@
+#include "regress/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::regress {
+
+FitDiagnostics diagnose(const Vector& y, const Vector& predicted,
+                        std::size_t n_params) {
+  RTDRM_ASSERT(y.size() == predicted.size() && !y.empty());
+  double mean_y = 0.0;
+  for (double v : y) {
+    mean_y += v;
+  }
+  mean_y /= static_cast<double>(y.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - predicted[i];
+    ss_res += r * r;
+    const double d = y[i] - mean_y;
+    ss_tot += d * d;
+    worst = std::max(worst, std::abs(r));
+  }
+  FitDiagnostics diag;
+  diag.n_samples = y.size();
+  diag.n_params = n_params;
+  diag.rmse = std::sqrt(ss_res / static_cast<double>(y.size()));
+  diag.max_abs_residual = worst;
+  // Degenerate (constant) responses: define R^2 = 1 for a perfect fit.
+  diag.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot
+                                : (ss_res == 0.0 ? 1.0 : 0.0);
+  return diag;
+}
+
+FitResult fitDesignMatrix(const Matrix& design, const Vector& y) {
+  RTDRM_ASSERT(design.rows() == y.size());
+  RTDRM_ASSERT(design.rows() >= design.cols());
+  Vector beta = solveLeastSquaresQR(design, y);
+  const Vector predicted = design * beta;
+  FitResult out{std::move(beta), diagnose(y, predicted, design.cols())};
+  return out;
+}
+
+FitResult fitRidge(const Matrix& design, const Vector& y, double lambda) {
+  RTDRM_ASSERT(design.rows() == y.size());
+  RTDRM_ASSERT(lambda >= 0.0);
+  const Matrix xt = design.transposed();
+  Matrix gram = xt * design;
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    gram(i, i) += lambda;
+  }
+  const Vector rhs = xt * y;
+  Vector beta = solveCholesky(gram, rhs);
+  const Vector predicted = design * beta;
+  FitResult out{std::move(beta), diagnose(y, predicted, design.cols())};
+  return out;
+}
+
+FitResult fitPolynomial(const Vector& x, const Vector& y, int degree,
+                        bool include_intercept) {
+  RTDRM_ASSERT(x.size() == y.size() && !x.empty());
+  RTDRM_ASSERT(degree >= 0);
+  const int lowest = include_intercept ? 0 : 1;
+  RTDRM_ASSERT(degree >= lowest);
+  const auto n_terms = static_cast<std::size_t>(degree - lowest + 1);
+  Matrix design(x.size(), n_terms);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double p = include_intercept ? 1.0 : x[i];
+    for (std::size_t j = 0; j < n_terms; ++j) {
+      design(i, j) = p;
+      p *= x[i];
+    }
+  }
+  return fitDesignMatrix(design, y);
+}
+
+double evalPolynomial(const Vector& coeffs, double x, bool has_intercept) {
+  double acc = 0.0;
+  double p = has_intercept ? 1.0 : x;
+  for (double c : coeffs) {
+    acc += c * p;
+    p *= x;
+  }
+  return acc;
+}
+
+FitResult fitProportional(const Vector& x, const Vector& y) {
+  RTDRM_ASSERT(x.size() == y.size() && !x.empty());
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  RTDRM_ASSERT_MSG(sxx > 0.0, "fitProportional: all-zero regressor");
+  const double k = sxy / sxx;
+  Vector predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    predicted[i] = k * x[i];
+  }
+  return FitResult{Vector{k}, diagnose(y, predicted, 1)};
+}
+
+}  // namespace rtdrm::regress

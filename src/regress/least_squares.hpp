@@ -1,0 +1,54 @@
+// Ordinary least squares on explicit basis functions, with diagnostics.
+//
+// This is the "statistical regression theory" engine of the paper (§4.2.1):
+// the exec-latency and buffer-delay models are fitted here from profile
+// datasets.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "regress/linalg.hpp"
+
+namespace rtdrm::regress {
+
+/// Goodness-of-fit diagnostics for a fitted model.
+struct FitDiagnostics {
+  double r_squared = 0.0;   ///< 1 - SS_res / SS_tot (vs mean of y)
+  double rmse = 0.0;        ///< sqrt(SS_res / n)
+  double max_abs_residual = 0.0;
+  std::size_t n_samples = 0;
+  std::size_t n_params = 0;
+};
+
+struct FitResult {
+  Vector coefficients;
+  FitDiagnostics diagnostics;
+};
+
+/// Fit y ~ X beta by QR least squares, where row i of X is
+/// [basis_0(x_i), basis_1(x_i), ...]. X is supplied pre-built.
+FitResult fitDesignMatrix(const Matrix& design, const Vector& y);
+
+/// Ridge-regularized variant (solves (X^T X + lambda I) beta = X^T y via
+/// Cholesky). Useful when profile grids make columns nearly collinear.
+FitResult fitRidge(const Matrix& design, const Vector& y, double lambda);
+
+/// Fit a 1-D polynomial of the given degree: y ~ sum_k c_k x^k.
+/// `include_intercept=false` drops the constant term (the paper's eq. 3 has
+/// no intercept: zero data implies zero latency).
+FitResult fitPolynomial(const Vector& x, const Vector& y, int degree,
+                        bool include_intercept = true);
+
+/// Evaluate a polynomial with coefficient layout matching fitPolynomial.
+double evalPolynomial(const Vector& coeffs, double x, bool has_intercept);
+
+/// Fit y = k * x through the origin (the paper's eq. 5 buffer-delay slope):
+/// k = sum(x*y) / sum(x^2).
+FitResult fitProportional(const Vector& x, const Vector& y);
+
+/// Compute diagnostics for arbitrary predictions vs observations.
+FitDiagnostics diagnose(const Vector& y, const Vector& predicted,
+                        std::size_t n_params);
+
+}  // namespace rtdrm::regress

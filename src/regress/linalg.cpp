@@ -1,0 +1,256 @@
+#include "regress/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::regress {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  RTDRM_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  RTDRM_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  RTDRM_ASSERT(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  RTDRM_ASSERT(cols_ == v.size());
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      acc += (*this)(i, j) * v[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  RTDRM_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] += rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  RTDRM_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] -= rhs.data_[i];
+  }
+  return out;
+}
+
+double Matrix::maxAbsDiff(const Matrix& other) const {
+  RTDRM_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+Vector solveGaussian(Matrix a, Vector b) {
+  const std::size_t n = a.rows();
+  RTDRM_ASSERT(a.cols() == n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) {
+        pivot = r;
+      }
+    }
+    RTDRM_ASSERT_MSG(std::abs(a(pivot, col)) > 1e-12,
+                     "solveGaussian: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) {
+      acc -= a(ii, c) * x[c];
+    }
+    x[ii] = acc / a(ii, ii);
+  }
+  return x;
+}
+
+Matrix choleskyLower(const Matrix& a) {
+  const std::size_t n = a.rows();
+  RTDRM_ASSERT(a.cols() == n);
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        acc -= l(i, k) * l(j, k);
+      }
+      if (i == j) {
+        RTDRM_ASSERT_MSG(acc > 0.0, "choleskyLower: matrix not SPD");
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vector solveCholesky(const Matrix& a, const Vector& b) {
+  const std::size_t n = a.rows();
+  RTDRM_ASSERT(b.size() == n);
+  const Matrix l = choleskyLower(a);
+  // Forward solve L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= l(i, k) * y[k];
+    }
+    y[i] = acc / l(i, i);
+  }
+  // Back solve L^T x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= l(k, ii) * x[k];
+    }
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+Vector solveLeastSquaresQR(Matrix a, Vector b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  RTDRM_ASSERT(m >= n && b.size() == m);
+
+  // In-place Householder QR: apply each reflector to A and b.
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the reflector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      norm += a(i, k) * a(i, k);
+    }
+    norm = std::sqrt(norm);
+    RTDRM_ASSERT_MSG(norm > 1e-12,
+                     "solveLeastSquaresQR: rank-deficient design matrix");
+    const double alpha = a(k, k) >= 0.0 ? -norm : norm;
+    Vector v(m - k, 0.0);
+    v[0] = a(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) {
+      v[i - k] = a(i, k);
+    }
+    const double vnorm2 = dot(v, v);
+    if (vnorm2 <= 1e-300) {
+      continue;  // column already triangular
+    }
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing submatrix of A.
+    for (std::size_t c = k; c < n; ++c) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        proj += v[i - k] * a(i, c);
+      }
+      const double f = 2.0 * proj / vnorm2;
+      for (std::size_t i = k; i < m; ++i) {
+        a(i, c) -= f * v[i - k];
+      }
+    }
+    // ... and to b.
+    double proj = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      proj += v[i - k] * b[i];
+    }
+    const double f = 2.0 * proj / vnorm2;
+    for (std::size_t i = k; i < m; ++i) {
+      b[i] -= f * v[i - k];
+    }
+  }
+  // Back substitution on the upper-triangular R (top n x n of A).
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) {
+      acc -= a(ii, c) * x[c];
+    }
+    RTDRM_ASSERT(std::abs(a(ii, ii)) > 1e-12);
+    x[ii] = acc / a(ii, ii);
+  }
+  return x;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  RTDRM_ASSERT(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace rtdrm::regress

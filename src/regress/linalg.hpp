@@ -1,0 +1,65 @@
+// Small dense linear algebra — just enough for least-squares regression.
+//
+// The regression problems in this system are tiny (design matrices of a few
+// hundred rows by <= 6 columns), so a straightforward row-major dense
+// implementation with partial pivoting / Householder QR is both adequate
+// and easy to audit. No external BLAS/LAPACK dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtdrm::regress {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Max |a_ij - b_ij|; both must have equal shape.
+  double maxAbsDiff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// A must be square and non-singular (asserted via pivot magnitude).
+Vector solveGaussian(Matrix a, Vector b);
+
+/// Cholesky factorization of a symmetric positive-definite matrix; returns
+/// the lower factor L with A = L L^T. Throws via assertion on non-SPD input.
+Matrix choleskyLower(const Matrix& a);
+
+/// Solve A x = b for SPD A via Cholesky.
+Vector solveCholesky(const Matrix& a, const Vector& b);
+
+/// Minimize ||A x - b||_2 via Householder QR (A: m >= n, full column rank).
+/// More numerically robust than forming normal equations.
+Vector solveLeastSquaresQR(Matrix a, Vector b);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+}  // namespace rtdrm::regress

@@ -1,0 +1,113 @@
+#include "regress/rls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::regress {
+
+RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dim, double lambda,
+                                             double initial_p)
+    : theta_(dim, 0.0),
+      p_(dim, dim, 0.0),
+      lambda_(lambda),
+      initial_p_(initial_p) {
+  RTDRM_ASSERT(dim >= 1);
+  RTDRM_ASSERT(lambda > 0.0 && lambda <= 1.0);
+  RTDRM_ASSERT(initial_p > 0.0);
+  resetCovariance();
+  resets_ = 0;  // the constructor's init is not a corruption recovery
+}
+
+void RecursiveLeastSquares::resetCovariance() {
+  const std::size_t d = theta_.size();
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      p_(i, j) = i == j ? initial_p_ : 0.0;
+    }
+  }
+  ++resets_;
+}
+
+void RecursiveLeastSquares::seed(const Vector& theta) {
+  RTDRM_ASSERT(theta.size() == theta_.size());
+  theta_ = theta;
+}
+
+double RecursiveLeastSquares::predict(const Vector& x) const {
+  return dot(theta_, x);
+}
+
+void RecursiveLeastSquares::update(const Vector& x, double y) {
+  const std::size_t d = theta_.size();
+  RTDRM_ASSERT(x.size() == d);
+  ++n_;
+
+  // px = P x
+  Vector px(d, 0.0);
+  auto computePx = [&] {
+    for (std::size_t i = 0; i < d; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        acc += p_(i, j) * x[j];
+      }
+      px[i] = acc;
+    }
+  };
+  computePx();
+  double denom = lambda_ + dot(x, px);
+  if (!(denom > 0.0) || !std::isfinite(denom)) {
+    // Accumulated rounding drove P indefinite (possible after very long
+    // runs with poorly exciting features): self-heal by re-initializing
+    // the covariance. The coefficient estimate theta is kept.
+    resetCovariance();
+    computePx();
+    denom = lambda_ + dot(x, px);
+  }
+  RTDRM_ASSERT(denom > 0.0);
+
+  // Gain and coefficient update.
+  const double err = y - dot(theta_, x);
+  for (std::size_t i = 0; i < d; ++i) {
+    theta_[i] += px[i] / denom * err;
+  }
+
+  // P <- (P - (P x)(x^T P) / denom) / lambda. P stays symmetric; compute
+  // the outer-product downdate directly from px.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      p_(i, j) = (p_(i, j) - px[i] * px[j] / denom) / lambda_;
+    }
+  }
+
+  // Numerical hygiene, both classic RLS failure modes:
+  //  * enforce symmetry (the update is symmetric in exact arithmetic but
+  //    rounding drifts the halves apart and eventually breaks
+  //    positive-definiteness);
+  //  * cap the covariance (with lambda < 1, directions the data never
+  //    excites grow as 1/lambda per step — covariance wind-up — and would
+  //    overflow). Rescaling the whole matrix preserves SPD.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const double avg = 0.5 * (p_(i, j) + p_(j, i));
+      p_(i, j) = avg;
+      p_(j, i) = avg;
+    }
+  }
+  constexpr double kDiagCap = 1e12;
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    max_diag = std::max(max_diag, p_(i, i));
+  }
+  if (max_diag > kDiagCap) {
+    const double s = kDiagCap / max_diag;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        p_(i, j) *= s;
+      }
+    }
+  }
+}
+
+}  // namespace rtdrm::regress

@@ -1,0 +1,60 @@
+// Recursive least squares with exponential forgetting.
+//
+// The paper fits eq. (3) once, offline, from a profiling campaign. Its
+// related work ([BN+98, RSYJ97]) argues for refining models from run-time
+// observations; rtdrm's ModelRefresher does that with this RLS engine: each
+// observed (features, response) pair updates the coefficient estimate in
+// O(p^2) without storing history, and a forgetting factor < 1 lets the
+// model track environmental drift (e.g. the application's per-track cost
+// changing mid-mission).
+//
+// Standard formulation: with gain k = P x / (lambda + x^T P x),
+//   theta <- theta + k (y - x^T theta)
+//   P     <- (P - k x^T P) / lambda
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "regress/linalg.hpp"
+
+namespace rtdrm::regress {
+
+class RecursiveLeastSquares {
+ public:
+  /// `dim` features; `lambda` in (0, 1]: 1 = ordinary RLS (converges to the
+  /// batch OLS solution), < 1 discounts old observations with time constant
+  /// ~ 1/(1-lambda) samples. `initial_p` scales the prior covariance: large
+  /// values mean "no confidence in the zero prior".
+  explicit RecursiveLeastSquares(std::size_t dim, double lambda = 1.0,
+                                 double initial_p = 1e6);
+
+  /// Seeds the estimate (e.g. with offline-fitted coefficients) while
+  /// keeping the covariance prior.
+  void seed(const Vector& theta);
+
+  /// One observation: response `y` at feature vector `x` (size dim).
+  void update(const Vector& x, double y);
+
+  const Vector& coefficients() const { return theta_; }
+  double predict(const Vector& x) const;
+  std::size_t dim() const { return theta_.size(); }
+  std::size_t observations() const { return n_; }
+  double forgettingFactor() const { return lambda_; }
+
+  /// Times the covariance had to be re-initialized after numerical
+  /// corruption (diagnostic; zero in well-conditioned use).
+  std::uint64_t covarianceResets() const { return resets_; }
+
+ private:
+  void resetCovariance();
+
+  Vector theta_;
+  Matrix p_;  // inverse-covariance proxy
+  double lambda_;
+  double initial_p_;
+  std::size_t n_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace rtdrm::regress

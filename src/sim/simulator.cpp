@@ -1,0 +1,110 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::sim {
+
+EventId Simulator::scheduleAt(SimTime at, Callback cb) {
+  RTDRM_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  RTDRM_ASSERT(cb != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at.ms(), seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+EventId Simulator::scheduleAfter(SimDuration delay, Callback cb) {
+  RTDRM_ASSERT_MSG(delay >= SimDuration::zero(), "negative delay");
+  return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void Simulator::fireHead() {
+  const Entry e = heap_.top();
+  heap_.pop();
+  if (cancelled_.erase(e.seq) > 0) {
+    return;  // tombstone
+  }
+  auto it = callbacks_.find(e.seq);
+  RTDRM_ASSERT(it != callbacks_.end());
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = SimTime::millis(e.time_ms);
+  ++events_executed_;
+  cb();
+}
+
+void Simulator::runUntil(SimTime until) {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    if (heap_.top().time_ms > until.ms()) {
+      break;
+    }
+    fireHead();
+  }
+  if (!stop_requested_ && now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::runAll() {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    fireHead();
+  }
+}
+
+bool Simulator::step() {
+  // Skip over tombstones so "step" always means "execute one live event".
+  while (!heap_.empty()) {
+    const bool was_cancelled = cancelled_.contains(heap_.top().seq);
+    fireHead();
+    if (!was_cancelled) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PeriodicActivity::PeriodicActivity(Simulator& simulator, SimDuration period,
+                                   TickFn fn)
+    : sim_(simulator), period_(period), fn_(std::move(fn)) {
+  RTDRM_ASSERT(period_ > SimDuration::zero());
+  RTDRM_ASSERT(fn_ != nullptr);
+}
+
+void PeriodicActivity::start(SimTime first) {
+  RTDRM_ASSERT_MSG(!running_, "activity already started");
+  running_ = true;
+  arm(first);
+}
+
+void PeriodicActivity::arm(SimTime at) {
+  pending_ = sim_.scheduleAt(at, [this] {
+    const std::uint64_t this_tick = tick_++;
+    // Re-arm before invoking so the callback may call stop() to cancel the
+    // next occurrence.
+    arm(sim_.now() + period_);
+    fn_(this_tick);
+  });
+}
+
+void PeriodicActivity::stop() {
+  if (running_) {
+    sim_.cancel(pending_);
+    running_ = false;
+  }
+}
+
+}  // namespace rtdrm::sim

@@ -1,0 +1,129 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event calendar: callbacks are scheduled at absolute
+// simulation times and executed in (time, insertion-order) order. Insertion
+// order as the tie-break makes runs bit-reproducible — two events at the
+// same timestamp always fire in the order they were scheduled, regardless
+// of heap internals.
+//
+// This is the substrate every other module runs on: processors, the
+// Ethernet bus, clock sync, the workload source, and the resource manager
+// are all just event producers/consumers on one Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rtdrm::sim {
+
+/// Opaque handle to a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must not be in the past).
+  EventId scheduleAt(SimTime at, Callback cb);
+  /// Schedule `cb` after a delay relative to now (delay >= 0).
+  EventId scheduleAfter(SimDuration delay, Callback cb);
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or `until` is reached, whichever is
+  /// first. The clock is left at min(until, time of last event). Events
+  /// scheduled exactly at `until` do fire.
+  void runUntil(SimTime until);
+  /// Run for a duration from the current time.
+  void runFor(SimDuration d) { runUntil(now_ + d); }
+  /// Run until the queue is completely empty.
+  void runAll();
+  /// Execute the single next event, if any. Returns false when queue empty.
+  bool step();
+
+  /// Request that the run loop stop after the current event returns.
+  void requestStop() { stop_requested_ = true; }
+
+  std::uint64_t eventsExecuted() const { return events_executed_; }
+  std::size_t pendingEvents() const {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Entry {
+    double time_ms;
+    std::uint64_t seq;
+    // Index into callbacks storage (== seq; callbacks keyed by seq).
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time_ms != b.time_ms) {
+        return a.time_ms > b.time_ms;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and executes the head entry. Pre: heap non-empty.
+  void fireHead();
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Callbacks are stored out-of-band keyed by seq so cancelled entries can
+  // release their closures immediately.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// A recurring activity: reschedules itself every `period` until stopped.
+/// The callback receives the activity's tick index (0-based).
+class PeriodicActivity {
+ public:
+  using TickFn = std::function<void(std::uint64_t tick)>;
+
+  PeriodicActivity(Simulator& simulator, SimDuration period, TickFn fn);
+  ~PeriodicActivity() { stop(); }
+  PeriodicActivity(const PeriodicActivity&) = delete;
+  PeriodicActivity& operator=(const PeriodicActivity&) = delete;
+
+  /// Arm the activity: first tick at `first`, then every period.
+  void start(SimTime first);
+  /// Cancel future ticks. Safe to call repeatedly or from within the tick.
+  void stop();
+  bool running() const { return running_; }
+  std::uint64_t ticks() const { return tick_; }
+
+ private:
+  void arm(SimTime at);
+
+  Simulator& sim_;
+  SimDuration period_;
+  TickFn fn_;
+  EventId pending_{};
+  std::uint64_t tick_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace rtdrm::sim

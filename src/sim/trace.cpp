@@ -1,0 +1,70 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+
+namespace rtdrm::sim {
+
+const char* traceCategoryName(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kRelease:
+      return "release";
+    case TraceCategory::kStage:
+      return "stage";
+    case TraceCategory::kMiss:
+      return "miss";
+    case TraceCategory::kReplicate:
+      return "replicate";
+    case TraceCategory::kShutdown:
+      return "shutdown";
+    case TraceCategory::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(SimTime at, TraceCategory category,
+                           std::string label, double value) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{at, category, std::move(label), value});
+}
+
+std::size_t TraceRecorder::count(TraceCategory category) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+bool TraceRecorder::writeCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << "time_ms,category,label,value\n";
+  for (const auto& e : events_) {
+    f << e.at.ms() << ',' << traceCategoryName(e.category) << ',';
+    // Labels are free-form; quote them defensively.
+    f << '"';
+    for (char c : e.label) {
+      if (c == '"') {
+        f << '"';
+      }
+      f << c;
+    }
+    f << '"' << ',' << e.value << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace rtdrm::sim

@@ -1,0 +1,56 @@
+// Event tracing: a timestamped record of what happened during a run.
+//
+// The resource manager (and anything else) can post events; examples and
+// debugging sessions dump them as CSV timelines. Recording is bounded — on
+// overflow the recorder counts drops instead of growing without limit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rtdrm::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kRelease,    ///< a periodic instance was released
+  kStage,      ///< a pipeline stage completed
+  kMiss,       ///< an end-to-end deadline was missed
+  kReplicate,  ///< a replica was added
+  kShutdown,   ///< a replica was shut down
+  kCustom,
+};
+
+const char* traceCategoryName(TraceCategory cat);
+
+struct TraceEvent {
+  SimTime at;
+  TraceCategory category = TraceCategory::kCustom;
+  std::string label;
+  double value = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 100000)
+      : capacity_(capacity) {}
+
+  void record(SimTime at, TraceCategory category, std::string label,
+              double value = 0.0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t count(TraceCategory category) const;
+  void clear();
+
+  /// "time_ms,category,label,value" rows. Returns false on I/O failure.
+  bool writeCsv(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rtdrm::sim

@@ -1,0 +1,18 @@
+// Bundle of substrate references a pipeline instance executes against.
+#pragma once
+
+#include "net/clock_sync.hpp"
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::task {
+
+struct Runtime {
+  sim::Simulator& sim;
+  node::Cluster& cluster;
+  net::Ethernet& net;
+  net::ClockFabric& clocks;
+};
+
+}  // namespace rtdrm::task

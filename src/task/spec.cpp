@@ -1,0 +1,71 @@
+#include "task/spec.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::task {
+
+void TaskSpec::validate() const {
+  RTDRM_ASSERT_MSG(!subtasks.empty(), "task needs at least one subtask");
+  RTDRM_ASSERT_MSG(messages.size() + 1 == subtasks.size(),
+                   "need exactly n-1 inter-subtask messages");
+  RTDRM_ASSERT(period > SimDuration::zero());
+  RTDRM_ASSERT(deadline > SimDuration::zero());
+  for (const auto& st : subtasks) {
+    RTDRM_ASSERT_MSG(st.cost.alpha_ms >= 0.0 && st.cost.beta_ms >= 0.0,
+                     "negative cost coefficients");
+    RTDRM_ASSERT(st.noise_sigma >= 0.0);
+  }
+  for (const auto& m : messages) {
+    RTDRM_ASSERT(m.bytes_per_track >= 0.0);
+  }
+}
+
+bool ReplicaSet::contains(ProcessorId p) const {
+  return std::find(nodes_.begin(), nodes_.end(), p) != nodes_.end();
+}
+
+void ReplicaSet::add(ProcessorId p) {
+  RTDRM_ASSERT_MSG(!contains(p), "processor already hosts a replica");
+  nodes_.push_back(p);
+}
+
+void ReplicaSet::removeLast() {
+  RTDRM_ASSERT_MSG(nodes_.size() > 1, "cannot remove the primary replica");
+  nodes_.pop_back();
+}
+
+void ReplicaSet::remove(ProcessorId p) {
+  RTDRM_ASSERT_MSG(p != primary(), "cannot remove the primary replica");
+  const auto it = std::find(nodes_.begin(), nodes_.end(), p);
+  RTDRM_ASSERT_MSG(it != nodes_.end(), "no replica on that processor");
+  nodes_.erase(it);
+}
+
+Placement::Placement(const std::vector<ProcessorId>& homes) {
+  stages_.reserve(homes.size());
+  for (ProcessorId h : homes) {
+    stages_.emplace_back(h);
+  }
+}
+
+ReplicaSet& Placement::stage(std::size_t k) {
+  RTDRM_ASSERT(k < stages_.size());
+  return stages_[k];
+}
+
+const ReplicaSet& Placement::stage(std::size_t k) const {
+  RTDRM_ASSERT(k < stages_.size());
+  return stages_[k];
+}
+
+std::size_t Placement::totalNodes() const {
+  std::size_t total = 0;
+  for (const auto& s : stages_) {
+    total += s.size();
+  }
+  return total;
+}
+
+}  // namespace rtdrm::task

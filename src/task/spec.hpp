@@ -1,0 +1,111 @@
+// Periodic task structure (paper §3, items 1-11).
+//
+// A periodic task T_i = [st_1, m_1, st_2, m_2, ..., st_n] is a serial chain
+// of subtasks connected by messages: st_k cannot execute before m_{k-1}
+// arrives. Each period the task processes ds(T_i, c) data items ("tracks").
+//
+// We model the n-1 *inter-subtask* messages; the paper's trailing m_n (the
+// actuation output) is not on the critical path of the measured end-to-end
+// latency and is omitted (documented substitution, DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace rtdrm::task {
+
+/// Ground-truth CPU cost of one subtask: pure service demand
+/// s(d) = alpha * h^2 + beta * h milliseconds, h = d in hundreds of tracks.
+///
+/// This is the simulator's hidden truth; the resource manager never reads
+/// it — it sees only profiled observations (latency under contention),
+/// exactly as the paper's algorithms see only measured profile data.
+struct SubtaskCost {
+  double alpha_ms = 0.0;  ///< quadratic term (ms per hundred^2)
+  double beta_ms = 0.0;   ///< linear term (ms per hundred)
+
+  SimDuration demand(DataSize d) const {
+    const double h = d.hundreds();
+    const double v = alpha_ms * h * h + beta_ms * h;
+    return SimDuration::millis(v > 0.0 ? v : 0.0);
+  }
+};
+
+struct SubtaskSpec {
+  std::string name;
+  SubtaskCost cost;
+  /// Whether the run-time system may replicate this subtask (paper item 6;
+  /// Table 1: 2 of the 5 subtasks are replicable).
+  bool replicable = false;
+  /// Multiplicative lognormal noise sigma applied to each execution's
+  /// demand (models data-dependent variation; 0 = deterministic).
+  double noise_sigma = 0.05;
+};
+
+/// The message a subtask emits to its successor.
+struct MessageSpec {
+  /// Payload bytes per track carried (Table 1: track size is 80 bytes).
+  double bytes_per_track = 80.0;
+};
+
+struct TaskSpec {
+  std::string name = "T1";
+  SimDuration period = SimDuration::seconds(1.0);
+  /// Relative end-to-end deadline (Table 1: 990 ms).
+  SimDuration deadline = SimDuration::millis(990.0);
+  std::vector<SubtaskSpec> subtasks;
+  /// messages[k] connects subtasks[k] -> subtasks[k+1]; size = n-1.
+  std::vector<MessageSpec> messages;
+
+  std::size_t stageCount() const { return subtasks.size(); }
+  void validate() const;
+};
+
+/// The replica set of one subtask: an *ordered* list of processors, first
+/// entry = primary. Order matters because shutdown removes the most
+/// recently added replica (paper Fig. 6 step 2.1).
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(ProcessorId primary) { nodes_.push_back(primary); }
+
+  std::size_t size() const { return nodes_.size(); }
+  ProcessorId primary() const { return nodes_.front(); }
+  const std::vector<ProcessorId>& nodes() const { return nodes_; }
+  bool contains(ProcessorId p) const;
+
+  /// Adds a replica on `p`. Pre: !contains(p).
+  void add(ProcessorId p);
+  /// Removes the last added replica. Pre: size() > 1 (the primary stays).
+  void removeLast();
+  /// Removes the replica on `p`. Pre: contains(p) and p is not the primary.
+  /// (Extension beyond the paper's Fig. 6, which only pops the last added.)
+  void remove(ProcessorId p);
+
+ private:
+  std::vector<ProcessorId> nodes_;
+};
+
+/// Per-stage replica sets for a whole task. Copyable: the pipeline executes
+/// against a snapshot so a mid-period reallocation cannot tear an instance.
+class Placement {
+ public:
+  Placement() = default;
+  /// Initial placement: subtask k primary on `homes[k]`, no replicas.
+  explicit Placement(const std::vector<ProcessorId>& homes);
+
+  std::size_t stageCount() const { return stages_.size(); }
+  ReplicaSet& stage(std::size_t k);
+  const ReplicaSet& stage(std::size_t k) const;
+
+  /// Total replicas across stages (counting primaries).
+  std::size_t totalNodes() const;
+
+ private:
+  std::vector<ReplicaSet> stages_;
+};
+
+}  // namespace rtdrm::task

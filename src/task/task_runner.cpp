@@ -1,0 +1,59 @@
+#include "task/task_runner.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::task {
+
+TaskRunner::TaskRunner(Runtime rt, const TaskSpec& spec, Placement initial,
+                       WorkloadFn workload, Xoshiro256 noise_rng,
+                       PipelineConfig pipeline_config, RecordFn on_record)
+    : rt_(rt),
+      spec_(spec),
+      placement_(std::move(initial)),
+      workload_(std::move(workload)),
+      noise_rng_(noise_rng),
+      pipeline_config_(pipeline_config),
+      on_record_(std::move(on_record)) {
+  RTDRM_ASSERT(workload_ != nullptr);
+  RTDRM_ASSERT(placement_.stageCount() == spec_.stageCount());
+  ticker_ = std::make_unique<sim::PeriodicActivity>(
+      rt_.sim, spec_.period, [this](std::uint64_t idx) { onPeriod(idx); });
+}
+
+TaskRunner::~TaskRunner() {
+  // PipelineRun destructors abort their outstanding jobs; destruction order
+  // within runs_ is irrelevant because runs are independent.
+}
+
+void TaskRunner::start(SimTime first_release) { ticker_->start(first_release); }
+
+void TaskRunner::stop() { ticker_->stop(); }
+
+std::size_t TaskRunner::activeRuns() const {
+  return static_cast<std::size_t>(
+      std::count_if(runs_.begin(), runs_.end(),
+                    [](const auto& r) { return !r->finished(); }));
+}
+
+void TaskRunner::onPeriod(std::uint64_t idx) {
+  sweep();
+  current_workload_ = workload_(idx);
+  ++released_;
+  runs_.push_back(std::make_unique<PipelineRun>(
+      rt_, spec_, placement_, current_workload_, idx, noise_rng_,
+      pipeline_config_, [this](const PeriodRecord& rec) {
+        if (on_record_) {
+          on_record_(rec);
+        }
+      }));
+}
+
+void TaskRunner::sweep() {
+  std::erase_if(runs_, [](const std::unique_ptr<PipelineRun>& r) {
+    return r->safeToDestroy();
+  });
+}
+
+}  // namespace rtdrm::task

@@ -1,0 +1,71 @@
+// Periodic release of a task's pipeline instances.
+//
+// Each period the runner reads the offered workload from its source
+// function (Table 1: data arrival period = 1 s), snapshots the current
+// placement, and launches a PipelineRun. Completed/aborted runs are swept
+// lazily at period boundaries once their in-flight callbacks have drained.
+//
+// The resource manager mutates the placement between periods via
+// setPlacement(); in-flight instances keep their snapshot (no torn reads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "task/pipeline.hpp"
+#include "task/runtime.hpp"
+#include "task/spec.hpp"
+
+namespace rtdrm::task {
+
+class TaskRunner {
+ public:
+  /// Offered workload for a given period index.
+  using WorkloadFn = std::function<DataSize(std::uint64_t period)>;
+  /// Observer invoked with every completed (or aborted) period record.
+  using RecordFn = std::function<void(const PeriodRecord&)>;
+
+  TaskRunner(Runtime rt, const TaskSpec& spec, Placement initial,
+             WorkloadFn workload, Xoshiro256 noise_rng,
+             PipelineConfig pipeline_config = {}, RecordFn on_record = {});
+  ~TaskRunner();
+  TaskRunner(const TaskRunner&) = delete;
+  TaskRunner& operator=(const TaskRunner&) = delete;
+
+  /// Begin periodic releases; the first period starts at `first_release`.
+  void start(SimTime first_release);
+  /// Stop future releases (in-flight instances drain on their own).
+  void stop();
+
+  const TaskSpec& spec() const { return spec_; }
+  const Placement& placement() const { return placement_; }
+  /// New placement takes effect from the next release.
+  void setPlacement(Placement p) { placement_ = std::move(p); }
+
+  std::uint64_t periodsReleased() const { return released_; }
+  std::size_t activeRuns() const;
+  /// Workload offered in the most recent released period.
+  DataSize currentWorkload() const { return current_workload_; }
+
+ private:
+  void onPeriod(std::uint64_t idx);
+  void sweep();
+
+  Runtime rt_;
+  const TaskSpec& spec_;
+  Placement placement_;
+  WorkloadFn workload_;
+  Xoshiro256 noise_rng_;
+  PipelineConfig pipeline_config_;
+  RecordFn on_record_;
+
+  std::unique_ptr<sim::PeriodicActivity> ticker_;
+  std::vector<std::unique_ptr<PipelineRun>> runs_;
+  std::uint64_t released_ = 0;
+  DataSize current_workload_ = DataSize::zero();
+};
+
+}  // namespace rtdrm::task

@@ -1,0 +1,118 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::workload {
+
+namespace {
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+}  // namespace
+
+DataSize IncreasingRamp::at(std::uint64_t period) const {
+  RTDRM_ASSERT(p_.ramp_periods > 0);
+  const double t = std::min(
+      1.0, static_cast<double>(period) / static_cast<double>(p_.ramp_periods));
+  return DataSize::tracks(
+      lerp(p_.min_workload.count(), p_.max_workload.count(), t));
+}
+
+DataSize DecreasingRamp::at(std::uint64_t period) const {
+  RTDRM_ASSERT(p_.ramp_periods > 0);
+  const double t = std::min(
+      1.0, static_cast<double>(period) / static_cast<double>(p_.ramp_periods));
+  return DataSize::tracks(
+      lerp(p_.max_workload.count(), p_.min_workload.count(), t));
+}
+
+DataSize Triangular::at(std::uint64_t period) const {
+  RTDRM_ASSERT(p_.ramp_periods > 0);
+  const std::uint64_t cycle = 2 * p_.ramp_periods;
+  const std::uint64_t phase = period % cycle;
+  const double t =
+      phase < p_.ramp_periods
+          ? static_cast<double>(phase) / static_cast<double>(p_.ramp_periods)
+          : 1.0 - static_cast<double>(phase - p_.ramp_periods) /
+                      static_cast<double>(p_.ramp_periods);
+  return DataSize::tracks(
+      lerp(p_.min_workload.count(), p_.max_workload.count(), t));
+}
+
+DataSize Sine::at(std::uint64_t period) const {
+  RTDRM_ASSERT(cycle_ > 0);
+  const double phase = 2.0 * std::numbers::pi *
+                       static_cast<double>(period % cycle_) /
+                       static_cast<double>(cycle_);
+  const double t = 0.5 - 0.5 * std::cos(phase);
+  return DataSize::tracks(
+      lerp(p_.min_workload.count(), p_.max_workload.count(), t));
+}
+
+RandomWalk::RandomWalk(RampParams p, DataSize max_step, Xoshiro256 rng)
+    : p_(p), max_step_(max_step), rng_(rng) {
+  RTDRM_ASSERT(max_step_.count() > 0.0);
+}
+
+DataSize RandomWalk::at(std::uint64_t period) const {
+  while (trajectory_.size() <= period) {
+    const double prev = trajectory_.empty()
+                            ? 0.5 * (p_.min_workload.count() +
+                                     p_.max_workload.count())
+                            : trajectory_.back();
+    const double step = rng_.uniform(-max_step_.count(), max_step_.count());
+    trajectory_.push_back(std::clamp(prev + step, p_.min_workload.count(),
+                                     p_.max_workload.count()));
+  }
+  return DataSize::tracks(trajectory_[period]);
+}
+
+Sequence::Sequence(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  RTDRM_ASSERT_MSG(!segments_.empty(), "sequence needs at least one segment");
+  for (const Segment& s : segments_) {
+    RTDRM_ASSERT(s.pattern != nullptr);
+  }
+}
+
+DataSize Sequence::at(std::uint64_t period) const {
+  std::uint64_t local = period;
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    if (local < segments_[i].periods) {
+      return segments_[i].pattern->at(local);
+    }
+    local -= segments_[i].periods;
+  }
+  return segments_.back().pattern->at(local);
+}
+
+DataSize Jittered::at(std::uint64_t period) const {
+  if (sigma_ <= 0.0) {
+    return base_.at(period);
+  }
+  // Derive the period's factor from a dedicated generator so at() stays a
+  // pure, random-access function.
+  SplitMix64 sm(seed_ ^ (period * 0x9e3779b97f4a7c15ULL + 1));
+  Xoshiro256 rng(sm.next());
+  const double factor = rng.lognormalUnitMean(sigma_);
+  return DataSize::tracks(std::max(0.0, base_.at(period).count() * factor));
+}
+
+std::unique_ptr<Pattern> makeFig8Pattern(const std::string& which,
+                                         RampParams params) {
+  if (which == "increasing") {
+    return std::make_unique<IncreasingRamp>(params);
+  }
+  if (which == "decreasing") {
+    return std::make_unique<DecreasingRamp>(params);
+  }
+  if (which == "triangular") {
+    return std::make_unique<Triangular>(params);
+  }
+  RTDRM_ASSERT_MSG(false, "unknown Fig. 8 pattern name");
+  return nullptr;
+}
+
+}  // namespace rtdrm::workload

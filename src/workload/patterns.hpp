@@ -1,0 +1,188 @@
+// External-workload patterns (paper §5.2, Fig. 8).
+//
+// The workload is the number of sensor reports ("tracks") the task must
+// process in a period. The paper evaluates three shapes between a minimum
+// and maximum workload: an increasing ramp, a decreasing ramp, and a
+// triangular (alternating) pattern. Additional shapes (step, sine, random
+// walk, burst) are provided for the extension studies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace rtdrm::workload {
+
+/// Deterministic mapping from period index to offered workload.
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+  virtual DataSize at(std::uint64_t period) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Common bounds for the Fig. 8 patterns.
+struct RampParams {
+  DataSize min_workload = DataSize::tracks(500);
+  DataSize max_workload = DataSize::tracks(10000);
+  /// Periods to traverse min -> max (or max -> min).
+  std::uint64_t ramp_periods = 30;
+};
+
+/// Starts at min, climbs linearly to max, then holds max.
+class IncreasingRamp final : public Pattern {
+ public:
+  explicit IncreasingRamp(RampParams p) : p_(p) {}
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "increasing-ramp"; }
+
+ private:
+  RampParams p_;
+};
+
+/// Starts at max, descends linearly to min, then holds min.
+class DecreasingRamp final : public Pattern {
+ public:
+  explicit DecreasingRamp(RampParams p) : p_(p) {}
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "decreasing-ramp"; }
+
+ private:
+  RampParams p_;
+};
+
+/// Alternates min -> max -> min -> ... indefinitely (the paper's
+/// "fluctuating" pattern).
+class Triangular final : public Pattern {
+ public:
+  explicit Triangular(RampParams p) : p_(p) {}
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "triangular"; }
+
+ private:
+  RampParams p_;
+};
+
+/// Constant workload.
+class Constant final : public Pattern {
+ public:
+  explicit Constant(DataSize level) : level_(level) {}
+  DataSize at(std::uint64_t) const override { return level_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  DataSize level_;
+};
+
+/// Jumps min -> max at `step_at` and stays there.
+class Step final : public Pattern {
+ public:
+  Step(DataSize low, DataSize high, std::uint64_t step_at)
+      : low_(low), high_(high), step_at_(step_at) {}
+  DataSize at(std::uint64_t period) const override {
+    return period < step_at_ ? low_ : high_;
+  }
+  std::string name() const override { return "step"; }
+
+ private:
+  DataSize low_;
+  DataSize high_;
+  std::uint64_t step_at_;
+};
+
+/// Sinusoid between min and max with the given period length.
+class Sine final : public Pattern {
+ public:
+  Sine(RampParams p, std::uint64_t cycle_periods)
+      : p_(p), cycle_(cycle_periods) {}
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "sine"; }
+
+ private:
+  RampParams p_;
+  std::uint64_t cycle_;
+};
+
+/// Bounded random walk between min and max (deterministic per seed).
+/// Precomputes its trajectory lazily so at() stays a pure function.
+class RandomWalk final : public Pattern {
+ public:
+  RandomWalk(RampParams p, DataSize max_step, Xoshiro256 rng);
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "random-walk"; }
+
+ private:
+  RampParams p_;
+  DataSize max_step_;
+  mutable Xoshiro256 rng_;
+  mutable std::vector<double> trajectory_;
+};
+
+/// Baseline workload with periodic bursts ("raids") of burst_len periods
+/// every burst_every periods.
+class Burst final : public Pattern {
+ public:
+  Burst(DataSize baseline, DataSize burst_level, std::uint64_t burst_every,
+        std::uint64_t burst_len)
+      : baseline_(baseline), burst_(burst_level), every_(burst_every),
+        len_(burst_len) {}
+  DataSize at(std::uint64_t period) const override {
+    return (period % every_) < len_ ? burst_ : baseline_;
+  }
+  std::string name() const override { return "burst"; }
+
+ private:
+  DataSize baseline_;
+  DataSize burst_;
+  std::uint64_t every_;
+  std::uint64_t len_;
+};
+
+/// Concatenation of phases: each (pattern, length) segment plays in order,
+/// with each segment seeing a local period index starting at 0; the last
+/// segment holds forever. Mission scripts (calm -> raid -> recovery) are
+/// built from this instead of hand-rolled lambdas. Segment patterns must
+/// outlive the sequence.
+class Sequence final : public Pattern {
+ public:
+  struct Segment {
+    const Pattern* pattern = nullptr;
+    std::uint64_t periods = 0;  ///< ignored for the final segment
+  };
+
+  explicit Sequence(std::vector<Segment> segments);
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "sequence"; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Multiplicative lognormal jitter around any base pattern — the paper's
+/// "event arrivals have nondeterministic distributions" made concrete.
+/// at(c) = base.at(c) * X_c with E[X_c] = 1; each period's factor is a pure
+/// function of (seed, c), so the pattern stays deterministic and
+/// random-access. The base pattern must outlive the wrapper.
+class Jittered final : public Pattern {
+ public:
+  Jittered(const Pattern& base, double sigma, std::uint64_t seed)
+      : base_(base), sigma_(sigma), seed_(seed) {}
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return base_.name() + "+jitter"; }
+
+ private:
+  const Pattern& base_;
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+/// The three Fig. 8 patterns by name ("increasing" | "decreasing" |
+/// "triangular").
+std::unique_ptr<Pattern> makeFig8Pattern(const std::string& which,
+                                         RampParams params);
+
+}  // namespace rtdrm::workload

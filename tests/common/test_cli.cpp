@@ -1,0 +1,128 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtdrm {
+namespace {
+
+bool parseArgs(ArgParser& p, std::initializer_list<const char*> args,
+               std::string* err_out = nullptr) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  std::ostringstream out;
+  std::ostringstream err;
+  const bool ok =
+      p.parse(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (err_out != nullptr) {
+    *err_out = err.str();
+  }
+  return ok;
+}
+
+TEST(ArgParser, ParsesAllTypesSpaceSeparated) {
+  std::int64_t n = 1;
+  double x = 0.5;
+  std::string s = "a";
+  bool flag = false;
+  ArgParser p("t");
+  p.addInt("n", "count", &n)
+      .addDouble("x", "ratio", &x)
+      .addString("s", "label", &s)
+      .addFlag("v", "verbose", &flag);
+  EXPECT_TRUE(parseArgs(p, {"--n", "42", "--x", "2.5", "--s", "hi", "--v"}));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hi");
+  EXPECT_TRUE(flag);
+}
+
+TEST(ArgParser, ParsesEqualsSyntax) {
+  std::int64_t n = 0;
+  double x = 0.0;
+  ArgParser p("t");
+  p.addInt("n", "", &n).addDouble("x", "", &x);
+  EXPECT_TRUE(parseArgs(p, {"--n=7", "--x=1.25"}));
+  EXPECT_EQ(n, 7);
+  EXPECT_DOUBLE_EQ(x, 1.25);
+}
+
+TEST(ArgParser, DefaultsSurviveWhenUnset) {
+  std::int64_t n = 99;
+  ArgParser p("t");
+  p.addInt("n", "", &n);
+  EXPECT_TRUE(parseArgs(p, {}));
+  EXPECT_EQ(n, 99);
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+  std::int64_t n = 0;
+  ArgParser p("t");
+  p.addInt("n", "", &n);
+  EXPECT_TRUE(parseArgs(p, {"alpha", "--n", "3", "beta"}));
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser p("t");
+  std::string err;
+  EXPECT_FALSE(parseArgs(p, {"--nope"}, &err));
+  EXPECT_NE(err.find("unknown option"), std::string::npos);
+  EXPECT_FALSE(p.helpRequested());
+}
+
+TEST(ArgParser, BadNumericValueFails) {
+  std::int64_t n = 0;
+  double x = 0.0;
+  ArgParser p("t");
+  p.addInt("n", "", &n).addDouble("x", "", &x);
+  std::string err;
+  EXPECT_FALSE(parseArgs(p, {"--n", "12abc"}, &err));
+  EXPECT_NE(err.find("bad value"), std::string::npos);
+  EXPECT_FALSE(parseArgs(p, {"--x", "zz"}, &err));
+}
+
+TEST(ArgParser, MissingValueFails) {
+  std::int64_t n = 0;
+  ArgParser p("t");
+  p.addInt("n", "", &n);
+  std::string err;
+  EXPECT_FALSE(parseArgs(p, {"--n"}, &err));
+  EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, HelpPrintsUsageAndReturnsFalse) {
+  std::int64_t n = 5;
+  ArgParser p("tool", "does things");
+  p.addInt("n", "how many", &n);
+  std::vector<const char*> argv{"tool", "--help"};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(2, argv.data(), out, err));
+  EXPECT_TRUE(p.helpRequested());
+  EXPECT_NE(out.str().find("usage: tool"), std::string::npos);
+  EXPECT_NE(out.str().find("how many"), std::string::npos);
+  EXPECT_NE(out.str().find("default: 5"), std::string::npos);
+}
+
+TEST(ArgParser, ExplicitFlagValues) {
+  bool flag = true;
+  ArgParser p("t");
+  p.addFlag("v", "", &flag);
+  EXPECT_TRUE(parseArgs(p, {"--v=false"}));
+  EXPECT_FALSE(flag);
+  EXPECT_TRUE(parseArgs(p, {"--v=1"}));
+  EXPECT_TRUE(flag);
+}
+
+TEST(ArgParserDeathTest, DuplicateRegistrationAsserts) {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  ArgParser p("t");
+  p.addInt("n", "", &a);
+  EXPECT_DEATH(p.addInt("n", "", &b), "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm

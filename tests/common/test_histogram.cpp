@@ -1,0 +1,115 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rtdrm {
+namespace {
+
+TEST(Histogram, BucketsCoverRangeUniformly) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.bucketCount(), 10u);
+  EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucketHigh(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucketLow(9), 90.0);
+  EXPECT_DOUBLE_EQ(h.bucketHigh(9), 100.0);
+}
+
+TEST(Histogram, AddRoutesToCorrectBucket) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(15.0);
+  h.add(15.5);
+  h.add(99.999);
+  EXPECT_EQ(h.bucketCount(0), 1u);
+  EXPECT_EQ(h.bucketCount(1), 2u);
+  EXPECT_EQ(h.bucketCount(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BoundaryValuesBelongToUpperBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.0);  // [3, 4)
+  EXPECT_EQ(h.bucketCount(3), 1u);
+  h.add(0.0);
+  EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounted) {
+  Histogram h(10.0, 20.0, 5);
+  h.add(5.0);
+  h.add(25.0);
+  h.add(20.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucketCount(0), 2u);
+  EXPECT_EQ(a.bucketCount(4), 1u);
+}
+
+TEST(HistogramDeathTest, MergeRejectsMismatchedShape) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 6);
+  EXPECT_DEATH(a.merge(b), "shapes");
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(rng.uniform(0.0, 100.0));
+  }
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> lo
+  h.add(5.5);
+  EXPECT_GE(h.quantile(1.0), 5.0);
+  EXPECT_LE(h.quantile(1.0), 6.0);
+}
+
+TEST(Histogram, QuantileWithOverflowClampsToHi) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.add(100.0);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+}
+
+TEST(Histogram, RenderShowsBarsAndElidesEmptyEnds) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 8; ++i) {
+    h.add(45.0);
+  }
+  h.add(55.0);
+  const std::string s = h.render(20);
+  EXPECT_NE(s.find("####"), std::string::npos);
+  // Buckets before 40 and after 60 are elided (" 0.00," would only appear
+  // as the low edge of the first bucket).
+  EXPECT_EQ(s.find(" 0.00,"), std::string::npos);
+  EXPECT_NE(s.find("40.00"), std::string::npos);
+  EXPECT_EQ(s.find("70.00"), std::string::npos);
+}
+
+TEST(Histogram, RenderEmpty) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.render(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace rtdrm

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm {
+namespace {
+
+// The global threshold is process-wide; restore it after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = logLevel(); }
+  void TearDown() override { setLogLevel(saved_); }
+  LogLevel saved_{};
+};
+
+TEST_F(LogTest, ThresholdRoundTrips) {
+  setLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(logLevel(), LogLevel::kDebug);
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+}
+
+TEST_F(LogTest, BelowThresholdShortCircuitsEvaluation) {
+  setLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  RTDRM_LOG(kDebug) << "value=" << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream expression never ran
+  RTDRM_LOG(kError) << "value=" << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, OffSuppressesEverything) {
+  setLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  RTDRM_LOG(kError) << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LogTest, EmitDoesNotCrashAcrossLevels) {
+  setLogLevel(LogLevel::kTrace);
+  RTDRM_LOG(kTrace) << "trace";
+  RTDRM_LOG(kDebug) << "debug " << 1;
+  RTDRM_LOG(kInfo) << "info " << 2.5;
+  RTDRM_LOG(kWarn) << "warn";
+  RTDRM_LOG(kError) << "error";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rtdrm

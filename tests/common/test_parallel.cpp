@@ -1,0 +1,64 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rtdrm {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoOp) {
+  bool called = false;
+  parallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallelFor(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+              /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsMatchSerialSum) {
+  const std::size_t n = 10000;
+  std::vector<double> out(n, 0.0);
+  parallelFor(n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * static_cast<double>(n) *
+                              static_cast<double>(n - 1) / 2.0);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallelFor(100,
+                  [](std::size_t i) {
+                    if (i == 37) {
+                      throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> count{0};
+  parallelFor(3, [&](std::size_t) { count.fetch_add(1); }, /*threads=*/64);
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace rtdrm

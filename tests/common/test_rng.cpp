@@ -1,0 +1,175 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rtdrm {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Uniform01Bounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformIntInclusiveBoundsAndCoverage) {
+  Xoshiro256 rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(1, 6);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all die faces appear in 1000 rolls
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, NormalScaledMoments) {
+  Xoshiro256 rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro256, ExponentialMeanMatches) {
+  Xoshiro256 rng(29);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponentialMean(4.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Xoshiro256, LognormalUnitMeanIsUnitMean) {
+  Xoshiro256 rng(31);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormalUnitMean(0.3);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Xoshiro256, LognormalZeroSigmaIsOne) {
+  Xoshiro256 rng(37);
+  EXPECT_DOUBLE_EQ(rng.lognormalUnitMean(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rng.lognormalUnitMean(-1.0), 1.0);
+}
+
+TEST(RngStreams, SameKeySameStream) {
+  const RngStreams streams(99);
+  Xoshiro256 a = streams.get("bg-load", 3);
+  Xoshiro256 b = streams.get("bg-load", 3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngStreams, DifferentNamesIndependent) {
+  const RngStreams streams(99);
+  Xoshiro256 a = streams.get("bg-load", 0);
+  Xoshiro256 b = streams.get("noise", 0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStreams, DifferentIndicesIndependent) {
+  const RngStreams streams(99);
+  Xoshiro256 a = streams.get("bg-load", 0);
+  Xoshiro256 b = streams.get("bg-load", 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStreams, MasterSeedChangesStreams) {
+  Xoshiro256 a = RngStreams(1).get("x");
+  Xoshiro256 b = RngStreams(2).get("x");
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Fnv1a64, KnownValuesAndDistinctness) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+}  // namespace
+}  // namespace rtdrm

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rtdrm {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.addRow({std::string("alpha"), 1.5});
+  t.addRow({std::string("b"), static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.500"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubleFormatting) {
+  Table t({"x"}, 1);
+  t.addRow({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"}, 2);
+  t.addRow({std::string("x"), 1.0});
+  t.addRow({std::string("y"), 2.5});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1.00\ny,2.50\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a"});
+  t.addRow({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"col"}, 0);
+  t.addRow({static_cast<long long>(5)});
+  const std::string path = testing::TempDir() + "/rtdrm_table_test.csv";
+  ASSERT_TRUE(t.writeCsv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "col");
+  std::getline(f, line);
+  EXPECT_EQ(line, "5");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table t({"col"});
+  EXPECT_FALSE(t.writeCsv("/nonexistent-dir/impossible/file.csv"));
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({1.0}).addRow({2.0});
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthAsserts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.addRow({1.0}), "row width");
+}
+
+TEST(PrintBanner, ContainsTitle) {
+  std::ostringstream os;
+  printBanner(os, "Figure 9(a)");
+  EXPECT_NE(os.str().find("Figure 9(a)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtdrm

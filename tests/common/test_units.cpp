@@ -1,0 +1,101 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm {
+namespace {
+
+TEST(SimDuration, ConstructorsAndConversions) {
+  EXPECT_DOUBLE_EQ(SimDuration::millis(250.0).ms(), 250.0);
+  EXPECT_DOUBLE_EQ(SimDuration::seconds(1.5).ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(SimDuration::micros(500.0).ms(), 0.5);
+  EXPECT_DOUBLE_EQ(SimDuration::seconds(2.0).sec(), 2.0);
+  EXPECT_DOUBLE_EQ(SimDuration::zero().ms(), 0.0);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::millis(10.0);
+  const auto b = SimDuration::millis(4.0);
+  EXPECT_DOUBLE_EQ((a + b).ms(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).ms(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.5).ms(), 25.0);
+  EXPECT_DOUBLE_EQ((2.5 * a).ms(), 25.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).ms(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimDuration, CompoundAssignmentAndComparison) {
+  auto a = SimDuration::millis(1.0);
+  a += SimDuration::millis(2.0);
+  EXPECT_DOUBLE_EQ(a.ms(), 3.0);
+  a -= SimDuration::millis(0.5);
+  EXPECT_DOUBLE_EQ(a.ms(), 2.5);
+  EXPECT_LT(SimDuration::millis(1.0), SimDuration::millis(2.0));
+  EXPECT_EQ(SimDuration::seconds(1.0), SimDuration::millis(1000.0));
+}
+
+TEST(SimTime, OffsetArithmetic) {
+  const auto t = SimTime::seconds(1.0);
+  EXPECT_DOUBLE_EQ((t + SimDuration::millis(5.0)).ms(), 1005.0);
+  EXPECT_DOUBLE_EQ((t - SimDuration::millis(5.0)).ms(), 995.0);
+  EXPECT_DOUBLE_EQ((SimTime::millis(130.0) - SimTime::millis(100.0)).ms(),
+                   30.0);
+  auto u = SimTime::zero();
+  u += SimDuration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(u.sec(), 2.0);
+}
+
+TEST(DataSize, TrackAndHundredsConversions) {
+  EXPECT_DOUBLE_EQ(DataSize::tracks(750.0).count(), 750.0);
+  EXPECT_DOUBLE_EQ(DataSize::tracks(750.0).hundreds(), 7.5);
+  EXPECT_DOUBLE_EQ(DataSize::hundredsOf(3.0).count(), 300.0);
+}
+
+TEST(DataSize, Arithmetic) {
+  const auto d = DataSize::tracks(1000.0);
+  EXPECT_DOUBLE_EQ((d / 4.0).count(), 250.0);
+  EXPECT_DOUBLE_EQ((d * 2.0).count(), 2000.0);
+  EXPECT_DOUBLE_EQ((d + DataSize::tracks(500.0)).count(), 1500.0);
+  EXPECT_DOUBLE_EQ((d - DataSize::tracks(400.0)).count(), 600.0);
+  EXPECT_LT(DataSize::tracks(1.0), DataSize::tracks(2.0));
+}
+
+TEST(DataSizeDeathTest, DivisionByZeroAsserts) {
+  EXPECT_DEATH((void)(DataSize::tracks(10.0) / 0.0), "assertion");
+}
+
+TEST(Bytes, ConversionsAndArithmetic) {
+  EXPECT_DOUBLE_EQ(Bytes::of(80.0).bits(), 640.0);
+  EXPECT_DOUBLE_EQ(Bytes::kilo(1.5).count(), 1500.0);
+  EXPECT_DOUBLE_EQ((Bytes::of(100.0) * 3.0).count(), 300.0);
+  EXPECT_DOUBLE_EQ((Bytes::of(100.0) + Bytes::of(50.0)).count(), 150.0);
+}
+
+TEST(BitRate, TransmissionTimeMatchesEq6) {
+  // Eq. (6): 100 Mbps moving 12500 bytes = 1 ms.
+  const auto rate = BitRate::mbps(100.0);
+  EXPECT_NEAR(rate.transmissionTime(Bytes::of(12500.0)).ms(), 1.0, 1e-12);
+  // 80-byte track at 100 Mbps = 6.4 us.
+  EXPECT_NEAR(rate.transmissionTime(Bytes::of(80.0)).ms(), 0.0064, 1e-12);
+}
+
+TEST(Utilization, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(Utilization::fraction(-0.5).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Utilization::fraction(1.5).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Utilization::fraction(0.37).value(), 0.37);
+}
+
+TEST(Utilization, PercentRoundTrip) {
+  EXPECT_DOUBLE_EQ(Utilization::percent(20.0).value(), 0.2);
+  EXPECT_DOUBLE_EQ(Utilization::percent(20.0).asPercent(), 20.0);
+  EXPECT_DOUBLE_EQ(Utilization::percent(150.0).value(), 1.0);
+}
+
+TEST(ProcessorId, Ordering) {
+  EXPECT_LT(ProcessorId{1}, ProcessorId{2});
+  EXPECT_EQ(ProcessorId{3}, ProcessorId{3});
+  EXPECT_NE(ProcessorId{3}, ProcessorId{4});
+}
+
+}  // namespace
+}  // namespace rtdrm

@@ -1,0 +1,316 @@
+#include "core/allocators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace rtdrm::core {
+namespace {
+
+// Testbed with controllable per-node utilization: submit `frac * window`
+// of work to each node, advance one window, sample.
+struct Bed {
+  explicit Bed(std::size_t nodes) : cluster(sim, nodes) {}
+
+  void setUtilizations(const std::vector<double>& fracs) {
+    for (std::size_t i = 0; i < fracs.size(); ++i) {
+      if (fracs[i] > 0.0) {
+        cluster.processor(ProcessorId{static_cast<std::uint32_t>(i)})
+            .submit(node::Job{SimDuration::millis(100.0 * fracs[i]), nullptr,
+                              "load"});
+      }
+    }
+    const SimTime horizon = sim.now() + SimDuration::millis(100.0);
+    sim.runUntil(horizon);
+    cluster.sampleUtilization();
+  }
+
+  sim::Simulator sim;
+  node::Cluster cluster;
+};
+
+task::TaskSpec twoStageSpec() {
+  task::TaskSpec spec;
+  spec.subtasks = {
+      task::SubtaskSpec{"fixed", task::SubtaskCost{0.0, 1.0}, false, 0.0},
+      task::SubtaskSpec{"flex", task::SubtaskCost{0.0, 10.0}, true, 0.0}};
+  spec.messages = {task::MessageSpec{0.0}};  // free messages
+  return spec;
+}
+
+// Stage budgets: stage 0 -> 40, stage 1 -> 60 (message estimate zero).
+EqfBudgets budgets() { return assignEqf({{40.0, 60.0}, {0.0}, 100.0}); }
+
+// eex = 10 ms per hundred tracks, independent of utilization; ecd = 0.
+PredictiveModels flatModels() {
+  PredictiveModels m;
+  regress::ExecLatencyModel fixed;
+  fixed.b3 = 1.0;
+  regress::ExecLatencyModel flex;
+  flex.b3 = 10.0;
+  m.exec = {fixed, flex};
+  m.comm.buffer.k_ms_per_hundred = 0.0;
+  m.comm.link_rate = BitRate::mbps(100.0);
+  return m;
+}
+
+TEST(PredictiveAllocator, ForecastMatchesEq3AndEq4) {
+  Bed bed(2);
+  bed.setUtilizations({0.0, 0.0});
+  PredictiveAllocator alloc(flatModels());
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  // k=1: 10 hundreds * 10 ms = 100 ms. k=2: 50 ms.
+  EXPECT_NEAR(alloc.forecastReplicaLatency(ctx, 1, 1, Utilization::zero()).ms(),
+              100.0, 1e-9);
+  EXPECT_NEAR(alloc.forecastReplicaLatency(ctx, 1, 2, Utilization::zero()).ms(),
+              50.0, 1e-9);
+  // Stage 0 has no incoming message: pure eex.
+  EXPECT_NEAR(alloc.forecastReplicaLatency(ctx, 0, 1, Utilization::zero()).ms(),
+              10.0, 1e-9);
+}
+
+TEST(PredictiveAllocator, AddsExactlyEnoughReplicas) {
+  Bed bed(6);
+  bed.setUtilizations({0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  PredictiveAllocator alloc(flatModels());
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  // Limit = 60 - 0.2*60 = 48 ms. Forecast(k) = 100/k: k=3 -> 33.3 <= 48.
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(PredictiveAllocator, PicksLeastUtilizedProcessorsInOrder) {
+  Bed bed(4);
+  bed.setUtilizations({0.1, 0.5, 0.05, 0.3});
+  PredictiveAllocator alloc(flatModels());
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  ASSERT_EQ(rs.size(), 3u);
+  // Fig. 5 step 3: pmin first — node 2 (0.05), then node 3 (0.3).
+  EXPECT_EQ(rs.nodes()[1], (ProcessorId{2}));
+  EXPECT_EQ(rs.nodes()[2], (ProcessorId{3}));
+}
+
+TEST(PredictiveAllocator, FailsWhenProcessorsExhausted) {
+  Bed bed(2);
+  bed.setUtilizations({0.0, 0.0});
+  PredictiveAllocator alloc(flatModels());
+  const auto spec = twoStageSpec();
+  // Tiny budget that even full replication cannot satisfy:
+  const EqfBudgets b = assignEqf({{40.0, 10.0}, {0.0}, 50.0});
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  // Forecast(k=2) = 50 > limit 8: exhausts the 2-node cluster.
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kFailure);
+  EXPECT_EQ(rs.size(), 2u);  // grabbed everything it could
+}
+
+TEST(PredictiveAllocator, AlwaysAddsAtLeastOneReplica) {
+  // Called on low observed slack even if the forecast at current size fits:
+  // Fig. 5 unconditionally picks a pmin first.
+  Bed bed(6);
+  bed.setUtilizations({0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  PredictiveAllocator alloc(flatModels());
+  const auto spec = twoStageSpec();
+  const auto b = budgets();  // limit 48
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(400.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  // Forecast(k=1) = 40 <= 48 already, but one replica is still added.
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(PredictiveAllocator, UtilizationDependenceForcesMoreReplicas) {
+  // eex = (1 + u) * 10 ms per hundred: busier nodes forecast slower.
+  PredictiveModels m = flatModels();
+  m.exec[1].b2 = 10.0;  // linear-in-u term on top of b3 = 10
+  Bed busy(6);
+  busy.setUtilizations({0.8, 0.8, 0.8, 0.8, 0.8, 0.8});
+  PredictiveAllocator alloc(m);
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, busy.cluster, DataSize::tracks(1000.0),
+                              b, 0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  // Forecast(k) = 1.8 * 100 / k <= 48 -> k = 4 (45 <= 48).
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  EXPECT_EQ(rs.size(), 4u);
+}
+
+TEST(PredictiveAllocator, CommDelayCountsAgainstBudget) {
+  PredictiveModels m = flatModels();
+  m.comm.buffer.k_ms_per_hundred = 2.0;  // Dbuf = 2 ms * total hundreds
+  PredictiveAllocator alloc(m);
+  task::TaskSpec spec = twoStageSpec();
+  spec.messages = {task::MessageSpec{80.0}};
+  Bed bed(6);
+  bed.setUtilizations({0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const auto b = budgets();  // stage 1 limit 48
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  // Dbuf = 20 ms regardless of k (total workload!); eex = 100/k; Dtrans
+  // tiny. Need 100/k <= ~28 -> k = 4.
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  EXPECT_EQ(rs.size(), 4u);
+}
+
+TEST(NonPredictiveAllocator, AddsAllProcessorsBelowThreshold) {
+  Bed bed(5);
+  bed.setUtilizations({0.5, 0.1, 0.25, 0.15, 0.05});
+  NonPredictiveAllocator alloc(Utilization::percent(20.0));
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  // Nodes 1 (0.1), 3 (0.15), 4 (0.05) are below UT; node 2 (0.25) is not;
+  // node 0 already hosts the subtask.
+  EXPECT_EQ(rs.size(), 4u);
+  EXPECT_TRUE(rs.contains(ProcessorId{1}));
+  EXPECT_TRUE(rs.contains(ProcessorId{3}));
+  EXPECT_TRUE(rs.contains(ProcessorId{4}));
+  EXPECT_FALSE(rs.contains(ProcessorId{2}));
+}
+
+TEST(NonPredictiveAllocator, NoChangeWhenAllNodesBusy) {
+  Bed bed(3);
+  bed.setUtilizations({0.5, 0.4, 0.3});
+  NonPredictiveAllocator alloc(Utilization::percent(20.0));
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kNoChange);
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+TEST(NonPredictiveAllocator, ThresholdIsConfigurable) {
+  Bed bed(3);
+  bed.setUtilizations({0.5, 0.45, 0.3});
+  NonPredictiveAllocator alloc(Utilization::percent(40.0));
+  const auto spec = twoStageSpec();
+  const auto b = budgets();
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  EXPECT_EQ(rs.size(), 2u);
+  EXPECT_TRUE(rs.contains(ProcessorId{2}));
+}
+
+TEST(NonPredictiveAllocator, IgnoresForecastEntirely) {
+  // Even with an absurdly tight budget it just takes the idle nodes —
+  // that's exactly the heuristic the paper contrasts against.
+  Bed bed(3);
+  bed.setUtilizations({0.0, 0.0, 0.0});
+  NonPredictiveAllocator alloc(Utilization::percent(20.0));
+  const auto spec = twoStageSpec();
+  const EqfBudgets tight = assignEqf({{40.0, 0.001}, {0.0}, 41.0});
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(99000.0),
+                              tight, 0.2};
+  task::ReplicaSet rs(ProcessorId{0});
+  EXPECT_EQ(alloc.replicate(ctx, 1, rs), AllocStatus::kSuccess);
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(PredictiveAllocator, HeadroomProvisionsForLargerWorkload) {
+  Bed bed(6);
+  bed.setUtilizations({0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const auto spec = twoStageSpec();
+  const auto b = budgets();  // limit 48 ms
+  const AllocationContext ctx{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                              0.2};
+  // Without headroom: forecast 100/k -> k = 3.
+  PredictiveAllocator plain(flatModels());
+  task::ReplicaSet rs1(ProcessorId{0});
+  EXPECT_EQ(plain.replicate(ctx, 1, rs1), AllocStatus::kSuccess);
+  EXPECT_EQ(rs1.size(), 3u);
+  // With 50% headroom: forecast 150/k -> k = 4 (37.5 <= 48).
+  PredictiveAllocator padded(flatModels(), PredictiveConfig{0.5});
+  task::ReplicaSet rs2(ProcessorId{0});
+  EXPECT_EQ(padded.replicate(ctx, 1, rs2), AllocStatus::kSuccess);
+  EXPECT_EQ(rs2.size(), 4u);
+}
+
+TEST(PredictiveAllocator, TotalWorkloadDrivesBufferDelay) {
+  // Same task share, but a heavy co-resident task inflates eq. 5's sum and
+  // therefore the forecast communication delay.
+  PredictiveModels m = flatModels();
+  m.comm.buffer.k_ms_per_hundred = 2.0;
+  PredictiveAllocator alloc(m);
+  task::TaskSpec spec = twoStageSpec();
+  spec.messages = {task::MessageSpec{80.0}};
+  Bed bed(6);
+  bed.setUtilizations({0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const auto b = budgets();  // stage-1 limit 48 ms
+  AllocationContext alone{spec, bed.cluster, DataSize::tracks(1000.0), b,
+                          0.2};
+  AllocationContext crowded = alone;
+  crowded.total_workload = DataSize::tracks(2400.0);  // +1400 from others
+  // alone: Dbuf 20 ms; crowded: Dbuf 48 ms > limit at every k -> failure.
+  const SimDuration f_alone =
+      alloc.forecastReplicaLatency(alone, 1, 2, Utilization::zero());
+  const SimDuration f_crowded =
+      alloc.forecastReplicaLatency(crowded, 1, 2, Utilization::zero());
+  EXPECT_NEAR(f_crowded.ms() - f_alone.ms(), 2.0 * 14.0, 1e-6);
+  task::ReplicaSet rs(ProcessorId{0});
+  EXPECT_EQ(alloc.replicate(crowded, 1, rs), AllocStatus::kFailure);
+}
+
+TEST(SelectShutdownVictim, LastAddedMatchesFig6) {
+  Bed bed(4);
+  bed.setUtilizations({0.1, 0.9, 0.2, 0.3});
+  task::ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{1});
+  rs.add(ProcessorId{2});
+  EXPECT_EQ(selectShutdownVictim(rs, bed.cluster,
+                                 ShutdownSelection::kLastAdded),
+            (ProcessorId{2}));
+}
+
+TEST(SelectShutdownVictim, MostUtilizedEvictsBusiestNonPrimary) {
+  Bed bed(4);
+  bed.setUtilizations({0.95, 0.9, 0.2, 0.3});
+  task::ReplicaSet rs(ProcessorId{0});  // primary is busiest but immune
+  rs.add(ProcessorId{1});
+  rs.add(ProcessorId{2});
+  rs.add(ProcessorId{3});
+  EXPECT_EQ(selectShutdownVictim(rs, bed.cluster,
+                                 ShutdownSelection::kMostUtilized),
+            (ProcessorId{1}));
+}
+
+TEST(SelectShutdownVictim, MostUtilizedTieBreaksToEarliestAdded) {
+  Bed bed(3);
+  bed.setUtilizations({0.0, 0.0, 0.0});
+  task::ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{2});
+  rs.add(ProcessorId{1});
+  EXPECT_EQ(selectShutdownVictim(rs, bed.cluster,
+                                 ShutdownSelection::kMostUtilized),
+            (ProcessorId{2}));
+}
+
+TEST(AllocatorNames, AreStable) {
+  EXPECT_EQ(PredictiveAllocator(flatModels()).name(), "predictive");
+  EXPECT_EQ(NonPredictiveAllocator().name(), "non-predictive");
+}
+
+}  // namespace
+}  // namespace rtdrm::core

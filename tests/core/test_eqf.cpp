@@ -1,0 +1,174 @@
+#include "core/eqf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rtdrm::core {
+namespace {
+
+TEST(AssignEqf, SingleSubtaskGetsWholeDeadline) {
+  const EqfBudgets b = assignEqf({{100.0}, {}, 990.0});
+  ASSERT_EQ(b.subtask_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.subtask_ms[0], 990.0);
+  EXPECT_DOUBLE_EQ(b.subtask_abs_ms[0], 990.0);
+  EXPECT_DOUBLE_EQ(b.flexibility, 9.9);
+}
+
+TEST(AssignEqf, EqualEstimatesSplitEqually) {
+  const EqfBudgets b = assignEqf({{100.0, 100.0}, {0.0}, 990.0});
+  EXPECT_DOUBLE_EQ(b.subtask_ms[0], 495.0);
+  EXPECT_DOUBLE_EQ(b.subtask_ms[1], 495.0);
+  EXPECT_DOUBLE_EQ(b.message_ms[0], 0.0);
+}
+
+TEST(AssignEqf, BudgetsSumToDeadline) {
+  const EqfInput in{{10.0, 40.0, 25.0}, {5.0, 20.0}, 990.0};
+  const EqfBudgets b = assignEqf(in);
+  const double total =
+      std::accumulate(b.subtask_ms.begin(), b.subtask_ms.end(), 0.0) +
+      std::accumulate(b.message_ms.begin(), b.message_ms.end(), 0.0);
+  EXPECT_NEAR(total, 990.0, 1e-9);
+}
+
+TEST(AssignEqf, EqualFlexibilityRatioAcrossElements) {
+  const EqfInput in{{10.0, 40.0, 25.0}, {5.0, 20.0}, 990.0};
+  const EqfBudgets b = assignEqf(in);
+  const double ratio = b.flexibility;
+  for (std::size_t i = 0; i < in.eex_ms.size(); ++i) {
+    EXPECT_NEAR(b.subtask_ms[i] / in.eex_ms[i], ratio, 1e-12);
+  }
+  for (std::size_t i = 0; i < in.ecd_ms.size(); ++i) {
+    EXPECT_NEAR(b.message_ms[i] / in.ecd_ms[i], ratio, 1e-12);
+  }
+}
+
+TEST(AssignEqf, AbsoluteDeadlinesArePrefixSums) {
+  const EqfInput in{{10.0, 40.0, 25.0}, {5.0, 20.0}, 990.0};
+  const EqfBudgets b = assignEqf(in);
+  EXPECT_NEAR(b.subtask_abs_ms[0], b.subtask_ms[0], 1e-12);
+  EXPECT_NEAR(b.subtask_abs_ms[1],
+              b.subtask_ms[0] + b.message_ms[0] + b.subtask_ms[1], 1e-12);
+  // Last subtask's absolute deadline is the end-to-end deadline minus the
+  // trailing (nonexistent) message: exactly D here.
+  EXPECT_NEAR(b.subtask_abs_ms[2], 990.0, 1e-9);
+}
+
+TEST(AssignEqf, LastSubtaskAbsoluteEqualsTaskDeadline) {
+  // The printed eq. (1) yields dl(T) for i = n; our variant preserves that.
+  const EqfBudgets b = assignEqf({{50.0, 75.0}, {25.0}, 300.0});
+  EXPECT_NEAR(b.subtask_abs_ms.back(), 300.0, 1e-9);
+}
+
+TEST(AssignEqf, OverloadedChainCompressesProportionally) {
+  // Total estimate 1200 > deadline 600: flexibility < 1.
+  const EqfBudgets b = assignEqf({{800.0, 400.0}, {0.0}, 600.0});
+  EXPECT_NEAR(b.flexibility, 0.5, 1e-12);
+  EXPECT_NEAR(b.subtask_ms[0], 400.0, 1e-9);
+  EXPECT_NEAR(b.subtask_ms[1], 200.0, 1e-9);
+}
+
+TEST(AssignEqf, ZeroEstimateElementsGetZeroBudget) {
+  const EqfBudgets b = assignEqf({{0.0, 100.0}, {0.0}, 500.0});
+  EXPECT_DOUBLE_EQ(b.subtask_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(b.subtask_ms[1], 500.0);
+}
+
+TEST(EqfBudgets, StageBudgetCombinesMessageAndSubtask) {
+  const EqfBudgets b = assignEqf({{10.0, 40.0}, {5.0}, 110.0});
+  // ratio = 2: budgets are 20, 10, 80.
+  EXPECT_NEAR(b.stageBudgetMs(0), 20.0, 1e-9);
+  EXPECT_NEAR(b.stageBudgetMs(1), 10.0 + 80.0, 1e-9);
+}
+
+TEST(AssignEqfDeathTest, RejectsMismatchedMessages) {
+  EXPECT_DEATH(assignEqf({{10.0, 20.0}, {}, 100.0}), "n-1");
+}
+
+TEST(AssignEqfDeathTest, RejectsAllZeroEstimates) {
+  EXPECT_DEATH(assignEqf({{0.0}, {}, 100.0}), "all estimates are zero");
+}
+
+TEST(AssignEqfDeathTest, RejectsNegativeEstimate) {
+  EXPECT_DEATH(assignEqf({{-1.0, 2.0}, {0.0}, 100.0}), "assertion");
+}
+
+TEST(AssignBudgets, EqfStrategyMatchesAssignEqf) {
+  const EqfInput in{{10.0, 40.0, 25.0}, {5.0, 20.0}, 990.0};
+  const EqfBudgets a = assignEqf(in);
+  const EqfBudgets b = assignBudgets(in, DeadlineStrategy::kEqf);
+  for (std::size_t i = 0; i < a.subtask_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.subtask_ms[i], b.subtask_ms[i]);
+  }
+}
+
+TEST(AssignBudgets, EqsGivesEqualAbsoluteSlack) {
+  const EqfInput in{{10.0, 40.0}, {5.0}, 100.0};  // slack 45, 3 elements
+  const EqfBudgets b = assignBudgets(in, DeadlineStrategy::kEqs);
+  EXPECT_NEAR(b.subtask_ms[0] - 10.0, 15.0, 1e-12);
+  EXPECT_NEAR(b.subtask_ms[1] - 40.0, 15.0, 1e-12);
+  EXPECT_NEAR(b.message_ms[0] - 5.0, 15.0, 1e-12);
+  // Budgets still tile the deadline exactly.
+  EXPECT_NEAR(b.subtask_ms[0] + b.subtask_ms[1] + b.message_ms[0], 100.0,
+              1e-12);
+}
+
+TEST(AssignBudgets, EqsSkipsZeroEstimateElements) {
+  const EqfInput in{{10.0, 40.0}, {0.0}, 100.0};  // slack 50, 2 real elems
+  const EqfBudgets b = assignBudgets(in, DeadlineStrategy::kEqs);
+  EXPECT_DOUBLE_EQ(b.message_ms[0], 0.0);
+  EXPECT_NEAR(b.subtask_ms[0] - 10.0, 25.0, 1e-12);
+  EXPECT_NEAR(b.subtask_ms[1] - 40.0, 25.0, 1e-12);
+}
+
+TEST(AssignBudgets, EqsFallsBackToCompressionWhenInfeasible) {
+  const EqfInput in{{800.0, 400.0}, {0.0}, 600.0};
+  const EqfBudgets eqs = assignBudgets(in, DeadlineStrategy::kEqs);
+  const EqfBudgets eqf = assignEqf(in);
+  EXPECT_DOUBLE_EQ(eqs.subtask_ms[0], eqf.subtask_ms[0]);
+  EXPECT_DOUBLE_EQ(eqs.subtask_ms[1], eqf.subtask_ms[1]);
+}
+
+TEST(AssignBudgets, EqfVsEqsFavorDifferentElements) {
+  // EQF gives the long element most of the slack; EQS splits it evenly, so
+  // the short element gets a relatively fatter budget under EQS.
+  const EqfInput in{{10.0, 90.0}, {0.0}, 200.0};
+  const EqfBudgets eqf = assignBudgets(in, DeadlineStrategy::kEqf);
+  const EqfBudgets eqs = assignBudgets(in, DeadlineStrategy::kEqs);
+  EXPECT_GT(eqs.subtask_ms[0], eqf.subtask_ms[0]);
+  EXPECT_LT(eqs.subtask_ms[1], eqf.subtask_ms[1]);
+}
+
+// Property: for random chains, budgets always sum to D and flexibility is
+// common across all elements.
+class EqfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqfProperty, SumAndRatioInvariants) {
+  const int n = GetParam();
+  EqfInput in;
+  in.deadline_ms = 990.0;
+  for (int i = 0; i < n; ++i) {
+    in.eex_ms.push_back(3.0 + 7.0 * i);
+    if (i + 1 < n) {
+      in.ecd_ms.push_back(1.0 + 2.0 * i);
+    }
+  }
+  const EqfBudgets b = assignEqf(in);
+  double total = 0.0;
+  for (double v : b.subtask_ms) {
+    total += v;
+  }
+  for (double v : b.message_ms) {
+    total += v;
+  }
+  EXPECT_NEAR(total, 990.0, 1e-9);
+  for (std::size_t i = 0; i < in.eex_ms.size(); ++i) {
+    EXPECT_NEAR(b.subtask_ms[i], in.eex_ms[i] * b.flexibility, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, EqfProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace rtdrm::core

@@ -1,0 +1,53 @@
+#include "core/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm::core {
+namespace {
+
+TEST(WorkloadLedger, RegistersTasksWithNames) {
+  WorkloadLedger ledger;
+  const auto a = ledger.registerTask("AAW#1");
+  const auto b = ledger.registerTask("AAW#2");
+  EXPECT_EQ(ledger.taskCount(), 2u);
+  EXPECT_EQ(ledger.taskName(a), "AAW#1");
+  EXPECT_EQ(ledger.taskName(b), "AAW#2");
+  EXPECT_NE(a.value, b.value);
+}
+
+TEST(WorkloadLedger, TotalIsEq5Sum) {
+  WorkloadLedger ledger;
+  const auto a = ledger.registerTask("A");
+  const auto b = ledger.registerTask("B");
+  const auto c = ledger.registerTask("C");
+  ledger.post(a, DataSize::tracks(1000.0));
+  ledger.post(b, DataSize::tracks(2500.0));
+  ledger.post(c, DataSize::tracks(500.0));
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 4000.0);
+  EXPECT_DOUBLE_EQ(ledger.posted(b).count(), 2500.0);
+}
+
+TEST(WorkloadLedger, PostOverwritesPreviousPeriod) {
+  WorkloadLedger ledger;
+  const auto a = ledger.registerTask("A");
+  ledger.post(a, DataSize::tracks(100.0));
+  ledger.post(a, DataSize::tracks(900.0));
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 900.0);
+}
+
+TEST(WorkloadLedger, UnpostedTasksContributeZero) {
+  WorkloadLedger ledger;
+  ledger.registerTask("A");
+  const auto b = ledger.registerTask("B");
+  ledger.post(b, DataSize::tracks(700.0));
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 700.0);
+}
+
+TEST(WorkloadLedgerDeathTest, PostOutOfRangeAsserts) {
+  WorkloadLedger ledger;
+  EXPECT_DEATH(ledger.post(WorkloadLedger::TaskId{3}, DataSize::zero()),
+               "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm::core

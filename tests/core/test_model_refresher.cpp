@@ -1,0 +1,165 @@
+#include "core/model_refresher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::core {
+namespace {
+
+task::TaskSpec twoStageSpec() {
+  task::TaskSpec spec;
+  spec.subtasks = {
+      task::SubtaskSpec{"a", task::SubtaskCost{0.0, 1.0}, false, 0.0},
+      task::SubtaskSpec{"b", task::SubtaskCost{0.1, 10.0}, true, 0.0}};
+  spec.messages = {task::MessageSpec{80.0}};
+  return spec;
+}
+
+PredictiveModels seedModels() {
+  PredictiveModels m;
+  regress::ExecLatencyModel a;
+  a.b3 = 1.0;
+  regress::ExecLatencyModel b;
+  b.a3 = 0.1;
+  b.b3 = 10.0;
+  m.exec = {a, b};
+  return m;
+}
+
+TEST(ModelRefresher, SeedServedUntilEnoughObservations) {
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 5;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  EXPECT_FALSE(refresher.active(1));
+  EXPECT_DOUBLE_EQ(refresher.current(1).evalMs(10.0, 0.0),
+                   0.1 * 100.0 + 10.0 * 10.0);
+  for (int i = 0; i < 4; ++i) {
+    refresher.observe(1, ProcessorId{0}, 5.0 + i, 0.1, 60.0 + 10.0 * i);
+  }
+  EXPECT_FALSE(refresher.active(1));
+  refresher.observe(1, ProcessorId{0}, 9.0, 0.1, 110.0);
+  EXPECT_TRUE(refresher.active(1));
+}
+
+TEST(ModelRefresher, LearnsADriftedCostSurface) {
+  // Ground truth drifted to 2x the seed: exec = 0.2 d^2 + 20 d at u = 0.
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 10;
+  cfg.forgetting = 0.98;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const double d = rng.uniform(2.0, 30.0);
+    const double u = rng.uniform(0.0, 0.5);
+    const double truth = (0.2 * d * d + 20.0 * d) / (1.0 - u);
+    refresher.observe(1, ProcessorId{0}, d, u, truth * rng.lognormalUnitMean(0.03));
+  }
+  const auto m = refresher.current(1);
+  // Within 15% over the observed region.
+  for (double d : {5.0, 15.0, 25.0}) {
+    const double truth = 0.2 * d * d + 20.0 * d;
+    EXPECT_NEAR(m.evalMs(d, 0.0), truth, 0.15 * truth) << "d=" << d;
+  }
+}
+
+TEST(ModelRefresher, ZeroDataObservationsIgnored) {
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 1;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  EXPECT_FALSE(refresher.observe(1, ProcessorId{0}, 0.0, 0.1, 5.0));
+  EXPECT_EQ(refresher.observations(1), 0u);
+}
+
+TEST(ModelRefresher, StagesAreIndependent) {
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 2;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  refresher.observe(0, ProcessorId{0}, 5.0, 0.0, 5.0);
+  refresher.observe(0, ProcessorId{0}, 10.0, 0.0, 10.0);
+  EXPECT_TRUE(refresher.active(0));
+  EXPECT_FALSE(refresher.active(1));
+}
+
+TEST(ModelRefresher, PerNodeModelsSeparateFastAndSlowNodes) {
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 8;
+  cfg.per_node = true;
+  cfg.node_count = 2;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  Xoshiro256 rng(6);
+  // Node 0 runs 2x faster than the seed surface; node 1 runs 2x slower.
+  for (int i = 0; i < 120; ++i) {
+    const double d = rng.uniform(2.0, 25.0);
+    const double seed_ms = 0.1 * d * d + 10.0 * d;
+    refresher.observe(1, ProcessorId{0}, d, 0.0, seed_ms * 0.5);
+    refresher.observe(1, ProcessorId{1}, d, 0.0, seed_ms * 2.0);
+  }
+  const auto fast = refresher.currentForNode(1, ProcessorId{0});
+  const auto slow = refresher.currentForNode(1, ProcessorId{1});
+  ASSERT_TRUE(fast.has_value());
+  ASSERT_TRUE(slow.has_value());
+  const double seed_at_10 = 0.1 * 100.0 + 10.0 * 10.0;
+  EXPECT_NEAR(fast->evalMs(10.0, 0.0), seed_at_10 * 0.5, 8.0);
+  EXPECT_NEAR(slow->evalMs(10.0, 0.0), seed_at_10 * 2.0, 25.0);
+  // The aggregate sits between the two.
+  const double agg = refresher.current(1).evalMs(10.0, 0.0);
+  EXPECT_GT(agg, fast->evalMs(10.0, 0.0));
+  EXPECT_LT(agg, slow->evalMs(10.0, 0.0));
+}
+
+TEST(ModelRefresher, PerNodeDisabledReturnsNullopt) {
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 1;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  refresher.observe(1, ProcessorId{0}, 5.0, 0.0, 55.0);
+  EXPECT_FALSE(refresher.currentForNode(1, ProcessorId{0}).has_value());
+}
+
+TEST(ModelRefresher, PerNodeNeedsEnoughObservationsPerNode) {
+  const auto spec = twoStageSpec();
+  ModelRefresherConfig cfg;
+  cfg.min_observations = 4;
+  cfg.per_node = true;
+  cfg.node_count = 3;
+  ModelRefresher refresher(spec, seedModels(), cfg);
+  for (int i = 0; i < 4; ++i) {
+    refresher.observe(1, ProcessorId{0}, 5.0 + i, 0.0, 60.0);
+  }
+  EXPECT_TRUE(refresher.currentForNode(1, ProcessorId{0}).has_value());
+  EXPECT_FALSE(refresher.currentForNode(1, ProcessorId{1}).has_value());
+}
+
+TEST(PredictiveModelsOverrides, ExecLatencyOnUsesNodeModelWhenPresent) {
+  PredictiveModels m = seedModels();
+  m.exec_overrides.assign(
+      2, std::vector<std::optional<regress::ExecLatencyModel>>(2));
+  regress::ExecLatencyModel node_model;
+  node_model.b3 = 99.0;
+  m.exec_overrides[1][1] = node_model;
+  const DataSize d = DataSize::tracks(1000.0);
+  const Utilization u = Utilization::zero();
+  // Node 1 uses its override; node 0 and unknown nodes use the stage model.
+  EXPECT_DOUBLE_EQ(m.execLatencyOn(1, ProcessorId{1}, d, u).ms(),
+                   99.0 * 10.0);
+  EXPECT_DOUBLE_EQ(m.execLatencyOn(1, ProcessorId{0}, d, u).ms(),
+                   m.execLatency(1, d, u).ms());
+  EXPECT_DOUBLE_EQ(m.execLatencyOn(1, ProcessorId{77}, d, u).ms(),
+                   m.execLatency(1, d, u).ms());
+}
+
+TEST(ModelRefresherDeathTest, SeedSizeMustMatchSpec) {
+  const auto spec = twoStageSpec();
+  PredictiveModels wrong;
+  wrong.exec.resize(1);
+  EXPECT_DEATH(ModelRefresher(spec, wrong), "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm::core

@@ -1,0 +1,199 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm::core {
+namespace {
+
+task::TaskSpec twoReplicableSpec() {
+  task::TaskSpec spec;
+  spec.subtasks = {
+      task::SubtaskSpec{"fixed", task::SubtaskCost{0.0, 1.0}, false, 0.0},
+      task::SubtaskSpec{"flexA", task::SubtaskCost{0.0, 1.0}, true, 0.0},
+      task::SubtaskSpec{"flexB", task::SubtaskCost{0.0, 1.0}, true, 0.0}};
+  spec.messages.assign(2, task::MessageSpec{80.0});
+  return spec;
+}
+
+// Budgets: stage budgets 100 / 100 / 100 (subtask 80 + message 20).
+EqfBudgets budgets() {
+  return assignEqf({{100.0, 80.0, 80.0}, {20.0, 20.0}, 300.0});
+}
+
+task::PeriodRecord record(double s0_ms, double s1_ms, double s2_ms,
+                          bool completed = true) {
+  task::PeriodRecord rec;
+  rec.completed = completed;
+  rec.release = SimTime::zero();
+  rec.finish = SimTime::millis(s0_ms + s1_ms + s2_ms);
+  rec.stages.resize(3);
+  const double lat[3] = {s0_ms, s1_ms, s2_ms};
+  double cursor = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    auto& st = rec.stages[static_cast<std::size_t>(i)];
+    st.start = SimTime::millis(cursor);
+    cursor += lat[i];
+    st.end = SimTime::millis(cursor);
+    st.completed = completed;
+    st.measured_latency = SimDuration::millis(lat[i]);
+    st.replicas = 1;
+  }
+  return rec;
+}
+
+task::Placement onePerStage() {
+  return task::Placement({ProcessorId{0}, ProcessorId{1}, ProcessorId{2}});
+}
+
+TEST(SlackMonitor, HealthySlackYieldsNoActions) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  // Latencies at 50% of the 100 ms stage budgets: slack 50% — between the
+  // 20% replicate trigger and 60% shutdown trigger.
+  const auto actions = mon.evaluate(record(50.0, 50.0, 50.0), budgets(),
+                                    onePerStage());
+  EXPECT_TRUE(actions.empty());
+}
+
+TEST(SlackMonitor, LowSlackTriggersReplication) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  // Stage 1 at 90 of 100: slack 10% < 20% reserve.
+  const auto actions =
+      mon.evaluate(record(50.0, 90.0, 50.0), budgets(), onePerStage());
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].stage, 1u);
+  EXPECT_EQ(actions[0].kind, ActionKind::kReplicate);
+}
+
+TEST(SlackMonitor, OutrightMissTriggersReplication) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  const auto actions =
+      mon.evaluate(record(50.0, 150.0, 50.0), budgets(), onePerStage());
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].kind, ActionKind::kReplicate);
+}
+
+TEST(SlackMonitor, NonReplicableStageNeverFlagged) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  // Stage 0 badly missing but not replicable.
+  const auto actions =
+      mon.evaluate(record(500.0, 50.0, 50.0), budgets(), onePerStage());
+  EXPECT_TRUE(actions.empty());
+}
+
+TEST(SlackMonitor, BothReplicableStagesCanBeFlagged) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  const auto actions =
+      mon.evaluate(record(50.0, 95.0, 99.0), budgets(), onePerStage());
+  EXPECT_EQ(actions.size(), 2u);
+}
+
+TEST(SlackMonitor, AbortedInstanceFlagsIncompleteStages) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  task::PeriodRecord rec = record(50.0, 50.0, 50.0, /*completed=*/false);
+  const auto actions = mon.evaluate(rec, budgets(), onePerStage());
+  ASSERT_EQ(actions.size(), 2u);  // both replicable stages incomplete
+  EXPECT_EQ(actions[0].kind, ActionKind::kReplicate);
+}
+
+TEST(SlackMonitor, ShutdownRequiresSustainedHighSlack) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig cfg;
+  cfg.shutdown_hysteresis = 3;
+  SlackMonitor mon(spec, cfg);
+  task::Placement p = onePerStage();
+  p.stage(1).add(ProcessorId{3});  // stage 1 has 2 replicas
+  // Slack 90% (> 60% threshold) on stage 1.
+  const auto rec = record(50.0, 10.0, 50.0);
+  EXPECT_TRUE(mon.evaluate(rec, budgets(), p).empty());
+  EXPECT_TRUE(mon.evaluate(rec, budgets(), p).empty());
+  const auto actions = mon.evaluate(rec, budgets(), p);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].stage, 1u);
+  EXPECT_EQ(actions[0].kind, ActionKind::kShutdown);
+}
+
+TEST(SlackMonitor, HysteresisResetsOnNormalPeriod) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig cfg;
+  cfg.shutdown_hysteresis = 2;
+  SlackMonitor mon(spec, cfg);
+  task::Placement p = onePerStage();
+  p.stage(1).add(ProcessorId{3});
+  const auto high_slack = record(50.0, 10.0, 50.0);
+  const auto normal = record(50.0, 50.0, 50.0);
+  EXPECT_TRUE(mon.evaluate(high_slack, budgets(), p).empty());
+  EXPECT_TRUE(mon.evaluate(normal, budgets(), p).empty());  // streak resets
+  EXPECT_TRUE(mon.evaluate(high_slack, budgets(), p).empty());
+  EXPECT_EQ(mon.evaluate(high_slack, budgets(), p).size(), 1u);
+}
+
+TEST(SlackMonitor, NoShutdownWithSingleReplica) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig cfg;
+  cfg.shutdown_hysteresis = 1;
+  SlackMonitor mon(spec, cfg);
+  // Very high slack but only one replica: nothing to shut down.
+  const auto actions =
+      mon.evaluate(record(50.0, 10.0, 10.0), budgets(), onePerStage());
+  EXPECT_TRUE(actions.empty());
+}
+
+TEST(SlackMonitor, ResetStreaksClearsHysteresis) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig cfg;
+  cfg.shutdown_hysteresis = 2;
+  SlackMonitor mon(spec, cfg);
+  task::Placement p = onePerStage();
+  p.stage(1).add(ProcessorId{3});
+  const auto high_slack = record(50.0, 10.0, 50.0);
+  EXPECT_TRUE(mon.evaluate(high_slack, budgets(), p).empty());
+  mon.resetStreaks();
+  EXPECT_TRUE(mon.evaluate(high_slack, budgets(), p).empty());
+  EXPECT_EQ(mon.evaluate(high_slack, budgets(), p).size(), 1u);
+}
+
+TEST(SlackMonitor, TrueLatencyModeIgnoresClockError) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig cfg;
+  cfg.use_measured_latency = false;
+  SlackMonitor mon(spec, cfg);
+  task::PeriodRecord rec = record(50.0, 50.0, 50.0);
+  // Corrupt the measured value; true latency (end - start) stays healthy.
+  rec.stages[1].measured_latency = SimDuration::millis(99.0);
+  EXPECT_TRUE(mon.evaluate(rec, budgets(), onePerStage()).empty());
+}
+
+TEST(SlackMonitor, MeasuredLatencyModeUsesClockMeasurement) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});  // measured mode default
+  task::PeriodRecord rec = record(50.0, 50.0, 50.0);
+  rec.stages[1].measured_latency = SimDuration::millis(99.0);
+  const auto actions = mon.evaluate(rec, budgets(), onePerStage());
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].stage, 1u);
+}
+
+TEST(SlackMonitor, CountsEvaluations) {
+  const auto spec = twoReplicableSpec();
+  SlackMonitor mon(spec, MonitorConfig{});
+  mon.evaluate(record(1.0, 1.0, 1.0), budgets(), onePerStage());
+  mon.evaluate(record(1.0, 1.0, 1.0), budgets(), onePerStage());
+  EXPECT_EQ(mon.periodsEvaluated(), 2u);
+}
+
+TEST(SlackMonitorDeathTest, InvalidConfigRejected) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig bad;
+  bad.slack_fraction = 0.7;
+  bad.shutdown_slack_fraction = 0.6;  // must exceed slack_fraction
+  EXPECT_DEATH(SlackMonitor(spec, bad), "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm::core

@@ -1,0 +1,117 @@
+// Whole-system shape tests: the qualitative findings of the paper's §5.2
+// must hold on our reproduction (exact numbers are substrate-dependent and
+// recorded in EXPERIMENTS.md, not asserted here).
+#include <gtest/gtest.h>
+
+#include "apps/dynbench.hpp"
+#include "experiments/episode.hpp"
+#include "experiments/model_store.hpp"
+
+namespace rtdrm::experiments {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new task::TaskSpec(apps::makeAawTaskSpec());
+    ModelFitConfig cfg = defaultModelFitConfig();
+    cfg.exec.samples_per_point = 4;
+    fitted_ = new FittedModelSet(fitAllModels(*spec_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete fitted_;
+    delete spec_;
+  }
+
+  static EpisodeConfig cfg() {
+    EpisodeConfig c;
+    c.periods = 72;
+    return c;
+  }
+  static workload::RampParams ramp(double max_tracks) {
+    workload::RampParams p;
+    p.min_workload = DataSize::tracks(500.0);
+    p.max_workload = DataSize::tracks(max_tracks);
+    p.ramp_periods = 30;
+    return p;
+  }
+
+  static task::TaskSpec* spec_;
+  static FittedModelSet* fitted_;
+};
+
+task::TaskSpec* EndToEnd::spec_ = nullptr;
+FittedModelSet* EndToEnd::fitted_ = nullptr;
+
+TEST_F(EndToEnd, Fig10Shape_PredictiveWinsCombinedOnTriangular) {
+  // "For larger workloads, the predictive algorithm shows a better combined
+  // performance than the non-predictive algorithm."
+  const workload::Triangular pat(ramp(8000.0));
+  const auto pred = runEpisode(*spec_, pat, fitted_->models,
+                               AlgorithmKind::kPredictive, cfg());
+  const auto nonp = runEpisode(*spec_, pat, fitted_->models,
+                               AlgorithmKind::kNonPredictive, cfg());
+  EXPECT_LT(pred.combined, nonp.combined);
+}
+
+TEST_F(EndToEnd, Fig10Shape_SmallWorkloadsPerformEqually) {
+  // "For smaller workloads where no replication is needed, the performance
+  // of both algorithms is the same."
+  const workload::Triangular pat(ramp(1000.0));
+  const auto pred = runEpisode(*spec_, pat, fitted_->models,
+                               AlgorithmKind::kPredictive, cfg());
+  const auto nonp = runEpisode(*spec_, pat, fitted_->models,
+                               AlgorithmKind::kNonPredictive, cfg());
+  EXPECT_DOUBLE_EQ(pred.avg_replicas, 1.0);
+  EXPECT_DOUBLE_EQ(nonp.avg_replicas, 1.0);
+  EXPECT_NEAR(pred.combined, nonp.combined, 0.05);
+}
+
+TEST_F(EndToEnd, Fig9Shape_NonPredictiveUsesMoreReplicasAndNetwork) {
+  const workload::Triangular pat(ramp(12000.0));
+  const auto pred = runEpisode(*spec_, pat, fitted_->models,
+                               AlgorithmKind::kPredictive, cfg());
+  const auto nonp = runEpisode(*spec_, pat, fitted_->models,
+                               AlgorithmKind::kNonPredictive, cfg());
+  EXPECT_GE(nonp.avg_replicas, pred.avg_replicas);
+  // Replicas drive messages: network utilization follows (Fig. 9c).
+  EXPECT_GE(nonp.net_pct, pred.net_pct * 0.95);
+}
+
+TEST_F(EndToEnd, MissedDeadlinesGrowWithWorkload) {
+  const workload::Triangular small(ramp(4000.0));
+  const workload::Triangular large(ramp(17000.0));
+  const auto lo = runEpisode(*spec_, small, fitted_->models,
+                             AlgorithmKind::kPredictive, cfg());
+  const auto hi = runEpisode(*spec_, large, fitted_->models,
+                             AlgorithmKind::kPredictive, cfg());
+  EXPECT_LE(lo.missed_pct, hi.missed_pct);
+  EXPECT_GT(hi.avg_replicas, lo.avg_replicas);
+}
+
+TEST_F(EndToEnd, CpuUtilizationScalesWithWorkload) {
+  const workload::Constant light(DataSize::tracks(1000.0));
+  const workload::Constant heavy(DataSize::tracks(9000.0));
+  const auto lo = runEpisode(*spec_, light, fitted_->models,
+                             AlgorithmKind::kPredictive, cfg());
+  const auto hi = runEpisode(*spec_, heavy, fitted_->models,
+                             AlgorithmKind::kPredictive, cfg());
+  EXPECT_GT(hi.cpu_pct, lo.cpu_pct);
+}
+
+TEST_F(EndToEnd, RampsAdaptWithoutCollapse) {
+  for (const char* shape : {"increasing", "decreasing"}) {
+    const auto pat = workload::makeFig8Pattern(shape, ramp(10000.0));
+    EpisodeConfig c = cfg();
+    c.manager.d_init = std::string(shape) == "decreasing"
+                           ? DataSize::tracks(10000.0)
+                           : DataSize::tracks(500.0);
+    const auto r = runEpisode(*spec_, *pat, fitted_->models,
+                              AlgorithmKind::kPredictive, c);
+    EXPECT_LT(r.missed_pct, 50.0) << shape;
+    EXPECT_GT(r.avg_replicas, 1.0) << shape;
+  }
+}
+
+}  // namespace
+}  // namespace rtdrm::experiments

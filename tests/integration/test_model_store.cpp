@@ -1,0 +1,79 @@
+#include "experiments/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/dynbench.hpp"
+
+namespace rtdrm::experiments {
+namespace {
+
+ModelFitConfig fastConfig() {
+  ModelFitConfig cfg = defaultModelFitConfig();
+  cfg.exec.utilization_levels = {0.0, 0.3, 0.6};
+  cfg.exec.data_sizes = {DataSize::tracks(600.0), DataSize::tracks(1800.0),
+                         DataSize::tracks(3600.0), DataSize::tracks(6000.0)};
+  cfg.exec.samples_per_point = 3;
+  cfg.comm.workload_levels = {DataSize::tracks(1000.0),
+                              DataSize::tracks(5000.0),
+                              DataSize::tracks(9000.0)};
+  cfg.comm.periods_per_level = 8;
+  return cfg;
+}
+
+TEST(FitAllModels, OneModelPerSubtask) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto fitted = fitAllModels(spec, fastConfig());
+  EXPECT_EQ(fitted.models.exec.size(), spec.stageCount());
+  EXPECT_EQ(fitted.exec_fits.size(), spec.stageCount());
+}
+
+TEST(FitAllModels, HeavySubtasksFitWell) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto fitted = fitAllModels(spec, fastConfig());
+  // Filter and EvalDecide have large, smooth latencies: good R^2.
+  EXPECT_GT(fitted.exec_fits[apps::kFilterStage].diagnostics.r_squared, 0.85);
+  EXPECT_GT(fitted.exec_fits[apps::kEvalDecideStage].diagnostics.r_squared,
+            0.7);
+}
+
+TEST(FitAllModels, FilterIdleCoefficientsNearGroundTruth) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto fitted = fitAllModels(spec, fastConfig());
+  const auto& m = fitted.models.exec[apps::kFilterStage];
+  // a3/b3 are the u->0 coefficients; ground truth alpha = 0.118.
+  EXPECT_NEAR(m.a3, apps::kFilterAlpha, 0.06);
+}
+
+TEST(FitAllModels, BufferSlopeNearTable3) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto fitted = fitAllModels(spec, fastConfig());
+  EXPECT_GT(fitted.models.comm.buffer.k_ms_per_hundred, 0.5);
+  EXPECT_LT(fitted.models.comm.buffer.k_ms_per_hundred, 1.2);
+}
+
+TEST(FitAllModels, SerialAndParallelAgree) {
+  const auto spec = apps::makeAawTaskSpec();
+  ModelFitConfig cfg = fastConfig();
+  cfg.parallel = true;
+  const auto par = fitAllModels(spec, cfg);
+  cfg.parallel = false;
+  const auto ser = fitAllModels(spec, cfg);
+  for (std::size_t i = 0; i < spec.stageCount(); ++i) {
+    EXPECT_DOUBLE_EQ(par.models.exec[i].a3, ser.models.exec[i].a3);
+    EXPECT_DOUBLE_EQ(par.models.exec[i].b3, ser.models.exec[i].b3);
+  }
+  EXPECT_DOUBLE_EQ(par.models.comm.buffer.k_ms_per_hundred,
+                   ser.models.comm.buffer.k_ms_per_hundred);
+}
+
+TEST(FitAllModels, JointFitAlternativeWorks) {
+  const auto spec = apps::makeAawTaskSpec();
+  ModelFitConfig cfg = fastConfig();
+  cfg.two_stage = false;
+  const auto fitted = fitAllModels(spec, cfg);
+  EXPECT_TRUE(fitted.exec_fits[apps::kFilterStage].levels.empty());
+  EXPECT_GT(fitted.exec_fits[apps::kFilterStage].diagnostics.r_squared, 0.85);
+}
+
+}  // namespace
+}  // namespace rtdrm::experiments

@@ -1,0 +1,109 @@
+#include "experiments/replication.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "apps/dynbench.hpp"
+#include "experiments/model_store.hpp"
+
+namespace rtdrm::experiments {
+namespace {
+
+TEST(TCritical95, TableValuesAndTail) {
+  EXPECT_NEAR(tCritical95(1), 12.706, 1e-6);
+  EXPECT_NEAR(tCritical95(9), 2.262, 1e-6);
+  EXPECT_NEAR(tCritical95(30), 2.042, 1e-6);
+  EXPECT_NEAR(tCritical95(1000), 1.96, 1e-6);
+  EXPECT_DOUBLE_EQ(tCritical95(0), 0.0);
+}
+
+TEST(Summarize, ComputesCi95) {
+  RunningStats s;
+  for (double v : {10.0, 12.0, 11.0, 13.0, 9.0}) {
+    s.add(v);
+  }
+  const ReplicatedMetric m = summarize(s);
+  EXPECT_EQ(m.n, 5u);
+  EXPECT_DOUBLE_EQ(m.mean, 11.0);
+  // ci = t(4) * s/sqrt(5), s = sqrt(2.5).
+  EXPECT_NEAR(m.ci95_half, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+  EXPECT_NEAR(m.lo() + m.hi(), 2.0 * m.mean, 1e-12);
+}
+
+TEST(Summarize, SingleSampleHasNoInterval) {
+  RunningStats s;
+  s.add(5.0);
+  const ReplicatedMetric m = summarize(s);
+  EXPECT_DOUBLE_EQ(m.ci95_half, 0.0);
+}
+
+TEST(SignificantlyDifferent, OverlapLogic) {
+  const ReplicatedMetric a{10.0, 1.0, 0.5, 5};
+  const ReplicatedMetric b{11.5, 1.0, 0.5, 5};  // [11.0, 12.0] vs [9.5,10.5]
+  EXPECT_TRUE(significantlyDifferent(a, b));
+  const ReplicatedMetric c{10.8, 1.0, 0.5, 5};  // [10.3, 11.3] overlaps a
+  EXPECT_FALSE(significantlyDifferent(a, c));
+  EXPECT_FALSE(significantlyDifferent(a, a));
+}
+
+class ReplicationIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new task::TaskSpec(apps::makeAawTaskSpec());
+    ModelFitConfig cfg = defaultModelFitConfig();
+    cfg.exec.samples_per_point = 3;
+    fitted_ = new FittedModelSet(fitAllModels(*spec_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete fitted_;
+    delete spec_;
+  }
+  static task::TaskSpec* spec_;
+  static FittedModelSet* fitted_;
+};
+
+task::TaskSpec* ReplicationIntegration::spec_ = nullptr;
+FittedModelSet* ReplicationIntegration::fitted_ = nullptr;
+
+TEST_F(ReplicationIntegration, ProducesTightIntervalsOnStableMetric) {
+  workload::RampParams ramp;
+  ramp.max_workload = DataSize::tracks(6000.0);
+  const workload::Triangular pat(ramp);
+  EpisodeConfig cfg;
+  cfg.periods = 36;
+  const ReplicatedResult r = runReplicatedEpisode(
+      *spec_, pat, fitted_->models, AlgorithmKind::kPredictive, cfg, 6);
+  EXPECT_EQ(r.combined.n, 6u);
+  EXPECT_GT(r.combined.mean, 0.0);
+  // Seeds differ, so there is *some* spread, but the combined metric is a
+  // long average: its CI must be far tighter than its mean.
+  EXPECT_GT(r.cpu_pct.stddev, 0.0);
+  EXPECT_LT(r.combined.ci95_half, 0.25 * r.combined.mean);
+}
+
+TEST_F(ReplicationIntegration, ParallelMatchesSerial) {
+  workload::RampParams ramp;
+  ramp.max_workload = DataSize::tracks(5000.0);
+  const workload::Triangular pat(ramp);
+  EpisodeConfig cfg;
+  cfg.periods = 20;
+  const ReplicatedResult par = runReplicatedEpisode(
+      *spec_, pat, fitted_->models, AlgorithmKind::kPredictive, cfg, 4,
+      /*parallel=*/true);
+  const ReplicatedResult ser = runReplicatedEpisode(
+      *spec_, pat, fitted_->models, AlgorithmKind::kPredictive, cfg, 4,
+      /*parallel=*/false);
+  EXPECT_DOUBLE_EQ(par.combined.mean, ser.combined.mean);
+  EXPECT_DOUBLE_EQ(par.missed_pct.stddev, ser.missed_pct.stddev);
+}
+
+TEST_F(ReplicationIntegration, DeathOnTooFewReplications) {
+  workload::RampParams ramp;
+  const workload::Triangular pat(ramp);
+  EXPECT_DEATH(runReplicatedEpisode(*spec_, pat, fitted_->models,
+                                    AlgorithmKind::kPredictive, {}, 1),
+               "replications");
+}
+
+}  // namespace
+}  // namespace rtdrm::experiments

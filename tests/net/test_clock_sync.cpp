@@ -1,0 +1,129 @@
+#include "net/clock_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+
+namespace rtdrm::net {
+namespace {
+
+TEST(DriftingClock, LocalReadingIncludesOffsetAndDrift) {
+  const DriftingClock c(SimDuration::millis(2.0), 100.0);  // +100 ppm
+  const SimTime t = SimTime::seconds(10.0);
+  // local = t + 2 ms + 1e-4 * 10000 ms = t + 3 ms.
+  EXPECT_NEAR(c.local(t).ms(), 10003.0, 1e-9);
+  EXPECT_NEAR(c.offsetAt(t).ms(), 3.0, 1e-9);
+}
+
+TEST(DriftingClock, CorrectStepsOffset) {
+  DriftingClock c(SimDuration::millis(5.0), 0.0);
+  c.correct(SimDuration::millis(5.0));
+  EXPECT_NEAR(c.offsetAt(SimTime::zero()).ms(), 0.0, 1e-12);
+}
+
+TEST(DriftingClock, ZeroDriftZeroOffsetIsIdentity) {
+  const DriftingClock c(SimDuration::zero(), 0.0);
+  EXPECT_DOUBLE_EQ(c.local(SimTime::millis(123.0)).ms(), 123.0);
+}
+
+TEST(ClockFabric, InitialOffsetsWithinConfiguredBound) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.initial_offset_max = SimDuration::millis(5.0);
+  cfg.drift_ppm_max = 50.0;
+  ClockFabric fabric(sim, 6, Xoshiro256(3), cfg);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_LE(std::abs(fabric.clock(ProcessorId{i}).offsetAt(sim.now()).ms()),
+              5.0 + 1e-9);
+    EXPECT_LE(std::abs(fabric.clock(ProcessorId{i}).driftPpm()), 50.0);
+  }
+}
+
+TEST(ClockFabric, SyncShrinksWorstOffset) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.initial_offset_max = SimDuration::millis(5.0);
+  cfg.sync_period = SimDuration::seconds(1.0);
+  cfg.estimate_noise = SimDuration::micros(50.0);
+  ClockFabric fabric(sim, 6, Xoshiro256(5), cfg);
+  const double before = fabric.worstOffsetNow().ms();
+  fabric.startSync();
+  sim.runUntil(SimTime::millis(100.0));  // one sync round has fired
+  const double after = fabric.worstOffsetNow().ms();
+  EXPECT_GT(before, 0.5);  // started badly skewed
+  // Residual = estimation noise (sigma 0.05 ms, worst of 6 nodes) plus a
+  // hair of drift over the elapsed 100 ms.
+  EXPECT_LT(after, 0.25);
+  EXPECT_LT(after, before / 4.0);
+}
+
+TEST(ClockFabric, SteadyStateOffsetBoundedByNoiseAndDrift) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.sync_period = SimDuration::seconds(10.0);
+  cfg.estimate_noise = SimDuration::micros(50.0);
+  cfg.drift_ppm_max = 50.0;
+  ClockFabric fabric(sim, 6, Xoshiro256(7), cfg);
+  fabric.startSync();
+  sim.runUntil(SimTime::seconds(100.0));
+  // Worst drift accumulates 50 ppm * 10 s = 0.5 ms between rounds, plus the
+  // estimation noise.
+  EXPECT_LT(fabric.worstOffsetNow().ms(), 0.8);
+}
+
+TEST(ClockFabric, MeasureAcrossNodesIncludesSkew) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.initial_offset_max = SimDuration::millis(2.0);
+  cfg.drift_ppm_max = 0.0;
+  ClockFabric fabric(sim, 2, Xoshiro256(11), cfg);
+  const SimTime t0 = sim.now();
+  const SimTime t1 = t0 + SimDuration::millis(100.0);
+  const double measured =
+      fabric.measure(ProcessorId{0}, t0, ProcessorId{1}, t1).ms();
+  const double skew = fabric.clock(ProcessorId{1}).offsetAt(t1).ms() -
+                      fabric.clock(ProcessorId{0}).offsetAt(t0).ms();
+  EXPECT_NEAR(measured, 100.0 + skew, 1e-9);
+  EXPECT_NE(measured, 100.0);  // offsets are nonzero w.h.p. for this seed
+}
+
+TEST(ClockFabric, MeasureSameNodeIsDriftOnlyAccurate) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.initial_offset_max = SimDuration::millis(2.0);
+  cfg.drift_ppm_max = 0.0;  // offset cancels within one clock
+  ClockFabric fabric(sim, 2, Xoshiro256(13), cfg);
+  const SimTime t0 = sim.now();
+  const SimTime t1 = t0 + SimDuration::millis(50.0);
+  EXPECT_NEAR(fabric.measure(ProcessorId{0}, t0, ProcessorId{0}, t1).ms(),
+              50.0, 1e-9);
+}
+
+TEST(ClockFabric, PreSyncStatsAccumulate) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.sync_period = SimDuration::seconds(1.0);
+  ClockFabric fabric(sim, 4, Xoshiro256(17), cfg);
+  fabric.startSync();
+  sim.runUntil(SimTime::seconds(5.5));
+  EXPECT_EQ(fabric.preSyncOffsetStats().count(), 6u);  // t = 0..5 s
+  EXPECT_GT(fabric.preSyncOffsetStats().max(), 0.0);
+}
+
+TEST(ClockFabric, StopSyncHaltsRounds) {
+  sim::Simulator sim;
+  ClockSyncConfig cfg;
+  cfg.sync_period = SimDuration::seconds(1.0);
+  ClockFabric fabric(sim, 2, Xoshiro256(19), cfg);
+  fabric.startSync();
+  sim.runUntil(SimTime::millis(1500.0));
+  fabric.stopSync();
+  const auto rounds = fabric.preSyncOffsetStats().count();
+  sim.runUntil(SimTime::seconds(10.0));
+  EXPECT_EQ(fabric.preSyncOffsetStats().count(), rounds);
+}
+
+}  // namespace
+}  // namespace rtdrm::net

@@ -1,0 +1,152 @@
+// Randomized property suite for the Ethernet substrate: for arbitrary
+// traffic, delivery is total, payload is conserved, wire time is exactly
+// the serialization of what was sent, and per-NIC order is FIFO.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/ethernet.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::net {
+namespace {
+
+struct Sent {
+  double payload;
+  double enqueue_ms;
+  int nic;
+};
+
+double wireBytes(double payload) {
+  double total = 0.0;
+  double left = payload;
+  do {
+    const double chunk = std::min(left, 1500.0);
+    total += std::max(chunk, 46.0) + 38.0;
+    left -= chunk;
+  } while (left > 0.0);
+  return total;
+}
+
+class EthernetRandomTraffic : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EthernetRandomTraffic, ConservationAndOrder) {
+  Xoshiro256 rng(GetParam());
+  sim::Simulator sim;
+  EthernetConfig cfg;
+  cfg.host_ns_per_byte = rng.uniform(0.0, 100.0);
+  cfg.propagation = SimDuration::micros(rng.uniform(0.0, 10.0));
+  const std::size_t nodes = 4;
+  Ethernet net(sim, nodes, cfg);
+
+  const int n_messages = 60;
+  std::vector<Sent> sent;
+  sent.reserve(n_messages);
+  int delivered = 0;
+  double expected_payload = 0.0;
+  double expected_wire = 0.0;
+  std::uint64_t expected_frames = 0;
+  // Per-NIC delivery order must match enqueue order (FIFO through both the
+  // marshalling stage and the wire queue).
+  std::map<int, std::vector<int>> delivery_order;
+  std::map<int, std::vector<int>> enqueue_order;
+
+  for (int i = 0; i < n_messages; ++i) {
+    const double at = rng.uniform(0.0, 50.0);
+    const int src = static_cast<int>(rng.uniformInt(0, nodes - 1));
+    int dst = static_cast<int>(rng.uniformInt(0, nodes - 2));
+    if (dst >= src) {
+      ++dst;  // distinct destination: always on the wire
+    }
+    const double payload = rng.uniform(0.0, 6000.0);
+    expected_payload += payload;
+    expected_wire += wireBytes(payload);
+    expected_frames += static_cast<std::uint64_t>(
+        payload <= 0.0 ? 1 : (payload + 1499.0) / 1500.0);
+    sim.scheduleAt(SimTime::millis(at), [&, i, src, dst, payload] {
+      enqueue_order[src].push_back(i);
+      net.send(Message{ProcessorId{static_cast<std::uint32_t>(src)},
+                       ProcessorId{static_cast<std::uint32_t>(dst)},
+                       Bytes::of(payload), "m",
+                       [&, i, src, payload](const MessageReceipt& r) {
+                         ++delivered;
+                         delivery_order[src].push_back(i);
+                         EXPECT_NEAR(r.payload.count(), payload, 1e-9);
+                         EXPECT_GE(r.first_bit.ms(), r.enqueued.ms());
+                         EXPECT_GE(r.delivered.ms(), r.first_bit.ms());
+                       }});
+    });
+  }
+  sim.runAll();
+
+  EXPECT_EQ(delivered, n_messages);
+  EXPECT_EQ(net.backloggedMessages(), 0u);
+  EXPECT_NEAR(net.payloadBytesCarried(), expected_payload, 1e-6);
+  EXPECT_EQ(net.framesOnWire(), expected_frames);
+  EXPECT_NEAR(net.busyTime().ms(), expected_wire * 8.0 / 100e6 * 1000.0,
+              1e-6);
+  for (const auto& [nic, order] : delivery_order) {
+    EXPECT_EQ(order, enqueue_order[nic]) << "NIC " << nic;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EthernetRandomTraffic,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(EthernetSaturation, BacklogDrainsAfterBurst) {
+  // Offer far more than the wire can carry in the burst window; everything
+  // must still drain eventually, in bounded time.
+  sim::Simulator sim;
+  Ethernet net(sim, 3);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.send(Message{ProcessorId{static_cast<std::uint32_t>(i % 3)},
+                     ProcessorId{static_cast<std::uint32_t>((i + 1) % 3)},
+                     Bytes::kilo(60.0), "burst",
+                     [&](const MessageReceipt&) { ++delivered; }});
+  }
+  // 12 MB at 100 Mbps ~ 1 s of wire time + marshalling.
+  sim.runUntil(SimTime::seconds(10.0));
+  EXPECT_EQ(delivered, 200);
+  EXPECT_EQ(net.backloggedMessages(), 0u);
+  // The bus must have been busy a substantial, plausible fraction.
+  EXPECT_GT(net.busyTime().ms(), 900.0);
+  EXPECT_LT(net.busyTime().ms(), 1100.0);
+}
+
+TEST(EthernetFairness, ManyNicsShareTheBusEvenly) {
+  // Equal simultaneous load from every NIC: per-NIC completion of its last
+  // message should cluster near the end (round-robin, not starvation).
+  sim::Simulator sim;
+  EthernetConfig cfg;
+  cfg.host_ns_per_byte = 0.0;
+  cfg.propagation = SimDuration::zero();
+  const std::size_t nodes = 6;
+  Ethernet net(sim, nodes, cfg);
+  std::vector<double> last_done(nodes, 0.0);
+  for (std::uint32_t nic = 0; nic < nodes; ++nic) {
+    for (int m = 0; m < 5; ++m) {
+      net.send(Message{ProcessorId{nic},
+                       ProcessorId{static_cast<std::uint32_t>((nic + 1) %
+                                                              nodes)},
+                       Bytes::of(3000.0), "f",
+                       [&, nic](const MessageReceipt& r) {
+                         last_done[nic] =
+                             std::max(last_done[nic], r.delivered.ms());
+                       }});
+    }
+  }
+  sim.runAll();
+  const double total = net.busyTime().ms();
+  for (std::uint32_t nic = 0; nic < nodes; ++nic) {
+    // Every NIC finishes in the last ~20% of the busy period.
+    EXPECT_GT(last_done[nic], 0.8 * total) << "NIC " << nic;
+  }
+}
+
+}  // namespace
+}  // namespace rtdrm::net

@@ -1,0 +1,95 @@
+#include "node/background_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+namespace {
+
+double measureUtilization(double target, std::uint64_t seed,
+                          double horizon_ms = 60000.0) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  BackgroundLoad bg(sim, cpu, Xoshiro256(seed));
+  bg.setTarget(Utilization::fraction(target));
+  sim.runUntil(SimTime::millis(horizon_ms));
+  return cpu.busyTime().ms() / horizon_ms;
+}
+
+TEST(BackgroundLoad, ZeroTargetInjectsNothing) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  BackgroundLoad bg(sim, cpu, Xoshiro256(1));
+  bg.setTarget(Utilization::zero());
+  sim.runUntil(SimTime::millis(1000.0));
+  EXPECT_EQ(bg.jobsInjected(), 0u);
+  EXPECT_DOUBLE_EQ(cpu.busyTime().ms(), 0.0);
+}
+
+// The offered load should be realized within a few percent over a long run.
+class BackgroundLoadTarget : public ::testing::TestWithParam<double> {};
+
+TEST_P(BackgroundLoadTarget, RealizedUtilizationTracksTarget) {
+  const double target = GetParam();
+  const double realized = measureUtilization(target, 42);
+  EXPECT_NEAR(realized, target, 0.05) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, BackgroundLoadTarget,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.6, 0.8));
+
+TEST(BackgroundLoad, TargetClampedBelowSaturation) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  BackgroundLoad bg(sim, cpu, Xoshiro256(2));
+  bg.setTarget(Utilization::fraction(1.0));
+  EXPECT_LE(bg.target().value(), 0.95);
+}
+
+TEST(BackgroundLoad, SetTargetZeroStopsArrivals) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  BackgroundLoad bg(sim, cpu, Xoshiro256(3));
+  bg.setTarget(Utilization::fraction(0.5));
+  sim.runUntil(SimTime::millis(1000.0));
+  const auto injected = bg.jobsInjected();
+  EXPECT_GT(injected, 0u);
+  bg.setTarget(Utilization::zero());
+  sim.runUntil(SimTime::millis(2000.0));
+  EXPECT_EQ(bg.jobsInjected(), injected);
+}
+
+TEST(BackgroundLoad, TargetCanBeRaisedMidRun) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  BackgroundLoad bg(sim, cpu, Xoshiro256(4));
+  bg.setTarget(Utilization::fraction(0.1));
+  sim.runUntil(SimTime::millis(20000.0));
+  const double busy_low = cpu.busyTime().ms();
+  bg.setTarget(Utilization::fraction(0.7));
+  sim.runUntil(SimTime::millis(40000.0));
+  const double busy_high = cpu.busyTime().ms() - busy_low;
+  EXPECT_GT(busy_high, busy_low * 3.0);  // clearly heavier second half
+}
+
+TEST(BackgroundLoad, UniformServiceModeWorks) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  BackgroundLoadConfig cfg;
+  cfg.exponential_service = false;
+  BackgroundLoad bg(sim, cpu, Xoshiro256(5), cfg);
+  bg.setTarget(Utilization::fraction(0.3));
+  sim.runUntil(SimTime::millis(60000.0));
+  EXPECT_NEAR(cpu.busyTime().ms() / 60000.0, 0.3, 0.05);
+}
+
+TEST(BackgroundLoad, DeterministicForSameSeed) {
+  const double a = measureUtilization(0.35, 777, 10000.0);
+  const double b = measureUtilization(0.35, 777, 10000.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rtdrm::node

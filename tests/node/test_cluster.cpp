@@ -1,0 +1,120 @@
+#include "node/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+namespace {
+
+TEST(Cluster, ConstructsRequestedNodes) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 6);
+  EXPECT_EQ(cluster.size(), 6u);
+  EXPECT_EQ(cluster.ids().size(), 6u);
+  EXPECT_EQ(cluster.processor(ProcessorId{3}).id(), (ProcessorId{3}));
+}
+
+TEST(Cluster, SampleUtilizationPerNode) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  cluster.processor(ProcessorId{1}).submit(
+      Job{SimDuration::millis(5.0), nullptr, "x"});
+  sim.runUntil(SimTime::millis(10.0));
+  const auto& u = cluster.sampleUtilization();
+  EXPECT_NEAR(u[0].value(), 0.0, 1e-9);
+  EXPECT_NEAR(u[1].value(), 0.5, 1e-9);
+  EXPECT_NEAR(u[2].value(), 0.0, 1e-9);
+  EXPECT_NEAR(cluster.meanUtilization().value(), 0.5 / 3.0, 1e-9);
+  EXPECT_NEAR(cluster.lastUtilization(ProcessorId{1}).value(), 0.5, 1e-9);
+}
+
+TEST(Cluster, LeastUtilizedPicksIdleNode) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  cluster.processor(ProcessorId{0}).submit(
+      Job{SimDuration::millis(8.0), nullptr, "x"});
+  cluster.processor(ProcessorId{2}).submit(
+      Job{SimDuration::millis(4.0), nullptr, "y"});
+  sim.runUntil(SimTime::millis(10.0));
+  cluster.sampleUtilization();
+  const auto least = cluster.leastUtilized({});
+  ASSERT_TRUE(least.has_value());
+  EXPECT_EQ(*least, (ProcessorId{1}));
+}
+
+TEST(Cluster, LeastUtilizedHonorsExclusions) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  cluster.processor(ProcessorId{0}).submit(
+      Job{SimDuration::millis(8.0), nullptr, "x"});
+  sim.runUntil(SimTime::millis(10.0));
+  cluster.sampleUtilization();
+  const auto least = cluster.leastUtilized({ProcessorId{1}, ProcessorId{2}});
+  ASSERT_TRUE(least.has_value());
+  EXPECT_EQ(*least, (ProcessorId{0}));  // only candidate left
+}
+
+TEST(Cluster, LeastUtilizedAllExcludedIsEmpty) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2);
+  EXPECT_FALSE(
+      cluster.leastUtilized({ProcessorId{0}, ProcessorId{1}}).has_value());
+}
+
+TEST(Cluster, LeastUtilizedTieBreaksToLowerId) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 4);
+  sim.runUntil(SimTime::millis(10.0));
+  cluster.sampleUtilization();  // all zero
+  const auto least = cluster.leastUtilized({ProcessorId{0}});
+  ASSERT_TRUE(least.has_value());
+  EXPECT_EQ(*least, (ProcessorId{1}));
+}
+
+TEST(Cluster, BackgroundLoadAttachesPerNode) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  EXPECT_FALSE(cluster.hasBackgroundLoad());
+  const RngStreams streams(9);
+  cluster.attachBackgroundLoad(streams);
+  EXPECT_TRUE(cluster.hasBackgroundLoad());
+  cluster.backgroundLoad(ProcessorId{0}).setTarget(Utilization::fraction(0.6));
+  cluster.backgroundLoad(ProcessorId{2}).setTarget(Utilization::fraction(0.2));
+  sim.runUntil(SimTime::millis(60000.0));
+  const auto& u = cluster.sampleUtilization();
+  EXPECT_NEAR(u[0].value(), 0.6, 0.06);
+  EXPECT_NEAR(u[1].value(), 0.0, 1e-9);
+  EXPECT_NEAR(u[2].value(), 0.2, 0.05);
+}
+
+TEST(Cluster, PerNodeSpeedsApplied) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2, {}, {2.0, 0.5});
+  double fast_done = -1.0;
+  double slow_done = -1.0;
+  cluster.processor(ProcessorId{0})
+      .submit(Job{SimDuration::millis(10.0),
+                  [&fast_done, &sim] { fast_done = sim.now().ms(); }, "f"});
+  cluster.processor(ProcessorId{1})
+      .submit(Job{SimDuration::millis(10.0),
+                  [&slow_done, &sim] { slow_done = sim.now().ms(); }, "s"});
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(fast_done, 5.0);
+  EXPECT_DOUBLE_EQ(slow_done, 20.0);
+}
+
+TEST(ClusterDeathTest, SpeedsSizeMismatchAsserts) {
+  sim::Simulator sim;
+  EXPECT_DEATH(Cluster(sim, 3, {}, {1.0, 2.0}), "one per node");
+}
+
+TEST(ClusterDeathTest, OutOfRangeProcessorAsserts) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2);
+  EXPECT_DEATH(cluster.processor(ProcessorId{5}), "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm::node

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "node/processor.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+namespace {
+
+ProcessorConfig prioConfig() {
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kPriority;
+  return cfg;
+}
+
+Job job(double demand_ms, int priority, double* done_at,
+        sim::Simulator& sim) {
+  return Job{SimDuration::millis(demand_ms),
+             [done_at, &sim] { *done_at = sim.now().ms(); }, "p", priority};
+}
+
+TEST(PriorityScheduler, HigherPriorityPreemptsRunning) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, prioConfig());
+  double low_done = -1.0;
+  double high_done = -1.0;
+  cpu.submit(job(10.0, /*priority=*/5, &low_done, sim));
+  sim.scheduleAt(SimTime::millis(2.0), [&] {
+    cpu.submit(job(3.0, /*priority=*/1, &high_done, sim));
+  });
+  sim.runAll();
+  // Low runs [0,2), preempted; high runs [2,5); low resumes [5,13).
+  EXPECT_DOUBLE_EQ(high_done, 5.0);
+  EXPECT_DOUBLE_EQ(low_done, 13.0);
+}
+
+TEST(PriorityScheduler, LowerPriorityWaitsForRunning) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, prioConfig());
+  double first_done = -1.0;
+  double second_done = -1.0;
+  cpu.submit(job(5.0, 2, &first_done, sim));
+  cpu.submit(job(1.0, 7, &second_done, sim));  // lower priority: no preempt
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(first_done, 5.0);
+  EXPECT_DOUBLE_EQ(second_done, 6.0);
+}
+
+TEST(PriorityScheduler, EqualPriorityIsFifoNonPreemptive) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, prioConfig());
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(Job{SimDuration::millis(1.0),
+                   [&order, i] { order.push_back(i); }, "e", 3});
+  }
+  sim.runAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PriorityScheduler, QueuedJobsServedByRank) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, prioConfig());
+  std::vector<int> order;
+  auto tag = [&](int id) {
+    return [&order, id] { order.push_back(id); };
+  };
+  // All queued behind a running job; service order must follow priority.
+  cpu.submit(Job{SimDuration::millis(1.0), tag(0), "run", 0});
+  cpu.submit(Job{SimDuration::millis(1.0), tag(1), "q", 9});
+  cpu.submit(Job{SimDuration::millis(1.0), tag(2), "q", 4});
+  cpu.submit(Job{SimDuration::millis(1.0), tag(3), "q", 6});
+  sim.runAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 1}));
+}
+
+TEST(PriorityScheduler, PreemptionConservesWork) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, prioConfig());
+  int completed = 0;
+  double total = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const double demand = 0.5 + 0.25 * i;
+    total += demand;
+    cpu.submit(Job{SimDuration::millis(demand), [&] { ++completed; }, "w",
+                   11 - i});  // later arrivals rank higher -> preempt chain
+    sim.runFor(SimDuration::millis(0.2));
+  }
+  sim.runAll();
+  EXPECT_EQ(completed, 12);
+  EXPECT_NEAR(cpu.busyTime().ms(), total, 1e-6);
+}
+
+TEST(PriorityScheduler, AbortPreemptedJob) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, prioConfig());
+  bool low_ran = false;
+  double high_done = -1.0;
+  const JobId low = cpu.submit(
+      Job{SimDuration::millis(50.0), [&] { low_ran = true; }, "low", 5});
+  sim.scheduleAt(SimTime::millis(1.0), [&] {
+    cpu.submit(job(2.0, 0, &high_done, sim));
+    EXPECT_TRUE(cpu.abort(low));
+  });
+  sim.runAll();
+  EXPECT_FALSE(low_ran);
+  EXPECT_DOUBLE_EQ(high_done, 3.0);
+}
+
+}  // namespace
+}  // namespace rtdrm::node

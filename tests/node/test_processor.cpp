@@ -1,0 +1,322 @@
+#include "node/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+namespace {
+
+Job probe(SimDuration demand, double* done_at, sim::Simulator& sim) {
+  return Job{demand, [done_at, &sim] { *done_at = sim.now().ms(); }, "t"};
+}
+
+TEST(Processor, SingleJobRunsForExactDemand) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double done = -1.0;
+  cpu.submit(probe(SimDuration::millis(7.25), &done, sim));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(done, 7.25);
+  EXPECT_EQ(cpu.jobsCompleted(), 1u);
+}
+
+TEST(Processor, ZeroDemandJobCompletesImmediately) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double done = -1.0;
+  cpu.submit(probe(SimDuration::zero(), &done, sim));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(Processor, RoundRobinInterleavesTwoJobs) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});  // RR, 1 ms quantum
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(probe(SimDuration::millis(3.0), &a_done, sim));
+  cpu.submit(probe(SimDuration::millis(2.0), &b_done, sim));
+  sim.runAll();
+  // Slices: A[0,1) B[1,2) A[2,3) B[3,4)done A[4,5)done.
+  EXPECT_DOUBLE_EQ(b_done, 4.0);
+  EXPECT_DOUBLE_EQ(a_done, 5.0);
+}
+
+TEST(Processor, RoundRobinFractionalFinalSlice) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(probe(SimDuration::millis(1.5), &a_done, sim));
+  cpu.submit(probe(SimDuration::millis(1.0), &b_done, sim));
+  sim.runAll();
+  // A[0,1) B[1,2)done A[2,2.5)done.
+  EXPECT_DOUBLE_EQ(b_done, 2.0);
+  EXPECT_DOUBLE_EQ(a_done, 2.5);
+}
+
+TEST(Processor, ArrivalTruncatesUncontendedStretch) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(probe(SimDuration::millis(10.0), &a_done, sim));
+  sim.scheduleAt(SimTime::millis(2.5), [&] {
+    cpu.submit(probe(SimDuration::millis(1.0), &b_done, sim));
+  });
+  sim.runAll();
+  // A runs alone [0, 2.5); then RR: A gets the first fresh quantum
+  // [2.5, 3.5), B [3.5, 4.5) done, A runs alone to completion at 10 + 1.
+  EXPECT_DOUBLE_EQ(b_done, 4.5);
+  EXPECT_DOUBLE_EQ(a_done, 11.0);
+}
+
+TEST(Processor, FifoRunsToCompletionInArrivalOrder) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kFifo;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(probe(SimDuration::millis(3.0), &a_done, sim));
+  cpu.submit(probe(SimDuration::millis(2.0), &b_done, sim));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(a_done, 3.0);
+  EXPECT_DOUBLE_EQ(b_done, 5.0);
+}
+
+TEST(Processor, BusyTimeEqualsTotalDemand) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double sink = 0.0;
+  cpu.submit(probe(SimDuration::millis(3.0), &sink, sim));
+  cpu.submit(probe(SimDuration::millis(2.0), &sink, sim));
+  cpu.submit(probe(SimDuration::millis(4.5), &sink, sim));
+  sim.runAll();
+  EXPECT_NEAR(cpu.busyTime().ms(), 9.5, 1e-9);
+}
+
+TEST(Processor, BusyTimeAccruesMidStretch) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double sink = 0.0;
+  cpu.submit(probe(SimDuration::millis(10.0), &sink, sim));
+  sim.runUntil(SimTime::millis(4.0));
+  EXPECT_NEAR(cpu.busyTime().ms(), 4.0, 1e-9);
+}
+
+TEST(Processor, ContextSwitchOverheadExtendsCompletion) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.context_switch = SimDuration::millis(0.1);
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(probe(SimDuration::millis(2.0), &a_done, sim));
+  cpu.submit(probe(SimDuration::millis(2.0), &b_done, sim));
+  sim.runAll();
+  // 4 ms of work + 4 dispatch boundaries x 0.1 ms.
+  EXPECT_NEAR(b_done, 4.4, 1e-9);
+  EXPECT_GT(cpu.busyTime().ms(), 4.0);
+}
+
+TEST(Processor, AbortQueuedJobNeverRuns) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double a_done = -1.0;
+  bool b_ran = false;
+  cpu.submit(probe(SimDuration::millis(5.0), &a_done, sim));
+  const JobId b = cpu.submit(
+      Job{SimDuration::millis(5.0), [&] { b_ran = true; }, "b"});
+  EXPECT_TRUE(cpu.abort(b));
+  sim.runAll();
+  EXPECT_FALSE(b_ran);
+  EXPECT_DOUBLE_EQ(a_done, 5.0);  // A reverts to uncontended after abort
+  EXPECT_EQ(cpu.jobsAborted(), 1u);
+}
+
+TEST(Processor, AbortRunningJobFreesProcessor) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  bool a_ran = false;
+  double b_done = -1.0;
+  const JobId a = cpu.submit(
+      Job{SimDuration::millis(100.0), [&] { a_ran = true; }, "a"});
+  cpu.submit(probe(SimDuration::millis(1.0), &b_done, sim));
+  sim.scheduleAt(SimTime::millis(0.5), [&] { EXPECT_TRUE(cpu.abort(a)); });
+  sim.runAll();
+  EXPECT_FALSE(a_ran);
+  EXPECT_GT(b_done, 0.0);
+  EXPECT_LE(b_done, 2.0);
+}
+
+TEST(Processor, AbortUnknownJobReturnsFalse) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  EXPECT_FALSE(cpu.abort(JobId{12345}));
+}
+
+TEST(Processor, AbortedBusyTimeStillCounted) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  const JobId a = cpu.submit(Job{SimDuration::millis(100.0), nullptr, "a"});
+  sim.runUntil(SimTime::millis(10.0));
+  cpu.abort(a);
+  sim.runAll();
+  EXPECT_NEAR(cpu.busyTime().ms(), 10.0, 1e-9);
+}
+
+TEST(Processor, CompletionCallbackMaySubmitFollowUp) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double second_done = -1.0;
+  cpu.submit(Job{SimDuration::millis(1.0),
+                 [&] {
+                   cpu.submit(Job{SimDuration::millis(2.0),
+                                  [&] { second_done = sim.now().ms(); },
+                                  "chained"});
+                 },
+                 "first"});
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(second_done, 3.0);
+}
+
+TEST(Processor, ResidentJobsTracksQueue) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  EXPECT_EQ(cpu.residentJobs(), 0u);
+  EXPECT_FALSE(cpu.busy());
+  cpu.submit(Job{SimDuration::millis(5.0), nullptr, "a"});
+  cpu.submit(Job{SimDuration::millis(5.0), nullptr, "b"});
+  EXPECT_EQ(cpu.residentJobs(), 2u);
+  EXPECT_TRUE(cpu.busy());
+  sim.runAll();
+  EXPECT_EQ(cpu.residentJobs(), 0u);
+}
+
+TEST(Processor, ManyJobsAllCompleteAndConserveWork) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  int completed = 0;
+  double total = 0.0;
+  for (int i = 1; i <= 50; ++i) {
+    const double demand = 0.1 * i;
+    total += demand;
+    cpu.submit(Job{SimDuration::millis(demand), [&] { ++completed; }, "j"});
+  }
+  sim.runAll();
+  EXPECT_EQ(completed, 50);
+  EXPECT_NEAR(cpu.busyTime().ms(), total, 1e-6);
+  EXPECT_NEAR(sim.now().ms(), total, 1e-6);  // work-conserving: no idle gaps
+}
+
+TEST(Processor, SpeedScalesServiceTime) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.speed = 2.0;  // twice the reference speed
+  Processor fast(sim, ProcessorId{0}, cfg);
+  double done = -1.0;
+  fast.submit(probe(SimDuration::millis(10.0), &done, sim));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(Processor, SlowNodeTakesProportionallyLonger) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.speed = 0.5;
+  Processor slow(sim, ProcessorId{0}, cfg);
+  double done = -1.0;
+  slow.submit(probe(SimDuration::millis(10.0), &done, sim));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(done, 20.0);
+  // Utilization accounting is wall time: the slow node was busy 20 ms.
+  EXPECT_NEAR(slow.busyTime().ms(), 20.0, 1e-9);
+}
+
+TEST(Processor, SpeedAppliesUnderContention) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.speed = 2.0;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(probe(SimDuration::millis(6.0), &a_done, sim));  // 3 ms wall
+  cpu.submit(probe(SimDuration::millis(4.0), &b_done, sim));  // 2 ms wall
+  sim.runAll();
+  // Same RR interleaving as the 3/2 ms homogeneous case.
+  EXPECT_DOUBLE_EQ(b_done, 4.0);
+  EXPECT_DOUBLE_EQ(a_done, 5.0);
+}
+
+TEST(UtilizationProbe, MeasuresWindowedBusyFraction) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  UtilizationProbe probe(sim, cpu);
+  cpu.submit(Job{SimDuration::millis(5.0), nullptr, "a"});
+  sim.runUntil(SimTime::millis(10.0));
+  EXPECT_NEAR(probe.sample().value(), 0.5, 1e-9);
+  // Second window: idle.
+  sim.runUntil(SimTime::millis(20.0));
+  EXPECT_NEAR(probe.sample().value(), 0.0, 1e-9);
+}
+
+TEST(UtilizationProbe, PeekDoesNotReset) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  UtilizationProbe probe(sim, cpu);
+  cpu.submit(Job{SimDuration::millis(10.0), nullptr, "a"});
+  sim.runUntil(SimTime::millis(10.0));
+  EXPECT_NEAR(probe.peek().value(), 1.0, 1e-9);
+  EXPECT_NEAR(probe.peek().value(), 1.0, 1e-9);
+  EXPECT_NEAR(probe.sample().value(), 1.0, 1e-9);
+}
+
+TEST(UtilizationProbe, EmptyWindowIsZero) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  UtilizationProbe probe(sim, cpu);
+  EXPECT_DOUBLE_EQ(probe.sample().value(), 0.0);
+}
+
+// Property sweep: for any quantum and job mix, total busy time equals total
+// demand and the last completion equals the makespan (work conservation).
+class RoundRobinProperty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(RoundRobinProperty, WorkConservation) {
+  const double quantum = std::get<0>(GetParam());
+  const int jobs = std::get<1>(GetParam());
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.quantum = SimDuration::millis(quantum);
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double total = 0.0;
+  int completed = 0;
+  double last_done = 0.0;
+  for (int i = 0; i < jobs; ++i) {
+    const double demand = 0.35 * (i + 1);
+    total += demand;
+    cpu.submit(Job{SimDuration::millis(demand),
+                   [&] {
+                     ++completed;
+                     last_done = sim.now().ms();
+                   },
+                   "p"});
+  }
+  sim.runAll();
+  EXPECT_EQ(completed, jobs);
+  EXPECT_NEAR(cpu.busyTime().ms(), total, 1e-6);
+  EXPECT_NEAR(last_done, total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantaAndLoads, RoundRobinProperty,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 1.0, 2.0, 10.0),
+                       ::testing::Values(1, 2, 5, 13)));
+
+}  // namespace
+}  // namespace rtdrm::node

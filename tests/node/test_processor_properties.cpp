@@ -1,0 +1,125 @@
+// Randomized processor properties across all scheduling policies: random
+// submit/abort interleavings must conserve work, complete or abort every
+// job exactly once, and leave the processor idle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "node/processor.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+namespace {
+
+using Param = std::tuple<int /*policy*/, std::uint64_t /*seed*/>;
+
+class ProcessorRandomOps : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ProcessorRandomOps, ConservationUnderRandomSubmitAbort) {
+  const int policy_idx = std::get<0>(GetParam());
+  Xoshiro256 rng(std::get<1>(GetParam()));
+
+  ProcessorConfig cfg;
+  cfg.policy = static_cast<SchedPolicy>(policy_idx);
+  cfg.quantum = SimDuration::millis(rng.uniform(0.25, 2.0));
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+
+  const int n = 80;
+  int completed = 0;
+  std::vector<JobId> ids;
+  std::map<std::uint64_t, double> demand_of;
+  // Random arrivals over [0, 100) ms.
+  std::vector<std::pair<double, double>> arrivals;  // (time, demand)
+  for (int i = 0; i < n; ++i) {
+    arrivals.push_back(
+        {rng.uniform(0.0, 100.0), rng.uniform(0.1, 6.0)});
+  }
+  for (const auto& [at, demand] : arrivals) {
+    const int prio = static_cast<int>(rng.uniformInt(0, 4));
+    sim.scheduleAt(SimTime::millis(at), [&, demand, prio] {
+      const JobId id = cpu.submit(
+          Job{SimDuration::millis(demand), [&completed] { ++completed; },
+              "r", prio});
+      ids.push_back(id);
+      demand_of[id.value] = demand;
+    });
+  }
+  // Random aborts sprinkled over the same window.
+  for (int i = 0; i < 15; ++i) {
+    sim.scheduleAt(SimTime::millis(rng.uniform(10.0, 110.0)), [&] {
+      if (!ids.empty()) {
+        const std::size_t k = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(ids.size()) - 1));
+        cpu.abort(ids[k]);  // may fail if already done: fine
+      }
+    });
+  }
+  sim.runAll();
+
+  EXPECT_EQ(cpu.residentJobs(), 0u);
+  EXPECT_FALSE(cpu.busy());
+  EXPECT_EQ(cpu.jobsCompleted() + cpu.jobsAborted(),
+            static_cast<std::uint64_t>(n));
+  EXPECT_EQ(static_cast<std::uint64_t>(completed), cpu.jobsCompleted());
+  // Busy time is bounded by total demand (aborted jobs consume at most
+  // their demand) and is at least the demand of the completed jobs.
+  double total_demand = 0.0;
+  for (const auto& [at, demand] : arrivals) {
+    total_demand += demand;
+  }
+  EXPECT_LE(cpu.busyTime().ms(), total_demand + 1e-6);
+  EXPECT_GT(cpu.busyTime().ms(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, ProcessorRandomOps,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // RR, FIFO, priority
+                       ::testing::Values(101u, 202u, 303u)));
+
+TEST(ProcessorEquivalence, SingleJobIdenticalAcrossPolicies) {
+  // An uncontended job must take exactly its demand under every policy.
+  for (const auto policy : {SchedPolicy::kRoundRobin, SchedPolicy::kFifo,
+                            SchedPolicy::kPriority}) {
+    sim::Simulator sim;
+    ProcessorConfig cfg;
+    cfg.policy = policy;
+    Processor cpu(sim, ProcessorId{0}, cfg);
+    double done = -1.0;
+    cpu.submit(Job{SimDuration::millis(7.5),
+                   [&] { done = sim.now().ms(); }, "x"});
+    sim.runAll();
+    EXPECT_DOUBLE_EQ(done, 7.5);
+  }
+}
+
+TEST(ProcessorEquivalence, MakespanIdenticalAcrossPolicies) {
+  // Work conservation: the last completion is the total demand regardless
+  // of policy (only per-job response times differ).
+  for (const auto policy : {SchedPolicy::kRoundRobin, SchedPolicy::kFifo,
+                            SchedPolicy::kPriority}) {
+    sim::Simulator sim;
+    ProcessorConfig cfg;
+    cfg.policy = policy;
+    Processor cpu(sim, ProcessorId{0}, cfg);
+    double last = 0.0;
+    double total = 0.0;
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 20; ++i) {
+      const double d = rng.uniform(0.2, 3.0);
+      total += d;
+      cpu.submit(Job{SimDuration::millis(d),
+                     [&] { last = std::max(last, sim.now().ms()); }, "m",
+                     i % 3});
+    }
+    sim.runAll();
+    EXPECT_NEAR(last, total, 1e-6) << "policy "
+                                   << static_cast<int>(policy);
+  }
+}
+
+}  // namespace
+}  // namespace rtdrm::node

@@ -1,0 +1,84 @@
+#include "profile/comm_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/dynbench.hpp"
+
+namespace rtdrm::profile {
+namespace {
+
+CommProfileConfig smallConfig() {
+  CommProfileConfig cfg;
+  cfg.workload_levels = {DataSize::tracks(1000.0), DataSize::tracks(4000.0),
+                         DataSize::tracks(8000.0)};
+  cfg.periods_per_level = 8;
+  cfg.warmup_periods = 2;
+  return cfg;
+}
+
+TEST(DefaultCommGrid, SpansWorkloadRange) {
+  const auto grid = defaultCommGrid();
+  ASSERT_FALSE(grid.empty());
+  EXPECT_DOUBLE_EQ(grid.front().count(), 500.0);
+  EXPECT_DOUBLE_EQ(grid.back().count(), 12000.0);
+}
+
+TEST(ProfileBufferDelay, ProducesSamplesAtEveryLevel) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto samples = profileBufferDelay(spec, smallConfig());
+  ASSERT_FALSE(samples.empty());
+  bool seen_low = false;
+  bool seen_high = false;
+  for (const auto& s : samples) {
+    EXPECT_GE(s.buffer_delay_ms, 0.0);
+    seen_low = seen_low || s.total_workload_hundreds == 10.0;
+    seen_high = seen_high || s.total_workload_hundreds == 80.0;
+  }
+  EXPECT_TRUE(seen_low);
+  EXPECT_TRUE(seen_high);
+}
+
+TEST(ProfileBufferDelay, DelayGrowsWithWorkload) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto samples = profileBufferDelay(spec, smallConfig());
+  double low_mean = 0.0;
+  double high_mean = 0.0;
+  int low_n = 0;
+  int high_n = 0;
+  for (const auto& s : samples) {
+    if (s.total_workload_hundreds <= 10.0) {
+      low_mean += s.buffer_delay_ms;
+      ++low_n;
+    } else if (s.total_workload_hundreds >= 80.0) {
+      high_mean += s.buffer_delay_ms;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_GT(high_mean / high_n, 4.0 * (low_mean / low_n));
+}
+
+TEST(ProfileAndFitBufferDelay, SlopeNearConfiguredMarshallingCost) {
+  // With 87.5 ns/B hosts and 80 B tracks the marshalling stage alone
+  // contributes 0.7 ms per hundred tracks (the paper's Table 3 value);
+  // queueing can only add to it.
+  const auto spec = apps::makeAawTaskSpec();
+  const auto fit = profileAndFitBufferDelay(spec, smallConfig());
+  EXPECT_GT(fit.model.k_ms_per_hundred, 0.6);
+  EXPECT_LT(fit.model.k_ms_per_hundred, 1.1);
+  EXPECT_GT(fit.diagnostics.r_squared, 0.9);
+}
+
+TEST(ProfileBufferDelay, DeterministicForSameSeed) {
+  const auto spec = apps::makeAawTaskSpec();
+  const auto a = profileBufferDelay(spec, smallConfig());
+  const auto b = profileBufferDelay(spec, smallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].buffer_delay_ms, b[i].buffer_delay_ms);
+  }
+}
+
+}  // namespace
+}  // namespace rtdrm::profile

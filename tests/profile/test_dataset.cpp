@@ -1,0 +1,96 @@
+#include "profile/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rtdrm::profile {
+namespace {
+
+std::string tmpPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(ExecSamplesCsv, RoundTripPreservesData) {
+  const std::vector<regress::ExecSample> in{
+      {1.5, 0.2, 3.75}, {10.0, 0.8, 123.456}, {0.0, 0.0, 0.0}};
+  const std::string path = tmpPath("exec_samples.csv");
+  ASSERT_TRUE(writeExecSamplesCsv(path, in));
+  std::vector<regress::ExecSample> out;
+  ASSERT_TRUE(readExecSamplesCsv(path, out));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].d_hundreds, in[i].d_hundreds);
+    EXPECT_DOUBLE_EQ(out[i].u, in[i].u);
+    EXPECT_DOUBLE_EQ(out[i].latency_ms, in[i].latency_ms);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExecSamplesCsv, EmptyVectorRoundTrips) {
+  const std::string path = tmpPath("exec_empty.csv");
+  ASSERT_TRUE(writeExecSamplesCsv(path, {}));
+  std::vector<regress::ExecSample> out{{1.0, 1.0, 1.0}};
+  ASSERT_TRUE(readExecSamplesCsv(path, out));
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ExecSamplesCsv, ReadFailsOnMissingFile) {
+  std::vector<regress::ExecSample> out;
+  EXPECT_FALSE(readExecSamplesCsv("/nonexistent/nope.csv", out));
+}
+
+TEST(ExecSamplesCsv, ReadFailsOnMalformedRow) {
+  const std::string path = tmpPath("exec_bad.csv");
+  {
+    std::ofstream f(path);
+    f << "d_hundreds,u,latency_ms\n1.0,not_a_number,2.0\n";
+  }
+  std::vector<regress::ExecSample> out;
+  EXPECT_FALSE(readExecSamplesCsv(path, out));
+  std::remove(path.c_str());
+}
+
+TEST(ExecSamplesCsv, SkipsBlankLines) {
+  const std::string path = tmpPath("exec_blank.csv");
+  {
+    std::ofstream f(path);
+    f << "d_hundreds,u,latency_ms\n1.0,0.5,2.0\n\n3.0,0.1,4.0\n";
+  }
+  std::vector<regress::ExecSample> out;
+  ASSERT_TRUE(readExecSamplesCsv(path, out));
+  EXPECT_EQ(out.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CommSamplesCsv, RoundTripPreservesData) {
+  const std::vector<regress::CommSample> in{{10.0, 7.1}, {170.0, 119.3}};
+  const std::string path = tmpPath("comm_samples.csv");
+  ASSERT_TRUE(writeCommSamplesCsv(path, in));
+  std::vector<regress::CommSample> out;
+  ASSERT_TRUE(readCommSamplesCsv(path, out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].total_workload_hundreds, 170.0);
+  EXPECT_DOUBLE_EQ(out[1].buffer_delay_ms, 119.3);
+  std::remove(path.c_str());
+}
+
+TEST(CommSamplesCsv, WriteFailsOnBadPath) {
+  EXPECT_FALSE(writeCommSamplesCsv("/nonexistent/x/y.csv", {}));
+}
+
+TEST(CommSamplesCsv, ReadFailsOnTruncatedRow) {
+  const std::string path = tmpPath("comm_bad.csv");
+  {
+    std::ofstream f(path);
+    f << "total_workload_hundreds,buffer_delay_ms\n42.0\n";
+  }
+  std::vector<regress::CommSample> out;
+  EXPECT_FALSE(readCommSamplesCsv(path, out));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtdrm::profile

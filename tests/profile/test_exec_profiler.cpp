@@ -1,0 +1,135 @@
+#include "profile/exec_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rtdrm::profile {
+namespace {
+
+task::SubtaskSpec filterLike() {
+  return task::SubtaskSpec{"Filter", task::SubtaskCost{0.118, 0.98}, true,
+                           0.0};
+}
+
+ExecProfileConfig smallGrid() {
+  ExecProfileConfig cfg;
+  cfg.utilization_levels = {0.0, 0.3, 0.6};
+  cfg.data_sizes = {DataSize::tracks(500.0), DataSize::tracks(1500.0),
+                    DataSize::tracks(3000.0), DataSize::tracks(4500.0)};
+  cfg.samples_per_point = 3;
+  return cfg;
+}
+
+TEST(PaperDataGrid, MatchesFigureAxis) {
+  const auto grid = paperDataGrid();
+  ASSERT_EQ(grid.size(), 25u);
+  EXPECT_DOUBLE_EQ(grid.front().count(), 300.0);
+  EXPECT_DOUBLE_EQ(grid.back().count(), 7500.0);
+}
+
+TEST(ProfileExecution, ProducesFullGridOfSamples) {
+  const auto samples = profileExecution(filterLike(), smallGrid());
+  EXPECT_EQ(samples.size(), 3u * 4u * 3u);
+}
+
+TEST(ProfileExecution, IdleLatencyMatchesGroundTruthDemand) {
+  ExecProfileConfig cfg = smallGrid();
+  cfg.utilization_levels = {0.0};  // measured node otherwise idle
+  const auto samples = profileExecution(filterLike(), cfg);
+  for (const auto& s : samples) {
+    const double truth = 0.118 * s.d_hundreds * s.d_hundreds +
+                         0.98 * s.d_hundreds;
+    EXPECT_NEAR(s.latency_ms, truth, 1e-6) << "d = " << s.d_hundreds;
+  }
+}
+
+TEST(ProfileExecution, ContentionInflatesLatency) {
+  // At utilization u, processor sharing inflates response by ~1/(1-u).
+  const task::SubtaskSpec st = filterLike();
+  ExecProfileConfig cfg = smallGrid();
+  cfg.data_sizes = {DataSize::tracks(4500.0)};  // 45 hundreds, ~283 ms
+  cfg.samples_per_point = 8;
+  cfg.utilization_levels = {0.0, 0.6};
+  const auto samples = profileExecution(st, cfg);
+  double idle_mean = 0.0;
+  double busy_mean = 0.0;
+  int idle_n = 0;
+  int busy_n = 0;
+  for (const auto& s : samples) {
+    if (s.u == 0.0) {
+      idle_mean += s.latency_ms;
+      ++idle_n;
+    } else {
+      busy_mean += s.latency_ms;
+      ++busy_n;
+    }
+  }
+  idle_mean /= idle_n;
+  busy_mean /= busy_n;
+  // Expect inflation somewhere around 1/(1-0.6) = 2.5x; accept a broad
+  // band since the background stream is stochastic.
+  EXPECT_GT(busy_mean, idle_mean * 1.7);
+  EXPECT_LT(busy_mean, idle_mean * 3.5);
+}
+
+TEST(ProfileExecution, DeterministicForSameSeed) {
+  const auto a = profileExecution(filterLike(), smallGrid());
+  const auto b = profileExecution(filterLike(), smallGrid());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].latency_ms, b[i].latency_ms);
+  }
+}
+
+TEST(ProfileExecution, SeedChangesContendedSamples) {
+  ExecProfileConfig cfg = smallGrid();
+  cfg.utilization_levels = {0.5};
+  const auto a = profileExecution(filterLike(), cfg);
+  cfg.seed += 1;
+  const auto b = profileExecution(filterLike(), cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || a[i].latency_ms != b[i].latency_ms;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ProfileExecution, NoiseSigmaSpreadsIdleSamples) {
+  task::SubtaskSpec st = filterLike();
+  st.noise_sigma = 0.1;
+  ExecProfileConfig cfg = smallGrid();
+  cfg.utilization_levels = {0.0};
+  cfg.data_sizes = {DataSize::tracks(3000.0)};
+  cfg.samples_per_point = 10;
+  const auto samples = profileExecution(st, cfg);
+  double lo = samples[0].latency_ms;
+  double hi = samples[0].latency_ms;
+  for (const auto& s : samples) {
+    lo = std::min(lo, s.latency_ms);
+    hi = std::max(hi, s.latency_ms);
+  }
+  EXPECT_GT(hi / lo, 1.02);  // visible scatter
+}
+
+TEST(ProfileAndFit, RecoversGroundTruthAtLowUtilization) {
+  ExecProfileConfig cfg;
+  cfg.utilization_levels = {0.0, 0.2, 0.4, 0.6};
+  cfg.data_sizes = paperDataGrid();
+  cfg.samples_per_point = 4;
+  const auto fit = profileAndFit(filterLike(), cfg);
+  // At u -> 0 the fitted a3/b3 approximate the ground-truth alpha/beta.
+  EXPECT_NEAR(fit.model.a3, 0.118, 0.05);
+  EXPECT_NEAR(fit.model.b3, 0.98, 0.6);
+  EXPECT_GT(fit.diagnostics.r_squared, 0.9);
+  EXPECT_EQ(fit.levels.size(), 4u);
+}
+
+TEST(ProfileExecutionDeathTest, SaturatedUtilizationRejected) {
+  ExecProfileConfig cfg = smallGrid();
+  cfg.utilization_levels = {0.99};
+  EXPECT_DEATH(profileExecution(filterLike(), cfg), "saturates");
+}
+
+}  // namespace
+}  // namespace rtdrm::profile

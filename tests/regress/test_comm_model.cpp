@@ -1,0 +1,97 @@
+#include "regress/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::regress {
+namespace {
+
+TEST(BufferDelayModel, LinearInTotalWorkload) {
+  BufferDelayModel m;
+  m.k_ms_per_hundred = 0.7;  // Table 3
+  EXPECT_DOUBLE_EQ(m.evalMs(10.0), 7.0);
+  EXPECT_DOUBLE_EQ(m.eval(DataSize::tracks(1000.0)).ms(), 7.0);
+  EXPECT_DOUBLE_EQ(m.evalMs(0.0), 0.0);
+}
+
+TEST(BufferDelayModel, NegativeWorkloadClampsToZero) {
+  BufferDelayModel m;
+  EXPECT_DOUBLE_EQ(m.evalMs(-5.0), 0.0);
+}
+
+TEST(FitBufferDelay, RecoversExactSlope) {
+  std::vector<CommSample> samples;
+  for (double w = 1.0; w <= 100.0; w += 1.0) {
+    samples.push_back(CommSample{w, 0.7 * w});
+  }
+  const BufferDelayFit fit = fitBufferDelay(samples);
+  EXPECT_NEAR(fit.model.k_ms_per_hundred, 0.7, 1e-12);
+  EXPECT_NEAR(fit.diagnostics.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitBufferDelay, NoisySlopeWithinTolerance) {
+  Xoshiro256 rng(6);
+  std::vector<CommSample> samples;
+  for (double w = 5.0; w <= 150.0; w += 2.5) {
+    samples.push_back(CommSample{w, 0.7 * w + rng.normal(0.0, 2.0)});
+  }
+  const BufferDelayFit fit = fitBufferDelay(samples);
+  EXPECT_NEAR(fit.model.k_ms_per_hundred, 0.7, 0.03);
+  EXPECT_GT(fit.diagnostics.r_squared, 0.95);
+}
+
+TEST(CommDelayModel, TransmissionMatchesEq6) {
+  CommDelayModel m;
+  m.link_rate = BitRate::mbps(100.0);
+  // 12500 B = 1 ms at 100 Mbps.
+  EXPECT_NEAR(m.transmission(Bytes::of(12500.0)).ms(), 1.0, 1e-12);
+}
+
+TEST(CommDelayModel, OverheadFactorScalesTransmission) {
+  CommDelayModel m;
+  m.overhead_factor = 1.1;
+  EXPECT_NEAR(m.transmission(Bytes::of(12500.0)).ms(), 1.1, 1e-12);
+}
+
+TEST(CommDelayModel, Eq4SumsBufferAndTransmission) {
+  CommDelayModel m;
+  m.buffer.k_ms_per_hundred = 0.7;
+  m.link_rate = BitRate::mbps(100.0);
+  // 100 tracks of 80 B = 8000 B payload; total workload 1000 tracks.
+  const double expected_buf = 0.7 * 10.0;
+  const double expected_trans = 8000.0 * 8.0 / 100e6 * 1000.0;
+  EXPECT_NEAR(m.eval(Bytes::of(8000.0), DataSize::tracks(1000.0)).ms(),
+              expected_buf + expected_trans, 1e-9);
+}
+
+TEST(CommDelayModel, DefaultsMatchTable1AndTable3) {
+  const CommDelayModel m;
+  EXPECT_DOUBLE_EQ(m.buffer.k_ms_per_hundred, 0.7);
+  EXPECT_DOUBLE_EQ(m.link_rate.bitsPerSecond(), 100e6);
+  EXPECT_DOUBLE_EQ(m.overhead_factor, 1.0);
+}
+
+// Property: fitted slope equals the analytic least-squares slope for any
+// proportional data with symmetric noise, across scales.
+class BufferSlopeScale : public ::testing::TestWithParam<double> {};
+
+TEST_P(BufferSlopeScale, SlopeScalesLinearly) {
+  const double k = GetParam();
+  std::vector<CommSample> samples;
+  for (double w = 1.0; w <= 50.0; w += 1.0) {
+    samples.push_back(CommSample{w, k * w});
+  }
+  EXPECT_NEAR(fitBufferDelay(samples).model.k_ms_per_hundred, k,
+              1e-10 * (1.0 + k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, BufferSlopeScale,
+                         ::testing::Values(0.01, 0.35, 0.7, 1.4, 10.0));
+
+TEST(FitBufferDelayDeathTest, EmptyInputAsserts) {
+  EXPECT_DEATH(fitBufferDelay({}), "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm::regress

@@ -1,0 +1,210 @@
+#include "regress/exec_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::regress {
+namespace {
+
+// Synthesizes samples from a known eq.-3 surface, optionally noisy.
+std::vector<ExecSample> surfaceSamples(const ExecLatencyModel& truth,
+                                       double noise_sigma, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<ExecSample> samples;
+  for (double u : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    for (double d = 1.0; d <= 25.0; d += 1.0) {
+      const double y =
+          truth.evalMs(d, u) * (noise_sigma > 0.0
+                                    ? rng.lognormalUnitMean(noise_sigma)
+                                    : 1.0);
+      samples.push_back(ExecSample{d, u, y});
+    }
+  }
+  return samples;
+}
+
+ExecLatencyModel paperFilterModel() {
+  // Table 2, subtask 3, with u as a fraction.
+  ExecLatencyModel m;
+  m.a1 = -0.00155;
+  m.a2 = 1.535e-05;
+  m.a3 = 0.11816174;
+  m.b1 = 0.0298276;
+  m.b2 = -0.000285;
+  m.b3 = 0.983699;
+  return m;
+}
+
+TEST(ExecLatencyModel, EvaluatesEq3) {
+  ExecLatencyModel m;
+  m.a3 = 0.1;
+  m.b3 = 2.0;
+  EXPECT_DOUBLE_EQ(m.evalMs(10.0, 0.0), 0.1 * 100.0 + 2.0 * 10.0);
+  // Quadratic and linear u-coefficients participate.
+  m.a1 = 1.0;
+  m.a2 = 2.0;
+  m.b1 = 3.0;
+  m.b2 = 4.0;
+  const double u = 0.5;
+  const double expected = (1.0 * 0.25 + 2.0 * 0.5 + 0.1) * 100.0 +
+                          (3.0 * 0.25 + 4.0 * 0.5 + 2.0) * 10.0;
+  EXPECT_DOUBLE_EQ(m.evalMs(10.0, u), expected);
+}
+
+TEST(ExecLatencyModel, ClampsNegativeForecastsToZero) {
+  ExecLatencyModel m;
+  m.a3 = -5.0;  // pathological fit
+  m.b3 = 0.1;
+  EXPECT_DOUBLE_EQ(m.evalMs(10.0, 0.0), 0.0);
+}
+
+TEST(ExecLatencyModel, ZeroDataZeroLatency) {
+  const ExecLatencyModel m = paperFilterModel();
+  EXPECT_DOUBLE_EQ(m.evalMs(0.0, 0.5), 0.0);
+}
+
+TEST(ExecLatencyModel, StrongTypeOverloadMatches) {
+  const ExecLatencyModel m = paperFilterModel();
+  EXPECT_DOUBLE_EQ(
+      m.eval(DataSize::tracks(1000.0), Utilization::fraction(0.4)).ms(),
+      m.evalMs(10.0, 0.4));
+}
+
+TEST(FitLevel, RecoversPerLevelQuadratic) {
+  std::vector<ExecSample> samples;
+  for (double d = 1.0; d <= 20.0; d += 1.0) {
+    samples.push_back(ExecSample{d, 0.4, 0.25 * d * d + 1.5 * d});
+  }
+  const LevelFit lf = fitLevel(samples);
+  EXPECT_NEAR(lf.c2, 0.25, 1e-9);
+  EXPECT_NEAR(lf.c1, 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(lf.u, 0.4);
+  EXPECT_NEAR(lf.diagnostics.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(lf.evalMs(10.0), 40.0, 1e-9);
+}
+
+TEST(FitExecModelTwoStage, RecoversNoiselessSurfaceExactly) {
+  const ExecLatencyModel truth = paperFilterModel();
+  const ExecModelFit fit =
+      fitExecModelTwoStage(surfaceSamples(truth, 0.0, 1));
+  EXPECT_NEAR(fit.model.a1, truth.a1, 1e-6);
+  EXPECT_NEAR(fit.model.a2, truth.a2, 1e-6);
+  EXPECT_NEAR(fit.model.a3, truth.a3, 1e-6);
+  EXPECT_NEAR(fit.model.b1, truth.b1, 1e-6);
+  EXPECT_NEAR(fit.model.b2, truth.b2, 1e-6);
+  EXPECT_NEAR(fit.model.b3, truth.b3, 1e-6);
+  EXPECT_GT(fit.diagnostics.r_squared, 0.999999);
+  EXPECT_EQ(fit.levels.size(), 5u);
+}
+
+TEST(FitExecModelJoint, RecoversNoiselessSurfaceExactly) {
+  const ExecLatencyModel truth = paperFilterModel();
+  const ExecModelFit fit = fitExecModelJoint(surfaceSamples(truth, 0.0, 2));
+  EXPECT_NEAR(fit.model.a3, truth.a3, 1e-6);
+  EXPECT_NEAR(fit.model.b3, truth.b3, 1e-6);
+  EXPECT_GT(fit.diagnostics.r_squared, 0.999999);
+  EXPECT_TRUE(fit.levels.empty());
+}
+
+TEST(FitExecModelTwoStage, ToleratesMeasurementNoise) {
+  const ExecLatencyModel truth = paperFilterModel();
+  const ExecModelFit fit =
+      fitExecModelTwoStage(surfaceSamples(truth, 0.05, 3));
+  EXPECT_GT(fit.diagnostics.r_squared, 0.98);
+  // Predictions stay within ~15% over the profiled region.
+  for (double u : {0.1, 0.5, 0.7}) {
+    for (double d : {5.0, 15.0, 25.0}) {
+      const double t = truth.evalMs(d, u);
+      EXPECT_NEAR(fit.model.evalMs(d, u), t, 0.15 * t + 0.5);
+    }
+  }
+}
+
+TEST(FitExecModelTwoStage, GroupsNearbyUtilizationLevels) {
+  std::vector<ExecSample> samples;
+  for (double u_base : {0.0, 0.3, 0.6}) {
+    for (double d = 1.0; d <= 10.0; d += 1.0) {
+      // Jitter below the grouping tolerance.
+      samples.push_back(
+          ExecSample{d, u_base + 1e-5, 0.1 * d * d + (1.0 + u_base) * d});
+    }
+  }
+  const ExecModelFit fit = fitExecModelTwoStage(samples, 1e-3);
+  EXPECT_EQ(fit.levels.size(), 3u);
+}
+
+TEST(FitExecModelTwoStageDeathTest, TooFewLevelsAsserts) {
+  std::vector<ExecSample> samples;
+  for (double d = 1.0; d <= 10.0; d += 1.0) {
+    samples.push_back(ExecSample{d, 0.0, d});
+    samples.push_back(ExecSample{d, 0.5, 2.0 * d});
+  }
+  EXPECT_DEATH(fitExecModelTwoStage(samples), "3 utilization levels");
+}
+
+TEST(FitExecModelJointDeathTest, TooFewSamplesAsserts) {
+  std::vector<ExecSample> samples{{1.0, 0.1, 1.0}, {2.0, 0.2, 2.0}};
+  EXPECT_DEATH(fitExecModelJoint(samples), "6 samples");
+}
+
+TEST(CrossValidateExecModel, PerfectSurfaceHasNearZeroCvError) {
+  const auto samples = surfaceSamples(paperFilterModel(), 0.0, 7);
+  const CrossValidation cv = crossValidateExecModel(samples, 5, true);
+  EXPECT_EQ(cv.fold_rmse.size(), 5u);
+  EXPECT_LT(cv.mean_rmse, 1e-6);
+  EXPECT_GT(cv.mean_r_squared, 0.999999);
+}
+
+TEST(CrossValidateExecModel, NoisyDataCvTracksNoiseFloor) {
+  const ExecLatencyModel truth = paperFilterModel();
+  const auto samples = surfaceSamples(truth, 0.05, 8);
+  const CrossValidation cv = crossValidateExecModel(samples, 5, true);
+  // Held-out error must be of the order of the injected 5% noise — neither
+  // vanishing (overfit leak) nor exploding (level starvation).
+  EXPECT_GT(cv.mean_rmse, 0.1);
+  EXPECT_GT(cv.mean_r_squared, 0.95);
+}
+
+TEST(CrossValidateExecModel, JointFitVariantWorks) {
+  const auto samples = surfaceSamples(paperFilterModel(), 0.02, 9);
+  const CrossValidation two = crossValidateExecModel(samples, 4, true);
+  const CrossValidation joint = crossValidateExecModel(samples, 4, false);
+  EXPECT_GT(two.mean_r_squared, 0.97);
+  EXPECT_GT(joint.mean_r_squared, 0.97);
+}
+
+TEST(CrossValidateExecModelDeathTest, RejectsTooFewFolds) {
+  const auto samples = surfaceSamples(paperFilterModel(), 0.0, 10);
+  EXPECT_DEATH(crossValidateExecModel(samples, 1), "assertion");
+}
+
+// Property: both fitters agree closely on noiseless surfaces spanning a
+// range of coefficient magnitudes.
+class FitterAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(FitterAgreement, TwoStageMatchesJointOnCleanData) {
+  ExecLatencyModel truth;
+  const double scale = GetParam();
+  truth.a1 = 0.3 * scale;
+  truth.a2 = -0.05 * scale;
+  truth.a3 = 0.1 * scale;
+  truth.b1 = 1.0 * scale;
+  truth.b2 = 0.2 * scale;
+  truth.b3 = 1.5 * scale;
+  const auto samples = surfaceSamples(truth, 0.0, 4);
+  const ExecModelFit two = fitExecModelTwoStage(samples);
+  const ExecModelFit joint = fitExecModelJoint(samples);
+  for (double u : {0.0, 0.4, 0.8}) {
+    for (double d : {2.0, 12.0, 24.0}) {
+      EXPECT_NEAR(two.model.evalMs(d, u), joint.model.evalMs(d, u),
+                  1e-4 * (1.0 + joint.model.evalMs(d, u)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, FitterAgreement,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace rtdrm::regress

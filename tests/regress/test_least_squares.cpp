@@ -1,0 +1,136 @@
+#include "regress/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::regress {
+namespace {
+
+TEST(FitPolynomial, RecoversExactQuadratic) {
+  Vector x;
+  Vector y;
+  for (double v = 0.0; v <= 10.0; v += 1.0) {
+    x.push_back(v);
+    y.push_back(2.0 + 3.0 * v - 0.5 * v * v);
+  }
+  const FitResult fit = fitPolynomial(x, y, 2, true);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], -0.5, 1e-9);
+  EXPECT_NEAR(fit.diagnostics.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.diagnostics.rmse, 0.0, 1e-9);
+}
+
+TEST(FitPolynomial, NoInterceptFormMatchesEq3Shape) {
+  // y = 0.118 d^2 + 0.98 d (the paper's Filter at u -> 0).
+  Vector x;
+  Vector y;
+  for (double d = 1.0; d <= 25.0; d += 1.0) {
+    x.push_back(d);
+    y.push_back(0.118 * d * d + 0.98 * d);
+  }
+  const FitResult fit = fitPolynomial(x, y, 2, false);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_NEAR(fit.coefficients[0], 0.98, 1e-9);   // linear term
+  EXPECT_NEAR(fit.coefficients[1], 0.118, 1e-9);  // quadratic term
+}
+
+TEST(FitPolynomial, NoisyDataStillCloseAndR2High) {
+  Xoshiro256 rng(4);
+  Vector x;
+  Vector y;
+  for (double v = 0.0; v <= 20.0; v += 0.25) {
+    x.push_back(v);
+    y.push_back(1.0 + 2.0 * v + rng.normal(0.0, 0.5));
+  }
+  const FitResult fit = fitPolynomial(x, y, 1, true);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 0.3);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 0.05);
+  EXPECT_GT(fit.diagnostics.r_squared, 0.98);
+}
+
+TEST(EvalPolynomial, MatchesFitLayout) {
+  const Vector with_intercept{1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(evalPolynomial(with_intercept, 2.0, true), 17.0);
+  const Vector no_intercept{2.0, 3.0};  // 2x + 3x^2
+  EXPECT_DOUBLE_EQ(evalPolynomial(no_intercept, 2.0, false), 16.0);
+  EXPECT_DOUBLE_EQ(evalPolynomial(no_intercept, 0.0, false), 0.0);
+}
+
+TEST(FitProportional, ExactSlope) {
+  const FitResult fit = fitProportional({1.0, 2.0, 3.0}, {0.7, 1.4, 2.1});
+  EXPECT_NEAR(fit.coefficients[0], 0.7, 1e-12);
+  EXPECT_NEAR(fit.diagnostics.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitProportional, LeastSquaresSlopeFormula) {
+  // k = sum(xy)/sum(x^2) = (1*1 + 2*3)/(1+4) = 1.4.
+  const FitResult fit = fitProportional({1.0, 2.0}, {1.0, 3.0});
+  EXPECT_NEAR(fit.coefficients[0], 1.4, 1e-12);
+}
+
+TEST(FitRidge, ZeroLambdaMatchesOls) {
+  Xoshiro256 rng(8);
+  Matrix design(30, 3);
+  Vector y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = rng.uniform(0.0, 5.0);
+    design(i, 2) = design(i, 1) * design(i, 1);
+    y[i] = 0.5 + 1.5 * design(i, 1) - 0.2 * design(i, 2) +
+           rng.normal(0.0, 0.1);
+  }
+  const FitResult ols = fitDesignMatrix(design, y);
+  const FitResult ridge = fitRidge(design, y, 0.0);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(ols.coefficients[j], ridge.coefficients[j], 1e-6);
+  }
+}
+
+TEST(FitRidge, ShrinksCoefficients) {
+  Matrix design(4, 2);
+  design(0, 0) = 1.0; design(0, 1) = 1.0;
+  design(1, 0) = 1.0; design(1, 1) = 2.0;
+  design(2, 0) = 1.0; design(2, 1) = 3.0;
+  design(3, 0) = 1.0; design(3, 1) = 4.0;
+  const Vector y{2.0, 4.0, 6.0, 8.0};
+  const FitResult big = fitRidge(design, y, 100.0);
+  const FitResult small = fitRidge(design, y, 0.001);
+  EXPECT_LT(std::abs(big.coefficients[1]), std::abs(small.coefficients[1]));
+}
+
+TEST(Diagnose, PerfectFit) {
+  const FitDiagnostics d = diagnose({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, 1);
+  EXPECT_DOUBLE_EQ(d.r_squared, 1.0);
+  EXPECT_DOUBLE_EQ(d.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(d.max_abs_residual, 0.0);
+  EXPECT_EQ(d.n_samples, 3u);
+}
+
+TEST(Diagnose, MeanPredictorHasZeroR2) {
+  const FitDiagnostics d = diagnose({1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}, 1);
+  EXPECT_NEAR(d.r_squared, 0.0, 1e-12);
+}
+
+TEST(Diagnose, ConstantResponseConventions) {
+  EXPECT_DOUBLE_EQ(diagnose({5.0, 5.0}, {5.0, 5.0}, 1).r_squared, 1.0);
+  EXPECT_DOUBLE_EQ(diagnose({5.0, 5.0}, {4.0, 6.0}, 1).r_squared, 0.0);
+}
+
+TEST(Diagnose, RmseAndMaxResidual) {
+  const FitDiagnostics d = diagnose({0.0, 0.0}, {3.0, -4.0}, 1);
+  EXPECT_NEAR(d.rmse, std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(d.max_abs_residual, 4.0);
+}
+
+TEST(FitDesignMatrixDeathTest, UnderdeterminedAsserts) {
+  Matrix design(2, 3, 1.0);
+  EXPECT_DEATH(fitDesignMatrix(design, {1.0, 2.0}), "assertion");
+}
+
+}  // namespace
+}  // namespace rtdrm::regress

@@ -1,0 +1,214 @@
+#include "regress/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::regress {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoOp) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 2) = -3.0;
+  a(2, 0) = 4.0;
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ((a * i).maxAbsDiff(a), 0.0);
+  EXPECT_DOUBLE_EQ((i * a).maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MultiplicationKnownValues) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(0, 2) = 3.0;
+  a(1, 0) = 4.0; a(1, 1) = 5.0; a(1, 2) = 6.0;
+  Matrix b(3, 2);
+  b(0, 0) = 7.0;  b(0, 1) = 8.0;
+  b(1, 0) = 9.0;  b(1, 1) = 10.0;
+  b(2, 0) = 11.0; b(2, 1) = 12.0;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(t.transposed().maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 4.0;
+  const Vector y = a * Vector{5.0, 6.0};
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 3.0);
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ((b - a)(1, 1), 2.0);
+}
+
+TEST(SolveGaussian, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const Vector x = solveGaussian(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveGaussian, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const Vector x = solveGaussian(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveGaussian, RandomSystemsRoundTrip) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    Vector x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-10.0, 10.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        a(i, j) = rng.uniform(-5.0, 5.0);
+      }
+      a(i, i) += 10.0;  // diagonally dominant: well-conditioned
+    }
+    const Vector b = a * x_true;
+    const Vector x = solveGaussian(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(SolveGaussianDeathTest, SingularMatrixAsserts) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;  // rank 1
+  EXPECT_DEATH(solveGaussian(a, {1.0, 2.0}), "singular");
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  // SPD matrix A = B^T B + I.
+  Matrix b(3, 3);
+  b(0, 0) = 1.0; b(0, 1) = 2.0; b(0, 2) = 0.5;
+  b(1, 0) = 0.0; b(1, 1) = 1.0; b(1, 2) = -1.0;
+  b(2, 0) = 2.0; b(2, 1) = 0.0; b(2, 2) = 1.0;
+  Matrix a = b.transposed() * b;
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, i) += 1.0;
+  }
+  const Matrix l = choleskyLower(a);
+  EXPECT_LT((l * l.transposed()).maxAbsDiff(a), 1e-10);
+}
+
+TEST(Cholesky, SolveMatchesGaussian) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0; a(0, 1) = 1.0; a(0, 2) = 0.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0; a(1, 2) = 1.0;
+  a(2, 0) = 0.0; a(2, 1) = 1.0; a(2, 2) = 2.0;
+  const Vector b{1.0, 2.0, 3.0};
+  const Vector xc = solveCholesky(a, b);
+  const Vector xg = solveGaussian(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(xc[i], xg[i], 1e-10);
+  }
+}
+
+TEST(CholeskyDeathTest, NonSpdAsserts) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // indefinite
+  EXPECT_DEATH(choleskyLower(a), "SPD");
+}
+
+TEST(LeastSquaresQR, ExactSystemRecovered) {
+  Matrix a(3, 2);
+  a(0, 0) = 1.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 2.0;
+  a(2, 0) = 1.0; a(2, 1) = 3.0;
+  // y = 0.5 + 2 x.
+  const Vector beta = solveLeastSquaresQR(a, {2.5, 4.5, 6.5});
+  EXPECT_NEAR(beta[0], 0.5, 1e-10);
+  EXPECT_NEAR(beta[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquaresQR, OverdeterminedMinimizesResidual) {
+  // Points not on a line: LS line through (0,0),(1,1),(2,0) is y = 1/3 + 0x.
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = static_cast<double>(i);
+  }
+  const Vector beta = solveLeastSquaresQR(a, {0.0, 1.0, 0.0});
+  EXPECT_NEAR(beta[0], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(beta[1], 0.0, 1e-10);
+}
+
+TEST(LeastSquaresQR, MatchesNormalEquationsOnRandomProblems) {
+  Xoshiro256 rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 40;
+    const std::size_t n = 4;
+    Matrix a(m, n);
+    Vector beta_true(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      beta_true[j] = rng.uniform(-3.0, 3.0);
+    }
+    Vector y(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        a(i, j) = rng.uniform(-2.0, 2.0);
+        acc += a(i, j) * beta_true[j];
+      }
+      y[i] = acc + rng.normal(0.0, 0.01);
+    }
+    const Vector qr = solveLeastSquaresQR(a, y);
+    // Normal equations via Cholesky.
+    const Matrix at = a.transposed();
+    const Vector ne = solveCholesky(at * a, at * y);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(qr[j], ne[j], 1e-7);
+      EXPECT_NEAR(qr[j], beta_true[j], 0.05);
+    }
+  }
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rtdrm::regress

@@ -1,0 +1,139 @@
+#include "regress/rls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "regress/least_squares.hpp"
+
+namespace rtdrm::regress {
+namespace {
+
+TEST(RecursiveLeastSquares, ConvergesToTrueLineNoiseless) {
+  RecursiveLeastSquares rls(2);
+  // y = 3 + 2x; features [1, x].
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    rls.update({1.0, x}, 3.0 + 2.0 * x);
+  }
+  EXPECT_NEAR(rls.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(rls.coefficients()[1], 2.0, 1e-6);
+  EXPECT_NEAR(rls.predict({1.0, 4.0}), 11.0, 1e-5);
+}
+
+TEST(RecursiveLeastSquares, MatchesBatchOlsOnNoisyData) {
+  Xoshiro256 rng(12);
+  const std::size_t n = 300;
+  Matrix design(n, 3);
+  Vector y(n);
+  RecursiveLeastSquares rls(3, /*lambda=*/1.0, /*initial_p=*/1e9);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 5.0);
+    const Vector f{1.0, x, x * x};
+    const double yi = 0.5 - 1.5 * x + 0.3 * x * x + rng.normal(0.0, 0.05);
+    for (std::size_t j = 0; j < 3; ++j) {
+      design(i, j) = f[j];
+    }
+    y[i] = yi;
+    rls.update(f, yi);
+  }
+  const FitResult ols = fitDesignMatrix(design, y);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(rls.coefficients()[j], ols.coefficients[j], 1e-3);
+  }
+}
+
+TEST(RecursiveLeastSquares, ForgettingTracksDrift) {
+  // Slope changes from 2 to 5 halfway; lambda < 1 must follow, lambda = 1
+  // must lag (it averages both regimes).
+  RecursiveLeastSquares fast(2, 0.9);
+  RecursiveLeastSquares never(2, 1.0);
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(1.0, 4.0);
+    const double slope = i < 200 ? 2.0 : 5.0;
+    const double y = slope * x;
+    fast.update({1.0, x}, y);
+    never.update({1.0, x}, y);
+  }
+  EXPECT_NEAR(fast.coefficients()[1], 5.0, 0.2);
+  EXPECT_LT(never.coefficients()[1], 4.5);  // stuck between regimes
+}
+
+TEST(RecursiveLeastSquares, SeedBiasesEarlyPredictions) {
+  RecursiveLeastSquares rls(2, 1.0, /*initial_p=*/0.01);  // trust the seed
+  rls.seed({10.0, 1.0});
+  rls.update({1.0, 1.0}, 0.0);  // one contradicting point barely moves it
+  EXPECT_GT(rls.predict({1.0, 1.0}), 8.0);
+}
+
+TEST(RecursiveLeastSquares, LoosePriorLearnsFast) {
+  RecursiveLeastSquares rls(2, 1.0, /*initial_p=*/1e9);
+  rls.seed({10.0, 1.0});
+  rls.update({1.0, 1.0}, 0.0);
+  rls.update({1.0, 2.0}, 0.0);
+  EXPECT_NEAR(rls.predict({1.0, 1.5}), 0.0, 0.2);
+}
+
+TEST(RecursiveLeastSquares, ObservationCount) {
+  RecursiveLeastSquares rls(2);
+  EXPECT_EQ(rls.observations(), 0u);
+  rls.update({1.0, 1.0}, 1.0);
+  rls.update({1.0, 2.0}, 2.0);
+  EXPECT_EQ(rls.observations(), 2u);
+}
+
+TEST(RecursiveLeastSquares, SurvivesMillionsOfPoorlyExcitedUpdates) {
+  // A 1-parameter feature family spans only part of the 6-dim space; with
+  // forgetting < 1 the unexcited covariance directions grow geometrically
+  // and, without the ceiling, overflow within a few thousand updates.
+  RecursiveLeastSquares rls(6, 0.99);
+  double d = 1.0;
+  for (int i = 0; i < 2'000'000; ++i) {
+    const double d2 = d * d;
+    rls.update({0.16 * d2, 0.4 * d2, d2, 0.16 * d, 0.4 * d, d}, 10.0 * d);
+    d += 0.001;
+    if (d > 30.0) {
+      d = 1.0;
+    }
+  }
+  // Still finite, still predicting sensibly in the excited subspace.
+  const double pred = rls.predict({0.16 * 100.0, 0.4 * 100.0, 100.0,
+                                   0.16 * 10.0, 0.4 * 10.0, 10.0});
+  EXPECT_TRUE(std::isfinite(pred));
+  EXPECT_NEAR(pred, 100.0, 10.0);
+}
+
+TEST(RecursiveLeastSquaresDeathTest, DimensionMismatchAsserts) {
+  RecursiveLeastSquares rls(3);
+  EXPECT_DEATH(rls.update({1.0, 2.0}, 1.0), "assertion");
+}
+
+// Property: order of (sufficiently informative) observations does not
+// change the lambda = 1 converged estimate.
+class RlsPermutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RlsPermutation, OrderInvariantAtLambdaOne) {
+  Xoshiro256 rng(GetParam());
+  std::vector<std::pair<Vector, double>> data;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.uniform(0.0, 3.0);
+    data.push_back({{1.0, x}, 1.0 + 4.0 * x});
+  }
+  RecursiveLeastSquares forward(2, 1.0, 1e9);
+  RecursiveLeastSquares backward(2, 1.0, 1e9);
+  for (const auto& [f, y] : data) {
+    forward.update(f, y);
+  }
+  for (auto it = data.rbegin(); it != data.rend(); ++it) {
+    backward.update(it->first, it->second);
+  }
+  EXPECT_NEAR(forward.coefficients()[0], backward.coefficients()[0], 1e-6);
+  EXPECT_NEAR(forward.coefficients()[1], backward.coefficients()[1], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlsPermutation,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace rtdrm::regress

@@ -1,0 +1,84 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rtdrm::sim {
+namespace {
+
+TEST(TraceRecorder, RecordsEventsInOrder) {
+  TraceRecorder trace;
+  trace.record(SimTime::millis(1.0), TraceCategory::kRelease, "T1", 0.0);
+  trace.record(SimTime::millis(2.0), TraceCategory::kReplicate, "Filter",
+               2.0);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].at.ms(), 1.0);
+  EXPECT_EQ(trace.events()[1].category, TraceCategory::kReplicate);
+  EXPECT_EQ(trace.events()[1].label, "Filter");
+  EXPECT_DOUBLE_EQ(trace.events()[1].value, 2.0);
+}
+
+TEST(TraceRecorder, CountsByCategory) {
+  TraceRecorder trace;
+  trace.record(SimTime::zero(), TraceCategory::kMiss, "a");
+  trace.record(SimTime::zero(), TraceCategory::kMiss, "b");
+  trace.record(SimTime::zero(), TraceCategory::kShutdown, "c");
+  EXPECT_EQ(trace.count(TraceCategory::kMiss), 2u);
+  EXPECT_EQ(trace.count(TraceCategory::kShutdown), 1u);
+  EXPECT_EQ(trace.count(TraceCategory::kRelease), 0u);
+}
+
+TEST(TraceRecorder, CapacityBoundsMemory) {
+  TraceRecorder trace(3);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(SimTime::zero(), TraceCategory::kCustom, "x");
+  }
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.dropped(), 7u);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder trace(2);
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "x");
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "x");
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "x");
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRecorder, CsvRoundTripStructure) {
+  TraceRecorder trace;
+  trace.record(SimTime::millis(10.5), TraceCategory::kReplicate,
+               "label \"quoted\", with comma", 3.0);
+  const std::string path = testing::TempDir() + "/rtdrm_trace_test.csv";
+  ASSERT_TRUE(trace.writeCsv(path));
+  std::ifstream f(path);
+  std::string header;
+  std::string row;
+  std::getline(f, header);
+  std::getline(f, row);
+  EXPECT_EQ(header, "time_ms,category,label,value");
+  EXPECT_NE(row.find("replicate"), std::string::npos);
+  EXPECT_NE(row.find("\"\""), std::string::npos);  // escaped quote
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, WriteCsvFailsOnBadPath) {
+  const TraceRecorder trace;
+  EXPECT_FALSE(trace.writeCsv("/nonexistent-dir/x/y.csv"));
+}
+
+TEST(TraceCategoryName, AllNamesStable) {
+  EXPECT_STREQ(traceCategoryName(TraceCategory::kRelease), "release");
+  EXPECT_STREQ(traceCategoryName(TraceCategory::kStage), "stage");
+  EXPECT_STREQ(traceCategoryName(TraceCategory::kMiss), "miss");
+  EXPECT_STREQ(traceCategoryName(TraceCategory::kReplicate), "replicate");
+  EXPECT_STREQ(traceCategoryName(TraceCategory::kShutdown), "shutdown");
+  EXPECT_STREQ(traceCategoryName(TraceCategory::kCustom), "custom");
+}
+
+}  // namespace
+}  // namespace rtdrm::sim

@@ -1,0 +1,266 @@
+#include "task/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::task {
+namespace {
+
+// A deterministic mini-testbed: ideal clocks, no execution noise, and (by
+// default) a free network so CPU timing is exact.
+struct Bed {
+  explicit Bed(std::size_t nodes = 3, double host_ns_per_byte = 0.0)
+      : cluster(sim, nodes),
+        ethernet(sim, nodes, makeNetConfig(host_ns_per_byte)),
+        clocks(sim, nodes, Xoshiro256(1), idealClocks()),
+        rng(99) {}
+
+  static net::EthernetConfig makeNetConfig(double host_ns) {
+    net::EthernetConfig cfg;
+    cfg.host_ns_per_byte = host_ns;
+    cfg.propagation = SimDuration::zero();
+    return cfg;
+  }
+  static net::ClockSyncConfig idealClocks() {
+    net::ClockSyncConfig cfg;
+    cfg.initial_offset_max = SimDuration::zero();
+    cfg.drift_ppm_max = 0.0;
+    return cfg;
+  }
+
+  Runtime runtime() { return Runtime{sim, cluster, ethernet, clocks}; }
+
+  sim::Simulator sim;
+  node::Cluster cluster;
+  net::Ethernet ethernet;
+  net::ClockFabric clocks;
+  Xoshiro256 rng;
+};
+
+TaskSpec linearSpec(int stages, double beta = 1.0) {
+  TaskSpec spec;
+  for (int i = 0; i < stages; ++i) {
+    spec.subtasks.push_back(SubtaskSpec{
+        "st" + std::to_string(i + 1), SubtaskCost{0.0, beta}, true, 0.0});
+  }
+  spec.messages.assign(static_cast<std::size_t>(stages - 1),
+                       MessageSpec{80.0});
+  spec.validate();
+  return spec;
+}
+
+TEST(PipelineRun, SingleStageLatencyEqualsDemand) {
+  Bed bed(1);
+  const TaskSpec spec = linearSpec(1);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      DataSize::tracks(500.0), 0, bed.rng, PipelineConfig{},
+      [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->completed);
+  // demand = 1.0 ms per hundred tracks * 5 hundreds.
+  EXPECT_NEAR(rec->endToEnd().ms(), 5.0, 1e-9);
+  EXPECT_EQ(rec->stages.size(), 1u);
+  EXPECT_TRUE(rec->stages[0].completed);
+  EXPECT_NEAR(rec->stages[0].trueLatency().ms(), 5.0, 1e-9);
+  EXPECT_EQ(rec->stages[0].replicas, 1u);
+  EXPECT_TRUE(run.finished());
+  EXPECT_TRUE(run.safeToDestroy());
+}
+
+TEST(PipelineRun, ChainAccumulatesExecAndMessageDelays) {
+  Bed bed(3);
+  const TaskSpec spec = linearSpec(3);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(
+      bed.runtime(), spec,
+      Placement({ProcessorId{0}, ProcessorId{1}, ProcessorId{2}}),
+      DataSize::tracks(1000.0), 0, bed.rng, PipelineConfig{},
+      [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  double expected = 0.0;
+  for (const auto& st : rec->stages) {
+    EXPECT_TRUE(st.completed);
+    expected += st.trueLatency().ms();
+  }
+  EXPECT_NEAR(rec->endToEnd().ms(), expected, 1e-9);
+  // Stage latency = message delay + exec for stages > 0.
+  EXPECT_GT(rec->stages[1].worst_msg.ms(), 0.0);
+  EXPECT_NEAR(rec->stages[1].trueLatency().ms(),
+              rec->stages[1].worst_msg.ms() + rec->stages[1].worst_exec.ms(),
+              1e-9);
+  // Stage 0 receives data locally.
+  EXPECT_DOUBLE_EQ(rec->stages[0].worst_msg.ms(), 0.0);
+}
+
+TEST(PipelineRun, ReplicasSplitTheDataStream) {
+  // One stage on one node vs two replicas on two nodes: exec halves.
+  const TaskSpec spec = linearSpec(1, 2.0);
+  double solo_ms = 0.0;
+  {
+    Bed bed(2);
+    std::optional<PeriodRecord> rec;
+    PipelineRun run(bed.runtime(), spec, Placement({ProcessorId{0}}),
+                    DataSize::tracks(1000.0), 0, bed.rng, PipelineConfig{},
+                    [&](const PeriodRecord& r) { rec = r; });
+    bed.sim.runAll();
+    solo_ms = rec->endToEnd().ms();
+  }
+  {
+    Bed bed(2);
+    Placement p({ProcessorId{0}});
+    p.stage(0).add(ProcessorId{1});
+    std::optional<PeriodRecord> rec;
+    PipelineRun run(bed.runtime(), spec, p, DataSize::tracks(1000.0), 0,
+                    bed.rng, PipelineConfig{},
+                    [&](const PeriodRecord& r) { rec = r; });
+    bed.sim.runAll();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->stages[0].replicas, 2u);
+    EXPECT_NEAR(rec->endToEnd().ms(), solo_ms / 2.0, 1e-9);
+  }
+}
+
+TEST(PipelineRun, ReplicatedStageWaitsForAllReplicas) {
+  // Two replicas, one on a busy processor: stage ends when the slow one does.
+  Bed bed(2);
+  const TaskSpec spec = linearSpec(1, 2.0);
+  // Preload node 1 with competing work.
+  bed.cluster.processor(ProcessorId{1})
+      .submit(node::Job{SimDuration::millis(50.0), nullptr, "hog"});
+  Placement p({ProcessorId{0}});
+  p.stage(0).add(ProcessorId{1});
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec, p, DataSize::tracks(1000.0), 0,
+                  bed.rng, PipelineConfig{},
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  // Replica share = 10 ms demand; on the busy node it round-robins with a
+  // 50 ms hog, so the stage takes far longer than the idle-node replica.
+  EXPECT_GT(rec->endToEnd().ms(), 15.0);
+}
+
+TEST(PipelineRun, MissedFlagAgainstDeadline) {
+  Bed bed(1);
+  TaskSpec spec = linearSpec(1);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec, Placement({ProcessorId{0}}),
+                  DataSize::tracks(1000.0), 0, bed.rng, PipelineConfig{},
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());  // 10 ms latency
+  EXPECT_FALSE(rec->missed(SimDuration::millis(20.0)));
+  EXPECT_TRUE(rec->missed(SimDuration::millis(5.0)));
+}
+
+TEST(PipelineRun, CutoffAbortsRunawayInstance) {
+  Bed bed(1);
+  TaskSpec spec = linearSpec(1);
+  spec.period = SimDuration::millis(10.0);
+  std::optional<PeriodRecord> rec;
+  PipelineConfig cfg;
+  cfg.cutoff_periods = 2.0;
+  // 100 hundreds * 1 ms = 100 ms demand vs 20 ms cutoff.
+  PipelineRun run(bed.runtime(), spec, Placement({ProcessorId{0}}),
+                  DataSize::tracks(10000.0), 0, bed.rng, cfg,
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->completed);
+  EXPECT_NEAR(rec->endToEnd().ms(), 20.0, 1e-9);
+  EXPECT_TRUE(rec->missed(spec.deadline));
+  EXPECT_FALSE(rec->stages[0].completed);
+  // The aborted job must have released the processor.
+  EXPECT_EQ(bed.cluster.processor(ProcessorId{0}).residentJobs(), 0u);
+}
+
+TEST(PipelineRun, MeasuredLatencyMatchesTrueWithIdealClocks) {
+  Bed bed(3);
+  const TaskSpec spec = linearSpec(3);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(
+      bed.runtime(), spec,
+      Placement({ProcessorId{0}, ProcessorId{1}, ProcessorId{2}}),
+      DataSize::tracks(800.0), 0, bed.rng, PipelineConfig{},
+      [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  for (const auto& st : rec->stages) {
+    EXPECT_NEAR(st.measured_latency.ms(), st.trueLatency().ms(), 1e-9);
+  }
+}
+
+TEST(PipelineRun, BufferDelayRecordedWithHostMarshalling) {
+  Bed bed(2, /*host_ns_per_byte=*/87.5);
+  const TaskSpec spec = linearSpec(2);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec,
+                  Placement({ProcessorId{0}, ProcessorId{1}}),
+                  DataSize::tracks(1000.0), 0, bed.rng, PipelineConfig{},
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  // 1000 tracks * 80 B * 87.5 ns = 7 ms of marshalling.
+  EXPECT_NEAR(rec->stages[1].worst_msg_buffer.ms(), 7.0, 1e-6);
+}
+
+TEST(PipelineRun, ZeroWorkloadFlowsThrough) {
+  Bed bed(2);
+  const TaskSpec spec = linearSpec(2);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec,
+                  Placement({ProcessorId{0}, ProcessorId{1}}),
+                  DataSize::zero(), 0, bed.rng, PipelineConfig{},
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->completed);
+  EXPECT_GE(rec->endToEnd().ms(), 0.0);
+}
+
+TEST(PipelineRun, RecordCarriesPeriodIndexAndWorkload) {
+  Bed bed(1);
+  const TaskSpec spec = linearSpec(1);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec, Placement({ProcessorId{0}}),
+                  DataSize::tracks(300.0), 17, bed.rng, PipelineConfig{},
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->period_index, 17u);
+  EXPECT_DOUBLE_EQ(rec->workload.count(), 300.0);
+}
+
+// Property: with k replicas on k idle nodes and a free network, a linear-
+// cost stage speeds up by exactly k.
+class ReplicaSpeedup : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicaSpeedup, LinearStageScalesWithReplicaCount) {
+  const int k = GetParam();
+  Bed bed(static_cast<std::size_t>(k));
+  const TaskSpec spec = linearSpec(1, 3.0);
+  Placement p({ProcessorId{0}});
+  for (int r = 1; r < k; ++r) {
+    p.stage(0).add(ProcessorId{static_cast<std::uint32_t>(r)});
+  }
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec, p, DataSize::tracks(1200.0), 0,
+                  bed.rng, PipelineConfig{},
+                  [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_NEAR(rec->endToEnd().ms(), 3.0 * 12.0 / k, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicaCounts, ReplicaSpeedup,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace rtdrm::task

@@ -1,0 +1,141 @@
+// Randomized pipeline properties: arbitrary chain shapes, placements, and
+// workloads must preserve the structural invariants the monitor and
+// metrics rely on.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "task/pipeline.hpp"
+
+namespace rtdrm::task {
+namespace {
+
+struct Bed {
+  explicit Bed(std::size_t nodes)
+      : cluster(sim, nodes),
+        ethernet(sim, nodes, netConfig()),
+        clocks(sim, nodes, Xoshiro256(1), idealClocks()) {}
+
+  static net::EthernetConfig netConfig() {
+    net::EthernetConfig cfg;
+    cfg.propagation = SimDuration::zero();
+    return cfg;
+  }
+  static net::ClockSyncConfig idealClocks() {
+    net::ClockSyncConfig cfg;
+    cfg.initial_offset_max = SimDuration::zero();
+    cfg.drift_ppm_max = 0.0;
+    return cfg;
+  }
+  Runtime runtime() { return Runtime{sim, cluster, ethernet, clocks}; }
+
+  sim::Simulator sim;
+  node::Cluster cluster;
+  net::Ethernet ethernet;
+  net::ClockFabric clocks;
+};
+
+class PipelineRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineRandom, StageLatenciesTileEndToEnd) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t nodes = 4 + static_cast<std::size_t>(rng.uniformInt(0, 4));
+  Bed bed(nodes);
+
+  // Random chain: 1-6 stages, random costs, random replicability.
+  TaskSpec spec;
+  const int stages = static_cast<int>(rng.uniformInt(1, 6));
+  for (int s = 0; s < stages; ++s) {
+    spec.subtasks.push_back(SubtaskSpec{
+        "st" + std::to_string(s),
+        SubtaskCost{rng.uniform(0.0, 0.05), rng.uniform(0.1, 3.0)},
+        rng.uniform01() < 0.5, /*noise=*/0.0});
+  }
+  spec.messages.assign(static_cast<std::size_t>(stages - 1),
+                       MessageSpec{rng.uniform(0.0, 120.0)});
+  spec.validate();
+
+  // Random placement: each stage gets 1..min(3, nodes) distinct nodes.
+  Placement placement(
+      std::vector<ProcessorId>(spec.stageCount(), ProcessorId{0}));
+  for (std::size_t s = 0; s < spec.stageCount(); ++s) {
+    ReplicaSet& rs = placement.stage(s);
+    // Re-seat the primary randomly by building a fresh set.
+    const auto extra = static_cast<int>(
+        rng.uniformInt(0, std::min<std::int64_t>(2, static_cast<std::int64_t>(nodes) - 1)));
+    std::vector<std::uint32_t> pool;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      pool.push_back(n);
+    }
+    // Partial shuffle.
+    for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniformInt(static_cast<std::int64_t>(i),
+                         static_cast<std::int64_t>(pool.size()) - 1));
+      std::swap(pool[i], pool[j]);
+    }
+    placement.stage(s) = ReplicaSet(ProcessorId{pool[0]});
+    for (int e = 0; e < extra; ++e) {
+      placement.stage(s).add(ProcessorId{pool[static_cast<std::size_t>(e) + 1]});
+    }
+    (void)rs;
+  }
+
+  const DataSize workload = DataSize::tracks(rng.uniform(0.0, 5000.0));
+  Xoshiro256 noise(99);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec, placement, workload, 0, noise,
+                  PipelineConfig{}, [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runUntil(SimTime::seconds(120.0));
+
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_TRUE(rec->completed);
+  // Stage records tile [release, finish] exactly.
+  double cursor = rec->release.ms();
+  for (std::size_t s = 0; s < rec->stages.size(); ++s) {
+    const StageRecord& st = rec->stages[s];
+    EXPECT_TRUE(st.completed);
+    EXPECT_NEAR(st.start.ms(), cursor, 1e-9) << "stage " << s;
+    EXPECT_GE(st.end.ms(), st.start.ms());
+    EXPECT_EQ(st.replicas, placement.stage(s).size());
+    cursor = st.end.ms();
+  }
+  EXPECT_NEAR(cursor, rec->finish.ms(), 1e-9);
+  // With ideal clocks the measured latency equals the true one.
+  for (const auto& st : rec->stages) {
+    EXPECT_NEAR(st.measured_latency.ms(), st.trueLatency().ms(), 1e-9);
+  }
+  // All processors drained.
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    EXPECT_EQ(bed.cluster.processor(ProcessorId{n}).residentJobs(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineRandom,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+TEST(PipelineBytes, WirePayloadMatchesShares) {
+  // 2 stages, k replicas on stage 1: total wire payload must be exactly
+  // workload * bytes_per_track (k messages of 1/k each).
+  Bed bed(4);
+  TaskSpec spec;
+  spec.subtasks = {SubtaskSpec{"a", SubtaskCost{0.0, 0.5}, false, 0.0},
+                   SubtaskSpec{"b", SubtaskCost{0.0, 0.5}, true, 0.0}};
+  spec.messages = {MessageSpec{80.0}};
+  Placement p({ProcessorId{0}, ProcessorId{1}});
+  p.stage(1).add(ProcessorId{2});
+  p.stage(1).add(ProcessorId{3});
+  Xoshiro256 noise(5);
+  std::optional<PeriodRecord> rec;
+  PipelineRun run(bed.runtime(), spec, p, DataSize::tracks(900.0), 0, noise,
+                  PipelineConfig{}, [&](const PeriodRecord& r) { rec = r; });
+  bed.sim.runAll();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_NEAR(bed.ethernet.payloadBytesCarried(), 900.0 * 80.0, 1e-6);
+  EXPECT_EQ(bed.ethernet.messagesDelivered(), 3u);
+}
+
+}  // namespace
+}  // namespace rtdrm::task

@@ -1,0 +1,138 @@
+#include "task/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm::task {
+namespace {
+
+TaskSpec twoStageSpec() {
+  TaskSpec spec;
+  spec.subtasks = {SubtaskSpec{"A", SubtaskCost{0.0, 1.0}, false, 0.0},
+                   SubtaskSpec{"B", SubtaskCost{0.1, 2.0}, true, 0.0}};
+  spec.messages = {MessageSpec{80.0}};
+  return spec;
+}
+
+TEST(SubtaskCost, QuadraticDemandInHundreds) {
+  const SubtaskCost c{0.118, 0.98};
+  // 1000 tracks = 10 hundreds: 0.118*100 + 0.98*10 = 21.6 ms.
+  EXPECT_NEAR(c.demand(DataSize::tracks(1000.0)).ms(), 21.6, 1e-9);
+  EXPECT_DOUBLE_EQ(c.demand(DataSize::zero()).ms(), 0.0);
+}
+
+TEST(SubtaskCost, LinearOnlyCost) {
+  const SubtaskCost c{0.0, 2.0};
+  EXPECT_DOUBLE_EQ(c.demand(DataSize::tracks(250.0)).ms(), 5.0);
+}
+
+TEST(TaskSpec, ValidateAcceptsWellFormed) {
+  twoStageSpec().validate();  // must not abort
+  SUCCEED();
+}
+
+TEST(TaskSpecDeathTest, ValidateRejectsMessageCountMismatch) {
+  TaskSpec spec = twoStageSpec();
+  spec.messages.clear();
+  EXPECT_DEATH(spec.validate(), "n-1");
+}
+
+TEST(TaskSpecDeathTest, ValidateRejectsEmptyChain) {
+  TaskSpec spec;
+  EXPECT_DEATH(spec.validate(), "at least one subtask");
+}
+
+TEST(TaskSpecDeathTest, ValidateRejectsNegativeCost) {
+  TaskSpec spec = twoStageSpec();
+  spec.subtasks[0].cost.beta_ms = -1.0;
+  EXPECT_DEATH(spec.validate(), "negative cost");
+}
+
+TEST(ReplicaSet, StartsWithPrimaryOnly) {
+  const ReplicaSet rs(ProcessorId{2});
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.primary(), (ProcessorId{2}));
+  EXPECT_TRUE(rs.contains(ProcessorId{2}));
+  EXPECT_FALSE(rs.contains(ProcessorId{0}));
+}
+
+TEST(ReplicaSet, AddPreservesOrder) {
+  ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{3});
+  rs.add(ProcessorId{1});
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs.nodes()[0], (ProcessorId{0}));
+  EXPECT_EQ(rs.nodes()[1], (ProcessorId{3}));
+  EXPECT_EQ(rs.nodes()[2], (ProcessorId{1}));
+}
+
+TEST(ReplicaSet, RemoveLastPopsMostRecent) {
+  ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{3});
+  rs.add(ProcessorId{1});
+  rs.removeLast();
+  EXPECT_EQ(rs.size(), 2u);
+  EXPECT_FALSE(rs.contains(ProcessorId{1}));
+  EXPECT_TRUE(rs.contains(ProcessorId{3}));
+}
+
+TEST(ReplicaSet, RemoveSpecificReplica) {
+  ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{3});
+  rs.add(ProcessorId{1});
+  rs.add(ProcessorId{4});
+  rs.remove(ProcessorId{1});
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_FALSE(rs.contains(ProcessorId{1}));
+  // Order of the remaining replicas is preserved.
+  EXPECT_EQ(rs.nodes()[1], (ProcessorId{3}));
+  EXPECT_EQ(rs.nodes()[2], (ProcessorId{4}));
+}
+
+TEST(ReplicaSetDeathTest, RemoveRejectsPrimary) {
+  ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{1});
+  EXPECT_DEATH(rs.remove(ProcessorId{0}), "primary");
+}
+
+TEST(ReplicaSetDeathTest, RemoveRejectsUnknownNode) {
+  ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{1});
+  EXPECT_DEATH(rs.remove(ProcessorId{5}), "no replica");
+}
+
+TEST(ReplicaSetDeathTest, CannotRemovePrimary) {
+  ReplicaSet rs(ProcessorId{0});
+  EXPECT_DEATH(rs.removeLast(), "primary");
+}
+
+TEST(ReplicaSetDeathTest, CannotAddDuplicate) {
+  ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{1});
+  EXPECT_DEATH(rs.add(ProcessorId{1}), "already hosts");
+}
+
+TEST(Placement, HomesBecomePrimaries) {
+  const Placement p({ProcessorId{4}, ProcessorId{2}, ProcessorId{0}});
+  EXPECT_EQ(p.stageCount(), 3u);
+  EXPECT_EQ(p.stage(0).primary(), (ProcessorId{4}));
+  EXPECT_EQ(p.stage(2).primary(), (ProcessorId{0}));
+  EXPECT_EQ(p.totalNodes(), 3u);
+}
+
+TEST(Placement, TotalNodesCountsReplicas) {
+  Placement p({ProcessorId{0}, ProcessorId{1}});
+  p.stage(1).add(ProcessorId{2});
+  p.stage(1).add(ProcessorId{3});
+  EXPECT_EQ(p.totalNodes(), 4u);
+}
+
+TEST(Placement, CopyIsIndependentSnapshot) {
+  Placement a({ProcessorId{0}});
+  const Placement b = a;  // snapshot
+  a.stage(0).add(ProcessorId{1});
+  EXPECT_EQ(a.stage(0).size(), 2u);
+  EXPECT_EQ(b.stage(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rtdrm::task

@@ -1,0 +1,155 @@
+#include "task/task_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::task {
+namespace {
+
+struct Bed {
+  explicit Bed(std::size_t nodes = 2)
+      : cluster(sim, nodes),
+        ethernet(sim, nodes, netConfig()),
+        clocks(sim, nodes, Xoshiro256(1), idealClocks()) {}
+
+  static net::EthernetConfig netConfig() {
+    net::EthernetConfig cfg;
+    cfg.host_ns_per_byte = 0.0;
+    cfg.propagation = SimDuration::zero();
+    return cfg;
+  }
+  static net::ClockSyncConfig idealClocks() {
+    net::ClockSyncConfig cfg;
+    cfg.initial_offset_max = SimDuration::zero();
+    cfg.drift_ppm_max = 0.0;
+    return cfg;
+  }
+
+  Runtime runtime() { return Runtime{sim, cluster, ethernet, clocks}; }
+
+  sim::Simulator sim;
+  node::Cluster cluster;
+  net::Ethernet ethernet;
+  net::ClockFabric clocks;
+};
+
+TaskSpec quickSpec() {
+  TaskSpec spec;
+  spec.period = SimDuration::millis(100.0);
+  spec.deadline = SimDuration::millis(90.0);
+  spec.subtasks = {SubtaskSpec{"A", SubtaskCost{0.0, 1.0}, true, 0.0}};
+  spec.validate();
+  return spec;
+}
+
+TEST(TaskRunner, ReleasesOncePerPeriod) {
+  Bed bed;
+  const TaskSpec spec = quickSpec();
+  std::vector<std::uint64_t> indices;
+  TaskRunner runner(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      [](std::uint64_t) { return DataSize::tracks(100.0); }, Xoshiro256(5),
+      PipelineConfig{},
+      [&](const PeriodRecord& r) { indices.push_back(r.period_index); });
+  runner.start(bed.sim.now());
+  bed.sim.runUntil(SimTime::millis(450.0));
+  runner.stop();
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(runner.periodsReleased(), 5u);
+}
+
+TEST(TaskRunner, WorkloadFunctionDrivesEachPeriod) {
+  Bed bed;
+  const TaskSpec spec = quickSpec();
+  std::vector<double> workloads;
+  TaskRunner runner(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      [](std::uint64_t c) { return DataSize::tracks(100.0 * (c + 1)); },
+      Xoshiro256(5), PipelineConfig{},
+      [&](const PeriodRecord& r) { workloads.push_back(r.workload.count()); });
+  runner.start(bed.sim.now());
+  bed.sim.runUntil(SimTime::millis(250.0));
+  runner.stop();
+  bed.sim.runUntil(SimTime::millis(400.0));
+  EXPECT_EQ(workloads, (std::vector<double>{100.0, 200.0, 300.0}));
+  EXPECT_DOUBLE_EQ(runner.currentWorkload().count(), 300.0);
+}
+
+TEST(TaskRunner, PlacementChangeAppliesFromNextPeriod) {
+  Bed bed;
+  const TaskSpec spec = quickSpec();
+  std::vector<std::size_t> replica_counts;
+  TaskRunner runner(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      [](std::uint64_t) { return DataSize::tracks(100.0); }, Xoshiro256(5),
+      PipelineConfig{},
+      [&](const PeriodRecord& r) {
+        replica_counts.push_back(r.stages[0].replicas);
+      });
+  runner.start(bed.sim.now());
+  bed.sim.runUntil(SimTime::millis(150.0));  // periods 0 and 1 released
+  Placement p = runner.placement();
+  p.stage(0).add(ProcessorId{1});
+  runner.setPlacement(p);
+  bed.sim.runUntil(SimTime::millis(350.0));
+  runner.stop();
+  ASSERT_GE(replica_counts.size(), 4u);
+  EXPECT_EQ(replica_counts[0], 1u);
+  EXPECT_EQ(replica_counts[1], 1u);
+  EXPECT_EQ(replica_counts[2], 2u);  // first period after the change
+  EXPECT_EQ(replica_counts[3], 2u);
+}
+
+TEST(TaskRunner, StopHaltsReleases) {
+  Bed bed;
+  const TaskSpec spec = quickSpec();
+  int records = 0;
+  TaskRunner runner(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      [](std::uint64_t) { return DataSize::tracks(100.0); }, Xoshiro256(5),
+      PipelineConfig{}, [&](const PeriodRecord&) { ++records; });
+  runner.start(bed.sim.now());
+  bed.sim.runUntil(SimTime::millis(250.0));
+  runner.stop();
+  bed.sim.runUntil(SimTime::millis(1000.0));
+  EXPECT_EQ(records, 3);  // t = 0, 100, 200
+}
+
+TEST(TaskRunner, FinishedRunsAreSwept) {
+  Bed bed;
+  const TaskSpec spec = quickSpec();
+  TaskRunner runner(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      [](std::uint64_t) { return DataSize::tracks(100.0); }, Xoshiro256(5),
+      PipelineConfig{}, nullptr);
+  runner.start(bed.sim.now());
+  bed.sim.runUntil(SimTime::millis(950.0));
+  // Instances take ~1 ms each; at most the latest one can be alive.
+  EXPECT_LE(runner.activeRuns(), 1u);
+  runner.stop();
+}
+
+TEST(TaskRunner, OverlappingInstancesBothComplete) {
+  Bed bed;
+  TaskSpec spec = quickSpec();
+  spec.period = SimDuration::millis(10.0);
+  int completed = 0;
+  // 1200 tracks * 1 ms/hundred = 12 ms demand > 10 ms period: instances
+  // overlap and RR-share the processor; all must still finish (cutoff 3x).
+  TaskRunner runner(
+      bed.runtime(), spec, Placement({ProcessorId{0}}),
+      [](std::uint64_t) { return DataSize::tracks(1200.0); }, Xoshiro256(5),
+      PipelineConfig{},
+      [&](const PeriodRecord& r) { completed += r.completed ? 1 : 0; });
+  runner.start(bed.sim.now());
+  bed.sim.runUntil(SimTime::millis(25.0));
+  runner.stop();
+  bed.sim.runUntil(SimTime::millis(200.0));
+  EXPECT_EQ(completed, 3);
+}
+
+}  // namespace
+}  // namespace rtdrm::task

@@ -1,0 +1,221 @@
+#include "workload/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rtdrm::workload {
+namespace {
+
+RampParams params(double min_t = 500.0, double max_t = 10000.0,
+                  std::uint64_t ramp = 30) {
+  RampParams p;
+  p.min_workload = DataSize::tracks(min_t);
+  p.max_workload = DataSize::tracks(max_t);
+  p.ramp_periods = ramp;
+  return p;
+}
+
+TEST(IncreasingRamp, StartsAtMinReachesMaxThenHolds) {
+  const IncreasingRamp pat(params());
+  EXPECT_DOUBLE_EQ(pat.at(0).count(), 500.0);
+  EXPECT_DOUBLE_EQ(pat.at(15).count(), 5250.0);  // halfway
+  EXPECT_DOUBLE_EQ(pat.at(30).count(), 10000.0);
+  EXPECT_DOUBLE_EQ(pat.at(100).count(), 10000.0);  // holds
+}
+
+TEST(IncreasingRamp, MonotoneNonDecreasing) {
+  const IncreasingRamp pat(params());
+  for (std::uint64_t c = 0; c < 60; ++c) {
+    EXPECT_LE(pat.at(c).count(), pat.at(c + 1).count());
+  }
+}
+
+TEST(DecreasingRamp, StartsAtMaxDescendsToMin) {
+  const DecreasingRamp pat(params());
+  EXPECT_DOUBLE_EQ(pat.at(0).count(), 10000.0);
+  EXPECT_DOUBLE_EQ(pat.at(30).count(), 500.0);
+  EXPECT_DOUBLE_EQ(pat.at(99).count(), 500.0);
+  for (std::uint64_t c = 0; c < 60; ++c) {
+    EXPECT_GE(pat.at(c).count(), pat.at(c + 1).count());
+  }
+}
+
+TEST(Triangular, AlternatesBetweenMinAndMax) {
+  const Triangular pat(params());
+  EXPECT_DOUBLE_EQ(pat.at(0).count(), 500.0);
+  EXPECT_DOUBLE_EQ(pat.at(30).count(), 10000.0);  // first peak
+  EXPECT_DOUBLE_EQ(pat.at(60).count(), 500.0);    // back to valley
+  EXPECT_DOUBLE_EQ(pat.at(90).count(), 10000.0);  // second peak
+  EXPECT_DOUBLE_EQ(pat.at(15).count(), pat.at(45).count());  // symmetry
+}
+
+TEST(Triangular, StaysWithinBounds) {
+  const Triangular pat(params());
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    EXPECT_GE(pat.at(c).count(), 500.0);
+    EXPECT_LE(pat.at(c).count(), 10000.0);
+  }
+}
+
+TEST(Constant, AlwaysSameLevel) {
+  const Constant pat(DataSize::tracks(1234.0));
+  EXPECT_DOUBLE_EQ(pat.at(0).count(), 1234.0);
+  EXPECT_DOUBLE_EQ(pat.at(99999).count(), 1234.0);
+}
+
+TEST(Step, JumpsAtConfiguredPeriod) {
+  const Step pat(DataSize::tracks(100.0), DataSize::tracks(900.0), 10);
+  EXPECT_DOUBLE_EQ(pat.at(9).count(), 100.0);
+  EXPECT_DOUBLE_EQ(pat.at(10).count(), 900.0);
+  EXPECT_DOUBLE_EQ(pat.at(11).count(), 900.0);
+}
+
+TEST(Sine, OscillatesWithinBoundsAndPeriod) {
+  const Sine pat(params(), 40);
+  EXPECT_NEAR(pat.at(0).count(), 500.0, 1e-9);     // trough at phase 0
+  EXPECT_NEAR(pat.at(20).count(), 10000.0, 1e-9);  // crest at half cycle
+  EXPECT_NEAR(pat.at(40).count(), 500.0, 1e-9);    // full cycle
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    EXPECT_GE(pat.at(c).count(), 500.0 - 1e-9);
+    EXPECT_LE(pat.at(c).count(), 10000.0 + 1e-9);
+  }
+}
+
+TEST(RandomWalk, StaysWithinBoundsAndIsDeterministic) {
+  const RandomWalk a(params(), DataSize::tracks(400.0), Xoshiro256(3));
+  const RandomWalk b(params(), DataSize::tracks(400.0), Xoshiro256(3));
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    EXPECT_GE(a.at(c).count(), 500.0);
+    EXPECT_LE(a.at(c).count(), 10000.0);
+    EXPECT_DOUBLE_EQ(a.at(c).count(), b.at(c).count());
+  }
+}
+
+TEST(RandomWalk, StepsBoundedByMaxStep) {
+  const RandomWalk pat(params(), DataSize::tracks(250.0), Xoshiro256(7));
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    EXPECT_LE(std::abs(pat.at(c + 1).count() - pat.at(c).count()),
+              250.0 + 1e-9);
+  }
+}
+
+TEST(RandomWalk, RandomAccessMatchesSequential) {
+  const RandomWalk pat(params(), DataSize::tracks(300.0), Xoshiro256(9));
+  const double at50 = pat.at(50).count();  // forces lazy extension
+  EXPECT_DOUBLE_EQ(pat.at(50).count(), at50);
+  EXPECT_DOUBLE_EQ(pat.at(25).count(), pat.at(25).count());
+}
+
+TEST(Burst, BaselineWithPeriodicRaids) {
+  const Burst pat(DataSize::tracks(200.0), DataSize::tracks(5000.0), 10, 3);
+  EXPECT_DOUBLE_EQ(pat.at(0).count(), 5000.0);  // raid periods 0-2
+  EXPECT_DOUBLE_EQ(pat.at(2).count(), 5000.0);
+  EXPECT_DOUBLE_EQ(pat.at(3).count(), 200.0);
+  EXPECT_DOUBLE_EQ(pat.at(9).count(), 200.0);
+  EXPECT_DOUBLE_EQ(pat.at(10).count(), 5000.0);  // next raid
+}
+
+TEST(Sequence, PlaysSegmentsInOrderWithLocalIndices) {
+  const Constant calm(DataSize::tracks(100.0));
+  const IncreasingRamp climb(params(100.0, 1000.0, 10));
+  const Constant raid(DataSize::tracks(5000.0));
+  const Sequence seq({{&calm, 5}, {&climb, 10}, {&raid, 0}});
+  EXPECT_DOUBLE_EQ(seq.at(0).count(), 100.0);
+  EXPECT_DOUBLE_EQ(seq.at(4).count(), 100.0);
+  // Segment 2 starts with a *local* index of 0.
+  EXPECT_DOUBLE_EQ(seq.at(5).count(), 100.0);   // ramp start
+  EXPECT_DOUBLE_EQ(seq.at(10).count(), 550.0);  // ramp halfway (local 5)
+  // Final segment holds forever.
+  EXPECT_DOUBLE_EQ(seq.at(15).count(), 5000.0);
+  EXPECT_DOUBLE_EQ(seq.at(1000).count(), 5000.0);
+}
+
+TEST(Sequence, SingleSegmentDegeneratesToItsPattern) {
+  const Constant only(DataSize::tracks(42.0));
+  const Sequence seq({{&only, 0}});
+  EXPECT_DOUBLE_EQ(seq.at(0).count(), 42.0);
+  EXPECT_DOUBLE_EQ(seq.at(99).count(), 42.0);
+}
+
+TEST(SequenceDeathTest, RejectsEmpty) {
+  EXPECT_DEATH(Sequence({}), "at least one segment");
+}
+
+TEST(Jittered, ZeroSigmaIsIdentity) {
+  const Constant base(DataSize::tracks(1000.0));
+  const Jittered pat(base, 0.0, 7);
+  for (std::uint64_t c = 0; c < 20; ++c) {
+    EXPECT_DOUBLE_EQ(pat.at(c).count(), 1000.0);
+  }
+}
+
+TEST(Jittered, PureFunctionOfPeriodAndSeed) {
+  const Constant base(DataSize::tracks(1000.0));
+  const Jittered a(base, 0.3, 7);
+  const Jittered b(base, 0.3, 7);
+  for (std::uint64_t c = 0; c < 50; ++c) {
+    EXPECT_DOUBLE_EQ(a.at(c).count(), b.at(c).count());
+    EXPECT_DOUBLE_EQ(a.at(c).count(), a.at(c).count());  // random access
+  }
+}
+
+TEST(Jittered, DifferentSeedsDiffer) {
+  const Constant base(DataSize::tracks(1000.0));
+  const Jittered a(base, 0.3, 7);
+  const Jittered b(base, 0.3, 8);
+  int diff = 0;
+  for (std::uint64_t c = 0; c < 50; ++c) {
+    diff += a.at(c).count() != b.at(c).count() ? 1 : 0;
+  }
+  EXPECT_GT(diff, 45);
+}
+
+TEST(Jittered, UnitMeanMultiplier) {
+  const Constant base(DataSize::tracks(1000.0));
+  const Jittered pat(base, 0.25, 11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    const double v = pat.at(c).count();
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1000.0, 15.0);
+}
+
+TEST(Jittered, NamePropagatesBase) {
+  const Constant base(DataSize::tracks(1.0));
+  EXPECT_EQ(Jittered(base, 0.1, 1).name(), "constant+jitter");
+}
+
+TEST(MakeFig8Pattern, BuildsAllThreeShapes) {
+  const RampParams p = params();
+  EXPECT_EQ(makeFig8Pattern("increasing", p)->name(), "increasing-ramp");
+  EXPECT_EQ(makeFig8Pattern("decreasing", p)->name(), "decreasing-ramp");
+  EXPECT_EQ(makeFig8Pattern("triangular", p)->name(), "triangular");
+}
+
+TEST(MakeFig8PatternDeathTest, UnknownNameAsserts) {
+  EXPECT_DEATH(makeFig8Pattern("sawtooth", params()), "unknown");
+}
+
+// Property: every Fig. 8 pattern respects [min, max] for all periods.
+class Fig8Bounds : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Fig8Bounds, AlwaysWithinEnvelope) {
+  const auto pat = makeFig8Pattern(GetParam(), params(250.0, 17000.0, 25));
+  for (std::uint64_t c = 0; c < 300; ++c) {
+    EXPECT_GE(pat->at(c).count(), 250.0);
+    EXPECT_LE(pat->at(c).count(), 17000.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Fig8Bounds,
+                         ::testing::Values("increasing", "decreasing",
+                                           "triangular"));
+
+}  // namespace
+}  // namespace rtdrm::workload

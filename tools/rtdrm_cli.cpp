@@ -1,0 +1,239 @@
+// rtdrm — command-line front end to the library.
+//
+//   rtdrm profile  [--subtask NAME] [--out FILE]      profiling campaign
+//   rtdrm fit      [--in FILE] [--joint]              fit eq. 3 on a CSV
+//   rtdrm episode  [--pattern P] [--max-tracks N] ... run one episode
+//   rtdrm sweep    [--pattern P] [--out PREFIX]       Figs. 9/10-style sweep
+//
+// Every subcommand accepts --help.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/dynbench.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "experiments/episode.hpp"
+#include "experiments/model_store.hpp"
+#include "profile/dataset.hpp"
+#include "profile/exec_profiler.hpp"
+#include "workload/patterns.hpp"
+
+using namespace rtdrm;
+
+namespace {
+
+int findStage(const task::TaskSpec& spec, const std::string& name,
+              std::size_t* out) {
+  for (std::size_t i = 0; i < spec.stageCount(); ++i) {
+    if (spec.subtasks[i].name == name) {
+      *out = i;
+      return 0;
+    }
+  }
+  std::cerr << "unknown subtask '" << name << "'; available:";
+  for (const auto& st : spec.subtasks) {
+    std::cerr << ' ' << st.name;
+  }
+  std::cerr << "\n";
+  return 1;
+}
+
+int cmdProfile(int argc, const char* const* argv) {
+  std::string subtask = "Filter";
+  std::string out = "exec_samples.csv";
+  std::int64_t samples = 6;
+  std::int64_t seed = 7;
+  ArgParser args("rtdrm profile",
+                 "profile a subtask over the paper's (d, u) grid");
+  args.addString("subtask", "subtask name (from the AAW task)", &subtask)
+      .addString("out", "output CSV path", &out)
+      .addInt("samples", "timed executions per grid point", &samples)
+      .addInt("seed", "profiling RNG seed", &seed);
+  if (!args.parse(argc, argv)) {
+    return args.helpRequested() ? 0 : 1;
+  }
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  std::size_t stage = 0;
+  if (findStage(spec, subtask, &stage) != 0) {
+    return 1;
+  }
+  profile::ExecProfileConfig cfg;
+  cfg.data_sizes = profile::paperDataGrid();
+  cfg.samples_per_point = static_cast<int>(samples);
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  const auto data = profile::profileExecution(spec.subtasks[stage], cfg);
+  if (!profile::writeExecSamplesCsv(out, data)) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << data.size() << " samples written to " << out << "\n";
+  return 0;
+}
+
+int cmdFit(int argc, const char* const* argv) {
+  std::string in = "exec_samples.csv";
+  bool joint = false;
+  ArgParser args("rtdrm fit", "fit eq. 3 on a profiled sample CSV");
+  args.addString("in", "input CSV (from `rtdrm profile`)", &in)
+      .addFlag("joint", "use the joint 6-term fit instead of two-stage",
+               &joint);
+  if (!args.parse(argc, argv)) {
+    return args.helpRequested() ? 0 : 1;
+  }
+  std::vector<regress::ExecSample> samples;
+  if (!profile::readExecSamplesCsv(in, samples) || samples.empty()) {
+    std::cerr << "failed to read samples from " << in << "\n";
+    return 1;
+  }
+  const regress::ExecModelFit fit = joint
+                                        ? regress::fitExecModelJoint(samples)
+                                        : regress::fitExecModelTwoStage(samples);
+  Table t({"a1", "a2", "a3", "b1", "b2", "b3", "R^2", "RMSE (ms)"}, 5);
+  t.addRow({fit.model.a1, fit.model.a2, fit.model.a3, fit.model.b1,
+            fit.model.b2, fit.model.b3, fit.diagnostics.r_squared,
+            fit.diagnostics.rmse});
+  t.print(std::cout);
+  return 0;
+}
+
+int parseAlgorithm(const std::string& s, experiments::AlgorithmKind* out) {
+  if (s == "predictive") {
+    *out = experiments::AlgorithmKind::kPredictive;
+    return 0;
+  }
+  if (s == "nonpredictive" || s == "non-predictive") {
+    *out = experiments::AlgorithmKind::kNonPredictive;
+    return 0;
+  }
+  std::cerr << "unknown algorithm '" << s
+            << "' (predictive | nonpredictive)\n";
+  return 1;
+}
+
+int cmdEpisode(int argc, const char* const* argv) {
+  std::string pattern = "triangular";
+  std::string algorithm = "predictive";
+  double max_tracks = 10000.0;
+  std::int64_t periods = 72;
+  std::int64_t seed = 42;
+  bool refit = false;
+  bool histogram = false;
+  ArgParser args("rtdrm episode", "run one evaluation episode");
+  args.addString("pattern", "increasing | decreasing | triangular", &pattern)
+      .addString("algorithm", "predictive | nonpredictive", &algorithm)
+      .addDouble("max-tracks", "pattern peak workload", &max_tracks)
+      .addInt("periods", "episode length", &periods)
+      .addInt("seed", "master seed", &seed)
+      .addFlag("refit", "enable online model refinement", &refit)
+      .addFlag("histogram", "print the end-to-end latency histogram",
+               &histogram);
+  if (!args.parse(argc, argv)) {
+    return args.helpRequested() ? 0 : 1;
+  }
+  experiments::AlgorithmKind kind{};
+  if (parseAlgorithm(algorithm, &kind) != 0) {
+    return 1;
+  }
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  std::cout << "[fitting models...]\n";
+  const auto fitted =
+      experiments::fitAllModels(spec, experiments::defaultModelFitConfig());
+  workload::RampParams ramp;
+  ramp.max_workload = DataSize::tracks(max_tracks);
+  const auto pat = workload::makeFig8Pattern(pattern, ramp);
+  experiments::EpisodeConfig cfg;
+  cfg.periods = static_cast<std::uint64_t>(periods);
+  cfg.scenario.seed = static_cast<std::uint64_t>(seed);
+  cfg.manager.online_refit = refit;
+  if (pattern == "decreasing") {
+    cfg.manager.d_init = ramp.max_workload;
+  }
+  const auto r = runEpisode(spec, *pat, fitted.models, kind, cfg);
+  Table t({"missed %", "cpu %", "net %", "avg replicas", "combined C"}, 2);
+  t.addRow({r.missed_pct, r.cpu_pct, r.net_pct, r.avg_replicas, r.combined});
+  t.print(std::cout);
+  if (histogram) {
+    std::cout << "end-to-end latency (ms):\n"
+              << r.metrics.end_to_end_hist.render();
+  }
+  return 0;
+}
+
+int cmdSweep(int argc, const char* const* argv) {
+  std::string pattern = "triangular";
+  std::string out = "sweep";
+  std::int64_t periods = 72;
+  std::int64_t replications = 1;
+  ArgParser args("rtdrm sweep",
+                 "both algorithms across max workloads (Figs. 9/10 style)");
+  args.addString("pattern", "increasing | decreasing | triangular", &pattern)
+      .addString("out", "output CSV prefix", &out)
+      .addInt("periods", "episode length per point", &periods)
+      .addInt("replications", "seeds averaged per point", &replications);
+  if (!args.parse(argc, argv)) {
+    return args.helpRequested() ? 0 : 1;
+  }
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  std::cout << "[fitting models...]\n";
+  const auto fitted =
+      experiments::fitAllModels(spec, experiments::defaultModelFitConfig());
+  experiments::SweepConfig cfg;
+  cfg.episode.periods = static_cast<std::uint64_t>(periods);
+  cfg.replications = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, replications));
+  const auto points =
+      experiments::runWorkloadSweep(spec, fitted.models, pattern, cfg);
+  Table t({"max workload (x500)", "pred combined", "nonpred combined",
+           "pred missed %", "nonpred missed %"},
+          3);
+  for (const auto& p : points) {
+    t.addRow({p.max_workload_units, p.predictive.combined,
+              p.non_predictive.combined, p.predictive.missed_pct,
+              p.non_predictive.missed_pct});
+  }
+  t.print(std::cout);
+  const std::string csv = out + "_" + pattern + ".csv";
+  if (t.writeCsv(csv)) {
+    std::cout << "(written to " << csv << ")\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: rtdrm <profile|fit|episode|sweep> [options]\n"
+               "       rtdrm <subcommand> --help for details\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift so each subcommand parses its own options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (cmd == "profile") {
+    return cmdProfile(sub_argc, sub_argv);
+  }
+  if (cmd == "fit") {
+    return cmdFit(sub_argc, sub_argv);
+  }
+  if (cmd == "episode") {
+    return cmdEpisode(sub_argc, sub_argv);
+  }
+  if (cmd == "sweep") {
+    return cmdSweep(sub_argc, sub_argv);
+  }
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage();
+    return 0;
+  }
+  std::cerr << "unknown subcommand '" << cmd << "'\n";
+  usage();
+  return 1;
+}
