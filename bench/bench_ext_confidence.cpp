@@ -4,6 +4,7 @@
 // comparison is replicated across 10 independent seeds at three workload
 // levels, and the predictive-vs-non-predictive gap is tested against the
 // overlap of the 95% confidence intervals.
+#include <filesystem>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -56,8 +57,9 @@ int main() {
     }
   }
   t.print(std::cout);
-  if (t.writeCsv("ext_confidence.csv")) {
-    std::cout << "(series written to ext_confidence.csv)\n";
+  std::filesystem::create_directories("bench_out");
+  if (t.writeCsv("bench_out/ext_confidence.csv")) {
+    std::cout << "(series written to bench_out/ext_confidence.csv)\n";
   }
 
   const bool ok = significant_wins >= 2;

@@ -10,6 +10,7 @@
 //
 // Run:  ./aaw_scenario [--periods N]
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -153,8 +154,9 @@ int main(int argc, char** argv) {
               << sim::traceCategoryName(e.category) << "  " << e.label
               << "  -> " << e.value << "\n";
   }
-  if (trace.writeCsv("aaw_trace.csv")) {
-    std::cout << "(full trace written to aaw_trace.csv)\n";
+  std::filesystem::create_directories("bench_out");
+  if (trace.writeCsv("bench_out/aaw_trace.csv")) {
+    std::cout << "(full trace written to bench_out/aaw_trace.csv)\n";
   }
 
   // Raids must have provoked scale-out and the quiet phases scale-in.

@@ -1,79 +1,38 @@
 // Minimal data-parallel helper for embarrassingly parallel sweeps.
 //
 // Experiment sweeps (Figs. 9-13) run dozens of fully independent simulation
-// episodes; parallelFor fans them out across hardware threads. Each index
-// is claimed from an atomic counter, so uneven episode costs balance
-// automatically. Exceptions in workers are captured and rethrown on the
-// caller thread (first one wins).
+// episodes; parallelFor fans them out across hardware threads. Indices are
+// claimed in chunks of `grain` from an atomic counter, so uneven episode
+// costs balance automatically. Exceptions in workers are captured and
+// rethrown on the caller thread (first one wins).
+//
+// Workers come from a lazily-constructed process-wide pool that persists
+// across calls, so back-to-back sweeps (every Figs. 9-13 binary) stop
+// paying thread create/join per call. The caller thread participates in
+// every call. Pool size defaults to std::thread::hardware_concurrency()
+// and can be overridden with the RTDRM_THREADS environment variable (read
+// once, at first use); the pool grows on demand when a call asks for more
+// workers via the `threads` argument. Nested parallelFor calls from inside
+// a worker run serially on that worker — fan-out happens at one level only.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace rtdrm {
 
 /// Invokes fn(i) for i in [0, n) using up to `threads` workers (0 = one per
-/// hardware thread). fn must be safe to call concurrently for distinct i.
-inline void parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)>& fn,
-                        unsigned threads = 0) {
-  if (n == 0) {
-    return;
-  }
-  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (hw == 0) {
-    hw = 1;
-  }
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(hw, n));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      fn(i);
-    }
-    return;
-  }
+/// hardware thread, or RTDRM_THREADS when set). fn must be safe to call
+/// concurrently for distinct i. `grain` is the number of consecutive
+/// indices a worker claims at a time; 1 (the default) gives the best load
+/// balance for coarse work items like simulation episodes, larger grains
+/// amortize the claim for very cheap bodies.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 unsigned threads = 0, std::size_t grain = 1);
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) {
-        return;
-      }
-      try {
-        fn(i);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
-  }
-  for (auto& t : pool) {
-    t.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
-}
+/// Number of workers a parallelFor(n, fn) call would use at most (the
+/// resolved pool size, including the calling thread). Exposed for tests
+/// and for sizing per-worker scratch storage.
+unsigned parallelWorkerCount();
 
 }  // namespace rtdrm

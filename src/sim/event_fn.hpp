@@ -1,0 +1,160 @@
+// Small-buffer callable wrapper for the event kernel's hot path.
+//
+// Every scheduled event owns a closure. std::function would heap-allocate
+// most of them (libstdc++ inlines only 16 bytes) and drags in copyability
+// the kernel never uses. EventFn is move-only and stores captures up to
+// kInlineSize bytes directly inside the event slot, which covers the
+// kernel's common shapes ([this], [this, job], small std::function
+// re-wraps); larger captures fall back to a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::sim {
+
+template <typename Signature>
+class EventFn;
+
+/// Move-only callable of signature R(Args...) with inline small-buffer
+/// storage. Invoking an empty EventFn is a programming error (asserts).
+template <typename R, typename... Args>
+class EventFn<R(Args...)> {
+ public:
+  /// Inline capture budget. Sized so the frequent capture shapes — a couple
+  /// of pointers/references plus a value payload, or a whole std::function
+  /// being re-wrapped — stay allocation-free.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  EventFn() noexcept : ops_(nullptr) {}
+  EventFn(std::nullptr_t) noexcept : ops_(nullptr) {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  EventFn(F&& f) {  // NOLINT(runtime/explicit) — mirrors std::function
+    if constexpr (fitsInline<D>()) {
+      ::new (static_cast<void*>(inline_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      heap_ = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  R operator()(Args... args) {
+    RTDRM_ASSERT_MSG(ops_ != nullptr, "invoking empty EventFn");
+    return ops_->invoke(object(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  /// True when the wrapped callable lives in the inline buffer (or the
+  /// EventFn is empty); false only for oversized heap-allocated captures.
+  bool isInline() const noexcept { return ops_ == nullptr || !ops_->on_heap; }
+
+  friend bool operator==(const EventFn& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const EventFn& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* obj, Args&&... args);
+    // Move the callable from `src` storage into `dst` storage and destroy
+    // the source (inline targets only; heap targets move the pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    bool on_heap;
+  };
+
+  template <typename D>
+  static constexpr bool fitsInline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static R invokeImpl(void* obj, Args&&... args) {
+    return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void relocateInline(void* dst, void* src) noexcept {
+    D* from = static_cast<D*>(src);
+    ::new (dst) D(std::move(*from));
+    from->~D();
+  }
+
+  template <typename D>
+  static void destroyInline(void* obj) noexcept {
+    static_cast<D*>(obj)->~D();
+  }
+
+  template <typename D>
+  static void destroyHeap(void* obj) noexcept {
+    delete static_cast<D*>(obj);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{&invokeImpl<D>, &relocateInline<D>,
+                                  &destroyInline<D>, /*on_heap=*/false};
+  template <typename D>
+  static constexpr Ops kHeapOps{&invokeImpl<D>, nullptr, &destroyHeap<D>,
+                                /*on_heap=*/true};
+
+  void* object() noexcept {
+    return ops_->on_heap ? heap_ : static_cast<void*>(inline_);
+  }
+
+  void moveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->on_heap) {
+        heap_ = other.heap_;
+      } else {
+        ops_->relocate(inline_, other.inline_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(object());
+      ops_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(kInlineAlign) unsigned char inline_[kInlineSize];
+    void* heap_;
+  };
+  const Ops* ops_;
+};
+
+}  // namespace rtdrm::sim

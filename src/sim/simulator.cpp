@@ -1,18 +1,128 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace rtdrm::sim {
 
+namespace {
+// 4-ary heap: shallower than binary for the same size, so push/pop walk
+// fewer levels; the 4-way child scan stays within two cache lines.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+std::uint32_t Simulator::acquireSlot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  RTDRM_ASSERT_MSG(slots_.size() < kNoSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::releaseSlot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.cb = nullptr;  // release the closure immediately
+  ++s.generation;  // invalidates the outstanding EventId and heap entry
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void Simulator::heapPush(const HeapEntry& e) {
+  std::size_t pos = heap_.size();
+  heap_.push_back(e);
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!firesBefore(e, heap_[parent])) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void Simulator::heapPopHead() {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size == 0) {
+    return;
+  }
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= size) {
+      break;
+    }
+    const std::size_t last_child = std::min(first_child + kArity, size);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (firesBefore(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!firesBefore(heap_[best], moved)) {
+      break;
+    }
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = moved;
+}
+
+void Simulator::pruneStale() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return slots_[e.slot].generation !=
+                                      e.generation;
+                             }),
+              heap_.end());
+  stale_ = 0;
+  // Heapify bottom-up (Floyd): O(n).
+  if (heap_.size() < 2) {
+    return;
+  }
+  for (std::size_t pos = (heap_.size() - 2) / kArity + 1; pos-- > 0;) {
+    const HeapEntry e = heap_[pos];
+    std::size_t hole = pos;
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first_child = hole * kArity + 1;
+      if (first_child >= size) {
+        break;
+      }
+      const std::size_t last_child = std::min(first_child + kArity, size);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (firesBefore(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+      if (!firesBefore(heap_[best], e)) {
+        break;
+      }
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = e;
+  }
+}
+
 EventId Simulator::scheduleAt(SimTime at, Callback cb) {
   RTDRM_ASSERT_MSG(at >= now_, "cannot schedule into the past");
   RTDRM_ASSERT(cb != nullptr);
+  const std::uint32_t idx = acquireSlot();
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at.ms(), seq});
-  callbacks_.emplace(seq, std::move(cb));
-  return EventId{seq};
+  heapPush(HeapEntry{at.ms(), seq, idx, s.generation});
+  ++live_;
+  return EventId{(static_cast<std::uint64_t>(s.generation) << 32) | idx};
 }
 
 EventId Simulator::scheduleAfter(SimDuration delay, Callback cb) {
@@ -21,56 +131,67 @@ EventId Simulator::scheduleAfter(SimDuration delay, Callback cb) {
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) {
-    return false;
+  const std::uint32_t idx = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (gen == 0 || idx >= slots_.size() || slots_[idx].generation != gen) {
+    return false;  // never existed, already fired, or already cancelled
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  releaseSlot(idx);
+  --live_;
+  ++stale_;
+  // Keep the heap at most half dead so memory tracks the live count.
+  if (stale_ > heap_.size() / 2 && heap_.size() > 64) {
+    pruneStale();
+  }
   return true;
 }
 
-void Simulator::fireHead() {
-  const Entry e = heap_.top();
-  heap_.pop();
-  if (cancelled_.erase(e.seq) > 0) {
-    return;  // tombstone
+bool Simulator::fireHead() {
+  const HeapEntry e = heap_[0];
+  heapPopHead();
+  Slot& s = slots_[e.slot];
+  if (s.generation != e.generation) {
+    --stale_;  // cancelled earlier; its closure is long gone
+    return false;
   }
-  auto it = callbacks_.find(e.seq);
-  RTDRM_ASSERT(it != callbacks_.end());
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
   now_ = SimTime::millis(e.time_ms);
+  Callback cb = std::move(s.cb);
+  releaseSlot(e.slot);  // before invoking: the id is dead once it fires
+  --live_;
   ++events_executed_;
   cb();
+  return true;
 }
 
 void Simulator::runUntil(SimTime until) {
-  stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    if (heap_.top().time_ms > until.ms()) {
-      break;
-    }
-    fireHead();
+  if (consumeStop()) {
+    return;  // stop requested between runs: honor it, fire nothing
   }
-  if (!stop_requested_ && now_ < until) {
-    now_ = until;
+  while (!heap_.empty() && heap_[0].time_ms <= until.ms()) {
+    if (fireHead() && consumeStop()) {
+      return;  // clock stays at the event that requested the stop
+    }
+  }
+  if (now_ < until) {
+    now_ = until;  // idle forward to the horizon
   }
 }
 
 void Simulator::runAll() {
-  stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    fireHead();
+  if (consumeStop()) {
+    return;
+  }
+  while (!heap_.empty()) {
+    if (fireHead() && consumeStop()) {
+      return;
+    }
   }
 }
 
 bool Simulator::step() {
-  // Skip over tombstones so "step" always means "execute one live event".
+  // Skip over stale entries so "step" always means "execute one live event".
   while (!heap_.empty()) {
-    const bool was_cancelled = cancelled_.contains(heap_.top().seq);
-    fireHead();
-    if (!was_cancelled) {
+    if (fireHead()) {
       return true;
     }
   }

@@ -6,19 +6,35 @@
 // same timestamp always fire in the order they were scheduled, regardless
 // of heap internals.
 //
+// Hot-path design (see docs/architecture.md, "Simulation kernel"):
+//   * Closures live in a free-list slab of slots (closure + generation).
+//     Scheduling reuses a freed slot or grows the slab; steady-state churn
+//     performs zero allocations and zero map/set traffic.
+//   * A 4-ary min-heap of 24-byte entries {time, seq, slot, generation}
+//     orders the calendar. The sort key is stored *in* the entry, so sift
+//     comparisons stay inside the contiguous heap array instead of chasing
+//     slot pointers.
+//   * cancel() is O(1): it bumps the slot's generation and releases the
+//     closure immediately. The heap entry stays behind and is recognised
+//     as stale (generation mismatch) when it reaches the head, at the cost
+//     of one integer compare. If more than half the heap goes stale the
+//     heap is pruned and rebuilt in one O(n) pass, so memory stays
+//     proportional to the live event count.
+//   * EventIds carry (generation << 32 | slot): a stale id — already fired
+//     or cancelled, slot since reused — fails the generation check.
+//   * Closures are stored as sim::EventFn (event_fn.hpp): move-only, with
+//     inline storage for the common small captures.
+//
 // This is the substrate every other module runs on: processors, the
 // Ethernet bus, clock sync, the workload source, and the resource manager
 // are all just event producers/consumers on one Simulator.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/event_fn.hpp"
 
 namespace rtdrm::sim {
 
@@ -30,7 +46,7 @@ struct EventId {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -45,7 +61,7 @@ class Simulator {
   EventId scheduleAfter(SimDuration delay, Callback cb);
 
   /// Cancel a pending event. Returns false if it already fired, was already
-  /// cancelled, or never existed.
+  /// cancelled, or never existed. O(1): the closure is released here.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or `until` is reached, whichever is
@@ -57,51 +73,83 @@ class Simulator {
   /// Run until the queue is completely empty.
   void runAll();
   /// Execute the single next event, if any. Returns false when queue empty.
+  /// Unaffected by requestStop(): step() is already a single-event run.
   bool step();
 
   /// Request that the run loop stop after the current event returns.
+  ///
+  /// Semantics: the flag is *consumed* by the run loop, not reset on entry.
+  /// If requestStop() is called while no run loop is active, the next
+  /// runUntil/runFor/runAll returns immediately — firing no events and
+  /// leaving the clock untouched — and clears the flag, so the run after
+  /// that proceeds normally. A stop requested mid-run halts the loop after
+  /// the current callback returns, leaving the clock at that event's time.
   void requestStop() { stop_requested_ = true; }
+  /// True when a stop has been requested but no run loop has consumed it.
+  bool stopPending() const { return stop_requested_; }
 
   std::uint64_t eventsExecuted() const { return events_executed_; }
-  std::size_t pendingEvents() const {
-    return heap_.size() - cancelled_.size();
-  }
+  std::size_t pendingEvents() const { return live_; }
 
  private:
-  struct Entry {
-    double time_ms;
-    std::uint64_t seq;
-    // Index into callbacks storage (== seq; callbacks keyed by seq).
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time_ms != b.time_ms) {
-        return a.time_ms > b.time_ms;
-      }
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 1;  // bumped on release; 0 is never valid
+    std::uint32_t next_free = kNoSlot;
   };
 
-  /// Pops and executes the head entry. Pre: heap non-empty.
-  void fireHead();
+  struct HeapEntry {
+    double time_ms;
+    std::uint64_t seq;        // insertion order; FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t generation; // stale when != slots_[slot].generation
+  };
+
+  static bool firesBefore(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time_ms != b.time_ms) {
+      return a.time_ms < b.time_ms;
+    }
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquireSlot();
+  void releaseSlot(std::uint32_t idx);
+  void heapPush(const HeapEntry& e);
+  void heapPopHead();
+  /// Drops stale entries and rebuilds the heap in place, O(n).
+  void pruneStale();
+
+  /// Pops the head entry; executes it unless stale. Returns true when a
+  /// live event ran. Pre: heap non-empty.
+  bool fireHead();
+  /// Consumes a pending stop request; returns true if one was pending.
+  bool consumeStop() {
+    if (!stop_requested_) {
+      return false;
+    }
+    stop_requested_ = false;
+    return true;
+  }
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Callbacks are stored out-of-band keyed by seq so cancelled entries can
-  // release their closures immediately.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;           // slab; index == slot id
+  std::uint32_t free_head_ = kNoSlot; // head of the freed-slot list
+  std::vector<HeapEntry> heap_;       // 4-ary min-heap by (time, seq)
+  std::size_t live_ = 0;              // scheduled and not cancelled
+  std::size_t stale_ = 0;             // cancelled entries still in heap_
 };
 
 /// A recurring activity: reschedules itself every `period` until stopped.
 /// The callback receives the activity's tick index (0-based).
 class PeriodicActivity {
  public:
-  using TickFn = std::function<void(std::uint64_t tick)>;
+  using TickFn = EventFn<void(std::uint64_t)>;
 
   PeriodicActivity(Simulator& simulator, SimDuration period, TickFn fn);
   ~PeriodicActivity() { stop(); }

@@ -60,5 +60,64 @@ TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
   EXPECT_EQ(count.load(), 3);
 }
 
+TEST(ParallelFor, GrainCoversEveryIndexExactlyOnce) {
+  // Grain sizes that divide n unevenly must still visit each index once.
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    const std::size_t n = 123;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); },
+                /*threads=*/4, grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, GrainZeroIsTreatedAsOne) {
+  std::atomic<int> count{0};
+  parallelFor(10, [&](std::size_t) { count.fetch_add(1); }, /*threads=*/2,
+              /*grain=*/0);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, PoolSurvivesRepeatedCalls) {
+  // The persistent pool is reused across calls; hammer it to catch any
+  // job-handoff race between consecutive submissions.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> sum{0};
+    parallelFor(64, [&](std::size_t i) { sum.fetch_add(i + 1); },
+                /*threads=*/4);
+    ASSERT_EQ(sum.load(), 64u * 65u / 2u) << "round " << round;
+  }
+}
+
+TEST(ParallelFor, PoolUsableAfterWorkerException) {
+  EXPECT_THROW(parallelFor(
+                   16, [](std::size_t) { throw std::runtime_error("boom"); },
+                   /*threads=*/4),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  parallelFor(16, [&](std::size_t) { count.fetch_add(1); }, /*threads=*/4);
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelFor, NestedCallRunsSerially) {
+  // Nested parallelFor from inside a worker must not deadlock the pool.
+  std::atomic<int> inner_total{0};
+  parallelFor(
+      4,
+      [&](std::size_t) {
+        parallelFor(8, [&](std::size_t) { inner_total.fetch_add(1); },
+                    /*threads=*/4);
+      },
+      /*threads=*/2);
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ParallelFor, WorkerCountIsPositive) {
+  EXPECT_GE(parallelWorkerCount(), 1u);
+}
+
 }  // namespace
 }  // namespace rtdrm
