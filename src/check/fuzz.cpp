@@ -1,0 +1,440 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "apps/scenario.hpp"
+#include "common/assert.hpp"
+#include "core/ledger.hpp"
+#include "core/manager.hpp"
+#include "sim/trace.hpp"
+
+namespace rtdrm::check {
+
+namespace {
+
+/// Hex-float append: byte-exact round-trip of every double in the digest
+/// (decimal formatting could collapse adjacent values).
+void appendHex(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  out += buf;
+}
+
+void appendCount(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+}  // namespace
+
+std::string ShrinkSpec::cliFlags() const {
+  std::string out;
+  if (max_subtasks > 0) {
+    out += " --max-subtasks=" + std::to_string(max_subtasks);
+  }
+  if (max_periods > 0) {
+    out += " --max-periods=" + std::to_string(max_periods);
+  }
+  if (flatten_workload) {
+    out += " --flat";
+  }
+  return out;
+}
+
+const char* allocatorKindName(AllocatorKind kind) {
+  return kind == AllocatorKind::kPredictive ? "predictive" : "non-predictive";
+}
+
+std::string FuzzScenario::summary() const {
+  std::ostringstream os;
+  double lo = workload_tracks.empty() ? 0.0 : workload_tracks.front();
+  double hi = lo;
+  for (std::uint64_t p = 0; p < periods && p < workload_tracks.size(); ++p) {
+    lo = std::min(lo, workload_tracks[p]);
+    hi = std::max(hi, workload_tracks[p]);
+  }
+  os << "seed=" << seed << " nodes=" << node_count << " stages="
+     << spec.stageCount() << " periods=" << periods << " period="
+     << spec.period.ms() << "ms deadline=" << spec.deadline.ms()
+     << "ms workload=[" << lo << ".." << hi << "] tracks"
+     << (coresident_tracks.empty() ? "" : " +coresident")
+     << (manager.action_latency > SimDuration::zero() ? " +action-latency"
+                                                      : "")
+     << (manager.allow_load_shedding ? " +shedding" : "");
+  return os.str();
+}
+
+FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink) {
+  // Every draw below happens unconditionally and in a fixed order, so the
+  // same seed yields the same scenario no matter which caps apply.
+  RngStreams streams(seed);
+  Xoshiro256 g = streams.get("fuzz-gen");
+
+  FuzzScenario s;
+  s.seed = seed;
+  s.node_count = static_cast<std::size_t>(g.uniformInt(2, 8));
+
+  const auto n_full = static_cast<std::size_t>(g.uniformInt(2, 6));
+  s.spec.name = "F" + std::to_string(seed);
+  s.spec.subtasks.resize(n_full);
+  for (std::size_t i = 0; i < n_full; ++i) {
+    task::SubtaskSpec& st = s.spec.subtasks[i];
+    st.name = "st" + std::to_string(i + 1);
+    st.cost.beta_ms = g.uniform(0.3, 1.5);
+    st.cost.alpha_ms = g.uniform(0.0, 0.02);
+    st.replicable = g.uniform01() < 0.5;
+    st.noise_sigma = g.uniform(0.0, 0.08);
+  }
+  s.spec.messages.resize(n_full - 1);
+  for (std::size_t i = 0; i + 1 < n_full; ++i) {
+    s.spec.messages[i].bytes_per_track = g.uniform(20.0, 160.0);
+  }
+
+  const double period_ms = g.uniform(100.0, 1000.0);
+  s.spec.period = SimDuration::millis(period_ms);
+  s.spec.deadline = SimDuration::millis(period_ms * g.uniform(0.5, 1.0));
+
+  const auto periods_full = static_cast<std::uint64_t>(g.uniformInt(8, 40));
+
+  // Workload table: concatenated segments of holds, ramps, bursts, and
+  // dropouts between a drawn min/max band. Dropouts stay strictly positive
+  // (an all-zero period would make every latency estimate zero, which EQF
+  // rejects by contract).
+  const double min_tracks = g.uniform(50.0, 300.0);
+  const double max_tracks = g.uniform(500.0, 3000.0);
+  const double dropout_tracks = std::max(5.0, min_tracks * 0.1);
+  double level = g.uniform(min_tracks, max_tracks);
+  while (s.workload_tracks.size() < periods_full) {
+    const std::int64_t kind = g.uniformInt(0, 3);
+    const auto len = static_cast<std::uint64_t>(g.uniformInt(2, 10));
+    if (kind == 0) {  // hold
+      level = g.uniform(min_tracks, max_tracks);
+      for (std::uint64_t p = 0; p < len; ++p) {
+        s.workload_tracks.push_back(level);
+      }
+    } else if (kind == 1) {  // linear ramp to a new level
+      const double target = g.uniform(min_tracks, max_tracks);
+      for (std::uint64_t p = 0; p < len; ++p) {
+        const double f = static_cast<double>(p + 1) / static_cast<double>(len);
+        s.workload_tracks.push_back(level + (target - level) * f);
+      }
+      level = target;
+    } else if (kind == 2) {  // burst to the band maximum
+      const std::uint64_t blen = std::min<std::uint64_t>(len, 3);
+      for (std::uint64_t p = 0; p < blen; ++p) {
+        s.workload_tracks.push_back(max_tracks);
+      }
+    } else {  // dropout
+      const std::uint64_t dlen = std::min<std::uint64_t>(len, 3);
+      for (std::uint64_t p = 0; p < dlen; ++p) {
+        s.workload_tracks.push_back(dropout_tracks);
+      }
+    }
+  }
+  s.workload_tracks.resize(periods_full);
+
+  // Background-load plan: initial per-node targets plus a few step changes.
+  s.background_targets.resize(s.node_count);
+  for (std::size_t i = 0; i < s.node_count; ++i) {
+    s.background_targets[i] = g.uniform(0.0, 0.4);
+  }
+  const std::int64_t n_steps = g.uniformInt(0, 3);
+  for (std::int64_t i = 0; i < n_steps; ++i) {
+    BackgroundStep step;
+    step.period = static_cast<std::uint64_t>(
+        g.uniformInt(1, static_cast<std::int64_t>(periods_full) - 1));
+    step.node = static_cast<std::uint32_t>(
+        g.uniformInt(0, static_cast<std::int64_t>(s.node_count) - 1));
+    step.target = g.uniform(0.0, 0.6);
+    s.background_steps.push_back(step);
+  }
+
+  // Optional co-resident task posting into the shared ledger (eq. 5's sum).
+  if (g.uniform01() < 0.5) {
+    s.coresident_tracks.resize(periods_full);
+    for (std::uint64_t p = 0; p < periods_full; ++p) {
+      s.coresident_tracks[p] = g.uniform(0.0, max_tracks * 0.5);
+    }
+  }
+
+  // Manager knobs around the paper's Table-1 values.
+  s.manager.monitor.slack_fraction = g.uniform(0.15, 0.3);
+  s.manager.monitor.shutdown_slack_fraction = g.uniform(0.5, 0.7);
+  s.manager.monitor.shutdown_hysteresis =
+      static_cast<int>(g.uniformInt(2, 4));
+  s.manager.action_latency = g.uniform01() < 0.3
+                                 ? SimDuration::millis(g.uniform(1.0, 20.0))
+                                 : SimDuration::zero();
+  s.manager.allow_load_shedding = g.uniform01() < 0.3;
+
+  // ---- all RNG draws done; apply the shrink caps by truncation ----------
+
+  std::size_t n = n_full;
+  if (shrink.max_subtasks > 0) {
+    n = std::min(n_full, std::max<std::size_t>(2, shrink.max_subtasks));
+  }
+  s.spec.subtasks.resize(n);
+  s.spec.messages.resize(n - 1);
+  // The monitor only ever acts on replicable stages; keep at least one so
+  // every scenario exercises the allocators.
+  bool any_replicable = false;
+  for (const task::SubtaskSpec& st : s.spec.subtasks) {
+    any_replicable = any_replicable || st.replicable;
+  }
+  if (!any_replicable) {
+    s.spec.subtasks.back().replicable = true;
+  }
+
+  s.periods = periods_full;
+  if (shrink.max_periods > 0) {
+    s.periods = std::min(periods_full, std::max<std::uint64_t>(3, shrink.max_periods));
+  }
+
+  if (shrink.flatten_workload) {
+    double mean = 0.0;
+    for (std::uint64_t p = 0; p < s.periods; ++p) {
+      mean += s.workload_tracks[p];
+    }
+    mean /= static_cast<double>(s.periods);
+    std::fill(s.workload_tracks.begin(), s.workload_tracks.end(), mean);
+  }
+
+  s.manager.d_init = DataSize::tracks(s.workload_tracks.front());
+
+  // Ground-truth-derived planning models: eq.-3 coefficients seeded from
+  // the true cost with first-order contention inflation in u. The oracle's
+  // invariants must hold for *any* models, so accuracy is not the point —
+  // plausibility is, so both allocators make non-degenerate decisions.
+  s.models.exec.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    regress::ExecLatencyModel& m = s.models.exec[i];
+    m.a3 = s.spec.subtasks[i].cost.alpha_ms;
+    m.a2 = s.spec.subtasks[i].cost.alpha_ms;
+    m.b3 = s.spec.subtasks[i].cost.beta_ms;
+    m.b2 = s.spec.subtasks[i].cost.beta_ms;
+  }
+
+  s.spec.validate();
+  return s;
+}
+
+FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
+  apps::ScenarioConfig sc;
+  sc.node_count = scenario.node_count;
+  sc.seed = scenario.seed;
+  // The fuzz plan drives per-node targets itself.
+  sc.ambient_load = Utilization::zero();
+  apps::Scenario testbed(sc);
+
+  for (std::size_t i = 0; i < scenario.node_count; ++i) {
+    testbed.cluster()
+        .backgroundLoad(ProcessorId{static_cast<std::uint32_t>(i)})
+        .setTarget(Utilization::fraction(scenario.background_targets[i]));
+  }
+  for (const BackgroundStep& step : scenario.background_steps) {
+    if (step.period >= scenario.periods) {
+      continue;
+    }
+    testbed.sim().scheduleAt(
+        SimTime::zero() +
+            scenario.spec.period * static_cast<double>(step.period),
+        [&cluster = testbed.cluster(), step] {
+          cluster.backgroundLoad(ProcessorId{step.node})
+              .setTarget(Utilization::fraction(step.target));
+        });
+  }
+
+  core::WorkloadLedger ledger;
+  core::WorkloadLedger::TaskId co_id{};
+  if (!scenario.coresident_tracks.empty()) {
+    co_id = ledger.registerTask("co-resident");
+  }
+
+  const TablePattern pattern(scenario.workload_tracks);
+
+  std::vector<ProcessorId> homes;
+  homes.reserve(scenario.spec.stageCount());
+  for (std::size_t i = 0; i < scenario.spec.stageCount(); ++i) {
+    homes.push_back(
+        ProcessorId{static_cast<std::uint32_t>(i % scenario.node_count)});
+  }
+
+  std::unique_ptr<core::Allocator> allocator;
+  if (kind == AllocatorKind::kPredictive) {
+    allocator = std::make_unique<core::PredictiveAllocator>(scenario.models);
+  } else {
+    allocator = std::make_unique<core::NonPredictiveAllocator>();
+  }
+
+  sim::TraceRecorder trace;
+  InvariantOracle oracle;
+  oracle.watch(testbed.sim());
+  oracle.watch(testbed.cluster());
+  oracle.watch(testbed.ethernet());
+  oracle.watch(ledger);
+
+  core::ResourceManager manager(
+      testbed.runtime(), scenario.spec, task::Placement(homes),
+      [&pattern](std::uint64_t period) { return pattern.at(period); },
+      std::move(allocator), scenario.models, scenario.manager,
+      testbed.streams().get("exec-noise"));
+  manager.attachLedger(ledger);
+  manager.attachTrace(trace);
+  oracle.watch(manager);
+
+  std::unique_ptr<sim::PeriodicActivity> poster;
+  if (!scenario.coresident_tracks.empty()) {
+    poster = std::make_unique<sim::PeriodicActivity>(
+        testbed.sim(), scenario.spec.period,
+        [&ledger, co_id, &scenario](std::uint64_t c) {
+          const std::vector<double>& t = scenario.coresident_tracks;
+          const std::size_t i =
+              c < t.size() ? static_cast<std::size_t>(c) : t.size() - 1;
+          ledger.post(co_id, DataSize::tracks(t[i]));
+        });
+  }
+
+  manager.start(testbed.sim().now());
+  if (poster != nullptr) {
+    poster->start(testbed.sim().now());
+  }
+  testbed.sim().runFor(scenario.spec.period *
+                       static_cast<double>(scenario.periods));
+  manager.stop();
+  if (poster != nullptr) {
+    poster->stop();
+  }
+  testbed.sim().runFor(scenario.spec.period * 2.0);
+  oracle.sweep();
+
+  FuzzCaseResult out;
+  out.violations = oracle.violationCount();
+  out.checks = oracle.checksRun();
+  if (!oracle.ok()) {
+    out.report = oracle.report();
+  }
+
+  // Byte-exact digest of everything observable about the run.
+  std::string& d = out.digest;
+  for (const sim::TraceEvent& e : trace.events()) {
+    appendHex(d, e.at.ms());
+    d += sim::traceCategoryName(e.category);
+    d += ',';
+    d += e.label;
+    d += ',';
+    appendHex(d, e.value);
+    d += '\n';
+  }
+  const core::EpisodeMetrics& m = manager.metrics();
+  appendHex(d, m.missedRatio());
+  appendHex(d, m.cpu_utilization.mean());
+  appendHex(d, m.net_utilization.mean());
+  appendHex(d, m.replicas_per_subtask.mean());
+  appendHex(d, m.end_to_end_ms.mean());
+  appendHex(d, m.shed_fraction.mean());
+  appendCount(d, m.replicate_actions);
+  appendCount(d, m.shutdown_actions);
+  appendCount(d, m.allocation_failures);
+  appendCount(d, trace.dropped());
+  appendCount(d, testbed.ethernet().messagesDelivered());
+  appendCount(d, testbed.ethernet().framesOnWire());
+  appendHex(d, testbed.ethernet().payloadBytesCarried());
+  appendHex(d, testbed.sim().now().ms());
+  appendCount(d, oracle.checksRun());
+  return out;
+}
+
+FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink) {
+  const FuzzScenario scenario = makeFuzzScenario(seed, shrink);
+  FuzzOutcome out;
+  for (const AllocatorKind kind :
+       {AllocatorKind::kPredictive, AllocatorKind::kNonPredictive}) {
+    const FuzzCaseResult first = runFuzzCase(scenario, kind);
+    out.checks += first.checks;
+    if (first.violations > 0) {
+      out.invariants_ok = false;
+      out.violations += first.violations;
+      if (out.detail.empty()) {
+        out.detail = std::string(allocatorKindName(kind)) + ": " +
+                     first.report;
+      }
+    }
+    // Replay with the identical scenario: any divergence means hidden
+    // nondeterminism (iteration order, uninitialized state, time leaks).
+    const FuzzCaseResult replay = runFuzzCase(scenario, kind);
+    if (replay.digest != first.digest) {
+      out.deterministic = false;
+      if (out.detail.empty()) {
+        out.detail = std::string(allocatorKindName(kind)) +
+                     ": replay digest diverged (" +
+                     std::to_string(first.digest.size()) + " vs " +
+                     std::to_string(replay.digest.size()) + " bytes)";
+      }
+    }
+  }
+  return out;
+}
+
+ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
+                    const FailsFn& fails) {
+  ShrinkSpec current = initial;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const FuzzScenario s = makeFuzzScenario(seed, current);
+
+    // Fewer subtasks: jump straight to the floor, else one less.
+    if (s.spec.stageCount() > 2) {
+      for (const std::size_t target :
+           {static_cast<std::size_t>(2), s.spec.stageCount() - 1}) {
+        ShrinkSpec c = current;
+        c.max_subtasks = target;
+        if (fails(seed, c)) {
+          current = c;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) {
+        continue;
+      }
+    }
+
+    // Shorter horizon: floor, halved, then just one less.
+    if (s.periods > 3) {
+      for (const std::uint64_t target :
+           {static_cast<std::uint64_t>(3), s.periods / 2, s.periods - 1}) {
+        if (target >= s.periods) {
+          continue;
+        }
+        ShrinkSpec c = current;
+        c.max_periods = std::max<std::uint64_t>(3, target);
+        if (fails(seed, c)) {
+          current = c;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) {
+        continue;
+      }
+    }
+
+    // Flatter workload.
+    if (!current.flatten_workload) {
+      ShrinkSpec c = current;
+      c.flatten_workload = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace rtdrm::check

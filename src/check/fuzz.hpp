@@ -1,0 +1,139 @@
+// Deterministic scenario fuzzer over the full simulated stack.
+//
+// Every scenario is a pure function of (seed, ShrinkSpec): cluster size,
+// task pipeline, workload table (composed ramps / bursts / dropouts),
+// background-load schedule, and an optional co-resident workload poster are
+// all drawn from a named RNG stream. Each scenario runs under both the
+// predictive (Fig. 5) and non-predictive (Fig. 7) allocators with the
+// InvariantOracle watching every event, and is run twice per allocator to
+// prove same-seed replay produces a byte-identical trace digest.
+//
+// Shrinking works by *capping* the generated scenario after all RNG draws
+// (truncate subtasks, truncate the horizon, flatten the workload to its
+// mean) — the draws themselves never change, so a failing seed stays the
+// same scenario family while it shrinks to a minimal reproducer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/models.hpp"
+#include "task/spec.hpp"
+#include "workload/patterns.hpp"
+
+namespace rtdrm::check {
+
+/// Caps the shrinker applies to a generated scenario (0 / false = uncapped).
+struct ShrinkSpec {
+  /// Keep at most this many subtasks (floor 2; 0 = uncapped).
+  std::size_t max_subtasks = 0;
+  /// Run at most this many periods (floor 3; 0 = uncapped).
+  std::uint64_t max_periods = 0;
+  /// Replace the workload table with a constant at its mean.
+  bool flatten_workload = false;
+
+  bool unshrunk() const {
+    return max_subtasks == 0 && max_periods == 0 && !flatten_workload;
+  }
+  /// Command-line fragment reproducing these caps (" --max-subtasks=3 ...";
+  /// empty when unshrunk).
+  std::string cliFlags() const;
+};
+
+/// A workload pattern backed by a precomputed per-period table; periods
+/// beyond the table hold the last level.
+class TablePattern final : public workload::Pattern {
+ public:
+  explicit TablePattern(std::vector<double> tracks)
+      : tracks_(std::move(tracks)) {}
+  DataSize at(std::uint64_t period) const override {
+    if (tracks_.empty()) {
+      return DataSize::zero();
+    }
+    const std::size_t i =
+        period < tracks_.size() ? static_cast<std::size_t>(period)
+                                : tracks_.size() - 1;
+    return DataSize::tracks(tracks_[i]);
+  }
+  std::string name() const override { return "fuzz-table"; }
+
+ private:
+  std::vector<double> tracks_;
+};
+
+/// A step change in one node's background-load target.
+struct BackgroundStep {
+  std::uint64_t period = 0;
+  std::uint32_t node = 0;
+  double target = 0.0;
+};
+
+/// One fully generated fuzz scenario.
+struct FuzzScenario {
+  std::uint64_t seed = 0;
+  std::size_t node_count = 0;
+  std::uint64_t periods = 0;
+  task::TaskSpec spec;
+  /// Offered workload per period, in tracks (the composed pattern table).
+  std::vector<double> workload_tracks;
+  /// Initial per-node background-load targets (utilization fractions).
+  std::vector<double> background_targets;
+  std::vector<BackgroundStep> background_steps;
+  /// Per-period workload a co-resident task posts to the shared ledger
+  /// (empty = single-task deployment).
+  std::vector<double> coresident_tracks;
+  core::ManagerConfig manager;
+  core::PredictiveModels models;
+
+  std::string summary() const;
+};
+
+/// Generates the scenario for `seed` under the given caps. Caps only
+/// truncate/flatten the already-drawn scenario, so every cap combination of
+/// the same seed shares the same underlying draws.
+FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {});
+
+enum class AllocatorKind { kPredictive, kNonPredictive };
+const char* allocatorKindName(AllocatorKind kind);
+
+/// Outcome of one scenario run under one allocator.
+struct FuzzCaseResult {
+  std::uint64_t violations = 0;
+  std::uint64_t checks = 0;  ///< oracle checks run during this case
+  std::string report;        ///< oracle report (empty when clean)
+  /// Byte-exact digest of the run (trace events + metrics + substrate
+  /// counters, hex-float formatted). Identical seeds must produce
+  /// identical digests.
+  std::string digest;
+};
+
+/// Runs one scenario under one allocator with the oracle attached.
+FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind);
+
+/// Aggregate verdict for one seed: both allocators, each run twice.
+struct FuzzOutcome {
+  bool invariants_ok = true;
+  bool deterministic = true;
+  std::uint64_t violations = 0;
+  std::uint64_t checks = 0;
+  std::string detail;  ///< first failure description (empty when clean)
+
+  bool failed() const { return !invariants_ok || !deterministic; }
+};
+
+FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {});
+
+/// Failure predicate: does `seed` under these caps still fail?
+using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
+
+/// Greedy shrink: starting from `initial` (which must fail), repeatedly
+/// tries harsher caps — fewer subtasks, shorter horizon, flat workload —
+/// keeping each cap that still fails, until no harsher cap does. Returns
+/// the harshest failing ShrinkSpec found.
+ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
+                    const FailsFn& fails);
+
+}  // namespace rtdrm::check

@@ -1,0 +1,381 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::check {
+
+InvariantOracle::InvariantOracle(OracleConfig config)
+    : config_(config) {}
+
+InvariantOracle::~InvariantOracle() {
+  // Release the singleton hook slots we claimed so the watched objects can
+  // outlive the oracle without dangling callbacks.
+  if (sim_ != nullptr) {
+    sim_->setPostEventHook(nullptr);
+  }
+  if (net_ != nullptr) {
+    net_->setDeliveryObserver(nullptr);
+  }
+}
+
+SimTime InvariantOracle::now() const {
+  return sim_ != nullptr ? sim_->now() : SimTime::zero();
+}
+
+void InvariantOracle::violate(const char* invariant, std::string detail) {
+  ++violation_count_;
+  if (recorded_.size() < config_.max_recorded) {
+    recorded_.push_back({invariant, detail, now()});
+  }
+  if (config_.abort_on_violation) {
+    std::fprintf(stderr, "invariant violated [%s] at t=%.6f ms: %s\n",
+                 invariant, now().ms(), detail.c_str());
+    std::abort();
+  }
+}
+
+void InvariantOracle::watch(sim::Simulator& sim) {
+  RTDRM_ASSERT_MSG(sim_ == nullptr, "oracle already watches a simulator");
+  sim_ = &sim;
+  if (config_.check_every_event) {
+    sim.setPostEventHook([this] { sweep(); });
+  }
+}
+
+void InvariantOracle::watch(const node::Cluster& cluster) {
+  clusters_.push_back(&cluster);
+}
+
+void InvariantOracle::watch(net::Ethernet& net) {
+  RTDRM_ASSERT_MSG(net_ == nullptr, "oracle already watches a network");
+  net_ = &net;
+  net.setDeliveryObserver(
+      [this](const net::MessageReceipt& r) { checkReceipt(r); });
+}
+
+void InvariantOracle::watch(const core::WorkloadLedger& ledger) {
+  ledgers_.push_back(&ledger);
+}
+
+void InvariantOracle::watch(core::ResourceManager& manager) {
+  managers_.push_back(&manager);
+  manager.attachObserver(*this);
+}
+
+std::string InvariantOracle::report() const {
+  std::ostringstream os;
+  os << violation_count_ << " violation(s), " << checks_run_
+     << " checks run\n";
+  for (const InvariantViolation& v : recorded_) {
+    os << "  [" << v.invariant << "] t=" << v.at.ms() << " ms: " << v.detail
+       << "\n";
+  }
+  if (violation_count_ > recorded_.size()) {
+    os << "  ... " << (violation_count_ - recorded_.size())
+       << " more (recording capped)\n";
+  }
+  return os.str();
+}
+
+// ---- granular checks ------------------------------------------------------
+
+void InvariantOracle::checkBudgets(const core::EqfBudgets& budgets,
+                                   double deadline_ms) {
+  ++checks_run_;
+  const double tol = config_.tolerance_ms;
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < budgets.subtask_ms.size(); ++i) {
+    if (budgets.subtask_ms[i] < -tol) {
+      violate("eqf-budget-nonneg",
+              "subtask " + std::to_string(i) + " budget " +
+                  std::to_string(budgets.subtask_ms[i]) + " ms < 0");
+    }
+    sum += budgets.subtask_ms[i];
+  }
+  for (std::size_t i = 0; i < budgets.message_ms.size(); ++i) {
+    if (budgets.message_ms[i] < -tol) {
+      violate("eqf-budget-nonneg",
+              "message " + std::to_string(i) + " budget " +
+                  std::to_string(budgets.message_ms[i]) + " ms < 0");
+    }
+    sum += budgets.message_ms[i];
+  }
+  // §4.1 / eqs. 1-2: the sub-deadlines partition the end-to-end deadline.
+  // Scale the tolerance with the deadline so ms-vs-seconds scenarios get
+  // commensurate slack for rounding.
+  const double sum_tol = tol * std::max(1.0, std::abs(deadline_ms));
+  if (std::abs(sum - deadline_ms) > sum_tol) {
+    violate("eqf-budget-sum",
+            "budgets sum to " + std::to_string(sum) + " ms, deadline is " +
+                std::to_string(deadline_ms) + " ms");
+  }
+
+  // Absolute sub-deadlines are the prefix sums: nondecreasing, ending at D.
+  double prev = 0.0;
+  for (std::size_t i = 0; i < budgets.subtask_abs_ms.size(); ++i) {
+    if (budgets.subtask_abs_ms[i] < prev - tol) {
+      violate("eqf-abs-monotone",
+              "absolute deadline of subtask " + std::to_string(i) +
+                  " precedes its predecessor's");
+    }
+    prev = budgets.subtask_abs_ms[i];
+  }
+  if (!budgets.subtask_abs_ms.empty() &&
+      std::abs(budgets.subtask_abs_ms.back() - deadline_ms) > sum_tol) {
+    violate("eqf-abs-final",
+            "last absolute sub-deadline " +
+                std::to_string(budgets.subtask_abs_ms.back()) +
+                " ms != end-to-end deadline " + std::to_string(deadline_ms) +
+                " ms");
+  }
+}
+
+void InvariantOracle::checkPlacement(const task::Placement& placement,
+                                     const task::TaskSpec& spec,
+                                     std::size_t cluster_size) {
+  ++checks_run_;
+  if (placement.stageCount() != spec.stageCount()) {
+    violate("placement-shape",
+            "placement has " + std::to_string(placement.stageCount()) +
+                " stages, spec has " + std::to_string(spec.stageCount()));
+    return;
+  }
+  for (std::size_t s = 0; s < placement.stageCount(); ++s) {
+    const task::ReplicaSet& rs = placement.stage(s);
+    if (rs.size() == 0) {
+      violate("replica-set-empty",
+              "stage " + std::to_string(s) + " has no replicas");
+      continue;
+    }
+    if (!spec.subtasks[s].replicable && rs.size() != 1) {
+      violate("replica-nonreplicable",
+              "non-replicable stage " + std::to_string(s) + " has " +
+                  std::to_string(rs.size()) + " replicas");
+    }
+    for (std::size_t i = 0; i < rs.nodes().size(); ++i) {
+      const ProcessorId p = rs.nodes()[i];
+      if (cluster_size > 0 && p.value >= cluster_size) {
+        violate("replica-host-exists",
+                "stage " + std::to_string(s) + " replica on node " +
+                    std::to_string(p.value) + ", cluster has " +
+                    std::to_string(cluster_size) + " nodes");
+      }
+      for (std::size_t j = i + 1; j < rs.nodes().size(); ++j) {
+        if (rs.nodes()[j] == p) {
+          violate("replica-set-duplicate",
+                  "stage " + std::to_string(s) + " hosts node " +
+                      std::to_string(p.value) + " twice");
+        }
+      }
+    }
+  }
+}
+
+void InvariantOracle::checkReceipt(const net::MessageReceipt& receipt) {
+  ++checks_run_;
+  const double tol = config_.tolerance_ms;
+  // Causality: a message cannot hit the wire before it was enqueued, nor be
+  // delivered before its first bit was sent.
+  if (receipt.bufferDelay().ms() < -tol) {
+    violate("receipt-buffer-causality",
+            "first bit at " + std::to_string(receipt.first_bit.ms()) +
+                " ms precedes enqueue at " +
+                std::to_string(receipt.enqueued.ms()) + " ms");
+  }
+  if (receipt.transferDelay().ms() < -tol) {
+    violate("receipt-transfer-causality",
+            "delivery at " + std::to_string(receipt.delivered.ms()) +
+                " ms precedes first bit at " +
+                std::to_string(receipt.first_bit.ms()) + " ms");
+  }
+  if (sim_ != nullptr && receipt.enqueued.ms() > sim_->now().ms() + tol) {
+    violate("receipt-from-future",
+            "receipt enqueued at " + std::to_string(receipt.enqueued.ms()) +
+                " ms, now is " + std::to_string(sim_->now().ms()) + " ms");
+  }
+  if (receipt.payload < Bytes::zero()) {
+    violate("receipt-payload-nonneg", "negative payload");
+  }
+}
+
+void InvariantOracle::checkLedger(const core::WorkloadLedger& ledger) {
+  ++checks_run_;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < ledger.taskCount(); ++t) {
+    const double posted =
+        ledger.posted(core::WorkloadLedger::TaskId{t}).count();
+    if (posted < 0.0) {
+      violate("ledger-post-nonneg",
+              "task " + ledger.taskName(core::WorkloadLedger::TaskId{t}) +
+                  " posted " + std::to_string(posted) + " tracks");
+    }
+    sum += posted;
+  }
+  const double total = ledger.total().count();
+  if (std::abs(total - sum) > config_.tolerance_ms * std::max(1.0, sum)) {
+    violate("ledger-total",
+            "ledger total " + std::to_string(total) +
+                " != sum of posts " + std::to_string(sum));
+  }
+}
+
+void InvariantOracle::checkClusterUtilization(const node::Cluster& cluster) {
+  ++checks_run_;
+  for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+    const double u = cluster.lastUtilization(ProcessorId{i}).value();
+    if (u < 0.0 || u > 1.0 || !std::isfinite(u)) {
+      violate("utilization-range",
+              "node " + std::to_string(i) + " utilization " +
+                  std::to_string(u) + " outside [0, 1]");
+    }
+  }
+}
+
+void InvariantOracle::checkRecord(const task::PeriodRecord& record) {
+  ++checks_run_;
+  // True-time causality only: measured_latency is stamped with per-node
+  // clocks whose skew can legitimately make it negative.
+  if (record.finish.ms() < record.release.ms() - config_.tolerance_ms) {
+    violate("record-causality",
+            "period " + std::to_string(record.period_index) +
+                " finished at " + std::to_string(record.finish.ms()) +
+                " ms, released at " + std::to_string(record.release.ms()) +
+                " ms");
+  }
+  for (std::size_t s = 0; s < record.stages.size(); ++s) {
+    const task::StageRecord& st = record.stages[s];
+    if (!st.completed) {
+      continue;
+    }
+    if (st.end.ms() < st.start.ms() - config_.tolerance_ms) {
+      violate("stage-causality",
+              "stage " + std::to_string(s) + " ends before it starts");
+    }
+    if (st.replicas == 0) {
+      violate("stage-replicas",
+              "completed stage " + std::to_string(s) + " ran 0 replicas");
+    }
+    if (st.worst_exec.ms() < -config_.tolerance_ms ||
+        st.worst_msg.ms() < -config_.tolerance_ms) {
+      violate("stage-latency-nonneg",
+              "stage " + std::to_string(s) + " has negative worst-case");
+    }
+  }
+}
+
+void InvariantOracle::checkActions(const std::vector<core::Action>& actions,
+                                   const task::TaskSpec& spec) {
+  ++checks_run_;
+  for (const core::Action& a : actions) {
+    if (a.stage >= spec.stageCount()) {
+      violate("action-stage-range",
+              "action targets stage " + std::to_string(a.stage) +
+                  " of a " + std::to_string(spec.stageCount()) +
+                  "-stage task");
+      continue;
+    }
+    // §4.1: only replicable subtasks become replication or shutdown
+    // candidates.
+    if (!spec.subtasks[a.stage].replicable) {
+      violate("action-replicable-only",
+              "action targets non-replicable stage " +
+                  std::to_string(a.stage));
+    }
+  }
+}
+
+void InvariantOracle::checkAllocation(const core::Allocator& allocator,
+                                      const core::AllocationContext& ctx,
+                                      std::size_t stage,
+                                      core::AllocStatus status,
+                                      const task::ReplicaSet& rs) {
+  ++checks_run_;
+  if (status != core::AllocStatus::kSuccess) {
+    return;
+  }
+  const auto* predictive =
+      dynamic_cast<const core::PredictiveAllocator*>(&allocator);
+  if (predictive == nullptr) {
+    return;  // Fig. 7 accepts on a utilization heuristic, not a forecast.
+  }
+  // Fig. 5 step 6/7: success means *every* replica's forecast latency fits
+  // the stage budget minus the slack reserve. Re-derive the acceptance
+  // condition from the allocator's own forecast function.
+  const double budget = ctx.budgets.stageBudgetMs(stage);
+  const double limit = budget - ctx.slack_fraction * budget;
+  for (const ProcessorId q : rs.nodes()) {
+    const Utilization u = ctx.cluster.lastUtilization(q);
+    const double forecast =
+        predictive->forecastReplicaLatencyOn(ctx, stage, rs.size(), q, u)
+            .ms();
+    if (forecast > limit + config_.tolerance_ms * std::max(1.0, budget)) {
+      violate("predictive-acceptance",
+              "accepted replica set for stage " + std::to_string(stage) +
+                  " but node " + std::to_string(q.value) + " forecasts " +
+                  std::to_string(forecast) + " ms > limit " +
+                  std::to_string(limit) + " ms (budget " +
+                  std::to_string(budget) + " ms, slack " +
+                  std::to_string(ctx.slack_fraction) + ")");
+    }
+  }
+}
+
+void InvariantOracle::sweep() {
+  for (const node::Cluster* c : clusters_) {
+    checkClusterUtilization(*c);
+  }
+  for (const core::WorkloadLedger* l : ledgers_) {
+    checkLedger(*l);
+  }
+  for (core::ResourceManager* m : managers_) {
+    checkBudgets(m->budgets(), m->spec().deadline.ms());
+    std::size_t cluster_size = 0;
+    if (!clusters_.empty()) {
+      cluster_size = clusters_.front()->size();
+    }
+    checkPlacement(m->runner().placement(), m->spec(), cluster_size);
+  }
+}
+
+// ---- core::ManagerObserver hooks ------------------------------------------
+
+void InvariantOracle::onBudgetsAssigned(const core::ResourceManager& manager,
+                                        const core::EqfBudgets& budgets) {
+  checkBudgets(budgets, manager.spec().deadline.ms());
+}
+
+void InvariantOracle::onMonitorActions(const core::ResourceManager& manager,
+                                       const std::vector<core::Action>& actions) {
+  checkActions(actions, manager.spec());
+}
+
+void InvariantOracle::onAllocation(const core::ResourceManager& manager,
+                                   std::size_t stage, core::AllocStatus status,
+                                   const core::AllocationContext& ctx,
+                                   const task::ReplicaSet& rs) {
+  checkAllocation(manager.allocator(), ctx, stage, status, rs);
+}
+
+void InvariantOracle::onPlacementChanged(const core::ResourceManager& manager,
+                                         const task::Placement& placement) {
+  std::size_t cluster_size = 0;
+  if (!clusters_.empty()) {
+    cluster_size = clusters_.front()->size();
+  }
+  checkPlacement(placement, manager.spec(), cluster_size);
+}
+
+void InvariantOracle::onPeriodRecord(const core::ResourceManager& manager,
+                                     const task::PeriodRecord& record) {
+  (void)manager;
+  checkRecord(record);
+}
+
+}  // namespace rtdrm::check

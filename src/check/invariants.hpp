@@ -1,0 +1,124 @@
+// System-wide invariant oracle.
+//
+// An observer wired into the ResourceManager (via core::ManagerObserver),
+// the Simulator (post-event hook), the Ethernet (delivery receipts), the
+// Cluster and the WorkloadLedger, asserting after every simulation event
+// the properties the paper states as invariants:
+//
+//   * EQF sub-deadlines always sum to the end-to-end deadline (eqs. 1-2);
+//   * replica sets are non-empty, duplicate-free, and every replica's host
+//     exists; non-replicable stages never gain replicas;
+//   * ledger totals equal the sum of the per-task posts (eq. 5's input);
+//   * sampled processor utilization stays in [0, 1];
+//   * no message is delivered before it is sent (receipt causality);
+//   * the predictive allocator never *accepts* a replica set whose own
+//     forecast violates the deadline-minus-slack bound (Fig. 5 step 6).
+//
+// Violations are counted and recorded (bounded), or optionally abort the
+// process — tests and the fuzzer collect, long soak runs may abort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::check {
+
+struct InvariantViolation {
+  std::string invariant;  ///< short id, e.g. "eqf-budget-sum"
+  std::string detail;
+  SimTime at;
+};
+
+struct OracleConfig {
+  /// Absolute tolerance for floating-point equality checks, in ms.
+  double tolerance_ms = 1e-6;
+  /// Abort the process on the first violation (soak runs); default collects.
+  bool abort_on_violation = false;
+  /// Keep at most this many violation records (the count is unbounded).
+  std::size_t max_recorded = 100;
+  /// Sweep all watched state after every executed simulation event. Off,
+  /// checks still run at every manager hook point.
+  bool check_every_event = true;
+};
+
+class InvariantOracle final : public core::ManagerObserver {
+ public:
+  explicit InvariantOracle(OracleConfig config = {});
+  ~InvariantOracle() override;
+  InvariantOracle(const InvariantOracle&) = delete;
+  InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+  // ---- wiring (all watched objects must outlive the oracle) -------------
+  /// Installs the post-event sweep hook (claims the simulator's single
+  /// hook slot; released on destruction).
+  void watch(sim::Simulator& sim);
+  void watch(const node::Cluster& cluster);
+  /// Claims the Ethernet's delivery-observer slot (released on destruction).
+  void watch(net::Ethernet& net);
+  void watch(const core::WorkloadLedger& ledger);
+  /// Attaches as the manager's observer. Multiple managers may be watched.
+  void watch(core::ResourceManager& manager);
+
+  // ---- results ----------------------------------------------------------
+  bool ok() const { return violation_count_ == 0; }
+  std::uint64_t violationCount() const { return violation_count_; }
+  const std::vector<InvariantViolation>& recorded() const { return recorded_; }
+  std::uint64_t checksRun() const { return checks_run_; }
+  /// Human-readable summary of every recorded violation.
+  std::string report() const;
+
+  // ---- granular checks (public so tests can probe them directly) --------
+  void checkBudgets(const core::EqfBudgets& budgets, double deadline_ms);
+  void checkPlacement(const task::Placement& placement,
+                      const task::TaskSpec& spec, std::size_t cluster_size);
+  void checkReceipt(const net::MessageReceipt& receipt);
+  void checkLedger(const core::WorkloadLedger& ledger);
+  void checkClusterUtilization(const node::Cluster& cluster);
+  void checkRecord(const task::PeriodRecord& record);
+  void checkActions(const std::vector<core::Action>& actions,
+                    const task::TaskSpec& spec);
+  /// Re-derives the Fig.-5 acceptance condition for a successful predictive
+  /// allocation: every replica's forecast fits budget - slack reserve.
+  void checkAllocation(const core::Allocator& allocator,
+                       const core::AllocationContext& ctx, std::size_t stage,
+                       core::AllocStatus status, const task::ReplicaSet& rs);
+  /// Sweeps every watched cluster / ledger / manager now.
+  void sweep();
+
+  // ---- core::ManagerObserver --------------------------------------------
+  void onBudgetsAssigned(const core::ResourceManager& manager,
+                         const core::EqfBudgets& budgets) override;
+  void onMonitorActions(const core::ResourceManager& manager,
+                        const std::vector<core::Action>& actions) override;
+  void onAllocation(const core::ResourceManager& manager, std::size_t stage,
+                    core::AllocStatus status,
+                    const core::AllocationContext& ctx,
+                    const task::ReplicaSet& rs) override;
+  void onPlacementChanged(const core::ResourceManager& manager,
+                          const task::Placement& placement) override;
+  void onPeriodRecord(const core::ResourceManager& manager,
+                      const task::PeriodRecord& record) override;
+
+ private:
+  void violate(const char* invariant, std::string detail);
+  SimTime now() const;
+
+  OracleConfig config_;
+  sim::Simulator* sim_ = nullptr;
+  std::vector<const node::Cluster*> clusters_;
+  net::Ethernet* net_ = nullptr;
+  std::vector<const core::WorkloadLedger*> ledgers_;
+  std::vector<core::ResourceManager*> managers_;
+
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<InvariantViolation> recorded_;
+};
+
+}  // namespace rtdrm::check

@@ -75,6 +75,12 @@ void ResourceManager::stop() {
   sampler_->stop();
 }
 
+void ResourceManager::attachObserver(ManagerObserver& observer) {
+  RTDRM_ASSERT_MSG(observer_ == nullptr, "observer already attached");
+  observer_ = &observer;
+  observer_->onBudgetsAssigned(*this, budgets_);
+}
+
 void ResourceManager::attachLedger(WorkloadLedger& ledger) {
   RTDRM_ASSERT_MSG(ledger_ == nullptr, "ledger already attached");
   ledger_ = &ledger;
@@ -128,6 +134,9 @@ void ResourceManager::onPeriodTick(std::uint64_t) {
 }
 
 void ResourceManager::onRecord(const task::PeriodRecord& record) {
+  if (observer_ != nullptr) {
+    observer_->onPeriodRecord(*this, record);
+  }
   const bool missed = record.missed(spec_.deadline);
   metrics_.missed_deadlines.add(missed);
   if (missed) {
@@ -181,6 +190,9 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
   task::Placement placement = runner_->placement();
   const std::vector<Action> actions =
       monitor_.evaluate(record, budgets_, placement);
+  if (observer_ != nullptr) {
+    observer_->onMonitorActions(*this, actions);
+  }
   if (actions.empty()) {
     return;
   }
@@ -203,6 +215,9 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       }
       const AllocationContext ctx = makeContext(workload);
       const AllocStatus status = allocator_->replicate(ctx, a.stage, rs);
+      if (observer_ != nullptr) {
+        observer_->onAllocation(*this, a.stage, status, ctx, rs);
+      }
       if (status == AllocStatus::kFailure) {
         ++metrics_.allocation_failures;
         if (config_.allow_load_shedding &&
@@ -254,11 +269,17 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       rt_.sim.scheduleAfter(
           config_.action_latency, [this, placement, workload] {
             runner_->setPlacement(placement);
+            if (observer_ != nullptr) {
+              observer_->onPlacementChanged(*this, runner_->placement());
+            }
             reassignBudgets(workload);
           });
       return;
     }
     runner_->setPlacement(placement);
+    if (observer_ != nullptr) {
+      observer_->onPlacementChanged(*this, runner_->placement());
+    }
     // §4.1: subtask deadlines are re-assigned after every resource
     // management action, now at the *current* operating conditions.
     reassignBudgets(workload);
@@ -300,6 +321,9 @@ void ResourceManager::reassignBudgets(DataSize d) {
     }
   }
   budgets_ = assignBudgets(in, config_.deadline_strategy);
+  if (observer_ != nullptr) {
+    observer_->onBudgetsAssigned(*this, budgets_);
+  }
 }
 
 }  // namespace rtdrm::core

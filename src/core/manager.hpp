@@ -63,6 +63,52 @@ struct ManagerConfig {
   double max_shed = 0.7;
 };
 
+class ResourceManager;
+
+/// Observation points the manager exposes to correctness oracles and
+/// loggers (src/check's InvariantOracle is the canonical implementation).
+/// Every hook fires synchronously at the decision point, with the manager's
+/// state already updated, so observers see exactly what the next period
+/// will run with. Default implementations ignore everything.
+class ManagerObserver {
+ public:
+  virtual ~ManagerObserver() = default;
+  /// EQF budgets were (re)assigned — at construction and after actions.
+  virtual void onBudgetsAssigned(const ResourceManager& manager,
+                                 const EqfBudgets& budgets) {
+    (void)manager;
+    (void)budgets;
+  }
+  /// The monitor flagged candidates for this period (possibly empty).
+  virtual void onMonitorActions(const ResourceManager& manager,
+                                const std::vector<Action>& actions) {
+    (void)manager;
+    (void)actions;
+  }
+  /// An allocator finished a replicate call for `stage` on `rs`.
+  virtual void onAllocation(const ResourceManager& manager, std::size_t stage,
+                            AllocStatus status, const AllocationContext& ctx,
+                            const task::ReplicaSet& rs) {
+    (void)manager;
+    (void)stage;
+    (void)status;
+    (void)ctx;
+    (void)rs;
+  }
+  /// A new placement became effective (immediately or after action_latency).
+  virtual void onPlacementChanged(const ResourceManager& manager,
+                                  const task::Placement& placement) {
+    (void)manager;
+    (void)placement;
+  }
+  /// A period completed (or aborted) and was evaluated.
+  virtual void onPeriodRecord(const ResourceManager& manager,
+                              const task::PeriodRecord& record) {
+    (void)manager;
+    (void)record;
+  }
+};
+
 class ResourceManager {
  public:
   /// `models` drive the EQF estimates (both algorithms); `allocator` is the
@@ -86,10 +132,17 @@ class ResourceManager {
   /// Posts action/miss events to the recorder (optional; must outlive the
   /// manager).
   void attachTrace(sim::TraceRecorder& trace) { trace_ = &trace; }
+  /// Attaches an observer (optional, at most one; must outlive the
+  /// manager). The observer immediately sees the current budgets.
+  void attachObserver(ManagerObserver& observer);
 
   const EpisodeMetrics& metrics() const { return metrics_; }
   const EqfBudgets& budgets() const { return budgets_; }
   task::TaskRunner& runner() { return *runner_; }
+  const task::TaskRunner& runner() const { return *runner_; }
+  const task::TaskSpec& spec() const { return spec_; }
+  /// The shared ledger, when one is attached (else nullptr).
+  const WorkloadLedger* ledger() const { return ledger_; }
   const Allocator& allocator() const { return *allocator_; }
   /// Non-null when online_refit is enabled.
   const ModelRefresher* refresher() const { return refresher_.get(); }
@@ -124,6 +177,7 @@ class ResourceManager {
   WorkloadLedger* ledger_ = nullptr;
   WorkloadLedger::TaskId ledger_id_{};
   sim::TraceRecorder* trace_ = nullptr;
+  ManagerObserver* observer_ = nullptr;
   std::unique_ptr<ModelRefresher> refresher_;
   double shed_fraction_ = 0.0;
 };

@@ -32,6 +32,9 @@ void Ethernet::send(Message msg) {
                                  msg.payload};
     auto cb = std::move(msg.on_delivered);
     ++delivered_;
+    if (delivery_observer_) {
+      delivery_observer_(receipt);
+    }
     sim_.scheduleAfter(config_.propagation, [cb = std::move(cb), receipt] {
       if (cb) {
         cb(receipt);
@@ -119,6 +122,9 @@ void Ethernet::onFrameEnd(std::size_t nic) {
     auto cb = std::move(p.msg.on_delivered);
     nics_[nic].pop_front();
     ++delivered_;
+    if (delivery_observer_) {
+      delivery_observer_(receipt);
+    }
     sim_.scheduleAfter(config_.propagation, [cb = std::move(cb), receipt] {
       if (cb) {
         cb(receipt);

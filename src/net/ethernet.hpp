@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "net/message.hpp"
@@ -53,6 +54,14 @@ class Ethernet {
   /// Enqueue a message at its source NIC. Local delivery (src == dst)
   /// bypasses the wire and completes after `propagation` only.
   void send(Message msg);
+
+  /// Observer invoked with every delivery receipt, at the moment the last
+  /// frame leaves the wire (correctness oracles verify causality here:
+  /// enqueued <= first_bit <= delivered). Pass nullptr to clear.
+  using DeliveryObserver = std::function<void(const MessageReceipt&)>;
+  void setDeliveryObserver(DeliveryObserver observer) {
+    delivery_observer_ = std::move(observer);
+  }
 
   /// Cumulative wire-busy time (for utilization accounting).
   SimDuration busyTime() const;
@@ -96,6 +105,7 @@ class Ethernet {
   std::uint64_t frames_ = 0;
   double payload_bytes_ = 0.0;
   std::vector<double> payload_bytes_from_;
+  DeliveryObserver delivery_observer_;
 };
 
 /// Windowed utilization sampling for the bus, mirroring node::UtilizationProbe.

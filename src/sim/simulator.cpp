@@ -160,6 +160,9 @@ bool Simulator::fireHead() {
   --live_;
   ++events_executed_;
   cb();
+  if (post_hook_ != nullptr) {
+    post_hook_();
+  }
   return true;
 }
 

@@ -76,6 +76,12 @@ class Simulator {
   /// Unaffected by requestStop(): step() is already a single-event run.
   bool step();
 
+  /// Installs a hook invoked after every executed event's callback returns
+  /// (correctness oracles sweep system invariants here). Pass nullptr to
+  /// clear. At most one hook; the previous one is replaced.
+  void setPostEventHook(Callback hook) { post_hook_ = std::move(hook); }
+  bool hasPostEventHook() const { return post_hook_ != nullptr; }
+
   /// Request that the run loop stop after the current event returns.
   ///
   /// Semantics: the flag is *consumed* by the run loop, not reset on entry.
@@ -134,6 +140,7 @@ class Simulator {
   }
 
   SimTime now_ = SimTime::zero();
+  Callback post_hook_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;

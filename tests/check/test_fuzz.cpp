@@ -1,0 +1,169 @@
+#include "check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm::check {
+namespace {
+
+TEST(MakeFuzzScenario, IsDeterministicPerSeed) {
+  const FuzzScenario a = makeFuzzScenario(7);
+  const FuzzScenario b = makeFuzzScenario(7);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_EQ(a.workload_tracks, b.workload_tracks);
+  EXPECT_EQ(a.background_targets, b.background_targets);
+  EXPECT_EQ(a.coresident_tracks, b.coresident_tracks);
+}
+
+TEST(MakeFuzzScenario, DifferentSeedsDiffer) {
+  const FuzzScenario a = makeFuzzScenario(1);
+  const FuzzScenario b = makeFuzzScenario(2);
+  EXPECT_NE(a.summary(), b.summary());
+}
+
+TEST(MakeFuzzScenario, GeneratesValidBoundedScenarios) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const FuzzScenario s = makeFuzzScenario(seed);
+    EXPECT_GE(s.node_count, 2u);
+    EXPECT_LE(s.node_count, 8u);
+    EXPECT_GE(s.spec.stageCount(), 2u);
+    EXPECT_LE(s.spec.stageCount(), 6u);
+    EXPECT_GE(s.periods, 8u);
+    EXPECT_LE(s.periods, 40u);
+    EXPECT_LE(s.spec.deadline.ms(), s.spec.period.ms());
+    bool any_replicable = false;
+    for (const auto& st : s.spec.subtasks) {
+      any_replicable = any_replicable || st.replicable;
+    }
+    EXPECT_TRUE(any_replicable) << "seed " << seed;
+    for (const double w : s.workload_tracks) {
+      EXPECT_GT(w, 0.0) << "zero workload would break EQF's contract";
+    }
+    EXPECT_EQ(s.models.exec.size(), s.spec.stageCount());
+  }
+}
+
+TEST(MakeFuzzScenario, SubtaskCapTruncatesWithoutChangingOtherDraws) {
+  const FuzzScenario full = makeFuzzScenario(11);
+  ShrinkSpec shrink;
+  shrink.max_subtasks = 2;
+  const FuzzScenario capped = makeFuzzScenario(11, shrink);
+  EXPECT_EQ(capped.spec.stageCount(), 2u);
+  // Caps truncate after the draws: everything not capped is identical.
+  EXPECT_EQ(capped.spec.period.ms(), full.spec.period.ms());
+  EXPECT_EQ(capped.spec.deadline.ms(), full.spec.deadline.ms());
+  EXPECT_EQ(capped.node_count, full.node_count);
+  EXPECT_EQ(capped.periods, full.periods);
+  EXPECT_EQ(capped.workload_tracks, full.workload_tracks);
+  EXPECT_EQ(capped.spec.subtasks[0].cost.beta_ms,
+            full.spec.subtasks[0].cost.beta_ms);
+}
+
+TEST(MakeFuzzScenario, PeriodCapShortensHorizon) {
+  ShrinkSpec shrink;
+  shrink.max_periods = 5;
+  const FuzzScenario s = makeFuzzScenario(11, shrink);
+  EXPECT_EQ(s.periods, 5u);
+}
+
+TEST(MakeFuzzScenario, FlattenYieldsConstantWorkload) {
+  ShrinkSpec shrink;
+  shrink.flatten_workload = true;
+  const FuzzScenario s = makeFuzzScenario(11, shrink);
+  for (const double w : s.workload_tracks) {
+    EXPECT_DOUBLE_EQ(w, s.workload_tracks.front());
+  }
+}
+
+TEST(MakeFuzzScenario, CapKeepsAReplicableStage) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    ShrinkSpec shrink;
+    shrink.max_subtasks = 2;
+    const FuzzScenario s = makeFuzzScenario(seed, shrink);
+    bool any_replicable = false;
+    for (const auto& st : s.spec.subtasks) {
+      any_replicable = any_replicable || st.replicable;
+    }
+    EXPECT_TRUE(any_replicable) << "seed " << seed;
+  }
+}
+
+TEST(TablePattern, HoldsLastLevelBeyondTable) {
+  const TablePattern p({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(p.at(0).count(), 10.0);
+  EXPECT_DOUBLE_EQ(p.at(2).count(), 30.0);
+  EXPECT_DOUBLE_EQ(p.at(100).count(), 30.0);
+}
+
+TEST(ShrinkSpec, CliFlagsRoundTripTheCaps) {
+  ShrinkSpec s;
+  EXPECT_EQ(s.cliFlags(), "");
+  s.max_subtasks = 3;
+  s.max_periods = 8;
+  s.flatten_workload = true;
+  EXPECT_EQ(s.cliFlags(), " --max-subtasks=3 --max-periods=8 --flat");
+}
+
+TEST(RunFuzzSeed, CleanSeedsPassBothAllocatorsAndReplay) {
+  // A handful of full-stack runs: oracle holds and replays are
+  // byte-identical under both allocators.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const FuzzOutcome out = runFuzzSeed(seed);
+    EXPECT_FALSE(out.failed()) << "seed " << seed << ": " << out.detail;
+    EXPECT_GT(out.checks, 0u);
+  }
+}
+
+TEST(RunFuzzCase, SameScenarioProducesByteIdenticalDigests) {
+  const FuzzScenario s = makeFuzzScenario(5);
+  const FuzzCaseResult a = runFuzzCase(s, AllocatorKind::kPredictive);
+  const FuzzCaseResult b = runFuzzCase(s, AllocatorKind::kPredictive);
+  EXPECT_EQ(a.violations, 0u) << a.report;
+  EXPECT_FALSE(a.digest.empty());
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(RunFuzzCase, AllocatorsProduceDistinctRuns) {
+  // Sanity that the knob matters: the two allocators should not trace
+  // identically on a scenario that triggers adaptation.
+  const FuzzScenario s = makeFuzzScenario(6);
+  const FuzzCaseResult pred = runFuzzCase(s, AllocatorKind::kPredictive);
+  const FuzzCaseResult nonp = runFuzzCase(s, AllocatorKind::kNonPredictive);
+  EXPECT_NE(pred.digest, nonp.digest);
+}
+
+TEST(Minimize, ShrinksToTheFloorWhenEverythingFails) {
+  const ShrinkSpec minimal =
+      minimize(11, {}, [](std::uint64_t, const ShrinkSpec&) { return true; });
+  const FuzzScenario s = makeFuzzScenario(11, minimal);
+  EXPECT_EQ(s.spec.stageCount(), 2u);
+  EXPECT_EQ(s.periods, 3u);
+  EXPECT_TRUE(minimal.flatten_workload);
+}
+
+TEST(Minimize, FindsTheBoundaryOfAHorizonPredicate) {
+  // Artificial failure: "fails iff the scenario runs more than 12 periods".
+  const std::uint64_t seed = 0;
+  ASSERT_GT(makeFuzzScenario(seed).periods, 13u);
+  const auto fails = [](std::uint64_t s, const ShrinkSpec& c) {
+    return makeFuzzScenario(s, c).periods > 12;
+  };
+  ASSERT_TRUE(fails(seed, {}));
+  const ShrinkSpec minimal = minimize(seed, {}, fails);
+  // Greedy halving + decrement lands exactly on the smallest failing
+  // horizon; subtask and flatten caps don't affect this predicate so they
+  // shrink to their floors too.
+  EXPECT_EQ(makeFuzzScenario(seed, minimal).periods, 13u);
+  EXPECT_TRUE(fails(seed, minimal));
+}
+
+TEST(Minimize, KeepsTheInitialSpecWhenNothingHarsherFails) {
+  // Fails only in the *unshrunk* configuration: no cap can be applied.
+  const auto fails = [](std::uint64_t, const ShrinkSpec& c) {
+    return c.unshrunk();
+  };
+  const ShrinkSpec minimal = minimize(3, {}, fails);
+  EXPECT_TRUE(minimal.unshrunk());
+}
+
+}  // namespace
+}  // namespace rtdrm::check

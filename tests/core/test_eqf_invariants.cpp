@@ -1,0 +1,138 @@
+// Invariant-level tests for the EQF/EQS deadline assignment: the properties
+// the rest of the system (monitor, allocators, InvariantOracle) relies on,
+// probed over randomized chains rather than hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/eqf.hpp"
+
+namespace rtdrm::core {
+namespace {
+
+double budgetSum(const EqfBudgets& b) {
+  return std::accumulate(b.subtask_ms.begin(), b.subtask_ms.end(), 0.0) +
+         std::accumulate(b.message_ms.begin(), b.message_ms.end(), 0.0);
+}
+
+EqfInput randomChain(Xoshiro256& rng) {
+  EqfInput in;
+  const auto n = static_cast<std::size_t>(rng.uniformInt(1, 8));
+  for (std::size_t i = 0; i < n; ++i) {
+    in.eex_ms.push_back(rng.uniform(0.5, 50.0));
+    if (i + 1 < n) {
+      in.ecd_ms.push_back(rng.uniform(0.0, 10.0));
+    }
+  }
+  // Deadlines both above and below the total estimate (slack and
+  // compression regimes).
+  in.deadline_ms = rng.uniform(20.0, 600.0);
+  return in;
+}
+
+TEST(EqfInvariants, BudgetsSumExactlyToDeadlineOnRandomChains) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const EqfInput in = randomChain(rng);
+    for (const DeadlineStrategy strategy :
+         {DeadlineStrategy::kEqf, DeadlineStrategy::kEqs}) {
+      const EqfBudgets b = assignBudgets(in, strategy);
+      EXPECT_NEAR(budgetSum(b), in.deadline_ms, 1e-9 * in.deadline_ms)
+          << "trial " << trial;
+      for (const double v : b.subtask_ms) {
+        EXPECT_GE(v, 0.0);
+      }
+      for (const double v : b.message_ms) {
+        EXPECT_GE(v, 0.0);
+      }
+    }
+  }
+}
+
+TEST(EqfInvariants, AbsoluteDeadlinesAreNondecreasingAndEndAtD) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const EqfInput in = randomChain(rng);
+    const EqfBudgets b = assignEqf(in);
+    double prev = 0.0;
+    for (const double abs_ms : b.subtask_abs_ms) {
+      EXPECT_GE(abs_ms, prev - 1e-12);
+      prev = abs_ms;
+    }
+    EXPECT_NEAR(b.subtask_abs_ms.back(), in.deadline_ms,
+                1e-9 * in.deadline_ms);
+  }
+}
+
+TEST(EqfInvariants, BudgetIsMonotoneInOwnEstimate) {
+  // Raising one stage's estimate must raise that stage's budget and (with a
+  // fixed deadline to share) never raise anyone else's.
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    EqfInput in = randomChain(rng);
+    const std::size_t target = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(in.eex_ms.size()) - 1));
+    const EqfBudgets before = assignEqf(in);
+    in.eex_ms[target] *= 1.5;
+    const EqfBudgets after = assignEqf(in);
+
+    if (in.eex_ms.size() > 1) {
+      EXPECT_GT(after.subtask_ms[target], before.subtask_ms[target])
+          << "trial " << trial;
+    } else {
+      // A single-element chain always owns the whole deadline.
+      EXPECT_NEAR(after.subtask_ms[target], in.deadline_ms,
+                  1e-9 * in.deadline_ms);
+    }
+    for (std::size_t i = 0; i < in.eex_ms.size(); ++i) {
+      if (i != target) {
+        EXPECT_LE(after.subtask_ms[i], before.subtask_ms[i] + 1e-12);
+      }
+    }
+    for (std::size_t i = 0; i < in.ecd_ms.size(); ++i) {
+      EXPECT_LE(after.message_ms[i], before.message_ms[i] + 1e-12);
+    }
+  }
+}
+
+TEST(EqfInvariants, FlexibilityShrinksAsEstimatesGrow) {
+  EqfInput in{{10.0, 20.0}, {5.0}, 350.0};
+  const double flex_before = assignEqf(in).flexibility;
+  in.eex_ms[0] *= 2.0;
+  EXPECT_LT(assignEqf(in).flexibility, flex_before);
+}
+
+TEST(EqfInvariants, ZeroEstimateStageGetsZeroBudgetOthersTileDeadline) {
+  // Mixed zero / nonzero estimates: the zero-cost element takes no share of
+  // the deadline and the remaining budgets still sum to D exactly.
+  const EqfInput in{{0.0, 30.0, 0.0}, {10.0, 0.0}, 200.0};
+  for (const DeadlineStrategy strategy :
+       {DeadlineStrategy::kEqf, DeadlineStrategy::kEqs}) {
+    const EqfBudgets b = assignBudgets(in, strategy);
+    EXPECT_DOUBLE_EQ(b.subtask_ms[0], 0.0);
+    EXPECT_DOUBLE_EQ(b.subtask_ms[2], 0.0);
+    EXPECT_DOUBLE_EQ(b.message_ms[1], 0.0);
+    EXPECT_GT(b.subtask_ms[1], 0.0);
+    EXPECT_NEAR(budgetSum(b), 200.0, 1e-9);
+  }
+}
+
+TEST(EqfInvariants, NearZeroSingleEstimateStillTilesDeadline) {
+  const EqfBudgets b = assignEqf({{1e-12}, {}, 100.0});
+  EXPECT_NEAR(b.subtask_ms[0], 100.0, 1e-9);
+}
+
+TEST(EqfInvariants, CompressionRegimeKeepsSumAndOrder) {
+  // Total estimate far beyond the deadline: every budget is compressed but
+  // the partition and the relative order of budgets survive.
+  const EqfInput in{{100.0, 300.0, 200.0}, {50.0, 50.0}, 70.0};
+  const EqfBudgets b = assignEqf(in);
+  EXPECT_NEAR(budgetSum(b), 70.0, 1e-9);
+  EXPECT_LT(b.flexibility, 1.0);
+  EXPECT_LT(b.subtask_ms[0], b.subtask_ms[2]);
+  EXPECT_LT(b.subtask_ms[2], b.subtask_ms[1]);
+}
+
+}  // namespace
+}  // namespace rtdrm::core

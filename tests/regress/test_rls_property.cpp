@@ -1,0 +1,99 @@
+// Property: with forgetting factor 1 and a diffuse prior, the RLS
+// incremental fit converges to the batch least-squares solution on the same
+// samples — across many seeded random problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "regress/least_squares.hpp"
+#include "regress/rls.hpp"
+
+namespace rtdrm::regress {
+namespace {
+
+struct Problem {
+  Matrix design;
+  Vector y;
+};
+
+Problem makeProblem(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const auto dim = static_cast<std::size_t>(rng.uniformInt(1, 4));
+  const auto n = static_cast<std::size_t>(rng.uniformInt(12, 60));
+
+  Vector truth(dim);
+  for (double& t : truth) {
+    t = rng.uniform(-5.0, 5.0);
+  }
+
+  Problem p{Matrix(n, dim), Vector(n)};
+  for (std::size_t r = 0; r < n; ++r) {
+    double y = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double x = rng.uniform(-2.0, 2.0);
+      p.design(r, c) = x;
+      y += truth[c] * x;
+    }
+    p.y[r] = y + rng.normal(0.0, 0.05);
+  }
+  return p;
+}
+
+TEST(RlsVsBatchProperty, IncrementalFitMatchesBatchAcross100Seeds) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Problem p = makeProblem(seed);
+    const std::size_t dim = p.design.cols();
+
+    // Diffuse prior + no forgetting: RLS is exact recursive OLS.
+    RecursiveLeastSquares rls(dim, 1.0, 1e9);
+    Vector x(dim);
+    for (std::size_t r = 0; r < p.design.rows(); ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        x[c] = p.design(r, c);
+      }
+      rls.update(x, p.y[r]);
+    }
+
+    const FitResult batch = fitDesignMatrix(p.design, p.y);
+    ASSERT_EQ(batch.coefficients.size(), dim);
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double scale = std::max(1.0, std::abs(batch.coefficients[c]));
+      EXPECT_NEAR(rls.coefficients()[c], batch.coefficients[c],
+                  1e-4 * scale)
+          << "seed " << seed << " coefficient " << c;
+    }
+    EXPECT_EQ(rls.covarianceResets(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(RlsVsBatchProperty, PredictionsAgreeOnHeldOutPoints) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Problem p = makeProblem(seed);
+    const std::size_t dim = p.design.cols();
+    RecursiveLeastSquares rls(dim, 1.0, 1e9);
+    Vector x(dim);
+    for (std::size_t r = 0; r < p.design.rows(); ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        x[c] = p.design(r, c);
+      }
+      rls.update(x, p.y[r]);
+    }
+    const FitResult batch = fitDesignMatrix(p.design, p.y);
+
+    Xoshiro256 probe(seed + 12345);
+    for (int k = 0; k < 5; ++k) {
+      double batch_pred = 0.0;
+      for (std::size_t c = 0; c < dim; ++c) {
+        x[c] = probe.uniform(-2.0, 2.0);
+        batch_pred += batch.coefficients[c] * x[c];
+      }
+      EXPECT_NEAR(rls.predict(x), batch_pred,
+                  1e-4 * std::max(1.0, std::abs(batch_pred)))
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtdrm::regress

@@ -1,0 +1,143 @@
+// Deterministic scenario fuzzer (see src/check/fuzz.hpp).
+//
+// Sweeps seeds through randomized full-stack scenarios, running each under
+// both allocators with the InvariantOracle attached and replaying each run
+// to prove byte-identical traces. On failure the scenario is shrunk to a
+// minimal reproducer and the exact `--replay-seed` command line is printed
+// (and optionally written to a file for CI artifact upload).
+//
+//   fuzz_scenarios --seeds 500            # sweep seeds 0..499
+//   fuzz_scenarios --replay-seed 123      # re-run one reproducer
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "common/cli.hpp"
+
+namespace {
+
+rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
+                                         std::int64_t max_periods, bool flat) {
+  rtdrm::check::ShrinkSpec shrink;
+  if (max_subtasks > 0) {
+    shrink.max_subtasks = static_cast<std::size_t>(max_subtasks);
+  }
+  if (max_periods > 0) {
+    shrink.max_periods = static_cast<std::uint64_t>(max_periods);
+  }
+  shrink.flatten_workload = flat;
+  return shrink;
+}
+
+std::string reproLine(std::uint64_t seed,
+                      const rtdrm::check::ShrinkSpec& shrink) {
+  return "fuzz_scenarios --replay-seed=" + std::to_string(seed) +
+         shrink.cliFlags();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t seeds = 200;
+  std::int64_t start_seed = 0;
+  std::int64_t replay_seed = -1;
+  std::int64_t max_subtasks = 0;
+  std::int64_t max_periods = 0;
+  bool flat = false;
+  bool no_shrink = false;
+  bool verbose = false;
+  std::string repro_out;
+
+  rtdrm::ArgParser parser(
+      "fuzz_scenarios",
+      "Randomized full-stack scenarios under an invariant oracle, with "
+      "seed replay and failure minimization.");
+  parser.addInt("seeds", "number of seeds to sweep", &seeds)
+      .addInt("start-seed", "first seed of the sweep", &start_seed)
+      .addInt("replay-seed", "run exactly this seed and exit (-1 = sweep)",
+              &replay_seed)
+      .addInt("max-subtasks", "cap the pipeline length (0 = uncapped)",
+              &max_subtasks)
+      .addInt("max-periods", "cap the horizon in periods (0 = uncapped)",
+              &max_periods)
+      .addFlag("flat", "flatten the workload table to its mean", &flat)
+      .addFlag("no-shrink", "report failures without minimizing", &no_shrink)
+      .addFlag("verbose", "print every scenario as it runs", &verbose)
+      .addString("repro-out",
+                 "write the minimized reproducer command to this file",
+                 &repro_out);
+  if (!parser.parse(argc, argv)) {
+    return parser.helpRequested() ? 0 : 2;
+  }
+
+  const rtdrm::check::ShrinkSpec shrink =
+      shrinkFromFlags(max_subtasks, max_periods, flat);
+
+  if (replay_seed >= 0) {
+    const auto seed = static_cast<std::uint64_t>(replay_seed);
+    const rtdrm::check::FuzzScenario scenario =
+        rtdrm::check::makeFuzzScenario(seed, shrink);
+    std::cout << "replaying " << scenario.summary() << "\n";
+    const rtdrm::check::FuzzOutcome outcome =
+        rtdrm::check::runFuzzSeed(seed, shrink);
+    if (outcome.failed()) {
+      std::cout << "FAIL: " << outcome.detail << "\n";
+      return 1;
+    }
+    std::cout << "OK (" << outcome.checks << " oracle checks, replay "
+              << "byte-identical)\n";
+    return 0;
+  }
+
+  std::uint64_t total_checks = 0;
+  const auto first = static_cast<std::uint64_t>(start_seed);
+  const auto count = static_cast<std::uint64_t>(seeds);
+  for (std::uint64_t seed = first; seed < first + count; ++seed) {
+    if (verbose) {
+      std::cout << rtdrm::check::makeFuzzScenario(seed, shrink).summary()
+                << std::endl;
+    }
+    const rtdrm::check::FuzzOutcome outcome =
+        rtdrm::check::runFuzzSeed(seed, shrink);
+    total_checks += outcome.checks;
+    if (!outcome.failed()) {
+      if (!verbose && (seed - first + 1) % 50 == 0) {
+        std::cout << (seed - first + 1) << "/" << count << " seeds clean\n";
+      }
+      continue;
+    }
+
+    std::cout << "seed " << seed << " FAILED ("
+              << (outcome.invariants_ok ? "nondeterministic replay"
+                                        : "invariant violation")
+              << ")\n"
+              << outcome.detail << "\n";
+
+    rtdrm::check::ShrinkSpec minimal = shrink;
+    if (!no_shrink) {
+      std::cout << "shrinking...\n";
+      minimal = rtdrm::check::minimize(
+          seed, shrink,
+          [](std::uint64_t s, const rtdrm::check::ShrinkSpec& c) {
+            return rtdrm::check::runFuzzSeed(s, c).failed();
+          });
+      std::cout << "minimal scenario: "
+                << rtdrm::check::makeFuzzScenario(seed, minimal).summary()
+                << "\n";
+    }
+    const std::string repro = reproLine(seed, minimal);
+    std::cout << "reproduce with:\n  " << repro << "\n";
+    if (!repro_out.empty()) {
+      std::ofstream out(repro_out);
+      out << repro << "\n";
+    }
+    return 1;
+  }
+
+  std::cout << count << " seeds x 2 allocators x 2 runs: all invariants "
+            << "held, all replays byte-identical (" << total_checks
+            << " oracle checks)\n";
+  return 0;
+}
