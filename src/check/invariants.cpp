@@ -175,6 +175,35 @@ void InvariantOracle::checkPlacement(const task::Placement& placement,
         }
       }
     }
+    checkReplicaSetIndex(rs, s, cluster_size);
+  }
+}
+
+void InvariantOracle::checkReplicaSetIndex(const task::ReplicaSet& rs,
+                                           std::size_t stage,
+                                           std::size_t cluster_size) {
+  ++checks_run_;
+  // The membership bitset and the ordered node vector must describe the
+  // same set: contains() true for every listed node, false for every other
+  // id the cluster could offer.
+  std::size_t probe_range = cluster_size;
+  for (const ProcessorId p : rs.nodes()) {
+    probe_range = std::max<std::size_t>(probe_range, p.value + 2);
+  }
+  std::vector<bool> listed(probe_range, false);
+  for (const ProcessorId p : rs.nodes()) {
+    if (p.value < probe_range) {
+      listed[p.value] = true;
+    }
+  }
+  for (std::uint32_t i = 0; i < probe_range; ++i) {
+    if (rs.contains(ProcessorId{i}) != listed[i]) {
+      violate("replica-set-index",
+              "stage " + std::to_string(stage) + ": contains(" +
+                  std::to_string(i) + ") = " +
+                  (listed[i] ? "false" : "true") +
+                  " disagrees with the ordered node vector");
+    }
   }
 }
 
@@ -235,6 +264,92 @@ void InvariantOracle::checkClusterUtilization(const node::Cluster& cluster) {
               "node " + std::to_string(i) + " utilization " +
                   std::to_string(u) + " outside [0, 1]");
     }
+  }
+}
+
+void InvariantOracle::checkUtilizationIndex(const node::Cluster& cluster) {
+  ++checks_run_;
+  // Reference pmin scan (the seed's rule: strictly-lower utilization wins,
+  // ties to the lower id), with an optional one-node exclusion.
+  const auto scan_min =
+      [&cluster](std::uint32_t skip) -> std::optional<ProcessorId> {
+    std::optional<ProcessorId> best;
+    double best_u = 0.0;
+    for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+      if (i == skip) {
+        continue;
+      }
+      const double u = cluster.lastUtilization(ProcessorId{i}).value();
+      if (!best || u < best_u) {
+        best = ProcessorId{i};
+        best_u = u;
+      }
+    }
+    return best;
+  };
+
+  const auto indexed = cluster.leastUtilized({});
+  const auto reference = scan_min(0xffffffffu);
+  if (indexed != reference) {
+    violate("utilization-index-pmin",
+            "leastUtilized({}) = " +
+                (indexed ? std::to_string(indexed->value) : "none") +
+                ", reference scan says " +
+                (reference ? std::to_string(reference->value) : "none"));
+  }
+  // Excluding the minimum forces the index down its tie-break/exclusion
+  // path; the result must be the scan's runner-up.
+  if (indexed.has_value() && cluster.size() > 1) {
+    const auto second = cluster.leastUtilized({*indexed});
+    const auto second_ref = scan_min(indexed->value);
+    if (second != second_ref) {
+      violate("utilization-index-exclusion",
+              "leastUtilized(exclude pmin) = " +
+                  (second ? std::to_string(second->value) : "none") +
+                  ", reference scan says " +
+                  (second_ref ? std::to_string(second_ref->value) : "none"));
+    }
+  }
+
+  // The Fig.-5 growth order: a cursor with no initial exclusions must
+  // enumerate every node exactly once, in the same sequence that repeated
+  // leastUtilized() calls with a growing exclusion set produce.
+  {
+    auto cursor = cluster.utilizationCursor({});
+    std::vector<ProcessorId> grown;
+    bool order_ok = true;
+    while (const auto got = cursor.next()) {
+      const auto ref = cluster.leastUtilized(grown);
+      if (!ref || *ref != *got) {
+        violate("utilization-index-cursor",
+                "cursor yield " + std::to_string(grown.size()) + " = " +
+                    std::to_string(got->value) + ", repeated leastUtilized " +
+                    "says " + (ref ? std::to_string(ref->value) : "none"));
+        order_ok = false;
+        break;
+      }
+      grown.push_back(*got);
+    }
+    if (order_ok && grown.size() != cluster.size()) {
+      violate("utilization-index-cursor",
+              "cursor enumerated " + std::to_string(grown.size()) + " of " +
+                  std::to_string(cluster.size()) + " nodes");
+    }
+  }
+
+  // The Fig.-7 candidate set at the paper's UT = 20%: the pruned-DFS path
+  // must reproduce the scan's ascending-id set.
+  const Utilization ut = Utilization::percent(20.0);
+  std::vector<ProcessorId> ref_below;
+  for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.lastUtilization(ProcessorId{i}).value() < ut.value()) {
+      ref_below.push_back(ProcessorId{i});
+    }
+  }
+  if (cluster.belowUtilization(ut) != ref_below) {
+    violate("utilization-index-below",
+            "belowUtilization(20%) disagrees with the reference scan (" +
+                std::to_string(ref_below.size()) + " reference candidates)");
   }
 }
 
@@ -330,6 +445,7 @@ void InvariantOracle::checkAllocation(const core::Allocator& allocator,
 void InvariantOracle::sweep() {
   for (const node::Cluster* c : clusters_) {
     checkClusterUtilization(*c);
+    checkUtilizationIndex(*c);
   }
   for (const core::WorkloadLedger* l : ledgers_) {
     checkLedger(*l);

@@ -80,6 +80,15 @@ class InvariantOracle final : public core::ManagerObserver {
   void checkReceipt(const net::MessageReceipt& receipt);
   void checkLedger(const core::WorkloadLedger& ledger);
   void checkClusterUtilization(const node::Cluster& cluster);
+  /// Cross-checks the cluster's utilization min-index against the
+  /// reference linear scans: leastUtilized must agree with a fresh scan
+  /// (including under exclusion) and belowUtilization must reproduce the
+  /// scan's ascending-id candidate set.
+  void checkUtilizationIndex(const node::Cluster& cluster);
+  /// Membership bitset vs ordered vector: contains(p) must hold exactly
+  /// for the listed nodes.
+  void checkReplicaSetIndex(const task::ReplicaSet& rs, std::size_t stage,
+                            std::size_t cluster_size);
   void checkRecord(const task::PeriodRecord& record);
   void checkActions(const std::vector<core::Action>& actions,
                     const task::TaskSpec& spec);

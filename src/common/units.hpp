@@ -204,4 +204,10 @@ struct ProcessorId {
   constexpr auto operator<=>(const ProcessorId&) const = default;
 };
 
+/// "No specific node" sentinel: compares above every real processor id, so
+/// per-node lookups keyed by it (e.g. the exec-model override table in
+/// PredictiveModels::execLatencyOn) always miss and fall back to the
+/// shared stage model. Never index a cluster with it.
+inline constexpr ProcessorId kNoNode{0xffffffffu};
+
 }  // namespace rtdrm

@@ -31,15 +31,25 @@ ProcessorId selectShutdownVictim(const task::ReplicaSet& rs,
 SimDuration PredictiveAllocator::forecastReplicaLatency(
     const AllocationContext& ctx, std::size_t stage,
     std::size_t replica_count, Utilization u) const {
-  // No specific node: an id beyond any override table falls back to the
-  // stage model.
-  return forecastReplicaLatencyOn(ctx, stage, replica_count,
-                                  ProcessorId{0xffffffffu}, u);
+  // No specific node: kNoNode misses the override table and falls back to
+  // the stage model (PredictiveModels::execLatencyOn contract).
+  return forecastReplicaLatencyOn(ctx, stage, replica_count, kNoNode, u);
 }
 
 SimDuration PredictiveAllocator::forecastReplicaLatencyOn(
     const AllocationContext& ctx, std::size_t stage,
     std::size_t replica_count, ProcessorId node, Utilization u) const {
+  // Dbuf depends on the cluster-wide periodic workload (eq. 5), plus the
+  // planning margin on this task's own contribution.
+  const DataSize eq5_total =
+      ctx.effectiveTotal() + ctx.workload * config_.workload_headroom;
+  return forecastWithTotal(ctx, stage, replica_count, node, u, eq5_total);
+}
+
+SimDuration PredictiveAllocator::forecastWithTotal(
+    const AllocationContext& ctx, std::size_t stage,
+    std::size_t replica_count, ProcessorId node, Utilization u,
+    DataSize eq5_total) const {
   RTDRM_ASSERT(replica_count >= 1);
   // Optional provisioning margin on the observed workload.
   const DataSize planned =
@@ -51,12 +61,8 @@ SimDuration PredictiveAllocator::forecastReplicaLatencyOn(
   // The first stage has no predecessor message.
   SimDuration ecd = SimDuration::zero();
   if (stage > 0) {
-    // Dbuf depends on the cluster-wide periodic workload (eq. 5), plus the
-    // same planning margin on this task's own contribution.
-    const DataSize total =
-        ctx.effectiveTotal() + ctx.workload * config_.workload_headroom;
     ecd = models_.commDelay(share, ctx.spec.messages[stage - 1].bytes_per_track,
-                            total);
+                            eq5_total);
   }
   return eex + ecd;
 }
@@ -68,14 +74,22 @@ AllocStatus PredictiveAllocator::replicate(const AllocationContext& ctx,
   const double budget = ctx.budgets.stageBudgetMs(stage);
   const double limit = budget - ctx.slack_fraction * budget;  // dl - sl
 
+  // The eq.-5 total workload is a property of the period, not of the
+  // candidate replica set — hoist it out of the step-6 re-check loop.
+  const DataSize eq5_total =
+      ctx.effectiveTotal() + ctx.workload * config_.workload_headroom;
+
   // Fig. 5, steps 2-7: the monitor calls us because the observed slack is
   // low, so at least one replica is always added. After each addition the
   // forecast is re-checked for *every* replica (each now processes a
   // smaller 1/k share); on any violation another processor is taken — the
   // least utilized one not yet hosting the subtask — until the forecast
-  // fits or processors run out.
+  // fits or processors run out. The cursor yields processors in exactly
+  // the order repeated leastUtilized(rs.nodes()) queries would (the sample
+  // is fixed for the whole decision), at amortized O(log P) per addition.
+  auto cursor = ctx.cluster.utilizationCursor(rs.nodes());
   while (true) {
-    const auto pmin = ctx.cluster.leastUtilized(rs.nodes());
+    const auto pmin = cursor.next();
     if (!pmin) {
       RTDRM_LOG(kDebug) << "predictive: out of processors for stage "
                         << stage << " (|PS|=" << rs.size() << ")";
@@ -86,7 +100,7 @@ AllocStatus PredictiveAllocator::replicate(const AllocationContext& ctx,
     bool all_fit = true;  // step 6
     for (ProcessorId q : rs.nodes()) {
       const Utilization u = ctx.cluster.lastUtilization(q);
-      if (forecastReplicaLatencyOn(ctx, stage, rs.size(), q, u).ms() >
+      if (forecastWithTotal(ctx, stage, rs.size(), q, u, eq5_total).ms() >
           limit) {
         all_fit = false;  // step 6.6: need another replica
         break;
@@ -102,17 +116,17 @@ AllocStatus NonPredictiveAllocator::replicate(const AllocationContext& ctx,
                                               std::size_t stage,
                                               task::ReplicaSet& rs) {
   RTDRM_ASSERT(stage < ctx.spec.stageCount());
-  // Fig. 7: add every processor whose utilization is below UT.
+  // Fig. 7: add every processor whose utilization is below UT. The
+  // candidate set comes from the cluster's utilization index (ascending id
+  // order, same as the seed's full scan), so the work is proportional to
+  // the below-threshold nodes rather than the cluster size.
   bool added = false;
-  for (std::uint32_t i = 0; i < ctx.cluster.size(); ++i) {
-    const ProcessorId p{i};
+  for (const ProcessorId p : ctx.cluster.belowUtilization(threshold_)) {
     if (rs.contains(p)) {
       continue;
     }
-    if (ctx.cluster.lastUtilization(p) < threshold_) {
-      rs.add(p);
-      added = true;
-    }
+    rs.add(p);
+    added = true;
   }
   return added ? AllocStatus::kSuccess : AllocStatus::kNoChange;
 }

@@ -110,6 +110,15 @@ class PredictiveAllocator final : public Allocator {
                                        Utilization u) const;
 
  private:
+  /// The forecast body with the eq.-5 total workload precomputed: the
+  /// total is invariant across the candidates of one replicate() call, so
+  /// the Fig.-5 step-6 loop hoists it instead of re-deriving it per
+  /// replica.
+  SimDuration forecastWithTotal(const AllocationContext& ctx,
+                                std::size_t stage, std::size_t replica_count,
+                                ProcessorId node, Utilization u,
+                                DataSize eq5_total) const;
+
   PredictiveModels models_;
   PredictiveConfig config_;
 };

@@ -29,6 +29,7 @@ class WorkloadLedger {
   TaskId registerTask(std::string name) {
     names_.push_back(std::move(name));
     current_.push_back(DataSize::zero());
+    total_dirty_ = true;
     return TaskId{names_.size() - 1};
   }
 
@@ -42,6 +43,7 @@ class WorkloadLedger {
   void post(TaskId id, DataSize workload) {
     RTDRM_ASSERT(id.value < current_.size());
     current_[id.value] = workload;
+    total_dirty_ = true;
   }
 
   DataSize posted(TaskId id) const {
@@ -49,18 +51,29 @@ class WorkloadLedger {
     return current_[id.value];
   }
 
-  /// The eq.-5 sum over all registered tasks.
+  /// The eq.-5 sum over all registered tasks. Posts happen once per task
+  /// per period while forecasts read the total once per candidate, so the
+  /// sum is cached behind a dirty flag. The recomputation always walks the
+  /// tasks in registration order — the same order a fresh re-sum would —
+  /// so the cached float total is bit-exact with an uncached one (the
+  /// invariant oracle's checkLedger compares exactly that).
   DataSize total() const {
-    DataSize sum = DataSize::zero();
-    for (const DataSize d : current_) {
-      sum += d;
+    if (total_dirty_) {
+      DataSize sum = DataSize::zero();
+      for (const DataSize d : current_) {
+        sum += d;
+      }
+      cached_total_ = sum;
+      total_dirty_ = false;
     }
-    return sum;
+    return cached_total_;
   }
 
  private:
   std::vector<std::string> names_;
   std::vector<DataSize> current_;
+  mutable DataSize cached_total_ = DataSize::zero();
+  mutable bool total_dirty_ = false;
 };
 
 }  // namespace rtdrm::core

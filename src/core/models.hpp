@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/units.hpp"
 #include "regress/comm_model.hpp"
 #include "regress/exec_model.hpp"
@@ -35,9 +36,14 @@ struct PredictiveModels {
   }
 
   /// eex on a specific node: the per-node override when one has been
-  /// learned, else the stage model.
+  /// learned, else the stage model. Passing `kNoNode` requests the stage
+  /// model explicitly.
   SimDuration execLatencyOn(std::size_t stage, ProcessorId node, DataSize d,
                             Utilization u) const {
+    // Fallback contract: kNoNode sits above every real id, so it can never
+    // alias an override slot — it (and any node without a learned
+    // override) lands on the shared stage model below.
+    RTDRM_ASSERT(node == kNoNode || node.value < kNoNode.value);
     if (stage < exec_overrides.size() &&
         node.value < exec_overrides[stage].size() &&
         exec_overrides[stage][node.value].has_value()) {

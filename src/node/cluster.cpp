@@ -15,6 +15,7 @@ Cluster::Cluster(sim::Simulator& simulator, std::size_t node_count,
                    "speeds must be empty or one per node");
   cpus_.reserve(node_count);
   probes_.reserve(node_count);
+  ids_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
     ProcessorConfig cfg = cpu_config;
     if (!speeds.empty()) {
@@ -23,8 +24,10 @@ Cluster::Cluster(sim::Simulator& simulator, std::size_t node_count,
     cpus_.push_back(std::make_unique<Processor>(
         simulator, ProcessorId{static_cast<std::uint32_t>(i)}, cfg));
     probes_.emplace_back(simulator, *cpus_.back());
+    ids_.push_back(ProcessorId{static_cast<std::uint32_t>(i)});
   }
   last_sample_.assign(node_count, Utilization::zero());
+  exclude_bits_.assign((node_count + 63) / 64, 0);
 }
 
 Processor& Cluster::processor(ProcessorId id) {
@@ -35,15 +38,6 @@ Processor& Cluster::processor(ProcessorId id) {
 const Processor& Cluster::processor(ProcessorId id) const {
   RTDRM_ASSERT(id.value < cpus_.size());
   return *cpus_[id.value];
-}
-
-std::vector<ProcessorId> Cluster::ids() const {
-  std::vector<ProcessorId> out;
-  out.reserve(cpus_.size());
-  for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
-    out.push_back(ProcessorId{i});
-  }
-  return out;
 }
 
 void Cluster::attachBackgroundLoad(const RngStreams& streams,
@@ -65,6 +59,10 @@ const std::vector<Utilization>& Cluster::sampleUtilization() {
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     last_sample_[i] = probes_[i].sample();
   }
+  // Invalidate, don't rebuild: periods with no management action never pay
+  // for the index, and one rebuild serves every query until the next
+  // sample.
+  ++sample_generation_;
   return last_sample_;
 }
 
@@ -81,7 +79,43 @@ Utilization Cluster::meanUtilization() const {
   return Utilization::fraction(sum / static_cast<double>(last_sample_.size()));
 }
 
-std::optional<ProcessorId> Cluster::leastUtilized(
+void Cluster::rebuildIndex() const {
+  const std::size_t n = last_sample_.size();
+  util_heap_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util_heap_[i] = {last_sample_[i].value(),
+                     static_cast<std::uint32_t>(i)};
+  }
+  // Bottom-up 4-ary heapify: sift down every internal node.
+  if (n > 1) {
+    for (std::size_t root = (n - 2) / 4 + 1; root-- > 0;) {
+      std::size_t hole = root;
+      const UtilEntry moved = util_heap_[hole];
+      while (true) {
+        const std::size_t first_child = 4 * hole + 1;
+        if (first_child >= n) {
+          break;
+        }
+        std::size_t best = first_child;
+        const std::size_t last_child = std::min(first_child + 4, n);
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+          if (keyLess(util_heap_[c], util_heap_[best])) {
+            best = c;
+          }
+        }
+        if (!keyLess(util_heap_[best], moved)) {
+          break;
+        }
+        util_heap_[hole] = util_heap_[best];
+        hole = best;
+      }
+      util_heap_[hole] = moved;
+    }
+  }
+  index_generation_ = sample_generation_;
+}
+
+std::optional<ProcessorId> Cluster::leastUtilizedScan(
     const std::vector<ProcessorId>& exclude) const {
   std::optional<ProcessorId> best;
   double best_u = 0.0;
@@ -97,6 +131,154 @@ std::optional<ProcessorId> Cluster::leastUtilized(
     }
   }
   return best;
+}
+
+std::optional<ProcessorId> Cluster::leastUtilized(
+    const std::vector<ProcessorId>& exclude) const {
+  if (!index_enabled_) {
+    return leastUtilizedScan(exclude);
+  }
+  if (index_generation_ != sample_generation_) {
+    rebuildIndex();
+  }
+  std::fill(exclude_bits_.begin(), exclude_bits_.end(), 0);
+  for (const ProcessorId p : exclude) {
+    if (p.value < cpus_.size()) {  // out-of-range ids can never match
+      exclude_bits_[p.value >> 6] |= std::uint64_t{1} << (p.value & 63);
+    }
+  }
+
+  // Best-first descent: the frontier holds roots of unexplored subtrees,
+  // ordered by key. Every unexplored entry lies below some frontier root
+  // and so has a key >= its root's; hence the first non-excluded entry
+  // popped is the global minimum over all non-excluded nodes. Each
+  // excluded pop expands at most 4 children, so the work is proportional
+  // to the excluded entries actually in the way, not to the cluster size.
+  const auto greater = [this](std::uint32_t a, std::uint32_t b) {
+    return keyLess(util_heap_[b], util_heap_[a]);
+  };
+  frontier_.clear();
+  frontier_.push_back(0);
+  const std::size_t n = util_heap_.size();
+  while (!frontier_.empty()) {
+    std::pop_heap(frontier_.begin(), frontier_.end(), greater);
+    const std::uint32_t i = frontier_.back();
+    frontier_.pop_back();
+    const UtilEntry& e = util_heap_[i];
+    if ((exclude_bits_[e.id >> 6] >> (e.id & 63) & 1u) == 0) {
+      return ProcessorId{e.id};
+    }
+    const std::size_t first_child = 4 * static_cast<std::size_t>(i) + 1;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      frontier_.push_back(static_cast<std::uint32_t>(c));
+      std::push_heap(frontier_.begin(), frontier_.end(), greater);
+    }
+  }
+  return std::nullopt;
+}
+
+Cluster::UtilizationCursor::UtilizationCursor(
+    const Cluster& cluster, const std::vector<ProcessorId>& exclude)
+    : cluster_(&cluster), use_index_(cluster.index_enabled_) {
+  if (!use_index_) {
+    // Reference mode reproduces the seed's cost model: one full scan per
+    // yield, against the accumulated exclusion list.
+    scan_exclude_ = exclude;
+    return;
+  }
+  if (cluster.index_generation_ != cluster.sample_generation_) {
+    cluster.rebuildIndex();
+  }
+  generation_ = cluster.sample_generation_;
+  exclude_bits_.assign(cluster.exclude_bits_.size(), 0);
+  for (const ProcessorId p : exclude) {
+    if (p.value < cluster.cpus_.size()) {  // out-of-range ids never match
+      exclude_bits_[p.value >> 6] |= std::uint64_t{1} << (p.value & 63);
+    }
+  }
+  if (!cluster.util_heap_.empty()) {
+    frontier_.push_back(0);
+  }
+}
+
+std::optional<ProcessorId> Cluster::UtilizationCursor::next() {
+  if (!use_index_) {
+    const auto got = cluster_->leastUtilizedScan(scan_exclude_);
+    if (got) {
+      scan_exclude_.push_back(*got);
+    }
+    return got;
+  }
+  RTDRM_ASSERT_MSG(generation_ == cluster_->sample_generation_,
+                   "utilization cursor outlived its sample");
+  // Best-first over the 4-ary heap, children pushed on every pop: keys
+  // come out in globally sorted (u, id) order, each heap node is expanded
+  // exactly once, and excluded or already-yielded entries are simply
+  // skipped — so yield k+1 is the minimum over nodes outside
+  // (exclude ∪ yields 1..k), which is precisely what a fresh
+  // leastUtilized() with that grown exclusion set would return.
+  const auto& heap = cluster_->util_heap_;
+  const auto greater = [&heap](std::uint32_t a, std::uint32_t b) {
+    return keyLess(heap[b], heap[a]);
+  };
+  const std::size_t n = heap.size();
+  while (!frontier_.empty()) {
+    std::pop_heap(frontier_.begin(), frontier_.end(), greater);
+    const std::uint32_t i = frontier_.back();
+    frontier_.pop_back();
+    const std::size_t first_child = 4 * static_cast<std::size_t>(i) + 1;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      frontier_.push_back(static_cast<std::uint32_t>(c));
+      std::push_heap(frontier_.begin(), frontier_.end(), greater);
+    }
+    const UtilEntry& e = heap[i];
+    if ((exclude_bits_[e.id >> 6] >> (e.id & 63) & 1u) == 0) {
+      return ProcessorId{e.id};
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<ProcessorId>& Cluster::belowUtilization(
+    Utilization limit) const {
+  below_scratch_.clear();
+  const double lim = limit.value();
+  if (!index_enabled_) {
+    for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
+      if (last_sample_[i].value() < lim) {
+        below_scratch_.push_back(ProcessorId{i});
+      }
+    }
+    return below_scratch_;
+  }
+  if (index_generation_ != sample_generation_) {
+    rebuildIndex();
+  }
+  // Pruned DFS: a subtree whose root is already at or above the limit
+  // cannot contain a below-limit node. Matches are then put in ascending
+  // id order — the order Fig. 7 adds them in, and the order the scan
+  // produced — so downstream decisions are unchanged.
+  frontier_.clear();
+  const std::size_t n = util_heap_.size();
+  if (n > 0 && util_heap_[0].u < lim) {
+    frontier_.push_back(0);
+  }
+  while (!frontier_.empty()) {
+    const std::uint32_t i = frontier_.back();
+    frontier_.pop_back();
+    below_scratch_.push_back(ProcessorId{util_heap_[i].id});
+    const std::size_t first_child = 4 * static_cast<std::size_t>(i) + 1;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      if (util_heap_[c].u < lim) {
+        frontier_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+  std::sort(below_scratch_.begin(), below_scratch_.end());
+  return below_scratch_;
 }
 
 }  // namespace rtdrm::node

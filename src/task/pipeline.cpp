@@ -22,6 +22,16 @@ PipelineRun::PipelineRun(Runtime rt, const TaskSpec& spec,
   record_.workload = workload;
   record_.release = rt_.sim.now();
   record_.stages.resize(spec_.stageCount());
+  // Tags are diagnostic-only (never interpreted); build them once per run,
+  // not once per replica — at 256 nodes a stage submits hundreds of jobs.
+  job_tags_.reserve(spec_.stageCount());
+  for (const SubtaskSpec& st : spec_.subtasks) {
+    job_tags_.push_back(spec_.name + "/" + st.name);
+  }
+  msg_tags_.reserve(spec_.stageCount());
+  for (std::size_t s = 1; s < spec_.stageCount(); ++s) {
+    msg_tags_.push_back(spec_.name + "/m" + std::to_string(s));
+  }
   cutoff_event_ = rt_.sim.scheduleAfter(
       spec_.period * config_.cutoff_periods, [this] { abortAtCutoff(); });
   beginStage(0);
@@ -30,8 +40,11 @@ PipelineRun::PipelineRun(Runtime rt, const TaskSpec& spec,
 PipelineRun::~PipelineRun() {
   if (!finished_) {
     rt_.sim.cancel(cutoff_event_);
-    for (const auto& [pid, jid] : outstanding_) {
-      rt_.cluster.processor(pid).abort(jid);
+    for (std::size_t i = outstanding_head_; i < outstanding_.size(); ++i) {
+      if (outstanding_[i].first != kNoNode) {
+        rt_.cluster.processor(outstanding_[i].first)
+            .abort(outstanding_[i].second);
+      }
     }
     finished_ = true;
   }
@@ -49,6 +62,8 @@ void PipelineRun::beginStage(std::size_t s) {
   rec.replicas = k;
   pending_in_stage_ = k;
   stage_start_true_ = rt_.sim.now();
+
+  replica_exec_start_.assign(k, SimTime{});
 
   if (s == 0) {
     // Sensor data is resident on the first subtask's node(s); no wire hop.
@@ -69,15 +84,19 @@ void PipelineRun::beginStage(std::size_t s) {
       Bytes::of(share.count() * spec_.messages[s - 1].bytes_per_track);
   for (std::size_t r = 0; r < k; ++r) {
     const ProcessorId to = rs.nodes()[r];
+    // 16-byte capture: fits std::function's inline buffer, so the hot path
+    // stays allocation-free (hundreds of messages per stage at 256 nodes).
+    const auto s32 = static_cast<std::uint32_t>(s);
+    const auto r32 = static_cast<std::uint32_t>(r);
     rt_.net.send(net::Message{
-        from, to, payload, spec_.name + "/m" + std::to_string(s),
-        [this, s, r](const net::MessageReceipt& receipt) {
+        from, to, payload, msg_tags_[s - 1],
+        [this, s32, r32](const net::MessageReceipt& receipt) {
           RTDRM_ASSERT(inflight_msgs_ > 0);
           --inflight_msgs_;
           if (finished_) {
             return;  // aborted while the frame was in flight
           }
-          onMessageDelivered(s, r, receipt.totalDelay(),
+          onMessageDelivered(s32, r32, receipt.totalDelay(),
                              receipt.bufferDelay());
         }});
     ++inflight_msgs_;
@@ -102,11 +121,15 @@ void PipelineRun::submitReplicaJob(std::size_t s, std::size_t r,
   const SubtaskSpec& st = spec_.subtasks[s];
   const SimDuration demand =
       st.cost.demand(share) * rng_.lognormalUnitMean(st.noise_sigma);
+  // The start stamp lives in replica_exec_start_ so the completion capture
+  // is 16 bytes and std::function stores it inline (no allocation per job).
+  replica_exec_start_[r] = exec_start;
+  const auto s32 = static_cast<std::uint32_t>(s);
+  const auto r32 = static_cast<std::uint32_t>(r);
   const node::JobId jid = rt_.cluster.processor(pid).submit(node::Job{
       demand,
-      [this, s, r, exec_start] { onReplicaDone(s, r, exec_start); },
-      spec_.name + "/" + st.name + "#" + std::to_string(r),
-      config_.job_priority});
+      [this, s32, r32] { onReplicaDone(s32, r32, replica_exec_start_[r32]); },
+      job_tags_[s], config_.job_priority});
   outstanding_.emplace_back(pid, jid);
 }
 
@@ -117,13 +140,18 @@ void PipelineRun::onReplicaDone(std::size_t s, std::size_t r,
   }
   const ProcessorId pid = placement_.stage(s).nodes()[r];
   // Drop the bookkeeping entry (jobs finish roughly in submission order, so
-  // a linear scan is cheap).
-  for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
-    if (it->first == pid) {
-      // Conservative: the first entry on this processor is the oldest.
-      outstanding_.erase(it);
+  // a linear scan from the live head is cheap). Tombstone instead of erase:
+  // erasing would shift the tail on every completion.
+  for (std::size_t i = outstanding_head_; i < outstanding_.size(); ++i) {
+    if (outstanding_[i].first == pid) {
+      // Conservative: the first live entry on this processor is the oldest.
+      outstanding_[i].first = kNoNode;
       break;
     }
+  }
+  while (outstanding_head_ < outstanding_.size() &&
+         outstanding_[outstanding_head_].first == kNoNode) {
+    ++outstanding_head_;
   }
   StageRecord& rec = record_.stages[s];
   const SimDuration exec = rt_.sim.now() - exec_start;
@@ -161,10 +189,14 @@ void PipelineRun::complete() {
 }
 
 void PipelineRun::abortAtCutoff() {
-  for (const auto& [pid, jid] : outstanding_) {
-    rt_.cluster.processor(pid).abort(jid);
+  for (std::size_t i = outstanding_head_; i < outstanding_.size(); ++i) {
+    if (outstanding_[i].first != kNoNode) {
+      rt_.cluster.processor(outstanding_[i].first)
+          .abort(outstanding_[i].second);
+    }
   }
   outstanding_.clear();
+  outstanding_head_ = 0;
   record_.finish = rt_.sim.now();
   record_.completed = false;
   finished_ = true;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -114,8 +115,21 @@ class PipelineRun {
   /// Node whose clock stamped the current stage's start (sender side).
   ProcessorId stage_start_node_{};
   SimTime stage_start_true_;
-  /// Outstanding CPU jobs for abort: (processor, job).
+  /// Per-replica execution start stamps for the current stage. Kept out of
+  /// the completion closures so their captures fit std::function's inline
+  /// buffer (stages are strictly sequential, so one vector suffices).
+  std::vector<SimTime> replica_exec_start_;
+  /// Diagnostic tags, one per stage, built once per run: a job or message
+  /// carries a copy instead of re-concatenating per replica.
+  std::vector<std::string> job_tags_;
+  std::vector<std::string> msg_tags_;
+  /// Outstanding CPU jobs for abort: (processor, job). Completed entries
+  /// are tombstoned (processor = kNoNode) rather than erased — an erase
+  /// would shift the whole tail once per completion — and `head_` skips the
+  /// dead prefix. The live entries keep submission order, so "first live
+  /// entry on this processor" still selects the oldest.
   std::vector<std::pair<ProcessorId, node::JobId>> outstanding_;
+  std::size_t outstanding_head_ = 0;
   sim::EventId cutoff_event_{};
   std::size_t inflight_msgs_ = 0;
   bool finished_ = false;

@@ -22,17 +22,23 @@ void TaskSpec::validate() const {
   }
 }
 
-bool ReplicaSet::contains(ProcessorId p) const {
-  return std::find(nodes_.begin(), nodes_.end(), p) != nodes_.end();
+void ReplicaSet::insert(ProcessorId p) {
+  const std::size_t word = p.value >> 6;
+  if (word >= bits_.size()) {
+    bits_.resize(word + 1, 0);
+  }
+  bits_[word] |= std::uint64_t{1} << (p.value & 63);
+  nodes_.push_back(p);
 }
 
 void ReplicaSet::add(ProcessorId p) {
   RTDRM_ASSERT_MSG(!contains(p), "processor already hosts a replica");
-  nodes_.push_back(p);
+  insert(p);
 }
 
 void ReplicaSet::removeLast() {
   RTDRM_ASSERT_MSG(nodes_.size() > 1, "cannot remove the primary replica");
+  clearBit(nodes_.back());
   nodes_.pop_back();
 }
 
@@ -40,6 +46,7 @@ void ReplicaSet::remove(ProcessorId p) {
   RTDRM_ASSERT_MSG(p != primary(), "cannot remove the primary replica");
   const auto it = std::find(nodes_.begin(), nodes_.end(), p);
   RTDRM_ASSERT_MSG(it != nodes_.end(), "no replica on that processor");
+  clearBit(p);
   nodes_.erase(it);
 }
 

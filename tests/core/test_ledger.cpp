@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
 namespace rtdrm::core {
 namespace {
 
@@ -47,6 +52,51 @@ TEST(WorkloadLedgerDeathTest, PostOutOfRangeAsserts) {
   WorkloadLedger ledger;
   EXPECT_DEATH(ledger.post(WorkloadLedger::TaskId{3}, DataSize::zero()),
                "assertion");
+}
+
+// The cached total must be *bit-exact* with a fresh registration-order
+// re-sum after any interleaving of posts, reads, and registrations —
+// floating-point sums are order-sensitive, so the cache recomputes in the
+// same fixed order a fresh sum uses.
+TEST(WorkloadLedger, CachedTotalBitExactAcrossInterleavings) {
+  Xoshiro256 rng(97);
+  WorkloadLedger ledger;
+  std::vector<WorkloadLedger::TaskId> tasks;
+  for (int t = 0; t < 5; ++t) {
+    tasks.push_back(ledger.registerTask("T" + std::to_string(t)));
+  }
+  for (int step = 0; step < 300; ++step) {
+    const auto id = tasks[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(tasks.size()) - 1))];
+    // Awkward, non-representable values so any re-ordering of the sum
+    // would actually show up in the low bits.
+    ledger.post(id, DataSize::tracks(rng.uniform01() * 0.1 + 1.0 / 3.0));
+    if (step % 7 == 0) {
+      tasks.push_back(
+          ledger.registerTask("L" + std::to_string(tasks.size())));
+    }
+    double fresh = 0.0;
+    for (std::size_t t = 0; t < ledger.taskCount(); ++t) {
+      fresh += ledger.posted(WorkloadLedger::TaskId{t}).count();
+    }
+    // Bit-exact, not NEAR: the cache recomputes in registration order.
+    ASSERT_EQ(ledger.total().count(), fresh) << "step " << step;
+    // A second read serves the cache; it must not drift.
+    ASSERT_EQ(ledger.total().count(), fresh) << "step " << step;
+  }
+}
+
+TEST(WorkloadLedger, CacheInvalidatedByPostAndRegister) {
+  WorkloadLedger ledger;
+  const auto a = ledger.registerTask("A");
+  ledger.post(a, DataSize::tracks(100.0));
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 100.0);  // prime the cache
+  ledger.post(a, DataSize::tracks(250.0));
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 250.0);  // post dirties it
+  const auto b = ledger.registerTask("B");
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 250.0);  // new task adds zero
+  ledger.post(b, DataSize::tracks(50.0));
+  EXPECT_DOUBLE_EQ(ledger.total().count(), 300.0);
 }
 
 }  // namespace

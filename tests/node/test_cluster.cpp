@@ -73,6 +73,155 @@ TEST(Cluster, LeastUtilizedTieBreaksToLowerId) {
   EXPECT_EQ(*least, (ProcessorId{1}));
 }
 
+TEST(Cluster, LeastUtilizedAllZeroStartupPicksLowestId) {
+  // The Fig.-5 determinism contract: at startup every sampled utilization
+  // is zero, so pmin must be the lowest id — through the index and through
+  // the reference scan alike.
+  sim::Simulator sim;
+  Cluster cluster(sim, 64);
+  cluster.sampleUtilization();
+  ASSERT_TRUE(cluster.leastUtilized({}).has_value());
+  EXPECT_EQ(*cluster.leastUtilized({}), (ProcessorId{0}));
+  cluster.setUtilizationIndexEnabled(false);
+  EXPECT_EQ(*cluster.leastUtilized({}), (ProcessorId{0}));
+}
+
+TEST(Cluster, IdsAreCachedAndStable) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 5);
+  const auto& a = cluster.ids();
+  const auto& b = cluster.ids();
+  EXPECT_EQ(&a, &b);  // same backing storage, no per-call allocation
+  ASSERT_EQ(a.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i], (ProcessorId{i}));
+  }
+}
+
+// Load a cluster with a deterministic spread of utilizations (node i busy
+// for i ms of a 100 ms window, with deliberate duplicates) and compare the
+// indexed queries against the seed's linear scans across many exclusion
+// sets and fresh samples.
+TEST(Cluster, IndexMatchesReferenceScanUnderChurn) {
+  sim::Simulator sim;
+  constexpr std::uint32_t kNodes = 37;
+  Cluster cluster(sim, kNodes);
+  Xoshiro256 rng(4242);
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      // Duplicate utilization classes (i % 9) force tie-breaks.
+      const double busy_ms = static_cast<double>(i % 9) * 7.0;
+      if (busy_ms > 0.0) {
+        cluster.processor(ProcessorId{i}).submit(
+            Job{SimDuration::millis(busy_ms), nullptr, "load"});
+      }
+    }
+    sim.runFor(SimDuration::millis(100.0));
+    cluster.sampleUtilization();
+
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<ProcessorId> exclude;
+      const auto count = rng.uniformInt(0, kNodes);
+      for (std::int64_t k = 0; k < count; ++k) {
+        exclude.push_back(ProcessorId{
+            static_cast<std::uint32_t>(rng.uniformInt(0, kNodes - 1))});
+      }
+      cluster.setUtilizationIndexEnabled(true);
+      const auto indexed = cluster.leastUtilized(exclude);
+      cluster.setUtilizationIndexEnabled(false);
+      const auto scanned = cluster.leastUtilized(exclude);
+      cluster.setUtilizationIndexEnabled(true);
+      ASSERT_EQ(indexed, scanned)
+          << "round " << round << " trial " << trial;
+    }
+  }
+}
+
+TEST(Cluster, BelowUtilizationMatchesScanAndIsAscending) {
+  sim::Simulator sim;
+  constexpr std::uint32_t kNodes = 23;
+  Cluster cluster(sim, kNodes);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    const double busy_ms = static_cast<double>((i * 13) % 50);
+    if (busy_ms > 0.0) {
+      cluster.processor(ProcessorId{i}).submit(
+          Job{SimDuration::millis(busy_ms), nullptr, "load"});
+    }
+  }
+  sim.runFor(SimDuration::millis(100.0));
+  cluster.sampleUtilization();
+
+  for (const double pct : {0.0, 10.0, 20.0, 35.0, 100.0}) {
+    const Utilization limit = Utilization::percent(pct);
+    cluster.setUtilizationIndexEnabled(false);
+    const std::vector<ProcessorId> scanned = cluster.belowUtilization(limit);
+    cluster.setUtilizationIndexEnabled(true);
+    const std::vector<ProcessorId>& indexed = cluster.belowUtilization(limit);
+    ASSERT_EQ(indexed, scanned) << "limit " << pct << "%";
+    for (std::size_t i = 1; i < indexed.size(); ++i) {
+      EXPECT_LT(indexed[i - 1].value, indexed[i].value);
+    }
+  }
+}
+
+// The cursor must yield exactly the sequence that the Fig.-5 growth loop
+// historically produced with one leastUtilized(exclude) query per added
+// replica — in both index and reference-scan modes.
+TEST(Cluster, CursorMatchesRepeatedLeastUtilizedQueries) {
+  sim::Simulator sim;
+  constexpr std::uint32_t kNodes = 29;
+  Cluster cluster(sim, kNodes);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    // Duplicate utilization classes force tie-breaks mid-sequence.
+    const double busy_ms = static_cast<double>((i * 5) % 11) * 6.0;
+    if (busy_ms > 0.0) {
+      cluster.processor(ProcessorId{i}).submit(
+          Job{SimDuration::millis(busy_ms), nullptr, "load"});
+    }
+  }
+  sim.runFor(SimDuration::millis(100.0));
+  cluster.sampleUtilization();
+
+  for (const bool use_index : {true, false}) {
+    cluster.setUtilizationIndexEnabled(use_index);
+    const std::vector<ProcessorId> initial{ProcessorId{3}, ProcessorId{17}};
+    auto cursor = cluster.utilizationCursor(initial);
+    std::vector<ProcessorId> exclude = initial;
+    std::size_t yields = 0;
+    while (const auto got = cursor.next()) {
+      cluster.setUtilizationIndexEnabled(true);
+      const auto ref_indexed = cluster.leastUtilized(exclude);
+      cluster.setUtilizationIndexEnabled(false);
+      const auto ref_scan = cluster.leastUtilized(exclude);
+      cluster.setUtilizationIndexEnabled(use_index);
+      ASSERT_TRUE(ref_indexed.has_value());
+      ASSERT_EQ(*got, *ref_indexed) << "yield " << yields;
+      ASSERT_EQ(*got, *ref_scan) << "yield " << yields;
+      exclude.push_back(*got);
+      ++yields;
+    }
+    EXPECT_EQ(yields, kNodes - initial.size()) << "use_index " << use_index;
+  }
+  cluster.setUtilizationIndexEnabled(true);
+}
+
+TEST(Cluster, IndexRefreshesAfterEachSample) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  cluster.processor(ProcessorId{0}).submit(
+      Job{SimDuration::millis(8.0), nullptr, "x"});
+  sim.runFor(SimDuration::millis(10.0));
+  cluster.sampleUtilization();
+  EXPECT_EQ(*cluster.leastUtilized({ProcessorId{1}}), (ProcessorId{2}));
+  // New window: now node 2 is the busy one; the next query must see the
+  // fresh sample, not the stale heap.
+  cluster.processor(ProcessorId{2}).submit(
+      Job{SimDuration::millis(8.0), nullptr, "y"});
+  sim.runFor(SimDuration::millis(10.0));
+  cluster.sampleUtilization();
+  EXPECT_EQ(*cluster.leastUtilized({ProcessorId{1}}), (ProcessorId{0}));
+}
+
 TEST(Cluster, BackgroundLoadAttachesPerNode) {
   sim::Simulator sim;
   Cluster cluster(sim, 3);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.hpp"
+
 namespace rtdrm::task {
 namespace {
 
@@ -132,6 +136,52 @@ TEST(Placement, CopyIsIndependentSnapshot) {
   a.stage(0).add(ProcessorId{1});
   EXPECT_EQ(a.stage(0).size(), 2u);
   EXPECT_EQ(b.stage(0).size(), 1u);
+}
+
+TEST(ReplicaSet, ContainsSpansMultipleBitsetWords) {
+  ReplicaSet rs(ProcessorId{130});  // third 64-bit word
+  rs.add(ProcessorId{0});
+  rs.add(ProcessorId{63});
+  rs.add(ProcessorId{64});
+  EXPECT_TRUE(rs.contains(ProcessorId{130}));
+  EXPECT_TRUE(rs.contains(ProcessorId{0}));
+  EXPECT_TRUE(rs.contains(ProcessorId{63}));
+  EXPECT_TRUE(rs.contains(ProcessorId{64}));
+  EXPECT_FALSE(rs.contains(ProcessorId{129}));
+  EXPECT_FALSE(rs.contains(ProcessorId{131}));
+  EXPECT_FALSE(rs.contains(ProcessorId{1000}));
+  rs.remove(ProcessorId{64});
+  EXPECT_FALSE(rs.contains(ProcessorId{64}));
+  EXPECT_TRUE(rs.contains(ProcessorId{63}));
+}
+
+TEST(ReplicaSet, BitsetAgreesWithVectorUnderChurn) {
+  Xoshiro256 rng(20260806);
+  ReplicaSet rs(ProcessorId{7});
+  constexpr std::uint32_t kIdRange = 200;
+  for (int step = 0; step < 400; ++step) {
+    const std::int64_t op = rng.uniformInt(0, 2);
+    if (op == 0) {  // add a node not yet hosting
+      const auto p = ProcessorId{
+          static_cast<std::uint32_t>(rng.uniformInt(0, kIdRange - 1))};
+      if (!rs.contains(p)) {
+        rs.add(p);
+      }
+    } else if (op == 1 && rs.size() > 1) {  // Fig. 6: pop the last added
+      rs.removeLast();
+    } else if (rs.size() > 1) {  // selective eviction
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniformInt(1, static_cast<std::int64_t>(rs.size()) - 1));
+      rs.remove(rs.nodes()[i]);
+    }
+    // The bitset and the ordered vector must describe the same set.
+    for (std::uint32_t id = 0; id < kIdRange; ++id) {
+      const bool listed = std::find(rs.nodes().begin(), rs.nodes().end(),
+                                    ProcessorId{id}) != rs.nodes().end();
+      ASSERT_EQ(rs.contains(ProcessorId{id}), listed)
+          << "step " << step << " id " << id;
+    }
+  }
 }
 
 }  // namespace
