@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "core/ledger.hpp"
 #include "core/manager.hpp"
+#include "fault/injector.hpp"
 #include "sim/trace.hpp"
 
 namespace rtdrm::check {
@@ -42,6 +43,9 @@ std::string ShrinkSpec::cliFlags() const {
   if (flatten_workload) {
     out += " --flat";
   }
+  if (drop_faults) {
+    out += " --drop-faults";
+  }
   return out;
 }
 
@@ -65,10 +69,17 @@ std::string FuzzScenario::summary() const {
      << (manager.action_latency > SimDuration::zero() ? " +action-latency"
                                                       : "")
      << (manager.allow_load_shedding ? " +shedding" : "");
+  if (!faults.empty()) {
+    os << " +faults(crash=" << faults.crashes.size()
+       << " throttle=" << faults.throttles.size()
+       << " link=" << faults.links.size()
+       << " clock=" << faults.clock_outages.size() << ")";
+  }
   return os.str();
 }
 
-FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink) {
+FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
+                              bool with_faults) {
   // Every draw below happens unconditionally and in a fixed order, so the
   // same seed yields the same scenario no matter which caps apply.
   RngStreams streams(seed);
@@ -171,6 +182,111 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink) {
                                  : SimDuration::zero();
   s.manager.allow_load_shedding = g.uniform01() < 0.3;
 
+  // ---- fault-schedule draws ---------------------------------------------
+  // Drawn for every seed, strictly after every base-scenario draw, so the
+  // base scenario is byte-identical whether or not faults are applied, and
+  // dropping faults is just one more truncation cap.
+  fault::FaultPlan plan;
+  plan.seed = seed ^ 0x9E3779B97F4A7C15ULL;
+  const double horizon_ms = period_ms * static_cast<double>(periods_full);
+  const auto nodes_i64 = static_cast<std::int64_t>(s.node_count);
+
+  // Crashes: up to two distinct nodes, never node 0 — it runs the
+  // heartbeat detector (which cannot declare its own home dead).
+  const std::int64_t n_crashes =
+      g.uniformInt(0, std::min<std::int64_t>(2, nodes_i64 - 1));
+  std::vector<std::uint32_t> crashed;
+  for (std::int64_t i = 0; i < 2; ++i) {
+    auto node = static_cast<std::uint32_t>(g.uniformInt(1, nodes_i64 - 1));
+    const double at_frac = g.uniform(0.1, 0.6);
+    const bool restarts = g.uniform01() < 0.5;
+    const double restart_periods = g.uniform(1.5, 5.0);
+    if (i >= n_crashes) {
+      continue;  // candidate drawn but unused (keeps the draw count fixed)
+    }
+    while (std::find(crashed.begin(), crashed.end(), node) != crashed.end()) {
+      node = 1 + (node % static_cast<std::uint32_t>(nodes_i64 - 1));
+    }
+    crashed.push_back(node);
+    fault::CrashFault c;
+    c.node = ProcessorId{node};
+    c.at = SimTime::zero() + SimDuration::millis(horizon_ms * at_frac);
+    if (restarts) {
+      c.restart_at =
+          c.at + SimDuration::millis(period_ms * restart_periods);
+    }
+    plan.crashes.push_back(c);
+  }
+
+  // CPU throttle windows: distinct nodes (the injector applies edges
+  // last-write-wins, so overlapping same-node windows would interleave).
+  const std::int64_t n_throttles =
+      g.uniformInt(0, std::min<std::int64_t>(2, nodes_i64));
+  std::vector<std::uint32_t> throttled;
+  for (std::int64_t i = 0; i < 2; ++i) {
+    auto node = static_cast<std::uint32_t>(g.uniformInt(0, nodes_i64 - 1));
+    const double from_frac = g.uniform(0.05, 0.6);
+    const double len_periods = g.uniform(1.0, 5.0);
+    const double factor = g.uniform(0.3, 0.9);
+    if (i >= n_throttles) {
+      continue;
+    }
+    while (std::find(throttled.begin(), throttled.end(), node) !=
+           throttled.end()) {
+      node = (node + 1) % static_cast<std::uint32_t>(nodes_i64);
+    }
+    throttled.push_back(node);
+    fault::ThrottleFault t;
+    t.node = ProcessorId{node};
+    t.from = SimTime::zero() + SimDuration::millis(horizon_ms * from_frac);
+    t.until = t.from + SimDuration::millis(period_ms * len_periods);
+    t.factor = factor;
+    plan.throttles.push_back(t);
+  }
+
+  // Frame loss / duplication windows. Loss stays moderate: a lost frame
+  // retransmits, so loss trades wire time for delay and must not starve
+  // the heartbeat path outright.
+  const std::int64_t n_links = g.uniformInt(0, 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    const bool src_any = g.uniform01() < 0.5;
+    const auto src = static_cast<std::uint32_t>(g.uniformInt(0, nodes_i64 - 1));
+    const bool dst_any = g.uniform01() < 0.5;
+    const auto dst = static_cast<std::uint32_t>(g.uniformInt(0, nodes_i64 - 1));
+    const double from_frac = g.uniform(0.05, 0.7);
+    const double len_periods = g.uniform(0.5, 4.0);
+    const double loss = g.uniform(0.0, 0.5);
+    const double dup = g.uniform(0.0, 0.3);
+    if (i >= n_links) {
+      continue;
+    }
+    fault::LinkFault l;
+    l.src = src_any ? fault::kAnyNode : ProcessorId{src};
+    l.dst = dst_any ? fault::kAnyNode : ProcessorId{dst};
+    l.from = SimTime::zero() + SimDuration::millis(horizon_ms * from_frac);
+    l.until = l.from + SimDuration::millis(period_ms * len_periods);
+    l.loss = loss;
+    l.dup = dup;
+    plan.links.push_back(l);
+  }
+
+  // Clock-sync outage: at most one window.
+  const std::int64_t n_outages = g.uniformInt(0, 1);
+  {
+    const double from_frac = g.uniform(0.1, 0.7);
+    const double len_periods = g.uniform(0.5, 3.0);
+    if (n_outages > 0) {
+      fault::ClockOutage o;
+      o.from = SimTime::zero() + SimDuration::millis(horizon_ms * from_frac);
+      o.until = o.from + SimDuration::millis(period_ms * len_periods);
+      plan.clock_outages.push_back(o);
+    }
+  }
+
+  if (with_faults && !shrink.drop_faults) {
+    s.faults = std::move(plan);
+  }
+
   // ---- all RNG draws done; apply the shrink caps by truncation ----------
 
   std::size_t n = n_full;
@@ -271,7 +387,16 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
   }
 
   sim::TraceRecorder trace;
-  InvariantOracle oracle;
+  OracleConfig oracle_config;
+  // Recovery budget: twice the detector's worst-case detection latency
+  // (timeout plus one declaring tick per retry plus one interval) plus two
+  // task periods for the manager to re-place and settle.
+  oracle_config.recovery_grace_ms =
+      2.0 * (scenario.detector.timeout.ms() +
+             static_cast<double>(scenario.detector.max_retries + 1) *
+                 scenario.detector.interval.ms()) +
+      2.0 * scenario.spec.period.ms();
+  InvariantOracle oracle(oracle_config);
   oracle.watch(testbed.sim());
   oracle.watch(testbed.cluster());
   oracle.watch(testbed.ethernet());
@@ -285,6 +410,35 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
   manager.attachLedger(ledger);
   manager.attachTrace(trace);
   oracle.watch(manager);
+
+  // Fault path: injector compiles the plan into events, the heartbeat
+  // detector drives the manager's failover, and the oracle times recovery.
+  // With an empty plan nothing below exists and the run is byte-identical
+  // to a faultless build.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FailureDetector> detector;
+  if (!scenario.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        testbed.sim(), testbed.cluster(), &testbed.ethernet(),
+        &testbed.clocks(), scenario.faults);
+    oracle.watch(*injector);
+    injector->arm();
+    detector = std::make_unique<fault::FailureDetector>(
+        testbed.sim(), testbed.cluster(), testbed.ethernet(),
+        scenario.detector,
+        [&manager, &cluster = testbed.cluster()](ProcessorId p) {
+          // Heavy frame loss can delay acks past the timeout and declare a
+          // live node dead; failover only makes sense for real crashes.
+          if (!cluster.isUp(p)) {
+            manager.handleNodeFailure(p);
+          }
+        },
+        [&manager, &cluster = testbed.cluster()](ProcessorId p) {
+          if (cluster.isUp(p)) {
+            manager.handleNodeRestart(p);
+          }
+        });
+  }
 
   std::unique_ptr<sim::PeriodicActivity> poster;
   if (!scenario.coresident_tracks.empty()) {
@@ -302,9 +456,15 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
   if (poster != nullptr) {
     poster->start(testbed.sim().now());
   }
+  if (detector != nullptr) {
+    detector->start(testbed.sim().now());
+  }
   testbed.sim().runFor(scenario.spec.period *
                        static_cast<double>(scenario.periods));
   manager.stop();
+  if (detector != nullptr) {
+    detector->stop();
+  }
   if (poster != nullptr) {
     poster->stop();
   }
@@ -345,11 +505,27 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
   appendHex(d, testbed.ethernet().payloadBytesCarried());
   appendHex(d, testbed.sim().now().ms());
   appendCount(d, oracle.checksRun());
+  if (injector != nullptr) {
+    appendCount(d, injector->crashesInjected());
+    appendCount(d, injector->restartsInjected());
+    appendCount(d, injector->throttleEdges());
+    appendCount(d, detector->heartbeatsSent());
+    appendCount(d, detector->acksReceived());
+    appendCount(d, detector->declaredDead());
+    appendCount(d, detector->declaredRecovered());
+    appendCount(d, testbed.ethernet().framesLost());
+    appendCount(d, testbed.ethernet().framesDuplicated());
+    appendCount(d, testbed.clocks().syncRoundsSkipped());
+    appendCount(d, m.node_failures_handled);
+    appendCount(d, m.failover_replacements);
+    appendCount(d, m.recovery_allocation_failures);
+  }
   return out;
 }
 
-FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink) {
-  const FuzzScenario scenario = makeFuzzScenario(seed, shrink);
+FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
+                        bool with_faults) {
+  const FuzzScenario scenario = makeFuzzScenario(seed, shrink, with_faults);
   FuzzOutcome out;
   for (const AllocatorKind kind :
        {AllocatorKind::kPredictive, AllocatorKind::kNonPredictive}) {
@@ -380,12 +556,24 @@ FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink) {
 }
 
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
-                    const FailsFn& fails) {
+                    const FailsFn& fails, bool with_faults) {
   ShrinkSpec current = initial;
   bool improved = true;
   while (improved) {
     improved = false;
     const FuzzScenario s = makeFuzzScenario(seed, current);
+
+    // Simplest explanation first: does the failure survive without any
+    // faults at all?
+    if (with_faults && !current.drop_faults) {
+      ShrinkSpec c = current;
+      c.drop_faults = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+        continue;
+      }
+    }
 
     // Fewer subtasks: jump straight to the floor, else one less.
     if (s.spec.stageCount() > 2) {

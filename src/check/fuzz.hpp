@@ -12,6 +12,14 @@
 // (truncate subtasks, truncate the horizon, flatten the workload to its
 // mean) — the draws themselves never change, so a failing seed stays the
 // same scenario family while it shrinks to a minimal reproducer.
+//
+// With faults enabled (--faults) every seed additionally grows a fault
+// schedule — node crashes (with optional restart), CPU throttle windows,
+// frame loss/duplication windows, clock-sync outages — injected through
+// fault::FaultInjector with a heartbeat FailureDetector driving the
+// manager's failover path. The fault draws are appended *after* every
+// base-scenario draw, so the base scenario of a seed is byte-identical
+// with and without faults, and `drop_faults` is just one more shrink cap.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,8 @@
 
 #include "check/invariants.hpp"
 #include "core/models.hpp"
+#include "fault/detector.hpp"
+#include "fault/plan.hpp"
 #include "task/spec.hpp"
 #include "workload/patterns.hpp"
 
@@ -34,9 +44,12 @@ struct ShrinkSpec {
   std::uint64_t max_periods = 0;
   /// Replace the workload table with a constant at its mean.
   bool flatten_workload = false;
+  /// Strip the fault schedule (only meaningful when faults are enabled).
+  bool drop_faults = false;
 
   bool unshrunk() const {
-    return max_subtasks == 0 && max_periods == 0 && !flatten_workload;
+    return max_subtasks == 0 && max_periods == 0 && !flatten_workload &&
+           !drop_faults;
   }
   /// Command-line fragment reproducing these caps (" --max-subtasks=3 ...";
   /// empty when unshrunk).
@@ -87,14 +100,23 @@ struct FuzzScenario {
   std::vector<double> coresident_tracks;
   core::ManagerConfig manager;
   core::PredictiveModels models;
+  /// Fault schedule (empty unless generated with faults enabled — an empty
+  /// plan injects nothing and wires no detector, so the run matches the
+  /// faultless build byte for byte).
+  fault::FaultPlan faults;
+  /// Heartbeat detector configuration used when `faults` is non-empty.
+  fault::DetectorConfig detector;
 
   std::string summary() const;
 };
 
 /// Generates the scenario for `seed` under the given caps. Caps only
 /// truncate/flatten the already-drawn scenario, so every cap combination of
-/// the same seed shares the same underlying draws.
-FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {});
+/// the same seed shares the same underlying draws. `with_faults` attaches
+/// the seed's fault schedule (drawn either way, appended after every base
+/// draw, so the base scenario is identical with and without it).
+FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {},
+                              bool with_faults = false);
 
 enum class AllocatorKind { kPredictive, kNonPredictive };
 const char* allocatorKindName(AllocatorKind kind);
@@ -124,16 +146,18 @@ struct FuzzOutcome {
   bool failed() const { return !invariants_ok || !deterministic; }
 };
 
-FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {});
+FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {},
+                        bool with_faults = false);
 
 /// Failure predicate: does `seed` under these caps still fail?
 using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
 
 /// Greedy shrink: starting from `initial` (which must fail), repeatedly
-/// tries harsher caps — fewer subtasks, shorter horizon, flat workload —
-/// keeping each cap that still fails, until no harsher cap does. Returns
-/// the harshest failing ShrinkSpec found.
+/// tries harsher caps — dropped faults (when enabled), fewer subtasks,
+/// shorter horizon, flat workload — keeping each cap that still fails,
+/// until no harsher cap does. Returns the harshest failing ShrinkSpec
+/// found.
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
-                    const FailsFn& fails);
+                    const FailsFn& fails, bool with_faults = false);
 
 }  // namespace rtdrm::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -21,6 +22,9 @@ InvariantOracle::~InvariantOracle() {
   }
   if (net_ != nullptr) {
     net_->setDeliveryObserver(nullptr);
+  }
+  if (injector_ != nullptr) {
+    injector_->setObserver(nullptr);
   }
 }
 
@@ -55,8 +59,22 @@ void InvariantOracle::watch(const node::Cluster& cluster) {
 void InvariantOracle::watch(net::Ethernet& net) {
   RTDRM_ASSERT_MSG(net_ == nullptr, "oracle already watches a network");
   net_ = &net;
-  net.setDeliveryObserver(
-      [this](const net::MessageReceipt& r) { checkReceipt(r); });
+  net.setDeliveryObserver([this](const net::MessageReceipt& r) {
+    ++receipts_observed_;
+    // The observer contract: it fires *at* the receipt's delivery time, so
+    // a lost or duplicated frame can never surface a receipt early or late.
+    if (sim_ != nullptr) {
+      ++checks_run_;
+      if (std::abs(r.delivered.ms() - sim_->now().ms()) >
+          config_.tolerance_ms) {
+        violate("receipt-delivery-time",
+                "receipt delivered stamp " + std::to_string(r.delivered.ms()) +
+                    " ms observed at " + std::to_string(sim_->now().ms()) +
+                    " ms");
+      }
+    }
+    checkReceipt(r);
+  });
 }
 
 void InvariantOracle::watch(const core::WorkloadLedger& ledger) {
@@ -65,7 +83,15 @@ void InvariantOracle::watch(const core::WorkloadLedger& ledger) {
 
 void InvariantOracle::watch(core::ResourceManager& manager) {
   managers_.push_back(&manager);
+  shadow_placements_.push_back(manager.runner().placement());
   manager.attachObserver(*this);
+}
+
+void InvariantOracle::watch(fault::FaultInjector& injector) {
+  RTDRM_ASSERT_MSG(injector_ == nullptr,
+                   "oracle already watches a fault injector");
+  injector_ = &injector;
+  injector.setObserver(this);
 }
 
 std::string InvariantOracle::report() const {
@@ -270,13 +296,14 @@ void InvariantOracle::checkClusterUtilization(const node::Cluster& cluster) {
 void InvariantOracle::checkUtilizationIndex(const node::Cluster& cluster) {
   ++checks_run_;
   // Reference pmin scan (the seed's rule: strictly-lower utilization wins,
-  // ties to the lower id), with an optional one-node exclusion.
+  // ties to the lower id), with an optional one-node exclusion. Down nodes
+  // are masked from the index, so the reference skips them too.
   const auto scan_min =
       [&cluster](std::uint32_t skip) -> std::optional<ProcessorId> {
     std::optional<ProcessorId> best;
     double best_u = 0.0;
     for (std::uint32_t i = 0; i < cluster.size(); ++i) {
-      if (i == skip) {
+      if (i == skip || !cluster.isUp(ProcessorId{i})) {
         continue;
       }
       const double u = cluster.lastUtilization(ProcessorId{i}).value();
@@ -299,7 +326,7 @@ void InvariantOracle::checkUtilizationIndex(const node::Cluster& cluster) {
   }
   // Excluding the minimum forces the index down its tie-break/exclusion
   // path; the result must be the scan's runner-up.
-  if (indexed.has_value() && cluster.size() > 1) {
+  if (indexed.has_value() && cluster.upCount() > 1) {
     const auto second = cluster.leastUtilized({*indexed});
     const auto second_ref = scan_min(indexed->value);
     if (second != second_ref) {
@@ -312,8 +339,8 @@ void InvariantOracle::checkUtilizationIndex(const node::Cluster& cluster) {
   }
 
   // The Fig.-5 growth order: a cursor with no initial exclusions must
-  // enumerate every node exactly once, in the same sequence that repeated
-  // leastUtilized() calls with a growing exclusion set produce.
+  // enumerate every *up* node exactly once, in the same sequence that
+  // repeated leastUtilized() calls with a growing exclusion set produce.
   {
     auto cursor = cluster.utilizationCursor({});
     std::vector<ProcessorId> grown;
@@ -330,10 +357,10 @@ void InvariantOracle::checkUtilizationIndex(const node::Cluster& cluster) {
       }
       grown.push_back(*got);
     }
-    if (order_ok && grown.size() != cluster.size()) {
+    if (order_ok && grown.size() != cluster.upCount()) {
       violate("utilization-index-cursor",
               "cursor enumerated " + std::to_string(grown.size()) + " of " +
-                  std::to_string(cluster.size()) + " nodes");
+                  std::to_string(cluster.upCount()) + " up nodes");
     }
   }
 
@@ -342,7 +369,8 @@ void InvariantOracle::checkUtilizationIndex(const node::Cluster& cluster) {
   const Utilization ut = Utilization::percent(20.0);
   std::vector<ProcessorId> ref_below;
   for (std::uint32_t i = 0; i < cluster.size(); ++i) {
-    if (cluster.lastUtilization(ProcessorId{i}).value() < ut.value()) {
+    if (cluster.isUp(ProcessorId{i}) &&
+        cluster.lastUtilization(ProcessorId{i}).value() < ut.value()) {
       ref_below.push_back(ProcessorId{i});
     }
   }
@@ -442,6 +470,54 @@ void InvariantOracle::checkAllocation(const core::Allocator& allocator,
   }
 }
 
+void InvariantOracle::checkDeliveryAccounting() {
+  if (net_ == nullptr) {
+    return;
+  }
+  ++checks_run_;
+  // The substrate counts a delivery and fires the observer in the same
+  // event, so post-event the two tallies always agree — even while frames
+  // are being lost (retransmitted) or duplicated (extra wire time only).
+  if (net_->messagesDelivered() != receipts_observed_) {
+    violate("delivery-accounting",
+            "substrate delivered " +
+                std::to_string(net_->messagesDelivered()) +
+                " message(s), observer saw " +
+                std::to_string(receipts_observed_));
+  }
+}
+
+void InvariantOracle::checkRecoveryDeadlines() {
+  if (down_nodes_.empty() || managers_.empty()) {
+    return;
+  }
+  ++checks_run_;
+  // Waive while nothing is up: with zero survivors there is no node to
+  // re-place replicas onto, so the deadline cannot be met by design.
+  if (!clusters_.empty() && clusters_.front()->upCount() == 0) {
+    return;
+  }
+  const double grace = config_.recovery_grace_ms;
+  for (DownNode& d : down_nodes_) {
+    if (d.reported || now().ms() - d.since.ms() <= grace) {
+      continue;
+    }
+    for (core::ResourceManager* m : managers_) {
+      const task::Placement& placement = m->runner().placement();
+      for (std::size_t s = 0; s < placement.stageCount(); ++s) {
+        if (placement.stage(s).contains(d.node)) {
+          d.reported = true;
+          violate("fault-recovery-deadline",
+                  "node " + std::to_string(d.node.value) + " down since " +
+                      std::to_string(d.since.ms()) + " ms still hosts stage " +
+                      std::to_string(s) + " after " + std::to_string(grace) +
+                      " ms grace");
+        }
+      }
+    }
+  }
+}
+
 void InvariantOracle::sweep() {
   for (const node::Cluster* c : clusters_) {
     checkClusterUtilization(*c);
@@ -450,6 +526,8 @@ void InvariantOracle::sweep() {
   for (const core::WorkloadLedger* l : ledgers_) {
     checkLedger(*l);
   }
+  checkDeliveryAccounting();
+  checkRecoveryDeadlines();
   for (core::ResourceManager* m : managers_) {
     checkBudgets(m->budgets(), m->spec().deadline.ms());
     std::size_t cluster_size = 0;
@@ -486,12 +564,68 @@ void InvariantOracle::onPlacementChanged(const core::ResourceManager& manager,
     cluster_size = clusters_.front()->size();
   }
   checkPlacement(placement, manager.spec(), cluster_size);
+
+  // Diff against the last placement this manager showed us: a node that
+  // joined a stage must be up *now*. Stale replicas on a node that died
+  // after placement are legal (detection lags the crash); adding new ones
+  // there is not — every allocator path reads the masked index.
+  for (std::size_t m = 0; m < managers_.size(); ++m) {
+    if (managers_[m] != &manager) {
+      continue;
+    }
+    ++checks_run_;
+    const task::Placement& previous = shadow_placements_[m];
+    const node::Cluster* cluster =
+        clusters_.empty() ? nullptr : clusters_.front();
+    for (std::size_t s = 0; s < placement.stageCount(); ++s) {
+      for (const ProcessorId p : placement.stage(s).nodes()) {
+        const bool added = s >= previous.stageCount() ||
+                           !previous.stage(s).contains(p);
+        if (added && cluster != nullptr && p.value < cluster->size() &&
+            !cluster->isUp(p)) {
+          violate("replica-on-down-node",
+                  "placement change added stage " + std::to_string(s) +
+                      " replica on down node " + std::to_string(p.value));
+        }
+      }
+    }
+    shadow_placements_[m] = placement;
+    break;
+  }
 }
 
 void InvariantOracle::onPeriodRecord(const core::ResourceManager& manager,
                                      const task::PeriodRecord& record) {
   (void)manager;
   checkRecord(record);
+}
+
+// ---- fault::FaultObserver hooks -------------------------------------------
+
+void InvariantOracle::onCrash(ProcessorId node, SimTime at) {
+  for (const DownNode& d : down_nodes_) {
+    if (d.node == node) {
+      violate("fault-double-crash",
+              "node " + std::to_string(node.value) +
+                  " crashed while already down");
+      return;
+    }
+  }
+  down_nodes_.push_back({node, at, false});
+}
+
+void InvariantOracle::onRestart(ProcessorId node, SimTime at) {
+  (void)at;
+  for (std::size_t i = 0; i < down_nodes_.size(); ++i) {
+    if (down_nodes_[i].node == node) {
+      down_nodes_.erase(down_nodes_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  violate("fault-restart-unknown",
+          "node " + std::to_string(node.value) +
+              " restarted without a recorded crash");
 }
 
 }  // namespace rtdrm::check

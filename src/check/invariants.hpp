@@ -14,6 +14,18 @@
 //   * the predictive allocator never *accepts* a replica set whose own
 //     forecast violates the deadline-minus-slack bound (Fig. 5 step 6).
 //
+// With a fault injector watched, three failure-mode invariants join in:
+//
+//   * no placement change ever *adds* a replica on a down node (the window
+//     where a crash has not yet been detected may leave stale replicas, but
+//     new ones must only land on live hosts);
+//   * recovery completes within a grace budget: once a node has been down
+//     for `recovery_grace_ms`, no watched placement still hosts it (waived
+//     while zero nodes are up — there is nowhere to recover to);
+//   * lost / duplicated frames never corrupt delivery accounting: the
+//     delivery-observer count always equals the substrate's delivered
+//     counter, and every receipt is observed at its delivery time.
+//
 // Violations are counted and recorded (bounded), or optionally abort the
 // process — tests and the fuzzer collect, long soak runs may abort.
 #pragma once
@@ -23,6 +35,7 @@
 #include <vector>
 
 #include "core/manager.hpp"
+#include "fault/injector.hpp"
 #include "net/ethernet.hpp"
 #include "node/cluster.hpp"
 #include "sim/simulator.hpp"
@@ -45,9 +58,16 @@ struct OracleConfig {
   /// Sweep all watched state after every executed simulation event. Off,
   /// checks still run at every manager hook point.
   bool check_every_event = true;
+  /// Recovery deadline: a node down for longer than this must no longer
+  /// appear in any watched placement. Cover detector worst-case latency
+  /// (timeout + retries * backoff + interval) plus the K periods the
+  /// manager needs to re-place (ISSUE: "recovery completes within K
+  /// periods"). Only enforced when a fault injector is watched.
+  double recovery_grace_ms = 2000.0;
 };
 
-class InvariantOracle final : public core::ManagerObserver {
+class InvariantOracle final : public core::ManagerObserver,
+                              public fault::FaultObserver {
  public:
   explicit InvariantOracle(OracleConfig config = {});
   ~InvariantOracle() override;
@@ -64,6 +84,9 @@ class InvariantOracle final : public core::ManagerObserver {
   void watch(const core::WorkloadLedger& ledger);
   /// Attaches as the manager's observer. Multiple managers may be watched.
   void watch(core::ResourceManager& manager);
+  /// Claims the injector's observer slot (released on destruction) so
+  /// crash/restart times feed the recovery-deadline invariant.
+  void watch(fault::FaultInjector& injector);
 
   // ---- results ----------------------------------------------------------
   bool ok() const { return violation_count_ == 0; }
@@ -97,6 +120,12 @@ class InvariantOracle final : public core::ManagerObserver {
   void checkAllocation(const core::Allocator& allocator,
                        const core::AllocationContext& ctx, std::size_t stage,
                        core::AllocStatus status, const task::ReplicaSet& rs);
+  /// Delivered-counter vs observed-receipt reconciliation (needs a watched
+  /// network; no-op otherwise).
+  void checkDeliveryAccounting();
+  /// Flags watched placements still hosting a node that has been down
+  /// longer than the recovery grace (each crash reported at most once).
+  void checkRecoveryDeadlines();
   /// Sweeps every watched cluster / ledger / manager now.
   void sweep();
 
@@ -114,7 +143,17 @@ class InvariantOracle final : public core::ManagerObserver {
   void onPeriodRecord(const core::ResourceManager& manager,
                       const task::PeriodRecord& record) override;
 
+  // ---- fault::FaultObserver ---------------------------------------------
+  void onCrash(ProcessorId node, SimTime at) override;
+  void onRestart(ProcessorId node, SimTime at) override;
+
  private:
+  struct DownNode {
+    ProcessorId node;
+    SimTime since;
+    bool reported = false;  ///< recovery-deadline violation already logged
+  };
+
   void violate(const char* invariant, std::string detail);
   SimTime now() const;
 
@@ -124,6 +163,13 @@ class InvariantOracle final : public core::ManagerObserver {
   net::Ethernet* net_ = nullptr;
   std::vector<const core::WorkloadLedger*> ledgers_;
   std::vector<core::ResourceManager*> managers_;
+  fault::FaultInjector* injector_ = nullptr;
+  /// Last placement seen per watched manager (parallel to managers_);
+  /// onPlacementChanged diffs against it to catch replicas *added* on a
+  /// down node.
+  std::vector<task::Placement> shadow_placements_;
+  std::vector<DownNode> down_nodes_;
+  std::uint64_t receipts_observed_ = 0;
 
   std::uint64_t checks_run_ = 0;
   std::uint64_t violation_count_ = 0;

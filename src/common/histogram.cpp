@@ -52,7 +52,10 @@ double Histogram::quantile(double q) const {
   }
   const double target = q * static_cast<double>(total_);
   double cum = static_cast<double>(underflow_);
-  if (target <= cum) {
+  // Only a populated underflow bin may claim the quantile at lo_; with
+  // underflow_ == 0 a q of 0 must fall through to the first populated
+  // bucket below (its `counts_[i] > 0` guard skips the empty prefix).
+  if (underflow_ > 0 && target <= cum) {
     return lo_;
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) {

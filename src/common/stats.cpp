@@ -56,6 +56,10 @@ void TimeWeightedMean::update(double t, double value) {
 }
 
 double TimeWeightedMean::mean() const {
+  if (!started_) {
+    return 0.0;
+  }
+  // A single update spans no time; report the one value observed.
   return total_time_ > 0.0 ? weighted_sum_ / total_time_ : last_value_;
 }
 
@@ -63,9 +67,8 @@ void TimeWeightedMean::reset() { *this = TimeWeightedMean{}; }
 
 double percentile(std::vector<double> samples, double p) {
   RTDRM_ASSERT(p >= 0.0 && p <= 100.0);
-  if (samples.empty()) {
-    return 0.0;
-  }
+  RTDRM_ASSERT_MSG(!samples.empty(),
+                   "percentile of an empty sample set is undefined");
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) {
     return samples.front();

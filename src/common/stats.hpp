@@ -65,6 +65,7 @@ class TimeWeightedMean {
  public:
   /// Record that the signal held `value` from the previous update until `t`.
   void update(double t, double value);
+  /// Time-weighted mean over the updates seen; 0.0 before the first update.
   double mean() const;
   void reset();
 
@@ -78,6 +79,8 @@ class TimeWeightedMean {
 
 /// Percentile from a sample vector (linear interpolation, p in [0,100]).
 /// The input is copied and sorted; intended for post-run reporting.
+/// Asserts on an empty input — the percentile of nothing is undefined, and
+/// a silent 0.0 has masked real bugs in callers.
 double percentile(std::vector<double> samples, double p);
 
 }  // namespace rtdrm

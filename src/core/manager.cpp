@@ -286,6 +286,98 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
   }
 }
 
+void ResourceManager::handleNodeFailure(ProcessorId dead) {
+  RTDRM_ASSERT(dead.value < rt_.cluster.size());
+  RTDRM_ASSERT_MSG(!rt_.cluster.isUp(dead),
+                   "failure handling requires the node already masked");
+  task::Placement placement = runner_->placement();
+  const DataSize workload = runner_->currentWorkload();
+  bool touched = false;
+
+  for (std::size_t i = 0; i < spec_.stageCount(); ++i) {
+    task::ReplicaSet& rs = placement.stage(i);
+    if (!rs.contains(dead)) {
+      continue;
+    }
+    touched = true;
+    ++metrics_.failover_replacements;
+    if (rs.size() == 1) {
+      // Sole replica died: re-home to the least-utilized survivor before
+      // dropping the dead node (the set may never go empty). The survivor
+      // becomes the new primary.
+      const auto substitute = rt_.cluster.leastUtilized(rs.nodes());
+      if (!substitute) {
+        // No surviving capacity at all; leave the stage stranded — every
+        // period aborts at cutoff until a node restarts.
+        ++metrics_.allocation_failures;
+        ++metrics_.recovery_allocation_failures;
+        continue;
+      }
+      rs.add(*substitute);
+    }
+    rs.remove(dead);  // promotes the next-oldest replica if dead led
+
+    if (!spec_.subtasks[i].replicable) {
+      continue;
+    }
+    // Re-run the growth loop so the surviving set again meets the
+    // forecast. The dead node is masked out of the utilization index, so
+    // the allocator only ever sees survivors.
+    if (rs.size() >= rt_.cluster.upCount()) {
+      ++metrics_.allocation_failures;  // already on every survivor
+      ++metrics_.recovery_allocation_failures;
+      if (config_.allow_load_shedding && shed_fraction_ < config_.max_shed) {
+        shed_fraction_ =
+            std::min(config_.max_shed, shed_fraction_ + config_.shed_step);
+        trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+      }
+      continue;
+    }
+    const AllocationContext ctx = makeContext(workload);
+    const AllocStatus status = allocator_->replicate(ctx, i, rs);
+    if (observer_ != nullptr) {
+      observer_->onAllocation(*this, i, status, ctx, rs);
+    }
+    if (status == AllocStatus::kFailure) {
+      ++metrics_.allocation_failures;
+      ++metrics_.recovery_allocation_failures;
+      if (config_.allow_load_shedding && shed_fraction_ < config_.max_shed) {
+        // Survivors cannot absorb the lost capacity: degrade quality
+        // instead of missing outright (graceful degradation).
+        shed_fraction_ =
+            std::min(config_.max_shed, shed_fraction_ + config_.shed_step);
+        trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+      }
+    }
+    if (status != AllocStatus::kNoChange) {
+      ++metrics_.replicate_actions;
+      ++metrics_.stages[i].replicate_actions;
+      trace(sim::TraceCategory::kReplicate, spec_.subtasks[i].name,
+            static_cast<double>(rs.size()));
+    }
+  }
+
+  if (!touched) {
+    return;
+  }
+  ++metrics_.node_failures_handled;
+  trace(sim::TraceCategory::kCustom, "failover",
+        static_cast<double>(dead.value));
+  runner_->setPlacement(placement);
+  if (observer_ != nullptr) {
+    observer_->onPlacementChanged(*this, runner_->placement());
+  }
+  // Slack history predates the failure; stale streaks must not trigger a
+  // shutdown right after capacity was lost.
+  monitor_.resetStreaks();
+  reassignBudgets(workload);
+}
+
+void ResourceManager::handleNodeRestart(ProcessorId node) {
+  trace(sim::TraceCategory::kCustom, "restart",
+        static_cast<double>(node.value));
+}
+
 AllocationContext ResourceManager::makeContext(DataSize workload) const {
   return AllocationContext{spec_,    rt_.cluster,
                            workload, budgets_,

@@ -124,6 +124,26 @@ class ResourceManager {
   void start(SimTime first_release);
   void stop();
 
+  /// Failure-detector notification: `dead` has crashed. Scrubs it from
+  /// every stage (the next-oldest replica is promoted when the primary
+  /// died; a sole replica is re-homed to the least-utilized survivor),
+  /// re-runs the allocator's growth loop for affected replicable stages —
+  /// dead nodes are masked out of the cluster's utilization index, so
+  /// Fig. 5/Fig. 7 only consider survivors — and falls back to load
+  /// shedding when the surviving capacity cannot meet the forecast (if
+  /// enabled). The repaired placement takes effect immediately, bypassing
+  /// action_latency: detection latency is already modelled by the
+  /// detector's timeout, and routing new periods to a dead node for
+  /// another action_latency would only manufacture misses. No-op if the
+  /// node appears in no stage.
+  void handleNodeFailure(ProcessorId dead);
+
+  /// Failure-detector notification: a previously-dead node acked again.
+  /// The cluster has already unmasked it; the manager only notes the
+  /// event — the node re-enters placements through the ordinary
+  /// allocation path once its (idle, low) utilization makes it attractive.
+  void handleNodeRestart(ProcessorId node);
+
   /// Joins a shared workload ledger (multi-task deployments): the manager
   /// posts its per-period workload and uses the ledger total in eq.-5
   /// estimates. Must be called before start(); the ledger must outlive the

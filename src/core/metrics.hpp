@@ -38,6 +38,13 @@ struct EpisodeMetrics {
   std::uint64_t replicate_actions = 0;
   std::uint64_t shutdown_actions = 0;
   std::uint64_t allocation_failures = 0;
+  /// Node-death notifications that touched this task's placement.
+  std::uint64_t node_failures_handled = 0;
+  /// Stages scrubbed of a dead node during failover.
+  std::uint64_t failover_replacements = 0;
+  /// Recovery replications that could not meet the forecast on the
+  /// surviving nodes (each also counts in allocation_failures).
+  std::uint64_t recovery_allocation_failures = 0;
   /// Fraction of the stream dropped per period (all zeros unless the
   /// load-shedding extension is enabled and engaged).
   RunningStats shed_fraction;

@@ -1,0 +1,116 @@
+#include "fault/detector.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rtdrm::fault {
+
+FailureDetector::FailureDetector(sim::Simulator& simulator,
+                                 node::Cluster& cluster,
+                                 net::Ethernet& ethernet,
+                                 DetectorConfig config, DownFn on_down,
+                                 UpFn on_up)
+    : sim_(simulator),
+      cluster_(cluster),
+      net_(ethernet),
+      config_(config),
+      on_down_(std::move(on_down)),
+      on_up_(std::move(on_up)),
+      nodes_(cluster.size()),
+      ticker_(simulator, config.interval, [this](std::uint64_t) { tick(); }) {
+  RTDRM_ASSERT(config_.home.value < cluster.size());
+  RTDRM_ASSERT(config_.interval > SimDuration::zero());
+  RTDRM_ASSERT(config_.timeout > SimDuration::zero());
+  RTDRM_ASSERT(on_down_ != nullptr);
+}
+
+void FailureDetector::start(SimTime at) {
+  // Every node starts with a fresh grace window; the first staleness check
+  // can only trip a full timeout after `at`.
+  for (NodeState& n : nodes_) {
+    n.last_ack = at;
+  }
+  ticker_.start(at);
+}
+
+void FailureDetector::stop() { ticker_.stop(); }
+
+bool FailureDetector::believesUp(ProcessorId node) const {
+  RTDRM_ASSERT(node.value < nodes_.size());
+  return nodes_[node.value].believed_up;
+}
+
+void FailureDetector::tick() {
+  const SimTime now = sim_.now();
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const ProcessorId target{i};
+    if (target == config_.home) {
+      continue;
+    }
+    NodeState& st = nodes_[i];
+    if (st.believed_up && now - st.last_ack > config_.timeout) {
+      if (st.retries >= config_.max_retries) {
+        st.believed_up = false;
+        ++declared_dead_;
+        RTDRM_LOG(kDebug) << "detector: node " << i << " declared dead ("
+                          << st.retries << " retries)";
+        on_down_(target);
+      } else {
+        // Suspect: one extra probe, linearly backed off, beyond the
+        // regular cadence below.
+        ++st.retries;
+        ++retries_sent_;
+        const SimDuration delay =
+            config_.retry_backoff * static_cast<double>(st.retries);
+        sim_.scheduleAfter(delay, [this, target] { probe(target); });
+      }
+    }
+    probe(target);
+  }
+}
+
+void FailureDetector::probe(ProcessorId target) {
+  ++heartbeats_sent_;
+  net::Message hb;
+  hb.src = config_.home;
+  hb.dst = target;
+  hb.payload = config_.heartbeat_bytes;
+  hb.tag = "hb";
+  // The probe arrives at the target; only a live node acks. Liveness is
+  // evaluated at *delivery* time — a node that died while the probe was in
+  // flight stays silent, exactly like real hardware.
+  hb.on_delivered = [this, target](const net::MessageReceipt&) {
+    if (!cluster_.isUp(target)) {
+      return;
+    }
+    net::Message ack;
+    ack.src = target;
+    ack.dst = config_.home;
+    ack.payload = config_.heartbeat_bytes;
+    ack.tag = "hb-ack";
+    ack.on_delivered = [this, target](const net::MessageReceipt&) {
+      onAck(target);
+    };
+    net_.send(std::move(ack));
+  };
+  net_.send(std::move(hb));
+}
+
+void FailureDetector::onAck(ProcessorId from) {
+  ++acks_received_;
+  NodeState& st = nodes_[from.value];
+  st.last_ack = sim_.now();
+  st.retries = 0;
+  if (!st.believed_up) {
+    st.believed_up = true;
+    ++declared_recovered_;
+    RTDRM_LOG(kDebug) << "detector: node " << from.value << " recovered";
+    if (on_up_ != nullptr) {
+      on_up_(from);
+    }
+  }
+}
+
+}  // namespace rtdrm::fault

@@ -1,0 +1,98 @@
+// Heartbeat-based failure detection over the shared Ethernet segment.
+//
+// A management ("home") node probes every other node each interval with a
+// small heartbeat message; a node that is up when the probe arrives
+// replies with an ack. The detector's belief about a node goes stale when
+// no ack has arrived within `timeout`; it then re-probes up to
+// `max_retries` times with linear backoff before declaring the node dead
+// and firing the down callback (which the scenario wiring binds to
+// ResourceManager::handleNodeFailure). Probing continues after the
+// declaration, so a restarted node is noticed by its next ack and the up
+// callback fires.
+//
+// Everything is message-driven and draw-free: detection latency emerges
+// from real heartbeat traffic on the shared wire (and is itself perturbed
+// by frame loss), and a run with no faults produces the same heartbeat
+// schedule every time. Worst-case detection latency with a quiet wire is
+// about timeout + max_retries * backoff + one interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::fault {
+
+struct DetectorConfig {
+  /// The node issuing heartbeats (the management node; never declared
+  /// dead — crashing it means losing the manager, out of scope here).
+  ProcessorId home{0};
+  /// Probe cadence.
+  SimDuration interval = SimDuration::millis(100.0);
+  /// Ack staleness after which a node becomes suspect.
+  SimDuration timeout = SimDuration::millis(250.0);
+  /// Extra probes sent to a suspect before declaring it dead.
+  std::size_t max_retries = 2;
+  /// Backoff between retry probes: retry k waits k * retry_backoff.
+  SimDuration retry_backoff = SimDuration::millis(25.0);
+  /// Heartbeat/ack payload (real traffic on the shared wire).
+  Bytes heartbeat_bytes = Bytes::of(64.0);
+};
+
+class FailureDetector {
+ public:
+  using DownFn = std::function<void(ProcessorId)>;
+  using UpFn = std::function<void(ProcessorId)>;
+
+  FailureDetector(sim::Simulator& simulator, node::Cluster& cluster,
+                  net::Ethernet& ethernet, DetectorConfig config,
+                  DownFn on_down, UpFn on_up = {});
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// First probe round at `at`, then every interval.
+  void start(SimTime at);
+  void stop();
+
+  /// The detector's current belief (not ground truth: it lags a real
+  /// crash by the detection latency).
+  bool believesUp(ProcessorId node) const;
+
+  const DetectorConfig& config() const { return config_; }
+  std::uint64_t heartbeatsSent() const { return heartbeats_sent_; }
+  std::uint64_t acksReceived() const { return acks_received_; }
+  std::uint64_t retriesSent() const { return retries_sent_; }
+  std::uint64_t declaredDead() const { return declared_dead_; }
+  std::uint64_t declaredRecovered() const { return declared_recovered_; }
+
+ private:
+  struct NodeState {
+    SimTime last_ack = SimTime::zero();
+    std::size_t retries = 0;
+    bool believed_up = true;
+  };
+
+  void tick();
+  void probe(ProcessorId target);
+  void onAck(ProcessorId from);
+
+  sim::Simulator& sim_;
+  node::Cluster& cluster_;
+  net::Ethernet& net_;
+  DetectorConfig config_;
+  DownFn on_down_;
+  UpFn on_up_;
+  std::vector<NodeState> nodes_;
+  sim::PeriodicActivity ticker_;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t acks_received_ = 0;
+  std::uint64_t retries_sent_ = 0;
+  std::uint64_t declared_dead_ = 0;
+  std::uint64_t declared_recovered_ = 0;
+};
+
+}  // namespace rtdrm::fault

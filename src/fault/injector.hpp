@@ -1,0 +1,82 @@
+// Compiles a FaultPlan into simulator events against the live substrate.
+//
+// arm() schedules every crash/restart/throttle/outage edge as an ordinary
+// simulator event and — only when the plan carries link faults — installs
+// the Ethernet frame-fate hook. With an empty plan arm() schedules nothing
+// and installs nothing, so a faultless run is bit-for-bit identical to one
+// with no injector at all.
+//
+// Determinism: the per-frame loss/dup draws come from the injector's own
+// RNG (seeded from the plan), advanced only for frames matched by an open
+// link-fault window, in simulator event order. Same scenario seed + same
+// plan => same faults, byte-identical replay.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+#include "net/clock_sync.hpp"
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::fault {
+
+/// Observation points for correctness oracles (src/check's InvariantOracle
+/// uses them to time recovery deadlines). Fired synchronously after the
+/// substrate state changed.
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+  virtual void onCrash(ProcessorId node, SimTime at) {
+    (void)node;
+    (void)at;
+  }
+  virtual void onRestart(ProcessorId node, SimTime at) {
+    (void)node;
+    (void)at;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// `ethernet` and `clocks` may be null when the plan carries no faults
+  /// of the corresponding kind (validated at arm()).
+  FaultInjector(sim::Simulator& simulator, node::Cluster& cluster,
+                net::Ethernet* ethernet, net::ClockFabric* clocks,
+                FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// Schedule every plan entry; call exactly once, before running the
+  /// episode. Validates the plan against the cluster size.
+  void arm();
+
+  /// At most one observer (must outlive the injector).
+  void setObserver(FaultObserver* observer) { observer_ = observer; }
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t crashesInjected() const { return crashes_injected_; }
+  std::uint64_t restartsInjected() const { return restarts_injected_; }
+  std::uint64_t throttleEdges() const { return throttle_edges_; }
+
+ private:
+  net::Ethernet::FrameFate decideFrameFate(ProcessorId src, ProcessorId dst);
+
+  sim::Simulator& sim_;
+  node::Cluster& cluster_;
+  net::Ethernet* ethernet_;
+  net::ClockFabric* clocks_;
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  FaultObserver* observer_ = nullptr;
+  bool armed_ = false;
+  bool hook_installed_ = false;
+  std::uint64_t crashes_injected_ = 0;
+  std::uint64_t restarts_injected_ = 0;
+  std::uint64_t throttle_edges_ = 0;
+};
+
+}  // namespace rtdrm::fault

@@ -1,0 +1,37 @@
+#include "fault/plan.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtdrm::fault {
+
+void FaultPlan::validate(std::size_t node_count) const {
+  for (const CrashFault& c : crashes) {
+    RTDRM_ASSERT_MSG(c.node.value < node_count, "crash node out of range");
+    if (c.restart_at.has_value()) {
+      RTDRM_ASSERT_MSG(*c.restart_at > c.at,
+                       "restart must come after the crash");
+    }
+  }
+  for (const ThrottleFault& t : throttles) {
+    RTDRM_ASSERT_MSG(t.node.value < node_count,
+                     "throttle node out of range");
+    RTDRM_ASSERT_MSG(t.until > t.from, "empty throttle window");
+    RTDRM_ASSERT_MSG(t.factor > 0.0, "throttle factor must be positive");
+  }
+  for (const LinkFault& l : links) {
+    RTDRM_ASSERT_MSG(l.src == kAnyNode || l.src.value < node_count,
+                     "link src out of range");
+    RTDRM_ASSERT_MSG(l.dst == kAnyNode || l.dst.value < node_count,
+                     "link dst out of range");
+    RTDRM_ASSERT_MSG(l.until > l.from, "empty link-fault window");
+    RTDRM_ASSERT_MSG(l.loss >= 0.0 && l.loss <= kMaxLossProbability,
+                     "loss probability out of [0, 0.9]");
+    RTDRM_ASSERT_MSG(l.dup >= 0.0 && l.dup <= 1.0,
+                     "duplication probability out of [0, 1]");
+  }
+  for (const ClockOutage& o : clock_outages) {
+    RTDRM_ASSERT_MSG(o.until > o.from, "empty clock outage window");
+  }
+}
+
+}  // namespace rtdrm::fault

@@ -1,0 +1,89 @@
+// Deterministic fault schedules (the disturbance half of "adaptive
+// resource management in asynchronous distributed systems").
+//
+// A FaultPlan is pure data: crash/restart times, CPU throttling windows,
+// per-link frame loss/duplication probabilities, and clock-sync outage
+// windows. The FaultInjector compiles it into simulator events before the
+// run; the plan plus its seed fully determine every injected fault, so a
+// run with a given (scenario seed, fault plan) pair replays byte-identical
+// — the property the fuzzer's shrinker and CI reproducers rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rtdrm::fault {
+
+/// Wildcard endpoint for link faults: matches every node.
+inline constexpr ProcessorId kAnyNode = kNoNode;
+
+/// Fail-stop crash at `at`; the node loses all resident work and its
+/// private memory. With `restart_at` set the node later rejoins, empty.
+struct CrashFault {
+  ProcessorId node{0};
+  SimTime at = SimTime::zero();
+  std::optional<SimTime> restart_at;
+};
+
+/// Transient CPU degradation: effective speed is multiplied by `factor`
+/// (0 < factor, usually < 1) from `from` until `until`.
+struct ThrottleFault {
+  ProcessorId node{0};
+  SimTime from = SimTime::zero();
+  SimTime until = SimTime::zero();
+  double factor = 0.5;
+};
+
+/// Per-frame loss/duplication probabilities on frames src->dst while the
+/// window is open. kAnyNode on either endpoint matches every node. A lost
+/// frame costs its wire time and is retransmitted by the link layer; a
+/// duplicated frame costs an extra wire slot and is discarded by the
+/// receiver — delivery accounting never sees either (see net::Ethernet).
+struct LinkFault {
+  ProcessorId src = kAnyNode;
+  ProcessorId dst = kAnyNode;
+  SimTime from = SimTime::zero();
+  SimTime until = SimTime::zero();
+  double loss = 0.0;
+  double dup = 0.0;
+};
+
+/// Clock-sync service outage: sync rounds inside the window are skipped
+/// and every clock free-runs (drifts) until the window closes.
+struct ClockOutage {
+  SimTime from = SimTime::zero();
+  SimTime until = SimTime::zero();
+};
+
+/// Loss probabilities above this are rejected: retransmission of every
+/// frame must terminate, and a loss rate of ~1 would livelock the wire.
+inline constexpr double kMaxLossProbability = 0.9;
+
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<ThrottleFault> throttles;
+  std::vector<LinkFault> links;
+  std::vector<ClockOutage> clock_outages;
+  /// Seed for the per-frame loss/duplication draws (the only randomness a
+  /// plan introduces; everything else above is scheduled exactly).
+  std::uint64_t seed = 0;
+
+  bool empty() const {
+    return crashes.empty() && throttles.empty() && links.empty() &&
+           clock_outages.empty();
+  }
+  /// Total scheduled entries (shrinker progress measure).
+  std::size_t entryCount() const {
+    return crashes.size() + throttles.size() + links.size() +
+           clock_outages.size();
+  }
+  /// Asserts structural sanity against a cluster of `node_count` nodes:
+  /// ids in range (or kAnyNode), windows ordered, probabilities bounded,
+  /// throttle factors positive.
+  void validate(std::size_t node_count) const;
+};
+
+}  // namespace rtdrm::fault

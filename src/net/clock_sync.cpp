@@ -46,6 +46,10 @@ SimDuration ClockFabric::measure(ProcessorId start_node, SimTime true_start,
 void ClockFabric::startSync() { sync_.start(sim_.now()); }
 
 void ClockFabric::syncRound() {
+  if (!sync_enabled_) {
+    ++rounds_skipped_;
+    return;
+  }
   pre_sync_stats_.add(worstOffsetNow().ms());
   const SimTime t = sim_.now();
   for (auto& c : clocks_) {

@@ -81,6 +81,16 @@ class ClockFabric {
   void startSync();
   void stopSync() { sync_.stop(); }
 
+  /// Fault-injection gate: while disabled, sync rounds still fire on
+  /// schedule (so the round count and cadence are unchanged) but neither
+  /// estimate nor correct — clocks free-run and drift apart, as during an
+  /// NTP service outage. Rounds skipped this way draw no RNG, so replay
+  /// with the same outage windows is byte-identical.
+  void setSyncEnabled(bool enabled) { sync_enabled_ = enabled; }
+  bool syncEnabled() const { return sync_enabled_; }
+  /// Sync rounds skipped by an outage window so far.
+  std::uint64_t syncRoundsSkipped() const { return rounds_skipped_; }
+
   /// |local - true| of the worst node at the current time.
   SimDuration worstOffsetNow() const;
   /// Statistics of worst offsets observed at each sync round (pre-correction).
@@ -95,6 +105,8 @@ class ClockFabric {
   std::vector<DriftingClock> clocks_;
   sim::PeriodicActivity sync_;
   RunningStats pre_sync_stats_;
+  bool sync_enabled_ = true;
+  std::uint64_t rounds_skipped_ = 0;
 };
 
 }  // namespace rtdrm::net

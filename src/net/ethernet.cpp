@@ -26,16 +26,19 @@ void Ethernet::send(Message msg) {
   RTDRM_ASSERT(msg.payload >= Bytes::zero());
 
   if (msg.src == msg.dst) {
-    // Same-node delivery: shared memory hand-off, no wire involvement.
+    // Same-node delivery: shared memory hand-off, no wire involvement and
+    // no marshalling stage (the payload never crosses the protocol stack).
+    // Faults never touch this path either — it has no frames to lose.
     const MessageReceipt receipt{sim_.now(), sim_.now(),
                                  sim_.now() + config_.propagation,
                                  msg.payload};
     auto cb = std::move(msg.on_delivered);
-    ++delivered_;
-    if (delivery_observer_) {
-      delivery_observer_(receipt);
-    }
-    sim_.scheduleAfter(config_.propagation, [cb = std::move(cb), receipt] {
+    sim_.scheduleAfter(config_.propagation,
+                       [this, cb = std::move(cb), receipt] {
+      ++delivered_;
+      if (delivery_observer_) {
+        delivery_observer_(receipt);
+      }
       if (cb) {
         cb(receipt);
       }
@@ -110,6 +113,22 @@ void Ethernet::onFrameEnd(std::size_t nic) {
   bus_busy_ = false;
 
   Pending& p = nics_[nic].front();
+  const FrameFate fate = frame_fate_hook_
+                             ? frame_fate_hook_(p.msg.src, p.msg.dst)
+                             : FrameFate::kDeliver;
+  if (fate == FrameFate::kLose) {
+    // The wire time is spent but the receiver rejects the frame (bad FCS).
+    // The chunk was never applied and the message stays at the head of its
+    // NIC queue, so the link layer retransmits on the next bus grant.
+    ++frames_lost_;
+    arbitrate();
+    return;
+  }
+  // A duplicate re-sends the frame just serialized; its wire time must be
+  // computed before the chunk below shrinks the remaining payload.
+  const SimDuration dup_time = fate == FrameFate::kDuplicate
+                                   ? frameTime(p)
+                                   : SimDuration::zero();
   const Bytes chunk = frameChunk(p);
   p.remaining = p.remaining - chunk;
   payload_bytes_ += chunk.count();
@@ -121,16 +140,36 @@ void Ethernet::onFrameEnd(std::size_t nic) {
                                  p.msg.payload};
     auto cb = std::move(p.msg.on_delivered);
     nics_[nic].pop_front();
-    ++delivered_;
-    if (delivery_observer_) {
-      delivery_observer_(receipt);
-    }
-    sim_.scheduleAfter(config_.propagation, [cb = std::move(cb), receipt] {
+    sim_.scheduleAfter(config_.propagation,
+                       [this, cb = std::move(cb), receipt] {
+      ++delivered_;
+      if (delivery_observer_) {
+        delivery_observer_(receipt);
+      }
       if (cb) {
         cb(receipt);
       }
     });
   }
+
+  if (fate == FrameFate::kDuplicate) {
+    // The spurious copy occupies the wire for the same frame time. The
+    // receiver already accepted the original, so the copy is discarded on
+    // arrival: no second receipt, chunk, or payload attribution.
+    ++frames_;
+    ++frames_duplicated_;
+    bus_busy_ = true;
+    busy_since_ = sim_.now();
+    sim_.scheduleAfter(dup_time, [this] { onDuplicateEnd(); });
+    return;
+  }
+  arbitrate();
+}
+
+void Ethernet::onDuplicateEnd() {
+  RTDRM_ASSERT(bus_busy_);
+  busy_accum_ += sim_.now() - busy_since_;
+  bus_busy_ = false;
   arbitrate();
 }
 

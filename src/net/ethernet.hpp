@@ -55,18 +55,42 @@ class Ethernet {
   /// bypasses the wire and completes after `propagation` only.
   void send(Message msg);
 
-  /// Observer invoked with every delivery receipt, at the moment the last
-  /// frame leaves the wire (correctness oracles verify causality here:
-  /// enqueued <= first_bit <= delivered). Pass nullptr to clear.
+  /// Observer invoked with every delivery receipt, at the receipt's
+  /// `delivered` time — after the propagation delay, never before
+  /// (correctness oracles verify causality here: enqueued <= first_bit <=
+  /// delivered == now). Pass nullptr to clear.
   using DeliveryObserver = std::function<void(const MessageReceipt&)>;
   void setDeliveryObserver(DeliveryObserver observer) {
     delivery_observer_ = std::move(observer);
+  }
+
+  /// Fate of a wire frame, decided by the fault-injection hook the instant
+  /// its last bit is serialized. kLose spends the wire time but the
+  /// receiver rejects the frame (bad FCS): the payload chunk is not
+  /// applied and the message stays queued for link-layer retransmission.
+  /// kDuplicate delivers the chunk normally, then a spurious copy occupies
+  /// the wire for a second frame time; the receiver discards it, so
+  /// delivery accounting sees exactly one receipt either way.
+  enum class FrameFate { kDeliver, kLose, kDuplicate };
+
+  /// Per-frame fate decision for wire frames. Same-node hand-offs never
+  /// touch the wire and are exempt. With no hook installed every frame
+  /// delivers, at zero added cost. Pass nullptr to clear.
+  using FrameFateHook = std::function<FrameFate(ProcessorId src,
+                                                ProcessorId dst)>;
+  void setFrameFateHook(FrameFateHook hook) {
+    frame_fate_hook_ = std::move(hook);
   }
 
   /// Cumulative wire-busy time (for utilization accounting).
   SimDuration busyTime() const;
   std::uint64_t messagesDelivered() const { return delivered_; }
   std::uint64_t framesOnWire() const { return frames_; }
+  /// Frames whose wire time was spent but whose payload the receiver
+  /// rejected (each forced a retransmission).
+  std::uint64_t framesLost() const { return frames_lost_; }
+  /// Spurious extra copies that occupied the wire and were discarded.
+  std::uint64_t framesDuplicated() const { return frames_duplicated_; }
   double payloadBytesCarried() const { return payload_bytes_; }
   /// Payload bytes this NIC has put on the wire so far (per-sender
   /// attribution for hot-talker diagnosis).
@@ -85,6 +109,8 @@ class Ethernet {
   /// Begin serializing the next frame if the bus is idle and work exists.
   void arbitrate();
   void onFrameEnd(std::size_t nic);
+  /// A duplicated frame's copy finished its (pure-accounting) wire time.
+  void onDuplicateEnd();
   /// Wire time of the next frame of `p` (overhead + clamped payload chunk).
   SimDuration frameTime(const Pending& p) const;
   Bytes frameChunk(const Pending& p) const;
@@ -103,9 +129,12 @@ class Ethernet {
   SimDuration busy_accum_ = SimDuration::zero();
   std::uint64_t delivered_ = 0;
   std::uint64_t frames_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
   double payload_bytes_ = 0.0;
   std::vector<double> payload_bytes_from_;
   DeliveryObserver delivery_observer_;
+  FrameFateHook frame_fate_hook_;
 };
 
 /// Windowed utilization sampling for the bus, mirroring node::UtilizationProbe.

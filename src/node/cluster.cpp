@@ -55,6 +55,25 @@ BackgroundLoad& Cluster::backgroundLoad(ProcessorId id) {
   return *bg_[id.value];
 }
 
+void Cluster::setNodeUp(ProcessorId id, bool up) {
+  RTDRM_ASSERT(id.value < cpus_.size());
+  if (cpus_[id.value]->isUp() == up) {
+    return;
+  }
+  cpus_[id.value]->setUp(up);
+  // The membership of the index changed mid-sample: invalidate it (and any
+  // outstanding cursors, via their generation guard).
+  ++sample_generation_;
+}
+
+std::size_t Cluster::upCount() const {
+  std::size_t n = 0;
+  for (const auto& cpu : cpus_) {
+    n += cpu->isUp() ? 1 : 0;
+  }
+  return n;
+}
+
 const std::vector<Utilization>& Cluster::sampleUtilization() {
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     last_sample_[i] = probes_[i].sample();
@@ -72,20 +91,34 @@ Utilization Cluster::lastUtilization(ProcessorId id) const {
 }
 
 Utilization Cluster::meanUtilization() const {
+  // Down nodes are out of the capacity pool; the mean is over survivors.
   double sum = 0.0;
-  for (const auto& u : last_sample_) {
-    sum += u.value();
+  std::size_t up = 0;
+  for (std::size_t i = 0; i < last_sample_.size(); ++i) {
+    if (!cpus_[i]->isUp()) {
+      continue;
+    }
+    sum += last_sample_[i].value();
+    ++up;
   }
-  return Utilization::fraction(sum / static_cast<double>(last_sample_.size()));
+  if (up == 0) {
+    return Utilization::zero();
+  }
+  return Utilization::fraction(sum / static_cast<double>(up));
 }
 
 void Cluster::rebuildIndex() const {
-  const std::size_t n = last_sample_.size();
-  util_heap_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    util_heap_[i] = {last_sample_[i].value(),
-                     static_cast<std::uint32_t>(i)};
+  // Down nodes are masked out entirely: the heap only ever holds
+  // placeable capacity, so every query path inherits the masking.
+  util_heap_.clear();
+  for (std::size_t i = 0; i < last_sample_.size(); ++i) {
+    if (!cpus_[i]->isUp()) {
+      continue;
+    }
+    util_heap_.push_back(
+        {last_sample_[i].value(), static_cast<std::uint32_t>(i)});
   }
+  const std::size_t n = util_heap_.size();
   // Bottom-up 4-ary heapify: sift down every internal node.
   if (n > 1) {
     for (std::size_t root = (n - 2) / 4 + 1; root-- > 0;) {
@@ -121,7 +154,8 @@ std::optional<ProcessorId> Cluster::leastUtilizedScan(
   double best_u = 0.0;
   for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
     const ProcessorId id{i};
-    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+    if (!cpus_[i]->isUp() ||
+        std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
       continue;
     }
     const double u = last_sample_[i].value();
@@ -158,8 +192,11 @@ std::optional<ProcessorId> Cluster::leastUtilized(
     return keyLess(util_heap_[b], util_heap_[a]);
   };
   frontier_.clear();
-  frontier_.push_back(0);
   const std::size_t n = util_heap_.size();
+  if (n == 0) {  // every node down: nothing placeable
+    return std::nullopt;
+  }
+  frontier_.push_back(0);
   while (!frontier_.empty()) {
     std::pop_heap(frontier_.begin(), frontier_.end(), greater);
     const std::uint32_t i = frontier_.back();
@@ -247,7 +284,7 @@ const std::vector<ProcessorId>& Cluster::belowUtilization(
   const double lim = limit.value();
   if (!index_enabled_) {
     for (std::uint32_t i = 0; i < cpus_.size(); ++i) {
-      if (last_sample_[i].value() < lim) {
+      if (cpus_[i]->isUp() && last_sample_[i].value() < lim) {
         below_scratch_.push_back(ProcessorId{i});
       }
     }

@@ -56,6 +56,17 @@ class Cluster {
   bool hasBackgroundLoad() const { return !bg_.empty(); }
   BackgroundLoad& backgroundLoad(ProcessorId id);
 
+  /// Crash or restart a node. Forwards to Processor::setUp (a crash aborts
+  /// every resident job) and masks/unmasks the node in the utilization
+  /// index: down nodes are invisible to leastUtilized(),
+  /// belowUtilization() and cursors — in both indexed and reference-scan
+  /// modes — so no allocator can place work on them. Invalidates the index
+  /// and any outstanding cursors.
+  void setNodeUp(ProcessorId id, bool up);
+  bool isUp(ProcessorId id) const { return processor(id).isUp(); }
+  /// Number of nodes currently up.
+  std::size_t upCount() const;
+
   /// Samples every node's utilization over the window since the previous
   /// sample; the result is retained and served by lastUtilization().
   /// Invalidates the utilization index (rebuilt lazily on the next query).

@@ -15,6 +15,10 @@ struct JobId {
   constexpr auto operator<=>(const JobId&) const = default;
 };
 
+/// Returned by Processor::submit when the job was dropped (node down).
+/// Never assigned to a real job; abort(kNoJob) is a harmless no-op.
+inline constexpr JobId kNoJob{0};
+
 /// A unit of CPU work: `demand` milliseconds of pure service time.
 ///
 /// Under round-robin sharing with other jobs the *response* time observed

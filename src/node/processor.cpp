@@ -24,11 +24,16 @@ Processor::Processor(sim::Simulator& simulator, ProcessorId id,
 
 JobId Processor::submit(Job job) {
   RTDRM_ASSERT(job.demand >= SimDuration::zero());
+  if (!up_) {
+    ++jobs_rejected_;
+    return kNoJob;
+  }
   const JobId id{next_job_++};
   const int prio = job.priority;
   // Demand is reference-speed CPU time; this node serves it at its own
-  // speed, so the resident's remaining counter is wall service time.
-  const SimDuration wall = job.demand / config_.speed;
+  // (possibly throttled) speed, so the resident's remaining counter is
+  // wall service time.
+  const SimDuration wall = job.demand / (config_.speed * speed_factor_);
   queue_.push_back(Resident{id, wall, std::move(job)});
   if (!running_) {
     dispatch();
@@ -64,6 +69,41 @@ bool Processor::abort(JobId id) {
     return true;
   }
   return false;
+}
+
+void Processor::setUp(bool up) {
+  if (up == up_) {
+    return;
+  }
+  if (!up) {
+    // Crash: whatever was resident is lost with the node's private memory.
+    // No on_complete fires — submitters see their work vanish, exactly the
+    // failure mode the manager's detector has to recover from.
+    if (running_) {
+      settleRunningStretch();
+    }
+    jobs_aborted_ += queue_.size();
+    queue_.clear();
+  }
+  up_ = up;
+}
+
+void Processor::setSpeedFactor(double factor) {
+  RTDRM_ASSERT(factor > 0.0);
+  if (factor == speed_factor_) {
+    return;
+  }
+  if (running_) {
+    settleRunningStretch();
+  }
+  // Outstanding wall time was priced at the old effective speed; re-price
+  // it so the remaining demand is served at the new rate from now on.
+  const double scale = speed_factor_ / factor;
+  for (Resident& r : queue_) {
+    r.remaining = r.remaining * scale;
+  }
+  speed_factor_ = factor;
+  dispatch();
 }
 
 SimDuration Processor::busyTime() const {

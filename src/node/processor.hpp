@@ -52,12 +52,28 @@ class Processor {
   const ProcessorConfig& config() const { return config_; }
 
   /// Submit a job for execution. Returns its id immediately; the job's
-  /// on_complete fires when its full demand has been served.
+  /// on_complete fires when its full demand has been served. A down node
+  /// drops the job (counted in jobsRejected()) and returns kNoJob — its
+  /// on_complete never fires, exactly like a crash between submit and
+  /// completion.
   JobId submit(Job job);
 
   /// Abort a queued or running job (its on_complete never fires).
   /// Returns false if the job is unknown or already finished.
   bool abort(JobId id);
+
+  /// Crash (`up = false`) or restart (`up = true`) the node. A crash
+  /// silently aborts every resident job — in-flight completions are lost,
+  /// no on_complete callbacks fire — and freezes busyTime(). A restart
+  /// brings the node back empty; state held in its private memory is gone.
+  void setUp(bool up);
+  bool isUp() const { return up_; }
+
+  /// Transient CPU throttling: effective speed is config().speed * factor.
+  /// Rescales the remaining wall time of resident jobs (their outstanding
+  /// demand is served at the new rate from now on). Factor must be > 0.
+  void setSpeedFactor(double factor);
+  double speedFactor() const { return speed_factor_; }
 
   /// Number of jobs resident (queued + running).
   std::size_t residentJobs() const { return queue_.size(); }
@@ -70,6 +86,8 @@ class Processor {
 
   std::uint64_t jobsCompleted() const { return jobs_completed_; }
   std::uint64_t jobsAborted() const { return jobs_aborted_; }
+  /// Jobs dropped because they were submitted while the node was down.
+  std::uint64_t jobsRejected() const { return jobs_rejected_; }
 
  private:
   struct Resident {
@@ -90,6 +108,8 @@ class Processor {
   ProcessorConfig config_;
 
   std::deque<Resident> queue_;
+  bool up_ = true;
+  double speed_factor_ = 1.0;
   bool running_ = false;
   SimTime stretch_start_ = SimTime::zero();
   SimDuration stretch_len_ = SimDuration::zero();
@@ -99,6 +119,7 @@ class Processor {
   std::uint64_t next_job_ = 1;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_aborted_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
 };
 
 /// Measures a processor's utilization over successive sampling intervals.

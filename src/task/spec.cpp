@@ -43,9 +43,10 @@ void ReplicaSet::removeLast() {
 }
 
 void ReplicaSet::remove(ProcessorId p) {
-  RTDRM_ASSERT_MSG(p != primary(), "cannot remove the primary replica");
+  RTDRM_ASSERT_MSG(nodes_.size() > 1, "replica set cannot go empty");
   const auto it = std::find(nodes_.begin(), nodes_.end(), p);
   RTDRM_ASSERT_MSG(it != nodes_.end(), "no replica on that processor");
+  // Removing the front entry promotes the next-oldest replica to primary.
   clearBit(p);
   nodes_.erase(it);
 }

@@ -87,7 +87,9 @@ class ReplicaSet {
   void add(ProcessorId p);
   /// Removes the last added replica. Pre: size() > 1 (the primary stays).
   void removeLast();
-  /// Removes the replica on `p`. Pre: contains(p) and p is not the primary.
+  /// Removes the replica on `p`. Pre: contains(p) and size() > 1 — the set
+  /// never goes empty. Removing the primary promotes the next-oldest
+  /// replica (failover: the dead primary's successor takes over).
   /// (Extension beyond the paper's Fig. 6, which only pops the last added.)
   void remove(ProcessorId p);
 

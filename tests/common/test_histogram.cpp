@@ -83,6 +83,20 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_LE(h.quantile(1.0), 6.0);
 }
 
+TEST(Histogram, QuantileZeroReturnsFirstPopulatedBucketEdge) {
+  // Regression: with no underflow samples, quantile(0.0) used to return
+  // lo_ even when every sample sat in a higher bucket.
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.5);  // bucket [5, 6)
+  h.add(5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  // A populated underflow bin legitimately claims q=0 at lo_.
+  Histogram u(0.0, 10.0, 10);
+  u.add(-1.0);
+  u.add(5.5);
+  EXPECT_DOUBLE_EQ(u.quantile(0.0), 0.0);
+}
+
 TEST(Histogram, QuantileWithOverflowClampsToHi) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 10; ++i) {

@@ -140,9 +140,17 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
 }
 
-TEST(Percentile, EmptyAndSingle) {
-  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+TEST(Percentile, Single) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(PercentileDeathTest, EmptyInputAsserts) {
+  EXPECT_DEATH(percentile({}, 50.0), "empty");
+}
+
+TEST(TimeWeightedMean, NeverUpdatedMeansZero) {
+  const TimeWeightedMean m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
 }
 
 }  // namespace

@@ -158,6 +158,27 @@ TEST(SlackMonitor, ResetStreaksClearsHysteresis) {
   EXPECT_EQ(mon.evaluate(high_slack, budgets(), p).size(), 1u);
 }
 
+// Fault-recovery path: an aborted period both demands replication and
+// clears any accumulated shutdown streak — a crash must not let a
+// pre-crash run of lazy periods shut a replica down right after recovery.
+TEST(SlackMonitor, AbortResetsShutdownStreak) {
+  const auto spec = twoReplicableSpec();
+  MonitorConfig cfg;
+  cfg.shutdown_hysteresis = 2;
+  SlackMonitor mon(spec, cfg);
+  task::Placement p = onePerStage();
+  p.stage(1).add(ProcessorId{3});
+  const auto high_slack = record(50.0, 10.0, 50.0);
+  EXPECT_TRUE(mon.evaluate(high_slack, budgets(), p).empty());  // streak 1
+  const auto aborted = record(50.0, 10.0, 50.0, /*completed=*/false);
+  const auto crash_actions = mon.evaluate(aborted, budgets(), p);
+  ASSERT_EQ(crash_actions.size(), 2u);
+  EXPECT_EQ(crash_actions[0].kind, ActionKind::kReplicate);
+  // The pre-abort streak is gone: two more high-slack periods are needed.
+  EXPECT_TRUE(mon.evaluate(high_slack, budgets(), p).empty());
+  EXPECT_EQ(mon.evaluate(high_slack, budgets(), p).size(), 1u);
+}
+
 TEST(SlackMonitor, TrueLatencyModeIgnoresClockError) {
   const auto spec = twoReplicableSpec();
   MonitorConfig cfg;

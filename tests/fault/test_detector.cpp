@@ -1,0 +1,130 @@
+#include "fault/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::fault {
+namespace {
+
+net::EthernetConfig fastWire() {
+  net::EthernetConfig cfg;
+  cfg.host_ns_per_byte = 0.0;
+  cfg.propagation = SimDuration::micros(5.0);
+  return cfg;
+}
+
+DetectorConfig tightConfig() {
+  DetectorConfig cfg;
+  cfg.interval = SimDuration::millis(20.0);
+  cfg.timeout = SimDuration::millis(50.0);
+  cfg.max_retries = 2;
+  cfg.retry_backoff = SimDuration::millis(5.0);
+  return cfg;
+}
+
+TEST(FailureDetector, QuietWireNeverDeclaresDead) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 4);
+  net::Ethernet net(sim, 4, fastWire());
+  std::vector<ProcessorId> deaths;
+  FailureDetector detector(sim, cluster, net, tightConfig(),
+                           [&](ProcessorId p) { deaths.push_back(p); });
+  detector.start(sim.now());
+  sim.runUntil(SimTime::seconds(2.0));
+  detector.stop();
+  EXPECT_TRUE(deaths.empty());
+  EXPECT_EQ(detector.declaredDead(), 0u);
+  EXPECT_GT(detector.heartbeatsSent(), 0u);
+  EXPECT_GT(detector.acksReceived(), 0u);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(detector.believesUp(ProcessorId{i}));
+  }
+}
+
+TEST(FailureDetector, DetectsCrashWithinWorstCaseBudget) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 3);
+  net::Ethernet net(sim, 3, fastWire());
+  const DetectorConfig cfg = tightConfig();
+  double declared_at = -1.0;
+  ProcessorId declared{0};
+  FailureDetector detector(sim, cluster, net, cfg, [&](ProcessorId p) {
+    declared = p;
+    declared_at = sim.now().ms();
+  });
+  detector.start(sim.now());
+  const double crash_ms = 100.0;
+  sim.scheduleAt(SimTime::millis(crash_ms),
+                 [&] { cluster.setNodeUp(ProcessorId{1}, false); });
+  sim.runUntil(SimTime::seconds(1.0));
+  detector.stop();
+
+  ASSERT_EQ(declared, ProcessorId{1});
+  EXPECT_EQ(detector.declaredDead(), 1u);
+  EXPECT_FALSE(detector.believesUp(ProcessorId{1}));
+  EXPECT_TRUE(detector.believesUp(ProcessorId{2}));
+  // Worst case on a quiet wire: staleness timeout + retries with backoff
+  // + one probe interval of phase.
+  const double budget = cfg.timeout.ms() +
+                        static_cast<double>(cfg.max_retries + 1) *
+                            cfg.interval.ms() +
+                        static_cast<double>(cfg.max_retries) *
+                            cfg.retry_backoff.ms();
+  EXPECT_GT(declared_at, crash_ms);
+  EXPECT_LE(declared_at - crash_ms, budget);
+  EXPECT_GT(detector.retriesSent(), 0u);
+}
+
+TEST(FailureDetector, RestartNoticedByNextAck) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 3);
+  net::Ethernet net(sim, 3, fastWire());
+  const DetectorConfig cfg = tightConfig();
+  std::vector<double> downs, ups;
+  FailureDetector detector(
+      sim, cluster, net, cfg,
+      [&](ProcessorId) { downs.push_back(sim.now().ms()); },
+      [&](ProcessorId) { ups.push_back(sim.now().ms()); });
+  detector.start(sim.now());
+  sim.scheduleAt(SimTime::millis(100.0),
+                 [&] { cluster.setNodeUp(ProcessorId{1}, false); });
+  sim.scheduleAt(SimTime::millis(500.0),
+                 [&] { cluster.setNodeUp(ProcessorId{1}, true); });
+  sim.runUntil(SimTime::seconds(1.0));
+  detector.stop();
+
+  ASSERT_EQ(downs.size(), 1u);
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_GT(ups[0], 500.0);
+  EXPECT_LE(ups[0] - 500.0, 2.0 * cfg.interval.ms());
+  EXPECT_TRUE(detector.believesUp(ProcessorId{1}));
+  EXPECT_EQ(detector.declaredDead(), 1u);
+  EXPECT_EQ(detector.declaredRecovered(), 1u);
+}
+
+TEST(FailureDetector, BeliefLagsGroundTruth) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 2);
+  net::Ethernet net(sim, 2, fastWire());
+  FailureDetector detector(sim, cluster, net, tightConfig(),
+                           [](ProcessorId) {});
+  detector.start(sim.now());
+  sim.scheduleAt(SimTime::millis(100.0),
+                 [&] { cluster.setNodeUp(ProcessorId{1}, false); });
+  // Just after the crash the detector still believes the node is up: the
+  // staleness window has not elapsed.
+  sim.runUntil(SimTime::millis(110.0));
+  EXPECT_FALSE(cluster.isUp(ProcessorId{1}));
+  EXPECT_TRUE(detector.believesUp(ProcessorId{1}));
+  sim.runUntil(SimTime::seconds(1.0));
+  EXPECT_FALSE(detector.believesUp(ProcessorId{1}));
+  detector.stop();
+}
+
+}  // namespace
+}  // namespace rtdrm::fault

@@ -1,0 +1,197 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/clock_sync.hpp"
+#include "net/ethernet.hpp"
+#include "node/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::fault {
+namespace {
+
+net::EthernetConfig wireOnly() {
+  net::EthernetConfig cfg;
+  cfg.host_ns_per_byte = 0.0;
+  cfg.propagation = SimDuration::zero();
+  return cfg;
+}
+
+struct Recorder final : FaultObserver {
+  void onCrash(ProcessorId node, SimTime at) override {
+    crashes.push_back({node, at});
+  }
+  void onRestart(ProcessorId node, SimTime at) override {
+    restarts.push_back({node, at});
+  }
+  std::vector<std::pair<ProcessorId, SimTime>> crashes;
+  std::vector<std::pair<ProcessorId, SimTime>> restarts;
+};
+
+TEST(FaultInjector, CrashAndRestartFlipNodeStateAtScheduledTimes) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 3);
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashFault{ProcessorId{1}, SimTime::millis(50.0), SimTime::millis(150.0)});
+  FaultInjector injector(sim, cluster, nullptr, nullptr, std::move(plan));
+  Recorder rec;
+  injector.setObserver(&rec);
+  injector.arm();
+
+  sim.runUntil(SimTime::millis(49.0));
+  EXPECT_TRUE(cluster.isUp(ProcessorId{1}));
+  sim.runUntil(SimTime::millis(60.0));
+  EXPECT_FALSE(cluster.isUp(ProcessorId{1}));
+  EXPECT_EQ(cluster.upCount(), 2u);
+  sim.runUntil(SimTime::millis(200.0));
+  EXPECT_TRUE(cluster.isUp(ProcessorId{1}));
+  EXPECT_EQ(cluster.upCount(), 3u);
+
+  EXPECT_EQ(injector.crashesInjected(), 1u);
+  EXPECT_EQ(injector.restartsInjected(), 1u);
+  ASSERT_EQ(rec.crashes.size(), 1u);
+  EXPECT_EQ(rec.crashes[0].first, ProcessorId{1});
+  EXPECT_DOUBLE_EQ(rec.crashes[0].second.ms(), 50.0);
+  ASSERT_EQ(rec.restarts.size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.restarts[0].second.ms(), 150.0);
+  injector.setObserver(nullptr);
+}
+
+TEST(FaultInjector, CrashAbortsResidentJobsSilently) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 2);
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashFault{ProcessorId{0}, SimTime::millis(5.0), std::nullopt});
+  FaultInjector injector(sim, cluster, nullptr, nullptr, std::move(plan));
+  injector.arm();
+  bool completed = false;
+  cluster.processor(ProcessorId{0})
+      .submit(node::Job{SimDuration::millis(20.0),
+                        [&] { completed = true; }, "victim"});
+  sim.runAll();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(cluster.processor(ProcessorId{0}).jobsAborted(), 1u);
+}
+
+TEST(FaultInjector, ThrottleWindowChangesSpeedFactor) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 2);
+  FaultPlan plan;
+  plan.throttles.push_back(ThrottleFault{
+      ProcessorId{0}, SimTime::millis(10.0), SimTime::millis(30.0), 0.5});
+  FaultInjector injector(sim, cluster, nullptr, nullptr, std::move(plan));
+  injector.arm();
+
+  sim.runUntil(SimTime::millis(9.0));
+  EXPECT_DOUBLE_EQ(cluster.processor(ProcessorId{0}).speedFactor(), 1.0);
+  sim.runUntil(SimTime::millis(20.0));
+  EXPECT_DOUBLE_EQ(cluster.processor(ProcessorId{0}).speedFactor(), 0.5);
+  sim.runUntil(SimTime::millis(40.0));
+  EXPECT_DOUBLE_EQ(cluster.processor(ProcessorId{0}).speedFactor(), 1.0);
+  EXPECT_EQ(injector.throttleEdges(), 2u);
+}
+
+TEST(FaultInjector, ClockOutageSkipsSyncRounds) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 3);
+  net::ClockSyncConfig ccfg;
+  ccfg.sync_period = SimDuration::millis(10.0);
+  net::ClockFabric clocks(sim, 3, Xoshiro256(11), ccfg);
+  FaultPlan plan;
+  plan.clock_outages.push_back(
+      ClockOutage{SimTime::millis(15.0), SimTime::millis(55.0)});
+  FaultInjector injector(sim, cluster, nullptr, &clocks, std::move(plan));
+  injector.arm();
+  clocks.startSync();
+  sim.runUntil(SimTime::millis(100.0));
+  // Rounds at 20/30/40/50 ms fall inside the outage window.
+  EXPECT_EQ(clocks.syncRoundsSkipped(), 4u);
+}
+
+TEST(FaultInjector, LossNeverSuppressesDeliveryAndReplaysIdentically) {
+  auto episode = [](std::uint64_t plan_seed, std::uint64_t* lost,
+                    std::uint64_t* dup) {
+    sim::Simulator sim;
+    node::Cluster cluster(sim, 2);
+    net::Ethernet net(sim, 2, wireOnly());
+    FaultPlan plan;
+    plan.seed = plan_seed;
+    plan.links.push_back(LinkFault{kAnyNode, kAnyNode, SimTime::zero(),
+                                   SimTime::seconds(10.0),
+                                   kMaxLossProbability, 0.25});
+    FaultInjector injector(sim, cluster, &net, nullptr, std::move(plan));
+    injector.arm();
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < 40; ++i) {
+      net.send(net::Message{ProcessorId{0}, ProcessorId{1}, Bytes::of(200.0),
+                            "m", [&](const net::MessageReceipt&) {
+                              ++delivered;
+                            }});
+    }
+    sim.runAll();
+    *lost = net.framesLost();
+    *dup = net.framesDuplicated();
+    EXPECT_EQ(delivered, 40u);  // loss only delays, never suppresses
+    EXPECT_EQ(net.messagesDelivered(), 40u);
+    EXPECT_GT(net.framesLost(), 0u);
+  };
+  std::uint64_t lost_a = 0, dup_a = 0, lost_b = 0, dup_b = 0, lost_c = 0,
+                dup_c = 0;
+  episode(7, &lost_a, &dup_a);
+  episode(7, &lost_b, &dup_b);
+  episode(8, &lost_c, &dup_c);
+  EXPECT_EQ(lost_a, lost_b);  // same plan seed => byte-identical faults
+  EXPECT_EQ(dup_a, dup_b);
+  EXPECT_TRUE(lost_a != lost_c || dup_a != dup_c);  // seed actually matters
+}
+
+TEST(FaultInjector, CertainDuplicationIsPureAccounting) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 2);
+  net::Ethernet net(sim, 2, wireOnly());
+  FaultPlan plan;
+  plan.links.push_back(LinkFault{ProcessorId{0}, ProcessorId{1},
+                                 SimTime::zero(), SimTime::seconds(1.0), 0.0,
+                                 1.0});
+  FaultInjector injector(sim, cluster, &net, nullptr, std::move(plan));
+  injector.arm();
+  std::uint64_t delivered = 0;
+  net.send(net::Message{ProcessorId{0}, ProcessorId{1}, Bytes::of(1500.0),
+                        "m",
+                        [&](const net::MessageReceipt&) { ++delivered; }});
+  sim.runAll();
+  EXPECT_EQ(delivered, 1u);  // the receiver discards the duplicate
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+  EXPECT_EQ(net.framesDuplicated(), 1u);
+  // The duplicate occupies a second wire slot: 2 x (1500 + 38) B.
+  EXPECT_NEAR(net.busyTime().ms(), 2.0 * 1538.0 * 8.0 / 100e6 * 1000.0,
+              1e-9);
+}
+
+TEST(FaultInjector, EmptyPlanHasZeroFootprint) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 2);
+  net::Ethernet net(sim, 2, wireOnly());
+  FaultInjector injector(sim, cluster, &net, nullptr, FaultPlan{});
+  injector.arm();
+  double with_injector = -1.0;
+  net.send(net::Message{ProcessorId{0}, ProcessorId{1}, Bytes::of(1500.0),
+                        "m", [&](const net::MessageReceipt& r) {
+                          with_injector = r.delivered.ms();
+                        }});
+  sim.runAll();
+  EXPECT_EQ(injector.crashesInjected(), 0u);
+  EXPECT_EQ(injector.throttleEdges(), 0u);
+  EXPECT_EQ(net.framesLost(), 0u);
+  EXPECT_EQ(net.framesDuplicated(), 0u);
+  // Same timing as a run with no injector at all.
+  EXPECT_NEAR(with_injector, 1538.0 * 8.0 / 100e6 * 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtdrm::fault

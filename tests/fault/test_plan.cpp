@@ -1,0 +1,82 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdrm::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsEmptyAndValid) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.entryCount(), 0u);
+  plan.validate(4);
+}
+
+TEST(FaultPlan, EntryCountSumsAllKinds) {
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashFault{ProcessorId{1}, SimTime::millis(10.0), std::nullopt});
+  plan.throttles.push_back(ThrottleFault{
+      ProcessorId{0}, SimTime::millis(5.0), SimTime::millis(20.0), 0.5});
+  plan.links.push_back(LinkFault{kAnyNode, kAnyNode, SimTime::millis(0.0),
+                                 SimTime::millis(50.0), 0.2, 0.1});
+  plan.clock_outages.push_back(
+      ClockOutage{SimTime::millis(30.0), SimTime::millis(60.0)});
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.entryCount(), 4u);
+  plan.validate(2);
+}
+
+TEST(FaultPlan, WildcardLinkEndpointsAreValid) {
+  FaultPlan plan;
+  plan.links.push_back(LinkFault{kAnyNode, ProcessorId{3},
+                                 SimTime::millis(1.0), SimTime::millis(2.0),
+                                 kMaxLossProbability, 1.0});
+  plan.validate(4);
+}
+
+TEST(FaultPlanDeathTest, CrashNodeOutOfRange) {
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashFault{ProcessorId{4}, SimTime::millis(10.0), std::nullopt});
+  EXPECT_DEATH(plan.validate(4), "crash node out of range");
+}
+
+TEST(FaultPlanDeathTest, RestartBeforeCrash) {
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashFault{ProcessorId{0}, SimTime::millis(10.0), SimTime::millis(5.0)});
+  EXPECT_DEATH(plan.validate(2), "restart must come after the crash");
+}
+
+TEST(FaultPlanDeathTest, EmptyThrottleWindow) {
+  FaultPlan plan;
+  plan.throttles.push_back(ThrottleFault{
+      ProcessorId{0}, SimTime::millis(10.0), SimTime::millis(10.0), 0.5});
+  EXPECT_DEATH(plan.validate(2), "empty throttle window");
+}
+
+TEST(FaultPlanDeathTest, NonPositiveThrottleFactor) {
+  FaultPlan plan;
+  plan.throttles.push_back(ThrottleFault{
+      ProcessorId{0}, SimTime::millis(1.0), SimTime::millis(2.0), 0.0});
+  EXPECT_DEATH(plan.validate(2), "throttle factor must be positive");
+}
+
+TEST(FaultPlanDeathTest, LossAboveRetransmissionBound) {
+  FaultPlan plan;
+  plan.links.push_back(LinkFault{kAnyNode, kAnyNode, SimTime::millis(0.0),
+                                 SimTime::millis(1.0),
+                                 kMaxLossProbability + 0.01, 0.0});
+  EXPECT_DEATH(plan.validate(2), "loss probability");
+}
+
+TEST(FaultPlanDeathTest, EmptyClockOutageWindow) {
+  FaultPlan plan;
+  plan.clock_outages.push_back(
+      ClockOutage{SimTime::millis(5.0), SimTime::millis(5.0)});
+  EXPECT_DEATH(plan.validate(2), "empty clock outage window");
+}
+
+}  // namespace
+}  // namespace rtdrm::fault

@@ -256,5 +256,115 @@ INSTANTIATE_TEST_SUITE_P(PayloadSizes, EthernetFragmentation,
                          ::testing::Values(0.0, 1.0, 46.0, 1499.0, 1500.0,
                                            1501.0, 3000.0, 80000.0));
 
+// Regression: the delivered counter and the delivery observer fire inside
+// the scheduled delivery event — at the receipt's `delivered` time, after
+// the propagation delay — not eagerly when the last frame clears the wire.
+TEST(Ethernet, WireDeliveryCountedAtDeliveryTime) {
+  sim::Simulator sim;
+  EthernetConfig cfg = wireOnly();
+  cfg.propagation = SimDuration::millis(1.0);
+  Ethernet net(sim, 2, cfg);
+  double observed_at = -1.0;
+  net.setDeliveryObserver(
+      [&](const MessageReceipt& r) {
+        observed_at = sim.now().ms();
+        EXPECT_DOUBLE_EQ(r.delivered.ms(), sim.now().ms());
+      });
+  net.send(Message{ProcessorId{0}, ProcessorId{1}, Bytes::of(1500.0), "m",
+                   {}});
+  const double wire_ms = 1538.0 * 8.0 / 100e6 * 1000.0;
+  sim.runUntil(SimTime::millis(wire_ms + 0.5));  // wire clear, in flight
+  EXPECT_EQ(net.messagesDelivered(), 0u);
+  EXPECT_DOUBLE_EQ(observed_at, -1.0);
+  sim.runAll();
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+  EXPECT_NEAR(observed_at, wire_ms + 1.0, 1e-9);
+  net.setDeliveryObserver(nullptr);
+}
+
+TEST(Ethernet, LocalDeliveryCountedAfterPropagation) {
+  sim::Simulator sim;
+  EthernetConfig cfg = wireOnly();
+  cfg.propagation = SimDuration::millis(1.0);
+  Ethernet net(sim, 2, cfg);
+  net.send(Message{ProcessorId{0}, ProcessorId{0}, Bytes::of(100.0), "m",
+                   {}});
+  sim.runUntil(SimTime::millis(0.5));
+  EXPECT_EQ(net.messagesDelivered(), 0u);
+  sim.runAll();
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+}
+
+// Pin of intended behaviour: a same-node hand-off bypasses the wire AND
+// the per-NIC marshalling stage — it models an in-memory pointer pass, so
+// it neither pays host_ns_per_byte nor occupies the NIC for later
+// cross-node messages from the same source.
+TEST(Ethernet, LocalDeliveryBypassesMarshallingStage) {
+  sim::Simulator sim;
+  EthernetConfig cfg;  // defaults: host_ns_per_byte = 87.5
+  cfg.propagation = SimDuration::zero();
+  Ethernet net(sim, 2, cfg);
+  double local_at = -1.0;
+  double remote_at = -1.0;
+  // 100 kB locally would cost 8.75 ms of marshalling if it were charged.
+  net.send(Message{ProcessorId{0}, ProcessorId{0}, Bytes::kilo(100.0), "l",
+                   [&](const MessageReceipt& r) {
+                     local_at = r.delivered.ms();
+                     EXPECT_DOUBLE_EQ(r.bufferDelay().ms(), 0.0);
+                   }});
+  net.send(Message{ProcessorId{0}, ProcessorId{1}, Bytes::of(100.0), "r",
+                   [&](const MessageReceipt& r) {
+                     remote_at = r.delivered.ms();
+                   }});
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(local_at, 0.0);
+  // The cross-node message marshals only its own 100 B (8.75 us) and then
+  // pays one padded frame (138 B): it is NOT queued behind the local
+  // message's hypothetical marshalling.
+  EXPECT_NEAR(remote_at,
+              100.0 * 87.5 * 1e-6 + 138.0 * 8.0 / 100e6 * 1000.0, 1e-9);
+}
+
+TEST(Ethernet, LostFrameIsRetransmittedNotSuppressed) {
+  sim::Simulator sim;
+  Ethernet net(sim, 2, wireOnly());
+  int calls = 0;
+  net.setFrameFateHook([&](ProcessorId, ProcessorId) {
+    return ++calls == 1 ? Ethernet::FrameFate::kLose
+                        : Ethernet::FrameFate::kDeliver;
+  });
+  double delivered_at = -1.0;
+  net.send(Message{ProcessorId{0}, ProcessorId{1}, Bytes::of(1500.0), "m",
+                   [&](const MessageReceipt& r) {
+                     delivered_at = r.delivered.ms();
+                   }});
+  sim.runAll();
+  EXPECT_EQ(net.framesLost(), 1u);
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+  const double frame_ms = 1538.0 * 8.0 / 100e6 * 1000.0;
+  // The lost attempt burned a full wire slot before the retransmit.
+  EXPECT_NEAR(delivered_at, 2.0 * frame_ms, 1e-9);
+  EXPECT_NEAR(net.busyTime().ms(), 2.0 * frame_ms, 1e-9);
+  net.setFrameFateHook(nullptr);
+}
+
+TEST(Ethernet, SameNodeHandoffExemptFromFrameFateHook) {
+  sim::Simulator sim;
+  Ethernet net(sim, 2, wireOnly());
+  int hook_calls = 0;
+  net.setFrameFateHook([&](ProcessorId, ProcessorId) {
+    ++hook_calls;
+    return Ethernet::FrameFate::kLose;
+  });
+  bool delivered = false;
+  net.send(Message{ProcessorId{1}, ProcessorId{1}, Bytes::of(1500.0), "m",
+                   [&](const MessageReceipt&) { delivered = true; }});
+  sim.runAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(hook_calls, 0);
+  EXPECT_EQ(net.framesLost(), 0u);
+  net.setFrameFateHook(nullptr);
+}
+
 }  // namespace
 }  // namespace rtdrm::net

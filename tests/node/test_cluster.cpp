@@ -254,6 +254,81 @@ TEST(Cluster, PerNodeSpeedsApplied) {
   EXPECT_DOUBLE_EQ(slow_done, 20.0);
 }
 
+TEST(Cluster, DownNodeInvisibleToSelection) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  cluster.processor(ProcessorId{0}).submit(
+      Job{SimDuration::millis(5.0), nullptr, "x"});
+  sim.runUntil(SimTime::millis(10.0));
+  cluster.setNodeUp(ProcessorId{1}, false);  // the idle node goes dark
+  cluster.sampleUtilization();
+  EXPECT_EQ(cluster.upCount(), 2u);
+
+  const auto least = cluster.leastUtilized({});
+  ASSERT_TRUE(least.has_value());
+  EXPECT_EQ(*least, (ProcessorId{2}));  // idle AND up
+  // Mean is over surviving nodes: (0.5 + 0.0) / 2.
+  EXPECT_NEAR(cluster.meanUtilization().value(), 0.25, 1e-9);
+  const auto& below = cluster.belowUtilization(Utilization::fraction(0.4));
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_EQ(below[0], (ProcessorId{2}));
+
+  auto cursor = cluster.utilizationCursor({});
+  std::size_t yielded = 0;
+  while (cursor.next().has_value()) {
+    ++yielded;
+  }
+  EXPECT_EQ(yielded, 2u);
+}
+
+TEST(Cluster, MaskingAgreesWithReferenceScan) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 4);
+  cluster.processor(ProcessorId{0}).submit(
+      Job{SimDuration::millis(8.0), nullptr, "a"});
+  cluster.processor(ProcessorId{2}).submit(
+      Job{SimDuration::millis(4.0), nullptr, "b"});
+  sim.runUntil(SimTime::millis(10.0));
+  cluster.setNodeUp(ProcessorId{1}, false);
+  cluster.setNodeUp(ProcessorId{3}, false);
+  cluster.sampleUtilization();
+  const auto indexed = cluster.leastUtilized({});
+  cluster.setUtilizationIndexEnabled(false);
+  const auto scanned = cluster.leastUtilized({});
+  ASSERT_TRUE(indexed.has_value());
+  ASSERT_TRUE(scanned.has_value());
+  EXPECT_EQ(*indexed, *scanned);
+  EXPECT_EQ(*indexed, (ProcessorId{2}));  // busiest survivors: 0.8 vs 0.4
+}
+
+TEST(Cluster, RestartUnmasksNode) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 3);
+  cluster.processor(ProcessorId{2}).submit(
+      Job{SimDuration::millis(5.0), nullptr, "x"});
+  cluster.setNodeUp(ProcessorId{0}, false);
+  cluster.setNodeUp(ProcessorId{1}, false);
+  sim.runUntil(SimTime::millis(10.0));
+  cluster.sampleUtilization();
+  EXPECT_EQ(cluster.upCount(), 1u);
+  ASSERT_TRUE(cluster.leastUtilized({}).has_value());
+  EXPECT_EQ(*cluster.leastUtilized({}), (ProcessorId{2}));
+  cluster.setNodeUp(ProcessorId{0}, true);
+  cluster.sampleUtilization();
+  EXPECT_EQ(cluster.upCount(), 2u);
+  EXPECT_EQ(*cluster.leastUtilized({}), (ProcessorId{0}));
+}
+
+TEST(Cluster, AllNodesDownYieldsNoCandidate) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2);
+  cluster.setNodeUp(ProcessorId{0}, false);
+  cluster.setNodeUp(ProcessorId{1}, false);
+  cluster.sampleUtilization();
+  EXPECT_EQ(cluster.upCount(), 0u);
+  EXPECT_FALSE(cluster.leastUtilized({}).has_value());
+}
+
 TEST(ClusterDeathTest, SpeedsSizeMismatchAsserts) {
   sim::Simulator sim;
   EXPECT_DEATH(Cluster(sim, 3, {}, {1.0, 2.0}), "one per node");

@@ -318,5 +318,80 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.25, 0.5, 1.0, 2.0, 10.0),
                        ::testing::Values(1, 2, 5, 13)));
 
+TEST(Processor, CrashAbortsResidentJobsSilently) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double done = -1.0;
+  cpu.submit(probe(SimDuration::millis(10.0), &done, sim));
+  sim.runUntil(SimTime::millis(4.0));
+  cpu.setUp(false);
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(done, -1.0);  // on_complete never fired
+  EXPECT_EQ(cpu.jobsAborted(), 1u);
+  EXPECT_EQ(cpu.jobsCompleted(), 0u);
+  EXPECT_FALSE(cpu.isUp());
+  EXPECT_EQ(cpu.residentJobs(), 0u);
+}
+
+TEST(Processor, SubmitWhileDownIsDropped) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  cpu.setUp(false);
+  double done = -1.0;
+  const JobId id = cpu.submit(probe(SimDuration::millis(1.0), &done, sim));
+  sim.runAll();
+  EXPECT_EQ(id, kNoJob);
+  EXPECT_DOUBLE_EQ(done, -1.0);
+  EXPECT_EQ(cpu.jobsRejected(), 1u);
+}
+
+TEST(Processor, RestartComesBackEmptyAndServes) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double lost = -1.0;
+  cpu.submit(probe(SimDuration::millis(10.0), &lost, sim));
+  sim.runUntil(SimTime::millis(2.0));
+  cpu.setUp(false);
+  sim.runUntil(SimTime::millis(5.0));
+  cpu.setUp(true);
+  EXPECT_TRUE(cpu.isUp());
+  EXPECT_EQ(cpu.residentJobs(), 0u);
+  double done = -1.0;
+  cpu.submit(probe(SimDuration::millis(3.0), &done, sim));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(lost, -1.0);
+  EXPECT_DOUBLE_EQ(done, 8.0);  // 5 ms restart + 3 ms demand
+}
+
+TEST(Processor, CrashFreezesBusyTime) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double done = -1.0;
+  cpu.submit(probe(SimDuration::millis(10.0), &done, sim));
+  sim.runUntil(SimTime::millis(4.0));
+  cpu.setUp(false);
+  sim.runUntil(SimTime::millis(20.0));
+  EXPECT_NEAR(cpu.busyTime().ms(), 4.0, 1e-9);
+}
+
+TEST(Processor, ThrottleRescalesRemainingDemand) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  double done = -1.0;
+  cpu.submit(probe(SimDuration::millis(10.0), &done, sim));
+  sim.runUntil(SimTime::millis(4.0));
+  cpu.setSpeedFactor(0.5);  // 6 ms of demand left, now at half speed
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(done, 16.0);
+  cpu.setSpeedFactor(1.0);
+  EXPECT_DOUBLE_EQ(cpu.speedFactor(), 1.0);
+}
+
+TEST(ProcessorDeathTest, NonPositiveSpeedFactorAsserts) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});
+  EXPECT_DEATH(cpu.setSpeedFactor(0.0), "");
+}
+
 }  // namespace
 }  // namespace rtdrm::node

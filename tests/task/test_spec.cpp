@@ -92,10 +92,21 @@ TEST(ReplicaSet, RemoveSpecificReplica) {
   EXPECT_EQ(rs.nodes()[2], (ProcessorId{4}));
 }
 
-TEST(ReplicaSetDeathTest, RemoveRejectsPrimary) {
+TEST(ReplicaSet, RemovingPrimaryPromotesNextOldest) {
+  // Failover: when the primary's node dies, the next-oldest replica takes
+  // over as primary.
   ReplicaSet rs(ProcessorId{0});
+  rs.add(ProcessorId{3});
   rs.add(ProcessorId{1});
-  EXPECT_DEATH(rs.remove(ProcessorId{0}), "primary");
+  rs.remove(ProcessorId{0});
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.primary(), (ProcessorId{3}));
+  EXPECT_FALSE(rs.contains(ProcessorId{0}));
+}
+
+TEST(ReplicaSetDeathTest, RemoveRejectsEmptying) {
+  ReplicaSet rs(ProcessorId{0});
+  EXPECT_DEATH(rs.remove(ProcessorId{0}), "empty");
 }
 
 TEST(ReplicaSetDeathTest, RemoveRejectsUnknownNode) {

@@ -19,7 +19,8 @@
 namespace {
 
 rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
-                                         std::int64_t max_periods, bool flat) {
+                                         std::int64_t max_periods, bool flat,
+                                         bool drop_faults) {
   rtdrm::check::ShrinkSpec shrink;
   if (max_subtasks > 0) {
     shrink.max_subtasks = static_cast<std::size_t>(max_subtasks);
@@ -28,13 +29,14 @@ rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
     shrink.max_periods = static_cast<std::uint64_t>(max_periods);
   }
   shrink.flatten_workload = flat;
+  shrink.drop_faults = drop_faults;
   return shrink;
 }
 
 std::string reproLine(std::uint64_t seed,
-                      const rtdrm::check::ShrinkSpec& shrink) {
+                      const rtdrm::check::ShrinkSpec& shrink, bool faults) {
   return "fuzz_scenarios --replay-seed=" + std::to_string(seed) +
-         shrink.cliFlags();
+         (faults ? " --faults" : "") + shrink.cliFlags();
 }
 
 }  // namespace
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
   std::int64_t max_subtasks = 0;
   std::int64_t max_periods = 0;
   bool flat = false;
+  bool faults = false;
+  bool drop_faults = false;
   bool no_shrink = false;
   bool verbose = false;
   std::string repro_out;
@@ -63,6 +67,12 @@ int main(int argc, char** argv) {
       .addInt("max-periods", "cap the horizon in periods (0 = uncapped)",
               &max_periods)
       .addFlag("flat", "flatten the workload table to its mean", &flat)
+      .addFlag("faults",
+               "grow a fault schedule (crashes, throttles, frame loss, "
+               "clock outages) per seed",
+               &faults)
+      .addFlag("drop-faults", "strip the fault schedule (shrink cap)",
+               &drop_faults)
       .addFlag("no-shrink", "report failures without minimizing", &no_shrink)
       .addFlag("verbose", "print every scenario as it runs", &verbose)
       .addString("repro-out",
@@ -73,15 +83,15 @@ int main(int argc, char** argv) {
   }
 
   const rtdrm::check::ShrinkSpec shrink =
-      shrinkFromFlags(max_subtasks, max_periods, flat);
+      shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults);
 
   if (replay_seed >= 0) {
     const auto seed = static_cast<std::uint64_t>(replay_seed);
     const rtdrm::check::FuzzScenario scenario =
-        rtdrm::check::makeFuzzScenario(seed, shrink);
+        rtdrm::check::makeFuzzScenario(seed, shrink, faults);
     std::cout << "replaying " << scenario.summary() << "\n";
     const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink);
+        rtdrm::check::runFuzzSeed(seed, shrink, faults);
     if (outcome.failed()) {
       std::cout << "FAIL: " << outcome.detail << "\n";
       return 1;
@@ -96,11 +106,12 @@ int main(int argc, char** argv) {
   const auto count = static_cast<std::uint64_t>(seeds);
   for (std::uint64_t seed = first; seed < first + count; ++seed) {
     if (verbose) {
-      std::cout << rtdrm::check::makeFuzzScenario(seed, shrink).summary()
-                << std::endl;
+      std::cout
+          << rtdrm::check::makeFuzzScenario(seed, shrink, faults).summary()
+          << std::endl;
     }
     const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink);
+        rtdrm::check::runFuzzSeed(seed, shrink, faults);
     total_checks += outcome.checks;
     if (!outcome.failed()) {
       if (!verbose && (seed - first + 1) % 50 == 0) {
@@ -120,14 +131,16 @@ int main(int argc, char** argv) {
       std::cout << "shrinking...\n";
       minimal = rtdrm::check::minimize(
           seed, shrink,
-          [](std::uint64_t s, const rtdrm::check::ShrinkSpec& c) {
-            return rtdrm::check::runFuzzSeed(s, c).failed();
-          });
-      std::cout << "minimal scenario: "
-                << rtdrm::check::makeFuzzScenario(seed, minimal).summary()
-                << "\n";
+          [faults](std::uint64_t s, const rtdrm::check::ShrinkSpec& c) {
+            return rtdrm::check::runFuzzSeed(s, c, faults).failed();
+          },
+          faults);
+      std::cout
+          << "minimal scenario: "
+          << rtdrm::check::makeFuzzScenario(seed, minimal, faults).summary()
+          << "\n";
     }
-    const std::string repro = reproLine(seed, minimal);
+    const std::string repro = reproLine(seed, minimal, faults);
     std::cout << "reproduce with:\n  " << repro << "\n";
     if (!repro_out.empty()) {
       std::ofstream out(repro_out);
