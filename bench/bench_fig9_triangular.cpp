@@ -2,11 +2,100 @@
 // pattern: (a) missed-deadline ratio, (b) average CPU utilization,
 // (c) average network utilization, (d) average number of subtask replicas,
 // each versus the pattern's maximum workload (scale unit = 500 tracks).
+//
+// Doubles as the in-binary observability-neutrality gate: one heavy
+// triangular episode is re-run with a full obs bundle attached, and every
+// episode metric must match the plain run bit for bit (the obs layer is a
+// passive sink — attaching it must not perturb a single decision).
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
+#include "obs/obs.hpp"
+#include "workload/patterns.hpp"
 
 using namespace rtdrm;
+
+namespace {
+
+bool sameEpisode(const experiments::EpisodeResult& a,
+                 const experiments::EpisodeResult& b, std::string* why) {
+  const core::EpisodeMetrics& ma = a.metrics;
+  const core::EpisodeMetrics& mb = b.metrics;
+  const struct {
+    const char* what;
+    double lhs;
+    double rhs;
+  } exact[] = {
+      {"missed ratio", ma.missedRatio(), mb.missedRatio()},
+      {"cpu utilization", ma.cpu_utilization.mean(),
+       mb.cpu_utilization.mean()},
+      {"net utilization", ma.net_utilization.mean(),
+       mb.net_utilization.mean()},
+      {"replicas per subtask", ma.replicas_per_subtask.mean(),
+       mb.replicas_per_subtask.mean()},
+      {"end-to-end mean", ma.end_to_end_ms.mean(), mb.end_to_end_ms.mean()},
+      {"shed fraction", ma.shed_fraction.mean(), mb.shed_fraction.mean()},
+      {"replicate actions", static_cast<double>(ma.replicate_actions),
+       static_cast<double>(mb.replicate_actions)},
+      {"shutdown actions", static_cast<double>(ma.shutdown_actions),
+       static_cast<double>(mb.shutdown_actions)},
+      {"allocation failures", static_cast<double>(ma.allocation_failures),
+       static_cast<double>(mb.allocation_failures)},
+  };
+  for (const auto& e : exact) {
+    if (e.lhs != e.rhs) {  // bitwise: identical runs, not "close" runs
+      *why = std::string(e.what) + " diverged (" + std::to_string(e.lhs) +
+             " vs " + std::to_string(e.rhs) + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one heavy triangular episode with and without an attached obs
+/// bundle; both runs must be bit-identical, and the attached run must have
+/// actually recorded decisions (a vacuously-passing gate is a broken gate).
+bool runNeutralityGate() {
+  const auto& spec = bench::aawSpec();
+  const auto& fitted = bench::fittedModels();
+  workload::RampParams ramp;
+  ramp.max_workload = DataSize::tracks(20.0 * 500.0);
+  const auto pattern = workload::makeFig8Pattern("triangular", ramp);
+
+  experiments::EpisodeConfig cfg;
+  cfg.periods = 48;
+  bool ok = true;
+  for (const auto algorithm : {experiments::AlgorithmKind::kPredictive,
+                               experiments::AlgorithmKind::kNonPredictive}) {
+    experiments::EpisodeConfig plain = cfg;
+    const auto baseline =
+        runEpisode(spec, *pattern, fitted.models, algorithm, plain);
+
+    obs::Observability bundle;
+    experiments::EpisodeConfig observed = cfg;
+    observed.obs = &bundle;
+    const auto traced =
+        runEpisode(spec, *pattern, fitted.models, algorithm, observed);
+
+    std::string why;
+    if (!sameEpisode(baseline, traced, &why)) {
+      std::cout << "OBS NEUTRALITY VIOLATION ("
+                << experiments::algorithmName(algorithm) << "): " << why
+                << "\n";
+      ok = false;
+    }
+    if (bundle.trace.recorded() == 0 || bundle.metrics.size() == 0) {
+      std::cout << "OBS GATE VACUOUS ("
+                << experiments::algorithmName(algorithm)
+                << "): attached bundle recorded nothing\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
 
 int main() {
   const auto points = bench::runPaperSweep("triangular");
@@ -43,5 +132,11 @@ int main() {
   std::cout << (ok ? "\nShape check PASSED: non-predictive replicates more "
                      "aggressively on heavy triangular workloads.\n"
                    : "\nShape check FAILED.\n");
-  return ok ? 0 : 1;
+
+  const bool neutral = runNeutralityGate();
+  std::cout << (neutral
+                    ? "Observability neutrality PASSED: attached obs bundle "
+                      "left the episode bit-identical.\n"
+                    : "Observability neutrality FAILED.\n");
+  return ok && neutral ? 0 : 1;
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Schema check for exported Perfetto/Chrome trace-event JSON.
+
+Validates the subset of the trace-event format that obs::writePerfettoJson
+emits, so CI catches exporter regressions without needing the Perfetto UI:
+
+  * top level is an object with "displayTimeUnit" and a "traceEvents" list
+  * every event has name/ph/ts/pid, ph is "i" (instant) or "C" (counter)
+  * instant events are thread-scoped ("s": "t") with an integer tid
+  * ts is a non-negative number (microseconds), args (if present) is an object
+
+Usage: check_perfetto_json.py TRACE.json [TRACE2.json ...]
+Exits nonzero on the first malformed file, with a per-file event summary
+on success.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, f"top level must be an object, got {type(doc).__name__}")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(path, f"displayTimeUnit must be 'ms', got {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "traceEvents must be a list")
+
+    phase_counts = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where}: event must be an object")
+        for key in ("name", "ph", "ts", "pid"):
+            if key not in ev:
+                fail(path, f"{where}: missing required key {key!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(path, f"{where}: name must be a non-empty string")
+        ph = ev["ph"]
+        if ph not in ("i", "C"):
+            fail(path, f"{where}: unexpected phase {ph!r} (exporter emits 'i'/'C')")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(path, f"{where}: ts must be a non-negative number, got {ev['ts']!r}")
+        if not isinstance(ev["pid"], int):
+            fail(path, f"{where}: pid must be an integer, got {ev['pid']!r}")
+        if ph == "i":
+            if ev.get("s") != "t":
+                fail(path, f"{where}: instant event must be thread-scoped ('s': 't')")
+            if not isinstance(ev.get("tid"), int):
+                fail(path, f"{where}: instant event needs an integer tid")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(path, f"{where}: args must be an object")
+        phase_counts[ph] = phase_counts.get(ph, 0) + 1
+
+    summary = ", ".join(f"{n} '{ph}'" for ph, n in sorted(phase_counts.items()))
+    print(f"{path}: OK ({len(events)} events: {summary or 'empty'})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

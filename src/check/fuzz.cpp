@@ -11,6 +11,7 @@
 #include "core/ledger.hpp"
 #include "core/manager.hpp"
 #include "fault/injector.hpp"
+#include "obs/obs.hpp"
 #include "sim/trace.hpp"
 
 namespace rtdrm::check {
@@ -28,6 +29,18 @@ void appendHex(std::string& out, double v) {
 void appendCount(std::string& out, std::uint64_t v) {
   out += std::to_string(v);
   out += ',';
+}
+
+/// One reconciliation line: appended only when the sources disagree.
+void reconcile(std::string& out, const char* what, std::uint64_t obs_value,
+               std::uint64_t metrics_value, std::uint64_t oracle_value) {
+  if (obs_value == metrics_value && metrics_value == oracle_value) {
+    return;
+  }
+  out += what;
+  out += ": obs=" + std::to_string(obs_value) +
+         " metrics=" + std::to_string(metrics_value) +
+         " oracle=" + std::to_string(oracle_value) + "\n";
 }
 
 }  // namespace
@@ -338,7 +351,8 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
   return s;
 }
 
-FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
+FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
+                           obs::Observability* obs) {
   apps::ScenarioConfig sc;
   sc.node_count = scenario.node_count;
   sc.seed = scenario.seed;
@@ -409,6 +423,9 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
       testbed.streams().get("exec-noise"));
   manager.attachLedger(ledger);
   manager.attachTrace(trace);
+  if (obs != nullptr) {
+    manager.attachObs(*obs);
+  }
   oracle.watch(manager);
 
   // Fault path: injector compiles the plan into events, the heartbeat
@@ -519,6 +536,48 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind) {
     appendCount(d, m.node_failures_handled);
     appendCount(d, m.failover_replacements);
     appendCount(d, m.recovery_allocation_failures);
+  }
+
+  // Observability reconciliation: the obs trace/registry, EpisodeMetrics,
+  // and the oracle's independent observation counters must tell the same
+  // story. Runs strictly after the digest so an attached obs bundle can
+  // never perturb it.
+  if (obs != nullptr) {
+    testbed.sim().exportMetrics(obs->metrics);
+    testbed.ethernet().exportMetrics(obs->metrics);
+    testbed.cluster().exportMetrics(obs->metrics);
+    manager.exportMetrics(obs->metrics);
+    if (detector != nullptr) {
+      detector->exportMetrics(obs->metrics);
+    }
+
+    std::string& r = out.obs_mismatch;
+    const obs::TraceBuffer& tb = obs->trace;
+    reconcile(r, "misses", tb.count(obs::RecordKind::kMiss),
+              m.missed_deadlines.hits(), oracle.missesObserved());
+    reconcile(r, "effective-replications",
+              tb.count(obs::RecordKind::kReplicate), m.replicate_actions,
+              oracle.effectiveAllocationsObserved());
+    reconcile(r, "shutdowns", tb.count(obs::RecordKind::kShutdown),
+              m.shutdown_actions, m.shutdown_actions);
+    reconcile(r, "allocation-failures",
+              tb.count(obs::RecordKind::kAllocFailure), m.allocation_failures,
+              m.allocation_failures);
+    const obs::Counter* delivered =
+        obs->metrics.findCounter("net.messages_delivered");
+    reconcile(r, "deliveries", delivered != nullptr ? delivered->value() : 0,
+              testbed.ethernet().messagesDelivered(),
+              oracle.receiptsObserved());
+    const obs::Counter* reg_misses =
+        obs->metrics.findCounter("core.missed_deadlines");
+    reconcile(r, "registry-misses",
+              reg_misses != nullptr ? reg_misses->value() : 0,
+              m.missed_deadlines.hits(), oracle.missesObserved());
+    const obs::Counter* reg_repl =
+        obs->metrics.findCounter("core.replicate_actions");
+    reconcile(r, "registry-replications",
+              reg_repl != nullptr ? reg_repl->value() : 0,
+              m.replicate_actions, oracle.effectiveAllocationsObserved());
   }
   return out;
 }

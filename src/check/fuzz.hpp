@@ -34,6 +34,10 @@
 #include "task/spec.hpp"
 #include "workload/patterns.hpp"
 
+namespace rtdrm::obs {
+struct Observability;
+}  // namespace rtdrm::obs
+
 namespace rtdrm::check {
 
 /// Caps the shrinker applies to a generated scenario (0 / false = uncapped).
@@ -130,10 +134,21 @@ struct FuzzCaseResult {
   /// counters, hex-float formatted). Identical seeds must produce
   /// identical digests.
   std::string digest;
+  /// Observability reconciliation report (only when an obs bundle was
+  /// passed): empty when the obs trace/metrics totals agree with
+  /// EpisodeMetrics and the oracle's own observation counters, else one
+  /// line per disagreement.
+  std::string obs_mismatch;
 };
 
-/// Runs one scenario under one allocator with the oracle attached.
-FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind);
+/// Runs one scenario under one allocator with the oracle attached. When
+/// `obs` is non-null the manager records its decision audit into it, every
+/// substrate exports its counters at the end, and the three accounting
+/// sources (obs, EpisodeMetrics, oracle) are reconciled into
+/// `obs_mismatch`. The digest is computed identically either way — the
+/// neutrality tests rely on that.
+FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
+                           obs::Observability* obs = nullptr);
 
 /// Aggregate verdict for one seed: both allocators, each run twice.
 struct FuzzOutcome {

@@ -554,6 +554,9 @@ void InvariantOracle::onAllocation(const core::ResourceManager& manager,
                                    std::size_t stage, core::AllocStatus status,
                                    const core::AllocationContext& ctx,
                                    const task::ReplicaSet& rs) {
+  if (status != core::AllocStatus::kNoChange) {
+    ++effective_allocations_observed_;
+  }
   checkAllocation(manager.allocator(), ctx, stage, status, rs);
 }
 
@@ -596,7 +599,9 @@ void InvariantOracle::onPlacementChanged(const core::ResourceManager& manager,
 
 void InvariantOracle::onPeriodRecord(const core::ResourceManager& manager,
                                      const task::PeriodRecord& record) {
-  (void)manager;
+  if (record.missed(manager.spec().deadline)) {
+    ++misses_observed_;
+  }
   checkRecord(record);
 }
 

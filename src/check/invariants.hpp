@@ -96,6 +96,19 @@ class InvariantOracle final : public core::ManagerObserver,
   /// Human-readable summary of every recorded violation.
   std::string report() const;
 
+  // ---- independent observation counters ---------------------------------
+  // Tallied from the oracle's own hook invocations, so they form a third
+  // accounting source (besides EpisodeMetrics and the obs layer) for the
+  // observability cross-check tests.
+  /// Delivery receipts seen through the watched Ethernet.
+  std::uint64_t receiptsObserved() const { return receipts_observed_; }
+  /// Period records whose end-to-end latency missed the spec deadline.
+  std::uint64_t missesObserved() const { return misses_observed_; }
+  /// onAllocation calls whose status actually changed the replica set.
+  std::uint64_t effectiveAllocationsObserved() const {
+    return effective_allocations_observed_;
+  }
+
   // ---- granular checks (public so tests can probe them directly) --------
   void checkBudgets(const core::EqfBudgets& budgets, double deadline_ms);
   void checkPlacement(const task::Placement& placement,
@@ -170,6 +183,8 @@ class InvariantOracle final : public core::ManagerObserver,
   std::vector<task::Placement> shadow_placements_;
   std::vector<DownNode> down_nodes_;
   std::uint64_t receipts_observed_ = 0;
+  std::uint64_t misses_observed_ = 0;
+  std::uint64_t effective_allocations_observed_ = 0;
 
   std::uint64_t checks_run_ = 0;
   std::uint64_t violation_count_ = 0;

@@ -4,8 +4,15 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/trace_buffer.hpp"
 
 namespace rtdrm::core {
+
+namespace {
+std::uint16_t stage16(std::size_t stage) {
+  return static_cast<std::uint16_t>(stage);
+}
+}  // namespace
 
 ProcessorId selectShutdownVictim(const task::ReplicaSet& rs,
                                  const node::Cluster& cluster,
@@ -46,7 +53,7 @@ SimDuration PredictiveAllocator::forecastReplicaLatencyOn(
   return forecastWithTotal(ctx, stage, replica_count, node, u, eq5_total);
 }
 
-SimDuration PredictiveAllocator::forecastWithTotal(
+PredictiveAllocator::ForecastParts PredictiveAllocator::forecastParts(
     const AllocationContext& ctx, std::size_t stage,
     std::size_t replica_count, ProcessorId node, Utilization u,
     DataSize eq5_total) const {
@@ -64,7 +71,14 @@ SimDuration PredictiveAllocator::forecastWithTotal(
     ecd = models_.commDelay(share, ctx.spec.messages[stage - 1].bytes_per_track,
                             eq5_total);
   }
-  return eex + ecd;
+  return {eex, ecd};
+}
+
+SimDuration PredictiveAllocator::forecastWithTotal(
+    const AllocationContext& ctx, std::size_t stage,
+    std::size_t replica_count, ProcessorId node, Utilization u,
+    DataSize eq5_total) const {
+  return forecastParts(ctx, stage, replica_count, node, u, eq5_total).total();
 }
 
 AllocStatus PredictiveAllocator::replicate(const AllocationContext& ctx,
@@ -87,26 +101,52 @@ AllocStatus PredictiveAllocator::replicate(const AllocationContext& ctx,
   // fits or processors run out. The cursor yields processors in exactly
   // the order repeated leastUtilized(rs.nodes()) queries would (the sample
   // is fixed for the whole decision), at amortized O(log P) per addition.
+  obs::TraceBuffer* audit = ctx.audit;
+  if (audit != nullptr) {
+    audit->record(obs::RecordKind::kGrowthStart, 0, stage16(stage),
+                  obs::kRecordNoNode, budget, limit);
+  }
   auto cursor = ctx.cluster.utilizationCursor(rs.nodes());
   while (true) {
     const auto pmin = cursor.next();
     if (!pmin) {
       RTDRM_LOG(kDebug) << "predictive: out of processors for stage "
                         << stage << " (|PS|=" << rs.size() << ")";
+      if (audit != nullptr) {
+        audit->record(obs::RecordKind::kGrowthExhausted, 0, stage16(stage),
+                      obs::kRecordNoNode, static_cast<double>(rs.size()));
+      }
       return AllocStatus::kFailure;  // Fig. 5 step 2.1
     }
     rs.add(*pmin);  // steps 3-5
+    if (audit != nullptr) {
+      audit->record(obs::RecordKind::kGrowthTake, 0, stage16(stage),
+                    pmin->value,
+                    ctx.cluster.lastUtilization(*pmin).value());
+    }
 
     bool all_fit = true;  // step 6
     for (ProcessorId q : rs.nodes()) {
       const Utilization u = ctx.cluster.lastUtilization(q);
-      if (forecastWithTotal(ctx, stage, rs.size(), q, u, eq5_total).ms() >
-          limit) {
+      const ForecastParts parts =
+          forecastParts(ctx, stage, rs.size(), q, u, eq5_total);
+      const bool fits = parts.total().ms() <= limit;
+      if (audit != nullptr) {
+        audit->record(obs::RecordKind::kGrowthCheck,
+                      fits ? obs::kFlagAccept : std::uint8_t{0},
+                      stage16(stage), q.value, parts.eex.ms(), parts.ecd.ms(),
+                      limit);
+      }
+      if (!fits) {
         all_fit = false;  // step 6.6: need another replica
         break;
       }
     }
     if (all_fit) {
+      if (audit != nullptr) {
+        audit->record(obs::RecordKind::kGrowthAccept, 0, stage16(stage),
+                      obs::kRecordNoNode, static_cast<double>(rs.size()));
+      }
       return AllocStatus::kSuccess;  // step 7
     }
   }
@@ -120,15 +160,27 @@ AllocStatus NonPredictiveAllocator::replicate(const AllocationContext& ctx,
   // candidate set comes from the cluster's utilization index (ascending id
   // order, same as the seed's full scan), so the work is proportional to
   // the below-threshold nodes rather than the cluster size.
-  bool added = false;
+  obs::TraceBuffer* audit = ctx.audit;
+  std::size_t added = 0;
   for (const ProcessorId p : ctx.cluster.belowUtilization(threshold_)) {
     if (rs.contains(p)) {
       continue;
     }
     rs.add(p);
-    added = true;
+    ++added;
+    if (audit != nullptr) {
+      audit->record(obs::RecordKind::kThresholdTake, obs::kFlagAccept,
+                    stage16(stage), p.value,
+                    ctx.cluster.lastUtilization(p).value(),
+                    threshold_.value());
+    }
   }
-  return added ? AllocStatus::kSuccess : AllocStatus::kNoChange;
+  if (audit != nullptr) {
+    audit->record(obs::RecordKind::kThresholdDone, 0, stage16(stage),
+                  obs::kRecordNoNode, static_cast<double>(added),
+                  static_cast<double>(rs.size()));
+  }
+  return added > 0 ? AllocStatus::kSuccess : AllocStatus::kNoChange;
 }
 
 }  // namespace rtdrm::core

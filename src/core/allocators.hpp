@@ -19,6 +19,10 @@
 #include "node/cluster.hpp"
 #include "task/spec.hpp"
 
+namespace rtdrm::obs {
+class TraceBuffer;
+}  // namespace rtdrm::obs
+
 namespace rtdrm::core {
 
 /// Everything an allocator may look at when deciding (observed state only —
@@ -35,6 +39,11 @@ struct AllocationContext {
   /// sum_i ds(T_i, c) over *all* tasks (eq. 5's Dbuf input). Equals
   /// `workload` in single-task deployments.
   DataSize total_workload = DataSize::zero();
+
+  /// Decision-audit sink: when set, allocators post one structured record
+  /// per growth-loop step (candidate taken, forecast check with both eq.-3
+  /// and eq.-5/6 terms, accept/exhaust). Null = no auditing, no cost.
+  obs::TraceBuffer* audit = nullptr;
 
   DataSize effectiveTotal() const {
     return total_workload > DataSize::zero() ? total_workload : workload;
@@ -108,6 +117,20 @@ class PredictiveAllocator final : public Allocator {
                                        std::size_t replica_count,
                                        ProcessorId node,
                                        Utilization u) const;
+
+  /// The two terms of one replica's forecast: eq.-3 execution latency and
+  /// eq.-5/6 communication delay. The audited growth loop records both;
+  /// the decision itself compares their sum.
+  struct ForecastParts {
+    SimDuration eex;
+    SimDuration ecd;
+    SimDuration total() const { return eex + ecd; }
+  };
+  /// As forecastReplicaLatencyOn, but returning the terms separately (and
+  /// with the eq.-5 total precomputed by the caller).
+  ForecastParts forecastParts(const AllocationContext& ctx, std::size_t stage,
+                              std::size_t replica_count, ProcessorId node,
+                              Utilization u, DataSize eq5_total) const;
 
  private:
   /// The forecast body with the eq.-5 total workload precomputed: the

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 
 namespace rtdrm::core {
 
@@ -81,6 +82,39 @@ void ResourceManager::attachObserver(ManagerObserver& observer) {
   observer_->onBudgetsAssigned(*this, budgets_);
 }
 
+void ResourceManager::attachObs(obs::Observability& o) {
+  RTDRM_ASSERT_MSG(obs_ == nullptr, "observability already attached");
+  obs_ = &o;
+  obs_->trace.setClock([this] { return rt_.sim.now().ms(); });
+}
+
+void ResourceManager::obsRecord(obs::RecordKind kind, std::uint8_t flags,
+                                std::uint16_t stage, std::uint32_t node,
+                                double a, double b, double c) {
+  if (obs_ != nullptr) {
+    obs_->trace.record(kind, flags, stage, node, a, b, c);
+  }
+}
+
+void ResourceManager::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("core.periods_observed").set(metrics_.missed_deadlines.total());
+  reg.counter("core.missed_deadlines").set(metrics_.missed_deadlines.hits());
+  reg.counter("core.replicate_actions").set(metrics_.replicate_actions);
+  reg.counter("core.shutdown_actions").set(metrics_.shutdown_actions);
+  reg.counter("core.allocation_failures").set(metrics_.allocation_failures);
+  reg.counter("core.node_failures_handled")
+      .set(metrics_.node_failures_handled);
+  reg.counter("core.failover_replacements")
+      .set(metrics_.failover_replacements);
+  reg.counter("core.recovery_allocation_failures")
+      .set(metrics_.recovery_allocation_failures);
+  reg.gauge("core.shed_fraction").set(shed_fraction_);
+  reg.gauge("core.mean_cpu_utilization").set(metrics_.cpu_utilization.mean());
+  reg.gauge("core.mean_net_utilization").set(metrics_.net_utilization.mean());
+  reg.gauge("core.mean_replicas_per_subtask")
+      .set(metrics_.replicas_per_subtask.mean());
+}
+
 void ResourceManager::attachLedger(WorkloadLedger& ledger) {
   RTDRM_ASSERT_MSG(ledger_ == nullptr, "ledger already attached");
   ledger_ = &ledger;
@@ -143,10 +177,17 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
     trace(sim::TraceCategory::kMiss,
           "period " + std::to_string(record.period_index),
           record.endToEnd().ms());
+    obsRecord(obs::RecordKind::kMiss, 0, 0, obs::kRecordNoNode,
+              record.endToEnd().ms(),
+              static_cast<double>(record.period_index));
   }
   if (record.completed) {
     metrics_.end_to_end_ms.add(record.endToEnd().ms());
     metrics_.end_to_end_hist.add(record.endToEnd().ms());
+    if (obs_ != nullptr) {
+      obs_->metrics.histogram("core.end_to_end_ms")
+          .observe(record.endToEnd().ms());
+    }
     for (std::size_t i = 0; i < record.stages.size(); ++i) {
       if (record.stages[i].completed) {
         metrics_.stages[i].latency_ms.add(
@@ -201,14 +242,23 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
   bool changed = false;
   for (const Action& a : actions) {
     task::ReplicaSet& rs = placement.stage(a.stage);
+    obsRecord(obs::RecordKind::kMonitorAction,
+              a.kind == ActionKind::kReplicate ? obs::kFlagAccept
+                                               : std::uint8_t{0},
+              static_cast<std::uint16_t>(a.stage));
     if (a.kind == ActionKind::kReplicate) {
       if (rs.size() >= rt_.cluster.size()) {
         ++metrics_.allocation_failures;  // already at max concurrency
+        obsRecord(obs::RecordKind::kAllocFailure, 0,
+                  static_cast<std::uint16_t>(a.stage));
         if (config_.allow_load_shedding &&
             shed_fraction_ < config_.max_shed) {
           shed_fraction_ = std::min(config_.max_shed,
                                     shed_fraction_ + config_.shed_step);
           trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+          obsRecord(obs::RecordKind::kShed, 0,
+                    static_cast<std::uint16_t>(a.stage), obs::kRecordNoNode,
+                    shed_fraction_);
           changed = true;
         }
         continue;
@@ -220,6 +270,8 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       }
       if (status == AllocStatus::kFailure) {
         ++metrics_.allocation_failures;
+        obsRecord(obs::RecordKind::kAllocFailure, 0,
+                  static_cast<std::uint16_t>(a.stage));
         if (config_.allow_load_shedding &&
             shed_fraction_ < config_.max_shed) {
           // Even full replication cannot hold the budget: degrade quality
@@ -227,6 +279,9 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
           shed_fraction_ = std::min(config_.max_shed,
                                     shed_fraction_ + config_.shed_step);
           trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+          obsRecord(obs::RecordKind::kShed, 0,
+                    static_cast<std::uint16_t>(a.stage), obs::kRecordNoNode,
+                    shed_fraction_);
           changed = true;
         }
       }
@@ -237,6 +292,9 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
         trace(sim::TraceCategory::kReplicate,
               spec_.subtasks[a.stage].name,
               static_cast<double>(rs.size()));
+        obsRecord(obs::RecordKind::kReplicate, 0,
+                  static_cast<std::uint16_t>(a.stage), obs::kRecordNoNode,
+                  static_cast<double>(rs.size()));
       }
       RTDRM_LOG(kDebug) << allocator_->name() << ": stage " << a.stage
                         << " -> " << rs.size() << " replicas";
@@ -245,17 +303,24 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       // the shed fraction, and only then releases replicas.
       shed_fraction_ = std::max(0.0, shed_fraction_ - config_.shed_step);
       trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+      obsRecord(obs::RecordKind::kShed, 0,
+                static_cast<std::uint16_t>(a.stage), obs::kRecordNoNode,
+                shed_fraction_);
       changed = true;
     } else {
       // Fig. 6 (or the selective-eviction extension): drop one replica.
       if (rs.size() > 1) {
-        rs.remove(selectShutdownVictim(rs, rt_.cluster,
-                                       config_.shutdown_selection));
+        const ProcessorId victim = selectShutdownVictim(
+            rs, rt_.cluster, config_.shutdown_selection);
+        rs.remove(victim);
         ++metrics_.shutdown_actions;
         ++metrics_.stages[a.stage].shutdown_actions;
         changed = true;
         trace(sim::TraceCategory::kShutdown, spec_.subtasks[a.stage].name,
               static_cast<double>(rs.size()));
+        obsRecord(obs::RecordKind::kShutdown, 0,
+                  static_cast<std::uint16_t>(a.stage), victim.value,
+                  static_cast<double>(rs.size()));
         RTDRM_LOG(kDebug) << "shutdown: stage " << a.stage << " -> "
                           << rs.size() << " replicas";
       }
@@ -269,6 +334,7 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       rt_.sim.scheduleAfter(
           config_.action_latency, [this, placement, workload] {
             runner_->setPlacement(placement);
+            obsRecord(obs::RecordKind::kPlacementChanged);
             if (observer_ != nullptr) {
               observer_->onPlacementChanged(*this, runner_->placement());
             }
@@ -277,6 +343,7 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       return;
     }
     runner_->setPlacement(placement);
+    obsRecord(obs::RecordKind::kPlacementChanged);
     if (observer_ != nullptr) {
       observer_->onPlacementChanged(*this, runner_->placement());
     }
@@ -290,6 +357,7 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
   RTDRM_ASSERT(dead.value < rt_.cluster.size());
   RTDRM_ASSERT_MSG(!rt_.cluster.isUp(dead),
                    "failure handling requires the node already masked");
+  obsRecord(obs::RecordKind::kNodeDown, 0, 0, dead.value);
   task::Placement placement = runner_->placement();
   const DataSize workload = runner_->currentWorkload();
   bool touched = false;
@@ -301,6 +369,9 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
     }
     touched = true;
     ++metrics_.failover_replacements;
+    obsRecord(obs::RecordKind::kFailoverScrub, 0,
+              static_cast<std::uint16_t>(i), dead.value,
+              static_cast<double>(rs.size()));
     if (rs.size() == 1) {
       // Sole replica died: re-home to the least-utilized survivor before
       // dropping the dead node (the set may never go empty). The survivor
@@ -311,6 +382,8 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
         // period aborts at cutoff until a node restarts.
         ++metrics_.allocation_failures;
         ++metrics_.recovery_allocation_failures;
+        obsRecord(obs::RecordKind::kAllocFailure, 0,
+                  static_cast<std::uint16_t>(i));
         continue;
       }
       rs.add(*substitute);
@@ -326,10 +399,14 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
     if (rs.size() >= rt_.cluster.upCount()) {
       ++metrics_.allocation_failures;  // already on every survivor
       ++metrics_.recovery_allocation_failures;
+      obsRecord(obs::RecordKind::kAllocFailure, 0,
+                static_cast<std::uint16_t>(i));
       if (config_.allow_load_shedding && shed_fraction_ < config_.max_shed) {
         shed_fraction_ =
             std::min(config_.max_shed, shed_fraction_ + config_.shed_step);
         trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+        obsRecord(obs::RecordKind::kShed, 0, static_cast<std::uint16_t>(i),
+                  obs::kRecordNoNode, shed_fraction_);
       }
       continue;
     }
@@ -341,12 +418,16 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
     if (status == AllocStatus::kFailure) {
       ++metrics_.allocation_failures;
       ++metrics_.recovery_allocation_failures;
+      obsRecord(obs::RecordKind::kAllocFailure, 0,
+                static_cast<std::uint16_t>(i));
       if (config_.allow_load_shedding && shed_fraction_ < config_.max_shed) {
         // Survivors cannot absorb the lost capacity: degrade quality
         // instead of missing outright (graceful degradation).
         shed_fraction_ =
             std::min(config_.max_shed, shed_fraction_ + config_.shed_step);
         trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
+        obsRecord(obs::RecordKind::kShed, 0, static_cast<std::uint16_t>(i),
+                  obs::kRecordNoNode, shed_fraction_);
       }
     }
     if (status != AllocStatus::kNoChange) {
@@ -354,6 +435,9 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
       ++metrics_.stages[i].replicate_actions;
       trace(sim::TraceCategory::kReplicate, spec_.subtasks[i].name,
             static_cast<double>(rs.size()));
+      obsRecord(obs::RecordKind::kReplicate, 0,
+                static_cast<std::uint16_t>(i), obs::kRecordNoNode,
+                static_cast<double>(rs.size()));
     }
   }
 
@@ -364,6 +448,7 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
   trace(sim::TraceCategory::kCustom, "failover",
         static_cast<double>(dead.value));
   runner_->setPlacement(placement);
+  obsRecord(obs::RecordKind::kPlacementChanged, 0, 0, dead.value);
   if (observer_ != nullptr) {
     observer_->onPlacementChanged(*this, runner_->placement());
   }
@@ -376,13 +461,16 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
 void ResourceManager::handleNodeRestart(ProcessorId node) {
   trace(sim::TraceCategory::kCustom, "restart",
         static_cast<double>(node.value));
+  obsRecord(obs::RecordKind::kNodeRestart, 0, 0, node.value);
 }
 
 AllocationContext ResourceManager::makeContext(DataSize workload) const {
-  return AllocationContext{spec_,    rt_.cluster,
-                           workload, budgets_,
-                           config_.monitor.slack_fraction,
-                           totalWorkload(workload)};
+  AllocationContext ctx{spec_,    rt_.cluster,
+                        workload, budgets_,
+                        config_.monitor.slack_fraction,
+                        totalWorkload(workload)};
+  ctx.audit = obs_ != nullptr ? &obs_->trace : nullptr;
+  return ctx;
 }
 
 void ResourceManager::reassignBudgets(DataSize d) {
@@ -413,6 +501,8 @@ void ResourceManager::reassignBudgets(DataSize d) {
     }
   }
   budgets_ = assignBudgets(in, config_.deadline_strategy);
+  obsRecord(obs::RecordKind::kBudgetsAssigned, 0, 0, obs::kRecordNoNode,
+            d.count());
   if (observer_ != nullptr) {
     observer_->onBudgetsAssigned(*this, budgets_);
   }

@@ -21,8 +21,14 @@
 #include "core/model_refresher.hpp"
 #include "core/monitor.hpp"
 #include "net/ethernet.hpp"
+#include "obs/record.hpp"
 #include "sim/trace.hpp"
 #include "task/task_runner.hpp"
+
+namespace rtdrm::obs {
+struct Observability;
+class MetricsRegistry;
+}  // namespace rtdrm::obs
 
 namespace rtdrm::core {
 
@@ -155,6 +161,16 @@ class ResourceManager {
   /// Attaches an observer (optional, at most one; must outlive the
   /// manager). The observer immediately sees the current budgets.
   void attachObserver(ManagerObserver& observer);
+  /// Attaches the structured observability bundle (optional, at most one;
+  /// must outlive the manager): every decision — growth-loop step,
+  /// monitor action, shed, failover scrub — is posted to its trace ring,
+  /// and exportMetrics() publishes into its registry. Also wires the
+  /// bundle's trace clock to this manager's simulator. Detached (the
+  /// default), every instrumentation site is one null-pointer branch.
+  void attachObs(obs::Observability& o);
+
+  /// Publishes the episode metrics into `reg` under "core." names.
+  void exportMetrics(obs::MetricsRegistry& reg) const;
 
   const EpisodeMetrics& metrics() const { return metrics_; }
   const EqfBudgets& budgets() const { return budgets_; }
@@ -182,6 +198,13 @@ class ResourceManager {
   /// Ledger total when attached, else this task's own workload.
   DataSize totalWorkload(DataSize own) const;
   void trace(sim::TraceCategory cat, const std::string& label, double value);
+  /// Posts to the obs trace ring when a bundle is attached; no-op branch
+  /// otherwise. (Defined in the .cpp: the header only sees a forward
+  /// declaration of Observability.)
+  void obsRecord(obs::RecordKind kind, std::uint8_t flags = 0,
+                 std::uint16_t stage = 0,
+                 std::uint32_t node = obs::kRecordNoNode, double a = 0.0,
+                 double b = 0.0, double c = 0.0);
 
   task::Runtime rt_;
   const task::TaskSpec& spec_;
@@ -198,6 +221,7 @@ class ResourceManager {
   WorkloadLedger::TaskId ledger_id_{};
   sim::TraceRecorder* trace_ = nullptr;
   ManagerObserver* observer_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   std::unique_ptr<ModelRefresher> refresher_;
   double shed_fraction_ = 0.0;
 };

@@ -56,10 +56,21 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
       std::move(allocator), models, config.manager,
       scenario.streams().get("exec-noise"));
 
+  if (config.obs != nullptr) {
+    manager.attachObs(*config.obs);
+  }
+
   manager.start(scenario.sim().now());
   scenario.sim().runFor(spec.period * static_cast<double>(config.periods));
   manager.stop();
   scenario.sim().runFor(spec.period * config.drain_periods);
+
+  if (config.obs != nullptr) {
+    scenario.sim().exportMetrics(config.obs->metrics);
+    scenario.ethernet().exportMetrics(config.obs->metrics);
+    scenario.cluster().exportMetrics(config.obs->metrics);
+    manager.exportMetrics(config.obs->metrics);
+  }
 
   EpisodeResult out;
   out.metrics = manager.metrics();

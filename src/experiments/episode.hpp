@@ -15,6 +15,7 @@
 #include "core/manager.hpp"
 #include "core/metrics.hpp"
 #include "core/models.hpp"
+#include "obs/obs.hpp"
 #include "task/spec.hpp"
 #include "workload/patterns.hpp"
 
@@ -39,6 +40,11 @@ struct EpisodeConfig {
   /// manager.online_refit to study a-posteriori refinement).
   std::uint64_t drift_at_period = 0;
   double drift_cost_scale = 1.0;
+  /// Observability bundle (optional; single-episode runs only — sweeps run
+  /// episodes in parallel and never set it). When non-null the manager's
+  /// decision audit is recorded into its trace ring, and at episode end
+  /// every substrate exports its counters into its registry.
+  obs::Observability* obs = nullptr;
 };
 
 struct EpisodeResult {

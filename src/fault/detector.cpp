@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace rtdrm::fault {
 
@@ -111,6 +112,14 @@ void FailureDetector::onAck(ProcessorId from) {
       on_up_(from);
     }
   }
+}
+
+void FailureDetector::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("fault.heartbeats_sent").set(heartbeats_sent_);
+  reg.counter("fault.acks_received").set(acks_received_);
+  reg.counter("fault.retries_sent").set(retries_sent_);
+  reg.counter("fault.declared_dead").set(declared_dead_);
+  reg.counter("fault.declared_recovered").set(declared_recovered_);
 }
 
 }  // namespace rtdrm::fault

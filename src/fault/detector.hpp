@@ -69,6 +69,9 @@ class FailureDetector {
   std::uint64_t declaredDead() const { return declared_dead_; }
   std::uint64_t declaredRecovered() const { return declared_recovered_; }
 
+  /// Publishes detector counters into `reg` under "fault." names.
+  void exportMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   struct NodeState {
     SimTime last_ack = SimTime::zero();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace rtdrm::net {
 
@@ -191,6 +192,20 @@ std::size_t Ethernet::backloggedMessages() const {
     total += q.size();
   }
   return total;
+}
+
+void Ethernet::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("net.messages_delivered").set(delivered_);
+  reg.counter("net.frames_on_wire").set(frames_);
+  reg.counter("net.frames_lost").set(frames_lost_);
+  reg.counter("net.frames_duplicated").set(frames_duplicated_);
+  reg.counter("net.payload_bytes")
+      .set(static_cast<std::uint64_t>(payload_bytes_));
+  reg.gauge("net.backlogged_messages")
+      .set(static_cast<double>(backloggedMessages()));
+  const double now_ms = sim_.now().ms();
+  reg.gauge("net.wire_utilization")
+      .set(now_ms > 0.0 ? busyTime().ms() / now_ms : 0.0);
 }
 
 Utilization NetworkProbe::peek() const {

@@ -97,6 +97,10 @@ class Ethernet {
   double payloadBytesFrom(ProcessorId nic) const;
   std::size_t backloggedMessages() const;
 
+  /// Publishes bus counters (frames, losses, dups, delivered messages,
+  /// payload bytes, wire utilization since t=0) into `reg` under "net.".
+  void exportMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   struct Pending {
     Message msg;

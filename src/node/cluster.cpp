@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace rtdrm::node {
 
@@ -82,6 +83,7 @@ const std::vector<Utilization>& Cluster::sampleUtilization() {
   // for the index, and one rebuild serves every query until the next
   // sample.
   ++sample_generation_;
+  ++samples_taken_;
   return last_sample_;
 }
 
@@ -146,6 +148,7 @@ void Cluster::rebuildIndex() const {
     }
   }
   index_generation_ = sample_generation_;
+  ++index_rebuilds_;
 }
 
 std::optional<ProcessorId> Cluster::leastUtilizedScan(
@@ -240,6 +243,7 @@ Cluster::UtilizationCursor::UtilizationCursor(
 }
 
 std::optional<ProcessorId> Cluster::UtilizationCursor::next() {
+  ++cluster_->cursor_advances_;
   if (!use_index_) {
     const auto got = cluster_->leastUtilizedScan(scan_exclude_);
     if (got) {
@@ -316,6 +320,14 @@ const std::vector<ProcessorId>& Cluster::belowUtilization(
   }
   std::sort(below_scratch_.begin(), below_scratch_.end());
   return below_scratch_;
+}
+
+void Cluster::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("node.index_rebuilds").set(index_rebuilds_);
+  reg.counter("node.cursor_advances").set(cursor_advances_);
+  reg.counter("node.samples_taken").set(samples_taken_);
+  reg.gauge("node.up_count").set(static_cast<double>(upCount()));
+  reg.gauge("node.mean_utilization").set(meanUtilization().value());
 }
 
 }  // namespace rtdrm::node

@@ -130,6 +130,16 @@ class Cluster {
 
   sim::Simulator& simulator() { return sim_; }
 
+  /// Lazy index rebuilds performed so far (one per first-query-after-sample).
+  std::uint64_t indexRebuilds() const { return index_rebuilds_; }
+  /// Total UtilizationCursor::next() yields served across all cursors.
+  std::uint64_t cursorAdvances() const { return cursor_advances_; }
+  /// Utilization sweeps taken (sampleUtilization() calls).
+  std::uint64_t samplesTaken() const { return samples_taken_; }
+
+  /// Publishes cluster counters into `reg` under "node." names.
+  void exportMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   /// One index entry; key is (utilization, id) lexicographic so equal
   /// utilizations keep the lowest-id-wins contract.
@@ -168,6 +178,11 @@ class Cluster {
   mutable std::vector<std::uint64_t> exclude_bits_;  ///< per-call bitset
   mutable std::vector<std::uint32_t> frontier_;      ///< descent scratch
   mutable std::vector<ProcessorId> below_scratch_;   ///< belowUtilization out
+
+  // --- observability counters (mutable: bumped from const query paths).
+  mutable std::uint64_t index_rebuilds_ = 0;
+  mutable std::uint64_t cursor_advances_ = 0;
+  std::uint64_t samples_taken_ = 0;
 };
 
 }  // namespace rtdrm::node

@@ -1,0 +1,126 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+namespace rtdrm::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// True when `a` of this kind is an integer-valued count worth printing in
+/// the golden projection.
+bool payloadIsCount(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kGrowthAccept:
+    case RecordKind::kGrowthExhausted:
+    case RecordKind::kThresholdDone:
+    case RecordKind::kReplicate:
+    case RecordKind::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when the kind's flags carry a meaningful accept/reject verdict.
+bool carriesVerdict(RecordKind kind) {
+  return kind == RecordKind::kGrowthCheck || kind == RecordKind::kMonitorAction;
+}
+
+}  // namespace
+
+std::string toPerfettoJson(const std::vector<TraceRecord>& records) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceRecord& r : records) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    // Chrome trace-event timestamps are microseconds.
+    appendf(out, "\n{\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+                 "\"ts\": %.3f, \"pid\": 1, \"tid\": %u",
+            recordKindName(r.kind), r.t_ms * 1000.0,
+            static_cast<unsigned>(r.stage));
+    out += ", \"args\": {";
+    appendf(out, "\"seq\": %" PRIu64, r.seq);
+    if (r.node != kRecordNoNode) {
+      appendf(out, ", \"node\": %u", r.node);
+    }
+    if (carriesVerdict(r.kind)) {
+      appendf(out, ", \"accept\": %s", r.accepted() ? "true" : "false");
+    }
+    appendf(out, ", \"a\": %g, \"b\": %g, \"c\": %g}}", r.a, r.b, r.c);
+    if (r.kind == RecordKind::kShed) {
+      // Shed fraction additionally drives a counter track so Perfetto
+      // plots it as a stepped line.
+      appendf(out,
+              ",\n{\"name\": \"shed-fraction\", \"ph\": \"C\", "
+              "\"ts\": %.3f, \"pid\": 1, \"args\": {\"fraction\": %g}}",
+              r.t_ms * 1000.0, r.a);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool writePerfettoJson(const std::string& path,
+                       const std::vector<TraceRecord>& records) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << toPerfettoJson(records);
+  return static_cast<bool>(f);
+}
+
+std::string formatDecisionLine(const TraceRecord& r) {
+  std::string out = recordKindName(r.kind);
+  appendf(out, " stage=%u", static_cast<unsigned>(r.stage));
+  if (r.node != kRecordNoNode) {
+    appendf(out, " node=%u", r.node);
+  }
+  if (carriesVerdict(r.kind)) {
+    out += r.accepted() ? " accept" : " reject";
+  }
+  if (payloadIsCount(r.kind)) {
+    appendf(out, " n=%lld", static_cast<long long>(r.a));
+  }
+  return out;
+}
+
+std::vector<std::string> decisionAuditLines(
+    const std::vector<TraceRecord>& records) {
+  std::vector<std::string> lines;
+  for (const TraceRecord& r : records) {
+    if (isDecisionKind(r.kind)) {
+      lines.push_back(formatDecisionLine(r));
+    }
+  }
+  return lines;
+}
+
+bool writeDecisionAudit(const std::string& path,
+                        const std::vector<TraceRecord>& records) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  for (const std::string& line : decisionAuditLines(records)) {
+    f << line << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace rtdrm::obs

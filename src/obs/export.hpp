@@ -1,0 +1,35 @@
+// Exporters for trace dumps: Chrome/Perfetto trace-event JSON and the
+// plain-text decision-audit projection the golden-trace test pins down.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/record.hpp"
+
+namespace rtdrm::obs {
+
+/// Chrome trace-event JSON (the format chrome://tracing and
+/// ui.perfetto.dev open directly). Decision and lifecycle records become
+/// instant events (ph "i") on one track per subtask stage; shed-fraction
+/// changes additionally become a counter track (ph "C"). Timestamps are
+/// microseconds per the spec.
+std::string toPerfettoJson(const std::vector<TraceRecord>& records);
+bool writePerfettoJson(const std::string& path,
+                       const std::vector<TraceRecord>& records);
+
+/// One stable text line per record: kind, stage, node, verdict, and
+/// integer-valued payloads only — never floats or timestamps, so the
+/// projection survives FP-formatting and timing-neutral changes.
+std::string formatDecisionLine(const TraceRecord& r);
+
+/// The decision-audit channel of `records` (isDecisionKind order
+/// preserved), one formatDecisionLine per element.
+std::vector<std::string> decisionAuditLines(
+    const std::vector<TraceRecord>& records);
+
+/// Writes decisionAuditLines to `path`, newline-terminated.
+bool writeDecisionAudit(const std::string& path,
+                        const std::vector<TraceRecord>& records);
+
+}  // namespace rtdrm::obs

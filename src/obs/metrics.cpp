@@ -1,0 +1,222 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double (JSON has no hex floats).
+std::string formatDouble(double v) {
+  if (!std::isfinite(v)) {
+    return "0";  // JSON has no inf/nan; snapshots never legitimately do
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try shorter representations that still round-trip.
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) {
+        return shorter;
+      }
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  if (count_ == 0 || v > max_) {
+    max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  std::size_t b = 0;
+  if (v >= 1.0) {
+    const int e = std::ilogb(v);
+    b = static_cast<std::size_t>(e) + 1;
+    if (b >= kBuckets) {
+      b = kBuckets - 1;
+    }
+  }
+  ++buckets_[b];
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::get(const std::string& name,
+                                                  Kind kind) {
+  auto [it, inserted] = instruments_.try_emplace(name);
+  Instrument& inst = it->second;
+  if (inserted) {
+    inst.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        inst.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  RTDRM_ASSERT_MSG(inst.kind == kind,
+                   "metric name reused with a different instrument kind");
+  return inst;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *get(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *get(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *get(name, Kind::kHistogram).histogram;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it != instruments_.end() && it->second.kind == Kind::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* MetricsRegistry::findGauge(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it != instruments_.end() && it->second.kind == Kind::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const Histogram* MetricsRegistry::findHistogram(
+    const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it != instruments_.end() && it->second.kind == Kind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+void MetricsRegistry::forEachCounter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.kind == Kind::kCounter) {
+      fn(name, *inst.counter);
+    }
+  }
+}
+
+void MetricsRegistry::forEachGauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.kind == Kind::kGauge) {
+      fn(name, *inst.gauge);
+    }
+  }
+}
+
+void MetricsRegistry::forEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.kind == Kind::kHistogram) {
+      fn(name, *inst.histogram);
+    }
+  }
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  forEachCounter([&](const std::string& name, const Counter& c) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(c.value());
+  });
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  forEachGauge([&](const std::string& name, const Gauge& g) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + formatDouble(g.value());
+  });
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  forEachHistogram([&](const std::string& name, const Histogram& h) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count()) +
+           ", \"sum\": " + formatDouble(h.sum()) +
+           ", \"min\": " + formatDouble(h.min()) +
+           ", \"max\": " + formatDouble(h.max()) + ", \"buckets\": [";
+    // Trailing empty buckets are elided for readability.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) > 0) {
+        last = i + 1;
+      }
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      out += (i > 0 ? ", " : "") + std::to_string(h.bucket(i));
+    }
+    out += "]}";
+  });
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::writeJson(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << toJson();
+  return static_cast<bool>(f);
+}
+
+bool MetricsRegistry::writeCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << "name,kind,value,count,sum,min,max\n";
+  for (const auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case Kind::kCounter:
+        f << name << ",counter," << inst.counter->value() << ",,,,\n";
+        break;
+      case Kind::kGauge:
+        f << name << ",gauge," << formatDouble(inst.gauge->value())
+          << ",,,,\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *inst.histogram;
+        f << name << ",histogram,," << h.count() << ","
+          << formatDouble(h.sum()) << "," << formatDouble(h.min()) << ","
+          << formatDouble(h.max()) << "\n";
+        break;
+      }
+    }
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace rtdrm::obs

@@ -1,0 +1,20 @@
+// The attachable observability bundle: one structured trace ring plus one
+// metrics registry. Components take an `Observability*` (default nullptr);
+// a null pointer means every instrumentation site reduces to one branch,
+// which is what the neutrality gates assert stays behaviorally invisible.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace_buffer.hpp"
+
+namespace rtdrm::obs {
+
+struct Observability {
+  TraceBuffer trace;
+  MetricsRegistry metrics;
+
+  Observability() = default;
+  explicit Observability(std::size_t trace_capacity) : trace(trace_capacity) {}
+};
+
+}  // namespace rtdrm::obs

@@ -1,0 +1,80 @@
+// Structured trace records: the fixed-size binary vocabulary of the
+// observability layer.
+//
+// Every record is one decision or lifecycle step of the adaptive manager,
+// identified by a RecordKind and carrying at most three numeric payload
+// fields — no strings, no allocation. The decision-audit channel makes the
+// paper's Fig.-5 growth loop auditable at runtime: each candidate check
+// records both forecast terms (eq.-3 eex and eq.-5/6 ecd), the
+// deadline-minus-slack target it was compared against, and the verdict.
+#pragma once
+
+#include <cstdint>
+
+namespace rtdrm::obs {
+
+enum class RecordKind : std::uint8_t {
+  // ---- decision-audit channel: the Fig.-5 predictive growth loop --------
+  kGrowthStart = 0,  ///< replicate() entered: stage; a=budget ms, b=limit ms
+  kGrowthTake,       ///< steps 3-5, a processor taken: node; a=its utilization
+  kGrowthCheck,      ///< step 6 re-check of one replica: node; a=eex ms,
+                     ///< b=ecd ms, c=limit ms; accept flag = forecast fits
+  kGrowthAccept,     ///< step 7: every forecast fits; a=final replica count
+  kGrowthExhausted,  ///< step 2.1: processors ran out; a=replica count reached
+  // ---- decision-audit channel: the Fig.-7 threshold heuristic -----------
+  kThresholdTake,    ///< node below UT taken: node; a=utilization, b=UT
+  kThresholdDone,    ///< replicate() finished: a=replicas added, b=final size
+  // ---- manager actions --------------------------------------------------
+  kMonitorAction,    ///< monitor flagged a candidate: stage; accept flag =
+                     ///< replicate (set) vs shutdown (clear)
+  kReplicate,        ///< a replica set grew (effective action): stage;
+                     ///< a=new size
+  kShutdown,         ///< a replica shut down: stage, node=victim; a=new size
+  kShed,             ///< load-shed fraction changed: a=new fraction
+  kAllocFailure,     ///< an allocation failure was counted: stage
+  kFailoverScrub,    ///< a dead node scrubbed from a stage: stage, node=dead
+  kNodeDown,         ///< failure-detector down notification handled: node
+  kNodeRestart,      ///< restart notification: node
+  // ---- period lifecycle -------------------------------------------------
+  kMiss,             ///< end-to-end deadline missed: a=latency ms, b=period
+  kBudgetsAssigned,  ///< EQF budgets (re)assigned: a=workload tracks
+  kPlacementChanged, ///< a new placement became effective
+};
+
+/// One past kValid's last enumerator; kept adjacent so iteration and
+/// exhaustiveness checks cannot silently miss a new kind.
+inline constexpr std::uint8_t kRecordKindCount =
+    static_cast<std::uint8_t>(RecordKind::kPlacementChanged) + 1;
+
+/// Stable lower-case token per kind ("?" for out-of-range values).
+const char* recordKindName(RecordKind kind);
+
+/// True for the kinds that form the decision-audit channel — the stream the
+/// golden-trace test pins down (ordering and verdicts, never raw floats).
+bool isDecisionKind(RecordKind kind);
+
+/// Set in TraceRecord::flags when the record carries a positive verdict
+/// (forecast fits / candidate accepted / replicate rather than shutdown).
+inline constexpr std::uint8_t kFlagAccept = 0x1;
+
+/// `node` value when a record is not about a particular processor.
+inline constexpr std::uint32_t kRecordNoNode = 0xffffffffu;
+
+/// Fixed-size binary trace record. 48 bytes, trivially copyable: the ring
+/// buffer and the on-disk dump share this exact layout.
+struct TraceRecord {
+  double t_ms = 0.0;       ///< simulation time of the decision
+  std::uint64_t seq = 0;   ///< global record sequence (gap-free, 1-based)
+  RecordKind kind{};       ///< what happened
+  std::uint8_t flags = 0;  ///< kFlagAccept et al.
+  std::uint16_t stage = 0; ///< subtask index (0 when not applicable)
+  std::uint32_t node = kRecordNoNode;  ///< processor id, if any
+  double a = 0.0;          ///< payload; meaning depends on `kind`
+  double b = 0.0;
+  double c = 0.0;
+
+  bool accepted() const { return (flags & kFlagAccept) != 0; }
+};
+static_assert(sizeof(TraceRecord) == 48, "records are written to disk raw");
+
+}  // namespace rtdrm::obs

@@ -1,0 +1,191 @@
+#include "obs/trace_buffer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::obs {
+
+namespace {
+constexpr char kMagic[8] = {'r', 't', 'd', 'r', 'm', 't', 'r', '\0'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+const char* recordKindName(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kGrowthStart:
+      return "growth-start";
+    case RecordKind::kGrowthTake:
+      return "growth-take";
+    case RecordKind::kGrowthCheck:
+      return "growth-check";
+    case RecordKind::kGrowthAccept:
+      return "growth-accept";
+    case RecordKind::kGrowthExhausted:
+      return "growth-exhausted";
+    case RecordKind::kThresholdTake:
+      return "threshold-take";
+    case RecordKind::kThresholdDone:
+      return "threshold-done";
+    case RecordKind::kMonitorAction:
+      return "monitor-action";
+    case RecordKind::kReplicate:
+      return "replicate";
+    case RecordKind::kShutdown:
+      return "shutdown";
+    case RecordKind::kShed:
+      return "shed";
+    case RecordKind::kAllocFailure:
+      return "alloc-failure";
+    case RecordKind::kFailoverScrub:
+      return "failover-scrub";
+    case RecordKind::kNodeDown:
+      return "node-down";
+    case RecordKind::kNodeRestart:
+      return "node-restart";
+    case RecordKind::kMiss:
+      return "miss";
+    case RecordKind::kBudgetsAssigned:
+      return "budgets-assigned";
+    case RecordKind::kPlacementChanged:
+      return "placement-changed";
+  }
+  return "?";
+}
+
+bool isDecisionKind(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kGrowthStart:
+    case RecordKind::kGrowthTake:
+    case RecordKind::kGrowthCheck:
+    case RecordKind::kGrowthAccept:
+    case RecordKind::kGrowthExhausted:
+    case RecordKind::kThresholdTake:
+    case RecordKind::kThresholdDone:
+    case RecordKind::kMonitorAction:
+    case RecordKind::kReplicate:
+    case RecordKind::kShutdown:
+    case RecordKind::kShed:
+    case RecordKind::kAllocFailure:
+    case RecordKind::kFailoverScrub:
+      return true;
+    case RecordKind::kNodeDown:
+    case RecordKind::kNodeRestart:
+    case RecordKind::kMiss:
+    case RecordKind::kBudgetsAssigned:
+    case RecordKind::kPlacementChanged:
+      return false;
+  }
+  return false;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) {
+  RTDRM_ASSERT(capacity > 0);
+  ring_.resize(capacity);
+}
+
+void TraceBuffer::record(RecordKind kind, std::uint8_t flags,
+                         std::uint16_t stage, std::uint32_t node, double a,
+                         double b, double c) {
+  TraceRecord& r = ring_[recorded_ % ring_.size()];
+  r.t_ms = clock_ ? clock_() : 0.0;
+  r.seq = recorded_ + 1;
+  r.kind = kind;
+  r.flags = flags;
+  r.stage = stage;
+  r.node = node;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  ++recorded_;
+  ++kind_counts_[static_cast<std::uint8_t>(kind)];
+}
+
+std::size_t TraceBuffer::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(recorded_, ring_.size()));
+}
+
+std::uint64_t TraceBuffer::overwritten() const {
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::uint64_t TraceBuffer::count(RecordKind kind) const {
+  const auto i = static_cast<std::uint8_t>(kind);
+  return i < kRecordKindCount ? kind_counts_[i] : 0;
+}
+
+void TraceBuffer::forEach(
+    const std::function<void(const TraceRecord&)>& fn) const {
+  const std::size_t n = size();
+  // Oldest retained record sits at recorded_ % capacity once wrapped.
+  const std::size_t start =
+      recorded_ > ring_.size()
+          ? static_cast<std::size_t>(recorded_ % ring_.size())
+          : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(ring_[(start + i) % ring_.size()]);
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  forEach([&out](const TraceRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void TraceBuffer::clear() {
+  recorded_ = 0;
+  kind_counts_.fill(0);
+}
+
+bool TraceBuffer::writeBinary(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  ok = ok && std::fwrite(&kVersion, sizeof(kVersion), 1, f) == 1;
+  const std::uint64_t n = size();
+  ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+  if (ok) {
+    forEach([&ok, f](const TraceRecord& r) {
+      ok = ok && std::fwrite(&r, sizeof(r), 1, f) == 1;
+    });
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool TraceBuffer::readBinary(const std::string& path,
+                             std::vector<TraceRecord>& out) {
+  out.clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char magic[sizeof(kMagic)] = {};
+  std::uint32_t version = 0;
+  std::uint64_t n = 0;
+  bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+            std::fread(&version, sizeof(version), 1, f) == 1 &&
+            version == kVersion && std::fread(&n, sizeof(n), 1, f) == 1;
+  if (ok) {
+    out.resize(static_cast<std::size_t>(n));
+    ok = n == 0 ||
+         std::fread(out.data(), sizeof(TraceRecord),
+                    static_cast<std::size_t>(n), f) ==
+             static_cast<std::size_t>(n);
+  }
+  std::fclose(f);
+  if (!ok) {
+    out.clear();
+  }
+  return ok;
+}
+
+}  // namespace rtdrm::obs

@@ -1,0 +1,72 @@
+// Allocation-light structured trace sink.
+//
+// A bounded ring of fixed-size TraceRecords: recording is a bounds check,
+// a struct store, and a couple of counter increments — no strings, no
+// allocation after construction. On overflow the oldest records are
+// overwritten (and counted), but the per-kind totals keep counting, so
+// count-based reconciliation (the obs cross-check tests) is immune to
+// wrap-around.
+//
+// Nothing in the simulation ever *reads* the buffer while running: sinks
+// are passive, which is what makes an attached session behaviorally
+// neutral (asserted by the neutrality tests and the in-binary bench gate).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/record.hpp"
+
+namespace rtdrm::obs {
+
+class TraceBuffer {
+ public:
+  /// `capacity` records are retained (oldest overwritten beyond that).
+  explicit TraceBuffer(std::size_t capacity = 1u << 16);
+
+  /// Simulation-time source for records posted through this buffer. The
+  /// obs layer sits below the simulator in the dependency order, so the
+  /// clock arrives as a closure (wired by the scenario/episode plumbing).
+  void setClock(std::function<double()> now_ms) { clock_ = std::move(now_ms); }
+
+  /// Appends one record; stamps time (from the clock, 0 when unset) and
+  /// the global sequence number.
+  void record(RecordKind kind, std::uint8_t flags = 0, std::uint16_t stage = 0,
+              std::uint32_t node = kRecordNoNode, double a = 0.0,
+              double b = 0.0, double c = 0.0);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records currently retained (<= capacity).
+  std::size_t size() const;
+  /// Total records ever posted.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Records lost to ring wrap-around.
+  std::uint64_t overwritten() const;
+  /// Total posts of `kind`, unaffected by wrap-around.
+  std::uint64_t count(RecordKind kind) const;
+
+  /// Visits retained records oldest-first.
+  void forEach(const std::function<void(const TraceRecord&)>& fn) const;
+  /// Copies the retained records oldest-first.
+  std::vector<TraceRecord> snapshot() const;
+
+  void clear();
+
+  // ---- binary dump ("rtt" format: magic + version + count + raw records).
+  bool writeBinary(const std::string& path) const;
+  /// Loads a dump written by writeBinary. Returns false on open/format
+  /// errors; `out` holds the records oldest-first on success.
+  static bool readBinary(const std::string& path,
+                         std::vector<TraceRecord>& out);
+
+ private:
+  std::function<double()> clock_;
+  std::vector<TraceRecord> ring_;
+  std::uint64_t recorded_ = 0;  ///< next write index = recorded_ % capacity
+  std::array<std::uint64_t, kRecordKindCount> kind_counts_{};
+};
+
+}  // namespace rtdrm::obs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace rtdrm::sim {
 
@@ -122,6 +123,10 @@ EventId Simulator::scheduleAt(SimTime at, Callback cb) {
   const std::uint64_t seq = next_seq_++;
   heapPush(HeapEntry{at.ms(), seq, idx, s.generation});
   ++live_;
+  ++events_scheduled_;
+  if (heap_.size() > peak_heap_depth_) {
+    peak_heap_depth_ = heap_.size();
+  }
   return EventId{(static_cast<std::uint64_t>(s.generation) << 32) | idx};
 }
 
@@ -139,6 +144,7 @@ bool Simulator::cancel(EventId id) {
   releaseSlot(idx);
   --live_;
   ++stale_;
+  ++events_cancelled_;
   // Keep the heap at most half dead so memory tracks the live count.
   if (stale_ > heap_.size() / 2 && heap_.size() > 64) {
     pruneStale();
@@ -189,6 +195,15 @@ void Simulator::runAll() {
       return;
     }
   }
+}
+
+void Simulator::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("sim.events_scheduled").set(events_scheduled_);
+  reg.counter("sim.events_executed").set(events_executed_);
+  reg.counter("sim.events_cancelled").set(events_cancelled_);
+  reg.gauge("sim.pending_events").set(static_cast<double>(live_));
+  reg.gauge("sim.peak_heap_depth").set(static_cast<double>(peak_heap_depth_));
+  reg.gauge("sim.now_ms").set(now_.ms());
 }
 
 bool Simulator::step() {

@@ -36,6 +36,10 @@
 #include "common/units.hpp"
 #include "sim/event_fn.hpp"
 
+namespace rtdrm::obs {
+class MetricsRegistry;
+}  // namespace rtdrm::obs
+
 namespace rtdrm::sim {
 
 /// Opaque handle to a scheduled event; used for cancellation.
@@ -96,6 +100,13 @@ class Simulator {
 
   std::uint64_t eventsExecuted() const { return events_executed_; }
   std::size_t pendingEvents() const { return live_; }
+  std::uint64_t eventsScheduled() const { return events_scheduled_; }
+  std::uint64_t eventsCancelled() const { return events_cancelled_; }
+  /// High-water mark of the calendar heap (live + stale entries).
+  std::size_t peakHeapDepth() const { return peak_heap_depth_; }
+
+  /// Publishes kernel counters into `reg` under "sim." names.
+  void exportMetrics(obs::MetricsRegistry& reg) const;
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
@@ -143,6 +154,9 @@ class Simulator {
   Callback post_hook_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t events_scheduled_ = 0;
+  std::uint64_t events_cancelled_ = 0;
+  std::size_t peak_heap_depth_ = 0;
   bool stop_requested_ = false;
 
   std::vector<Slot> slots_;           // slab; index == slot id

@@ -1,0 +1,120 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rtdrm::obs {
+namespace {
+
+TraceRecord make(RecordKind kind, std::uint8_t flags = 0,
+                 std::uint16_t stage = 0, std::uint32_t node = kRecordNoNode,
+                 double a = 0.0, double b = 0.0, double c = 0.0) {
+  TraceRecord r;
+  r.t_ms = 12.5;
+  r.seq = 1;
+  r.kind = kind;
+  r.flags = flags;
+  r.stage = stage;
+  r.node = node;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  return r;
+}
+
+TEST(FormatDecisionLine, GrowthCheckCarriesNodeAndVerdictButNoFloats) {
+  const TraceRecord accepted =
+      make(RecordKind::kGrowthCheck, kFlagAccept, 2, 5, 1.234, 5.678, 9.0);
+  EXPECT_EQ(formatDecisionLine(accepted), "growth-check stage=2 node=5 accept");
+  const TraceRecord rejected =
+      make(RecordKind::kGrowthCheck, 0, 2, 5, 1.234, 5.678, 9.0);
+  EXPECT_EQ(formatDecisionLine(rejected), "growth-check stage=2 node=5 reject");
+}
+
+TEST(FormatDecisionLine, CountPayloadsPrintAsIntegers) {
+  EXPECT_EQ(formatDecisionLine(
+                make(RecordKind::kGrowthAccept, 0, 1, kRecordNoNode, 3.0)),
+            "growth-accept stage=1 n=3");
+  EXPECT_EQ(formatDecisionLine(
+                make(RecordKind::kShutdown, 0, 4, 2, 1.0)),
+            "shutdown stage=4 node=2 n=1");
+  // Threshold takes print node + no count (utilizations are floats).
+  EXPECT_EQ(formatDecisionLine(
+                make(RecordKind::kThresholdTake, kFlagAccept, 0, 3, 0.15)),
+            "threshold-take stage=0 node=3");
+}
+
+TEST(FormatDecisionLine, MonitorActionVerdictDistinguishesReplicateShutdown) {
+  EXPECT_EQ(formatDecisionLine(make(RecordKind::kMonitorAction, kFlagAccept,
+                                    1)),
+            "monitor-action stage=1 accept");
+  EXPECT_EQ(formatDecisionLine(make(RecordKind::kMonitorAction, 0, 1)),
+            "monitor-action stage=1 reject");
+}
+
+TEST(DecisionAuditLines, FiltersToTheDecisionChannelInOrder) {
+  std::vector<TraceRecord> records;
+  records.push_back(make(RecordKind::kBudgetsAssigned));  // lifecycle: out
+  records.push_back(make(RecordKind::kGrowthStart, 0, 1));
+  records.push_back(make(RecordKind::kMiss));             // lifecycle: out
+  records.push_back(make(RecordKind::kGrowthTake, 0, 1, 0));
+  records.push_back(make(RecordKind::kPlacementChanged));  // lifecycle: out
+  const auto lines = decisionAuditLines(records);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "growth-start stage=1");
+  EXPECT_EQ(lines[1], "growth-take stage=1 node=0");
+}
+
+TEST(WriteDecisionAudit, WritesNewlineTerminatedLines) {
+  std::vector<TraceRecord> records;
+  records.push_back(make(RecordKind::kGrowthStart, 0, 0));
+  const std::string path = testing::TempDir() + "/rtdrm_obs_audit.txt";
+  ASSERT_TRUE(writeDecisionAudit(path, records));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "growth-start stage=0\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(writeDecisionAudit("/nonexistent-dir/x/audit.txt", records));
+}
+
+TEST(PerfettoJson, EmitsInstantEventsWithMicrosecondTimestamps) {
+  std::vector<TraceRecord> records;
+  records.push_back(
+      make(RecordKind::kGrowthCheck, kFlagAccept, 3, 7, 1.5, 2.5, 3.5));
+  const std::string json = toPerfettoJson(records);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [", 0),
+            0u);
+  EXPECT_NE(json.find("\"name\": \"growth-check\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 12500.000"), std::string::npos);  // 12.5 ms
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"node\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"accept\": true"), std::string::npos);
+}
+
+TEST(PerfettoJson, ShedRecordsAddACounterTrack) {
+  std::vector<TraceRecord> records;
+  records.push_back(make(RecordKind::kShed, 0, 0, kRecordNoNode, 0.25));
+  const std::string json = toPerfettoJson(records);
+  EXPECT_NE(json.find("\"name\": \"shed-fraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"fraction\": 0.25"), std::string::npos);
+}
+
+TEST(PerfettoJson, EmptyTraceIsStillAValidDocument) {
+  const std::string json = toPerfettoJson({});
+  EXPECT_EQ(json, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n]}\n");
+}
+
+TEST(WritePerfettoJson, FailsOnBadPath) {
+  EXPECT_FALSE(writePerfettoJson("/nonexistent-dir/x/trace.json", {}));
+}
+
+}  // namespace
+}  // namespace rtdrm::obs

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rtdrm::obs {
+namespace {
+
+TEST(Counter, AddAndSet) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.set(2);
+  EXPECT_EQ(c.value(), 2u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("a"), &c);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("load");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST(Histogram, TracksMomentsAndBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  h.observe(0.5);   // bucket 0: < 1
+  h.observe(1.0);   // [1, 2) -> bucket 1
+  h.observe(3.0);   // [2, 4) -> bucket 2
+  h.observe(100.0); // [64, 128) -> bucket 7
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 104.5 / 4.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST(Histogram, HugeValuesLandInTheOpenEndedLastBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  h.observe(1e300);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.findCounter("missing"), nullptr);
+  EXPECT_EQ(reg.findGauge("missing"), nullptr);
+  EXPECT_EQ(reg.findHistogram("missing"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("c").add(3);
+  ASSERT_NE(reg.findCounter("c"), nullptr);
+  EXPECT_EQ(reg.findCounter("c")->value(), 3u);
+  // A counter name is not a gauge name.
+  EXPECT_EQ(reg.findGauge("c"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry a;
+  a.counter("z.count").add(7);
+  a.gauge("a.load").set(0.5);
+  a.histogram("m.lat").observe(2.0);
+
+  MetricsRegistry b;
+  b.histogram("m.lat").observe(2.0);
+  b.counter("z.count").add(7);
+  b.gauge("a.load").set(0.5);
+
+  EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+TEST(MetricsRegistry, JsonShapeHoldsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("events").add(2);
+  reg.gauge("level").set(1.5);
+  reg.histogram("lat").observe(3.0);
+  const std::string json = reg.toJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"level\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyRegistryStillEmitsValidShape) {
+  const MetricsRegistry reg;
+  EXPECT_EQ(reg.toJson(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(MetricsRegistry, CsvHasOneRowPerInstrument) {
+  MetricsRegistry reg;
+  reg.counter("c").add(4);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h").observe(1.0);
+  const std::string path = testing::TempDir() + "/rtdrm_obs_metrics.csv";
+  ASSERT_TRUE(reg.writeCsv(path));
+  std::ifstream f(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 instruments
+  EXPECT_EQ(lines[0], "name,kind,value,count,sum,min,max");
+  EXPECT_EQ(lines[1].rfind("c,counter,4", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("g,gauge,2.5", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("h,histogram,", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, WritersFailOnBadPath) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  EXPECT_FALSE(reg.writeJson("/nonexistent-dir/x/y.json"));
+  EXPECT_FALSE(reg.writeCsv("/nonexistent-dir/x/y.csv"));
+}
+
+TEST(MetricsRegistry, ForEachVisitsOnlyMatchingKindInSortedOrder) {
+  MetricsRegistry reg;
+  reg.counter("b").add(1);
+  reg.counter("a").add(2);
+  reg.gauge("g").set(0.0);
+  std::vector<std::string> names;
+  reg.forEachCounter(
+      [&names](const std::string& n, const Counter&) { names.push_back(n); });
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  std::size_t gauges = 0;
+  reg.forEachGauge([&gauges](const std::string&, const Gauge&) { ++gauges; });
+  EXPECT_EQ(gauges, 1u);
+}
+
+}  // namespace
+}  // namespace rtdrm::obs

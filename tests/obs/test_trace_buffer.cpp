@@ -1,0 +1,174 @@
+#include "obs/trace_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rtdrm::obs {
+namespace {
+
+TEST(TraceBuffer, RecordsStampSequenceAndClock) {
+  TraceBuffer buf(8);
+  double now = 1.5;
+  buf.setClock([&now] { return now; });
+  buf.record(RecordKind::kGrowthStart, 0, 2, kRecordNoNode, 10.0, 20.0);
+  now = 3.25;
+  buf.record(RecordKind::kGrowthTake, kFlagAccept, 2, 4, 0.5);
+  const auto records = buf.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_DOUBLE_EQ(records[0].t_ms, 1.5);
+  EXPECT_DOUBLE_EQ(records[1].t_ms, 3.25);
+  EXPECT_EQ(records[0].kind, RecordKind::kGrowthStart);
+  EXPECT_EQ(records[0].stage, 2u);
+  EXPECT_EQ(records[0].node, kRecordNoNode);
+  EXPECT_DOUBLE_EQ(records[0].a, 10.0);
+  EXPECT_DOUBLE_EQ(records[0].b, 20.0);
+  EXPECT_TRUE(records[1].accepted());
+  EXPECT_EQ(records[1].node, 4u);
+}
+
+TEST(TraceBuffer, UnsetClockStampsZero) {
+  TraceBuffer buf(4);
+  buf.record(RecordKind::kMiss);
+  EXPECT_DOUBLE_EQ(buf.snapshot().front().t_ms, 0.0);
+}
+
+TEST(TraceBuffer, WrapOverwritesOldestAndCountsLoss) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    buf.record(RecordKind::kGrowthCheck, 0, static_cast<std::uint16_t>(i));
+  }
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.recorded(), 10u);
+  EXPECT_EQ(buf.overwritten(), 6u);
+  // Retained records are the newest four, oldest-first, gap-free seq.
+  const auto records = buf.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 7u + i);
+    EXPECT_EQ(records[i].stage, 6u + i);
+  }
+}
+
+TEST(TraceBuffer, PerKindCountsSurviveWrap) {
+  TraceBuffer buf(2);
+  for (int i = 0; i < 5; ++i) {
+    buf.record(RecordKind::kReplicate);
+  }
+  for (int i = 0; i < 3; ++i) {
+    buf.record(RecordKind::kShutdown);
+  }
+  EXPECT_EQ(buf.count(RecordKind::kReplicate), 5u);
+  EXPECT_EQ(buf.count(RecordKind::kShutdown), 3u);
+  EXPECT_EQ(buf.count(RecordKind::kMiss), 0u);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(TraceBuffer, ClearResetsEverything) {
+  TraceBuffer buf(2);
+  buf.record(RecordKind::kMiss);
+  buf.record(RecordKind::kMiss);
+  buf.record(RecordKind::kMiss);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.recorded(), 0u);
+  EXPECT_EQ(buf.overwritten(), 0u);
+  EXPECT_EQ(buf.count(RecordKind::kMiss), 0u);
+  buf.record(RecordKind::kShed);
+  EXPECT_EQ(buf.snapshot().front().seq, 1u);
+}
+
+TEST(TraceBuffer, ForEachMatchesSnapshotOrder) {
+  TraceBuffer buf(3);
+  for (int i = 0; i < 7; ++i) {
+    buf.record(RecordKind::kGrowthTake, 0, 0,
+               static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint64_t> seen;
+  buf.forEach([&seen](const TraceRecord& r) { seen.push_back(r.seq); });
+  const auto records = buf.snapshot();
+  ASSERT_EQ(seen.size(), records.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], records[i].seq);
+  }
+}
+
+TEST(TraceBuffer, BinaryRoundTripPreservesRecords) {
+  TraceBuffer buf(16);
+  buf.setClock([] { return 42.0; });
+  buf.record(RecordKind::kGrowthCheck, kFlagAccept, 3, 1, 1.25, 2.5, 8.75);
+  buf.record(RecordKind::kShed, 0, 0, kRecordNoNode, 0.4);
+  const std::string path = testing::TempDir() + "/rtdrm_obs_roundtrip.rtt";
+  ASSERT_TRUE(buf.writeBinary(path));
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(TraceBuffer::readBinary(path, loaded));
+  const auto original = buf.snapshot();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].seq, original[i].seq);
+    EXPECT_EQ(loaded[i].kind, original[i].kind);
+    EXPECT_EQ(loaded[i].flags, original[i].flags);
+    EXPECT_EQ(loaded[i].stage, original[i].stage);
+    EXPECT_EQ(loaded[i].node, original[i].node);
+    EXPECT_DOUBLE_EQ(loaded[i].t_ms, original[i].t_ms);
+    EXPECT_DOUBLE_EQ(loaded[i].a, original[i].a);
+    EXPECT_DOUBLE_EQ(loaded[i].b, original[i].b);
+    EXPECT_DOUBLE_EQ(loaded[i].c, original[i].c);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceBuffer, WriteBinaryFailsOnBadPath) {
+  const TraceBuffer buf(4);
+  EXPECT_FALSE(buf.writeBinary("/nonexistent-dir/x/y.rtt"));
+}
+
+TEST(TraceBuffer, ReadBinaryRejectsMissingAndMalformedFiles) {
+  std::vector<TraceRecord> out;
+  EXPECT_FALSE(TraceBuffer::readBinary("/nonexistent-dir/x/y.rtt", out));
+
+  const std::string path = testing::TempDir() + "/rtdrm_obs_garbage.rtt";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a trace dump";
+  }
+  EXPECT_FALSE(TraceBuffer::readBinary(path, out));
+  std::remove(path.c_str());
+}
+
+TEST(RecordKindNames, ExhaustiveAndUnique) {
+  std::set<std::string> names;
+  for (std::uint8_t k = 0; k < kRecordKindCount; ++k) {
+    const char* name = recordKindName(static_cast<RecordKind>(k));
+    EXPECT_STRNE(name, "?") << "kind " << static_cast<int>(k)
+                            << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate kind name '" << name << "'";
+  }
+  EXPECT_STREQ(recordKindName(static_cast<RecordKind>(kRecordKindCount)),
+               "?");
+}
+
+TEST(RecordKindNames, DecisionChannelPartition) {
+  // The decision-audit channel is exactly the growth loop, the threshold
+  // heuristic, and the manager's actions — never the period lifecycle.
+  EXPECT_TRUE(isDecisionKind(RecordKind::kGrowthStart));
+  EXPECT_TRUE(isDecisionKind(RecordKind::kGrowthCheck));
+  EXPECT_TRUE(isDecisionKind(RecordKind::kThresholdTake));
+  EXPECT_TRUE(isDecisionKind(RecordKind::kMonitorAction));
+  EXPECT_TRUE(isDecisionKind(RecordKind::kFailoverScrub));
+  EXPECT_FALSE(isDecisionKind(RecordKind::kNodeDown));
+  EXPECT_FALSE(isDecisionKind(RecordKind::kMiss));
+  EXPECT_FALSE(isDecisionKind(RecordKind::kBudgetsAssigned));
+  EXPECT_FALSE(isDecisionKind(RecordKind::kPlacementChanged));
+}
+
+}  // namespace
+}  // namespace rtdrm::obs

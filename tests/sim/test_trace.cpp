@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
+#include <string>
 
 namespace rtdrm::sim {
 namespace {
@@ -69,6 +71,60 @@ TEST(TraceRecorder, CsvRoundTripStructure) {
 TEST(TraceRecorder, WriteCsvFailsOnBadPath) {
   const TraceRecorder trace;
   EXPECT_FALSE(trace.writeCsv("/nonexistent-dir/x/y.csv"));
+}
+
+TEST(TraceRecorder, DroppedEventsAreInvisibleToCounts) {
+  TraceRecorder trace(2);
+  trace.record(SimTime::zero(), TraceCategory::kMiss, "kept");
+  trace.record(SimTime::zero(), TraceCategory::kMiss, "kept");
+  trace.record(SimTime::zero(), TraceCategory::kMiss, "dropped");
+  trace.record(SimTime::zero(), TraceCategory::kReplicate, "dropped");
+  // Unlike the obs ring (whose per-kind counts survive overflow), the
+  // legacy recorder drops whole events: counts reflect retained only.
+  EXPECT_EQ(trace.count(TraceCategory::kMiss), 2u);
+  EXPECT_EQ(trace.count(TraceCategory::kReplicate), 0u);
+  EXPECT_EQ(trace.dropped(), 2u);
+}
+
+TEST(TraceRecorder, DropAccountingResumesAfterClear) {
+  TraceRecorder trace(1);
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "a");
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "b");
+  EXPECT_EQ(trace.dropped(), 1u);
+  trace.clear();
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "c");
+  EXPECT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.record(SimTime::zero(), TraceCategory::kCustom, "d");
+  EXPECT_EQ(trace.dropped(), 1u);
+}
+
+TEST(TraceRecorder, WriteCsvEmitsHeaderOnlyWhenEmpty) {
+  const TraceRecorder trace;
+  const std::string path = testing::TempDir() + "/rtdrm_trace_empty.csv";
+  ASSERT_TRUE(trace.writeCsv(path));
+  std::ifstream f(path);
+  std::string header;
+  std::string extra;
+  EXPECT_TRUE(static_cast<bool>(std::getline(f, header)));
+  EXPECT_EQ(header, "time_ms,category,label,value");
+  EXPECT_FALSE(static_cast<bool>(std::getline(f, extra)));
+  std::remove(path.c_str());
+}
+
+TEST(TraceCategoryName, ExhaustiveOverEveryCategory) {
+  // Loop the full enum range: every category must map to a real, unique
+  // token — the "?" fallback firing means a new category was added without
+  // a name (and would silently corrupt CSV timelines and fuzz digests).
+  std::set<std::string> names;
+  const auto last = static_cast<std::uint8_t>(TraceCategory::kCustom);
+  for (std::uint8_t c = 0; c <= last; ++c) {
+    const char* name = traceCategoryName(static_cast<TraceCategory>(c));
+    EXPECT_STRNE(name, "?") << "category " << static_cast<int>(c);
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate category name '" << name << "'";
+  }
+  EXPECT_STREQ(traceCategoryName(static_cast<TraceCategory>(last + 1)), "?");
 }
 
 TEST(TraceCategoryName, AllNamesStable) {

@@ -16,6 +16,8 @@
 #include "common/table.hpp"
 #include "experiments/episode.hpp"
 #include "experiments/model_store.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "profile/dataset.hpp"
 #include "profile/exec_profiler.hpp"
 #include "workload/patterns.hpp"
@@ -120,6 +122,7 @@ int cmdEpisode(int argc, const char* const* argv) {
   std::int64_t seed = 42;
   bool refit = false;
   bool histogram = false;
+  std::string trace_out;
   ArgParser args("rtdrm episode", "run one evaluation episode");
   args.addString("pattern", "increasing | decreasing | triangular", &pattern)
       .addString("algorithm", "predictive | nonpredictive", &algorithm)
@@ -128,7 +131,12 @@ int cmdEpisode(int argc, const char* const* argv) {
       .addInt("seed", "master seed", &seed)
       .addFlag("refit", "enable online model refinement", &refit)
       .addFlag("histogram", "print the end-to-end latency histogram",
-               &histogram);
+               &histogram)
+      .addString("trace-out",
+                 "record observability and write PREFIX.rtt, "
+                 "PREFIX.perfetto.json, PREFIX.audit.txt, "
+                 "PREFIX.metrics.{json,csv}",
+                 &trace_out);
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
   }
@@ -150,6 +158,10 @@ int cmdEpisode(int argc, const char* const* argv) {
   if (pattern == "decreasing") {
     cfg.manager.d_init = ramp.max_workload;
   }
+  obs::Observability bundle;
+  if (!trace_out.empty()) {
+    cfg.obs = &bundle;
+  }
   const auto r = runEpisode(spec, *pat, fitted.models, kind, cfg);
   Table t({"missed %", "cpu %", "net %", "avg replicas", "combined C"}, 2);
   t.addRow({r.missed_pct, r.cpu_pct, r.net_pct, r.avg_replicas, r.combined});
@@ -157,6 +169,24 @@ int cmdEpisode(int argc, const char* const* argv) {
   if (histogram) {
     std::cout << "end-to-end latency (ms):\n"
               << r.metrics.end_to_end_hist.render();
+  }
+  if (!trace_out.empty()) {
+    const std::vector<obs::TraceRecord> records = bundle.trace.snapshot();
+    bool ok = bundle.trace.writeBinary(trace_out + ".rtt");
+    ok = obs::writePerfettoJson(trace_out + ".perfetto.json", records) && ok;
+    ok = obs::writeDecisionAudit(trace_out + ".audit.txt", records) && ok;
+    ok = bundle.metrics.writeJson(trace_out + ".metrics.json") && ok;
+    ok = bundle.metrics.writeCsv(trace_out + ".metrics.csv") && ok;
+    if (!ok) {
+      std::cerr << "failed to write one or more '" << trace_out
+                << ".*' observability files\n";
+      return 1;
+    }
+    std::cout << records.size() << " trace records ("
+              << bundle.trace.recorded() << " recorded, "
+              << bundle.trace.overwritten() << " overwritten) and "
+              << bundle.metrics.size() << " metrics written to " << trace_out
+              << ".{rtt,perfetto.json,audit.txt,metrics.json,metrics.csv}\n";
   }
   return 0;
 }

@@ -1,0 +1,156 @@
+// trace_inspect — reads a binary trace dump (.rtt, written by
+// `rtdrm episode --trace-out` or obs::TraceBuffer::writeBinary) and
+// summarizes, filters, or re-exports it.
+//
+//   trace_inspect DUMP.rtt                     per-kind summary
+//   trace_inspect DUMP.rtt --audit             decision-audit projection
+//   trace_inspect DUMP.rtt --records           one line per raw record
+//   trace_inspect DUMP.rtt --kind growth-check --stage 2 --records
+//   trace_inspect DUMP.rtt --perfetto out.json re-export for ui.perfetto.dev
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "obs/export.hpp"
+#include "obs/trace_buffer.hpp"
+
+using namespace rtdrm;
+
+namespace {
+
+bool matches(const obs::TraceRecord& r, const std::string& kind_filter,
+             std::int64_t stage_filter, std::int64_t node_filter) {
+  if (!kind_filter.empty() && kind_filter != obs::recordKindName(r.kind)) {
+    return false;
+  }
+  if (stage_filter >= 0 && r.stage != stage_filter) {
+    return false;
+  }
+  if (node_filter >= 0 &&
+      r.node != static_cast<std::uint32_t>(node_filter)) {
+    return false;
+  }
+  return true;
+}
+
+void printRecord(const obs::TraceRecord& r) {
+  char buf[192];
+  int n = std::snprintf(buf, sizeof(buf), "%12.3f #%-8llu %-18s stage=%u",
+                        r.t_ms, static_cast<unsigned long long>(r.seq),
+                        obs::recordKindName(r.kind),
+                        static_cast<unsigned>(r.stage));
+  std::string line(buf, static_cast<std::size_t>(n));
+  if (r.node != obs::kRecordNoNode) {
+    line += " node=" + std::to_string(r.node);
+  }
+  if ((r.flags & obs::kFlagAccept) != 0) {
+    line += " [accept]";
+  }
+  std::snprintf(buf, sizeof(buf), " a=%g b=%g c=%g", r.a, r.b, r.c);
+  line += buf;
+  std::cout << line << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool audit = false;
+  bool records = false;
+  std::string kind_filter;
+  std::int64_t stage_filter = -1;
+  std::int64_t node_filter = -1;
+  std::int64_t limit = 0;
+  std::string perfetto_out;
+  ArgParser args("trace_inspect DUMP.rtt",
+                 "summarize / filter / re-export a binary trace dump");
+  args.addFlag("audit", "print the decision-audit projection", &audit)
+      .addFlag("records", "print every (matching) record", &records)
+      .addString("kind", "only records of this kind (e.g. growth-check)",
+                 &kind_filter)
+      .addInt("stage", "only records of this stage (-1 = all)", &stage_filter)
+      .addInt("node", "only records naming this node (-1 = all)",
+              &node_filter)
+      .addInt("limit", "print at most N records/lines (0 = all)", &limit)
+      .addString("perfetto", "write Chrome/Perfetto trace-event JSON here",
+                 &perfetto_out);
+  if (!args.parse(argc, argv)) {
+    return args.helpRequested() ? 0 : 1;
+  }
+  if (args.positional().size() != 1) {
+    std::cerr << "exactly one DUMP.rtt argument required\n"
+              << args.usage();
+    return 1;
+  }
+  const std::string path = args.positional().front();
+
+  std::vector<obs::TraceRecord> all;
+  if (!obs::TraceBuffer::readBinary(path, all)) {
+    std::cerr << "failed to read trace dump " << path << "\n";
+    return 1;
+  }
+
+  std::vector<obs::TraceRecord> kept;
+  kept.reserve(all.size());
+  for (const obs::TraceRecord& r : all) {
+    if (matches(r, kind_filter, stage_filter, node_filter)) {
+      kept.push_back(r);
+    }
+  }
+
+  if (!perfetto_out.empty()) {
+    if (!obs::writePerfettoJson(perfetto_out, kept)) {
+      std::cerr << "failed to write " << perfetto_out << "\n";
+      return 1;
+    }
+    std::cout << kept.size() << " records exported to " << perfetto_out
+              << "\n";
+  }
+
+  const auto cap = limit > 0 ? static_cast<std::size_t>(limit) : kept.size();
+  if (audit) {
+    const std::vector<std::string> lines = obs::decisionAuditLines(kept);
+    for (std::size_t i = 0; i < lines.size() && i < cap; ++i) {
+      std::cout << lines[i] << "\n";
+    }
+    return 0;
+  }
+  if (records) {
+    for (std::size_t i = 0; i < kept.size() && i < cap; ++i) {
+      printRecord(kept[i]);
+    }
+    return 0;
+  }
+
+  // Default: per-kind summary over the (filtered) dump.
+  std::vector<std::uint64_t> counts(obs::kRecordKindCount, 0);
+  double t_min = 0.0;
+  double t_max = 0.0;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    ++counts[static_cast<std::size_t>(kept[i].kind) % obs::kRecordKindCount];
+    if (i == 0) {
+      t_min = t_max = kept[i].t_ms;
+    } else {
+      t_min = kept[i].t_ms < t_min ? kept[i].t_ms : t_min;
+      t_max = kept[i].t_ms > t_max ? kept[i].t_ms : t_max;
+    }
+  }
+  std::cout << path << ": " << kept.size() << " records";
+  if (kept.size() != all.size()) {
+    std::cout << " (of " << all.size() << " after filters)";
+  }
+  if (!kept.empty()) {
+    std::cout << ", t=[" << t_min << ".." << t_max << "] ms";
+  }
+  std::cout << "\n";
+  for (std::size_t k = 0; k < obs::kRecordKindCount; ++k) {
+    if (counts[k] == 0) {
+      continue;
+    }
+    std::printf("  %-18s %llu\n",
+                obs::recordKindName(static_cast<obs::RecordKind>(k)),
+                static_cast<unsigned long long>(counts[k]));
+  }
+  return 0;
+}
