@@ -182,9 +182,9 @@ int main() {
               fitted.models, core::PredictiveConfig{h}),
           fitted.models, cfg.manager, scenario.streams().get("exec-noise"));
       manager.start(scenario.sim().now());
-      scenario.sim().runFor(spec.period * 72.0);
+      scenario.runFor(spec.period * 72.0);
       manager.stop();
-      scenario.sim().runFor(spec.period * 3.0);
+      scenario.runFor(spec.period * 3.0);
       const auto& m = manager.metrics();
       t.addRow({h, m.missedRatio() * 100.0, m.replicas_per_subtask.mean(),
                 m.combined(6)});
@@ -222,9 +222,9 @@ int main() {
         scenario.cluster().backgroundLoad(ProcessorId{5})
             .setTarget(Utilization::fraction(0.9));
       });
-      scenario.sim().runFor(spec.period * 72.0);
+      scenario.runFor(spec.period * 72.0);
       manager.stop();
-      scenario.sim().runFor(spec.period * 3.0);
+      scenario.runFor(spec.period * 3.0);
       const auto& m = manager.metrics();
       t.addRow({std::string(sel == core::ShutdownSelection::kLastAdded
                                 ? "last-added (paper Fig. 6)"

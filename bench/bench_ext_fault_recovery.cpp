@@ -165,12 +165,12 @@ ModeResult runFaultEpisode(const task::TaskSpec& spec,
   if (detector != nullptr) {
     detector->start(scenario.sim().now());
   }
-  scenario.sim().runFor(spec.period * static_cast<double>(cfg.periods));
+  scenario.runFor(spec.period * static_cast<double>(cfg.periods));
   manager.stop();
   if (detector != nullptr) {
     detector->stop();
   }
-  scenario.sim().runFor(spec.period * 3.0);
+  scenario.runFor(spec.period * 3.0);
 
   const core::EpisodeMetrics& m = manager.metrics();
   out.missed_pct = m.missedRatio() * 100.0;
@@ -294,7 +294,8 @@ int main(int argc, char** argv) {
          << "],\n"
          << "    \"ramp_periods\": " << cfg.ramp_periods << ",\n"
          << "    \"detector\": { \"interval_ms\": 100, \"timeout_ms\": 250, "
-            "\"max_retries\": 2, \"retry_backoff_ms\": 25 }\n"
+            "\"max_retries\": 2, \"retry_backoff_ms\": 25 },\n"
+         << "    " << bench::runContextJson() << "\n"
          << "  },\n"
          << "  \"headline\": {\n"
          << "    \"cell\": \"predictive manager, crash at peak\",\n"

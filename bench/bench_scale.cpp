@@ -26,6 +26,7 @@
 #include "apps/scenario.hpp"
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "core/ledger.hpp"
 #include "core/manager.hpp"
 #include "workload/patterns.hpp"
@@ -44,6 +45,9 @@ struct CellConfig {
   experiments::AlgorithmKind algorithm =
       experiments::AlgorithmKind::kPredictive;
   bool use_index = true;
+  /// Event-kernel sharding for the episode (1 = legacy single queue).
+  std::size_t sim_shards = 1;
+  parallel::SimMode sim_mode = parallel::SimMode::kDeterministic;
 };
 
 struct CellResult {
@@ -64,6 +68,8 @@ CellResult runCell(const task::TaskSpec& spec,
                    const CellConfig& cfg) {
   apps::ScenarioConfig scfg;
   scfg.node_count = cfg.nodes;
+  scfg.sim_shards = cfg.sim_shards;
+  scfg.sim_mode = cfg.sim_mode;
   apps::Scenario scenario(scfg);
   scenario.cluster().setUtilizationIndexEnabled(cfg.use_index);
 
@@ -110,11 +116,11 @@ CellResult runCell(const task::TaskSpec& spec,
   for (auto& m : managers) {
     m->start(scenario.sim().now());
   }
-  scenario.sim().runFor(spec.period * static_cast<double>(cfg.periods));
+  scenario.runFor(spec.period * static_cast<double>(cfg.periods));
   for (auto& m : managers) {
     m->stop();
   }
-  scenario.sim().runFor(spec.period * 3.0);
+  scenario.runFor(spec.period * 3.0);
   const auto t1 = std::chrono::steady_clock::now();
 
   CellResult out;
@@ -142,6 +148,57 @@ bool sameDecisions(const CellResult& a, const CellResult& b) {
          a.allocation_failures == b.allocation_failures;
 }
 
+/// The sharded-engine thread axis at one headline cell: the legacy single
+/// queue, then det and fast window modes at a fixed shard count across
+/// worker-thread counts. Sharded timing semantics differ from the single
+/// queue (cross-shard handoffs slip to barriers, < lookahead), so the
+/// parity cross-check runs *within* the sharded cells: every (mode,
+/// threads) combination at the same shard count must make identical
+/// decisions — the engine's thread-count-independence contract.
+/// Returns false on a parity violation.
+bool runThreadAxis(const task::TaskSpec& spec,
+                   const core::PredictiveModels& models, CellConfig cfg,
+                   std::size_t shards,
+                   const std::vector<unsigned>& thread_grid, Table* t) {
+  cfg.use_index = true;
+  cfg.sim_shards = 1;
+  const CellResult single = runCell(spec, models, cfg);
+  t->addRow({static_cast<long long>(cfg.nodes),
+             static_cast<long long>(cfg.tasks), "single", 1LL, 1LL,
+             single.wall_ms, 1.0, single.missed_pct, single.avg_replicas});
+
+  bool parity_ok = true;
+  bool have_ref = false;
+  CellResult ref;
+  cfg.sim_shards = shards;
+  for (const parallel::SimMode mode :
+       {parallel::SimMode::kDeterministic, parallel::SimMode::kFast}) {
+    cfg.sim_mode = mode;
+    for (const unsigned threads : thread_grid) {
+      parallel::setThreads(threads);
+      const CellResult r = runCell(spec, models, cfg);
+      if (!have_ref) {
+        ref = r;
+        have_ref = true;
+      } else if (!sameDecisions(ref, r)) {
+        parity_ok = false;
+        std::cout << "SHARDED PARITY MISMATCH at " << cfg.nodes << "x"
+                  << cfg.tasks << " shards=" << shards << " mode="
+                  << parallel::simModeName(mode) << " threads=" << threads
+                  << "\n";
+      }
+      t->addRow({static_cast<long long>(cfg.nodes),
+                 static_cast<long long>(cfg.tasks),
+                 parallel::simModeName(mode),
+                 static_cast<long long>(shards),
+                 static_cast<long long>(threads), r.wall_ms,
+                 single.wall_ms / r.wall_ms, r.missed_pct, r.avg_replicas});
+    }
+  }
+  parallel::setThreads(0);  // restore the env/hardware default
+  return parity_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,11 +210,26 @@ int main(int argc, char** argv) {
   std::int64_t ramp_periods = 6;
   std::int64_t only_nodes = 0;
   std::int64_t only_tasks = 0;
+  std::int64_t threads = 0;
+  std::int64_t shards = 8;
+  std::string sim_mode = "det";
+  bool xl = false;
+  bool no_threads_axis = false;
   ArgParser parser("bench_scale",
                    "Management-plane scalability: indexed vs scan episode "
-                   "wall-clock over nodes x tasks");
+                   "wall-clock over nodes x tasks, plus the sharded-engine "
+                   "thread axis at the headline cell");
   parser.addFlag("smoke", "CI subset: 16 nodes, {1, 8} tasks, 12 periods",
                  &smoke);
+  parser.addInt("threads", "worker threads (0 = RTDRM_THREADS or cores)",
+                &threads)
+      .addInt("shards", "event-kernel shards for the thread axis", &shards)
+      .addString("sim-mode", "det | fast for the index-vs-scan grid",
+                 &sim_mode)
+      .addFlag("xl", "add the 1024-node / 128-task extremes to the grids",
+               &xl)
+      .addFlag("no-threads-axis", "skip the sharded-engine thread axis",
+               &no_threads_axis);
   parser.addInt("periods", "episode length in task periods", &periods);
   parser.addInt("repeat", "timing repetitions per cell (best-of)", &repeat);
   parser.addDouble("max-tracks", "triangular-ramp peak workload", &max_tracks);
@@ -171,12 +243,23 @@ int main(int argc, char** argv) {
   if (!parser.parse(argc, argv)) {
     return parser.helpRequested() ? 0 : 2;
   }
+  parallel::setThreads(threads < 0 ? 0u : static_cast<unsigned>(threads));
+  parallel::SimMode grid_mode{};
+  if (!parallel::parseSimMode(sim_mode, &grid_mode)) {
+    std::cerr << "unknown sim mode '" << sim_mode << "' (det | fast)\n";
+    return 2;
+  }
+  parallel::setSimMode(grid_mode);
 
   const auto& spec = bench::aawSpec();
   const auto& fitted = bench::fittedModels();
 
   std::vector<std::size_t> node_grid{16, 64, 256};
   std::vector<std::size_t> task_grid{1, 8, 32};
+  if (xl) {
+    node_grid.push_back(1024);
+    task_grid.push_back(128);
+  }
   if (smoke) {
     node_grid = {16};
     task_grid = {1, 8};
@@ -211,6 +294,7 @@ int main(int argc, char** argv) {
         cfg.min_frac = min_frac;
         cfg.ramp_periods = static_cast<std::uint64_t>(ramp_periods);
         cfg.algorithm = algorithm;
+        cfg.sim_mode = grid_mode;
 
         CellResult scan;
         CellResult indexed;
@@ -252,8 +336,44 @@ int main(int argc, char** argv) {
     std::cout << "(series written to bench_out/scale.csv)\n";
   }
 
-  if (!decisions_ok) {
-    std::cout << "\nFAILED: indexed and scan modes diverged.\n";
+  bool parity_ok = true;
+  if (!no_threads_axis) {
+    printBanner(std::cout,
+                "Sharded engine thread axis: single queue vs det/fast "
+                "windows (" + std::string("cpu_count=") +
+                    std::to_string(parallel::config().cpu_count) + ")");
+    Table ta({"nodes", "tasks", "mode", "shards", "threads", "wall ms",
+              "speedup", "missed %", "avg replicas"},
+             2);
+    CellConfig axis;
+    axis.nodes = smoke ? 16 : node_grid.back();
+    axis.tasks = smoke ? 8 : task_grid.back();
+    axis.periods = static_cast<std::uint64_t>(periods);
+    axis.max_tracks = max_tracks;
+    axis.min_frac = min_frac;
+    axis.ramp_periods = static_cast<std::uint64_t>(ramp_periods);
+    const std::vector<unsigned> thread_grid =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+    parity_ok = runThreadAxis(
+        spec, fitted.models, axis,
+        static_cast<std::size_t>(std::max<std::int64_t>(2, shards)),
+        thread_grid, &ta);
+    ta.print(std::cout);
+    if (ta.writeCsv("bench_out/scale_threads.csv")) {
+      std::cout << "(series written to bench_out/scale_threads.csv)\n";
+    }
+    if (parity_ok) {
+      std::cout << "Sharded parity cross-check PASSED: identical decisions "
+                   "across modes and thread counts.\n";
+    }
+  }
+
+  if (!decisions_ok || !parity_ok) {
+    std::cout << "\nFAILED: "
+              << (!decisions_ok ? "indexed and scan modes diverged."
+                                : "sharded runs diverged across threads.")
+              << "\n";
     return 1;
   }
   std::cout << "\nDecision cross-check PASSED: indexed and scan modes "

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "common/parallel.hpp"
 #include "profile/exec_profiler.hpp"
 
 namespace rtdrm::bench {
@@ -11,6 +12,13 @@ namespace rtdrm::bench {
 const task::TaskSpec& aawSpec() {
   static const task::TaskSpec spec = apps::makeAawTaskSpec();
   return spec;
+}
+
+std::string runContextJson() {
+  const parallel::Config& c = parallel::config();
+  return "\"threads\": " + std::to_string(c.threads) + ", \"sim_mode\": \"" +
+         parallel::simModeName(c.sim_mode) +
+         "\", \"cpu_count\": " + std::to_string(c.cpu_count);
 }
 
 const experiments::FittedModelSet& fittedModels() {

@@ -19,6 +19,13 @@ namespace rtdrm::bench {
 /// The AAW task at Table 1 baseline parameters.
 const task::TaskSpec& aawSpec();
 
+/// Execution-context JSON fragment every emitted BENCH_*.json `config`
+/// block carries so recorded numbers stay interpretable on any machine:
+///   "threads": 4, "sim_mode": "det", "cpu_count": 8
+/// Reads the live parallel::config(), so call it after any --threads /
+/// --sim-mode flags have been applied.
+std::string runContextJson();
+
 /// Models fitted with the full paper grids (computed once per process).
 const experiments::FittedModelSet& fittedModels();
 

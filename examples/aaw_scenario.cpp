@@ -92,10 +92,10 @@ int main(int argc, char** argv) {
   // end-to-end series below comes from the timeline snapshots.
   manager.start(scenario.sim().now());
   snapshot.start(scenario.sim().now() + SimDuration::millis(1.0));
-  scenario.sim().runFor(spec.period * static_cast<double>(periods));
+  scenario.runFor(spec.period * static_cast<double>(periods));
   manager.stop();
   snapshot.stop();
-  scenario.sim().runFor(spec.period * 3.0);
+  scenario.runFor(spec.period * 3.0);
 
   printBanner(std::cout, "Engagement timeline (every 4th period)");
   Table t({"period", "tracks", "Filter replicas", "EvalDecide replicas"}, 0);

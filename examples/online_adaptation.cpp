@@ -85,10 +85,10 @@ int main() {
 
   manager.start(scenario.sim().now());
   snapshot.start(scenario.sim().now() + SimDuration::millis(1.0));
-  scenario.sim().runFor(SimDuration::seconds(110.0));
+  scenario.runFor(SimDuration::seconds(110.0));
   manager.stop();
   snapshot.stop();
-  scenario.sim().runFor(SimDuration::seconds(3.0));
+  scenario.runFor(SimDuration::seconds(3.0));
 
   printBanner(std::cout, "Mission timeline (every 5th period)");
   Table t({"period", "offered tracks", "Filter replicas", "shed %"}, 1);

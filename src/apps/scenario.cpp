@@ -5,12 +5,12 @@ namespace rtdrm::apps {
 Scenario::Scenario(const ScenarioConfig& config)
     : config_(config),
       streams_(config.seed),
-      sim_(),
-      cluster_(sim_, config.node_count, config.cpu, config.node_speeds),
-      ethernet_(sim_, config.node_count, config.ethernet),
-      clocks_(sim_, config.node_count, streams_.get("clock-fabric"),
-              config.clock_sync),
-      net_probe_(sim_, ethernet_) {
+      engine_(engineConfig(config)),
+      cluster_(engine_, config.node_count, config.cpu, config.node_speeds),
+      ethernet_(engine_.control(), config.node_count, config.ethernet),
+      clocks_(engine_.control(), config.node_count,
+              streams_.get("clock-fabric"), config.clock_sync),
+      net_probe_(engine_.control(), ethernet_) {
   cluster_.attachBackgroundLoad(streams_, config.background);
   if (config.ambient_load.value() > 0.0) {
     for (ProcessorId id : cluster_.ids()) {

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "net/clock_sync.hpp"
 #include "net/ethernet.hpp"
 #include "node/cluster.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "task/runtime.hpp"
 
@@ -32,6 +34,13 @@ struct ScenarioConfig {
   std::uint64_t seed = 42;
   /// Start the clock synchronization service on construction.
   bool start_clock_sync = true;
+  /// Event-kernel shards (1 = the legacy single queue, byte-identical to
+  /// every run before sharding existed; K > 1 = shard 0 keeps the control
+  /// plane and shards 1..K-1 split the nodes). The barrier lookahead is
+  /// sized from `ethernet` (minCrossShardLatency()).
+  std::size_t sim_shards = 1;
+  /// Window mode for sharded execution (ignored when sim_shards == 1).
+  parallel::SimMode sim_mode = parallel::SimMode::kDeterministic;
 };
 
 class Scenario {
@@ -41,21 +50,41 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   const ScenarioConfig& config() const { return config_; }
-  sim::Simulator& sim() { return sim_; }
+  /// The control-plane simulator (the only one when sim_shards == 1).
+  sim::Simulator& sim() { return engine_.control(); }
+  /// The event engine. Always present; a 1-shard engine is the legacy
+  /// single-queue path.
+  sim::ShardedEngine& engine() { return engine_; }
+  bool sharded() const { return engine_.shardCount() > 1; }
   node::Cluster& cluster() { return cluster_; }
   net::Ethernet& ethernet() { return ethernet_; }
   net::ClockFabric& clocks() { return clocks_; }
   RngStreams& streams() { return streams_; }
   net::NetworkProbe& netProbe() { return net_probe_; }
 
+  /// Advance the whole testbed — all shards, barrier-synchronized when
+  /// sharded. Drivers must use this (or engine()) rather than
+  /// sim().runFor(), which would advance only the control shard.
+  void runFor(SimDuration d) { engine_.runFor(d); }
+  void runUntil(SimTime t) { engine_.runUntil(t); }
+
   task::Runtime runtime() {
-    return task::Runtime{sim_, cluster_, ethernet_, clocks_};
+    return task::Runtime{engine_.control(), cluster_, ethernet_, clocks_,
+                         sharded() ? &engine_ : nullptr};
   }
 
  private:
+  static sim::ShardedConfig engineConfig(const ScenarioConfig& config) {
+    sim::ShardedConfig ec;
+    ec.shards = config.sim_shards == 0 ? 1 : config.sim_shards;
+    ec.mode = config.sim_mode;
+    ec.lookahead = config.ethernet.minCrossShardLatency();
+    return ec;
+  }
+
   ScenarioConfig config_;
   RngStreams streams_;
-  sim::Simulator sim_;
+  sim::ShardedEngine engine_;
   node::Cluster cluster_;
   net::Ethernet ethernet_;
   net::ClockFabric clocks_;

@@ -352,12 +352,15 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
 }
 
 FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
-                           obs::Observability* obs) {
+                           obs::Observability* obs,
+                           const FuzzExecConfig& exec) {
   apps::ScenarioConfig sc;
   sc.node_count = scenario.node_count;
   sc.seed = scenario.seed;
   // The fuzz plan drives per-node targets itself.
   sc.ambient_load = Utilization::zero();
+  sc.sim_shards = exec.sim_shards;
+  sc.sim_mode = exec.sim_mode;
   apps::Scenario testbed(sc);
 
   for (std::size_t i = 0; i < scenario.node_count; ++i) {
@@ -369,12 +372,14 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     if (step.period >= scenario.periods) {
       continue;
     }
+    // setBackgroundTarget is cross-shard safe: direct on the legacy path,
+    // a barrier post when the node lives on another shard.
     testbed.sim().scheduleAt(
         SimTime::zero() +
             scenario.spec.period * static_cast<double>(step.period),
         [&cluster = testbed.cluster(), step] {
-          cluster.backgroundLoad(ProcessorId{step.node})
-              .setTarget(Utilization::fraction(step.target));
+          cluster.setBackgroundTarget(ProcessorId{step.node},
+                                      Utilization::fraction(step.target));
         });
   }
 
@@ -476,8 +481,8 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   if (detector != nullptr) {
     detector->start(testbed.sim().now());
   }
-  testbed.sim().runFor(scenario.spec.period *
-                       static_cast<double>(scenario.periods));
+  testbed.runFor(scenario.spec.period *
+                 static_cast<double>(scenario.periods));
   manager.stop();
   if (detector != nullptr) {
     detector->stop();
@@ -485,7 +490,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   if (poster != nullptr) {
     poster->stop();
   }
-  testbed.sim().runFor(scenario.spec.period * 2.0);
+  testbed.runFor(scenario.spec.period * 2.0);
   oracle.sweep();
 
   FuzzCaseResult out;
@@ -583,12 +588,12 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
 }
 
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
-                        bool with_faults) {
+                        bool with_faults, const FuzzExecConfig& exec) {
   const FuzzScenario scenario = makeFuzzScenario(seed, shrink, with_faults);
   FuzzOutcome out;
   for (const AllocatorKind kind :
        {AllocatorKind::kPredictive, AllocatorKind::kNonPredictive}) {
-    const FuzzCaseResult first = runFuzzCase(scenario, kind);
+    const FuzzCaseResult first = runFuzzCase(scenario, kind, nullptr, exec);
     out.checks += first.checks;
     if (first.violations > 0) {
       out.invariants_ok = false;
@@ -600,7 +605,7 @@ FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
     }
     // Replay with the identical scenario: any divergence means hidden
     // nondeterminism (iteration order, uninitialized state, time leaks).
-    const FuzzCaseResult replay = runFuzzCase(scenario, kind);
+    const FuzzCaseResult replay = runFuzzCase(scenario, kind, nullptr, exec);
     if (replay.digest != first.digest) {
       out.deterministic = false;
       if (out.detail.empty()) {

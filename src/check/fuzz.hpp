@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "common/parallel.hpp"
 #include "core/models.hpp"
 #include "fault/detector.hpp"
 #include "fault/plan.hpp"
@@ -125,6 +126,17 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {},
 enum class AllocatorKind { kPredictive, kNonPredictive };
 const char* allocatorKindName(AllocatorKind kind);
 
+/// How the event kernel executes a fuzz case. The default (one shard) is
+/// the legacy single-queue path every historical digest was produced on.
+/// With shards > 1 the testbed runs on the sharded engine; deterministic
+/// mode must produce the same digest for any worker-thread count — the
+/// determinism suite runs identical (seed, shards) pairs across
+/// parallel::setThreads() values and compares digests byte for byte.
+struct FuzzExecConfig {
+  std::size_t sim_shards = 1;
+  parallel::SimMode sim_mode = parallel::SimMode::kDeterministic;
+};
+
 /// Outcome of one scenario run under one allocator.
 struct FuzzCaseResult {
   std::uint64_t violations = 0;
@@ -148,7 +160,8 @@ struct FuzzCaseResult {
 /// `obs_mismatch`. The digest is computed identically either way — the
 /// neutrality tests rely on that.
 FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
-                           obs::Observability* obs = nullptr);
+                           obs::Observability* obs = nullptr,
+                           const FuzzExecConfig& exec = {});
 
 /// Aggregate verdict for one seed: both allocators, each run twice.
 struct FuzzOutcome {
@@ -162,7 +175,8 @@ struct FuzzOutcome {
 };
 
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {},
-                        bool with_faults = false);
+                        bool with_faults = false,
+                        const FuzzExecConfig& exec = {});
 
 /// Failure predicate: does `seed` under these caps still fail?
 using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;

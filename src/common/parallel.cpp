@@ -13,6 +13,32 @@
 namespace rtdrm {
 namespace {
 
+/// The process-wide execution configuration behind parallel::config().
+/// Resolution order for the worker budget: explicit setThreads() override,
+/// else RTDRM_THREADS, else hardware_concurrency(). The sharded-sim mode
+/// likewise honors RTDRM_SIM_MODE until setSimMode() overrides it.
+parallel::Config& mutableConfig() {
+  static parallel::Config cfg = [] {
+    parallel::Config c;
+    c.cpu_count = std::max(1u, std::thread::hardware_concurrency());
+    c.threads = c.cpu_count;
+    if (const char* env = std::getenv("RTDRM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) {
+        c.threads = static_cast<unsigned>(std::min<long>(v, 256));
+      }
+    }
+    if (const char* env = std::getenv("RTDRM_SIM_MODE")) {
+      parallel::SimMode mode;
+      if (parallel::parseSimMode(env, &mode)) {
+        c.sim_mode = mode;
+      }
+    }
+    return c;
+  }();
+  return cfg;
+}
+
 // Set while a thread is executing loop bodies for some parallelFor call
 // (pool workers always; the caller while it participates). A nested
 // parallelFor on such a thread must not touch the pool: it would deadlock
@@ -34,8 +60,12 @@ class WorkerPool {
     return pool;
   }
 
-  /// Total workers (pool threads + caller) available by default.
-  unsigned defaultWorkers() const { return default_workers_; }
+  /// Total workers (pool threads + caller) available by default. Reads the
+  /// live parallel::config() snapshot so setThreads()/--threads overrides
+  /// take effect for subsequent calls.
+  unsigned defaultWorkers() const {
+    return std::min(std::max(1u, mutableConfig().threads), kMaxWorkers);
+  }
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn,
            unsigned max_workers, std::size_t grain) {
@@ -78,19 +108,7 @@ class WorkerPool {
   }
 
  private:
-  WorkerPool() {
-    unsigned hw = 0;
-    if (const char* env = std::getenv("RTDRM_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) {
-        hw = static_cast<unsigned>(std::min<long>(v, kMaxWorkers));
-      }
-    }
-    if (hw == 0) {
-      hw = std::thread::hardware_concurrency();
-    }
-    default_workers_ = std::max(1u, hw);
-  }
+  WorkerPool() = default;
 
   ~WorkerPool() {
     {
@@ -157,7 +175,6 @@ class WorkerPool {
   std::condition_variable cv_;       // wakes workers on a new epoch
   std::condition_variable done_cv_;  // wakes the caller when all acked
   std::vector<std::thread> threads_;
-  unsigned default_workers_ = 1;
   bool shutdown_ = false;
 
   // Current job (guarded by m_ except the atomics).
@@ -180,6 +197,47 @@ void serialFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
 }
 
 }  // namespace
+
+namespace parallel {
+
+const Config& config() { return mutableConfig(); }
+
+void setThreads(unsigned n) {
+  if (n == 0) {
+    // Re-resolve the environment/hardware default.
+    parallel::Config& cfg = mutableConfig();
+    unsigned resolved = cfg.cpu_count;
+    if (const char* env = std::getenv("RTDRM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) {
+        resolved = static_cast<unsigned>(std::min<long>(v, 256));
+      }
+    }
+    cfg.threads = std::max(1u, resolved);
+    return;
+  }
+  mutableConfig().threads = n;
+}
+
+void setSimMode(SimMode mode) { mutableConfig().sim_mode = mode; }
+
+bool parseSimMode(const std::string& s, SimMode* out) {
+  if (s == "det" || s == "deterministic") {
+    *out = SimMode::kDeterministic;
+    return true;
+  }
+  if (s == "fast") {
+    *out = SimMode::kFast;
+    return true;
+  }
+  return false;
+}
+
+const char* simModeName(SimMode mode) {
+  return mode == SimMode::kDeterministic ? "det" : "fast";
+}
+
+}  // namespace parallel
 
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  unsigned threads, std::size_t grain) {

@@ -18,15 +18,62 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 namespace rtdrm {
 
-/// Invokes fn(i) for i in [0, n) using up to `threads` workers (0 = one per
-/// hardware thread, or RTDRM_THREADS when set). fn must be safe to call
-/// concurrently for distinct i. `grain` is the number of consecutive
-/// indices a worker claims at a time; 1 (the default) gives the best load
-/// balance for coarse work items like simulation episodes, larger grains
-/// amortize the claim for very cheap bodies.
+namespace parallel {
+
+/// How a sharded simulation advances its barrier windows (see
+/// sim::ShardedEngine, docs/parallel_engine.md).
+enum class SimMode {
+  /// Shards execute each window in fixed order with a canonical
+  /// cross-shard merge; results are byte-identical for any thread count.
+  /// Cross-shard posts inside the lookahead window are rejected.
+  kDeterministic,
+  /// Shards execute windows concurrently on the worker pool; in-window
+  /// cross-shard posts are clamped to the window barrier (bounded skew,
+  /// Graphite-style lax sync) instead of rejected.
+  kFast,
+};
+
+/// Process-wide execution configuration, resolved once from the
+/// environment (RTDRM_THREADS, RTDRM_SIM_MODE) at first use and
+/// overridable by command-line front ends (--threads / --sim-mode).
+struct Config {
+  /// Worker budget for parallelFor and sharded-window execution
+  /// (>= 1; the calling thread counts as one worker).
+  unsigned threads = 1;
+  /// Default mode for sharded simulation engines.
+  SimMode sim_mode = SimMode::kDeterministic;
+  /// std::thread::hardware_concurrency() at resolution time (>= 1);
+  /// recorded into bench config blocks so results are interpretable.
+  unsigned cpu_count = 1;
+};
+
+/// The resolved process-wide configuration. First call reads the
+/// environment; later calls return the (possibly overridden) snapshot.
+const Config& config();
+
+/// Overrides the worker budget (0 = re-resolve from env/hardware). Takes
+/// effect for subsequent parallelFor calls; the persistent pool grows on
+/// demand and never shrinks.
+void setThreads(unsigned n);
+/// Overrides the default sharded-simulation mode.
+void setSimMode(SimMode mode);
+
+/// Parses "det"/"deterministic" or "fast". Returns false on anything else.
+bool parseSimMode(const std::string& s, SimMode* out);
+const char* simModeName(SimMode mode);
+
+}  // namespace parallel
+
+/// Invokes fn(i) for i in [0, n) using up to `threads` workers (0 = the
+/// parallel::config() budget, which honors RTDRM_THREADS). fn must be safe
+/// to call concurrently for distinct i. `grain` is the number of
+/// consecutive indices a worker claims at a time; 1 (the default) gives
+/// the best load balance for coarse work items like simulation episodes,
+/// larger grains amortize the claim for very cheap bodies.
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  unsigned threads = 0, std::size_t grain = 1);
 

@@ -61,9 +61,9 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
   }
 
   manager.start(scenario.sim().now());
-  scenario.sim().runFor(spec.period * static_cast<double>(config.periods));
+  scenario.runFor(spec.period * static_cast<double>(config.periods));
   manager.stop();
-  scenario.sim().runFor(spec.period * config.drain_periods);
+  scenario.runFor(spec.period * config.drain_periods);
 
   if (config.obs != nullptr) {
     scenario.sim().exportMetrics(config.obs->metrics);

@@ -59,12 +59,12 @@ MultiTaskResult runMultiTaskEpisode(const task::TaskSpec& spec,
   for (auto& m : managers) {
     m->start(scenario.sim().now());
   }
-  scenario.sim().runFor(spec.period *
+  scenario.runFor(spec.period *
                         static_cast<double>(config.episode.periods));
   for (auto& m : managers) {
     m->stop();
   }
-  scenario.sim().runFor(spec.period * config.episode.drain_periods);
+  scenario.runFor(spec.period * config.episode.drain_periods);
 
   MultiTaskResult out;
   out.tasks.reserve(config.task_count);
@@ -138,7 +138,7 @@ MultiTaskResult runTaskSetEpisode(const std::vector<TaskSetMember>& members,
   for (auto& m : managers) {
     m->start(scenario.sim().now());
   }
-  scenario.sim().runFor(horizon);
+  scenario.runFor(horizon);
   for (auto& m : managers) {
     m->stop();
   }
@@ -147,7 +147,7 @@ MultiTaskResult runTaskSetEpisode(const std::vector<TaskSetMember>& members,
   for (const auto& m : members) {
     slowest = std::max(slowest, m.spec->period);
   }
-  scenario.sim().runFor(slowest * 3.0);
+  scenario.runFor(slowest * 3.0);
 
   MultiTaskResult out;
   out.tasks.reserve(members.size());

@@ -54,11 +54,11 @@ void FaultInjector::arm() {
     // Overlapping windows on one node apply last-write-wins per edge; the
     // fuzzer generates at most one window per node.
     sim_.scheduleAt(t.from, [this, t] {
-      cluster_.processor(t.node).setSpeedFactor(t.factor);
+      cluster_.applySpeedFactor(t.node, t.factor);
       ++throttle_edges_;
     });
     sim_.scheduleAt(t.until, [this, t] {
-      cluster_.processor(t.node).setSpeedFactor(1.0);
+      cluster_.applySpeedFactor(t.node, 1.0);
       ++throttle_edges_;
     });
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -22,16 +23,26 @@
 namespace rtdrm::obs {
 
 /// Monotonic integer count.
+///
+/// Increments are relaxed atomics: counters are bumped from sharded-engine
+/// worker threads (fast mode) while the coordinator may snapshot, and a
+/// plain uint64 would be a data race under TSan. Relaxed ordering is
+/// enough — each add is independent and exportMetrics() only runs on
+/// quiescent components — and costs one lock-free RMW, no fences.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// Sets the absolute value (for exporting pre-existing component
   /// counters without double counting across snapshots).
-  void set(std::uint64_t v) { value_ = v; }
-  std::uint64_t value() const { return value_; }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written point-in-time value.

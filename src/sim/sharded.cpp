@@ -1,0 +1,202 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+
+namespace rtdrm::sim {
+
+ShardedEngine::ShardedEngine(ShardedConfig config) : config_(config) {
+  RTDRM_ASSERT_MSG(config_.shards >= 1, "engine needs at least one shard");
+  RTDRM_ASSERT_MSG(
+      config_.shards == 1 || config_.lookahead > SimDuration::zero(),
+      "sharded execution needs a positive lookahead");
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  mailboxes_.resize(config_.shards * config_.shards);
+}
+
+Simulator& ShardedEngine::shard(std::size_t i) {
+  RTDRM_ASSERT(i < shards_.size());
+  return *shards_[i];
+}
+
+const Simulator& ShardedEngine::shard(std::size_t i) const {
+  RTDRM_ASSERT(i < shards_.size());
+  return *shards_[i];
+}
+
+void ShardedEngine::addBarrierHook(std::function<void()> hook) {
+  RTDRM_ASSERT(hook != nullptr);
+  barrier_hooks_.push_back(std::move(hook));
+}
+
+ShardedEngine::PostStatus ShardedEngine::post(std::size_t from,
+                                              std::size_t to, SimTime at,
+                                              Simulator::Callback cb) {
+  RTDRM_ASSERT(from < shards_.size() && to < shards_.size());
+  RTDRM_ASSERT(cb != nullptr);
+  if (from == to) {
+    // Ordinary same-calendar scheduling; the lookahead rule only guards
+    // *cross*-shard causality.
+    shards_[to]->scheduleAt(at, std::move(cb));
+    return PostStatus::kScheduled;
+  }
+  if (!in_window_) {
+    // Pre-run wiring or a barrier hook: every shard is quiescent, the
+    // coordinator owns all calendars — schedule directly.
+    ++cross_posts_;
+    shards_[to]->scheduleAt(at, std::move(cb));
+    return PostStatus::kScheduled;
+  }
+  PostStatus status = PostStatus::kQueued;
+  if (at < window_end_) {
+    if (config_.mode == parallel::SimMode::kDeterministic) {
+      // Deterministic windows run with fixed shard order; delivering this
+      // post would mean shard `to` observing an event inside a window it
+      // may already have executed past — a silent reorder. Refuse loudly.
+      ++rejected_posts_;
+      last_rejection_ =
+          "cross-shard post from shard " + std::to_string(from) +
+          " to shard " + std::to_string(to) + " at t=" +
+          std::to_string(at.ms()) + " ms lands inside the open window [" +
+          std::to_string(now_.ms()) + ", " + std::to_string(window_end_.ms()) +
+          ") ms; deterministic mode requires t >= crossHorizon()";
+      return PostStatus::kRejected;
+    }
+    // Lax relaxation: bounded skew. The event slips to the barrier, at
+    // most `lookahead` late — the documented kFast accuracy trade.
+    at = window_end_;
+    status = PostStatus::kClamped;
+  }
+  Mailbox& mb = mailbox(from, to);
+  mb.posts.push_back(Post{at.ms(), mb.next_seq++, from, to, std::move(cb)});
+  if (status == PostStatus::kClamped) {
+    ++mb.clamped;
+  }
+  return status;
+}
+
+void ShardedEngine::drainMailboxes() {
+  merge_scratch_.clear();
+  for (Mailbox& mb : mailboxes_) {
+    cross_posts_ += mb.posts.size();
+    clamped_posts_ += mb.clamped;
+    mb.clamped = 0;
+    for (Post& p : mb.posts) {
+      merge_scratch_.push_back(std::move(p));
+    }
+    mb.posts.clear();
+  }
+  // Canonical merge order: (time, src shard, per-src sequence). None of
+  // the keys depend on thread interleaving, so the destination calendars'
+  // tie-break sequence numbers are identical for every worker count.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Post& a, const Post& b) {
+              if (a.at_ms != b.at_ms) {
+                return a.at_ms < b.at_ms;
+              }
+              if (a.src != b.src) {
+                return a.src < b.src;
+              }
+              return a.seq < b.seq;
+            });
+  for (Post& p : merge_scratch_) {
+    shards_[p.dst]->scheduleAt(SimTime::millis(p.at_ms), std::move(p.cb));
+  }
+  merge_scratch_.clear();
+  for (const auto& hook : barrier_hooks_) {
+    hook();
+  }
+}
+
+bool ShardedEngine::earliestEvent(SimTime* out) {
+  bool any = false;
+  SimTime best = SimTime::zero();
+  for (const auto& shard : shards_) {
+    SimTime t;
+    if (shard->peekNextEvent(&t)) {
+      if (!any || t < best) {
+        best = t;
+      }
+      any = true;
+    }
+  }
+  if (any) {
+    *out = best;
+  }
+  return any;
+}
+
+void ShardedEngine::runUntil(SimTime until) {
+  if (shards_.size() == 1) {
+    // Degenerate single-queue engine: exactly the legacy code path.
+    shards_[0]->runUntil(until);
+    now_ = shards_[0]->now();
+    return;
+  }
+  if (stop_requested_.exchange(false, std::memory_order_acq_rel)) {
+    return;  // stop requested between runs: honor it, fire nothing
+  }
+  for (;;) {
+    SimTime earliest;
+    if (!earliestEvent(&earliest) || earliest > until) {
+      for (auto& shard : shards_) {
+        shard->runUntil(until);  // idle-forward every clock to the horizon
+      }
+      now_ = until;
+      return;
+    }
+    const SimTime wend =
+        std::min(until, earliest + config_.lookahead);
+    window_end_ = wend;
+    in_window_ = true;
+    std::atomic<bool> stopped{false};
+    if (config_.mode == parallel::SimMode::kDeterministic) {
+      for (auto& shard : shards_) {
+        if (!shard->runUntil(wend)) {
+          stopped.store(true, std::memory_order_relaxed);
+        }
+      }
+    } else {
+      parallelFor(
+          shards_.size(),
+          [&](std::size_t i) {
+            if (!shards_[i]->runUntil(wend)) {
+              stopped.store(true, std::memory_order_relaxed);
+            }
+          },
+          config_.threads);
+    }
+    in_window_ = false;
+    ++windows_;
+    drainMailboxes();
+    ++barriers_;
+    now_ = wend;
+    if (stopped.load(std::memory_order_relaxed) ||
+        stop_requested_.exchange(false, std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+void ShardedEngine::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("sim.sharded.windows").set(windows_);
+  reg.counter("sim.sharded.barriers").set(barriers_);
+  reg.counter("sim.sharded.cross_posts").set(cross_posts_);
+  reg.counter("sim.sharded.clamped_posts").set(clamped_posts_);
+  reg.counter("sim.sharded.rejected_posts").set(rejected_posts_);
+  reg.gauge("sim.sharded.shards").set(static_cast<double>(shards_.size()));
+  std::uint64_t executed = 0;
+  for (const auto& shard : shards_) {
+    executed += shard->eventsExecuted();
+  }
+  reg.counter("sim.sharded.events_executed").set(executed);
+}
+
+}  // namespace rtdrm::sim

@@ -1,0 +1,193 @@
+// Sharded parallel event kernel with conservative time barriers.
+//
+// A ShardedEngine drives K independent sim::Simulator instances ("shards")
+// in lock-step windows. Shard 0 is the control shard (Ethernet segment,
+// clock fabric, managers, pipelines); shards 1..K-1 own disjoint groups of
+// node-local state (processors, background load). Within a window shards
+// never touch each other's state; everything crossing a shard boundary
+// travels as a timestamped *post* through a per-(src,dst) mailbox and is
+// merged into the destination calendar at the next barrier.
+//
+// Causality (conservative, Graphite/YAWNS-style barrier sync): each window
+// spans [E, min(horizon, E + lookahead)) where E is the earliest pending
+// event across all shards and `lookahead` is the minimum cross-shard
+// latency of the modelled system (Ethernet propagation + minimum frame
+// wire time — see net::EthernetConfig::minCrossShardLatency()). A post
+// made during a window must therefore target a time at or after the
+// window barrier; it can never land in a co-shard's past.
+//
+// Two modes (parallel::SimMode):
+//   * kDeterministic — shards execute each window sequentially in fixed
+//     shard order. Global-state observers (the invariant oracle's
+//     post-event sweeps) remain safe, and results are byte-identical for
+//     every worker-thread count. A post into the open window is REJECTED
+//     with a diagnostic (recorded in lastRejection()) — never silently
+//     reordered.
+//   * kFast — shards execute each window concurrently on the persistent
+//     worker pool (common/parallel.hpp). An in-window post is CLAMPED to
+//     the barrier (bounded timestamp skew <= lookahead, the lax-sync
+//     relaxation) and counted. Mailbox merging stays canonical — sorted
+//     by (time, src shard, per-src sequence) — so the merge order never
+//     depends on thread interleaving.
+//
+// Degeneration: a 1-shard engine routes runUntil/runAll straight to the
+// single Simulator and posts become plain scheduleAt calls — exactly the
+// single-queue code path the rest of the repo has always run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::obs {
+class MetricsRegistry;
+}  // namespace rtdrm::obs
+
+namespace rtdrm::sim {
+
+struct ShardedConfig {
+  /// Total shard count, including the control shard 0. 1 = degenerate
+  /// single-queue engine.
+  std::size_t shards = 1;
+  /// Window execution mode; defaults to the process-wide setting.
+  parallel::SimMode mode = parallel::SimMode::kDeterministic;
+  /// Conservative lookahead: minimum latency of any cross-shard
+  /// interaction in the modelled system. Must be > 0 when shards > 1.
+  SimDuration lookahead = SimDuration::micros(10.0);
+  /// Worker budget for kFast window execution (0 = parallel::config()).
+  unsigned threads = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// Outcome of a cross-shard post.
+  enum class PostStatus {
+    kScheduled,  ///< same-shard or pre-run: entered the calendar directly
+    kQueued,     ///< mailboxed; merges into the target at the next barrier
+    kClamped,    ///< kFast only: time was inside the window, moved to the
+                 ///< barrier (bounded skew)
+    kRejected,   ///< kDeterministic: time was inside the window; dropped
+                 ///< loudly (see lastRejection())
+  };
+
+  explicit ShardedEngine(ShardedConfig config);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  const ShardedConfig& config() const { return config_; }
+  std::size_t shardCount() const { return shards_.size(); }
+  Simulator& shard(std::size_t i);
+  const Simulator& shard(std::size_t i) const;
+  /// The control shard (Ethernet, clocks, managers live here).
+  Simulator& control() { return shard(0); }
+
+  /// Engine clock: the last completed barrier (== every shard's minimum
+  /// guaranteed progress). Individual shards may sit up to one window
+  /// ahead of this between barriers.
+  SimTime now() const { return now_; }
+
+  /// Earliest time a cross-shard post made *now* may legally target:
+  /// the current window barrier while a window is open, else the engine
+  /// clock. Callers posting zero-latency work use this as the timestamp.
+  SimTime crossHorizon() const { return in_window_ ? window_end_ : now_; }
+  /// True while shards are executing a window (posts must respect
+  /// crossHorizon()).
+  bool inWindow() const { return in_window_; }
+
+  /// Schedules `cb` on shard `to` at absolute time `at`. `from` is the
+  /// shard of the calling context and fixes the canonical merge order.
+  /// Same-shard posts (from == to) enter the calendar directly and are
+  /// exempt from the lookahead rule — they are ordinary scheduling.
+  PostStatus post(std::size_t from, std::size_t to, SimTime at,
+                  Simulator::Callback cb);
+
+  /// Runs every shard to `until` in barrier-synchronized windows (events
+  /// exactly at `until` fire, matching Simulator::runUntil). Honors
+  /// requestStop() — both the engine's and any shard's — at window
+  /// granularity.
+  void runUntil(SimTime until);
+  void runFor(SimDuration d) { runUntil(now_ + d); }
+
+  /// Asks the window loop to stop at the next barrier. Safe to call from
+  /// any thread (atomic handshake, mirroring Simulator::requestStop).
+  void requestStop() { stop_requested_.store(true, std::memory_order_release); }
+  bool stopPending() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Registers a hook that runs at every barrier with all shards
+  /// quiescent — the one place cross-shard state may be read coherently
+  /// (the cluster refreshes its busy-time snapshot here). Hooks run in
+  /// registration order, on the coordinating thread.
+  void addBarrierHook(std::function<void()> hook);
+
+  // --- engine counters (stable once the engine is quiescent) ---
+  std::uint64_t windowsRun() const { return windows_; }
+  std::uint64_t barriersRun() const { return barriers_; }
+  std::uint64_t crossPosts() const { return cross_posts_; }
+  std::uint64_t clampedPosts() const { return clamped_posts_; }
+  std::uint64_t rejectedPosts() const { return rejected_posts_; }
+  /// Diagnostic for the most recent kRejected post (empty when none).
+  const std::string& lastRejection() const { return last_rejection_; }
+
+  /// Publishes engine counters into `reg` under "sim.sharded." names.
+  void exportMetrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  struct Post {
+    double at_ms = 0.0;
+    std::uint64_t seq = 0;  ///< per-source order; canonical tie-break
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    Simulator::Callback cb;
+  };
+
+  /// One single-producer mailbox per (src, dst) shard pair. The producer
+  /// is whichever thread executes shard `src`'s window; the coordinator
+  /// drains at barriers, after the pool join (so no locking is needed).
+  struct Mailbox {
+    std::vector<Post> posts;
+    std::uint64_t next_seq = 1;
+    /// kFast in-window posts moved to the barrier since the last drain.
+    /// Per-mailbox so concurrent shard threads never share a counter; the
+    /// coordinator aggregates into clamped_posts_ at the barrier.
+    std::uint64_t clamped = 0;
+  };
+
+  Mailbox& mailbox(std::size_t src, std::size_t dst) {
+    return mailboxes_[src * shards_.size() + dst];
+  }
+
+  /// Merges all mailboxed posts into their target calendars in canonical
+  /// (time, src, seq) order, then runs barrier hooks.
+  void drainMailboxes();
+  /// Earliest pending event time across shards; false when all idle.
+  bool earliestEvent(SimTime* out);
+
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<Post> merge_scratch_;
+  std::vector<std::function<void()>> barrier_hooks_;
+
+  SimTime now_ = SimTime::zero();
+  SimTime window_end_ = SimTime::zero();
+  bool in_window_ = false;
+  std::atomic<bool> stop_requested_{false};
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t barriers_ = 0;
+  std::uint64_t cross_posts_ = 0;
+  std::uint64_t clamped_posts_ = 0;
+  std::uint64_t rejected_posts_ = 0;
+  std::string last_rejection_;
+};
+
+}  // namespace rtdrm::sim

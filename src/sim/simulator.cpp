@@ -172,29 +172,47 @@ bool Simulator::fireHead() {
   return true;
 }
 
-void Simulator::runUntil(SimTime until) {
+bool Simulator::runUntil(SimTime until) {
   if (consumeStop()) {
-    return;  // stop requested between runs: honor it, fire nothing
+    return false;  // stop requested between runs: honor it, fire nothing
   }
   while (!heap_.empty() && heap_[0].time_ms <= until.ms()) {
     if (fireHead() && consumeStop()) {
-      return;  // clock stays at the event that requested the stop
+      return false;  // clock stays at the event that requested the stop
     }
   }
   if (now_ < until) {
     now_ = until;  // idle forward to the horizon
   }
+  return true;
 }
 
-void Simulator::runAll() {
+bool Simulator::runAll() {
   if (consumeStop()) {
-    return;
+    return false;
   }
   while (!heap_.empty()) {
     if (fireHead() && consumeStop()) {
-      return;
+      return false;
     }
   }
+  return true;
+}
+
+bool Simulator::peekNextEvent(SimTime* out) {
+  // Drop stale (cancelled) heads so the reported time is the next event
+  // that would actually fire — a stale upper bound would make the sharded
+  // engine open windows around events that no longer exist.
+  while (!heap_.empty()) {
+    const HeapEntry& e = heap_[0];
+    if (slots_[e.slot].generation == e.generation) {
+      *out = SimTime::millis(e.time_ms);
+      return true;
+    }
+    heapPopHead();
+    --stale_;
+  }
+  return false;
 }
 
 void Simulator::exportMetrics(obs::MetricsRegistry& reg) const {

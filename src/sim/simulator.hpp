@@ -30,6 +30,7 @@
 // are all just event producers/consumers on one Simulator.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -70,15 +71,23 @@ class Simulator {
 
   /// Run until the event queue drains or `until` is reached, whichever is
   /// first. The clock is left at min(until, time of last event). Events
-  /// scheduled exactly at `until` do fire.
-  void runUntil(SimTime until);
+  /// scheduled exactly at `until` do fire. Returns false when the run was
+  /// cut short by requestStop() (consumed), true when it ran to the
+  /// horizon / drained the queue.
+  bool runUntil(SimTime until);
   /// Run for a duration from the current time.
-  void runFor(SimDuration d) { runUntil(now_ + d); }
-  /// Run until the queue is completely empty.
-  void runAll();
+  bool runFor(SimDuration d) { return runUntil(now_ + d); }
+  /// Run until the queue is completely empty. Returns false when stopped.
+  bool runAll();
   /// Execute the single next event, if any. Returns false when queue empty.
   /// Unaffected by requestStop(): step() is already a single-event run.
   bool step();
+
+  /// Time of the next live event without executing it; false when the
+  /// calendar is empty. Prunes stale (cancelled) heads as a side effect,
+  /// so the answer is exact, not an upper bound. The sharded engine sizes
+  /// its barrier windows with this.
+  bool peekNextEvent(SimTime* out);
 
   /// Installs a hook invoked after every executed event's callback returns
   /// (correctness oracles sweep system invariants here). Pass nullptr to
@@ -94,9 +103,18 @@ class Simulator {
   /// leaving the clock untouched — and clears the flag, so the run after
   /// that proceeds normally. A stop requested mid-run halts the loop after
   /// the current callback returns, leaving the clock at that event's time.
-  void requestStop() { stop_requested_ = true; }
+  ///
+  /// The flag is an atomic handshake: requestStop()/stopPending() are safe
+  /// from any thread (e.g. asking a shard to wind down from the sharded
+  /// engine's coordinator), though the run loops themselves stay
+  /// single-threaded per simulator.
+  void requestStop() {
+    stop_requested_.store(true, std::memory_order_release);
+  }
   /// True when a stop has been requested but no run loop has consumed it.
-  bool stopPending() const { return stop_requested_; }
+  bool stopPending() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
 
   std::uint64_t eventsExecuted() const { return events_executed_; }
   std::size_t pendingEvents() const { return live_; }
@@ -143,11 +161,11 @@ class Simulator {
   bool fireHead();
   /// Consumes a pending stop request; returns true if one was pending.
   bool consumeStop() {
-    if (!stop_requested_) {
+    // Cheap fast path: loads dodge the RMW until a stop is actually seen.
+    if (!stop_requested_.load(std::memory_order_acquire)) {
       return false;
     }
-    stop_requested_ = false;
-    return true;
+    return stop_requested_.exchange(false, std::memory_order_acq_rel);
   }
 
   SimTime now_ = SimTime::zero();
@@ -157,7 +175,7 @@ class Simulator {
   std::uint64_t events_scheduled_ = 0;
   std::uint64_t events_cancelled_ = 0;
   std::size_t peak_heap_depth_ = 0;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
 
   std::vector<Slot> slots_;           // slab; index == slot id
   std::uint32_t free_head_ = kNoSlot; // head of the freed-slot list

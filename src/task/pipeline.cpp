@@ -32,6 +32,9 @@ PipelineRun::PipelineRun(Runtime rt, const TaskSpec& spec,
   for (std::size_t s = 1; s < spec_.stageCount(); ++s) {
     msg_tags_.push_back(spec_.name + "/m" + std::to_string(s));
   }
+  if (rt_.engine != nullptr && rt_.engine->shardCount() > 1) {
+    alive_ = std::make_shared<bool>(true);
+  }
   cutoff_event_ = rt_.sim.scheduleAfter(
       spec_.period * config_.cutoff_periods, [this] { abortAtCutoff(); });
   beginStage(0);
@@ -40,17 +43,37 @@ PipelineRun::PipelineRun(Runtime rt, const TaskSpec& spec,
 PipelineRun::~PipelineRun() {
   if (!finished_) {
     rt_.sim.cancel(cutoff_event_);
-    for (std::size_t i = outstanding_head_; i < outstanding_.size(); ++i) {
-      if (outstanding_[i].first != kNoNode) {
-        rt_.cluster.processor(outstanding_[i].first)
-            .abort(outstanding_[i].second);
-      }
-    }
+    abortOutstandingJobs();
     finished_ = true;
+  }
+  if (alive_ != nullptr) {
+    *alive_ = false;  // strands any completion post still in a mailbox
   }
   // Message-delivery closures hold a raw `this`; the TaskRunner contract is
   // that runs are only destroyed after on_done fired AND in-flight
   // deliveries were drained or the whole simulator is being torn down.
+}
+
+void PipelineRun::abortOutstandingJobs() {
+  sim::ShardedEngine* eng = rt_.engine;
+  for (std::size_t i = outstanding_head_; i < outstanding_.size(); ++i) {
+    const ProcessorId pid = outstanding_[i].first;
+    if (pid == kNoNode) {
+      continue;
+    }
+    const std::size_t dst = eng ? rt_.cluster.shardOf(pid) : 0;
+    if (eng != nullptr && dst != 0) {
+      // The job lives on a data shard: the abort must execute there. By
+      // post ordering it lands after the submit it chases; if the job
+      // finished in between, the abort is a no-op.
+      node::Processor* cpu = &rt_.cluster.processor(pid);
+      const node::JobId jid = outstanding_[i].second;
+      eng->post(0, dst, eng->crossHorizon(),
+                [cpu, jid] { cpu->abort(jid); });
+    } else {
+      rt_.cluster.processor(pid).abort(outstanding_[i].second);
+    }
+  }
 }
 
 void PipelineRun::beginStage(std::size_t s) {
@@ -126,6 +149,38 @@ void PipelineRun::submitReplicaJob(std::size_t s, std::size_t r,
   replica_exec_start_[r] = exec_start;
   const auto s32 = static_cast<std::uint32_t>(s);
   const auto r32 = static_cast<std::uint32_t>(r);
+  sim::ShardedEngine* eng = rt_.engine;
+  const std::size_t dst = eng ? rt_.cluster.shardOf(pid) : 0;
+  if (eng != nullptr && dst != 0) {
+    // Cross-shard submit: the job id is reserved here (abort bookkeeping
+    // needs it now), the submit itself is posted to the owning shard at
+    // the barrier, and the completion posts back to shard 0 guarded by
+    // the run's liveness token. Net effect vs the legacy path: submit and
+    // completion each slip to a barrier, < lookahead (~12 us) apiece.
+    node::Processor* cpu = &rt_.cluster.processor(pid);
+    const node::JobId jid = cpu->reserveJobId();
+    outstanding_.emplace_back(pid, jid);
+    const SimTime at = eng->crossHorizon();
+    replica_exec_start_[r] = at;
+    PipelineRun* self = this;
+    node::Job job{
+        demand,
+        [eng, dst, alive = alive_, self, s32, r32] {
+          eng->post(dst, 0, eng->crossHorizon(),
+                    [alive, self, s32, r32] {
+                      if (!*alive || self->finished_) {
+                        return;  // run aborted/destroyed while in flight
+                      }
+                      self->onReplicaDone(s32, r32,
+                                          self->replica_exec_start_[r32]);
+                    });
+        },
+        job_tags_[s], config_.job_priority};
+    eng->post(0, dst, at, [cpu, jid, job = std::move(job)]() mutable {
+      cpu->submitReserved(jid, std::move(job));
+    });
+    return;
+  }
   const node::JobId jid = rt_.cluster.processor(pid).submit(node::Job{
       demand,
       [this, s32, r32] { onReplicaDone(s32, r32, replica_exec_start_[r32]); },
@@ -189,12 +244,7 @@ void PipelineRun::complete() {
 }
 
 void PipelineRun::abortAtCutoff() {
-  for (std::size_t i = outstanding_head_; i < outstanding_.size(); ++i) {
-    if (outstanding_[i].first != kNoNode) {
-      rt_.cluster.processor(outstanding_[i].first)
-          .abort(outstanding_[i].second);
-    }
-  }
+  abortOutstandingJobs();
   outstanding_.clear();
   outstanding_head_ = 0;
   record_.finish = rt_.sim.now();

@@ -4,15 +4,22 @@
 #include "net/clock_sync.hpp"
 #include "net/ethernet.hpp"
 #include "node/cluster.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace rtdrm::task {
 
 struct Runtime {
+  /// The control shard's simulator (the only simulator when unsharded):
+  /// managers, pipelines, the Ethernet segment and clocks all live here.
   sim::Simulator& sim;
   node::Cluster& cluster;
   net::Ethernet& net;
   net::ClockFabric& clocks;
+  /// Multi-shard engine when processors live on data shards; nullptr for
+  /// the legacy single-queue path. Pipelines marshal job submits, aborts
+  /// and completions through it.
+  sim::ShardedEngine* engine = nullptr;
 };
 
 }  // namespace rtdrm::task

@@ -100,7 +100,7 @@ TEST(Scenario, AmbientLoadRealized) {
   ScenarioConfig cfg;
   cfg.ambient_load = Utilization::fraction(0.3);
   Scenario scenario(cfg);
-  scenario.sim().runFor(SimDuration::seconds(60.0));
+  scenario.runFor(SimDuration::seconds(60.0));
   const auto& u = scenario.cluster().sampleUtilization();
   for (const auto& v : u) {
     EXPECT_NEAR(v.value(), 0.3, 0.06);
@@ -131,7 +131,7 @@ TEST(Scenario, ClockSyncOptional) {
   ScenarioConfig cfg;
   cfg.start_clock_sync = false;
   Scenario scenario(cfg);
-  scenario.sim().runFor(SimDuration::seconds(30.0));
+  scenario.runFor(SimDuration::seconds(30.0));
   EXPECT_EQ(scenario.clocks().preSyncOffsetStats().count(), 0u);
 }
 

@@ -59,9 +59,9 @@ HogOutcome runWithHog(const task::TaskSpec& spec,
     scenario.cluster().backgroundLoad(ProcessorId{5})
         .setTarget(Utilization::fraction(0.9));
   });
-  scenario.sim().runFor(SimDuration::seconds(48.0));
+  scenario.runFor(SimDuration::seconds(48.0));
   manager.stop();
-  scenario.sim().runFor(SimDuration::seconds(3.0));
+  scenario.runFor(SimDuration::seconds(3.0));
   return HogOutcome{manager.metrics(),
                     manager.runner().placement().stage(apps::kFilterStage)
                         .nodes()};

@@ -1,0 +1,256 @@
+// ShardedEngine: barrier-window causality, det/fast post semantics,
+// thread-count independence, stop handshake.
+#include "sim/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace rtdrm::sim {
+namespace {
+
+ShardedConfig shardedConfig(std::size_t shards, parallel::SimMode mode,
+                            double lookahead_ms = 1.0) {
+  ShardedConfig cfg;
+  cfg.shards = shards;
+  cfg.mode = mode;
+  cfg.lookahead = SimDuration::millis(lookahead_ms);
+  return cfg;
+}
+
+TEST(ShardedEngine, SingleShardDegeneratesToPlainSimulator) {
+  ShardedEngine engine(ShardedConfig{});
+  ASSERT_EQ(engine.shardCount(), 1u);
+  std::vector<int> order;
+  engine.control().scheduleAt(SimTime::millis(30.0),
+                              [&] { order.push_back(3); });
+  engine.control().scheduleAt(SimTime::millis(10.0),
+                              [&] { order.push_back(1); });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(engine.now().ms(), 20.0);
+  EXPECT_DOUBLE_EQ(engine.control().now().ms(), 20.0);
+  engine.runFor(SimDuration::millis(80.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  // The degenerate path never opens windows or runs barriers.
+  EXPECT_EQ(engine.windowsRun(), 0u);
+  EXPECT_EQ(engine.barriersRun(), 0u);
+}
+
+TEST(ShardedEngine, ShardsAdvanceInLockstepWindows) {
+  ShardedEngine engine(
+      shardedConfig(3, parallel::SimMode::kDeterministic));
+  int fired = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    engine.shard(s).scheduleAt(SimTime::millis(5.0 + double(s)),
+                               [&] { ++fired; });
+  }
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(engine.now().ms(), 20.0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(engine.shard(s).now().ms(), 20.0);
+  }
+  EXPECT_GT(engine.windowsRun(), 0u);
+  EXPECT_EQ(engine.barriersRun(), engine.windowsRun());
+}
+
+TEST(ShardedEngine, QuiescentCrossPostSchedulesDirectly) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  double fired_at = -1.0;
+  const auto status =
+      engine.post(0, 1, SimTime::millis(4.0),
+                  [&] { fired_at = engine.shard(1).now().ms(); });
+  EXPECT_EQ(status, ShardedEngine::PostStatus::kScheduled);
+  engine.runUntil(SimTime::millis(10.0));
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+  EXPECT_EQ(engine.crossPosts(), 1u);
+}
+
+TEST(ShardedEngine, InWindowPostAtCrossHorizonIsQueuedAndFires) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  double fired_at = -1.0;
+  ShardedEngine::PostStatus status{};
+  engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
+    status = engine.post(1, 0, engine.crossHorizon(),
+                         [&] { fired_at = engine.shard(0).now().ms(); });
+  });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_EQ(status, ShardedEngine::PostStatus::kQueued);
+  // The window opened at the 5 ms event spans at most one lookahead.
+  EXPECT_GE(fired_at, 5.0);
+  EXPECT_LE(fired_at, 6.0);
+}
+
+TEST(ShardedEngine, DeterministicModeRejectsInWindowPost) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  bool fired = false;
+  ShardedEngine::PostStatus status{};
+  engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
+    // Targets the posting shard's *current* time — strictly inside the
+    // open window, which deterministic mode must refuse.
+    status = engine.post(1, 0, engine.shard(1).now(), [&] { fired = true; });
+  });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_EQ(status, ShardedEngine::PostStatus::kRejected);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.rejectedPosts(), 1u);
+  const std::string& diag = engine.lastRejection();
+  EXPECT_NE(diag.find("shard 1"), std::string::npos);
+  EXPECT_NE(diag.find("deterministic mode requires"), std::string::npos);
+}
+
+TEST(ShardedEngine, FastModeClampsInWindowPostToBarrier) {
+  ShardedEngine engine(shardedConfig(2, parallel::SimMode::kFast));
+  double fired_at = -1.0;
+  double barrier = -1.0;
+  ShardedEngine::PostStatus status{};
+  engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
+    barrier = engine.crossHorizon().ms();
+    status = engine.post(1, 0, engine.shard(1).now(),
+                         [&] { fired_at = engine.shard(0).now().ms(); });
+  });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_EQ(status, ShardedEngine::PostStatus::kClamped);
+  EXPECT_DOUBLE_EQ(fired_at, barrier);  // slipped to the barrier, not lost
+  EXPECT_EQ(engine.clampedPosts(), 1u);
+  EXPECT_EQ(engine.rejectedPosts(), 0u);
+}
+
+TEST(ShardedEngine, MailboxMergeOrderIsCanonical) {
+  // Two source shards post to shard 0 at the same timestamp within one
+  // window; delivery must follow (time, src, seq) regardless of the order
+  // the windows happened to execute in.
+  for (const auto mode :
+       {parallel::SimMode::kDeterministic, parallel::SimMode::kFast}) {
+    ShardedEngine engine(shardedConfig(3, mode));
+    std::vector<int> order;
+    engine.shard(2).scheduleAt(SimTime::millis(5.0), [&] {
+      engine.post(2, 0, engine.crossHorizon(), [&] { order.push_back(20); });
+      engine.post(2, 0, engine.crossHorizon(), [&] { order.push_back(21); });
+    });
+    engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
+      engine.post(1, 0, engine.crossHorizon(), [&] { order.push_back(10); });
+    });
+    engine.runUntil(SimTime::millis(20.0));
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 21}))
+        << "mode=" << parallel::simModeName(mode);
+  }
+}
+
+TEST(ShardedEngine, FastModeResultIndependentOfThreadCount) {
+  // A relay chain that bounces a token across shards through the mailbox
+  // path; the firing schedule must be identical for any worker count.
+  auto run = [](unsigned threads) {
+    ShardedConfig cfg = shardedConfig(4, parallel::SimMode::kFast);
+    cfg.threads = threads;
+    ShardedEngine engine(cfg);
+    std::vector<double> log;
+    std::function<void(std::size_t, int)> hop = [&](std::size_t at_shard,
+                                                    int remaining) {
+      log.push_back(engine.shard(at_shard).now().ms());
+      if (remaining == 0) {
+        return;
+      }
+      const std::size_t next = (at_shard + 1) % 4;
+      engine.post(at_shard, next, engine.crossHorizon(),
+                  [&hop, next, remaining] { hop(next, remaining - 1); });
+    };
+    engine.shard(0).scheduleAt(SimTime::millis(1.0), [&] { hop(0, 12); });
+    engine.runUntil(SimTime::millis(60.0));
+    return log;
+  };
+  const std::vector<double> one = run(1);
+  const std::vector<double> four = run(4);
+  ASSERT_EQ(one.size(), 13u);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ShardedEngine, BarrierHooksRunOncePerBarrier) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  std::uint64_t hook_runs = 0;
+  engine.addBarrierHook([&] { ++hook_runs; });
+  engine.shard(1).scheduleAt(SimTime::millis(1.0), [] {});
+  engine.shard(1).scheduleAt(SimTime::millis(7.0), [] {});
+  engine.runUntil(SimTime::millis(10.0));
+  EXPECT_GT(hook_runs, 0u);
+  EXPECT_EQ(hook_runs, engine.barriersRun());
+}
+
+TEST(ShardedEngine, RequestStopHaltsAtNextBarrier) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  bool late_fired = false;
+  engine.shard(1).scheduleAt(SimTime::millis(2.0),
+                             [&] { engine.requestStop(); });
+  engine.shard(1).scheduleAt(SimTime::millis(15.0),
+                             [&] { late_fired = true; });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_FALSE(late_fired);
+  EXPECT_LT(engine.now().ms(), 15.0);
+  // The stop was consumed; the next run proceeds normally.
+  EXPECT_FALSE(engine.stopPending());
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(ShardedEngine, ShardLevelStopHaltsTheEngine) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  bool late_fired = false;
+  engine.shard(1).scheduleAt(SimTime::millis(2.0),
+                             [&] { engine.shard(1).requestStop(); });
+  engine.shard(0).scheduleAt(SimTime::millis(15.0),
+                             [&] { late_fired = true; });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(ShardedEngine, ExportsCountersToRegistry) {
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  engine.shard(1).scheduleAt(SimTime::millis(1.0), [&] {
+    engine.post(1, 0, engine.crossHorizon(), [] {});
+  });
+  engine.runUntil(SimTime::millis(5.0));
+  obs::MetricsRegistry reg;
+  engine.exportMetrics(reg);
+  const obs::Counter* windows = reg.findCounter("sim.sharded.windows");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_EQ(windows->value(), engine.windowsRun());
+  const obs::Counter* cross = reg.findCounter("sim.sharded.cross_posts");
+  ASSERT_NE(cross, nullptr);
+  EXPECT_EQ(cross->value(), 1u);
+}
+
+TEST(SimulatorStop, RunUntilReportsStopConsumption) {
+  Simulator sim;
+  sim.scheduleAt(SimTime::millis(1.0), [&] { sim.requestStop(); });
+  sim.scheduleAt(SimTime::millis(5.0), [] {});
+  EXPECT_FALSE(sim.runUntil(SimTime::millis(10.0)));
+  EXPECT_FALSE(sim.stopPending());
+  EXPECT_TRUE(sim.runUntil(SimTime::millis(10.0)));
+}
+
+TEST(SimulatorPeek, PeekSkipsCancelledHeads) {
+  Simulator sim;
+  const EventId doomed = sim.scheduleAt(SimTime::millis(1.0), [] {});
+  sim.scheduleAt(SimTime::millis(3.0), [] {});
+  sim.cancel(doomed);
+  SimTime t;
+  ASSERT_TRUE(sim.peekNextEvent(&t));
+  EXPECT_DOUBLE_EQ(t.ms(), 3.0);
+  Simulator empty;
+  EXPECT_FALSE(empty.peekNextEvent(&t));
+}
+
+}  // namespace
+}  // namespace rtdrm::sim

@@ -15,6 +15,7 @@
 
 #include "check/fuzz.hpp"
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 
 namespace {
 
@@ -53,6 +54,9 @@ int main(int argc, char** argv) {
   bool no_shrink = false;
   bool verbose = false;
   std::string repro_out;
+  std::int64_t threads = 0;
+  std::int64_t shards = 1;
+  std::string sim_mode = "det";
 
   rtdrm::ArgParser parser(
       "fuzz_scenarios",
@@ -77,10 +81,27 @@ int main(int argc, char** argv) {
       .addFlag("verbose", "print every scenario as it runs", &verbose)
       .addString("repro-out",
                  "write the minimized reproducer command to this file",
-                 &repro_out);
+                 &repro_out)
+      .addInt("threads", "worker threads (0 = RTDRM_THREADS or cores)",
+              &threads)
+      .addInt("shards", "event-kernel shards per scenario (1 = single queue)",
+              &shards)
+      .addString("sim-mode", "det | fast (sharded window execution)",
+                 &sim_mode);
   if (!parser.parse(argc, argv)) {
     return parser.helpRequested() ? 0 : 2;
   }
+
+  rtdrm::parallel::setThreads(
+      threads < 0 ? 0u : static_cast<unsigned>(threads));
+  rtdrm::check::FuzzExecConfig exec;
+  exec.sim_shards =
+      shards < 1 ? std::size_t{1} : static_cast<std::size_t>(shards);
+  if (!rtdrm::parallel::parseSimMode(sim_mode, &exec.sim_mode)) {
+    std::cerr << "unknown sim mode '" << sim_mode << "' (det | fast)\n";
+    return 2;
+  }
+  rtdrm::parallel::setSimMode(exec.sim_mode);
 
   const rtdrm::check::ShrinkSpec shrink =
       shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults);
@@ -91,7 +112,7 @@ int main(int argc, char** argv) {
         rtdrm::check::makeFuzzScenario(seed, shrink, faults);
     std::cout << "replaying " << scenario.summary() << "\n";
     const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink, faults);
+        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec);
     if (outcome.failed()) {
       std::cout << "FAIL: " << outcome.detail << "\n";
       return 1;
@@ -111,7 +132,7 @@ int main(int argc, char** argv) {
           << std::endl;
     }
     const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink, faults);
+        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec);
     total_checks += outcome.checks;
     if (!outcome.failed()) {
       if (!verbose && (seed - first + 1) % 50 == 0) {
@@ -131,8 +152,9 @@ int main(int argc, char** argv) {
       std::cout << "shrinking...\n";
       minimal = rtdrm::check::minimize(
           seed, shrink,
-          [faults](std::uint64_t s, const rtdrm::check::ShrinkSpec& c) {
-            return rtdrm::check::runFuzzSeed(s, c, faults).failed();
+          [faults, &exec](std::uint64_t s,
+                          const rtdrm::check::ShrinkSpec& c) {
+            return rtdrm::check::runFuzzSeed(s, c, faults, exec).failed();
           },
           faults);
       std::cout

@@ -13,6 +13,7 @@
 
 #include "apps/dynbench.hpp"
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "experiments/episode.hpp"
 #include "experiments/model_store.hpp"
@@ -114,12 +115,29 @@ int parseAlgorithm(const std::string& s, experiments::AlgorithmKind* out) {
   return 1;
 }
 
+/// Applies the shared execution flags (--threads, --sim-mode) to the
+/// process-wide parallel configuration. Returns 0, or 1 on a bad mode.
+int applyExecFlags(std::int64_t threads, const std::string& sim_mode) {
+  parallel::setThreads(
+      threads < 0 ? 0u : static_cast<unsigned>(threads));
+  parallel::SimMode mode{};
+  if (!parallel::parseSimMode(sim_mode, &mode)) {
+    std::cerr << "unknown sim mode '" << sim_mode << "' (det | fast)\n";
+    return 1;
+  }
+  parallel::setSimMode(mode);
+  return 0;
+}
+
 int cmdEpisode(int argc, const char* const* argv) {
   std::string pattern = "triangular";
   std::string algorithm = "predictive";
   double max_tracks = 10000.0;
   std::int64_t periods = 72;
   std::int64_t seed = 42;
+  std::int64_t threads = 0;
+  std::int64_t shards = 1;
+  std::string sim_mode = "det";
   bool refit = false;
   bool histogram = false;
   std::string trace_out;
@@ -129,6 +147,11 @@ int cmdEpisode(int argc, const char* const* argv) {
       .addDouble("max-tracks", "pattern peak workload", &max_tracks)
       .addInt("periods", "episode length", &periods)
       .addInt("seed", "master seed", &seed)
+      .addInt("threads", "worker threads (0 = RTDRM_THREADS or cores)",
+              &threads)
+      .addInt("shards", "event-kernel shards (1 = single queue)", &shards)
+      .addString("sim-mode", "det | fast (sharded window execution)",
+                 &sim_mode)
       .addFlag("refit", "enable online model refinement", &refit)
       .addFlag("histogram", "print the end-to-end latency histogram",
                &histogram)
@@ -139,6 +162,9 @@ int cmdEpisode(int argc, const char* const* argv) {
                  &trace_out);
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
+  }
+  if (applyExecFlags(threads, sim_mode) != 0) {
+    return 1;
   }
   experiments::AlgorithmKind kind{};
   if (parseAlgorithm(algorithm, &kind) != 0) {
@@ -154,6 +180,9 @@ int cmdEpisode(int argc, const char* const* argv) {
   experiments::EpisodeConfig cfg;
   cfg.periods = static_cast<std::uint64_t>(periods);
   cfg.scenario.seed = static_cast<std::uint64_t>(seed);
+  cfg.scenario.sim_shards =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, shards));
+  cfg.scenario.sim_mode = parallel::config().sim_mode;
   cfg.manager.online_refit = refit;
   if (pattern == "decreasing") {
     cfg.manager.d_init = ramp.max_workload;
@@ -196,15 +225,23 @@ int cmdSweep(int argc, const char* const* argv) {
   std::string out = "sweep";
   std::int64_t periods = 72;
   std::int64_t replications = 1;
+  std::int64_t threads = 0;
+  bool serial = false;
   ArgParser args("rtdrm sweep",
                  "both algorithms across max workloads (Figs. 9/10 style)");
   args.addString("pattern", "increasing | decreasing | triangular", &pattern)
       .addString("out", "output CSV prefix", &out)
       .addInt("periods", "episode length per point", &periods)
-      .addInt("replications", "seeds averaged per point", &replications);
+      .addInt("replications", "seeds averaged per point", &replications)
+      .addInt("threads",
+              "worker threads for the point fan-out "
+              "(0 = RTDRM_THREADS or cores)",
+              &threads)
+      .addFlag("serial", "run sweep points one at a time", &serial);
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
   }
+  parallel::setThreads(threads < 0 ? 0u : static_cast<unsigned>(threads));
   const task::TaskSpec spec = apps::makeAawTaskSpec();
   std::cout << "[fitting models...]\n";
   const auto fitted =
@@ -213,6 +250,7 @@ int cmdSweep(int argc, const char* const* argv) {
   cfg.episode.periods = static_cast<std::uint64_t>(periods);
   cfg.replications = static_cast<std::size_t>(std::max<std::int64_t>(
       1, replications));
+  cfg.parallel = !serial;
   const auto points =
       experiments::runWorkloadSweep(spec, fitted.models, pattern, cfg);
   Table t({"max workload (x500)", "pred combined", "nonpred combined",
