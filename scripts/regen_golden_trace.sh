@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Regenerates tests/obs/golden/decision_trace.txt from the current build.
+# Regenerates the checked-in golden decision traces from the current build:
+#   tests/obs/golden/decision_trace.txt          (centralized episode)
+#   tests/obs/golden/decision_trace_sharded.txt  (2-manager failover episode)
 #
 # Run after an *intentional* change to the predictive growth loop, the
-# threshold heuristic, or the monitor's decision sequence — then review the
-# golden diff like any other code change before committing it.
+# threshold heuristic, the monitor's decision sequence, or the management
+# plane's failover lifecycle — then review the golden diff like any other
+# code change before committing it.
 #
 # Usage: scripts/regen_golden_trace.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -20,9 +23,13 @@ fi
 cmake --build "$BUILD_DIR" --target test_obs -j
 
 GOLDEN=tests/obs/golden/decision_trace.txt
+GOLDEN_SHARDED=tests/obs/golden/decision_trace_sharded.txt
 RTDRM_REGEN_GOLDEN=1 "$BUILD_DIR/tests/test_obs" \
   --gtest_filter='GoldenTrace.DecisionAuditMatchesGoldenFile'
+RTDRM_REGEN_GOLDEN=1 "$BUILD_DIR/tests/test_obs" \
+  --gtest_filter='GoldenTrace.ShardedPlaneDecisionAuditMatchesGoldenFile'
 
 echo
-echo "regenerated $GOLDEN ($(wc -l < "$GOLDEN") lines); review with:"
-echo "  git diff -- $GOLDEN"
+echo "regenerated $GOLDEN ($(wc -l < "$GOLDEN") lines) and"
+echo "  $GOLDEN_SHARDED ($(wc -l < "$GOLDEN_SHARDED") lines); review with:"
+echo "  git diff -- $GOLDEN $GOLDEN_SHARDED"

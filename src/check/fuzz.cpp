@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "core/ledger.hpp"
 #include "core/manager.hpp"
+#include "core/plane.hpp"
 #include "fault/injector.hpp"
 #include "obs/obs.hpp"
 #include "sim/trace.hpp"
@@ -59,6 +60,9 @@ std::string ShrinkSpec::cliFlags() const {
   if (drop_faults) {
     out += " --drop-faults";
   }
+  if (drop_manager_faults) {
+    out += " --drop-manager-faults";
+  }
   return out;
 }
 
@@ -88,11 +92,15 @@ std::string FuzzScenario::summary() const {
        << " link=" << faults.links.size()
        << " clock=" << faults.clock_outages.size() << ")";
   }
+  if (managers > 1) {
+    os << " +managers(" << managers
+       << " crash=" << faults.manager_crashes.size() << ")";
+  }
   return os.str();
 }
 
 FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
-                              bool with_faults) {
+                              bool with_faults, bool with_manager_faults) {
   // Every draw below happens unconditionally and in a fixed order, so the
   // same seed yields the same scenario no matter which caps apply.
   RngStreams streams(seed);
@@ -296,7 +304,38 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
     }
   }
 
-  if (with_faults && !shrink.drop_faults) {
+  // Decentralized-plane draws: appended after every node-fault draw, so
+  // both the base scenario and the node-fault schedule of a seed are
+  // byte-identical with and without manager faults.
+  const auto managers_draw = static_cast<std::size_t>(g.uniformInt(2, 3));
+  const auto mgr_target_draw =
+      static_cast<std::uint32_t>(g.uniformInt(0, 7));
+  const double mgr_crash_frac = g.uniform(0.15, 0.55);
+  const bool mgr_restarts = g.uniform01() < 0.5;
+  const double mgr_restart_periods = g.uniform(2.0, 6.0);
+
+  const bool apply_faults = with_faults && !shrink.drop_faults;
+  const bool apply_manager_faults =
+      with_manager_faults && !shrink.drop_manager_faults;
+  if (apply_manager_faults) {
+    s.managers = std::min(managers_draw, s.node_count);
+    fault::ManagerCrashFault mc;
+    mc.manager = mgr_target_draw % static_cast<std::uint32_t>(s.managers);
+    mc.at =
+        SimTime::zero() + SimDuration::millis(horizon_ms * mgr_crash_frac);
+    if (mgr_restarts) {
+      mc.restart_at =
+          mc.at + SimDuration::millis(period_ms * mgr_restart_periods);
+    }
+    plan.manager_crashes.push_back(mc);
+  }
+  if (!apply_faults) {
+    plan.crashes.clear();
+    plan.throttles.clear();
+    plan.links.clear();
+    plan.clock_outages.clear();
+  }
+  if (apply_faults || apply_manager_faults) {
     s.faults = std::move(plan);
   }
 
@@ -433,33 +472,91 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   }
   oracle.watch(manager);
 
+  // Decentralized plane: only built when the scenario drew more than one
+  // manager endpoint, so every single-manager digest is untouched. The
+  // gossip cadence scales with the task period; the staleness bound is
+  // four gossip intervals.
+  std::unique_ptr<core::ManagementPlane> plane;
+  if (scenario.managers > 1) {
+    core::PlaneConfig pc;
+    pc.managers = scenario.managers;
+    pc.gossip_interval = scenario.spec.period * 0.2;
+    pc.staleness_bound = scenario.spec.period * 0.8;
+    plane = std::make_unique<core::ManagementPlane>(
+        testbed.sim(), testbed.ethernet(), testbed.cluster(), pc);
+    plane->adopt(manager);
+    if (obs != nullptr) {
+      plane->attachObs(*obs);
+    }
+    oracle.watch(*plane);
+  }
+
   // Fault path: injector compiles the plan into events, the heartbeat
   // detector drives the manager's failover, and the oracle times recovery.
   // With an empty plan nothing below exists and the run is byte-identical
   // to a faultless build.
   std::unique_ptr<fault::FaultInjector> injector;
   std::unique_ptr<fault::FailureDetector> detector;
+  std::unique_ptr<fault::FailureDetector> mgr_detector;
   if (!scenario.faults.empty()) {
     injector = std::make_unique<fault::FaultInjector>(
         testbed.sim(), testbed.cluster(), &testbed.ethernet(),
         &testbed.clocks(), scenario.faults);
+    if (plane != nullptr) {
+      injector->setManagerFaultTarget(
+          scenario.managers,
+          [p = plane.get()](std::uint32_t m, bool up) {
+            p->setManagerUp(m, up);
+          });
+    }
     oracle.watch(*injector);
     injector->arm();
     detector = std::make_unique<fault::FailureDetector>(
         testbed.sim(), testbed.cluster(), testbed.ethernet(),
         scenario.detector,
-        [&manager, &cluster = testbed.cluster()](ProcessorId p) {
+        [&manager, &cluster = testbed.cluster(),
+         p = plane.get()](ProcessorId pid) {
           // Heavy frame loss can delay acks past the timeout and declare a
           // live node dead; failover only makes sense for real crashes.
-          if (!cluster.isUp(p)) {
-            manager.handleNodeFailure(p);
+          if (!cluster.isUp(pid)) {
+            // With a decentralized plane the death routes through it: only
+            // a live active repairs placements, anything else is queued
+            // for the next election.
+            if (p != nullptr) {
+              p->handleNodeFailure(pid);
+            } else {
+              manager.handleNodeFailure(pid);
+            }
           }
         },
-        [&manager, &cluster = testbed.cluster()](ProcessorId p) {
-          if (cluster.isUp(p)) {
-            manager.handleNodeRestart(p);
+        [&manager, &cluster = testbed.cluster(),
+         p = plane.get()](ProcessorId pid) {
+          if (cluster.isUp(pid)) {
+            if (p != nullptr) {
+              p->handleNodeRestart(pid);
+            } else {
+              manager.handleNodeRestart(pid);
+            }
           }
         });
+  }
+  // A second, target-mode detector monitors the manager endpoints
+  // themselves and drives elections (satellite of the same heartbeat
+  // machinery the node detector uses).
+  if (plane != nullptr) {
+    std::vector<fault::DetectorTarget> targets;
+    targets.reserve(scenario.managers);
+    for (std::uint32_t mi = 0;
+         mi < static_cast<std::uint32_t>(scenario.managers); ++mi) {
+      targets.push_back(fault::DetectorTarget{
+          mi, plane->hostOf(mi),
+          [p = plane.get(), mi] { return p->endpointReachable(mi); }});
+    }
+    mgr_detector = std::make_unique<fault::FailureDetector>(
+        testbed.sim(), testbed.ethernet(), scenario.detector,
+        std::move(targets),
+        [p = plane.get()](std::uint32_t m) { p->onManagerSuspected(m); },
+        [p = plane.get()](std::uint32_t m) { p->onManagerRecovered(m); });
   }
 
   std::unique_ptr<sim::PeriodicActivity> poster;
@@ -475,11 +572,17 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   }
 
   manager.start(testbed.sim().now());
+  if (plane != nullptr) {
+    plane->start(testbed.sim().now());
+  }
   if (poster != nullptr) {
     poster->start(testbed.sim().now());
   }
   if (detector != nullptr) {
     detector->start(testbed.sim().now());
+  }
+  if (mgr_detector != nullptr) {
+    mgr_detector->start(testbed.sim().now());
   }
   testbed.runFor(scenario.spec.period *
                  static_cast<double>(scenario.periods));
@@ -487,10 +590,19 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   if (detector != nullptr) {
     detector->stop();
   }
+  if (mgr_detector != nullptr) {
+    mgr_detector->stop();
+  }
   if (poster != nullptr) {
     poster->stop();
   }
+  // The plane keeps gossiping through the drain so every post-event sweep
+  // still sees a fresh view; it stops (closing any open gap) only before
+  // the final sweep.
   testbed.runFor(scenario.spec.period * 2.0);
+  if (plane != nullptr) {
+    plane->stop();
+  }
   oracle.sweep();
 
   FuzzCaseResult out;
@@ -542,6 +654,22 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     appendCount(d, m.failover_replacements);
     appendCount(d, m.recovery_allocation_failures);
   }
+  if (plane != nullptr) {
+    appendCount(d, plane->gossipRounds());
+    appendCount(d, plane->gossipMessagesSent());
+    appendCount(d, plane->summariesApplied());
+    appendCount(d, plane->elections());
+    appendCount(d, plane->epoch());
+    appendCount(d, m.suppressed_decision_periods);
+    appendHex(d, plane->decisionGapMs());
+    appendHex(d, plane->maxStalenessObservedMs());
+    if (mgr_detector != nullptr) {
+      appendCount(d, mgr_detector->heartbeatsSent());
+      appendCount(d, mgr_detector->acksReceived());
+      appendCount(d, mgr_detector->declaredDead());
+      appendCount(d, mgr_detector->declaredRecovered());
+    }
+  }
 
   // Observability reconciliation: the obs trace/registry, EpisodeMetrics,
   // and the oracle's independent observation counters must tell the same
@@ -554,6 +682,9 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     manager.exportMetrics(obs->metrics);
     if (detector != nullptr) {
       detector->exportMetrics(obs->metrics);
+    }
+    if (plane != nullptr) {
+      plane->exportMetrics(obs->metrics);
     }
 
     std::string& r = out.obs_mismatch;
@@ -588,8 +719,10 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
 }
 
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
-                        bool with_faults, const FuzzExecConfig& exec) {
-  const FuzzScenario scenario = makeFuzzScenario(seed, shrink, with_faults);
+                        bool with_faults, const FuzzExecConfig& exec,
+                        bool with_manager_faults) {
+  const FuzzScenario scenario =
+      makeFuzzScenario(seed, shrink, with_faults, with_manager_faults);
   FuzzOutcome out;
   for (const AllocatorKind kind :
        {AllocatorKind::kPredictive, AllocatorKind::kNonPredictive}) {
@@ -620,15 +753,25 @@ FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
 }
 
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
-                    const FailsFn& fails, bool with_faults) {
+                    const FailsFn& fails, bool with_faults,
+                    bool with_manager_faults) {
   ShrinkSpec current = initial;
   bool improved = true;
   while (improved) {
     improved = false;
     const FuzzScenario s = makeFuzzScenario(seed, current);
 
-    // Simplest explanation first: does the failure survive without any
-    // faults at all?
+    // Simplest explanation first: does the failure survive without the
+    // decentralized-plane dimension, or without any faults at all?
+    if (with_manager_faults && !current.drop_manager_faults) {
+      ShrinkSpec c = current;
+      c.drop_manager_faults = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+        continue;
+      }
+    }
     if (with_faults && !current.drop_faults) {
       ShrinkSpec c = current;
       c.drop_faults = true;

@@ -20,6 +20,15 @@
 // manager's failover path. The fault draws are appended *after* every
 // base-scenario draw, so the base scenario of a seed is byte-identical
 // with and without faults, and `drop_faults` is just one more shrink cap.
+//
+// With manager faults additionally enabled (--manager-faults) every seed
+// draws a decentralized-plane dimension — a manager-endpoint count of 2-3
+// and one manager crash (with optional restart) — appended after the node
+// fault draws, so both the base scenario and the node-fault schedule of a
+// seed stay byte-identical with and without it. The run then builds a
+// core::ManagementPlane, a second target-mode FailureDetector over the
+// manager endpoints, and the plane invariants (election uniqueness, no
+// deposed decisions, bounded gossip staleness) join the oracle.
 #pragma once
 
 #include <cstdint>
@@ -51,10 +60,13 @@ struct ShrinkSpec {
   bool flatten_workload = false;
   /// Strip the fault schedule (only meaningful when faults are enabled).
   bool drop_faults = false;
+  /// Strip the decentralized-plane dimension: back to one manager and no
+  /// manager crashes (only meaningful when manager faults are enabled).
+  bool drop_manager_faults = false;
 
   bool unshrunk() const {
     return max_subtasks == 0 && max_periods == 0 && !flatten_workload &&
-           !drop_faults;
+           !drop_faults && !drop_manager_faults;
   }
   /// Command-line fragment reproducing these caps (" --max-subtasks=3 ...";
   /// empty when unshrunk).
@@ -109,8 +121,12 @@ struct FuzzScenario {
   /// plan injects nothing and wires no detector, so the run matches the
   /// faultless build byte for byte).
   fault::FaultPlan faults;
-  /// Heartbeat detector configuration used when `faults` is non-empty.
+  /// Heartbeat detector configuration used when `faults` is non-empty
+  /// (also reused, with home node 0, for the manager-endpoint detector).
   fault::DetectorConfig detector;
+  /// Manager endpoints; > 1 only when generated with manager faults, and
+  /// then `faults.manager_crashes` carries the crash schedule.
+  std::size_t managers = 1;
 
   std::string summary() const;
 };
@@ -121,7 +137,8 @@ struct FuzzScenario {
 /// the seed's fault schedule (drawn either way, appended after every base
 /// draw, so the base scenario is identical with and without it).
 FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {},
-                              bool with_faults = false);
+                              bool with_faults = false,
+                              bool with_manager_faults = false);
 
 enum class AllocatorKind { kPredictive, kNonPredictive };
 const char* allocatorKindName(AllocatorKind kind);
@@ -176,7 +193,8 @@ struct FuzzOutcome {
 
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {},
                         bool with_faults = false,
-                        const FuzzExecConfig& exec = {});
+                        const FuzzExecConfig& exec = {},
+                        bool with_manager_faults = false);
 
 /// Failure predicate: does `seed` under these caps still fail?
 using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
@@ -187,6 +205,7 @@ using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
 /// until no harsher cap does. Returns the harshest failing ShrinkSpec
 /// found.
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
-                    const FailsFn& fails, bool with_faults = false);
+                    const FailsFn& fails, bool with_faults = false,
+                    bool with_manager_faults = false);
 
 }  // namespace rtdrm::check

@@ -94,6 +94,12 @@ void InvariantOracle::watch(fault::FaultInjector& injector) {
   injector.setObserver(this);
 }
 
+void InvariantOracle::watch(const core::ManagementPlane& plane) {
+  RTDRM_ASSERT_MSG(plane_ == nullptr,
+                   "oracle already watches a management plane");
+  plane_ = &plane;
+}
+
 std::string InvariantOracle::report() const {
   std::ostringstream os;
   os << violation_count_ << " violation(s), " << checks_run_
@@ -497,6 +503,17 @@ void InvariantOracle::checkRecoveryDeadlines() {
   if (!clusters_.empty() && clusters_.front()->upCount() == 0) {
     return;
   }
+  // Waive while the management plane is headless: node failures queue
+  // until the next election (nobody may decide during the gap), so the
+  // recovery clock only starts once the decision channel reopens.
+  if (plane_ != nullptr && plane_->enabled() && !plane_->decisionsAllowed()) {
+    for (DownNode& d : down_nodes_) {
+      if (!d.reported) {
+        d.since = now();
+      }
+    }
+    return;
+  }
   const double grace = config_.recovery_grace_ms;
   for (DownNode& d : down_nodes_) {
     if (d.reported || now().ms() - d.since.ms() <= grace) {
@@ -518,6 +535,50 @@ void InvariantOracle::checkRecoveryDeadlines() {
   }
 }
 
+void InvariantOracle::checkPlane() {
+  if (plane_ == nullptr || !plane_->enabled()) {
+    return;
+  }
+  ++checks_run_;
+  // Election uniqueness: at most one endpoint ever believes it is active,
+  // and exactly one whenever the decision channel is open.
+  const std::size_t active = plane_->activeCount();
+  if (active > 1) {
+    violate("plane-election-uniqueness",
+            std::to_string(active) + " endpoints hold the active role");
+  }
+  if (plane_->decisionsAllowed() && active != 1) {
+    violate("plane-election-uniqueness",
+            "decisions allowed with " + std::to_string(active) +
+                " active endpoint(s)");
+  }
+  // Bounded staleness: no summary the active decides on may outlive the
+  // configured bound (the plane excuses down origins and grants a
+  // one-bound grace after up-edges and elections).
+  const double bound_ms = plane_->config().staleness_bound.ms();
+  const double worst_ms = plane_->worstViewAgeMs();
+  if (worst_ms > bound_ms + config_.tolerance_ms) {
+    violate("plane-gossip-staleness",
+            "active manager " + std::to_string(plane_->activeManager()) +
+                " decides on a summary " + std::to_string(worst_ms) +
+                " ms old, bound is " + std::to_string(bound_ms) + " ms");
+  }
+}
+
+void InvariantOracle::checkDecisionOwnership(const char* hook) {
+  if (plane_ == nullptr || !plane_->enabled()) {
+    return;
+  }
+  ++checks_run_;
+  // The decision gate must have suppressed this hook: a deposed manager
+  // (or a headless plane) may never reshape placements or budgets.
+  if (!plane_->decisionsAllowed()) {
+    violate("plane-deposed-decision",
+            std::string(hook) +
+                " fired while no live active manager owns decisions");
+  }
+}
+
 void InvariantOracle::sweep() {
   for (const node::Cluster* c : clusters_) {
     checkClusterUtilization(*c);
@@ -528,6 +589,7 @@ void InvariantOracle::sweep() {
   }
   checkDeliveryAccounting();
   checkRecoveryDeadlines();
+  checkPlane();
   for (core::ResourceManager* m : managers_) {
     checkBudgets(m->budgets(), m->spec().deadline.ms());
     std::size_t cluster_size = 0;
@@ -547,6 +609,7 @@ void InvariantOracle::onBudgetsAssigned(const core::ResourceManager& manager,
 
 void InvariantOracle::onMonitorActions(const core::ResourceManager& manager,
                                        const std::vector<core::Action>& actions) {
+  checkDecisionOwnership("monitor-actions");
   checkActions(actions, manager.spec());
 }
 
@@ -557,11 +620,13 @@ void InvariantOracle::onAllocation(const core::ResourceManager& manager,
   if (status != core::AllocStatus::kNoChange) {
     ++effective_allocations_observed_;
   }
+  checkDecisionOwnership("allocation");
   checkAllocation(manager.allocator(), ctx, stage, status, rs);
 }
 
 void InvariantOracle::onPlacementChanged(const core::ResourceManager& manager,
                                          const task::Placement& placement) {
+  checkDecisionOwnership("placement-change");
   std::size_t cluster_size = 0;
   if (!clusters_.empty()) {
     cluster_size = clusters_.front()->size();

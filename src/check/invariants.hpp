@@ -14,6 +14,16 @@
 //   * the predictive allocator never *accepts* a replica set whose own
 //     forecast violates the deadline-minus-slack bound (Fig. 5 step 6).
 //
+// With a management plane watched (managers > 1), the decentralized-plane
+// invariants join in:
+//
+//   * election uniqueness: at most one endpoint ever holds the active role,
+//     and exactly one whenever decisions are allowed;
+//   * no deposed decisions: the monitor/allocator hooks never fire while no
+//     live active manager owns the decision channel;
+//   * bounded staleness: no summary the active decides on is older than the
+//     configured staleness bound (modulo the plane's up-edge grace).
+//
 // With a fault injector watched, three failure-mode invariants join in:
 //
 //   * no placement change ever *adds* a replica on a down node (the window
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "core/manager.hpp"
+#include "core/plane.hpp"
 #include "fault/injector.hpp"
 #include "net/ethernet.hpp"
 #include "node/cluster.hpp"
@@ -87,6 +98,9 @@ class InvariantOracle final : public core::ManagerObserver,
   /// Claims the injector's observer slot (released on destruction) so
   /// crash/restart times feed the recovery-deadline invariant.
   void watch(fault::FaultInjector& injector);
+  /// Watches a decentralized management plane: election uniqueness,
+  /// deposed-decision suppression and the gossip staleness bound.
+  void watch(const core::ManagementPlane& plane);
 
   // ---- results ----------------------------------------------------------
   bool ok() const { return violation_count_ == 0; }
@@ -139,6 +153,9 @@ class InvariantOracle final : public core::ManagerObserver,
   /// Flags watched placements still hosting a node that has been down
   /// longer than the recovery grace (each crash reported at most once).
   void checkRecoveryDeadlines();
+  /// Decentralized-plane sweep: active-role uniqueness and the gossip
+  /// staleness bound (needs a watched plane; no-op otherwise).
+  void checkPlane();
   /// Sweeps every watched cluster / ledger / manager now.
   void sweep();
 
@@ -169,6 +186,8 @@ class InvariantOracle final : public core::ManagerObserver,
 
   void violate(const char* invariant, std::string detail);
   SimTime now() const;
+  /// Deposed-decision guard shared by the decision-channel manager hooks.
+  void checkDecisionOwnership(const char* hook);
 
   OracleConfig config_;
   sim::Simulator* sim_ = nullptr;
@@ -177,6 +196,7 @@ class InvariantOracle final : public core::ManagerObserver,
   std::vector<const core::WorkloadLedger*> ledgers_;
   std::vector<core::ResourceManager*> managers_;
   fault::FaultInjector* injector_ = nullptr;
+  const core::ManagementPlane* plane_ = nullptr;
   /// Last placement seen per watched manager (parallel to managers_);
   /// onPlacementChanged diffs against it to catch replicas *added* on a
   /// down node.

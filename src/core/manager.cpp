@@ -108,6 +108,8 @@ void ResourceManager::exportMetrics(obs::MetricsRegistry& reg) const {
       .set(metrics_.failover_replacements);
   reg.counter("core.recovery_allocation_failures")
       .set(metrics_.recovery_allocation_failures);
+  reg.counter("core.suppressed_decision_periods")
+      .set(metrics_.suppressed_decision_periods);
   reg.gauge("core.shed_fraction").set(shed_fraction_);
   reg.gauge("core.mean_cpu_utilization").set(metrics_.cpu_utilization.mean());
   reg.gauge("core.mean_net_utilization").set(metrics_.net_utilization.mean());
@@ -144,7 +146,7 @@ void ResourceManager::trace(sim::TraceCategory cat, const std::string& label,
 }
 
 void ResourceManager::onPeriodTick(std::uint64_t) {
-  if (config_.sample_cluster) {
+  if (config_.sample_cluster && !external_sampling_) {
     rt_.cluster.sampleUtilization();
   }
   metrics_.cpu_utilization.add(rt_.cluster.meanUtilization().value());
@@ -196,6 +198,15 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
     }
   }
 
+  // Decentralized-plane gate: with no live decision owner, this period's
+  // adaptive half never happens — a dead manager neither refits models nor
+  // evaluates the monitor. Accounting above still ran: the workload keeps
+  // flowing (and missing) through the gap; only decisions stop.
+  if (gate_ != nullptr && !gate_()) {
+    ++metrics_.suppressed_decision_periods;
+    return;
+  }
+
   if (refresher_ != nullptr) {
     // A-posteriori model refinement: every completed stage is one
     // (share, utilization, latency) observation of eq. 3.
@@ -236,6 +247,9 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
   }
   if (actions.empty()) {
     return;
+  }
+  if (decision_owner_ != nullptr) {
+    decision_owner_();
   }
 
   const DataSize workload = runner_->currentWorkload();
@@ -444,6 +458,9 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
   if (!touched) {
     return;
   }
+  if (decision_owner_ != nullptr) {
+    decision_owner_();
+  }
   ++metrics_.node_failures_handled;
   trace(sim::TraceCategory::kCustom, "failover",
         static_cast<double>(dead.value));
@@ -456,6 +473,14 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
   // shutdown right after capacity was lost.
   monitor_.resetStreaks();
   reassignBudgets(workload);
+}
+
+void ResourceManager::resumeControl() {
+  // Slack history predates the gap; stale streaks must not fire a
+  // shutdown/replicate on the new owner's first period. Budgets are
+  // re-derived from the view the standby just rebuilt from gossip.
+  monitor_.resetStreaks();
+  reassignBudgets(runner_->currentWorkload());
 }
 
 void ResourceManager::handleNodeRestart(ProcessorId node) {

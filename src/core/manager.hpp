@@ -11,6 +11,7 @@
 //   6. accumulates the evaluation metrics.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/allocators.hpp"
@@ -169,6 +170,30 @@ class ResourceManager {
   /// default), every instrumentation site is one null-pointer branch.
   void attachObs(obs::Observability& o);
 
+  /// Decentralized-plane hooks (core::ManagementPlane is the only caller;
+  /// all of them default to the centralized behavior when unset).
+  ///
+  /// Gate consulted before each period's monitor evaluation: when it
+  /// returns false the decision half of onRecord is skipped entirely (no
+  /// refit, no monitor verdicts, no actions) and the period is counted in
+  /// metrics().suppressed_decision_periods — modelling the headless gap
+  /// between a manager crash and the standby's takeover.
+  void setDecisionGate(std::function<bool()> gate) { gate_ = std::move(gate); }
+  /// When true, the per-period tick no longer calls
+  /// Cluster::sampleUtilization(): the plane samples partitions privately
+  /// and publishes views via gossip instead.
+  void setExternalSampling(bool external) { external_sampling_ = external; }
+  /// Invoked whenever this manager is about to apply decisions (monitor
+  /// actions or a failover repair); the plane stamps decision provenance
+  /// (active manager index + election epoch) into the audit trace.
+  void setDecisionOwnerFn(std::function<void()> fn) {
+    decision_owner_ = std::move(fn);
+  }
+  /// Called by the plane when a newly elected manager takes over: slack
+  /// streaks predate the gap and must not fire immediately, and budgets
+  /// are re-derived from the freshly rebuilt view.
+  void resumeControl();
+
   /// Publishes the episode metrics into `reg` under "core." names.
   void exportMetrics(obs::MetricsRegistry& reg) const;
 
@@ -224,6 +249,9 @@ class ResourceManager {
   obs::Observability* obs_ = nullptr;
   std::unique_ptr<ModelRefresher> refresher_;
   double shed_fraction_ = 0.0;
+  std::function<bool()> gate_;
+  std::function<void()> decision_owner_;
+  bool external_sampling_ = false;
 };
 
 }  // namespace rtdrm::core

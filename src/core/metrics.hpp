@@ -45,6 +45,10 @@ struct EpisodeMetrics {
   /// Recovery replications that could not meet the forecast on the
   /// surviving nodes (each also counts in allocation_failures).
   std::uint64_t recovery_allocation_failures = 0;
+  /// Periods whose monitor evaluation was skipped because no live manager
+  /// owned the decision (the failover gap of the decentralized plane);
+  /// always zero in the centralized configuration.
+  std::uint64_t suppressed_decision_periods = 0;
   /// Fraction of the stream dropped per period (all zeros unless the
   /// load-shedding extension is enabled and engaged).
   RunningStats shed_fraction;

@@ -2,6 +2,8 @@
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 
 namespace rtdrm::experiments {
 
@@ -60,16 +62,82 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
     manager.attachObs(*config.obs);
   }
 
+  // Decentralized plane (managers > 1 only — the default builds none of
+  // this, keeping the legacy path bit-for-bit): gossiping endpoints, an
+  // optional manager-crash schedule through the fault injector, and a
+  // target-mode heartbeat detector driving elections.
+  std::unique_ptr<core::ManagementPlane> plane;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FailureDetector> mgr_detector;
+  if (config.plane.managers > 1) {
+    plane = std::make_unique<core::ManagementPlane>(
+        scenario.sim(), scenario.ethernet(), scenario.cluster(),
+        config.plane);
+    plane->adopt(manager);
+    if (config.obs != nullptr) {
+      plane->attachObs(*config.obs);
+    }
+    if (config.manager_crash_at_period > 0) {
+      fault::FaultPlan fp;
+      fp.seed = config.scenario.seed;
+      fault::ManagerCrashFault mc;
+      mc.manager = config.manager_fault_target;
+      mc.at = SimTime::zero() +
+              spec.period * static_cast<double>(config.manager_crash_at_period);
+      if (config.manager_restart_after_periods > 0.0) {
+        mc.restart_at =
+            mc.at + spec.period * config.manager_restart_after_periods;
+      }
+      fp.manager_crashes.push_back(mc);
+      injector = std::make_unique<fault::FaultInjector>(
+          scenario.sim(), scenario.cluster(), &scenario.ethernet(),
+          &scenario.clocks(), fp);
+      injector->setManagerFaultTarget(
+          config.plane.managers,
+          [p = plane.get()](std::uint32_t m, bool up) {
+            p->setManagerUp(m, up);
+          });
+      injector->arm();
+    }
+    std::vector<fault::DetectorTarget> targets;
+    targets.reserve(config.plane.managers);
+    for (std::uint32_t mi = 0;
+         mi < static_cast<std::uint32_t>(config.plane.managers); ++mi) {
+      targets.push_back(fault::DetectorTarget{
+          mi, plane->hostOf(mi),
+          [p = plane.get(), mi] { return p->endpointReachable(mi); }});
+    }
+    mgr_detector = std::make_unique<fault::FailureDetector>(
+        scenario.sim(), scenario.ethernet(), config.manager_detector,
+        std::move(targets),
+        [p = plane.get()](std::uint32_t m) { p->onManagerSuspected(m); },
+        [p = plane.get()](std::uint32_t m) { p->onManagerRecovered(m); });
+  }
+
   manager.start(scenario.sim().now());
+  if (plane != nullptr) {
+    plane->start(scenario.sim().now());
+    mgr_detector->start(scenario.sim().now());
+  }
   scenario.runFor(spec.period * static_cast<double>(config.periods));
   manager.stop();
+  if (mgr_detector != nullptr) {
+    mgr_detector->stop();
+  }
   scenario.runFor(spec.period * config.drain_periods);
+  if (plane != nullptr) {
+    plane->stop();
+  }
 
   if (config.obs != nullptr) {
     scenario.sim().exportMetrics(config.obs->metrics);
     scenario.ethernet().exportMetrics(config.obs->metrics);
     scenario.cluster().exportMetrics(config.obs->metrics);
     manager.exportMetrics(config.obs->metrics);
+    if (plane != nullptr) {
+      plane->exportMetrics(config.obs->metrics);
+      mgr_detector->exportMetrics(config.obs->metrics);
+    }
   }
 
   EpisodeResult out;
@@ -79,6 +147,12 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
   out.cpu_pct = out.metrics.cpu_utilization.mean() * 100.0;
   out.net_pct = out.metrics.net_utilization.mean() * 100.0;
   out.avg_replicas = out.metrics.replicas_per_subtask.mean();
+  if (plane != nullptr) {
+    out.decision_gap_ms = plane->decisionGapMs();
+    out.elections = plane->elections();
+    out.gossip_rounds = plane->gossipRounds();
+    out.suppressed_periods = out.metrics.suppressed_decision_periods;
+  }
   return out;
 }
 

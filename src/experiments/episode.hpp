@@ -15,6 +15,8 @@
 #include "core/manager.hpp"
 #include "core/metrics.hpp"
 #include "core/models.hpp"
+#include "core/plane.hpp"
+#include "fault/detector.hpp"
 #include "obs/obs.hpp"
 #include "task/spec.hpp"
 #include "workload/patterns.hpp"
@@ -45,6 +47,20 @@ struct EpisodeConfig {
   /// decision audit is recorded into its trace ring, and at episode end
   /// every substrate exports its counters into its registry.
   obs::Observability* obs = nullptr;
+  /// Decentralized management plane. managers == 1 (the default) builds no
+  /// plane at all — the episode is bit-for-bit identical to the legacy
+  /// centralized path.
+  core::PlaneConfig plane{};
+  /// Manager-endpoint fault schedule (managers > 1 only): crash endpoint
+  /// `manager_fault_target` at period `manager_crash_at_period` (0 = no
+  /// crash), restarting it `manager_restart_after_periods` periods later
+  /// (0 = never).
+  std::uint64_t manager_crash_at_period = 0;
+  std::uint32_t manager_fault_target = 0;
+  double manager_restart_after_periods = 0.0;
+  /// Heartbeat detector over the manager endpoints (managers > 1 only;
+  /// drives elections).
+  fault::DetectorConfig manager_detector{};
 };
 
 struct EpisodeResult {
@@ -54,6 +70,11 @@ struct EpisodeResult {
   double cpu_pct = 0.0;        ///< mean CPU utilization, percent
   double net_pct = 0.0;        ///< mean network utilization, percent
   double avg_replicas = 0.0;   ///< mean replicas per replicable subtask
+  // Decentralized-plane outcomes (all zero with managers == 1).
+  double decision_gap_ms = 0.0;        ///< crash -> election gap total
+  std::uint64_t elections = 0;
+  std::uint64_t gossip_rounds = 0;
+  std::uint64_t suppressed_periods = 0;  ///< period ticks gated out
 };
 
 /// Runs one episode. The same (spec, pattern, seed) with different

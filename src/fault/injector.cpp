@@ -24,10 +24,19 @@ FaultInjector::~FaultInjector() {
   }
 }
 
+void FaultInjector::setManagerFaultTarget(
+    std::size_t manager_count, std::function<void(std::uint32_t, bool)> fn) {
+  RTDRM_ASSERT_MSG(!armed_, "manager fault target must precede arm()");
+  RTDRM_ASSERT(manager_count > 0);
+  RTDRM_ASSERT(fn != nullptr);
+  manager_count_ = manager_count;
+  manager_fault_fn_ = std::move(fn);
+}
+
 void FaultInjector::arm() {
   RTDRM_ASSERT_MSG(!armed_, "fault plan already armed");
   armed_ = true;
-  plan_.validate(cluster_.size());
+  plan_.validate(cluster_.size(), manager_count_);
 
   for (const CrashFault& c : plan_.crashes) {
     sim_.scheduleAt(c.at, [this, c] {
@@ -78,6 +87,27 @@ void FaultInjector::arm() {
       sim_.scheduleAt(o.until, [this, active] {
         if (--*active == 0) {
           clocks_->setSyncEnabled(true);
+        }
+      });
+    }
+  }
+
+  for (const ManagerCrashFault& m : plan_.manager_crashes) {
+    sim_.scheduleAt(m.at, [this, m] {
+      manager_fault_fn_(m.manager, false);
+      ++manager_crashes_injected_;
+      RTDRM_LOG(kDebug) << "fault: manager " << m.manager << " crashed";
+      if (observer_ != nullptr) {
+        observer_->onManagerCrash(m.manager, sim_.now());
+      }
+    });
+    if (m.restart_at.has_value()) {
+      sim_.scheduleAt(*m.restart_at, [this, m] {
+        manager_fault_fn_(m.manager, true);
+        ++manager_restarts_injected_;
+        RTDRM_LOG(kDebug) << "fault: manager " << m.manager << " restarted";
+        if (observer_ != nullptr) {
+          observer_->onManagerRestart(m.manager, sim_.now());
         }
       });
     }

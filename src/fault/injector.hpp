@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/rng.hpp"
 #include "fault/plan.hpp"
@@ -37,6 +38,14 @@ class FaultObserver {
     (void)node;
     (void)at;
   }
+  virtual void onManagerCrash(std::uint32_t manager, SimTime at) {
+    (void)manager;
+    (void)at;
+  }
+  virtual void onManagerRestart(std::uint32_t manager, SimTime at) {
+    (void)manager;
+    (void)at;
+  }
 };
 
 class FaultInjector {
@@ -51,16 +60,30 @@ class FaultInjector {
   ~FaultInjector();
 
   /// Schedule every plan entry; call exactly once, before running the
-  /// episode. Validates the plan against the cluster size.
+  /// episode. Validates the plan against the cluster size (and the
+  /// manager count when a manager-fault target is set).
   void arm();
 
   /// At most one observer (must outlive the injector).
   void setObserver(FaultObserver* observer) { observer_ = observer; }
 
+  /// Registers the management plane as a fault target: `fn(manager, up)`
+  /// is invoked at each scheduled manager crash (up = false) / restart
+  /// (up = true) edge. Must be called before arm() when the plan carries
+  /// manager crashes; plans without them never need it.
+  void setManagerFaultTarget(std::size_t manager_count,
+                             std::function<void(std::uint32_t, bool)> fn);
+
   const FaultPlan& plan() const { return plan_; }
   std::uint64_t crashesInjected() const { return crashes_injected_; }
   std::uint64_t restartsInjected() const { return restarts_injected_; }
   std::uint64_t throttleEdges() const { return throttle_edges_; }
+  std::uint64_t managerCrashesInjected() const {
+    return manager_crashes_injected_;
+  }
+  std::uint64_t managerRestartsInjected() const {
+    return manager_restarts_injected_;
+  }
 
  private:
   net::Ethernet::FrameFate decideFrameFate(ProcessorId src, ProcessorId dst);
@@ -72,11 +95,15 @@ class FaultInjector {
   FaultPlan plan_;
   Xoshiro256 rng_;
   FaultObserver* observer_ = nullptr;
+  std::size_t manager_count_ = 0;
+  std::function<void(std::uint32_t, bool)> manager_fault_fn_;
   bool armed_ = false;
   bool hook_installed_ = false;
   std::uint64_t crashes_injected_ = 0;
   std::uint64_t restarts_injected_ = 0;
   std::uint64_t throttle_edges_ = 0;
+  std::uint64_t manager_crashes_injected_ = 0;
+  std::uint64_t manager_restarts_injected_ = 0;
 };
 
 }  // namespace rtdrm::fault

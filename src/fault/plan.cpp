@@ -4,7 +4,8 @@
 
 namespace rtdrm::fault {
 
-void FaultPlan::validate(std::size_t node_count) const {
+void FaultPlan::validate(std::size_t node_count,
+                         std::size_t manager_count) const {
   for (const CrashFault& c : crashes) {
     RTDRM_ASSERT_MSG(c.node.value < node_count, "crash node out of range");
     if (c.restart_at.has_value()) {
@@ -31,6 +32,19 @@ void FaultPlan::validate(std::size_t node_count) const {
   }
   for (const ClockOutage& o : clock_outages) {
     RTDRM_ASSERT_MSG(o.until > o.from, "empty clock outage window");
+  }
+  if (manager_count == 0) {
+    RTDRM_ASSERT_MSG(manager_crashes.empty(),
+                     "manager crashes need a decentralized plane");
+    return;
+  }
+  for (const ManagerCrashFault& m : manager_crashes) {
+    RTDRM_ASSERT_MSG(m.manager < manager_count,
+                     "manager crash id out of range");
+    if (m.restart_at.has_value()) {
+      RTDRM_ASSERT_MSG(*m.restart_at > m.at,
+                       "manager restart must come after the crash");
+    }
   }
 }
 

@@ -58,6 +58,17 @@ struct ClockOutage {
   SimTime until = SimTime::zero();
 };
 
+/// Fail-stop crash of a management-plane endpoint (not a node): the
+/// manager process stops gossiping, acking heartbeats and making
+/// decisions at `at`; with `restart_at` set it later rejoins as a
+/// standby with an empty view. Only meaningful when the run hosts a
+/// decentralized plane (manager_count > 0 at validate()).
+struct ManagerCrashFault {
+  std::uint32_t manager = 0;
+  SimTime at = SimTime::zero();
+  std::optional<SimTime> restart_at;
+};
+
 /// Loss probabilities above this are rejected: retransmission of every
 /// frame must terminate, and a loss rate of ~1 would livelock the wire.
 inline constexpr double kMaxLossProbability = 0.9;
@@ -67,23 +78,26 @@ struct FaultPlan {
   std::vector<ThrottleFault> throttles;
   std::vector<LinkFault> links;
   std::vector<ClockOutage> clock_outages;
+  std::vector<ManagerCrashFault> manager_crashes;
   /// Seed for the per-frame loss/duplication draws (the only randomness a
   /// plan introduces; everything else above is scheduled exactly).
   std::uint64_t seed = 0;
 
   bool empty() const {
     return crashes.empty() && throttles.empty() && links.empty() &&
-           clock_outages.empty();
+           clock_outages.empty() && manager_crashes.empty();
   }
   /// Total scheduled entries (shrinker progress measure).
   std::size_t entryCount() const {
     return crashes.size() + throttles.size() + links.size() +
-           clock_outages.size();
+           clock_outages.size() + manager_crashes.size();
   }
-  /// Asserts structural sanity against a cluster of `node_count` nodes:
-  /// ids in range (or kAnyNode), windows ordered, probabilities bounded,
-  /// throttle factors positive.
-  void validate(std::size_t node_count) const;
+  /// Asserts structural sanity against a cluster of `node_count` nodes
+  /// and a management plane of `manager_count` managers: ids in range (or
+  /// kAnyNode), windows ordered, probabilities bounded, throttle factors
+  /// positive. Manager crashes are rejected outright when the run hosts
+  /// no decentralized plane (manager_count == 0).
+  void validate(std::size_t node_count, std::size_t manager_count = 0) const;
 };
 
 }  // namespace rtdrm::fault

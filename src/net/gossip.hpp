@@ -1,0 +1,44 @@
+// Gossip message schema for the decentralized management plane.
+//
+// Each manager owns a contiguous node-block partition and periodically
+// broadcasts a PartitionSummary — its partition's freshly sampled
+// utilizations plus the ledger workload it currently hosts — to every
+// other manager endpoint over the shared Ethernet. Summaries are plain
+// data carried in the message closure (only the wire size is simulated,
+// like every other message in src/net); receivers keep the newest
+// summary per origin and judge staleness by the summary's sample time
+// against the plane's configured bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rtdrm::net {
+
+struct PartitionSummary {
+  /// Originating manager index and its election epoch at send time.
+  std::uint32_t manager = 0;
+  std::uint64_t epoch = 0;
+  /// Per-origin monotonically increasing round number; receivers discard
+  /// reordered stale rounds.
+  std::uint64_t seq = 0;
+  /// When the utilizations below were sampled (the staleness clock).
+  SimTime sampled_at = SimTime::zero();
+  /// First node of the partition; utilization[i] belongs to node
+  /// first_node + i.
+  std::uint32_t first_node = 0;
+  std::vector<double> utilization;
+  /// Total ledger workload (tracks) hosted on the partition.
+  double ledger_tracks = 0.0;
+};
+
+/// Simulated wire footprint of a summary: a fixed header plus a fixed
+/// per-node cost. The real payload rides in the closure.
+inline Bytes gossipWireBytes(Bytes base, Bytes per_node,
+                             std::size_t node_count) {
+  return base + per_node * static_cast<double>(node_count);
+}
+
+}  // namespace rtdrm::net

@@ -33,6 +33,7 @@ Cluster::Cluster(sim::ShardedEngine& engine, std::size_t node_count,
     up_state_.assign(node_count, 1);
     busy_snapshot_.assign(node_count, SimDuration::zero());
     sampled_busy_.assign(node_count, SimDuration::zero());
+    part_sample_t_.assign(node_count, SimTime::zero());
     engine.addBarrierHook([this] { refreshBusySnapshot(); });
   }
   buildNodes(node_count, cpu_config, speeds);
@@ -171,6 +172,38 @@ const std::vector<Utilization>& Cluster::sampleUtilization() {
   ++sample_generation_;
   ++samples_taken_;
   return last_sample_;
+}
+
+void Cluster::samplePartitionInto(std::size_t lo, std::size_t hi,
+                                  std::vector<Utilization>& out) {
+  RTDRM_ASSERT(lo < hi && hi <= cpus_.size());
+  out.resize(hi - lo);
+  if (engine_) {
+    // Per-node windows (not the global last_sample_t_): partitions sample
+    // on their own cadence and must not shear each other's windows.
+    const SimTime now = sim_.now();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const SimDuration window = now - part_sample_t_[i];
+      out[i - lo] =
+          window > SimDuration::zero()
+              ? Utilization::fraction((busy_snapshot_[i] - sampled_busy_[i]) /
+                                      window)
+              : Utilization::zero();
+      sampled_busy_[i] = busy_snapshot_[i];
+      part_sample_t_[i] = now;
+    }
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i - lo] = probes_[i].sample();
+    }
+  }
+  ++samples_taken_;
+}
+
+void Cluster::applyGossipSample(ProcessorId id, Utilization u) {
+  RTDRM_ASSERT(id.value < last_sample_.size());
+  last_sample_[id.value] = u;
+  ++sample_generation_;
 }
 
 Utilization Cluster::lastUtilization(ProcessorId id) const {

@@ -101,6 +101,23 @@ class Cluster {
   /// sample; the result is retained and served by lastUtilization().
   /// Invalidates the utilization index (rebuilt lazily on the next query).
   const std::vector<Utilization>& sampleUtilization();
+
+  /// Partition-private sampling for the decentralized management plane:
+  /// samples nodes [lo, hi) over each node's window since *its* previous
+  /// partition sample and writes the fractions into `out` (resized to
+  /// hi - lo) WITHOUT publishing into lastUtilization() or touching the
+  /// utilization index — published views only change when a gossiped
+  /// summary is applied (applyGossipSample), so a standby's samples never
+  /// leak into the active manager's decisions except over the wire.
+  /// Partitions must be disjoint across callers (each consumes its nodes'
+  /// probe state). Do not mix with sampleUtilization() in one run.
+  void samplePartitionInto(std::size_t lo, std::size_t hi,
+                           std::vector<Utilization>& out);
+
+  /// Publishes one gossiped utilization into the cluster view served by
+  /// lastUtilization()/leastUtilized()/belowUtilization(), invalidating
+  /// the index (rebuilt lazily on the next query).
+  void applyGossipSample(ProcessorId id, Utilization u);
   /// Most recent sampled utilization of `id` (zero before first sample).
   Utilization lastUtilization(ProcessorId id) const;
   /// Mean of the most recent sample across nodes.
@@ -217,6 +234,7 @@ class Cluster {
   std::vector<SimDuration> busy_snapshot_;   ///< barrier-coherent busyTime
   std::vector<SimDuration> sampled_busy_;    ///< snapshot at last sample
   SimTime last_sample_t_ = SimTime::zero();  ///< sharded sampling window
+  std::vector<SimTime> part_sample_t_;       ///< per-node partition windows
   std::vector<std::unique_ptr<Processor>> cpus_;
   std::vector<std::unique_ptr<BackgroundLoad>> bg_;
   std::vector<UtilizationProbe> probes_;

@@ -27,6 +27,13 @@ bool payloadIsCount(RecordKind kind) {
     case RecordKind::kThresholdDone:
     case RecordKind::kReplicate:
     case RecordKind::kShutdown:
+    // Plane records: `a` is the manager index (or the new epoch for
+    // elections) — integers, stable across FP-formatting changes.
+    case RecordKind::kManagerDown:
+    case RecordKind::kManagerRestart:
+    case RecordKind::kElection:
+    case RecordKind::kDecisionSuppressed:
+    case RecordKind::kDecisionOwner:
       return true;
     default:
       return false;

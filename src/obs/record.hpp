@@ -39,12 +39,26 @@ enum class RecordKind : std::uint8_t {
   kMiss,             ///< end-to-end deadline missed: a=latency ms, b=period
   kBudgetsAssigned,  ///< EQF budgets (re)assigned: a=workload tracks
   kPlacementChanged, ///< a new placement became effective
+  // ---- decentralized management plane ------------------------------------
+  // None of these fire with --managers 1, so the legacy decision-audit
+  // projection is byte-identical to the centralized build.
+  kManagerDown,      ///< manager endpoint declared down: a=manager index
+  kManagerRestart,   ///< manager endpoint rejoined as standby: a=manager
+  kElection,         ///< a standby took over: a=new epoch; node=new active's
+                     ///< home node; b=new active manager index
+  kGossipRound,      ///< one gossip broadcast round: a=manager, b=round seq
+  kGossipApply,      ///< a summary applied to the active view: a=origin
+                     ///< manager, b=seq, c=summary age ms
+  kDecisionSuppressed,  ///< a decision period skipped during the gap:
+                        ///< a=manager that would have decided
+  kDecisionOwner,    ///< decision provenance: actions this period were made
+                     ///< by manager a under epoch b
 };
 
 /// One past kValid's last enumerator; kept adjacent so iteration and
 /// exhaustiveness checks cannot silently miss a new kind.
 inline constexpr std::uint8_t kRecordKindCount =
-    static_cast<std::uint8_t>(RecordKind::kPlacementChanged) + 1;
+    static_cast<std::uint8_t>(RecordKind::kDecisionOwner) + 1;
 
 /// Stable lower-case token per kind ("?" for out-of-range values).
 const char* recordKindName(RecordKind kind);

@@ -51,6 +51,20 @@ const char* recordKindName(RecordKind kind) {
       return "budgets-assigned";
     case RecordKind::kPlacementChanged:
       return "placement-changed";
+    case RecordKind::kManagerDown:
+      return "manager-down";
+    case RecordKind::kManagerRestart:
+      return "manager-restart";
+    case RecordKind::kElection:
+      return "election";
+    case RecordKind::kGossipRound:
+      return "gossip-round";
+    case RecordKind::kGossipApply:
+      return "gossip-apply";
+    case RecordKind::kDecisionSuppressed:
+      return "decision-suppressed";
+    case RecordKind::kDecisionOwner:
+      return "decision-owner";
   }
   return "?";
 }
@@ -71,11 +85,23 @@ bool isDecisionKind(RecordKind kind) {
     case RecordKind::kAllocFailure:
     case RecordKind::kFailoverScrub:
       return true;
+    // Plane lifecycle records are part of the decision audit (they change
+    // who may decide); they never fire with --managers 1, so the legacy
+    // golden projection is untouched. Gossip rounds are deliberately NOT
+    // in the channel — they are periodic chatter, not decisions.
+    case RecordKind::kManagerDown:
+    case RecordKind::kManagerRestart:
+    case RecordKind::kElection:
+    case RecordKind::kDecisionSuppressed:
+    case RecordKind::kDecisionOwner:
+      return true;
     case RecordKind::kNodeDown:
     case RecordKind::kNodeRestart:
     case RecordKind::kMiss:
     case RecordKind::kBudgetsAssigned:
     case RecordKind::kPlacementChanged:
+    case RecordKind::kGossipRound:
+    case RecordKind::kGossipApply:
       return false;
   }
   return false;

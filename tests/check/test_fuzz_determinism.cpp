@@ -68,6 +68,43 @@ TEST_F(FuzzDeterminism, DetDigestsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(FuzzDeterminism, ManagerCrashDigestsByteIdenticalAcrossThreadCounts) {
+  // Fixed-seed manager-crash scenarios: the sharded management plane
+  // (gossip wire traffic, election, decision-gap accounting, the target
+  // detector's heartbeats) must be exactly as thread-count independent as
+  // the base stack. One seed runs the plane faults alone, one stacks them
+  // on top of the node/link fault schedule.
+  struct Case {
+    std::uint64_t seed;
+    bool with_node_faults;
+  };
+  for (const Case c : {Case{11, false}, Case{23, true}}) {
+    const AllocatorKind kind = c.with_node_faults
+                                   ? AllocatorKind::kNonPredictive
+                                   : AllocatorKind::kPredictive;
+    FuzzExecConfig exec;
+    exec.sim_shards = 3;
+    exec.sim_mode = parallel::SimMode::kDeterministic;
+    const FuzzScenario scenario = makeFuzzScenario(
+        c.seed, cappedScenario(), c.with_node_faults, true);
+    ASSERT_GT(scenario.managers, 1u) << "seed " << c.seed;
+    ASSERT_FALSE(scenario.faults.manager_crashes.empty())
+        << "seed " << c.seed;
+    parallel::setThreads(1);
+    const FuzzCaseResult base = runFuzzCase(scenario, kind, nullptr, exec);
+    EXPECT_EQ(base.violations, 0u) << "seed " << c.seed << ": "
+                                   << base.report;
+    ASSERT_FALSE(base.digest.empty());
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      parallel::setThreads(threads);
+      const FuzzCaseResult run = runFuzzCase(scenario, kind, nullptr, exec);
+      EXPECT_EQ(base.digest, run.digest)
+          << "seed " << c.seed << ": manager-crash digest diverged at "
+          << threads << " threads";
+    }
+  }
+}
+
 TEST_F(FuzzDeterminism, FastDigestsByteIdenticalAcrossThreadCounts) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive

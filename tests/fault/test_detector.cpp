@@ -107,6 +107,70 @@ TEST(FailureDetector, RestartNoticedByNextAck) {
   EXPECT_EQ(detector.declaredRecovered(), 1u);
 }
 
+TEST(FailureDetector, TargetModeMonitorsNonNodeEndpoints) {
+  sim::Simulator sim;
+  net::Ethernet net(sim, 4, fastWire());
+  const DetectorConfig cfg = tightConfig();
+  // Two "manager endpoint" targets with caller-chosen ids, hosted on nodes
+  // 0 (the detector's own home — loopback heartbeat) and 2, with liveness
+  // bits independent of any cluster.
+  bool ep_up[2] = {true, true};
+  std::vector<std::uint32_t> downs, ups;
+  std::vector<DetectorTarget> targets;
+  targets.push_back(
+      DetectorTarget{7, ProcessorId{0}, [&ep_up] { return ep_up[0]; }});
+  targets.push_back(
+      DetectorTarget{9, ProcessorId{2}, [&ep_up] { return ep_up[1]; }});
+  FailureDetector detector(
+      sim, net, cfg, std::move(targets),
+      [&](std::uint32_t id) { downs.push_back(id); },
+      [&](std::uint32_t id) { ups.push_back(id); });
+  EXPECT_EQ(detector.targetCount(), 2u);
+  detector.start(sim.now());
+  sim.scheduleAt(SimTime::millis(100.0), [&ep_up] { ep_up[1] = false; });
+  sim.scheduleAt(SimTime::millis(500.0), [&ep_up] { ep_up[1] = true; });
+  sim.runUntil(SimTime::seconds(1.0));
+  detector.stop();
+
+  // The same timeout/retry/backoff machinery as node mode: exactly one
+  // down declaration (id 9), then recovery at its next ack; the co-hosted
+  // target 7 never flaps.
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_EQ(downs[0], 9u);
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0], 9u);
+  EXPECT_TRUE(detector.believesTargetUp(7));
+  EXPECT_TRUE(detector.believesTargetUp(9));
+  EXPECT_EQ(detector.declaredDead(), 1u);
+  EXPECT_EQ(detector.declaredRecovered(), 1u);
+}
+
+TEST(FailureDetector, TargetModeDetectionBudgetMatchesNodeMode) {
+  sim::Simulator sim;
+  net::Ethernet net(sim, 2, fastWire());
+  const DetectorConfig cfg = tightConfig();
+  bool up = true;
+  double declared_at = -1.0;
+  std::vector<DetectorTarget> targets;
+  targets.push_back(DetectorTarget{3, ProcessorId{1}, [&up] { return up; }});
+  FailureDetector detector(
+      sim, net, cfg, std::move(targets),
+      [&](std::uint32_t) { declared_at = sim.now().ms(); });
+  detector.start(sim.now());
+  const double crash_ms = 100.0;
+  sim.scheduleAt(SimTime::millis(crash_ms), [&up] { up = false; });
+  sim.runUntil(SimTime::seconds(1.0));
+  detector.stop();
+
+  ASSERT_GT(declared_at, crash_ms);
+  const double budget = cfg.timeout.ms() +
+                        static_cast<double>(cfg.max_retries + 1) *
+                            cfg.interval.ms() +
+                        static_cast<double>(cfg.max_retries) *
+                            cfg.retry_backoff.ms();
+  EXPECT_LE(declared_at - crash_ms, budget);
+}
+
 TEST(FailureDetector, BeliefLagsGroundTruth) {
   sim::Simulator sim;
   node::Cluster cluster(sim, 2);

@@ -36,6 +36,11 @@ std::string goldenPath() {
   return std::string(RTDRM_TEST_DATA_DIR) + "/golden/decision_trace.txt";
 }
 
+std::string shardedGoldenPath() {
+  return std::string(RTDRM_TEST_DATA_DIR) +
+         "/golden/decision_trace_sharded.txt";
+}
+
 /// The pinned episode: AAW task, triangular pattern, fixed seed, models
 /// derived from the spec's own costs (no profiling/fitting — the golden
 /// sequence must not depend on the stochastic fitting pipeline).
@@ -65,6 +70,50 @@ std::vector<std::string> runGoldenEpisode(obs::Observability& bundle) {
              cfg);
   return obs::decisionAuditLines(bundle.trace.snapshot());
 }
+
+/// The sharded-plane variant of the pinned episode: same task, pattern,
+/// models and seed, but run under a 2-manager management plane whose
+/// active crashes at period 10 and restarts 8 periods later. The
+/// projection therefore pins the failover lifecycle — manager-down,
+/// election, suppressed periods, decision provenance — on top of the
+/// usual growth/threshold sequence.
+std::vector<std::string> runShardedGoldenEpisode(obs::Observability& bundle) {
+  const task::TaskSpec spec = apps::makeAawTaskSpec();
+  core::PredictiveModels models;
+  models.exec.resize(spec.stageCount());
+  for (std::size_t i = 0; i < spec.stageCount(); ++i) {
+    regress::ExecLatencyModel& m = models.exec[i];
+    m.a3 = spec.subtasks[i].cost.alpha_ms;
+    m.a2 = spec.subtasks[i].cost.alpha_ms;
+    m.b3 = spec.subtasks[i].cost.beta_ms;
+    m.b2 = spec.subtasks[i].cost.beta_ms;
+  }
+
+  workload::RampParams ramp;
+  ramp.min_workload = DataSize::tracks(500.0);
+  ramp.max_workload = DataSize::tracks(16000.0);
+  ramp.ramp_periods = 14;
+  const auto pattern = workload::makeFig8Pattern("triangular", ramp);
+
+  experiments::EpisodeConfig cfg;
+  cfg.periods = 32;
+  cfg.scenario.seed = 7;
+  cfg.obs = &bundle;
+  cfg.plane.managers = 2;
+  cfg.plane.gossip_interval = spec.period * 0.2;
+  cfg.plane.staleness_bound = spec.period * 0.8;
+  cfg.manager_crash_at_period = 10;
+  cfg.manager_fault_target = 0;
+  cfg.manager_restart_after_periods = 8.0;
+  runEpisode(spec, *pattern, models, experiments::AlgorithmKind::kPredictive,
+             cfg);
+  return obs::decisionAuditLines(bundle.trace.snapshot());
+}
+
+/// Shared regen-or-diff tail: with RTDRM_REGEN_GOLDEN set rewrites `path`;
+/// otherwise compares line by line and fails at the first divergence.
+void checkAgainstGolden(const std::string& path,
+                        const std::vector<std::string>& actual);
 
 std::vector<std::string> readLines(const std::string& path) {
   std::vector<std::string> lines;
@@ -98,20 +147,25 @@ TEST(GoldenTrace, DecisionAuditMatchesGoldenFile) {
   EXPECT_TRUE(saw_start);
   EXPECT_TRUE(saw_accept);
 
+  checkAgainstGolden(goldenPath(), actual);
+}
+
+void checkAgainstGolden(const std::string& path,
+                        const std::vector<std::string>& actual) {
   if (std::getenv("RTDRM_REGEN_GOLDEN") != nullptr) {
-    std::ofstream f(goldenPath());
-    ASSERT_TRUE(f) << "cannot write " << goldenPath();
+    std::ofstream f(path);
+    ASSERT_TRUE(f) << "cannot write " << path;
     for (const std::string& line : actual) {
       f << line << "\n";
     }
-    std::cout << "[regenerated " << goldenPath() << ": " << actual.size()
+    std::cout << "[regenerated " << path << ": " << actual.size()
               << " lines]\n";
     return;
   }
 
-  const std::vector<std::string> expected = readLines(goldenPath());
+  const std::vector<std::string> expected = readLines(path);
   ASSERT_FALSE(expected.empty())
-      << "golden file missing or empty: " << goldenPath()
+      << "golden file missing or empty: " << path
       << "\nregenerate with scripts/regen_golden_trace.sh";
 
   // Line-level diff: report the first divergence with context instead of
@@ -139,6 +193,33 @@ TEST(GoldenTrace, DecisionAuditMatchesGoldenFile) {
       << "); first extra line:\n  "
       << (actual.size() > expected.size() ? actual[n] : expected[n])
       << "\nif intentional, regenerate with scripts/regen_golden_trace.sh";
+}
+
+TEST(GoldenTrace, ShardedPlaneDecisionAuditMatchesGoldenFile) {
+  obs::Observability bundle(1u << 18);
+  const std::vector<std::string> actual = runShardedGoldenEpisode(bundle);
+  ASSERT_EQ(bundle.trace.overwritten(), 0u);
+  ASSERT_GT(actual.size(), 50u);
+  // The failover lifecycle must actually appear — a fixture without a
+  // crash, an election, and provenance stamps pins nothing new.
+  bool saw_down = false;
+  bool saw_election = false;
+  bool saw_owner = false;
+  for (const std::string& line : actual) {
+    saw_down = saw_down || line.rfind("manager-down", 0) == 0;
+    saw_election = saw_election || line.rfind("election", 0) == 0;
+    saw_owner = saw_owner || line.rfind("decision-owner", 0) == 0;
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_TRUE(saw_election);
+  EXPECT_TRUE(saw_owner);
+  checkAgainstGolden(shardedGoldenPath(), actual);
+}
+
+TEST(GoldenTrace, ShardedProjectionIsDeterministicAcrossRuns) {
+  obs::Observability a(1u << 18);
+  obs::Observability b(1u << 18);
+  EXPECT_EQ(runShardedGoldenEpisode(a), runShardedGoldenEpisode(b));
 }
 
 TEST(GoldenTrace, ProjectionIsDeterministicAcrossRuns) {

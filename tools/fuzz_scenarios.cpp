@@ -21,7 +21,8 @@ namespace {
 
 rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
                                          std::int64_t max_periods, bool flat,
-                                         bool drop_faults) {
+                                         bool drop_faults,
+                                         bool drop_manager_faults) {
   rtdrm::check::ShrinkSpec shrink;
   if (max_subtasks > 0) {
     shrink.max_subtasks = static_cast<std::size_t>(max_subtasks);
@@ -31,13 +32,16 @@ rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
   }
   shrink.flatten_workload = flat;
   shrink.drop_faults = drop_faults;
+  shrink.drop_manager_faults = drop_manager_faults;
   return shrink;
 }
 
 std::string reproLine(std::uint64_t seed,
-                      const rtdrm::check::ShrinkSpec& shrink, bool faults) {
+                      const rtdrm::check::ShrinkSpec& shrink, bool faults,
+                      bool manager_faults) {
   return "fuzz_scenarios --replay-seed=" + std::to_string(seed) +
-         (faults ? " --faults" : "") + shrink.cliFlags();
+         (faults ? " --faults" : "") +
+         (manager_faults ? " --manager-faults" : "") + shrink.cliFlags();
 }
 
 }  // namespace
@@ -50,7 +54,9 @@ int main(int argc, char** argv) {
   std::int64_t max_periods = 0;
   bool flat = false;
   bool faults = false;
+  bool manager_faults = false;
   bool drop_faults = false;
+  bool drop_manager_faults = false;
   bool no_shrink = false;
   bool verbose = false;
   std::string repro_out;
@@ -75,8 +81,15 @@ int main(int argc, char** argv) {
                "grow a fault schedule (crashes, throttles, frame loss, "
                "clock outages) per seed",
                &faults)
+      .addFlag("manager-faults",
+               "grow a decentralized-plane dimension per seed (2-3 manager "
+               "endpoints plus a manager crash/restart schedule)",
+               &manager_faults)
       .addFlag("drop-faults", "strip the fault schedule (shrink cap)",
                &drop_faults)
+      .addFlag("drop-manager-faults",
+               "strip the decentralized-plane dimension (shrink cap)",
+               &drop_manager_faults)
       .addFlag("no-shrink", "report failures without minimizing", &no_shrink)
       .addFlag("verbose", "print every scenario as it runs", &verbose)
       .addString("repro-out",
@@ -104,15 +117,16 @@ int main(int argc, char** argv) {
   rtdrm::parallel::setSimMode(exec.sim_mode);
 
   const rtdrm::check::ShrinkSpec shrink =
-      shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults);
+      shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults,
+                      drop_manager_faults);
 
   if (replay_seed >= 0) {
     const auto seed = static_cast<std::uint64_t>(replay_seed);
     const rtdrm::check::FuzzScenario scenario =
-        rtdrm::check::makeFuzzScenario(seed, shrink, faults);
+        rtdrm::check::makeFuzzScenario(seed, shrink, faults, manager_faults);
     std::cout << "replaying " << scenario.summary() << "\n";
     const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec);
+        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec, manager_faults);
     if (outcome.failed()) {
       std::cout << "FAIL: " << outcome.detail << "\n";
       return 1;
@@ -128,11 +142,13 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = first; seed < first + count; ++seed) {
     if (verbose) {
       std::cout
-          << rtdrm::check::makeFuzzScenario(seed, shrink, faults).summary()
+          << rtdrm::check::makeFuzzScenario(seed, shrink, faults,
+                                            manager_faults)
+                 .summary()
           << std::endl;
     }
     const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec);
+        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec, manager_faults);
     total_checks += outcome.checks;
     if (!outcome.failed()) {
       if (!verbose && (seed - first + 1) % 50 == 0) {
@@ -152,17 +168,21 @@ int main(int argc, char** argv) {
       std::cout << "shrinking...\n";
       minimal = rtdrm::check::minimize(
           seed, shrink,
-          [faults, &exec](std::uint64_t s,
-                          const rtdrm::check::ShrinkSpec& c) {
-            return rtdrm::check::runFuzzSeed(s, c, faults, exec).failed();
+          [faults, manager_faults, &exec](std::uint64_t s,
+                                          const rtdrm::check::ShrinkSpec& c) {
+            return rtdrm::check::runFuzzSeed(s, c, faults, exec,
+                                             manager_faults)
+                .failed();
           },
-          faults);
-      std::cout
-          << "minimal scenario: "
-          << rtdrm::check::makeFuzzScenario(seed, minimal, faults).summary()
-          << "\n";
+          faults, manager_faults);
+      std::cout << "minimal scenario: "
+                << rtdrm::check::makeFuzzScenario(seed, minimal, faults,
+                                                  manager_faults)
+                       .summary()
+                << "\n";
     }
-    const std::string repro = reproLine(seed, minimal, faults);
+    const std::string repro = reproLine(seed, minimal, faults,
+                                        manager_faults);
     std::cout << "reproduce with:\n  " << repro << "\n";
     if (!repro_out.empty()) {
       std::ofstream out(repro_out);

@@ -141,6 +141,10 @@ int cmdEpisode(int argc, const char* const* argv) {
   bool refit = false;
   bool histogram = false;
   std::string trace_out;
+  std::int64_t managers = 1;
+  std::int64_t manager_fault = 0;
+  std::int64_t manager_fault_target = 0;
+  double manager_restart = 0.0;
   ArgParser args("rtdrm episode", "run one evaluation episode");
   args.addString("pattern", "increasing | decreasing | triangular", &pattern)
       .addString("algorithm", "predictive | nonpredictive", &algorithm)
@@ -152,6 +156,21 @@ int cmdEpisode(int argc, const char* const* argv) {
       .addInt("shards", "event-kernel shards (1 = single queue)", &shards)
       .addString("sim-mode", "det | fast (sharded window execution)",
                  &sim_mode)
+      .addInt("managers",
+              "manager endpoints (1 = legacy centralized plane, > 1 shards "
+              "the management plane with gossip + failover)",
+              &managers)
+      .addInt("manager-fault",
+              "crash a manager endpoint at this period (0 = none; needs "
+              "--managers > 1)",
+              &manager_fault)
+      .addInt("manager-fault-target",
+              "which manager endpoint --manager-fault crashes",
+              &manager_fault_target)
+      .addDouble("manager-restart",
+                 "restart the crashed endpoint this many periods after the "
+                 "crash (0 = never)",
+                 &manager_restart)
       .addFlag("refit", "enable online model refinement", &refit)
       .addFlag("histogram", "print the end-to-end latency histogram",
                &histogram)
@@ -187,6 +206,20 @@ int cmdEpisode(int argc, const char* const* argv) {
   if (pattern == "decreasing") {
     cfg.manager.d_init = ramp.max_workload;
   }
+  if (managers > 1) {
+    cfg.plane.managers = static_cast<std::size_t>(managers);
+    // Gossip at a fifth of the task period; staleness bound = 4 intervals.
+    cfg.plane.gossip_interval = spec.period * 0.2;
+    cfg.plane.staleness_bound = spec.period * 0.8;
+    cfg.manager_crash_at_period = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, manager_fault));
+    cfg.manager_fault_target =
+        static_cast<std::uint32_t>(manager_fault_target);
+    cfg.manager_restart_after_periods = manager_restart;
+  } else if (manager_fault > 0) {
+    std::cerr << "--manager-fault needs --managers > 1\n";
+    return 1;
+  }
   obs::Observability bundle;
   if (!trace_out.empty()) {
     cfg.obs = &bundle;
@@ -195,6 +228,13 @@ int cmdEpisode(int argc, const char* const* argv) {
   Table t({"missed %", "cpu %", "net %", "avg replicas", "combined C"}, 2);
   t.addRow({r.missed_pct, r.cpu_pct, r.net_pct, r.avg_replicas, r.combined});
   t.print(std::cout);
+  if (managers > 1) {
+    std::cout << "plane: managers=" << managers
+              << " elections=" << r.elections
+              << " gossip-rounds=" << r.gossip_rounds
+              << " decision-gap-ms=" << r.decision_gap_ms
+              << " suppressed-periods=" << r.suppressed_periods << "\n";
+  }
   if (histogram) {
     std::cout << "end-to-end latency (ms):\n"
               << r.metrics.end_to_end_hist.render();
