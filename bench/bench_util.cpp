@@ -17,7 +17,8 @@ const task::TaskSpec& aawSpec() {
 std::string runContextJson() {
   const parallel::Config& c = parallel::config();
   return "\"threads\": " + std::to_string(c.threads) + ", \"sim_mode\": \"" +
-         parallel::simModeName(c.sim_mode) +
+         parallel::simModeName(c.sim_mode) + "\", \"lookahead\": \"" +
+         parallel::lookaheadPolicyName(c.lookahead) +
          "\", \"cpu_count\": " + std::to_string(c.cpu_count);
 }
 

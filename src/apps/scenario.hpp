@@ -41,6 +41,13 @@ struct ScenarioConfig {
   std::size_t sim_shards = 1;
   /// Window mode for sharded execution (ignored when sim_shards == 1).
   parallel::SimMode sim_mode = parallel::SimMode::kDeterministic;
+  /// Barrier-window sizing policy for sharded execution. Adaptive and
+  /// static runs are digest-identical; adaptive executes far fewer
+  /// barrier rounds (ignored when sim_shards == 1).
+  parallel::LookaheadPolicy sim_lookahead = parallel::LookaheadPolicy::kAdaptive;
+  /// Sync-point cadence for barrier hooks (busy-snapshot refresh) in
+  /// sharded execution; bounds cross-shard snapshot staleness.
+  SimDuration sim_sync_interval = SimDuration::millis(1.0);
 };
 
 class Scenario {
@@ -78,7 +85,9 @@ class Scenario {
     sim::ShardedConfig ec;
     ec.shards = config.sim_shards == 0 ? 1 : config.sim_shards;
     ec.mode = config.sim_mode;
+    ec.policy = config.sim_lookahead;
     ec.lookahead = config.ethernet.minCrossShardLatency();
+    ec.sync_interval = config.sim_sync_interval;
     return ec;
   }
 

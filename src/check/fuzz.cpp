@@ -400,6 +400,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   sc.ambient_load = Utilization::zero();
   sc.sim_shards = exec.sim_shards;
   sc.sim_mode = exec.sim_mode;
+  sc.sim_lookahead = exec.lookahead;
   apps::Scenario testbed(sc);
 
   for (std::size_t i = 0; i < scenario.node_count; ++i) {

@@ -152,6 +152,10 @@ const char* allocatorKindName(AllocatorKind kind);
 struct FuzzExecConfig {
   std::size_t sim_shards = 1;
   parallel::SimMode sim_mode = parallel::SimMode::kDeterministic;
+  /// Barrier-window sizing policy (sharded runs only). Digests must be
+  /// byte-identical across policies — the adaptive-vs-static parity suite
+  /// runs identical (seed, shards) pairs in both and compares.
+  parallel::LookaheadPolicy lookahead = parallel::LookaheadPolicy::kAdaptive;
 };
 
 /// Outcome of one scenario run under one allocator.

@@ -34,6 +34,12 @@ parallel::Config& mutableConfig() {
         c.sim_mode = mode;
       }
     }
+    if (const char* env = std::getenv("RTDRM_LOOKAHEAD")) {
+      parallel::LookaheadPolicy policy;
+      if (parallel::parseLookaheadPolicy(env, &policy)) {
+        c.lookahead = policy;
+      }
+    }
     return c;
   }();
   return cfg;
@@ -235,6 +241,26 @@ bool parseSimMode(const std::string& s, SimMode* out) {
 
 const char* simModeName(SimMode mode) {
   return mode == SimMode::kDeterministic ? "det" : "fast";
+}
+
+void setLookaheadPolicy(LookaheadPolicy policy) {
+  mutableConfig().lookahead = policy;
+}
+
+bool parseLookaheadPolicy(const std::string& s, LookaheadPolicy* out) {
+  if (s == "static") {
+    *out = LookaheadPolicy::kStatic;
+    return true;
+  }
+  if (s == "adaptive") {
+    *out = LookaheadPolicy::kAdaptive;
+    return true;
+  }
+  return false;
+}
+
+const char* lookaheadPolicyName(LookaheadPolicy policy) {
+  return policy == LookaheadPolicy::kStatic ? "static" : "adaptive";
 }
 
 }  // namespace parallel

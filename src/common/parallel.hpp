@@ -37,6 +37,19 @@ enum class SimMode {
   kFast,
 };
 
+/// How a sharded simulation sizes its barrier windows (see
+/// sim::ShardedEngine and docs/architecture.md, "Parallel episode engine").
+enum class LookaheadPolicy {
+  /// Every shard runs the same global window [E, E + lookahead): the PR-6
+  /// conservative baseline. Kept as the regression reference.
+  kStatic,
+  /// Per-shard horizons: shard j runs to min over other shards i of
+  /// (next_i + lookahead), so quiescent co-shards let a busy shard widen
+  /// its window and idle shards skip windows entirely. Provably
+  /// conservative — digests are byte-identical to kStatic.
+  kAdaptive,
+};
+
 /// Process-wide execution configuration, resolved once from the
 /// environment (RTDRM_THREADS, RTDRM_SIM_MODE) at first use and
 /// overridable by command-line front ends (--threads / --sim-mode).
@@ -46,6 +59,8 @@ struct Config {
   unsigned threads = 1;
   /// Default mode for sharded simulation engines.
   SimMode sim_mode = SimMode::kDeterministic;
+  /// Default barrier-window sizing policy for sharded engines.
+  LookaheadPolicy lookahead = LookaheadPolicy::kAdaptive;
   /// std::thread::hardware_concurrency() at resolution time (>= 1);
   /// recorded into bench config blocks so results are interpretable.
   unsigned cpu_count = 1;
@@ -61,10 +76,16 @@ const Config& config();
 void setThreads(unsigned n);
 /// Overrides the default sharded-simulation mode.
 void setSimMode(SimMode mode);
+/// Overrides the default barrier-window sizing policy.
+void setLookaheadPolicy(LookaheadPolicy policy);
 
 /// Parses "det"/"deterministic" or "fast". Returns false on anything else.
 bool parseSimMode(const std::string& s, SimMode* out);
 const char* simModeName(SimMode mode);
+
+/// Parses "static" or "adaptive". Returns false on anything else.
+bool parseLookaheadPolicy(const std::string& s, LookaheadPolicy* out);
+const char* lookaheadPolicyName(LookaheadPolicy policy);
 
 }  // namespace parallel
 

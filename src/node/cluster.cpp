@@ -99,7 +99,7 @@ void Cluster::setNodeUp(ProcessorId id, bool up) {
     // the owning shard; it lands within one barrier window.
     up_state_[id.value] = up ? 1 : 0;
     Processor* cpu = cpus_[id.value].get();
-    engine_->post(0, shard_of_[id.value], engine_->crossHorizon(),
+    engine_->post(0, shard_of_[id.value], engine_->postHorizon(0),
                   [cpu, up] { cpu->setUp(up); });
   } else {
     cpus_[id.value]->setUp(up);
@@ -113,7 +113,7 @@ void Cluster::applySpeedFactor(ProcessorId id, double factor) {
   RTDRM_ASSERT(id.value < cpus_.size());
   if (engine_) {
     Processor* cpu = cpus_[id.value].get();
-    engine_->post(0, shard_of_[id.value], engine_->crossHorizon(),
+    engine_->post(0, shard_of_[id.value], engine_->postHorizon(0),
                   [cpu, factor] { cpu->setSpeedFactor(factor); });
     return;
   }
@@ -124,7 +124,7 @@ void Cluster::setBackgroundTarget(ProcessorId id, Utilization target) {
   RTDRM_ASSERT(hasBackgroundLoad() && id.value < bg_.size());
   if (engine_) {
     BackgroundLoad* bg = bg_[id.value].get();
-    engine_->post(0, shard_of_[id.value], engine_->crossHorizon(),
+    engine_->post(0, shard_of_[id.value], engine_->postHorizon(0),
                   [bg, target] { bg->setTarget(target); });
     return;
   }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -9,16 +12,28 @@
 
 namespace rtdrm::sim {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 ShardedEngine::ShardedEngine(ShardedConfig config) : config_(config) {
   RTDRM_ASSERT_MSG(config_.shards >= 1, "engine needs at least one shard");
   RTDRM_ASSERT_MSG(
       config_.shards == 1 || config_.lookahead > SimDuration::zero(),
       "sharded execution needs a positive lookahead");
+  RTDRM_ASSERT_MSG(
+      config_.shards == 1 || config_.sync_interval > SimDuration::zero(),
+      "sharded execution needs a positive sync interval");
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Simulator>());
   }
   mailboxes_.resize(config_.shards * config_.shards);
+  bit_words_ = (config_.shards + 63) / 64;
+  mail_bits_.assign(config_.shards * bit_words_, 0);
+  next_scratch_.resize(config_.shards);
+  horizon_scratch_.resize(config_.shards);
+  ran_scratch_.resize(config_.shards);
 }
 
 Simulator& ShardedEngine::shard(std::size_t i) {
@@ -36,6 +51,14 @@ void ShardedEngine::addBarrierHook(std::function<void()> hook) {
   barrier_hooks_.push_back(std::move(hook));
 }
 
+SimTime ShardedEngine::postHorizon(std::size_t from) const {
+  RTDRM_ASSERT(from < shards_.size());
+  if (!in_window_) {
+    return now_;
+  }
+  return shards_[from]->now() + config_.lookahead;
+}
+
 ShardedEngine::PostStatus ShardedEngine::post(std::size_t from,
                                               std::size_t to, SimTime at,
                                               Simulator::Callback cb) {
@@ -48,34 +71,37 @@ ShardedEngine::PostStatus ShardedEngine::post(std::size_t from,
     return PostStatus::kScheduled;
   }
   if (!in_window_) {
-    // Pre-run wiring or a barrier hook: every shard is quiescent, the
+    // Pre-run wiring or a sync-point hook: every shard is quiescent, the
     // coordinator owns all calendars — schedule directly.
     ++cross_posts_;
     shards_[to]->scheduleAt(at, std::move(cb));
     return PostStatus::kScheduled;
   }
   PostStatus status = PostStatus::kQueued;
-  if (at < window_end_) {
+  const SimTime horizon = shards_[from]->now() + config_.lookahead;
+  if (at < horizon) {
     if (config_.mode == parallel::SimMode::kDeterministic) {
-      // Deterministic windows run with fixed shard order; delivering this
-      // post would mean shard `to` observing an event inside a window it
-      // may already have executed past — a silent reorder. Refuse loudly.
+      // The modelled system cannot move anything across shards faster
+      // than the lookahead; a destination may already have run past any
+      // earlier instant. Refuse loudly rather than silently reorder.
       ++rejected_posts_;
       last_rejection_ =
           "cross-shard post from shard " + std::to_string(from) +
           " to shard " + std::to_string(to) + " at t=" +
-          std::to_string(at.ms()) + " ms lands inside the open window [" +
-          std::to_string(now_.ms()) + ", " + std::to_string(window_end_.ms()) +
-          ") ms; deterministic mode requires t >= crossHorizon()";
+          std::to_string(at.ms()) +
+          " ms lands before the emitter's horizon " +
+          std::to_string(horizon.ms()) +
+          " ms; deterministic mode requires t >= postHorizon(from)";
       return PostStatus::kRejected;
     }
-    // Lax relaxation: bounded skew. The event slips to the barrier, at
+    // Lax relaxation: bounded skew. The event slips to the horizon, at
     // most `lookahead` late — the documented kFast accuracy trade.
-    at = window_end_;
+    at = horizon;
     status = PostStatus::kClamped;
   }
   Mailbox& mb = mailbox(from, to);
-  mb.posts.push_back(Post{at.ms(), mb.next_seq++, from, to, std::move(cb)});
+  mb.posts.push_back(Post{at.ms(), mb.next_seq++, std::move(cb)});
+  markActive(from, to);
   if (status == PostStatus::kClamped) {
     ++mb.clamped;
   }
@@ -83,54 +109,67 @@ ShardedEngine::PostStatus ShardedEngine::post(std::size_t from,
 }
 
 void ShardedEngine::drainMailboxes() {
-  merge_scratch_.clear();
-  for (Mailbox& mb : mailboxes_) {
-    cross_posts_ += mb.posts.size();
-    clamped_posts_ += mb.clamped;
-    mb.clamped = 0;
-    for (Post& p : mb.posts) {
-      merge_scratch_.push_back(std::move(p));
+  const std::size_t shard_count = shards_.size();
+  for (std::size_t src = 0; src < shard_count; ++src) {
+    for (std::size_t w = 0; w < bit_words_; ++w) {
+      std::uint64_t bits = mail_bits_[src * bit_words_ + w];
+      if (bits == 0) {
+        continue;  // quiescent word: 64 (src,dst) pairs cost one load
+      }
+      mail_bits_[src * bit_words_ + w] = 0;
+      while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t dst = w * 64 + b;
+        Mailbox& mb = mailbox(src, dst);
+        // The canonical (time, src, seq) order is intrinsic to the merged
+        // calendar keys (Simulator::scheduleAtMerged), so this is a plain
+        // pass — no sort, no scratch buffer.
+        for (Post& p : mb.posts) {
+          shards_[dst]->scheduleAtMerged(SimTime::millis(p.at_ms),
+                                         static_cast<std::uint32_t>(src),
+                                         p.seq, std::move(p.cb));
+        }
+        const std::uint64_t n = mb.posts.size();
+        cross_posts_ += n;
+        stats_.posts_merged += n;
+        ++stats_.merge_batches;
+        stats_.max_batch = std::max(stats_.max_batch, n);
+        clamped_posts_ += mb.clamped;
+        mb.clamped = 0;
+        mb.posts.clear();  // slab retained: zero steady-state allocation
+      }
     }
-    mb.posts.clear();
   }
-  // Canonical merge order: (time, src shard, per-src sequence). None of
-  // the keys depend on thread interleaving, so the destination calendars'
-  // tie-break sequence numbers are identical for every worker count.
-  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
-            [](const Post& a, const Post& b) {
-              if (a.at_ms != b.at_ms) {
-                return a.at_ms < b.at_ms;
-              }
-              if (a.src != b.src) {
-                return a.src < b.src;
-              }
-              return a.seq < b.seq;
-            });
-  for (Post& p : merge_scratch_) {
-    shards_[p.dst]->scheduleAt(SimTime::millis(p.at_ms), std::move(p.cb));
-  }
-  merge_scratch_.clear();
+}
+
+void ShardedEngine::runBarrierHooks() {
   for (const auto& hook : barrier_hooks_) {
     hook();
   }
 }
 
-bool ShardedEngine::earliestEvent(SimTime* out) {
+bool ShardedEngine::sweepShardStops() {
   bool any = false;
-  SimTime best = SimTime::zero();
-  for (const auto& shard : shards_) {
-    SimTime t;
-    if (shard->peekNextEvent(&t)) {
-      if (!any || t < best) {
-        best = t;
-      }
+  for (auto& shard : shards_) {
+    if (shard->consumeStopRequest()) {
       any = true;
     }
   }
-  if (any) {
-    *out = best;
-  }
   return any;
+}
+
+void ShardedEngine::recordWidth(double width_ms) {
+  stats_.width_ms_sum += width_ms;
+  stats_.max_width_ms = std::max(stats_.max_width_ms, width_ms);
+  double threshold = 0.016;  // 16 us, ~= the Ethernet minimum lookahead
+  std::size_t bucket = 0;
+  while (bucket + 1 < WindowStats::kWidthBuckets &&
+         width_ms >= threshold * 2.0) {
+    threshold *= 2.0;
+    ++bucket;
+  }
+  ++stats_.width_hist[bucket];
 }
 
 void ShardedEngine::runUntil(SimTime until) {
@@ -143,60 +182,178 @@ void ShardedEngine::runUntil(SimTime until) {
   if (stop_requested_.exchange(false, std::memory_order_acq_rel)) {
     return;  // stop requested between runs: honor it, fire nothing
   }
+  const std::size_t shard_count = shards_.size();
+  const double la = config_.lookahead.ms();
+  const double sync = config_.sync_interval.ms();
+  const double until_ms = until.ms();
+  const bool adaptive =
+      config_.policy == parallel::LookaheadPolicy::kAdaptive;
+  // Sync points live on the absolute grid k * sync_interval, so the hook
+  // schedule is identical no matter how a run is chopped into runUntil
+  // calls or how windows are sized.
+  double next_sync = (std::floor(now_.ms() / sync) + 1.0) * sync;
   for (;;) {
-    SimTime earliest;
-    if (!earliestEvent(&earliest) || earliest > until) {
-      for (auto& shard : shards_) {
-        shard->runUntil(until);  // idle-forward every clock to the horizon
-      }
-      now_ = until;
+    // A stop pending on any shard halts the engine at this barrier even
+    // if that shard's window would be skipped this round (the PR-6 loop
+    // only noticed stops on shards it actually ran, and the idle path
+    // swallowed them entirely).
+    if (sweepShardStops() ||
+        stop_requested_.exchange(false, std::memory_order_acq_rel)) {
       return;
     }
-    const SimTime wend =
-        std::min(until, earliest + config_.lookahead);
-    window_end_ = wend;
-    in_window_ = true;
-    std::atomic<bool> stopped{false};
-    if (config_.mode == parallel::SimMode::kDeterministic) {
+    // Earliest pending event per shard; the global min/second-min give
+    // every shard its "earliest possible cross-shard emission by others".
+    double e1 = kInf;
+    double e2 = kInf;
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      SimTime t;
+      const double next = shards_[k]->peekNextEvent(&t) ? t.ms() : kInf;
+      next_scratch_[k] = next;
+      if (next < e1) {
+        e2 = e1;
+        e1 = next;
+      } else if (next < e2) {
+        e2 = next;
+      }
+    }
+    if (e1 > until_ms) {
+      break;  // nothing left to fire in this run: idle-forward and return
+    }
+    if (e1 >= next_sync) {
+      // All events before the sync point have executed, on every shard —
+      // the coherent instant where cross-shard snapshots refresh. Align
+      // every shard clock to the sync instant first: hooks may probe
+      // in-progress state that pro-rates by the shard's clock (e.g.
+      // Processor::busyTime mid-stretch), and how far each clock lags
+      // behind the sync point is an artifact of window sizing and skip
+      // history — exactly what the lookahead policy must not leak through.
+      // No shard has an event before next_sync, so this fires nothing.
+      const SimTime sync_at = SimTime::millis(next_sync);
       for (auto& shard : shards_) {
-        if (!shard->runUntil(wend)) {
-          stopped.store(true, std::memory_order_relaxed);
+        shard->runUntilBefore(sync_at);
+      }
+      now_ = sync_at;
+      ++stats_.sync_points;
+      ++barriers_;
+      runBarrierHooks();
+      next_sync += sync;
+      continue;
+    }
+    // Horizons. A shard i can emit into j no earlier than R_i + lookahead,
+    // where R_i is the earliest instant i could execute ANY event — its
+    // own next event, or a wake-up merged from the round's earliest shard
+    // (which lands no earlier than e1 + lookahead). So the conservative
+    // per-shard bound is
+    //   H_j = min_{i != j}( min(next_i, e1 + la) ) + la
+    //       = min(others_j, e1 + la) + la.
+    // For every shard except the round's earliest this collapses to the
+    // static barrier e1 + la; the earliest shard itself — the only one the
+    // static window actually constrains — widens to min(e2, e1 + la) + la,
+    // up to double the static width on a dense calendar. Static: the PR-6
+    // global window e1 + la for everyone. Both are capped at the sync
+    // point so no window straddles a snapshot.
+    for (std::size_t j = 0; j < shard_count; ++j) {
+      const double others = next_scratch_[j] == e1 ? e2 : e1;
+      const double raw =
+          (adaptive ? std::min(others, e1 + la) : e1) + la;
+      horizon_scratch_[j] = std::min(raw, next_sync);
+    }
+    in_window_ = true;
+    const auto run_shard = [&](std::size_t j) {
+      const double next_j = next_scratch_[j];
+      const double h_j = horizon_scratch_[j];
+      if (h_j <= until_ms) {
+        // Half-open window [.., h_j): events exactly on the horizon wait
+        // for the merge that may still land there.
+        if (next_j < h_j) {
+          ran_scratch_[j] =
+              shards_[j]->runUntilBefore(SimTime::millis(h_j)) ? 1 : 2;
+        } else {
+          ran_scratch_[j] = 0;  // quiescent before its horizon: skip
+        }
+      } else {
+        // Closed tail: the horizon cleared `until`, so no future post can
+        // land at or before it — fire events exactly at `until` too,
+        // matching Simulator::runUntil.
+        if (next_j <= until_ms) {
+          ran_scratch_[j] = shards_[j]->runUntil(until) ? 1 : 2;
+        } else {
+          ran_scratch_[j] = 0;
         }
       }
+    };
+    if (config_.mode == parallel::SimMode::kDeterministic) {
+      for (std::size_t j = 0; j < shard_count; ++j) {
+        run_shard(j);
+      }
     } else {
-      parallelFor(
-          shards_.size(),
-          [&](std::size_t i) {
-            if (!shards_[i]->runUntil(wend)) {
-              stopped.store(true, std::memory_order_relaxed);
-            }
-          },
-          config_.threads);
+      parallelFor(shard_count, run_shard, config_.threads);
     }
     in_window_ = false;
-    ++windows_;
+    ++stats_.rounds;
+    bool stopped = false;
+    double min_h = kInf;
+    for (std::size_t j = 0; j < shard_count; ++j) {
+      min_h = std::min(min_h, horizon_scratch_[j]);
+      if (ran_scratch_[j] == 0) {
+        ++stats_.shard_windows_skipped;
+        continue;
+      }
+      ++stats_.shard_windows;
+      recordWidth(std::min(horizon_scratch_[j], until_ms) -
+                  next_scratch_[j]);
+      if (ran_scratch_[j] == 2) {
+        stopped = true;
+      }
+    }
     drainMailboxes();
     ++barriers_;
-    now_ = wend;
-    if (stopped.load(std::memory_order_relaxed) ||
+    now_ = SimTime::millis(std::min(min_h, until_ms));
+    if (stopped ||
         stop_requested_.exchange(false, std::memory_order_acq_rel)) {
       return;
     }
   }
+  for (auto& shard : shards_) {
+    if (!shard->runUntil(until)) {
+      // A stop raced in while idle-forwarding: halt here; the remaining
+      // clocks stay put and the engine clock reflects the stopped shard.
+      now_ = shard->now();
+      return;
+    }
+  }
+  now_ = until;
 }
 
-void ShardedEngine::exportMetrics(obs::MetricsRegistry& reg) const {
-  reg.counter("sim.sharded.windows").set(windows_);
-  reg.counter("sim.sharded.barriers").set(barriers_);
-  reg.counter("sim.sharded.cross_posts").set(cross_posts_);
-  reg.counter("sim.sharded.clamped_posts").set(clamped_posts_);
-  reg.counter("sim.sharded.rejected_posts").set(rejected_posts_);
-  reg.gauge("sim.sharded.shards").set(static_cast<double>(shards_.size()));
+std::uint64_t ShardedEngine::eventsExecuted() const {
   std::uint64_t executed = 0;
   for (const auto& shard : shards_) {
     executed += shard->eventsExecuted();
   }
-  reg.counter("sim.sharded.events_executed").set(executed);
+  return executed;
+}
+
+void ShardedEngine::exportMetrics(obs::MetricsRegistry& reg) const {
+  reg.counter("sim.sharded.windows").set(stats_.rounds);
+  reg.counter("sim.sharded.barriers").set(barriers_);
+  reg.counter("sim.sharded.sync_points").set(stats_.sync_points);
+  reg.counter("sim.sharded.shard_windows").set(stats_.shard_windows);
+  reg.counter("sim.sharded.shard_windows_skipped")
+      .set(stats_.shard_windows_skipped);
+  reg.counter("sim.sharded.cross_posts").set(cross_posts_);
+  reg.counter("sim.sharded.posts_merged").set(stats_.posts_merged);
+  reg.counter("sim.sharded.merge_batches").set(stats_.merge_batches);
+  reg.counter("sim.sharded.max_merge_batch").set(stats_.max_batch);
+  reg.counter("sim.sharded.clamped_posts").set(clamped_posts_);
+  reg.counter("sim.sharded.rejected_posts").set(rejected_posts_);
+  reg.gauge("sim.sharded.shards").set(static_cast<double>(shards_.size()));
+  reg.gauge("sim.sharded.window_width_ms_sum").set(stats_.width_ms_sum);
+  reg.gauge("sim.sharded.window_width_ms_max").set(stats_.max_width_ms);
+  for (std::size_t b = 0; b < WindowStats::kWidthBuckets; ++b) {
+    reg.counter("sim.sharded.window_width_bucket_" + std::to_string(b))
+        .set(stats_.width_hist[b]);
+  }
+  reg.counter("sim.sharded.events_executed").set(eventsExecuted());
 }
 
 }  // namespace rtdrm::sim

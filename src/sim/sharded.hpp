@@ -1,34 +1,62 @@
 // Sharded parallel event kernel with conservative time barriers.
 //
 // A ShardedEngine drives K independent sim::Simulator instances ("shards")
-// in lock-step windows. Shard 0 is the control shard (Ethernet segment,
-// clock fabric, managers, pipelines); shards 1..K-1 own disjoint groups of
-// node-local state (processors, background load). Within a window shards
-// never touch each other's state; everything crossing a shard boundary
-// travels as a timestamped *post* through a per-(src,dst) mailbox and is
-// merged into the destination calendar at the next barrier.
+// in barrier-synchronized rounds. Shard 0 is the control shard (Ethernet
+// segment, clock fabric, managers, pipelines); shards 1..K-1 own disjoint
+// groups of node-local state (processors, background load). Within a round
+// shards never touch each other's state; everything crossing a shard
+// boundary travels as a timestamped *post* through a per-(src,dst)
+// single-producer mailbox and is merged into the destination calendar at
+// the round's barrier.
 //
-// Causality (conservative, Graphite/YAWNS-style barrier sync): each window
-// spans [E, min(horizon, E + lookahead)) where E is the earliest pending
-// event across all shards and `lookahead` is the minimum cross-shard
-// latency of the modelled system (Ethernet propagation + minimum frame
-// wire time — see net::EthernetConfig::minCrossShardLatency()). A post
-// made during a window must therefore target a time at or after the
-// window barrier; it can never land in a co-shard's past.
+// Causality (conservative, Graphite/YAWNS-style): `lookahead` is the
+// minimum cross-shard latency of the modelled system (Ethernet propagation
+// plus minimum frame wire time — net::EthernetConfig::minCrossShardLatency).
+// An event executing at time t on shard i may only post work at t +
+// lookahead or later (postHorizon()). Window sizing is a policy
+// (parallel::LookaheadPolicy):
 //
-// Two modes (parallel::SimMode):
-//   * kDeterministic — shards execute each window sequentially in fixed
-//     shard order. Global-state observers (the invariant oracle's
-//     post-event sweeps) remain safe, and results are byte-identical for
-//     every worker-thread count. A post into the open window is REJECTED
-//     with a diagnostic (recorded in lastRejection()) — never silently
-//     reordered.
-//   * kFast — shards execute each window concurrently on the persistent
-//     worker pool (common/parallel.hpp). An in-window post is CLAMPED to
-//     the barrier (bounded timestamp skew <= lookahead, the lax-sync
-//     relaxation) and counted. Mailbox merging stays canonical — sorted
-//     by (time, src shard, per-src sequence) — so the merge order never
-//     depends on thread interleaving.
+//   * kStatic — every shard runs the same global window [E, E + lookahead)
+//     where E is the earliest pending event anywhere. The PR-6 baseline.
+//   * kAdaptive — shard j runs to H_j = min_{i != j}(R_i) + lookahead,
+//     where R_i = min(next_i, E + lookahead) is the earliest instant
+//     shard i could execute anything: its own next event, or a wake-up
+//     merged from the round's earliest shard (which cannot land before
+//     E + lookahead — posts themselves are bounded by the lookahead, so
+//     chains of wake-ups are too). For every shard but the round's
+//     earliest this collapses to the static barrier; the earliest shard —
+//     the only one the static window actually constrains — widens to
+//     min(second-earliest event, E + lookahead) + lookahead, clearing up
+//     to twice the static window's events per round on a dense calendar.
+//     A shard with no events before its horizon skips the round entirely.
+//     H_j never crosses a possible cross-shard emission, so the executed
+//     event order — and therefore every digest — is byte-identical to
+//     kStatic.
+//
+// Three mechanisms make the executed order independent of the window
+// structure (the adaptive-window determinism invariant; the formal
+// argument lives in docs/architecture.md):
+//   1. Windows are half-open: shards execute events strictly before their
+//      horizon (Simulator::runUntilBefore), so a post landing exactly on a
+//      horizon still orders against same-time local events by rule 3.
+//   2. Post timestamps come from the *emitting event* (postHorizon() =
+//      emitter time + lookahead), not from the window barrier.
+//   3. Merged posts carry an intrinsic tie-break key — after all local
+//      events at the same timestamp, then by (source shard, per-source
+//      sequence) (Simulator::scheduleAtMerged) — so *when* a post is
+//      merged cannot affect where it sorts.
+//
+// Barrier hooks run at fixed *sync points* — multiples of sync_interval
+// reached while events are still pending — where every shard has executed
+// exactly the events before the sync time. That schedule depends only on
+// the event calendar, never on the window structure, keeping hook
+// side-effects (the cluster's busy-time snapshot) policy-invariant.
+//
+// Two execution modes (parallel::SimMode): kDeterministic runs each
+// round's windows sequentially in fixed shard order (byte-identical for
+// every worker-thread count); kFast runs them concurrently on the
+// persistent worker pool and CLAMPS an early post to its horizon (bounded
+// skew <= lookahead) instead of rejecting it.
 //
 // Degeneration: a 1-shard engine routes runUntil/runAll straight to the
 // single Simulator and posts become plain scheduleAt calls — exactly the
@@ -58,9 +86,15 @@ struct ShardedConfig {
   std::size_t shards = 1;
   /// Window execution mode; defaults to the process-wide setting.
   parallel::SimMode mode = parallel::SimMode::kDeterministic;
+  /// Barrier-window sizing policy (static baseline vs adaptive widening).
+  parallel::LookaheadPolicy policy = parallel::LookaheadPolicy::kAdaptive;
   /// Conservative lookahead: minimum latency of any cross-shard
   /// interaction in the modelled system. Must be > 0 when shards > 1.
   SimDuration lookahead = SimDuration::micros(10.0);
+  /// Barrier hooks run at multiples of this interval (sync points), where
+  /// every shard has executed exactly the events before the sync time.
+  /// Bounds the staleness of cross-shard snapshots. Must be > 0.
+  SimDuration sync_interval = SimDuration::millis(1.0);
   /// Worker budget for kFast window execution (0 = parallel::config()).
   unsigned threads = 0;
 };
@@ -69,12 +103,30 @@ class ShardedEngine {
  public:
   /// Outcome of a cross-shard post.
   enum class PostStatus {
-    kScheduled,  ///< same-shard or pre-run: entered the calendar directly
+    kScheduled,  ///< same-shard or between-rounds: entered the calendar
+                 ///< directly
     kQueued,     ///< mailboxed; merges into the target at the next barrier
-    kClamped,    ///< kFast only: time was inside the window, moved to the
-                 ///< barrier (bounded skew)
-    kRejected,   ///< kDeterministic: time was inside the window; dropped
-                 ///< loudly (see lastRejection())
+    kClamped,    ///< kFast only: time was before the emitter's horizon,
+                 ///< moved to it (bounded skew)
+    kRejected,   ///< kDeterministic: time was before the emitter's
+                 ///< horizon; dropped loudly (see lastRejection())
+  };
+
+  /// Barrier-path profile: how much synchronization work a run performed.
+  struct WindowStats {
+    std::uint64_t rounds = 0;          ///< barrier rounds executed
+    std::uint64_t shard_windows = 0;   ///< per-shard windows actually run
+    std::uint64_t shard_windows_skipped = 0;  ///< horizon held no events
+    std::uint64_t sync_points = 0;     ///< barrier-hook sync points reached
+    std::uint64_t posts_merged = 0;    ///< mailbox posts merged at barriers
+    std::uint64_t merge_batches = 0;   ///< non-empty (src,dst) drains
+    std::uint64_t max_batch = 0;       ///< largest single (src,dst) batch
+    double width_ms_sum = 0.0;  ///< sum of executed window widths (H - next)
+    double max_width_ms = 0.0;  ///< widest executed window
+    /// Power-of-two width histogram: bucket b counts executed windows with
+    /// width in [16us * 2^b, 16us * 2^(b+1)) (last bucket unbounded).
+    static constexpr std::size_t kWidthBuckets = 8;
+    std::uint64_t width_hist[kWidthBuckets] = {};
   };
 
   explicit ShardedEngine(ShardedConfig config);
@@ -89,16 +141,20 @@ class ShardedEngine {
   Simulator& control() { return shard(0); }
 
   /// Engine clock: the last completed barrier (== every shard's minimum
-  /// guaranteed progress). Individual shards may sit up to one window
-  /// ahead of this between barriers.
+  /// guaranteed progress). Individual shards may sit ahead of this
+  /// between barriers, up to their last window horizon.
   SimTime now() const { return now_; }
 
-  /// Earliest time a cross-shard post made *now* may legally target:
-  /// the current window barrier while a window is open, else the engine
-  /// clock. Callers posting zero-latency work use this as the timestamp.
-  SimTime crossHorizon() const { return in_window_ ? window_end_ : now_; }
-  /// True while shards are executing a window (posts must respect
-  /// crossHorizon()).
+  /// Earliest time a cross-shard post from shard `from` may legally
+  /// target right now: the calling shard's current time plus the
+  /// lookahead while a round is executing (the modelled minimum
+  /// cross-shard latency), else the engine clock. Callers posting
+  /// "zero-latency" control work use this as the timestamp. The value
+  /// depends only on the emitting event's time, never on the window
+  /// structure — the keystone of static/adaptive digest parity.
+  SimTime postHorizon(std::size_t from) const;
+  /// True while shards are executing a round (posts must respect
+  /// postHorizon()).
   bool inWindow() const { return in_window_; }
 
   /// Schedules `cb` on shard `to` at absolute time `at`. `from` is the
@@ -108,10 +164,11 @@ class ShardedEngine {
   PostStatus post(std::size_t from, std::size_t to, SimTime at,
                   Simulator::Callback cb);
 
-  /// Runs every shard to `until` in barrier-synchronized windows (events
+  /// Runs every shard to `until` in barrier-synchronized rounds (events
   /// exactly at `until` fire, matching Simulator::runUntil). Honors
-  /// requestStop() — both the engine's and any shard's — at window
-  /// granularity.
+  /// requestStop() — both the engine's and any shard's — at barrier
+  /// granularity; a shard-level stop halts the engine even when that
+  /// shard's window was skipped or the engine was idle-forwarding.
   void runUntil(SimTime until);
   void runFor(SimDuration d) { runUntil(now_ + d); }
 
@@ -122,18 +179,23 @@ class ShardedEngine {
     return stop_requested_.load(std::memory_order_acquire);
   }
 
-  /// Registers a hook that runs at every barrier with all shards
-  /// quiescent — the one place cross-shard state may be read coherently
-  /// (the cluster refreshes its busy-time snapshot here). Hooks run in
-  /// registration order, on the coordinating thread.
+  /// Registers a hook that runs at every sync point with all shards
+  /// quiescent and every event before the sync time executed — the one
+  /// place cross-shard state may be read coherently (the cluster
+  /// refreshes its busy-time snapshot here). Hooks run in registration
+  /// order, on the coordinating thread.
   void addBarrierHook(std::function<void()> hook);
 
   // --- engine counters (stable once the engine is quiescent) ---
-  std::uint64_t windowsRun() const { return windows_; }
+  std::uint64_t windowsRun() const { return stats_.rounds; }
   std::uint64_t barriersRun() const { return barriers_; }
+  std::uint64_t syncPointsRun() const { return stats_.sync_points; }
   std::uint64_t crossPosts() const { return cross_posts_; }
   std::uint64_t clampedPosts() const { return clamped_posts_; }
   std::uint64_t rejectedPosts() const { return rejected_posts_; }
+  const WindowStats& windowStats() const { return stats_; }
+  /// Total events executed across all shards.
+  std::uint64_t eventsExecuted() const;
   /// Diagnostic for the most recent kRejected post (empty when none).
   const std::string& lastRejection() const { return last_rejection_; }
 
@@ -143,19 +205,19 @@ class ShardedEngine {
  private:
   struct Post {
     double at_ms = 0.0;
-    std::uint64_t seq = 0;  ///< per-source order; canonical tie-break
-    std::size_t src = 0;
-    std::size_t dst = 0;
+    std::uint64_t seq = 0;  ///< per-(src,dst) order; canonical tie-break
     Simulator::Callback cb;
   };
 
   /// One single-producer mailbox per (src, dst) shard pair. The producer
   /// is whichever thread executes shard `src`'s window; the coordinator
   /// drains at barriers, after the pool join (so no locking is needed).
+  /// `posts` is a retained slab: cleared at every drain, never shrunk, so
+  /// steady-state traffic performs zero allocations.
   struct Mailbox {
     std::vector<Post> posts;
     std::uint64_t next_seq = 1;
-    /// kFast in-window posts moved to the barrier since the last drain.
+    /// kFast posts moved to the emitter's horizon since the last drain.
     /// Per-mailbox so concurrent shard threads never share a counter; the
     /// coordinator aggregates into clamped_posts_ at the barrier.
     std::uint64_t clamped = 0;
@@ -164,25 +226,41 @@ class ShardedEngine {
   Mailbox& mailbox(std::size_t src, std::size_t dst) {
     return mailboxes_[src * shards_.size() + dst];
   }
+  /// Marks (src,dst) active in the quiescence bitmap. Only shard `src`'s
+  /// executor writes src's row, so no atomics are needed.
+  void markActive(std::size_t src, std::size_t dst) {
+    mail_bits_[src * bit_words_ + dst / 64] |= 1ull << (dst % 64);
+  }
 
-  /// Merges all mailboxed posts into their target calendars in canonical
-  /// (time, src, seq) order, then runs barrier hooks.
+  /// Merges every active mailbox's posts into their target calendars.
+  /// The canonical (time, src, seq) order is intrinsic to the merged-post
+  /// calendar keys, so the drain is a single pass — no sort — and the
+  /// quiescence bitmap limits it to (src,dst) pairs that actually posted.
   void drainMailboxes();
-  /// Earliest pending event time across shards; false when all idle.
-  bool earliestEvent(SimTime* out);
+  void runBarrierHooks();
+  /// Consumes pending shard-level stop requests; true if any was pending.
+  bool sweepShardStops();
+  void recordWidth(double width_ms);
 
   ShardedConfig config_;
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<Mailbox> mailboxes_;
-  std::vector<Post> merge_scratch_;
+  /// Quiescence bitmap: bit (src,dst) set when mailbox(src,dst) is
+  /// non-empty. Row src is written only by src's executor thread.
+  std::vector<std::uint64_t> mail_bits_;
+  std::size_t bit_words_ = 1;  ///< 64-bit words per bitmap row
+  std::vector<double> next_scratch_;   ///< per-round next-event times (ms)
+  std::vector<double> horizon_scratch_;  ///< per-round shard horizons (ms)
+  /// Per-round shard outcome: 0 skipped, 1 ran, 2 ran and consumed a stop.
+  /// Each worker writes only its own slot; the coordinator aggregates.
+  std::vector<unsigned char> ran_scratch_;
   std::vector<std::function<void()>> barrier_hooks_;
 
   SimTime now_ = SimTime::zero();
-  SimTime window_end_ = SimTime::zero();
   bool in_window_ = false;
   std::atomic<bool> stop_requested_{false};
 
-  std::uint64_t windows_ = 0;
+  WindowStats stats_;
   std::uint64_t barriers_ = 0;
   std::uint64_t cross_posts_ = 0;
   std::uint64_t clamped_posts_ = 0;

@@ -114,20 +114,33 @@ void Simulator::pruneStale() {
   }
 }
 
-EventId Simulator::scheduleAt(SimTime at, Callback cb) {
+EventId Simulator::scheduleKeyed(SimTime at, std::uint64_t seq_key,
+                                 Callback cb) {
   RTDRM_ASSERT_MSG(at >= now_, "cannot schedule into the past");
   RTDRM_ASSERT(cb != nullptr);
   const std::uint32_t idx = acquireSlot();
   Slot& s = slots_[idx];
   s.cb = std::move(cb);
-  const std::uint64_t seq = next_seq_++;
-  heapPush(HeapEntry{at.ms(), seq, idx, s.generation});
+  heapPush(HeapEntry{at.ms(), seq_key, idx, s.generation});
   ++live_;
   ++events_scheduled_;
   if (heap_.size() > peak_heap_depth_) {
     peak_heap_depth_ = heap_.size();
   }
   return EventId{(static_cast<std::uint64_t>(s.generation) << 32) | idx};
+}
+
+EventId Simulator::scheduleAt(SimTime at, Callback cb) {
+  return scheduleKeyed(at, next_seq_++, std::move(cb));
+}
+
+EventId Simulator::scheduleAtMerged(SimTime at, std::uint32_t src_shard,
+                                    std::uint64_t src_seq, Callback cb) {
+  RTDRM_ASSERT_MSG(src_shard < (1u << 15), "shard id overflows the key");
+  RTDRM_ASSERT_MSG(src_seq < (1ull << 48), "post sequence overflows the key");
+  const std::uint64_t key =
+      kMergedBand | (static_cast<std::uint64_t>(src_shard) << 48) | src_seq;
+  return scheduleKeyed(at, key, std::move(cb));
 }
 
 EventId Simulator::scheduleAfter(SimDuration delay, Callback cb) {
@@ -183,6 +196,21 @@ bool Simulator::runUntil(SimTime until) {
   }
   if (now_ < until) {
     now_ = until;  // idle forward to the horizon
+  }
+  return true;
+}
+
+bool Simulator::runUntilBefore(SimTime before) {
+  if (consumeStop()) {
+    return false;  // stop requested between runs: honor it, fire nothing
+  }
+  while (!heap_.empty() && heap_[0].time_ms < before.ms()) {
+    if (fireHead() && consumeStop()) {
+      return false;  // clock stays at the event that requested the stop
+    }
+  }
+  if (now_ < before) {
+    now_ = before;  // idle forward to the (exclusive) horizon
   }
   return true;
 }

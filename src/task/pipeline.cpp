@@ -68,7 +68,7 @@ void PipelineRun::abortOutstandingJobs() {
       // finished in between, the abort is a no-op.
       node::Processor* cpu = &rt_.cluster.processor(pid);
       const node::JobId jid = outstanding_[i].second;
-      eng->post(0, dst, eng->crossHorizon(),
+      eng->post(0, dst, eng->postHorizon(0),
                 [cpu, jid] { cpu->abort(jid); });
     } else {
       rt_.cluster.processor(pid).abort(outstanding_[i].second);
@@ -153,20 +153,21 @@ void PipelineRun::submitReplicaJob(std::size_t s, std::size_t r,
   const std::size_t dst = eng ? rt_.cluster.shardOf(pid) : 0;
   if (eng != nullptr && dst != 0) {
     // Cross-shard submit: the job id is reserved here (abort bookkeeping
-    // needs it now), the submit itself is posted to the owning shard at
-    // the barrier, and the completion posts back to shard 0 guarded by
-    // the run's liveness token. Net effect vs the legacy path: submit and
-    // completion each slip to a barrier, < lookahead (~12 us) apiece.
+    // needs it now), the submit itself is posted to the owning shard, and
+    // the completion posts back to shard 0 guarded by the run's liveness
+    // token. Net effect vs the legacy path: submit and completion each
+    // slip by exactly the lookahead (~12 us) — the modelled minimum
+    // cross-shard latency, independent of how windows are sized.
     node::Processor* cpu = &rt_.cluster.processor(pid);
     const node::JobId jid = cpu->reserveJobId();
     outstanding_.emplace_back(pid, jid);
-    const SimTime at = eng->crossHorizon();
+    const SimTime at = eng->postHorizon(0);
     replica_exec_start_[r] = at;
     PipelineRun* self = this;
     node::Job job{
         demand,
         [eng, dst, alive = alive_, self, s32, r32] {
-          eng->post(dst, 0, eng->crossHorizon(),
+          eng->post(dst, 0, eng->postHorizon(dst),
                     [alive, self, s32, r32] {
                       if (!*alive || self->finished_) {
                         return;  // run aborted/destroyed while in flight

@@ -36,11 +36,13 @@ class FuzzDeterminism : public ::testing::Test {
     return shrink;
   }
 
-  static FuzzCaseResult runSharded(std::uint64_t seed, AllocatorKind kind,
-                                   parallel::SimMode mode) {
+  static FuzzCaseResult runSharded(
+      std::uint64_t seed, AllocatorKind kind, parallel::SimMode mode,
+      parallel::LookaheadPolicy policy = parallel::LookaheadPolicy::kAdaptive) {
     FuzzExecConfig exec;
     exec.sim_shards = 3;  // control shard + 2 node shards
     exec.sim_mode = mode;
+    exec.lookahead = policy;
     return runFuzzCase(makeFuzzScenario(seed, cappedScenario()), kind,
                        nullptr, exec);
   }
@@ -64,6 +66,33 @@ TEST_F(FuzzDeterminism, DetDigestsByteIdenticalAcrossThreadCounts) {
           << "seed " << seed << ": deterministic digest diverged at "
           << threads << " threads (" << base.digest.size() << " vs "
           << run.digest.size() << " bytes)";
+    }
+  }
+}
+
+TEST_F(FuzzDeterminism, AdaptiveVsStaticDigestParityAcrossThreadCounts) {
+  // The adaptive-window determinism invariant, end to end: window sizing
+  // is pure execution strategy, so a static-lookahead single-threaded run
+  // and adaptive runs at any worker count must produce byte-identical
+  // digests for every seed.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive
+                                               : AllocatorKind::kNonPredictive;
+    parallel::setThreads(1);
+    const FuzzCaseResult base =
+        runSharded(seed, kind, parallel::SimMode::kDeterministic,
+                   parallel::LookaheadPolicy::kStatic);
+    EXPECT_EQ(base.violations, 0u) << "seed " << seed << ": " << base.report;
+    ASSERT_FALSE(base.digest.empty());
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      parallel::setThreads(threads);
+      const FuzzCaseResult run =
+          runSharded(seed, kind, parallel::SimMode::kDeterministic,
+                     parallel::LookaheadPolicy::kAdaptive);
+      EXPECT_EQ(base.digest, run.digest)
+          << "seed " << seed << ": adaptive digest diverged from the "
+          << "static baseline at " << threads << " threads ("
+          << base.digest.size() << " vs " << run.digest.size() << " bytes)";
     }
   }
 }

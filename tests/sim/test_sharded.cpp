@@ -1,10 +1,11 @@
 // ShardedEngine: barrier-window causality, det/fast post semantics,
-// thread-count independence, stop handshake.
+// adaptive-window safety, thread-count independence, stop handshake.
 #include "sim/sharded.hpp"
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -56,7 +57,8 @@ TEST(ShardedEngine, ShardsAdvanceInLockstepWindows) {
     EXPECT_DOUBLE_EQ(engine.shard(s).now().ms(), 20.0);
   }
   EXPECT_GT(engine.windowsRun(), 0u);
-  EXPECT_EQ(engine.barriersRun(), engine.windowsRun());
+  // Barriers count both window rounds and sync points.
+  EXPECT_GE(engine.barriersRun(), engine.windowsRun());
 }
 
 TEST(ShardedEngine, QuiescentCrossPostSchedulesDirectly) {
@@ -72,20 +74,20 @@ TEST(ShardedEngine, QuiescentCrossPostSchedulesDirectly) {
   EXPECT_EQ(engine.crossPosts(), 1u);
 }
 
-TEST(ShardedEngine, InWindowPostAtCrossHorizonIsQueuedAndFires) {
+TEST(ShardedEngine, InWindowPostAtPostHorizonIsQueuedAndFires) {
   ShardedEngine engine(
       shardedConfig(2, parallel::SimMode::kDeterministic));
   double fired_at = -1.0;
   ShardedEngine::PostStatus status{};
   engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
-    status = engine.post(1, 0, engine.crossHorizon(),
+    status = engine.post(1, 0, engine.postHorizon(1),
                          [&] { fired_at = engine.shard(0).now().ms(); });
   });
   engine.runUntil(SimTime::millis(20.0));
   EXPECT_EQ(status, ShardedEngine::PostStatus::kQueued);
-  // The window opened at the 5 ms event spans at most one lookahead.
-  EXPECT_GE(fired_at, 5.0);
-  EXPECT_LE(fired_at, 6.0);
+  // The stamp is the emitting event's time plus the lookahead — exactly,
+  // independent of how the barrier windows were sized.
+  EXPECT_DOUBLE_EQ(fired_at, 6.0);
 }
 
 TEST(ShardedEngine, DeterministicModeRejectsInWindowPost) {
@@ -94,8 +96,8 @@ TEST(ShardedEngine, DeterministicModeRejectsInWindowPost) {
   bool fired = false;
   ShardedEngine::PostStatus status{};
   engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
-    // Targets the posting shard's *current* time — strictly inside the
-    // open window, which deterministic mode must refuse.
+    // Targets the posting shard's *current* time — before the emitter's
+    // horizon, which deterministic mode must refuse.
     status = engine.post(1, 0, engine.shard(1).now(), [&] { fired = true; });
   });
   engine.runUntil(SimTime::millis(20.0));
@@ -107,42 +109,60 @@ TEST(ShardedEngine, DeterministicModeRejectsInWindowPost) {
   EXPECT_NE(diag.find("deterministic mode requires"), std::string::npos);
 }
 
-TEST(ShardedEngine, FastModeClampsInWindowPostToBarrier) {
+TEST(ShardedEngine, FastModeClampsInWindowPostToEmitterHorizon) {
   ShardedEngine engine(shardedConfig(2, parallel::SimMode::kFast));
   double fired_at = -1.0;
-  double barrier = -1.0;
+  double horizon = -1.0;
   ShardedEngine::PostStatus status{};
   engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
-    barrier = engine.crossHorizon().ms();
+    horizon = engine.postHorizon(1).ms();
     status = engine.post(1, 0, engine.shard(1).now(),
                          [&] { fired_at = engine.shard(0).now().ms(); });
   });
   engine.runUntil(SimTime::millis(20.0));
   EXPECT_EQ(status, ShardedEngine::PostStatus::kClamped);
-  EXPECT_DOUBLE_EQ(fired_at, barrier);  // slipped to the barrier, not lost
+  // Slipped to the emitter's horizon (bounded skew <= lookahead), not lost.
+  EXPECT_DOUBLE_EQ(fired_at, horizon);
+  EXPECT_DOUBLE_EQ(fired_at, 6.0);
   EXPECT_EQ(engine.clampedPosts(), 1u);
   EXPECT_EQ(engine.rejectedPosts(), 0u);
 }
 
 TEST(ShardedEngine, MailboxMergeOrderIsCanonical) {
   // Two source shards post to shard 0 at the same timestamp within one
-  // window; delivery must follow (time, src, seq) regardless of the order
-  // the windows happened to execute in.
+  // round; delivery must follow (time, src, seq) regardless of the order
+  // the windows happened to execute or merge in.
   for (const auto mode :
        {parallel::SimMode::kDeterministic, parallel::SimMode::kFast}) {
     ShardedEngine engine(shardedConfig(3, mode));
     std::vector<int> order;
     engine.shard(2).scheduleAt(SimTime::millis(5.0), [&] {
-      engine.post(2, 0, engine.crossHorizon(), [&] { order.push_back(20); });
-      engine.post(2, 0, engine.crossHorizon(), [&] { order.push_back(21); });
+      engine.post(2, 0, engine.postHorizon(2), [&] { order.push_back(20); });
+      engine.post(2, 0, engine.postHorizon(2), [&] { order.push_back(21); });
     });
     engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
-      engine.post(1, 0, engine.crossHorizon(), [&] { order.push_back(10); });
+      engine.post(1, 0, engine.postHorizon(1), [&] { order.push_back(10); });
     });
     engine.runUntil(SimTime::millis(20.0));
     EXPECT_EQ(order, (std::vector<int>{10, 20, 21}))
         << "mode=" << parallel::simModeName(mode);
   }
+}
+
+TEST(ShardedEngine, LocalEventsOrderBeforeMergedPostsAtSameTime) {
+  // A merged post landing at exactly the timestamp of a destination-local
+  // event must fire after it: merged calendar keys sit in a band above
+  // every local key (Simulator::scheduleAtMerged).
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  std::vector<int> order;
+  engine.shard(0).scheduleAt(SimTime::millis(6.0),
+                             [&] { order.push_back(1); });
+  engine.shard(1).scheduleAt(SimTime::millis(5.0), [&] {
+    engine.post(1, 0, engine.postHorizon(1), [&] { order.push_back(2); });
+  });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(ShardedEngine, FastModeResultIndependentOfThreadCount) {
@@ -160,7 +180,7 @@ TEST(ShardedEngine, FastModeResultIndependentOfThreadCount) {
         return;
       }
       const std::size_t next = (at_shard + 1) % 4;
-      engine.post(at_shard, next, engine.crossHorizon(),
+      engine.post(at_shard, next, engine.postHorizon(at_shard),
                   [&hop, next, remaining] { hop(next, remaining - 1); });
     };
     engine.shard(0).scheduleAt(SimTime::millis(1.0), [&] { hop(0, 12); });
@@ -173,16 +193,99 @@ TEST(ShardedEngine, FastModeResultIndependentOfThreadCount) {
   EXPECT_EQ(one, four);
 }
 
-TEST(ShardedEngine, BarrierHooksRunOncePerBarrier) {
-  ShardedEngine engine(
-      shardedConfig(2, parallel::SimMode::kDeterministic));
-  std::uint64_t hook_runs = 0;
-  engine.addBarrierHook([&] { ++hook_runs; });
-  engine.shard(1).scheduleAt(SimTime::millis(1.0), [] {});
-  engine.shard(1).scheduleAt(SimTime::millis(7.0), [] {});
+TEST(ShardedEngine, AdaptiveWindowNeverCrossesPendingEmission) {
+  // The adaptive-lookahead safety case: shard 1 holds an event at 1 ms
+  // that will post into shard 2 at its horizon (2 ms), and shard 2's next
+  // local event sits far beyond it at 5 ms. Shard 2's window this round
+  // must stop at shard 1's earliest possible emission (1 ms + lookahead)
+  // — widening to its own next event would run 5 ms before the merged
+  // 2 ms post exists. The sync interval is pushed out so only the
+  // adaptive horizon computation stands between the post and the bug.
+  ShardedConfig cfg = shardedConfig(3, parallel::SimMode::kDeterministic);
+  cfg.policy = parallel::LookaheadPolicy::kAdaptive;
+  cfg.sync_interval = SimDuration::millis(100.0);
+  ShardedEngine engine(cfg);
+  std::vector<std::pair<int, double>> order;  // (tag, fire time)
+  engine.shard(1).scheduleAt(SimTime::millis(1.0), [&] {
+    order.emplace_back(1, engine.shard(1).now().ms());
+    engine.post(1, 2, engine.postHorizon(1), [&] {
+      order.emplace_back(2, engine.shard(2).now().ms());
+    });
+  });
+  engine.shard(2).scheduleAt(SimTime::millis(5.0), [&] {
+    order.emplace_back(3, engine.shard(2).now().ms());
+  });
   engine.runUntil(SimTime::millis(10.0));
-  EXPECT_GT(hook_runs, 0u);
-  EXPECT_EQ(hook_runs, engine.barriersRun());
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (std::pair<int, double>{1, 1.0}));
+  EXPECT_EQ(order[1], (std::pair<int, double>{2, 2.0}));
+  EXPECT_EQ(order[2], (std::pair<int, double>{3, 5.0}));
+  // Shard 2 (and the empty shard 0) skipped the first round entirely.
+  EXPECT_GT(engine.windowStats().shard_windows_skipped, 0u);
+}
+
+TEST(ShardedEngine, AdaptiveRunsFewerRoundsThanStaticSameSchedule) {
+  // Same calendar under both policies: identical per-shard firing
+  // schedules (the determinism contract), far fewer barrier rounds.
+  struct RunResult {
+    std::vector<double> s1;
+    std::vector<double> s2;
+    std::uint64_t rounds = 0;
+    std::uint64_t skipped = 0;
+  };
+  auto run = [](parallel::LookaheadPolicy policy) {
+    ShardedConfig cfg =
+        shardedConfig(3, parallel::SimMode::kDeterministic, 0.01);
+    cfg.policy = policy;
+    cfg.sync_interval = SimDuration::millis(100.0);
+    ShardedEngine engine(cfg);
+    RunResult r;
+    // A calendar denser than the lookahead on shard 1: the adaptive
+    // policy's widened window for the round's earliest shard clears up to
+    // two lookaheads of it per round, halving the round count.
+    for (int k = 0; k < 200; ++k) {
+      engine.shard(1).scheduleAt(
+          SimTime::millis(0.1 + 0.001 * k),
+          [&r, &engine] { r.s1.push_back(engine.shard(1).now().ms()); });
+    }
+    engine.shard(2).scheduleAt(SimTime::millis(5.0), [&r, &engine] {
+      r.s2.push_back(engine.shard(2).now().ms());
+    });
+    engine.runUntil(SimTime::millis(6.0));
+    r.rounds = engine.windowsRun();
+    r.skipped = engine.windowStats().shard_windows_skipped;
+    return r;
+  };
+  const RunResult st = run(parallel::LookaheadPolicy::kStatic);
+  const RunResult ad = run(parallel::LookaheadPolicy::kAdaptive);
+  EXPECT_EQ(st.s1, ad.s1);
+  EXPECT_EQ(st.s2, ad.s2);
+  ASSERT_EQ(ad.s1.size(), 200u);
+  ASSERT_EQ(ad.s2.size(), 1u);
+  EXPECT_LT(ad.rounds, st.rounds);
+  EXPECT_GT(ad.skipped, 0u);
+}
+
+TEST(ShardedEngine, BarrierHooksRunAtSyncPoints) {
+  // Hooks run at multiples of sync_interval reached while events are
+  // pending — a schedule that depends only on the calendar, so it is
+  // identical under both lookahead policies.
+  std::uint64_t runs_by_policy[2] = {0, 0};
+  for (const auto policy : {parallel::LookaheadPolicy::kStatic,
+                            parallel::LookaheadPolicy::kAdaptive}) {
+    ShardedConfig cfg = shardedConfig(2, parallel::SimMode::kDeterministic);
+    cfg.policy = policy;
+    ShardedEngine engine(cfg);
+    std::uint64_t hook_runs = 0;
+    engine.addBarrierHook([&] { ++hook_runs; });
+    engine.shard(1).scheduleAt(SimTime::millis(1.0), [] {});
+    engine.shard(1).scheduleAt(SimTime::millis(7.0), [] {});
+    engine.runUntil(SimTime::millis(10.0));
+    EXPECT_GT(hook_runs, 0u);
+    EXPECT_EQ(hook_runs, engine.syncPointsRun());
+    runs_by_policy[static_cast<int>(policy)] = hook_runs;
+  }
+  EXPECT_EQ(runs_by_policy[0], runs_by_policy[1]);
 }
 
 TEST(ShardedEngine, RequestStopHaltsAtNextBarrier) {
@@ -214,11 +317,48 @@ TEST(ShardedEngine, ShardLevelStopHaltsTheEngine) {
   EXPECT_FALSE(late_fired);
 }
 
+TEST(ShardedEngine, StopOnSkippedShardStillHaltsTheEngine) {
+  // Regression (PR-6 stop handshake): a shard whose window is skipped —
+  // here shard 1, which never has an event — still gets its stop request
+  // honored at the next barrier instead of being silently ignored until
+  // some round happens to run it.
+  ShardedEngine engine(
+      shardedConfig(3, parallel::SimMode::kDeterministic));
+  bool late_fired = false;
+  engine.shard(0).scheduleAt(SimTime::millis(2.0),
+                             [&] { engine.shard(1).requestStop(); });
+  engine.shard(2).scheduleAt(SimTime::millis(15.0),
+                             [&] { late_fired = true; });
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_FALSE(late_fired);
+  EXPECT_LT(engine.now().ms(), 15.0);
+  // Consumed, not stale: the next run proceeds and fires the late event.
+  EXPECT_FALSE(engine.shard(1).stopPending());
+  engine.runUntil(SimTime::millis(20.0));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(ShardedEngine, IdleForwardHonorsPendingShardStop) {
+  // Regression (PR-6 stop handshake): with no events anywhere, the old
+  // idle-forwarding path consumed a pending shard stop *and* advanced all
+  // clocks to `until` as if nothing happened. The stop must halt the run
+  // before any clock moves, and must not remain pending afterwards.
+  ShardedEngine engine(
+      shardedConfig(2, parallel::SimMode::kDeterministic));
+  engine.shard(1).requestStop();
+  engine.runUntil(SimTime::millis(10.0));
+  EXPECT_DOUBLE_EQ(engine.now().ms(), 0.0);
+  EXPECT_FALSE(engine.shard(1).stopPending());
+  engine.runUntil(SimTime::millis(10.0));
+  EXPECT_DOUBLE_EQ(engine.now().ms(), 10.0);
+  EXPECT_DOUBLE_EQ(engine.shard(1).now().ms(), 10.0);
+}
+
 TEST(ShardedEngine, ExportsCountersToRegistry) {
   ShardedEngine engine(
       shardedConfig(2, parallel::SimMode::kDeterministic));
   engine.shard(1).scheduleAt(SimTime::millis(1.0), [&] {
-    engine.post(1, 0, engine.crossHorizon(), [] {});
+    engine.post(1, 0, engine.postHorizon(1), [] {});
   });
   engine.runUntil(SimTime::millis(5.0));
   obs::MetricsRegistry reg;
@@ -229,6 +369,13 @@ TEST(ShardedEngine, ExportsCountersToRegistry) {
   const obs::Counter* cross = reg.findCounter("sim.sharded.cross_posts");
   ASSERT_NE(cross, nullptr);
   EXPECT_EQ(cross->value(), 1u);
+  const obs::Counter* merged = reg.findCounter("sim.sharded.posts_merged");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->value(), 1u);
+  const obs::Counter* skipped =
+      reg.findCounter("sim.sharded.shard_windows_skipped");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_EQ(skipped->value(), engine.windowStats().shard_windows_skipped);
 }
 
 TEST(SimulatorStop, RunUntilReportsStopConsumption) {
@@ -238,6 +385,16 @@ TEST(SimulatorStop, RunUntilReportsStopConsumption) {
   EXPECT_FALSE(sim.runUntil(SimTime::millis(10.0)));
   EXPECT_FALSE(sim.stopPending());
   EXPECT_TRUE(sim.runUntil(SimTime::millis(10.0)));
+}
+
+TEST(SimulatorStop, ConsumeStopRequestIsOneShot) {
+  Simulator sim;
+  EXPECT_FALSE(sim.consumeStopRequest());
+  sim.requestStop();
+  EXPECT_TRUE(sim.stopPending());
+  EXPECT_TRUE(sim.consumeStopRequest());
+  EXPECT_FALSE(sim.stopPending());
+  EXPECT_FALSE(sim.consumeStopRequest());
 }
 
 TEST(SimulatorPeek, PeekSkipsCancelledHeads) {
@@ -250,6 +407,51 @@ TEST(SimulatorPeek, PeekSkipsCancelledHeads) {
   EXPECT_DOUBLE_EQ(t.ms(), 3.0);
   Simulator empty;
   EXPECT_FALSE(empty.peekNextEvent(&t));
+}
+
+TEST(SimulatorWindow, RunUntilBeforeIsHalfOpen) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(SimTime::millis(1.0), [&] { order.push_back(1); });
+  sim.scheduleAt(SimTime::millis(2.0), [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.runUntilBefore(SimTime::millis(2.0)));
+  // Only the event strictly before the horizon fired; the clock still
+  // advanced to the horizon.
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sim.now().ms(), 2.0);
+  // The boundary event is untouched and fires on the next (closed) run.
+  EXPECT_TRUE(sim.runUntil(SimTime::millis(2.0)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorWindow, RunUntilBeforeHonorsStop) {
+  Simulator sim;
+  bool late = false;
+  sim.scheduleAt(SimTime::millis(1.0), [&] { sim.requestStop(); });
+  sim.scheduleAt(SimTime::millis(2.0), [&] { late = true; });
+  EXPECT_FALSE(sim.runUntilBefore(SimTime::millis(5.0)));
+  EXPECT_FALSE(late);
+  EXPECT_FALSE(sim.stopPending());
+}
+
+TEST(SimulatorWindow, MergedPostsOrderByBandSrcSeq) {
+  // At one timestamp: every locally scheduled event first (in schedule
+  // order), then merged cross-shard posts by (src, per-source seq) — the
+  // canonical order no matter when the merges happened.
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::millis(5.0);
+  sim.scheduleAt(t, [&] { order.push_back(1); });
+  sim.scheduleAtMerged(t, /*src_shard=*/2, /*src_seq=*/1,
+                       [&] { order.push_back(21); });
+  sim.scheduleAtMerged(t, /*src_shard=*/1, /*src_seq=*/2,
+                       [&] { order.push_back(12); });
+  sim.scheduleAtMerged(t, /*src_shard=*/1, /*src_seq=*/1,
+                       [&] { order.push_back(11); });
+  // A local event scheduled *after* the merges still precedes them.
+  sim.scheduleAt(t, [&] { order.push_back(2); });
+  sim.runUntil(SimTime::millis(6.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12, 21}));
 }
 
 }  // namespace

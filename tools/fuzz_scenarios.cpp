@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   std::int64_t threads = 0;
   std::int64_t shards = 1;
   std::string sim_mode = "det";
+  std::string lookahead = "adaptive";
 
   rtdrm::ArgParser parser(
       "fuzz_scenarios",
@@ -100,7 +101,10 @@ int main(int argc, char** argv) {
       .addInt("shards", "event-kernel shards per scenario (1 = single queue)",
               &shards)
       .addString("sim-mode", "det | fast (sharded window execution)",
-                 &sim_mode);
+                 &sim_mode)
+      .addString("lookahead",
+                 "static | adaptive (sharded barrier-window sizing)",
+                 &lookahead);
   if (!parser.parse(argc, argv)) {
     return parser.helpRequested() ? 0 : 2;
   }
@@ -115,6 +119,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   rtdrm::parallel::setSimMode(exec.sim_mode);
+  if (!rtdrm::parallel::parseLookaheadPolicy(lookahead, &exec.lookahead)) {
+    std::cerr << "unknown lookahead policy '" << lookahead
+              << "' (static | adaptive)\n";
+    return 2;
+  }
+  rtdrm::parallel::setLookaheadPolicy(exec.lookahead);
 
   const rtdrm::check::ShrinkSpec shrink =
       shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults,

@@ -115,9 +115,11 @@ int parseAlgorithm(const std::string& s, experiments::AlgorithmKind* out) {
   return 1;
 }
 
-/// Applies the shared execution flags (--threads, --sim-mode) to the
-/// process-wide parallel configuration. Returns 0, or 1 on a bad mode.
-int applyExecFlags(std::int64_t threads, const std::string& sim_mode) {
+/// Applies the shared execution flags (--threads, --sim-mode,
+/// --lookahead) to the process-wide parallel configuration. Returns 0, or
+/// 1 on a bad mode/policy.
+int applyExecFlags(std::int64_t threads, const std::string& sim_mode,
+                   const std::string& lookahead) {
   parallel::setThreads(
       threads < 0 ? 0u : static_cast<unsigned>(threads));
   parallel::SimMode mode{};
@@ -126,6 +128,13 @@ int applyExecFlags(std::int64_t threads, const std::string& sim_mode) {
     return 1;
   }
   parallel::setSimMode(mode);
+  parallel::LookaheadPolicy policy{};
+  if (!parallel::parseLookaheadPolicy(lookahead, &policy)) {
+    std::cerr << "unknown lookahead policy '" << lookahead
+              << "' (static | adaptive)\n";
+    return 1;
+  }
+  parallel::setLookaheadPolicy(policy);
   return 0;
 }
 
@@ -138,6 +147,7 @@ int cmdEpisode(int argc, const char* const* argv) {
   std::int64_t threads = 0;
   std::int64_t shards = 1;
   std::string sim_mode = "det";
+  std::string lookahead = "adaptive";
   bool refit = false;
   bool histogram = false;
   std::string trace_out;
@@ -156,6 +166,10 @@ int cmdEpisode(int argc, const char* const* argv) {
       .addInt("shards", "event-kernel shards (1 = single queue)", &shards)
       .addString("sim-mode", "det | fast (sharded window execution)",
                  &sim_mode)
+      .addString("lookahead",
+                 "static | adaptive (sharded barrier-window sizing; "
+                 "digest-identical, adaptive runs far fewer barriers)",
+                 &lookahead)
       .addInt("managers",
               "manager endpoints (1 = legacy centralized plane, > 1 shards "
               "the management plane with gossip + failover)",
@@ -182,7 +196,7 @@ int cmdEpisode(int argc, const char* const* argv) {
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
   }
-  if (applyExecFlags(threads, sim_mode) != 0) {
+  if (applyExecFlags(threads, sim_mode, lookahead) != 0) {
     return 1;
   }
   experiments::AlgorithmKind kind{};
@@ -202,6 +216,7 @@ int cmdEpisode(int argc, const char* const* argv) {
   cfg.scenario.sim_shards =
       static_cast<std::size_t>(std::max<std::int64_t>(1, shards));
   cfg.scenario.sim_mode = parallel::config().sim_mode;
+  cfg.scenario.sim_lookahead = parallel::config().lookahead;
   cfg.manager.online_refit = refit;
   if (pattern == "decreasing") {
     cfg.manager.d_init = ramp.max_workload;
@@ -266,6 +281,9 @@ int cmdSweep(int argc, const char* const* argv) {
   std::int64_t periods = 72;
   std::int64_t replications = 1;
   std::int64_t threads = 0;
+  std::int64_t shards = 1;
+  std::string sim_mode = "det";
+  std::string lookahead = "adaptive";
   bool serial = false;
   ArgParser args("rtdrm sweep",
                  "both algorithms across max workloads (Figs. 9/10 style)");
@@ -277,17 +295,30 @@ int cmdSweep(int argc, const char* const* argv) {
               "worker threads for the point fan-out "
               "(0 = RTDRM_THREADS or cores)",
               &threads)
+      .addInt("shards",
+              "event-kernel shards per episode (1 = single queue)", &shards)
+      .addString("sim-mode", "det | fast (sharded window execution)",
+                 &sim_mode)
+      .addString("lookahead",
+                 "static | adaptive (sharded barrier-window sizing)",
+                 &lookahead)
       .addFlag("serial", "run sweep points one at a time", &serial);
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
   }
-  parallel::setThreads(threads < 0 ? 0u : static_cast<unsigned>(threads));
+  if (applyExecFlags(threads, sim_mode, lookahead) != 0) {
+    return 1;
+  }
   const task::TaskSpec spec = apps::makeAawTaskSpec();
   std::cout << "[fitting models...]\n";
   const auto fitted =
       experiments::fitAllModels(spec, experiments::defaultModelFitConfig());
   experiments::SweepConfig cfg;
   cfg.episode.periods = static_cast<std::uint64_t>(periods);
+  cfg.episode.scenario.sim_shards =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, shards));
+  cfg.episode.scenario.sim_mode = parallel::config().sim_mode;
+  cfg.episode.scenario.sim_lookahead = parallel::config().lookahead;
   cfg.replications = static_cast<std::size_t>(std::max<std::int64_t>(
       1, replications));
   cfg.parallel = !serial;
