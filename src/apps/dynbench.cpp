@@ -7,6 +7,10 @@ task::TaskSpec makeAawTaskSpec(const AawTaskParams& params) {
   spec.name = "AAW";
   spec.period = params.period;
   spec.deadline = params.deadline;
+  // Elastic headroom (only read when the period-adjustment extension is
+  // on): sensor tracks tolerate up to a 2x slower refresh before the
+  // picture goes stale.
+  spec.max_period = params.period * 2.0;
 
   // Non-replicable stages are lightweight, near-linear bookkeeping steps;
   // the heavy, data-quadratic work sits in the two replicable stages, which

@@ -11,6 +11,10 @@ Scenario::Scenario(const ScenarioConfig& config)
       clocks_(engine_.control(), config.node_count,
               streams_.get("clock-fabric"), config.clock_sync),
       net_probe_(engine_.control(), ethernet_) {
+  // Belt and braces: every Processor constructor already validated its own
+  // copy; this re-check keeps the contract even if the cluster seam ever
+  // stops forwarding the config verbatim.
+  config.cpu.validate();
   cluster_.attachBackgroundLoad(streams_, config.background);
   if (config.ambient_load.value() > 0.0) {
     for (ProcessorId id : cluster_.ids()) {

@@ -63,6 +63,12 @@ std::string ShrinkSpec::cliFlags() const {
   if (drop_manager_faults) {
     out += " --drop-manager-faults";
   }
+  if (drop_sched) {
+    out += " --drop-sched";
+  }
+  if (drop_period_adjust) {
+    out += " --drop-period-adjust";
+  }
   return out;
 }
 
@@ -96,11 +102,19 @@ std::string FuzzScenario::summary() const {
     os << " +managers(" << managers
        << " crash=" << faults.manager_crashes.size() << ")";
   }
+  if (sched != node::SchedPolicy::kRoundRobin) {
+    os << " sched=" << node::schedPolicyName(sched);
+  }
+  if (manager.allow_period_adjust) {
+    os << " +period-adjust(max=" << spec.effectiveMaxPeriod().ms()
+       << "ms step=" << manager.period_adjust_step << ")";
+  }
   return os.str();
 }
 
 FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
-                              bool with_faults, bool with_manager_faults) {
+                              bool with_faults, bool with_manager_faults,
+                              bool with_sched, bool with_period_adjust) {
   // Every draw below happens unconditionally and in a fixed order, so the
   // same seed yields the same scenario no matter which caps apply.
   RngStreams streams(seed);
@@ -314,6 +328,14 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
   const bool mgr_restarts = g.uniform01() < 0.5;
   const double mgr_restart_periods = g.uniform(2.0, 6.0);
 
+  // Scheduler and elastic-period draws: appended after the manager-plane
+  // draws, so every narrower configuration of the seed keeps its exact
+  // scenario (base, faults, plane) whether or not these dimensions apply.
+  const auto sched_draw = static_cast<node::SchedPolicy>(g.uniformInt(
+      0, static_cast<std::int64_t>(node::SchedPolicy::kLlf)));
+  const double max_period_mult = g.uniform(1.25, 2.5);
+  const double period_step_draw = g.uniform(0.1, 0.5);
+
   const bool apply_faults = with_faults && !shrink.drop_faults;
   const bool apply_manager_faults =
       with_manager_faults && !shrink.drop_manager_faults;
@@ -337,6 +359,14 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
   }
   if (apply_faults || apply_manager_faults) {
     s.faults = std::move(plan);
+  }
+  if (with_sched && !shrink.drop_sched) {
+    s.sched = sched_draw;
+  }
+  if (with_period_adjust && !shrink.drop_period_adjust) {
+    s.spec.max_period = SimDuration::millis(period_ms * max_period_mult);
+    s.manager.allow_period_adjust = true;
+    s.manager.period_adjust_step = period_step_draw;
   }
 
   // ---- all RNG draws done; apply the shrink caps by truncation ----------
@@ -396,6 +426,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   apps::ScenarioConfig sc;
   sc.node_count = scenario.node_count;
   sc.seed = scenario.seed;
+  sc.cpu.policy = scenario.sched;
   // The fuzz plan drives per-node targets itself.
   sc.ambient_load = Utilization::zero();
   sc.sim_shards = exec.sim_shards;
@@ -655,6 +686,19 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     appendCount(d, m.failover_replacements);
     appendCount(d, m.recovery_allocation_failures);
   }
+  // Both sections keyed on the scenario, not runtime state, so a digest is
+  // comparable across runs of the same scenario; absent in the baseline
+  // configuration so every historical digest is untouched.
+  if (scenario.sched != node::SchedPolicy::kRoundRobin) {
+    d += node::schedPolicyName(scenario.sched);
+    d += ',';
+  }
+  if (scenario.manager.allow_period_adjust) {
+    appendCount(d, m.period_dilations);
+    appendCount(d, m.period_contractions);
+    appendHex(d, m.period_scale.mean());
+    appendHex(d, manager.currentPeriod().ms());
+  }
   if (plane != nullptr) {
     appendCount(d, plane->gossipRounds());
     appendCount(d, plane->gossipMessagesSent());
@@ -721,9 +765,11 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
 
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
                         bool with_faults, const FuzzExecConfig& exec,
-                        bool with_manager_faults) {
+                        bool with_manager_faults, bool with_sched,
+                        bool with_period_adjust) {
   const FuzzScenario scenario =
-      makeFuzzScenario(seed, shrink, with_faults, with_manager_faults);
+      makeFuzzScenario(seed, shrink, with_faults, with_manager_faults,
+                       with_sched, with_period_adjust);
   FuzzOutcome out;
   for (const AllocatorKind kind :
        {AllocatorKind::kPredictive, AllocatorKind::kNonPredictive}) {
@@ -755,15 +801,35 @@ FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
 
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
                     const FailsFn& fails, bool with_faults,
-                    bool with_manager_faults) {
+                    bool with_manager_faults, bool with_sched,
+                    bool with_period_adjust) {
   ShrinkSpec current = initial;
   bool improved = true;
   while (improved) {
     improved = false;
     const FuzzScenario s = makeFuzzScenario(seed, current);
 
-    // Simplest explanation first: does the failure survive without the
-    // decentralized-plane dimension, or without any faults at all?
+    // Simplest explanation first: does the failure survive on the baseline
+    // scheduler, without the elastic lever, without the decentralized-plane
+    // dimension, or without any faults at all?
+    if (with_sched && !current.drop_sched) {
+      ShrinkSpec c = current;
+      c.drop_sched = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+        continue;
+      }
+    }
+    if (with_period_adjust && !current.drop_period_adjust) {
+      ShrinkSpec c = current;
+      c.drop_period_adjust = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+        continue;
+      }
+    }
     if (with_manager_faults && !current.drop_manager_faults) {
       ShrinkSpec c = current;
       c.drop_manager_faults = true;

@@ -29,6 +29,14 @@
 // core::ManagementPlane, a second target-mode FailureDetector over the
 // manager endpoints, and the plane invariants (election uniqueness, no
 // deposed decisions, bounded gossip staleness) join the oracle.
+//
+// With the scheduler dimension enabled (--sched) every seed additionally
+// draws a node scheduling policy (RR/FIFO/priority/EDF/RMS/LLF) for the
+// whole cluster, and with elastic periods enabled (--period-adjust) an
+// elastic bound plus adjustment step for the manager's period lever. Both
+// draws are appended after the manager-plane draws, so every narrower
+// configuration of the same seed is byte-identical, and each dimension is
+// one more shrink cap (drop_sched / drop_period_adjust).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,7 @@
 #include "core/models.hpp"
 #include "fault/detector.hpp"
 #include "fault/plan.hpp"
+#include "node/sched_policy.hpp"
 #include "task/spec.hpp"
 #include "workload/patterns.hpp"
 
@@ -63,10 +72,17 @@ struct ShrinkSpec {
   /// Strip the decentralized-plane dimension: back to one manager and no
   /// manager crashes (only meaningful when manager faults are enabled).
   bool drop_manager_faults = false;
+  /// Back to the Round-Robin baseline scheduler (only meaningful when the
+  /// scheduler dimension is enabled).
+  bool drop_sched = false;
+  /// Strip the elastic-period dimension: inelastic spec, lever off (only
+  /// meaningful when period adjustment is enabled).
+  bool drop_period_adjust = false;
 
   bool unshrunk() const {
     return max_subtasks == 0 && max_periods == 0 && !flatten_workload &&
-           !drop_faults && !drop_manager_faults;
+           !drop_faults && !drop_manager_faults && !drop_sched &&
+           !drop_period_adjust;
   }
   /// Command-line fragment reproducing these caps (" --max-subtasks=3 ...";
   /// empty when unshrunk).
@@ -127,6 +143,9 @@ struct FuzzScenario {
   /// Manager endpoints; > 1 only when generated with manager faults, and
   /// then `faults.manager_crashes` carries the crash schedule.
   std::size_t managers = 1;
+  /// Cluster-wide node scheduling policy; non-RR only when generated with
+  /// the scheduler dimension enabled.
+  node::SchedPolicy sched = node::SchedPolicy::kRoundRobin;
 
   std::string summary() const;
 };
@@ -138,7 +157,9 @@ struct FuzzScenario {
 /// draw, so the base scenario is identical with and without it).
 FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {},
                               bool with_faults = false,
-                              bool with_manager_faults = false);
+                              bool with_manager_faults = false,
+                              bool with_sched = false,
+                              bool with_period_adjust = false);
 
 enum class AllocatorKind { kPredictive, kNonPredictive };
 const char* allocatorKindName(AllocatorKind kind);
@@ -198,7 +219,9 @@ struct FuzzOutcome {
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {},
                         bool with_faults = false,
                         const FuzzExecConfig& exec = {},
-                        bool with_manager_faults = false);
+                        bool with_manager_faults = false,
+                        bool with_sched = false,
+                        bool with_period_adjust = false);
 
 /// Failure predicate: does `seed` under these caps still fail?
 using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
@@ -210,6 +233,8 @@ using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
 /// found.
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
                     const FailsFn& fails, bool with_faults = false,
-                    bool with_manager_faults = false);
+                    bool with_manager_faults = false,
+                    bool with_sched = false,
+                    bool with_period_adjust = false);
 
 }  // namespace rtdrm::check

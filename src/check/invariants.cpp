@@ -84,6 +84,7 @@ void InvariantOracle::watch(const core::WorkloadLedger& ledger) {
 void InvariantOracle::watch(core::ResourceManager& manager) {
   managers_.push_back(&manager);
   shadow_placements_.push_back(manager.runner().placement());
+  verdicts_.emplace_back();
   manager.attachObserver(*this);
 }
 
@@ -476,6 +477,50 @@ void InvariantOracle::checkAllocation(const core::Allocator& allocator,
   }
 }
 
+void InvariantOracle::checkBusyConservation(const node::Cluster& cluster) {
+  // Sharded clusters run their processors on other threads; the sweep may
+  // fire mid-shard-window, so direct accumulator reads would race. The
+  // single-threaded engine (and every unit test) covers the law.
+  if (cluster.sharded()) {
+    return;
+  }
+  ++checks_run_;
+  const double tol = config_.tolerance_ms;
+  for (const ProcessorId id : cluster.ids()) {
+    const node::Processor& p = cluster.processor(id);
+    const double busy = p.busyTime().ms();
+    const double attributed = p.demandServed().ms() + p.schedOverhead().ms();
+    // busyTime() may exceed the attributed accumulators by exactly the
+    // in-flight stretch span (non-negative); while idle they must agree.
+    const double in_flight = busy - attributed;
+    if (in_flight < -tol) {
+      violate("busy-conservation",
+              "node " + std::to_string(id.value) + " busy " +
+                  std::to_string(busy) + " ms < served+overhead " +
+                  std::to_string(attributed) + " ms");
+    } else if (!p.busy() && in_flight > tol) {
+      violate("busy-conservation-idle",
+              "idle node " + std::to_string(id.value) + " busy " +
+                  std::to_string(busy) + " ms != served+overhead " +
+                  std::to_string(attributed) + " ms");
+    }
+  }
+}
+
+void InvariantOracle::checkPeriodBounds(const core::ResourceManager& manager) {
+  ++checks_run_;
+  const double tol = config_.tolerance_ms;
+  const double cur = manager.currentPeriod().ms();
+  const double lo = manager.spec().period.ms();
+  const double hi = manager.spec().effectiveMaxPeriod().ms();
+  if (cur < lo - tol || cur > hi + tol) {
+    violate("period-bounds",
+            "live period " + std::to_string(cur) +
+                " ms outside the elastic bounds [" + std::to_string(lo) +
+                ", " + std::to_string(hi) + "] ms");
+  }
+}
+
 void InvariantOracle::checkDeliveryAccounting() {
   if (net_ == nullptr) {
     return;
@@ -583,6 +628,7 @@ void InvariantOracle::sweep() {
   for (const node::Cluster* c : clusters_) {
     checkClusterUtilization(*c);
     checkUtilizationIndex(*c);
+    checkBusyConservation(*c);
   }
   for (const core::WorkloadLedger* l : ledgers_) {
     checkLedger(*l);
@@ -592,6 +638,7 @@ void InvariantOracle::sweep() {
   checkPlane();
   for (core::ResourceManager* m : managers_) {
     checkBudgets(m->budgets(), m->spec().deadline.ms());
+    checkPeriodBounds(*m);
     std::size_t cluster_size = 0;
     if (!clusters_.empty()) {
       cluster_size = clusters_.front()->size();
@@ -611,6 +658,19 @@ void InvariantOracle::onMonitorActions(const core::ResourceManager& manager,
                                        const std::vector<core::Action>& actions) {
   checkDecisionOwnership("monitor-actions");
   checkActions(actions, manager.spec());
+  for (std::size_t m = 0; m < managers_.size(); ++m) {
+    if (managers_[m] != &manager) {
+      continue;
+    }
+    MonitorVerdict& v = verdicts_[m];
+    v.recorded = !actions.empty();
+    v.pressure = false;
+    v.slack = false;
+    for (const core::Action& a : actions) {
+      (a.kind == core::ActionKind::kReplicate ? v.pressure : v.slack) = true;
+    }
+    break;
+  }
 }
 
 void InvariantOracle::onAllocation(const core::ResourceManager& manager,
@@ -658,6 +718,47 @@ void InvariantOracle::onPlacementChanged(const core::ResourceManager& manager,
       }
     }
     shadow_placements_[m] = placement;
+    // The decision round is over once its placement lands; the verdict
+    // must not leak into failure-triggered adjustments between rounds.
+    verdicts_[m] = MonitorVerdict{};
+    break;
+  }
+}
+
+void InvariantOracle::onPeriodAdjust(const core::ResourceManager& manager,
+                                     SimDuration old_period,
+                                     SimDuration new_period, bool dilated) {
+  checkDecisionOwnership("period-adjust");
+  ++checks_run_;
+  // Every adjustment must actually move, in the direction it claims.
+  if (dilated ? new_period.ms() <= old_period.ms()
+              : new_period.ms() >= old_period.ms()) {
+    violate("period-step-direction",
+            std::string(dilated ? "dilation" : "contraction") + " moved " +
+                std::to_string(old_period.ms()) + " -> " +
+                std::to_string(new_period.ms()) + " ms");
+  }
+  checkPeriodBounds(manager);
+  for (std::size_t m = 0; m < managers_.size(); ++m) {
+    if (managers_[m] != &manager) {
+      continue;
+    }
+    const MonitorVerdict& v = verdicts_[m];
+    // The elastic lever trades rate for capacity: dilating while the
+    // monitor's verdict this round was pure slack would slow a task that
+    // has headroom to spare. (Failure-triggered dilations arrive between
+    // rounds, with no recorded verdict, and are exempt.)
+    if (dilated && v.recorded && !v.pressure) {
+      violate("period-dilation-under-slack",
+              "period dilated to " + std::to_string(new_period.ms()) +
+                  " ms while the monitor saw only high-slack candidates");
+    }
+    // Contractions exist only as the high-slack unwind step.
+    if (!dilated && !v.slack) {
+      violate("period-contraction-without-slack",
+              "period contracted to " + std::to_string(new_period.ms()) +
+                  " ms without a high-slack candidate this round");
+    }
     break;
   }
 }

@@ -12,7 +12,14 @@
 //   * sampled processor utilization stays in [0, 1];
 //   * no message is delivered before it is sent (receipt causality);
 //   * the predictive allocator never *accepts* a replica set whose own
-//     forecast violates the deadline-minus-slack bound (Fig. 5 step 6).
+//     forecast violates the deadline-minus-slack bound (Fig. 5 step 6);
+//   * CPU-time conservation: every processor's busyTime() equals
+//     demandServed() + schedOverhead() (+ the in-flight stretch span while
+//     busy) — no scheduling discipline can create or destroy CPU time;
+//   * the live release period stays inside the task's elastic bounds
+//     [period, max_period], every adjustment moves it in the direction its
+//     dilated flag claims, and the elastic lever never dilates in a period
+//     whose monitor verdict was pure slack (nor contracts without one).
 //
 // With a management plane watched (managers > 1), the decentralized-plane
 // invariants join in:
@@ -147,6 +154,14 @@ class InvariantOracle final : public core::ManagerObserver,
   void checkAllocation(const core::Allocator& allocator,
                        const core::AllocationContext& ctx, std::size_t stage,
                        core::AllocStatus status, const task::ReplicaSet& rs);
+  /// Policy-agnostic CPU-time conservation on every processor of the
+  /// cluster: busyTime() == demandServed() + schedOverhead() exactly while
+  /// idle, and exceeds it by at most the in-flight span while busy.
+  /// Skipped for sharded clusters (processor state lives on other threads).
+  void checkBusyConservation(const node::Cluster& cluster);
+  /// The live release period must sit inside [spec.period,
+  /// spec.effectiveMaxPeriod()].
+  void checkPeriodBounds(const core::ResourceManager& manager);
   /// Delivered-counter vs observed-receipt reconciliation (needs a watched
   /// network; no-op otherwise).
   void checkDeliveryAccounting();
@@ -172,6 +187,9 @@ class InvariantOracle final : public core::ManagerObserver,
                           const task::Placement& placement) override;
   void onPeriodRecord(const core::ResourceManager& manager,
                       const task::PeriodRecord& record) override;
+  void onPeriodAdjust(const core::ResourceManager& manager,
+                      SimDuration old_period, SimDuration new_period,
+                      bool dilated) override;
 
   // ---- fault::FaultObserver ---------------------------------------------
   void onCrash(ProcessorId node, SimTime at) override;
@@ -201,6 +219,17 @@ class InvariantOracle final : public core::ManagerObserver,
   /// onPlacementChanged diffs against it to catch replicas *added* on a
   /// down node.
   std::vector<task::Placement> shadow_placements_;
+  /// The monitor's verdict for the decision round in flight, per watched
+  /// manager (parallel to managers_). Refreshed by onMonitorActions,
+  /// cleared when the round's placement lands; onPeriodAdjust consults it
+  /// to catch a dilation issued while the verdict was pure slack (or a
+  /// contraction without one).
+  struct MonitorVerdict {
+    bool recorded = false;  ///< a non-empty action list was observed
+    bool pressure = false;  ///< some stage was flagged for replication
+    bool slack = false;     ///< some stage was flagged for shutdown
+  };
+  std::vector<MonitorVerdict> verdicts_;
   std::vector<DownNode> down_nodes_;
   std::uint64_t receipts_observed_ = 0;
   std::uint64_t misses_observed_ = 0;

@@ -111,6 +111,14 @@ void ResourceManager::exportMetrics(obs::MetricsRegistry& reg) const {
   reg.counter("core.suppressed_decision_periods")
       .set(metrics_.suppressed_decision_periods);
   reg.gauge("core.shed_fraction").set(shed_fraction_);
+  if (config_.allow_period_adjust) {
+    // Gated: the export set (and any digest over it) is unchanged unless
+    // the period-adjustment extension is switched on.
+    reg.counter("core.period_dilations").set(metrics_.period_dilations);
+    reg.counter("core.period_contractions").set(metrics_.period_contractions);
+    reg.gauge("core.period_scale")
+        .set(runner_->currentPeriod() / spec_.period);
+  }
   reg.gauge("core.mean_cpu_utilization").set(metrics_.cpu_utilization.mean());
   reg.gauge("core.mean_net_utilization").set(metrics_.net_utilization.mean());
   reg.gauge("core.mean_replicas_per_subtask")
@@ -153,6 +161,7 @@ void ResourceManager::onPeriodTick(std::uint64_t) {
   metrics_.net_utilization.add(net_probe_.sample().value());
 
   metrics_.shed_fraction.add(shed_fraction_);
+  metrics_.period_scale.add(runner_->currentPeriod() / spec_.period);
 
   // Mean replica count across the replicable stages.
   double replicas = 0.0;
@@ -265,8 +274,12 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
         ++metrics_.allocation_failures;  // already at max concurrency
         obsRecord(obs::RecordKind::kAllocFailure, 0,
                   static_cast<std::uint16_t>(a.stage));
-        if (config_.allow_load_shedding &&
-            shed_fraction_ < config_.max_shed) {
+        // Replication is off the table; slow the release rate within the
+        // task's elastic bounds before degrading quality by shedding.
+        if (dilatePeriod(a.stage)) {
+          changed = true;
+        } else if (config_.allow_load_shedding &&
+                   shed_fraction_ < config_.max_shed) {
           shed_fraction_ = std::min(config_.max_shed,
                                     shed_fraction_ + config_.shed_step);
           trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
@@ -286,8 +299,13 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
         ++metrics_.allocation_failures;
         obsRecord(obs::RecordKind::kAllocFailure, 0,
                   static_cast<std::uint16_t>(a.stage));
-        if (config_.allow_load_shedding &&
-            shed_fraction_ < config_.max_shed) {
+        // The eq.-5/eq.-6 forecast rejected replication: dilate the period
+        // toward max_period first — trading rate costs nothing dropped —
+        // and only shed once the elastic bound is exhausted.
+        if (dilatePeriod(a.stage)) {
+          changed = true;
+        } else if (config_.allow_load_shedding &&
+                   shed_fraction_ < config_.max_shed) {
           // Even full replication cannot hold the budget: degrade quality
           // instead of missing outright (imprecise computation).
           shed_fraction_ = std::min(config_.max_shed,
@@ -320,6 +338,11 @@ void ResourceManager::onRecord(const task::PeriodRecord& record) {
       obsRecord(obs::RecordKind::kShed, 0,
                 static_cast<std::uint16_t>(a.stage), obs::kRecordNoNode,
                 shed_fraction_);
+      changed = true;
+    } else if (contractPeriod(a.stage)) {
+      // Levers unwind in reverse engagement order: shedding was the last
+      // resort, so it clears first; then the rate recovers toward the
+      // spec period; only then are replicas released.
       changed = true;
     } else {
       // Fig. 6 (or the selective-eviction extension): drop one replica.
@@ -415,7 +438,10 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
       ++metrics_.recovery_allocation_failures;
       obsRecord(obs::RecordKind::kAllocFailure, 0,
                 static_cast<std::uint16_t>(i));
-      if (config_.allow_load_shedding && shed_fraction_ < config_.max_shed) {
+      // Survivor capacity is exhausted: slow the release rate before
+      // dropping data (same lever order as the steady-state loop).
+      if (!dilatePeriod(i) && config_.allow_load_shedding &&
+          shed_fraction_ < config_.max_shed) {
         shed_fraction_ =
             std::min(config_.max_shed, shed_fraction_ + config_.shed_step);
         trace(sim::TraceCategory::kCustom, "shed", shed_fraction_);
@@ -434,7 +460,8 @@ void ResourceManager::handleNodeFailure(ProcessorId dead) {
       ++metrics_.recovery_allocation_failures;
       obsRecord(obs::RecordKind::kAllocFailure, 0,
                 static_cast<std::uint16_t>(i));
-      if (config_.allow_load_shedding && shed_fraction_ < config_.max_shed) {
+      if (!dilatePeriod(i) && config_.allow_load_shedding &&
+          shed_fraction_ < config_.max_shed) {
         // Survivors cannot absorb the lost capacity: degrade quality
         // instead of missing outright (graceful degradation).
         shed_fraction_ =
@@ -487,6 +514,63 @@ void ResourceManager::handleNodeRestart(ProcessorId node) {
   trace(sim::TraceCategory::kCustom, "restart",
         static_cast<double>(node.value));
   obsRecord(obs::RecordKind::kNodeRestart, 0, 0, node.value);
+}
+
+bool ResourceManager::canDilatePeriod() const {
+  return config_.allow_period_adjust &&
+         runner_->currentPeriod() < spec_.effectiveMaxPeriod();
+}
+
+bool ResourceManager::dilatePeriod(std::size_t stage) {
+  if (!canDilatePeriod()) {
+    return false;
+  }
+  const SimDuration step = spec_.period * config_.period_adjust_step;
+  const SimDuration next =
+      std::min(spec_.effectiveMaxPeriod(), runner_->currentPeriod() + step);
+  if (next <= runner_->currentPeriod()) {
+    return false;
+  }
+  applyPeriod(next, stage, /*dilated=*/true);
+  return true;
+}
+
+bool ResourceManager::contractPeriod(std::size_t stage) {
+  if (!config_.allow_period_adjust ||
+      runner_->currentPeriod() <= spec_.period) {
+    return false;
+  }
+  const SimDuration step = spec_.period * config_.period_adjust_step;
+  const SimDuration next =
+      std::max(spec_.period, runner_->currentPeriod() - step);
+  applyPeriod(next, stage, /*dilated=*/false);
+  return true;
+}
+
+void ResourceManager::applyPeriod(SimDuration new_period, std::size_t stage,
+                                  bool dilated) {
+  const SimDuration old_period = runner_->currentPeriod();
+  RTDRM_ASSERT(new_period != old_period);
+  runner_->setPeriod(new_period);
+  // Keep the measurement cadence phase-locked to the release cadence: one
+  // utilization sample just before each release, whatever the live period.
+  sampler_->setPeriod(new_period);
+  if (dilated) {
+    ++metrics_.period_dilations;
+  } else {
+    ++metrics_.period_contractions;
+  }
+  trace(sim::TraceCategory::kCustom, "period", new_period.ms());
+  obsRecord(obs::RecordKind::kPeriodAdjust,
+            dilated ? obs::kFlagAccept : std::uint8_t{0},
+            static_cast<std::uint16_t>(stage), obs::kRecordNoNode,
+            new_period.ms(), old_period.ms());
+  RTDRM_LOG(kDebug) << "period " << (dilated ? "dilated" : "contracted")
+                    << ": " << old_period.ms() << " -> " << new_period.ms()
+                    << " ms";
+  if (observer_ != nullptr) {
+    observer_->onPeriodAdjust(*this, old_period, new_period, dilated);
+  }
 }
 
 AllocationContext ResourceManager::makeContext(DataSize workload) const {

@@ -68,6 +68,19 @@ struct ManagerConfig {
   double shed_step = 0.1;
   /// Upper bound on the shed fraction (never drop more than this).
   double max_shed = 0.7;
+  /// Elastic period adjustment (extension, Dwivedi arXiv:1212.3502): when
+  /// the eq.-5/eq.-6 forecast rejects replication (allocation failure),
+  /// dilate the task's release period toward TaskSpec::max_period — the
+  /// same stream, delivered at a sustainable rate — before falling back
+  /// to shedding tracks. Sustained high slack contracts the period back
+  /// toward nominal before any resource is released. Off by default (the
+  /// paper's task set is inelastic). Requires spec.max_period > period to
+  /// have any headroom.
+  bool allow_period_adjust = false;
+  /// Dilation/contraction step as a fraction of the nominal period: each
+  /// engagement moves the live period by this much of spec.period,
+  /// clamped to [period, max_period].
+  double period_adjust_step = 0.25;
 };
 
 class ResourceManager;
@@ -113,6 +126,18 @@ class ManagerObserver {
                               const task::PeriodRecord& record) {
     (void)manager;
     (void)record;
+  }
+  /// The elastic period lever moved the live release period (already
+  /// applied to the runner when this fires). `dilated` distinguishes a
+  /// dilation (forecast rejected replication) from a contraction
+  /// (sustained high slack).
+  virtual void onPeriodAdjust(const ResourceManager& manager,
+                              SimDuration old_period, SimDuration new_period,
+                              bool dilated) {
+    (void)manager;
+    (void)old_period;
+    (void)new_period;
+    (void)dilated;
   }
 };
 
@@ -209,6 +234,9 @@ class ResourceManager {
   const ModelRefresher* refresher() const { return refresher_.get(); }
   /// Current load-shed fraction (0 unless allow_load_shedding engaged).
   double shedFraction() const { return shed_fraction_; }
+  /// Live release period (== spec().period unless the period-adjustment
+  /// lever engaged).
+  SimDuration currentPeriod() const { return runner_->currentPeriod(); }
   /// The models currently driving EQF and (for predictive) allocation —
   /// refreshed in place when online_refit is on.
   const PredictiveModels& models() const { return models_; }
@@ -216,6 +244,19 @@ class ResourceManager {
  private:
   void onRecord(const task::PeriodRecord& record);
   void onPeriodTick(std::uint64_t tick);
+  /// True when the elastic lever has dilation headroom left.
+  bool canDilatePeriod() const;
+  /// Fig.-5 second lever: dilate the release period one step toward
+  /// max_period (forecast rejected replication). Returns true when the
+  /// period actually moved (then counts as a placement-relevant change:
+  /// budgets are reassigned by the caller).
+  bool dilatePeriod(std::size_t stage);
+  /// Inverse lever on sustained high slack: contract one step back toward
+  /// the nominal period. Returns true when the period moved.
+  bool contractPeriod(std::size_t stage);
+  /// Applies `new_period` to runner + sampler, records audit/trace/
+  /// observer, updates metrics.
+  void applyPeriod(SimDuration new_period, std::size_t stage, bool dilated);
   /// Recomputes the EQF budgets from the models at workload `d`, the
   /// current replica counts, and the observed utilizations.
   void reassignBudgets(DataSize d);

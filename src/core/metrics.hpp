@@ -52,6 +52,14 @@ struct EpisodeMetrics {
   /// Fraction of the stream dropped per period (all zeros unless the
   /// load-shedding extension is enabled and engaged).
   RunningStats shed_fraction;
+  /// Live period as a multiple of the spec period, sampled per period
+  /// (all 1.0 unless the period-adjustment extension is enabled and
+  /// engaged).
+  RunningStats period_scale;
+  /// Period-adjustment actions taken (dilations toward max_period on
+  /// forecast rejection, contractions back on sustained high slack).
+  std::uint64_t period_dilations = 0;
+  std::uint64_t period_contractions = 0;
   /// Sized to the task's stage count by the ResourceManager.
   std::vector<StageMetrics> stages;
 

@@ -34,6 +34,15 @@ struct Job {
   /// Scheduling priority under SchedPolicy::kPriority: smaller value runs
   /// first and preempts larger ones. Ignored by RR/FIFO.
   int priority = 0;
+  /// Absolute completion deadline, the EDF/LLF rank (threaded from
+  /// task::TaskSpec: release + end-to-end deadline). zero() — the default —
+  /// means "no deadline": such jobs rank behind every deadline-carrying
+  /// one. Ignored by RR/FIFO/priority.
+  SimTime deadline = SimTime::zero();
+  /// Release period of the owning task, the RMS rate key (shorter period =
+  /// higher rank). zero() = aperiodic, lowest rank. Ignored by the other
+  /// policies.
+  SimDuration period = SimDuration::zero();
 };
 
 }  // namespace rtdrm::node

@@ -8,18 +8,31 @@
 
 namespace rtdrm::node {
 
-namespace {
-// Jobs whose residual demand falls below this are complete (guards against
-// floating-point dust from repeated quantum subtraction).
-constexpr double kResidualEpsMs = 1e-9;
-}  // namespace
+void ProcessorConfig::validate() const {
+  RTDRM_ASSERT_MSG(quantum > SimDuration::zero(),
+                   "quantum must be positive");
+  RTDRM_ASSERT_MSG(context_switch >= SimDuration::zero(),
+                   "context switch must be non-negative");
+  RTDRM_ASSERT_MSG(speed > 0.0, "speed must be positive");
+}
 
 Processor::Processor(sim::Simulator& simulator, ProcessorId id,
                      ProcessorConfig config)
     : sim_(simulator), id_(id), config_(config) {
-  RTDRM_ASSERT(config_.quantum > SimDuration::zero());
-  RTDRM_ASSERT(config_.context_switch >= SimDuration::zero());
-  RTDRM_ASSERT(config_.speed > 0.0);
+  config_.validate();
+  policy_ = makeSchedulerPolicy(config_.policy);
+}
+
+SchedContext Processor::schedContext() const {
+  SchedContext ctx;
+  ctx.now = sim_.now();
+  ctx.quantum = config_.quantum;
+  ctx.context_switch = config_.context_switch;
+  if (running_) {
+    ctx.stretch_len = stretch_len_;
+    ctx.stretch_elapsed = sim_.now() - stretch_start_;
+  }
+  return ctx;
 }
 
 JobId Processor::submit(Job job) {
@@ -45,23 +58,25 @@ void Processor::submitReserved(JobId id, Job job) {
 }
 
 void Processor::admit(JobId id, Job job) {
-  const int prio = job.priority;
   // Demand is reference-speed CPU time; this node serves it at its own
   // (possibly throttled) speed, so the resident's remaining counter is
   // wall service time.
   const SimDuration wall = job.demand / (config_.speed * speed_factor_);
-  queue_.push_back(Resident{id, wall, std::move(job)});
+  Resident incoming{id, wall, std::move(job)};
+  const SchedContext ctx = schedContext();
+  // The running job owns the front slot (settle/abort rely on it), so an
+  // arrival during a stretch may enter the waiting tail at the earliest.
+  const std::size_t floor = running_ ? 1 : 0;
+  std::size_t pos = policy_->insertPos(queue_, incoming, floor, ctx);
+  RTDRM_ASSERT_MSG(pos >= floor && pos <= queue_.size(),
+                   "insertPos out of range");
+  const Resident& placed = *queue_.insert(
+      queue_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(incoming));
   if (!running_) {
     dispatch();
-  } else if (config_.policy == SchedPolicy::kRoundRobin &&
-             stretch_len_ > config_.quantum + config_.context_switch) {
-    // The running job held an extended (uncontended) stretch; contention has
-    // arrived, so truncate it and fall back to quantum-granular slicing.
-    settleRunningStretch();
-    dispatch();
-  } else if (config_.policy == SchedPolicy::kPriority &&
-             prio < queue_.front().job.priority) {
-    // Preemptive priority: the newcomer outranks the running job.
+  } else if (policy_->preemptOnAdmit(queue_, placed, ctx)) {
+    // The arrival outranks (or, for RR, breaks up) the running stretch:
+    // settle the consumed span and decide afresh.
     settleRunningStretch();
     dispatch();
   }
@@ -112,7 +127,10 @@ void Processor::setSpeedFactor(double factor) {
     settleRunningStretch();
   }
   // Outstanding wall time was priced at the old effective speed; re-price
-  // it so the remaining demand is served at the new rate from now on.
+  // it so the remaining demand is served at the new rate from now on. Only
+  // the service component scales: the context-switch residue banked by the
+  // settle is fixed wall time (ProcessorConfig::context_switch semantics)
+  // and carries over unchanged.
   const double scale = speed_factor_ / factor;
   for (Resident& r : queue_) {
     r.remaining = r.remaining * scale;
@@ -125,6 +143,9 @@ SimDuration Processor::busyTime() const {
   if (!running_) {
     return busy_accum_;
   }
+  // The in-flight span is not in busy_accum_ yet (the accumulator only
+  // advances when a stretch terminates), so adding it here cannot double
+  // count — see the invariant note in the header.
   return busy_accum_ + (sim_.now() - stretch_start_);
 }
 
@@ -132,29 +153,26 @@ void Processor::dispatch() {
   if (running_ || queue_.empty()) {
     return;
   }
-  if (config_.policy == SchedPolicy::kPriority && queue_.size() > 1) {
-    // Bring the best-ranked job (lowest priority value; FIFO among equals)
-    // to the front. Stable: the scan keeps the earliest of equal rank.
-    auto best = queue_.begin();
-    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
-      if (it->job.priority < best->job.priority) {
-        best = it;
-      }
-    }
-    if (best != queue_.begin()) {
-      Resident r = std::move(*best);
-      queue_.erase(best);
-      queue_.push_front(std::move(r));
-    }
+  const std::size_t pick = policy_->pickNext(queue_, schedContext());
+  RTDRM_ASSERT_MSG(pick < queue_.size(), "pickNext out of range");
+  if (pick != 0) {
+    auto it = queue_.begin() + static_cast<std::ptrdiff_t>(pick);
+    Resident r = std::move(*it);
+    queue_.erase(it);
+    queue_.push_front(std::move(r));
   }
   Resident& head = queue_.front();
-  SimDuration service;
-  if (config_.policy != SchedPolicy::kRoundRobin || queue_.size() == 1) {
-    service = head.remaining;  // run to completion / uncontended stretch
-  } else {
-    service = std::min(config_.quantum, head.remaining);
-  }
-  stretch_len_ = service + config_.context_switch;
+  const SimDuration service =
+      policy_->slice(head, queue_.size(), schedContext());
+  // A job resuming the stretch it was settled out of only owes the
+  // unconsumed residue of that stretch's context-switch charge; any other
+  // pick is a fresh dispatch boundary and pays the full charge. The credit
+  // is single-shot: whatever this dispatch decides voids it.
+  stretch_cs_ =
+      head.id == resume_id_ ? resume_cs_ : config_.context_switch;
+  resume_id_ = kNoJob;
+  resume_cs_ = SimDuration::zero();
+  stretch_len_ = service + stretch_cs_;
   stretch_start_ = sim_.now();
   running_ = true;
   stretch_event_ =
@@ -164,8 +182,11 @@ void Processor::dispatch() {
 void Processor::onStretchEnd() {
   RTDRM_ASSERT(running_ && !queue_.empty());
   busy_accum_ += stretch_len_;
+  const SimDuration service = stretch_len_ - stretch_cs_;
+  served_accum_ += service;
+  overhead_accum_ += stretch_cs_;
   Resident& head = queue_.front();
-  head.remaining -= stretch_len_ - config_.context_switch;
+  head.remaining -= service;
   running_ = false;
 
   if (head.remaining.ms() <= kResidualEpsMs) {
@@ -175,7 +196,7 @@ void Processor::onStretchEnd() {
     if (done.on_complete) {
       done.on_complete();
     }
-  } else if (queue_.size() > 1) {
+  } else if (policy_->rotateExpired() && queue_.size() > 1) {
     // Round-robin rotation: expired quantum goes to the tail.
     Resident r = std::move(queue_.front());
     queue_.pop_front();
@@ -188,13 +209,26 @@ void Processor::settleRunningStretch() {
   RTDRM_ASSERT(running_ && !queue_.empty());
   const SimDuration elapsed = sim_.now() - stretch_start_;
   busy_accum_ += elapsed;
-  const SimDuration consumed =
-      std::max(SimDuration::zero(), elapsed - config_.context_switch);
+  // The context-switch charge is consumed first (it models the overhead of
+  // *entering* the stretch); only time past it is service.
+  const SimDuration cs_consumed = std::min(elapsed, stretch_cs_);
+  const SimDuration consumed = elapsed - cs_consumed;
+  served_accum_ += consumed;
+  overhead_accum_ += cs_consumed;
   queue_.front().remaining -= consumed;
-  // Residual dust: clamp at zero so the job completes on its next stretch.
+  // Residual dust from floating-point subtraction: clamp within the
+  // explicit tolerance so the job completes on its next stretch. Anything
+  // larger than kResidualEpsMs negative would mean the stretch served more
+  // than the job had — a scheduling bug, not dust.
   if (queue_.front().remaining < SimDuration::zero()) {
+    RTDRM_ASSERT_MSG(queue_.front().remaining.ms() >= -Processor::kResidualEpsMs,
+                     "stretch served more than the job's remaining demand");
     queue_.front().remaining = SimDuration::zero();
   }
+  // Bank the unconsumed context-switch residue for the settled job: if the
+  // next dispatch resumes it, continuing is not a new dispatch boundary.
+  resume_id_ = queue_.front().id;
+  resume_cs_ = stretch_cs_ - cs_consumed;
   sim_.cancel(stretch_event_);
   running_ = false;
 }

@@ -1,0 +1,257 @@
+#include "node/sched_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace rtdrm::node {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// EDF key: absolute deadline in ms; deadline-less jobs (background load,
+/// ablation traffic) rank behind every deadline-carrying job.
+double deadlineKeyMs(const Job& j) {
+  return j.deadline > SimTime::zero() ? j.deadline.ms() : kInf;
+}
+
+/// RMS key: release period in ms; aperiodic jobs rank last.
+double periodKeyMs(const Job& j) {
+  return j.period > SimDuration::zero() ? j.period.ms() : kInf;
+}
+
+/// LLF key: laxity = deadline - now - remaining service. Deadline-less
+/// jobs have infinite laxity.
+double laxityMs(const Resident& r, SimTime now) {
+  const double dl = deadlineKeyMs(r.job);
+  return dl == kInf ? kInf : dl - now.ms() - r.remaining.ms();
+}
+
+/// Stable index of the minimum of `key` over the queue; equal keys are
+/// resolved by the lower JobId (the one total order every job carries), so
+/// the pick is identical on every replay regardless of arrival interleave.
+template <typename KeyFn>
+std::size_t argminByKey(const std::deque<Resident>& queue, KeyFn key) {
+  std::size_t best = 0;
+  double best_key = key(queue[0]);
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    const double k = key(queue[i]);
+    if (k < best_key ||
+        (k == best_key && queue[i].id.value < queue[best].id.value)) {
+      best = i;
+      best_key = k;
+    }
+  }
+  return best;
+}
+
+class RoundRobinPolicy final : public SchedulerPolicy {
+ public:
+  SchedPolicy kind() const override { return SchedPolicy::kRoundRobin; }
+  bool preemptOnAdmit(const std::deque<Resident>&, const Resident&,
+                      const SchedContext& ctx) const override {
+    // The running job held an extended (uncontended) stretch; contention
+    // has arrived, so truncate it and fall back to quantum slicing.
+    return ctx.stretch_len > ctx.quantum + ctx.context_switch;
+  }
+  std::size_t pickNext(const std::deque<Resident>&,
+                       const SchedContext&) const override {
+    return 0;
+  }
+  SimDuration slice(const Resident& head, std::size_t queue_size,
+                    const SchedContext& ctx) const override {
+    // Uncontended: one run-to-completion stretch instead of slicing.
+    return queue_size == 1 ? head.remaining
+                           : std::min(ctx.quantum, head.remaining);
+  }
+  bool rotateExpired() const override { return true; }
+};
+
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  SchedPolicy kind() const override { return SchedPolicy::kFifo; }
+  bool preemptOnAdmit(const std::deque<Resident>&, const Resident&,
+                      const SchedContext&) const override {
+    return false;
+  }
+  std::size_t pickNext(const std::deque<Resident>&,
+                       const SchedContext&) const override {
+    return 0;
+  }
+  SimDuration slice(const Resident& head, std::size_t,
+                    const SchedContext&) const override {
+    return head.remaining;
+  }
+  bool rotateExpired() const override { return false; }
+};
+
+class StaticPriorityPolicy final : public SchedulerPolicy {
+ public:
+  SchedPolicy kind() const override { return SchedPolicy::kPriority; }
+  bool preemptOnAdmit(const std::deque<Resident>& queue,
+                      const Resident& incoming,
+                      const SchedContext&) const override {
+    // Preemptive priority: the newcomer outranks the running job.
+    return incoming.job.priority < queue.front().job.priority;
+  }
+  std::size_t pickNext(const std::deque<Resident>& queue,
+                       const SchedContext&) const override {
+    // Lowest priority value wins; FIFO among equals (stable scan keeps
+    // the earliest of equal rank).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (queue[i].job.priority < queue[best].job.priority) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  SimDuration slice(const Resident& head, std::size_t,
+                    const SchedContext&) const override {
+    return head.remaining;
+  }
+  bool rotateExpired() const override { return false; }
+};
+
+/// Common shape of EDF and RMS: a static per-job key, sorted insertion of
+/// arrivals into the waiting tail, preemption on a strictly better key.
+/// Ties never preempt (avoids churn); among equal keys the lower JobId is
+/// served first at the next dispatch.
+template <double (*KeyMs)(const Job&), SchedPolicy Kind>
+class StaticKeyPolicy final : public SchedulerPolicy {
+ public:
+  SchedPolicy kind() const override { return Kind; }
+  std::size_t insertPos(const std::deque<Resident>& queue,
+                        const Resident& incoming, std::size_t floor,
+                        const SchedContext&) const override {
+    // Keep the waiting tail sorted by (key, JobId); the front slot belongs
+    // to the running job while a stretch is in flight.
+    const double k = KeyMs(incoming.job);
+    std::size_t pos = floor;
+    while (pos < queue.size()) {
+      const double qk = KeyMs(queue[pos].job);
+      if (k < qk || (k == qk && incoming.id.value < queue[pos].id.value)) {
+        break;
+      }
+      ++pos;
+    }
+    return pos;
+  }
+  bool preemptOnAdmit(const std::deque<Resident>& queue,
+                      const Resident& incoming,
+                      const SchedContext&) const override {
+    return KeyMs(incoming.job) < KeyMs(queue.front().job);
+  }
+  std::size_t pickNext(const std::deque<Resident>& queue,
+                       const SchedContext&) const override {
+    return argminByKey(queue, [](const Resident& r) { return KeyMs(r.job); });
+  }
+  SimDuration slice(const Resident& head, std::size_t,
+                    const SchedContext&) const override {
+    // Keys are static while a job runs, so a preempted-only-by-arrivals
+    // run-to-completion stretch implements the preemptive discipline
+    // exactly.
+    return head.remaining;
+  }
+  bool rotateExpired() const override { return false; }
+};
+
+class LeastLaxityPolicy final : public SchedulerPolicy {
+ public:
+  SchedPolicy kind() const override { return SchedPolicy::kLlf; }
+  bool preemptOnAdmit(const std::deque<Resident>& queue,
+                      const Resident& incoming,
+                      const SchedContext& ctx) const override {
+    // The running head's resident `remaining` has not been charged for the
+    // in-flight stretch yet; discount the service already consumed (the
+    // context-switch charge is overhead, not progress).
+    const Resident& head = queue.front();
+    const SimDuration progressed = std::max(
+        SimDuration::zero(), ctx.stretch_elapsed - ctx.context_switch);
+    const double head_dl = deadlineKeyMs(head.job);
+    const double head_laxity =
+        head_dl == kInf
+            ? kInf
+            : head_dl - ctx.now.ms() - (head.remaining - progressed).ms();
+    return laxityMs(incoming, ctx.now) < head_laxity;
+  }
+  std::size_t pickNext(const std::deque<Resident>& queue,
+                       const SchedContext& ctx) const override {
+    return argminByKey(
+        queue, [&ctx](const Resident& r) { return laxityMs(r, ctx.now); });
+  }
+  SimDuration slice(const Resident& head, std::size_t queue_size,
+                    const SchedContext& ctx) const override {
+    // Laxities drift with time (a waiting job's laxity shrinks while the
+    // running job's stays constant), so under contention the stretch is
+    // capped at one quantum and the pick re-evaluated at each boundary.
+    return queue_size == 1 ? head.remaining
+                           : std::min(ctx.quantum, head.remaining);
+  }
+  bool rotateExpired() const override { return false; }
+};
+
+}  // namespace
+
+const char* schedPolicyName(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kRoundRobin:
+      return "rr";
+    case SchedPolicy::kFifo:
+      return "fifo";
+    case SchedPolicy::kPriority:
+      return "priority";
+    case SchedPolicy::kEdf:
+      return "edf";
+    case SchedPolicy::kRms:
+      return "rms";
+    case SchedPolicy::kLlf:
+      return "llf";
+  }
+  return "?";
+}
+
+bool parseSchedPolicy(const std::string& s, SchedPolicy* out) {
+  RTDRM_ASSERT(out != nullptr);
+  if (s == "rr" || s == "round-robin") {
+    *out = SchedPolicy::kRoundRobin;
+  } else if (s == "fifo") {
+    *out = SchedPolicy::kFifo;
+  } else if (s == "priority") {
+    *out = SchedPolicy::kPriority;
+  } else if (s == "edf") {
+    *out = SchedPolicy::kEdf;
+  } else if (s == "rms") {
+    *out = SchedPolicy::kRms;
+  } else if (s == "llf") {
+    *out = SchedPolicy::kLlf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<SchedulerPolicy> makeSchedulerPolicy(SchedPolicy kind) {
+  switch (kind) {
+    case SchedPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case SchedPolicy::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case SchedPolicy::kPriority:
+      return std::make_unique<StaticPriorityPolicy>();
+    case SchedPolicy::kEdf:
+      return std::make_unique<
+          StaticKeyPolicy<&deadlineKeyMs, SchedPolicy::kEdf>>();
+    case SchedPolicy::kRms:
+      return std::make_unique<
+          StaticKeyPolicy<&periodKeyMs, SchedPolicy::kRms>>();
+    case SchedPolicy::kLlf:
+      return std::make_unique<LeastLaxityPolicy>();
+  }
+  RTDRM_ASSERT_MSG(false, "unknown scheduling policy");
+  return nullptr;
+}
+
+}  // namespace rtdrm::node

@@ -53,12 +53,17 @@ enum class RecordKind : std::uint8_t {
                         ///< a=manager that would have decided
   kDecisionOwner,    ///< decision provenance: actions this period were made
                      ///< by manager a under epoch b
+  // ---- elastic period adjustment (extension) ------------------------------
+  // Appended last: never fires with --period-adjust off, so historical
+  // trace dumps and the golden decision projection stay byte-identical.
+  kPeriodAdjust,     ///< release period dilated/contracted: a=new period ms,
+                     ///< b=old period ms; accept flag = dilation
 };
 
 /// One past kValid's last enumerator; kept adjacent so iteration and
 /// exhaustiveness checks cannot silently miss a new kind.
 inline constexpr std::uint8_t kRecordKindCount =
-    static_cast<std::uint8_t>(RecordKind::kDecisionOwner) + 1;
+    static_cast<std::uint8_t>(RecordKind::kPeriodAdjust) + 1;
 
 /// Stable lower-case token per kind ("?" for out-of-range values).
 const char* recordKindName(RecordKind kind);

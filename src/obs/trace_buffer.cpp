@@ -65,6 +65,8 @@ const char* recordKindName(RecordKind kind) {
       return "decision-suppressed";
     case RecordKind::kDecisionOwner:
       return "decision-owner";
+    case RecordKind::kPeriodAdjust:
+      return "period-adjust";
   }
   return "?";
 }
@@ -94,6 +96,10 @@ bool isDecisionKind(RecordKind kind) {
     case RecordKind::kElection:
     case RecordKind::kDecisionSuppressed:
     case RecordKind::kDecisionOwner:
+    // Period adjustment is an adaptation action like replicate/shed; it
+    // never fires with --period-adjust off, so the golden projection of
+    // the paper configuration is untouched.
+    case RecordKind::kPeriodAdjust:
       return true;
     case RecordKind::kNodeDown:
     case RecordKind::kNodeRestart:

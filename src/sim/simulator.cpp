@@ -285,6 +285,11 @@ void PeriodicActivity::arm(SimTime at) {
   });
 }
 
+void PeriodicActivity::setPeriod(SimDuration period) {
+  RTDRM_ASSERT(period > SimDuration::zero());
+  period_ = period;
+}
+
 void PeriodicActivity::stop() {
   if (running_) {
     sim_.cancel(pending_);

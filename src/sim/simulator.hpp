@@ -233,6 +233,13 @@ class PeriodicActivity {
   void start(SimTime first);
   /// Cancel future ticks. Safe to call repeatedly or from within the tick.
   void stop();
+  /// Change the inter-tick period (elastic period adjustment). Takes
+  /// effect when the *next* tick re-arms: the already-pending occurrence
+  /// keeps its scheduled time, so a mid-cycle change never moves or
+  /// duplicates a tick. Deterministic: the new cadence depends only on
+  /// when this is called relative to the tick sequence.
+  void setPeriod(SimDuration period);
+  SimDuration period() const { return period_; }
   bool running() const { return running_; }
   std::uint64_t ticks() const { return tick_; }
 

@@ -149,6 +149,13 @@ void PipelineRun::submitReplicaJob(std::size_t s, std::size_t r,
   replica_exec_start_[r] = exec_start;
   const auto s32 = static_cast<std::uint32_t>(s);
   const auto r32 = static_cast<std::uint32_t>(r);
+  // Dynamic-priority metadata: the job's absolute deadline is this
+  // instance's release plus the task's relative deadline (EDF/LLF rank),
+  // its period the live release cadence (RMS rank). Zero config = no
+  // metadata, matching jobs from sources without timing contracts.
+  const SimTime job_deadline = config_.job_deadline > SimDuration::zero()
+                                   ? record_.release + config_.job_deadline
+                                   : SimTime::zero();
   sim::ShardedEngine* eng = rt_.engine;
   const std::size_t dst = eng ? rt_.cluster.shardOf(pid) : 0;
   if (eng != nullptr && dst != 0) {
@@ -176,7 +183,7 @@ void PipelineRun::submitReplicaJob(std::size_t s, std::size_t r,
                                           self->replica_exec_start_[r32]);
                     });
         },
-        job_tags_[s], config_.job_priority};
+        job_tags_[s], config_.job_priority, job_deadline, config_.job_period};
     eng->post(0, dst, at, [cpu, jid, job = std::move(job)]() mutable {
       cpu->submitReserved(jid, std::move(job));
     });
@@ -185,7 +192,7 @@ void PipelineRun::submitReplicaJob(std::size_t s, std::size_t r,
   const node::JobId jid = rt_.cluster.processor(pid).submit(node::Job{
       demand,
       [this, s32, r32] { onReplicaDone(s32, r32, replica_exec_start_[r32]); },
-      job_tags_[s], config_.job_priority});
+      job_tags_[s], config_.job_priority, job_deadline, config_.job_period});
   outstanding_.emplace_back(pid, jid);
 }
 

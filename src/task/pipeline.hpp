@@ -70,6 +70,16 @@ struct PipelineConfig {
   /// SchedPolicy::kPriority nodes; lower runs first). Pair with a higher
   /// BackgroundLoadConfig::priority to isolate the task from ambient load.
   int job_priority = 0;
+  /// Deadline/period metadata stamped on every CPU job for the
+  /// dynamic-priority scheduling policies (EDF/RMS/LLF). `job_deadline` is
+  /// the task's *relative* end-to-end deadline — each job carries the
+  /// absolute release + job_deadline — and `job_period` the release
+  /// period, kept in sync with the live (possibly dilated) period by the
+  /// TaskRunner. zero() = no metadata; such jobs rank behind every
+  /// deadline/period-carrying one on EDF/RMS/LLF nodes and the fields are
+  /// ignored entirely by RR/FIFO/priority.
+  SimDuration job_deadline = SimDuration::zero();
+  SimDuration job_period = SimDuration::zero();
 };
 
 class PipelineRun {

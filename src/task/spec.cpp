@@ -12,6 +12,8 @@ void TaskSpec::validate() const {
                    "need exactly n-1 inter-subtask messages");
   RTDRM_ASSERT(period > SimDuration::zero());
   RTDRM_ASSERT(deadline > SimDuration::zero());
+  RTDRM_ASSERT_MSG(max_period == SimDuration::zero() || max_period >= period,
+                   "max_period must be >= period (or zero for inelastic)");
   for (const auto& st : subtasks) {
     RTDRM_ASSERT_MSG(st.cost.alpha_ms >= 0.0 && st.cost.beta_ms >= 0.0,
                      "negative cost coefficients");

@@ -57,11 +57,21 @@ struct TaskSpec {
   SimDuration period = SimDuration::seconds(1.0);
   /// Relative end-to-end deadline (Table 1: 990 ms).
   SimDuration deadline = SimDuration::millis(990.0);
+  /// Elastic period bound (extension, Dwivedi arXiv:1212.3502): the
+  /// manager's period-adjustment lever may dilate the release period up to
+  /// this value under overload, trading rate for timeliness. zero() — the
+  /// default — means inelastic (max_period == period, the paper's model);
+  /// the lever never engages.
+  SimDuration max_period = SimDuration::zero();
   std::vector<SubtaskSpec> subtasks;
   /// messages[k] connects subtasks[k] -> subtasks[k+1]; size = n-1.
   std::vector<MessageSpec> messages;
 
   std::size_t stageCount() const { return subtasks.size(); }
+  /// The dilation ceiling: max_period when elastic, period itself when not.
+  SimDuration effectiveMaxPeriod() const {
+    return max_period > SimDuration::zero() ? max_period : period;
+  }
   void validate() const;
 };
 

@@ -18,6 +18,16 @@ TaskRunner::TaskRunner(Runtime rt, const TaskSpec& spec, Placement initial,
       on_record_(std::move(on_record)) {
   RTDRM_ASSERT(workload_ != nullptr);
   RTDRM_ASSERT(placement_.stageCount() == spec_.stageCount());
+  current_period_ = spec_.period;
+  // Default the pipeline's dynamic-priority metadata from the spec so
+  // EDF/RMS/LLF nodes see real ranks without per-caller wiring; explicit
+  // config wins (multi-task deployments may want distinct contracts).
+  if (pipeline_config_.job_deadline == SimDuration::zero()) {
+    pipeline_config_.job_deadline = spec_.deadline;
+  }
+  if (pipeline_config_.job_period == SimDuration::zero()) {
+    pipeline_config_.job_period = spec_.period;
+  }
   ticker_ = std::make_unique<sim::PeriodicActivity>(
       rt_.sim, spec_.period, [this](std::uint64_t idx) { onPeriod(idx); });
 }
@@ -30,6 +40,15 @@ TaskRunner::~TaskRunner() {
 void TaskRunner::start(SimTime first_release) { ticker_->start(first_release); }
 
 void TaskRunner::stop() { ticker_->stop(); }
+
+void TaskRunner::setPeriod(SimDuration period) {
+  RTDRM_ASSERT_MSG(period >= spec_.period &&
+                       period <= spec_.effectiveMaxPeriod(),
+                   "period outside the task's elastic bounds");
+  current_period_ = period;
+  ticker_->setPeriod(period);
+  pipeline_config_.job_period = period;  // RMS rank follows the live rate
+}
 
 std::size_t TaskRunner::activeRuns() const {
   return static_cast<std::size_t>(

@@ -50,6 +50,14 @@ class TaskRunner {
   /// Workload offered in the most recent released period.
   DataSize currentWorkload() const { return current_workload_; }
 
+  /// Elastic period adjustment (manager's second adaptation lever): change
+  /// the release cadence within [spec.period, spec.effectiveMaxPeriod()].
+  /// Takes effect from the next release (the pending one keeps its time);
+  /// new pipeline jobs carry the new period as their RMS rank.
+  void setPeriod(SimDuration period);
+  /// The live release period (== spec().period unless dilated).
+  SimDuration currentPeriod() const { return current_period_; }
+
  private:
   void onPeriod(std::uint64_t idx);
   void sweep();
@@ -66,6 +74,7 @@ class TaskRunner {
   std::vector<std::unique_ptr<PipelineRun>> runs_;
   std::uint64_t released_ = 0;
   DataSize current_workload_ = DataSize::zero();
+  SimDuration current_period_ = SimDuration::zero();
 };
 
 }  // namespace rtdrm::task

@@ -87,6 +87,80 @@ TEST(MakeFuzzScenario, CapKeepsAReplicableStage) {
   }
 }
 
+TEST(MakeFuzzScenario, SchedDimensionIsAppendOnly) {
+  // The scheduler draw is appended after every other draw: the base
+  // scenario of a seed is byte-identical with and without the dimension.
+  bool any_non_rr = false;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const FuzzScenario base = makeFuzzScenario(seed);
+    const FuzzScenario sched =
+        makeFuzzScenario(seed, {}, false, false, /*with_sched=*/true);
+    any_non_rr = any_non_rr || sched.sched != node::SchedPolicy::kRoundRobin;
+    EXPECT_EQ(base.workload_tracks, sched.workload_tracks);
+    EXPECT_EQ(base.node_count, sched.node_count);
+    EXPECT_EQ(base.spec.period.ms(), sched.spec.period.ms());
+    EXPECT_EQ(base.sched, node::SchedPolicy::kRoundRobin);
+    // The shrink cap restores the Round-Robin baseline exactly.
+    ShrinkSpec drop;
+    drop.drop_sched = true;
+    const FuzzScenario dropped =
+        makeFuzzScenario(seed, drop, false, false, /*with_sched=*/true);
+    EXPECT_EQ(dropped.sched, node::SchedPolicy::kRoundRobin);
+    EXPECT_EQ(dropped.summary(), base.summary());
+  }
+  EXPECT_TRUE(any_non_rr) << "25 seeds never drew a non-RR policy";
+}
+
+TEST(MakeFuzzScenario, PeriodAdjustDimensionIsAppendOnly) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const FuzzScenario base = makeFuzzScenario(seed);
+    const FuzzScenario elastic = makeFuzzScenario(seed, {}, false, false,
+                                                  false,
+                                                  /*with_period_adjust=*/true);
+    EXPECT_TRUE(elastic.manager.allow_period_adjust);
+    EXPECT_GT(elastic.spec.max_period, elastic.spec.period);
+    EXPECT_LE(elastic.spec.max_period.ms(), elastic.spec.period.ms() * 2.5);
+    EXPECT_EQ(base.workload_tracks, elastic.workload_tracks);
+    EXPECT_EQ(base.spec.period.ms(), elastic.spec.period.ms());
+    EXPECT_FALSE(base.manager.allow_period_adjust);
+    ShrinkSpec drop;
+    drop.drop_period_adjust = true;
+    const FuzzScenario dropped = makeFuzzScenario(seed, drop, false, false,
+                                                  false,
+                                                  /*with_period_adjust=*/true);
+    EXPECT_FALSE(dropped.manager.allow_period_adjust);
+    EXPECT_EQ(dropped.spec.max_period, SimDuration::zero());
+    EXPECT_EQ(dropped.summary(), base.summary());
+  }
+}
+
+TEST(RunFuzzSeed, SchedAndPeriodAdjustSeedsRunClean) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const FuzzOutcome out = runFuzzSeed(seed, {}, false, {}, false,
+                                        /*with_sched=*/true,
+                                        /*with_period_adjust=*/true);
+    EXPECT_FALSE(out.failed()) << "seed " << seed << ": " << out.detail;
+    EXPECT_GT(out.checks, 0u);
+  }
+}
+
+TEST(RunFuzzCase, DroppedDimensionsReproduceBaselineDigest) {
+  // The in-binary neutrality gate: generating with both new dimensions
+  // enabled but shrink-capped away must replay the exact baseline digest —
+  // the dispatch seam and the dormant lever leave no trace.
+  ShrinkSpec drop;
+  drop.drop_sched = true;
+  drop.drop_period_adjust = true;
+  for (std::uint64_t seed = 4; seed < 6; ++seed) {
+    const FuzzCaseResult base =
+        runFuzzCase(makeFuzzScenario(seed), AllocatorKind::kPredictive);
+    const FuzzCaseResult gated = runFuzzCase(
+        makeFuzzScenario(seed, drop, false, false, true, true),
+        AllocatorKind::kPredictive);
+    EXPECT_EQ(base.digest, gated.digest) << "seed " << seed;
+  }
+}
+
 TEST(TablePattern, HoldsLastLevelBeyondTable) {
   const TablePattern p({10.0, 20.0, 30.0});
   EXPECT_DOUBLE_EQ(p.at(0).count(), 10.0);
@@ -101,6 +175,11 @@ TEST(ShrinkSpec, CliFlagsRoundTripTheCaps) {
   s.max_periods = 8;
   s.flatten_workload = true;
   EXPECT_EQ(s.cliFlags(), " --max-subtasks=3 --max-periods=8 --flat");
+  s.drop_sched = true;
+  s.drop_period_adjust = true;
+  EXPECT_EQ(s.cliFlags(),
+            " --max-subtasks=3 --max-periods=8 --flat --drop-sched"
+            " --drop-period-adjust");
 }
 
 TEST(RunFuzzSeed, CleanSeedsPassBothAllocatorsAndReplay) {

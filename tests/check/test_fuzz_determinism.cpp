@@ -134,6 +134,34 @@ TEST_F(FuzzDeterminism, ManagerCrashDigestsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(FuzzDeterminism, SchedDimensionDigestsByteIdenticalAcrossThreadCounts) {
+  // The new dimensions ride the same contract: EDF/RMS/LLF dispatch
+  // decisions and the manager's period-adjust lever must be pure functions
+  // of the scenario, independent of the worker-thread count.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive
+                                               : AllocatorKind::kNonPredictive;
+    FuzzExecConfig exec;
+    exec.sim_shards = 3;
+    exec.sim_mode = parallel::SimMode::kDeterministic;
+    const FuzzScenario scenario =
+        makeFuzzScenario(seed, cappedScenario(), false, false,
+                         /*with_sched=*/true, /*with_period_adjust=*/true);
+    parallel::setThreads(1);
+    const FuzzCaseResult base = runFuzzCase(scenario, kind, nullptr, exec);
+    EXPECT_EQ(base.violations, 0u) << "seed " << seed << ": " << base.report;
+    ASSERT_FALSE(base.digest.empty());
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      parallel::setThreads(threads);
+      const FuzzCaseResult run = runFuzzCase(scenario, kind, nullptr, exec);
+      EXPECT_EQ(base.digest, run.digest)
+          << "seed " << seed << " (" << scenario.summary()
+          << "): sched-dimension digest diverged at " << threads
+          << " threads";
+    }
+  }
+}
+
 TEST_F(FuzzDeterminism, FastDigestsByteIdenticalAcrossThreadCounts) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive

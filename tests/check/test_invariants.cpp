@@ -156,6 +156,26 @@ TEST(InvariantOracle, ClusterUtilizationStaysInRange) {
   EXPECT_GE(oracle.checksRun(), 1u);
 }
 
+TEST(InvariantOracle, BusyConservationHoldsMidAndPostStretch) {
+  sim::Simulator sim;
+  node::Cluster cluster(sim, 2);
+  InvariantOracle oracle;
+  oracle.watch(cluster);
+  node::Processor& cpu = cluster.processor(ProcessorId{0});
+  cpu.submit(node::Job{SimDuration::millis(3.0), nullptr, "a"});
+  cpu.submit(node::Job{SimDuration::millis(2.0), nullptr, "b"});
+  // Mid-stretch: busyTime may exceed served+overhead by the in-flight span
+  // only.
+  sim.runUntil(SimTime::millis(1.5));
+  oracle.checkBusyConservation(cluster);
+  // Idle: the law must hold exactly on every node (including the one that
+  // never ran anything).
+  sim.runAll();
+  oracle.checkBusyConservation(cluster);
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+  EXPECT_GE(oracle.checksRun(), 2u);
+}
+
 TEST(InvariantOracle, DetectsPeriodFinishBeforeRelease) {
   InvariantOracle oracle;
   task::PeriodRecord record;

@@ -1,0 +1,244 @@
+// Elastic-period extension: when the eq.-5/eq.-6 forecast rejects
+// replication the manager dilates the release period toward
+// TaskSpec::max_period before shedding load, and contracts it back to the
+// nominal rate once slack returns — the second Fig.-5 adaptation action.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/invariants.hpp"
+#include "common/rng.hpp"
+#include "core/manager.hpp"
+
+namespace rtdrm::core {
+namespace {
+
+struct Bed {
+  explicit Bed(std::size_t nodes = 3)
+      : cluster(sim, nodes),
+        ethernet(sim, nodes, netConfig()),
+        clocks(sim, nodes, Xoshiro256(1), idealClocks()) {}
+
+  static net::EthernetConfig netConfig() {
+    net::EthernetConfig cfg;
+    cfg.host_ns_per_byte = 0.0;
+    cfg.propagation = SimDuration::zero();
+    return cfg;
+  }
+  static net::ClockSyncConfig idealClocks() {
+    net::ClockSyncConfig cfg;
+    cfg.initial_offset_max = SimDuration::zero();
+    cfg.drift_ppm_max = 0.0;
+    return cfg;
+  }
+  task::Runtime runtime() {
+    return task::Runtime{sim, cluster, ethernet, clocks};
+  }
+
+  sim::Simulator sim;
+  node::Cluster cluster;
+  net::Ethernet ethernet;
+  net::ClockFabric clocks;
+};
+
+task::TaskSpec spec(bool elastic) {
+  task::TaskSpec s;
+  s.period = SimDuration::millis(100.0);
+  s.deadline = SimDuration::millis(90.0);
+  if (elastic) {
+    s.max_period = SimDuration::millis(200.0);
+  }
+  s.subtasks = {
+      task::SubtaskSpec{"fixed", task::SubtaskCost{0.0, 1.0}, false, 0.0},
+      task::SubtaskSpec{"flex", task::SubtaskCost{0.0, 10.0}, true, 0.0}};
+  s.messages = {task::MessageSpec{8.0}};
+  return s;
+}
+
+PredictiveModels models() {
+  PredictiveModels m;
+  regress::ExecLatencyModel fixed;
+  fixed.b3 = 1.0;
+  regress::ExecLatencyModel flex;
+  flex.b3 = 10.0;
+  m.exec = {fixed, flex};
+  m.comm.buffer.k_ms_per_hundred = 0.05;
+  return m;
+}
+
+std::unique_ptr<ResourceManager> makeManager(
+    Bed& bed, const task::TaskSpec& s, task::TaskRunner::WorkloadFn workload,
+    bool period_adjust, bool shedding = false) {
+  ManagerConfig cfg;
+  cfg.d_init = DataSize::tracks(300.0);
+  cfg.allow_period_adjust = period_adjust;
+  cfg.period_adjust_step = 0.25;
+  cfg.allow_load_shedding = shedding;
+  cfg.shed_step = 0.1;
+  cfg.max_shed = 0.7;
+  return std::make_unique<ResourceManager>(
+      bed.runtime(), s, task::Placement({ProcessorId{0}, ProcessorId{1}}),
+      std::move(workload),
+      std::make_unique<PredictiveAllocator>(models()), models(), cfg,
+      Xoshiro256(7));
+}
+
+// 3 nodes, flex stage at 3000 tracks = 300 ms demand: even 3-way
+// replication cannot hold the 90 ms deadline, so every monitor round
+// rejects the forecast and reaches for the next lever.
+constexpr double kOverloadTracks = 3000.0;
+
+TEST(PeriodAdjust, DisabledKeepsNominalPeriod) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s, [](std::uint64_t) { return DataSize::tracks(kOverloadTracks); },
+      /*period_adjust=*/false);
+  mgr->start(bed.sim.now());
+  bed.sim.runFor(SimDuration::seconds(5.0));
+  mgr->stop();
+  bed.sim.runFor(SimDuration::millis(500.0));
+  EXPECT_EQ(mgr->currentPeriod(), s.period);
+  EXPECT_EQ(mgr->metrics().period_dilations, 0u);
+  EXPECT_EQ(mgr->metrics().period_contractions, 0u);
+}
+
+TEST(PeriodAdjust, InelasticSpecNeverDilates) {
+  Bed bed;
+  // Lever on, but max_period unset: effectiveMaxPeriod() == period, there
+  // is no headroom to spend.
+  const auto s = spec(/*elastic=*/false);
+  auto mgr = makeManager(
+      bed, s, [](std::uint64_t) { return DataSize::tracks(kOverloadTracks); },
+      /*period_adjust=*/true);
+  mgr->start(bed.sim.now());
+  bed.sim.runFor(SimDuration::seconds(5.0));
+  mgr->stop();
+  bed.sim.runFor(SimDuration::millis(500.0));
+  EXPECT_EQ(mgr->currentPeriod(), s.period);
+  EXPECT_EQ(mgr->metrics().period_dilations, 0u);
+}
+
+TEST(PeriodAdjust, DilatesUnderOverloadWithinBounds) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s, [](std::uint64_t) { return DataSize::tracks(kOverloadTracks); },
+      /*period_adjust=*/true);
+  mgr->start(bed.sim.now());
+  bed.sim.runFor(SimDuration::seconds(6.0));
+  mgr->stop();
+  bed.sim.runFor(SimDuration::millis(500.0));
+  const auto& m = mgr->metrics();
+  EXPECT_GT(m.period_dilations, 0u);
+  EXPECT_GT(mgr->currentPeriod(), s.period);
+  // Bounded: never beyond max_period; steps of 25 ms reach it in 4.
+  EXPECT_LE(mgr->currentPeriod(), s.max_period);
+  EXPECT_LE(m.period_dilations, 4u);
+  // The sampled scale stays inside [1, max/period].
+  EXPECT_GE(m.period_scale.min(), 1.0);
+  EXPECT_LE(m.period_scale.max(), 2.0 + 1e-12);
+}
+
+TEST(PeriodAdjust, ContractsBackWhenOverloadPasses) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s,
+      [](std::uint64_t c) {
+        return c < 20 ? DataSize::tracks(kOverloadTracks)
+                      : DataSize::tracks(150.0);
+      },
+      /*period_adjust=*/true);
+  mgr->start(bed.sim.now());
+  bed.sim.runFor(SimDuration::seconds(12.0));
+  mgr->stop();
+  bed.sim.runFor(SimDuration::millis(500.0));
+  const auto& m = mgr->metrics();
+  // Dilated during the overload...
+  EXPECT_GT(m.period_dilations, 0u);
+  // ...and contracted back to the nominal rate once slack returned.
+  EXPECT_GT(m.period_contractions, 0u);
+  EXPECT_EQ(mgr->currentPeriod(), s.period);
+}
+
+TEST(PeriodAdjust, DilationEngagesBeforeShedding) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s, [](std::uint64_t) { return DataSize::tracks(kOverloadTracks); },
+      /*period_adjust=*/true, /*shedding=*/true);
+  mgr->start(bed.sim.now());
+  bed.sim.runFor(SimDuration::seconds(8.0));
+  mgr->stop();
+  bed.sim.runFor(SimDuration::millis(500.0));
+  // Rate is spent before quality: shedding only engages once the period
+  // sits at its elastic bound.
+  EXPECT_GT(mgr->metrics().period_dilations, 0u);
+  if (mgr->shedFraction() > 0.0) {
+    EXPECT_EQ(mgr->currentPeriod(), s.max_period);
+  }
+}
+
+TEST(PeriodAdjust, OracleStaysCleanThroughDilationCycle) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s,
+      [](std::uint64_t c) {
+        return c < 20 ? DataSize::tracks(kOverloadTracks)
+                      : DataSize::tracks(150.0);
+      },
+      /*period_adjust=*/true);
+  check::InvariantOracle oracle;
+  oracle.watch(bed.sim);
+  oracle.watch(bed.cluster);
+  oracle.watch(*mgr);
+  mgr->start(bed.sim.now());
+  bed.sim.runFor(SimDuration::seconds(12.0));
+  mgr->stop();
+  bed.sim.runFor(SimDuration::millis(500.0));
+  // The full dilate/contract cycle ran...
+  EXPECT_GT(mgr->metrics().period_dilations, 0u);
+  EXPECT_GT(mgr->metrics().period_contractions, 0u);
+  // ...and every adjustment satisfied the period-bounds, step-direction and
+  // slack-discipline invariants (plus busy-conservation on every event).
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+}
+
+TEST(PeriodAdjust, OracleFlagsBackwardDilation) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s, [](std::uint64_t) { return DataSize::tracks(100.0); },
+      /*period_adjust=*/true);
+  check::InvariantOracle oracle;
+  // A "dilation" that shrinks the period lies about its direction.
+  oracle.onPeriodAdjust(*mgr, SimDuration::millis(100.0),
+                        SimDuration::millis(75.0), /*dilated=*/true);
+  EXPECT_FALSE(oracle.ok());
+  EXPECT_EQ(oracle.recorded()[0].invariant, "period-step-direction");
+}
+
+TEST(PeriodAdjust, OracleFlagsContractionWithoutSlack) {
+  Bed bed;
+  const auto s = spec(/*elastic=*/true);
+  auto mgr = makeManager(
+      bed, s, [](std::uint64_t) { return DataSize::tracks(100.0); },
+      /*period_adjust=*/true);
+  check::InvariantOracle oracle;
+  oracle.watch(*mgr);
+  // No monitor round flagged slack, yet the period contracts: the unwind
+  // discipline is violated.
+  oracle.onPeriodAdjust(*mgr, SimDuration::millis(150.0),
+                        SimDuration::millis(125.0), /*dilated=*/false);
+  EXPECT_FALSE(oracle.ok());
+  bool found = false;
+  for (const auto& v : oracle.recorded()) {
+    found = found || v.invariant == "period-contraction-without-slack";
+  }
+  EXPECT_TRUE(found) << oracle.report();
+}
+
+}  // namespace
+}  // namespace rtdrm::core

@@ -40,10 +40,17 @@ TEST_P(ProcessorRandomOps, ConservationUnderRandomSubmitAbort) {
   }
   for (const auto& [at, demand] : arrivals) {
     const int prio = static_cast<int>(rng.uniformInt(0, 4));
-    sim.scheduleAt(SimTime::millis(at), [&, demand, prio] {
+    // Rank metadata for the real-time policies: some jobs carry a
+    // deadline/period, some are best-effort (rank-last under EDF/RMS/LLF).
+    const double deadline =
+        rng.uniform(0.0, 1.0) < 0.7 ? at + rng.uniform(5.0, 60.0) : 0.0;
+    const double period =
+        rng.uniform(0.0, 1.0) < 0.7 ? rng.uniform(5.0, 50.0) : 0.0;
+    sim.scheduleAt(SimTime::millis(at), [&, demand, prio, deadline, period] {
       const JobId id = cpu.submit(
           Job{SimDuration::millis(demand), [&completed] { ++completed; },
-              "r", prio});
+              "r", prio, SimTime::millis(deadline),
+              SimDuration::millis(period)});
       ids.push_back(id);
       demand_of[id.value] = demand;
     });
@@ -77,13 +84,70 @@ TEST_P(ProcessorRandomOps, ConservationUnderRandomSubmitAbort) {
 
 INSTANTIATE_TEST_SUITE_P(
     PoliciesAndSeeds, ProcessorRandomOps,
-    ::testing::Combine(::testing::Values(0, 1, 2),  // RR, FIFO, priority
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4,
+                                         5),  // RR..priority, EDF, RMS, LLF
                        ::testing::Values(101u, 202u, 303u)));
+
+// Residual-dust property: with no aborts, every policy must serve exactly
+// what was submitted — demandServed() ends within the documented residual
+// budget (kResidualEpsMs per completed job) of the submitted total, and the
+// conservation law busyTime() == demandServed() + schedOverhead() holds
+// exactly once the processor drains, for any quantum / context-switch mix.
+using ServeParam =
+    std::tuple<int /*policy*/, double /*quantum*/, double /*cs*/>;
+
+class ServedEqualsSubmitted : public ::testing::TestWithParam<ServeParam> {};
+
+TEST_P(ServedEqualsSubmitted, NoDemandCreatedOrLost) {
+  ProcessorConfig cfg;
+  cfg.policy = static_cast<SchedPolicy>(std::get<0>(GetParam()));
+  cfg.quantum = SimDuration::millis(std::get<1>(GetParam()));
+  cfg.context_switch = SimDuration::millis(std::get<2>(GetParam()));
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+
+  Xoshiro256 rng(4242);
+  const int n = 60;
+  int completed = 0;
+  double submitted = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double at = rng.uniform(0.0, 50.0);
+    // Awkward fractions on purpose: repeated quantum subtraction must not
+    // leak more than the residual tolerance per job.
+    const double demand = rng.uniform(0.05, 4.0) / 3.0;
+    submitted += demand;
+    const double deadline = at + rng.uniform(5.0, 40.0);
+    const double period = rng.uniform(5.0, 30.0);
+    sim.scheduleAt(SimTime::millis(at), [&, demand, deadline, period] {
+      cpu.submit(Job{SimDuration::millis(demand),
+                     [&completed] { ++completed; }, "p",
+                     static_cast<int>(rng.uniformInt(0, 3)),
+                     SimTime::millis(deadline),
+                     SimDuration::millis(period)});
+    });
+  }
+  sim.runAll();
+
+  EXPECT_EQ(completed, n);
+  EXPECT_FALSE(cpu.busy());
+  EXPECT_NEAR(cpu.demandServed().ms(), submitted,
+              static_cast<double>(n) * Processor::kResidualEpsMs);
+  // Idle: the in-flight term is zero, the law must hold exactly.
+  EXPECT_NEAR(cpu.busyTime().ms(),
+              cpu.demandServed().ms() + cpu.schedOverhead().ms(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesQuantaSwitches, ServedEqualsSubmitted,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(0.3, 1.0, 2.7),
+                       ::testing::Values(0.0, 0.05)));
 
 TEST(ProcessorEquivalence, SingleJobIdenticalAcrossPolicies) {
   // An uncontended job must take exactly its demand under every policy.
-  for (const auto policy : {SchedPolicy::kRoundRobin, SchedPolicy::kFifo,
-                            SchedPolicy::kPriority}) {
+  for (const auto policy :
+       {SchedPolicy::kRoundRobin, SchedPolicy::kFifo, SchedPolicy::kPriority,
+        SchedPolicy::kEdf, SchedPolicy::kRms, SchedPolicy::kLlf}) {
     sim::Simulator sim;
     ProcessorConfig cfg;
     cfg.policy = policy;
@@ -99,8 +163,9 @@ TEST(ProcessorEquivalence, SingleJobIdenticalAcrossPolicies) {
 TEST(ProcessorEquivalence, MakespanIdenticalAcrossPolicies) {
   // Work conservation: the last completion is the total demand regardless
   // of policy (only per-job response times differ).
-  for (const auto policy : {SchedPolicy::kRoundRobin, SchedPolicy::kFifo,
-                            SchedPolicy::kPriority}) {
+  for (const auto policy :
+       {SchedPolicy::kRoundRobin, SchedPolicy::kFifo, SchedPolicy::kPriority,
+        SchedPolicy::kEdf, SchedPolicy::kRms, SchedPolicy::kLlf}) {
     sim::Simulator sim;
     ProcessorConfig cfg;
     cfg.policy = policy;

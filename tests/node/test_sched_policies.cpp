@@ -1,0 +1,353 @@
+// Behavioural tests for the pluggable real-time scheduling policies (EDF /
+// RMS / LLF), the preemption edge cases the ISSUE calls out (equal-key
+// ties, arrivals at exact stretch boundaries, laxity under throttle), and
+// the accounting regressions of the scheduler bugfix satellites
+// (context-switch wall-time semantics, mid-stretch busyTime, config
+// validation).
+#include <gtest/gtest.h>
+
+#include "node/processor.hpp"
+#include "node/sched_policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtdrm::node {
+namespace {
+
+Job timed(SimDuration demand, double* done_at, sim::Simulator& sim,
+          double deadline_ms = 0.0, double period_ms = 0.0) {
+  return Job{demand,
+             [done_at, &sim] { *done_at = sim.now().ms(); },
+             "t",
+             0,
+             SimTime::millis(deadline_ms),
+             SimDuration::millis(period_ms)};
+}
+
+// ---- EDF ----------------------------------------------------------------
+
+TEST(EdfPolicy, EarlierDeadlinePreempts) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kEdf;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(10.0), &a_done, sim, 100.0));
+  sim.scheduleAt(SimTime::millis(2.0), [&] {
+    cpu.submit(timed(SimDuration::millis(3.0), &b_done, sim, 50.0));
+  });
+  sim.runAll();
+  // B (deadline 50) preempts A (deadline 100) at t=2 and runs to
+  // completion; A resumes with its remaining 8 ms.
+  EXPECT_DOUBLE_EQ(b_done, 5.0);
+  EXPECT_DOUBLE_EQ(a_done, 13.0);
+}
+
+TEST(EdfPolicy, EqualDeadlineNeverPreempts) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kEdf;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(5.0), &a_done, sim, 100.0));
+  sim.scheduleAt(SimTime::millis(1.0), [&] {
+    cpu.submit(timed(SimDuration::millis(1.0), &b_done, sim, 100.0));
+  });
+  sim.runAll();
+  // Tie: the running job keeps its stretch (no churn), B follows.
+  EXPECT_DOUBLE_EQ(a_done, 5.0);
+  EXPECT_DOUBLE_EQ(b_done, 6.0);
+}
+
+TEST(EdfPolicy, EqualDeadlineTieBreaksByJobId) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kEdf;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  double c_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(2.0), &a_done, sim, 10.0));
+  cpu.submit(timed(SimDuration::millis(1.0), &b_done, sim, 100.0));
+  cpu.submit(timed(SimDuration::millis(1.0), &c_done, sim, 100.0));
+  sim.runAll();
+  // B and C share a deadline: the lower JobId (B, submitted first) is
+  // served first — deterministic on every replay.
+  EXPECT_DOUBLE_EQ(a_done, 2.0);
+  EXPECT_DOUBLE_EQ(b_done, 3.0);
+  EXPECT_DOUBLE_EQ(c_done, 4.0);
+}
+
+TEST(EdfPolicy, DeadlinelessJobsRankLast) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kEdf;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double bg_done = -1.0;
+  double rt_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(5.0), &bg_done, sim));  // no deadline
+  sim.scheduleAt(SimTime::millis(1.0), [&] {
+    cpu.submit(timed(SimDuration::millis(2.0), &rt_done, sim, 50.0));
+  });
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(rt_done, 3.0);
+  EXPECT_DOUBLE_EQ(bg_done, 7.0);
+}
+
+// ---- RMS ----------------------------------------------------------------
+
+TEST(RmsPolicy, ShorterPeriodPreempts) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kRms;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(4.0), &a_done, sim, 0.0, 100.0));
+  sim.scheduleAt(SimTime::millis(1.0), [&] {
+    cpu.submit(timed(SimDuration::millis(2.0), &b_done, sim, 0.0, 50.0));
+  });
+  sim.runAll();
+  // A serves 1 ms before the higher-rate B preempts at t=1; B runs 1→3
+  // and A's remaining 3 ms finish at t=6.
+  EXPECT_DOUBLE_EQ(b_done, 3.0);
+  EXPECT_DOUBLE_EQ(a_done, 6.0);
+}
+
+TEST(RmsPolicy, AperiodicJobsRankLast) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kRms;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double ap_done = -1.0;
+  double per_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(3.0), &ap_done, sim));  // aperiodic
+  sim.scheduleAt(SimTime::millis(1.0), [&] {
+    cpu.submit(timed(SimDuration::millis(2.0), &per_done, sim, 0.0, 10.0));
+  });
+  sim.runAll();
+  // The aperiodic job serves 1 ms before the periodic arrival preempts;
+  // its remaining 2 ms finish after the periodic's 2 ms slice.
+  EXPECT_DOUBLE_EQ(per_done, 3.0);
+  EXPECT_DOUBLE_EQ(ap_done, 5.0);
+}
+
+// ---- LLF ----------------------------------------------------------------
+
+TEST(LlfPolicy, LaxityReevaluatedPerQuantum) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kLlf;  // quantum 1 ms under contention
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(4.0), &a_done, sim, 10.0));
+  cpu.submit(timed(SimDuration::millis(2.0), &b_done, sim, 7.0));
+  sim.runAll();
+  // t=0: laxity B = 7-2 = 5 < A = 10-4 = 6, B preempts and runs [0,1).
+  // t=1: tie (both 5) -> lower JobId A runs [1,2).
+  // t=2: B (4) < A (5) -> B finishes [2,3); A drains alone to 6.
+  EXPECT_DOUBLE_EQ(b_done, 3.0);
+  EXPECT_DOUBLE_EQ(a_done, 6.0);
+}
+
+TEST(LlfPolicy, AdmitDiscountsInFlightProgress) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kLlf;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(10.0), &a_done, sim, 30.0));
+  sim.scheduleAt(SimTime::millis(4.0), [&] {
+    cpu.submit(timed(SimDuration::millis(2.0), &b_done, sim, 25.0));
+  });
+  sim.runAll();
+  // At t=4 the running A has already progressed 4 ms of its uncontended
+  // stretch: its live laxity is 30-4-6 = 20 (not the stale 30-4-10 = 16),
+  // so B (laxity 19) must preempt. B wins the per-quantum races until done.
+  EXPECT_DOUBLE_EQ(b_done, 7.0);
+  EXPECT_DOUBLE_EQ(a_done, 12.0);
+}
+
+TEST(LlfPolicy, ThrottleShrinksLaxityThroughRemainingWallTime) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.policy = SchedPolicy::kLlf;
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double a_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(4.0), &a_done, sim, 20.0));
+  sim.scheduleAt(SimTime::millis(1.0), [&] { cpu.setSpeedFactor(0.5); });
+  sim.runAll();
+  // 1 ms served at full speed, 3 ms of demand at half speed = 6 ms wall.
+  EXPECT_DOUBLE_EQ(a_done, 7.0);
+}
+
+// ---- arrivals at exact stretch boundaries -------------------------------
+
+TEST(StretchBoundary, ArrivalAtUncontendedCompletionTime) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});  // RR
+  double a_done = -1.0;
+  double b_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(2.0), &a_done, sim));
+  sim.scheduleAt(SimTime::millis(2.0), [&] {
+    cpu.submit(timed(SimDuration::millis(2.0), &b_done, sim));
+  });
+  sim.runAll();
+  // The completion event (scheduled first) fires before the boundary
+  // arrival: A finishes exactly at 2, B runs alone after it.
+  EXPECT_DOUBLE_EQ(a_done, 2.0);
+  EXPECT_DOUBLE_EQ(b_done, 4.0);
+  EXPECT_NEAR(cpu.busyTime().ms(), 4.0, 1e-9);
+}
+
+TEST(StretchBoundary, ArrivalAtQuantumBoundaryUnderContention) {
+  sim::Simulator sim;
+  Processor cpu(sim, ProcessorId{0});  // RR, 1 ms quantum
+  double a_done = -1.0;
+  double b_done = -1.0;
+  double c_done = -1.0;
+  cpu.submit(timed(SimDuration::millis(2.0), &a_done, sim));
+  cpu.submit(timed(SimDuration::millis(2.0), &b_done, sim));
+  sim.scheduleAt(SimTime::millis(1.0), [&] {
+    cpu.submit(timed(SimDuration::millis(1.0), &c_done, sim));
+  });
+  sim.runAll();
+  // The quantum-end event precedes the boundary arrival: A rotates first,
+  // then C joins the tail. Order after t=1: B, A(done 3), C(done 4),
+  // B(done 5) — no quantum is split or double-charged.
+  EXPECT_DOUBLE_EQ(a_done, 3.0);
+  EXPECT_DOUBLE_EQ(c_done, 4.0);
+  EXPECT_DOUBLE_EQ(b_done, 5.0);
+  EXPECT_NEAR(cpu.busyTime().ms(), 5.0, 1e-9);
+}
+
+// ---- context-switch wall-time semantics (satellite regression) ----------
+
+TEST(ContextSwitch, ThrottleDoesNotRescaleSwitchCharge) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.context_switch = SimDuration::millis(0.5);
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double done = -1.0;
+  cpu.submit(timed(SimDuration::millis(2.0), &done, sim));
+  // Mid-stretch, past the switch charge: 0.5 ms cs + 0.5 ms work consumed.
+  sim.scheduleAt(SimTime::millis(1.0), [&] { cpu.setSpeedFactor(0.5); });
+  sim.runAll();
+  // Remaining 1.5 ms of demand at half speed = 3 ms wall; the already-paid
+  // switch charge is not re-billed on resume. 1 + 3 = 4.
+  EXPECT_DOUBLE_EQ(done, 4.0);
+}
+
+TEST(ContextSwitch, ResidueCarriesAsFixedWallTimeThroughThrottle) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.context_switch = SimDuration::millis(0.5);
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  double done = -1.0;
+  cpu.submit(timed(SimDuration::millis(2.0), &done, sim));
+  // Mid context switch: 0.25 ms of the 0.5 ms charge consumed.
+  sim.scheduleAt(SimTime::millis(0.25), [&] { cpu.setSpeedFactor(0.5); });
+  sim.runAll();
+  // The unconsumed 0.25 ms of the charge is bus/cache wall time — it does
+  // NOT stretch to 0.5 ms at half CPU speed. 0.25 + (0.25 + 2/0.5) = 4.5.
+  EXPECT_DOUBLE_EQ(done, 4.5);
+  // Conservation after drain: wall service at half speed is 4 ms.
+  EXPECT_NEAR(cpu.demandServed().ms(), 4.0, 1e-9);
+  EXPECT_NEAR(cpu.schedOverhead().ms(), 0.5, 1e-9);
+  EXPECT_NEAR(cpu.busyTime().ms(), 4.5, 1e-9);
+}
+
+// ---- busyTime mid-stretch audit (satellite regression) ------------------
+
+TEST(BusyAccounting, MidStretchContendedCountsInFlightSpanOnce) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.context_switch = SimDuration::millis(0.2);
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  cpu.submit(Job{SimDuration::millis(3.0), nullptr, "a"});
+  cpu.submit(Job{SimDuration::millis(3.0), nullptr, "b"});
+  // Mid second stretch: one settled stretch (1.2) + 0.6 in flight.
+  sim.runUntil(SimTime::millis(1.8));
+  EXPECT_NEAR(cpu.busyTime().ms(), 1.8, 1e-9);
+  EXPECT_NEAR(cpu.demandServed().ms(), 1.0, 1e-9);
+  EXPECT_NEAR(cpu.schedOverhead().ms(), 0.2, 1e-9);
+  // The in-flight span is bounded by the stretch length — never negative,
+  // never counted twice.
+  const double in_flight = cpu.busyTime().ms() - cpu.demandServed().ms() -
+                           cpu.schedOverhead().ms();
+  EXPECT_GE(in_flight, 0.0);
+  EXPECT_LE(in_flight, 1.2 + 1e-9);
+  sim.runAll();
+  // Drained: 6 ms of work across 6 stretches of 0.2 ms overhead each.
+  EXPECT_NEAR(cpu.busyTime().ms(), 7.2, 1e-9);
+  EXPECT_NEAR(cpu.busyTime().ms(),
+              cpu.demandServed().ms() + cpu.schedOverhead().ms(), 1e-9);
+}
+
+TEST(BusyAccounting, MidStretchUncontendedWithSwitchCharge) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.context_switch = SimDuration::millis(0.2);
+  Processor cpu(sim, ProcessorId{0}, cfg);
+  cpu.submit(Job{SimDuration::millis(3.0), nullptr, "a"});
+  sim.runUntil(SimTime::millis(0.1));  // inside the switch charge
+  EXPECT_NEAR(cpu.busyTime().ms(), 0.1, 1e-9);
+  EXPECT_NEAR(cpu.demandServed().ms(), 0.0, 1e-9);
+  sim.runUntil(SimTime::millis(1.0));  // inside the service span
+  EXPECT_NEAR(cpu.busyTime().ms(), 1.0, 1e-9);
+  sim.runAll();
+  EXPECT_NEAR(cpu.busyTime().ms(), 3.2, 1e-9);
+  EXPECT_NEAR(cpu.demandServed().ms(), 3.0, 1e-9);
+  EXPECT_NEAR(cpu.schedOverhead().ms(), 0.2, 1e-9);
+}
+
+// ---- config validation (satellite) --------------------------------------
+
+using ProcessorConfigDeathTest = ::testing::Test;
+
+TEST(ProcessorConfigDeathTest, RejectsNonPositiveQuantum) {
+  ProcessorConfig cfg;
+  cfg.quantum = SimDuration::zero();
+  EXPECT_DEATH(cfg.validate(), "quantum must be positive");
+}
+
+TEST(ProcessorConfigDeathTest, RejectsNegativeContextSwitch) {
+  ProcessorConfig cfg;
+  cfg.context_switch = SimDuration::millis(-0.1);
+  EXPECT_DEATH(cfg.validate(), "context switch must be non-negative");
+}
+
+TEST(ProcessorConfigDeathTest, RejectsNonPositiveSpeed) {
+  ProcessorConfig cfg;
+  cfg.speed = 0.0;
+  EXPECT_DEATH(cfg.validate(), "speed must be positive");
+}
+
+TEST(ProcessorConfigDeathTest, ConstructorValidates) {
+  sim::Simulator sim;
+  ProcessorConfig cfg;
+  cfg.quantum = SimDuration::millis(-1.0);
+  EXPECT_DEATH(Processor(sim, ProcessorId{0}, cfg), "quantum");
+}
+
+// ---- name/parse round-trip ----------------------------------------------
+
+TEST(SchedPolicyNames, RoundTrip) {
+  for (const auto p :
+       {SchedPolicy::kRoundRobin, SchedPolicy::kFifo, SchedPolicy::kPriority,
+        SchedPolicy::kEdf, SchedPolicy::kRms, SchedPolicy::kLlf}) {
+    SchedPolicy parsed{};
+    ASSERT_TRUE(parseSchedPolicy(schedPolicyName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  SchedPolicy parsed{};
+  EXPECT_TRUE(parseSchedPolicy("round-robin", &parsed));
+  EXPECT_EQ(parsed, SchedPolicy::kRoundRobin);
+  EXPECT_FALSE(parseSchedPolicy("cfs", &parsed));
+}
+
+}  // namespace
+}  // namespace rtdrm::node

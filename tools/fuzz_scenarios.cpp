@@ -22,7 +22,9 @@ namespace {
 rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
                                          std::int64_t max_periods, bool flat,
                                          bool drop_faults,
-                                         bool drop_manager_faults) {
+                                         bool drop_manager_faults,
+                                         bool drop_sched,
+                                         bool drop_period_adjust) {
   rtdrm::check::ShrinkSpec shrink;
   if (max_subtasks > 0) {
     shrink.max_subtasks = static_cast<std::size_t>(max_subtasks);
@@ -33,15 +35,19 @@ rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
   shrink.flatten_workload = flat;
   shrink.drop_faults = drop_faults;
   shrink.drop_manager_faults = drop_manager_faults;
+  shrink.drop_sched = drop_sched;
+  shrink.drop_period_adjust = drop_period_adjust;
   return shrink;
 }
 
 std::string reproLine(std::uint64_t seed,
                       const rtdrm::check::ShrinkSpec& shrink, bool faults,
-                      bool manager_faults) {
+                      bool manager_faults, bool sched, bool period_adjust) {
   return "fuzz_scenarios --replay-seed=" + std::to_string(seed) +
          (faults ? " --faults" : "") +
-         (manager_faults ? " --manager-faults" : "") + shrink.cliFlags();
+         (manager_faults ? " --manager-faults" : "") +
+         (sched ? " --sched" : "") +
+         (period_adjust ? " --period-adjust" : "") + shrink.cliFlags();
 }
 
 }  // namespace
@@ -55,8 +61,12 @@ int main(int argc, char** argv) {
   bool flat = false;
   bool faults = false;
   bool manager_faults = false;
+  bool sched = false;
+  bool period_adjust = false;
   bool drop_faults = false;
   bool drop_manager_faults = false;
+  bool drop_sched = false;
+  bool drop_period_adjust = false;
   bool no_shrink = false;
   bool verbose = false;
   std::string repro_out;
@@ -86,11 +96,25 @@ int main(int argc, char** argv) {
                "grow a decentralized-plane dimension per seed (2-3 manager "
                "endpoints plus a manager crash/restart schedule)",
                &manager_faults)
+      .addFlag("sched",
+               "grow a scheduler dimension per seed (the cluster draws one "
+               "of rr/fifo/priority/edf/rms/llf)",
+               &sched)
+      .addFlag("period-adjust",
+               "grow an elastic-period dimension per seed (max_period bound "
+               "plus the manager's dilation lever)",
+               &period_adjust)
       .addFlag("drop-faults", "strip the fault schedule (shrink cap)",
                &drop_faults)
       .addFlag("drop-manager-faults",
                "strip the decentralized-plane dimension (shrink cap)",
                &drop_manager_faults)
+      .addFlag("drop-sched",
+               "back to the Round-Robin baseline scheduler (shrink cap)",
+               &drop_sched)
+      .addFlag("drop-period-adjust",
+               "strip the elastic-period dimension (shrink cap)",
+               &drop_period_adjust)
       .addFlag("no-shrink", "report failures without minimizing", &no_shrink)
       .addFlag("verbose", "print every scenario as it runs", &verbose)
       .addString("repro-out",
@@ -128,15 +152,16 @@ int main(int argc, char** argv) {
 
   const rtdrm::check::ShrinkSpec shrink =
       shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults,
-                      drop_manager_faults);
+                      drop_manager_faults, drop_sched, drop_period_adjust);
 
   if (replay_seed >= 0) {
     const auto seed = static_cast<std::uint64_t>(replay_seed);
     const rtdrm::check::FuzzScenario scenario =
-        rtdrm::check::makeFuzzScenario(seed, shrink, faults, manager_faults);
+        rtdrm::check::makeFuzzScenario(seed, shrink, faults, manager_faults,
+                                       sched, period_adjust);
     std::cout << "replaying " << scenario.summary() << "\n";
-    const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec, manager_faults);
+    const rtdrm::check::FuzzOutcome outcome = rtdrm::check::runFuzzSeed(
+        seed, shrink, faults, exec, manager_faults, sched, period_adjust);
     if (outcome.failed()) {
       std::cout << "FAIL: " << outcome.detail << "\n";
       return 1;
@@ -153,12 +178,13 @@ int main(int argc, char** argv) {
     if (verbose) {
       std::cout
           << rtdrm::check::makeFuzzScenario(seed, shrink, faults,
-                                            manager_faults)
+                                            manager_faults, sched,
+                                            period_adjust)
                  .summary()
           << std::endl;
     }
-    const rtdrm::check::FuzzOutcome outcome =
-        rtdrm::check::runFuzzSeed(seed, shrink, faults, exec, manager_faults);
+    const rtdrm::check::FuzzOutcome outcome = rtdrm::check::runFuzzSeed(
+        seed, shrink, faults, exec, manager_faults, sched, period_adjust);
     total_checks += outcome.checks;
     if (!outcome.failed()) {
       if (!verbose && (seed - first + 1) % 50 == 0) {
@@ -178,21 +204,24 @@ int main(int argc, char** argv) {
       std::cout << "shrinking...\n";
       minimal = rtdrm::check::minimize(
           seed, shrink,
-          [faults, manager_faults, &exec](std::uint64_t s,
-                                          const rtdrm::check::ShrinkSpec& c) {
+          [faults, manager_faults, sched, period_adjust,
+           &exec](std::uint64_t s, const rtdrm::check::ShrinkSpec& c) {
             return rtdrm::check::runFuzzSeed(s, c, faults, exec,
-                                             manager_faults)
+                                             manager_faults, sched,
+                                             period_adjust)
                 .failed();
           },
-          faults, manager_faults);
+          faults, manager_faults, sched, period_adjust);
       std::cout << "minimal scenario: "
                 << rtdrm::check::makeFuzzScenario(seed, minimal, faults,
-                                                  manager_faults)
+                                                  manager_faults, sched,
+                                                  period_adjust)
                        .summary()
                 << "\n";
     }
     const std::string repro = reproLine(seed, minimal, faults,
-                                        manager_faults);
+                                        manager_faults, sched,
+                                        period_adjust);
     std::cout << "reproduce with:\n  " << repro << "\n";
     if (!repro_out.empty()) {
       std::ofstream out(repro_out);

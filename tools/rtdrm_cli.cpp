@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "experiments/episode.hpp"
 #include "experiments/model_store.hpp"
+#include "node/sched_policy.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "profile/dataset.hpp"
@@ -115,6 +116,20 @@ int parseAlgorithm(const std::string& s, experiments::AlgorithmKind* out) {
   return 1;
 }
 
+/// Parses --period-adjust ("off" | "on"). Returns 0, or 1 on a bad value.
+int parsePeriodAdjust(const std::string& s, bool* out) {
+  if (s == "off") {
+    *out = false;
+    return 0;
+  }
+  if (s == "on") {
+    *out = true;
+    return 0;
+  }
+  std::cerr << "unknown period-adjust mode '" << s << "' (off | on)\n";
+  return 1;
+}
+
 /// Applies the shared execution flags (--threads, --sim-mode,
 /// --lookahead) to the process-wide parallel configuration. Returns 0, or
 /// 1 on a bad mode/policy.
@@ -151,6 +166,8 @@ int cmdEpisode(int argc, const char* const* argv) {
   bool refit = false;
   bool histogram = false;
   std::string trace_out;
+  std::string sched = "rr";
+  std::string period_adjust = "off";
   std::int64_t managers = 1;
   std::int64_t manager_fault = 0;
   std::int64_t manager_fault_target = 0;
@@ -185,6 +202,14 @@ int cmdEpisode(int argc, const char* const* argv) {
                  "restart the crashed endpoint this many periods after the "
                  "crash (0 = never)",
                  &manager_restart)
+      .addString("sched",
+                 "node scheduling policy: rr | fifo | priority | edf | rms "
+                 "| llf",
+                 &sched)
+      .addString("period-adjust",
+                 "off | on (elastic period dilation when the forecast "
+                 "rejects replication)",
+                 &period_adjust)
       .addFlag("refit", "enable online model refinement", &refit)
       .addFlag("histogram", "print the end-to-end latency histogram",
                &histogram)
@@ -217,6 +242,16 @@ int cmdEpisode(int argc, const char* const* argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, shards));
   cfg.scenario.sim_mode = parallel::config().sim_mode;
   cfg.scenario.sim_lookahead = parallel::config().lookahead;
+  if (!node::parseSchedPolicy(sched, &cfg.scenario.cpu.policy)) {
+    std::cerr << "unknown scheduling policy '" << sched
+              << "' (rr | fifo | priority | edf | rms | llf)\n";
+    return 1;
+  }
+  cfg.scenario.cpu.validate();
+  if (parsePeriodAdjust(period_adjust, &cfg.manager.allow_period_adjust) !=
+      0) {
+    return 1;
+  }
   cfg.manager.online_refit = refit;
   if (pattern == "decreasing") {
     cfg.manager.d_init = ramp.max_workload;
@@ -284,6 +319,8 @@ int cmdSweep(int argc, const char* const* argv) {
   std::int64_t shards = 1;
   std::string sim_mode = "det";
   std::string lookahead = "adaptive";
+  std::string sched = "rr";
+  std::string period_adjust = "off";
   bool serial = false;
   ArgParser args("rtdrm sweep",
                  "both algorithms across max workloads (Figs. 9/10 style)");
@@ -302,6 +339,14 @@ int cmdSweep(int argc, const char* const* argv) {
       .addString("lookahead",
                  "static | adaptive (sharded barrier-window sizing)",
                  &lookahead)
+      .addString("sched",
+                 "node scheduling policy: rr | fifo | priority | edf | rms "
+                 "| llf",
+                 &sched)
+      .addString("period-adjust",
+                 "off | on (elastic period dilation when the forecast "
+                 "rejects replication)",
+                 &period_adjust)
       .addFlag("serial", "run sweep points one at a time", &serial);
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
@@ -319,6 +364,16 @@ int cmdSweep(int argc, const char* const* argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, shards));
   cfg.episode.scenario.sim_mode = parallel::config().sim_mode;
   cfg.episode.scenario.sim_lookahead = parallel::config().lookahead;
+  if (!node::parseSchedPolicy(sched, &cfg.episode.scenario.cpu.policy)) {
+    std::cerr << "unknown scheduling policy '" << sched
+              << "' (rr | fifo | priority | edf | rms | llf)\n";
+    return 1;
+  }
+  cfg.episode.scenario.cpu.validate();
+  if (parsePeriodAdjust(period_adjust,
+                        &cfg.episode.manager.allow_period_adjust) != 0) {
+    return 1;
+  }
   cfg.replications = static_cast<std::size_t>(std::max<std::int64_t>(
       1, replications));
   cfg.parallel = !serial;
