@@ -1,0 +1,235 @@
+// Extension — network fabrics × workload families.
+//
+// The paper evaluates on a single shared 100 Mbps bus. This bench crosses
+// the network substrate —
+//
+//   * bus:       the paper's shared Ethernet, one collision domain,
+//   * line-2:    two switch segments in a chain, store-and-forward,
+//   * star-3:    three segments behind a hub switch,
+//
+// with the workload families (paper triangular ramp / heavy-tailed Pareto
+// arrivals / correlated multi-sensor surges / paper ramp plus co-hosted
+// contender flows) for both allocators, reporting the combined metric C
+// per cell — the C surface that says whether the predictive algorithm's
+// advantage survives bounded switch buffers, multi-hop latency and bursty
+// arrivals it was never tuned for.
+//
+// A neutrality run asserts in-binary that the explicit baseline flags
+// (--net bus --workload paper) reproduce the default-config episode
+// exactly — the NetworkModel seam must not perturb the paper runs. A shape
+// check asserts the predictive allocator keeps a mean C no worse than the
+// non-predictive one across the surface. Emits bench_out/ext_fabric.csv
+// and BENCH_fabric.json.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/fabric.hpp"
+#include "workload/generators.hpp"
+#include "workload/patterns.hpp"
+
+using namespace rtdrm;
+
+namespace {
+
+struct TopoCell {
+  std::string name;
+  net::NetKind kind = net::NetKind::kBus;
+  std::size_t segments = 1;
+  net::FabricTopology topology = net::FabricTopology::kLine;
+};
+
+experiments::EpisodeConfig makeEpisode(const TopoCell& topo,
+                                       workload::WorkloadMix mix) {
+  experiments::EpisodeConfig cfg;
+  cfg.periods = 72;
+  cfg.scenario.net_kind = topo.kind;
+  if (topo.kind == net::NetKind::kSwitched) {
+    cfg.scenario.fabric.segments = topo.segments;
+    cfg.scenario.fabric.topology = topo.topology;
+  }
+  cfg.workload_mix = mix;
+  if (mix == workload::WorkloadMix::kMulti) {
+    cfg.contenders.flows = 3;
+    cfg.contenders.period = SimDuration::millis(10.0);
+  }
+  return cfg;
+}
+
+experiments::EpisodeResult runCell(const task::TaskSpec& spec,
+                                   const core::PredictiveModels& models,
+                                   experiments::AlgorithmKind algorithm,
+                                   const experiments::EpisodeConfig& cfg) {
+  // The offered pattern only matters for kPaper/kMulti; kPareto/kSurge
+  // replace it with their generator, seeded from the scenario seed.
+  workload::RampParams ramp;
+  ramp.min_workload = DataSize::tracks(500.0);
+  ramp.max_workload = DataSize::tracks(20.0 * 500.0);
+  ramp.ramp_periods = 30;
+  const workload::Triangular pat(ramp);
+  return runEpisode(spec, pat, models, algorithm, cfg);
+}
+
+bool sameEpisode(const experiments::EpisodeResult& a,
+                 const experiments::EpisodeResult& b) {
+  return a.missed_pct == b.missed_pct && a.cpu_pct == b.cpu_pct &&
+         a.net_pct == b.net_pct && a.avg_replicas == b.avg_replicas &&
+         a.combined == b.combined &&
+         a.metrics.replicate_actions == b.metrics.replicate_actions &&
+         a.metrics.shutdown_actions == b.metrics.shutdown_actions &&
+         a.metrics.allocation_failures == b.metrics.allocation_failures;
+}
+
+}  // namespace
+
+int main() {
+  const auto& spec = bench::aawSpec();
+  const auto& fitted = bench::fittedModels();
+
+  printBanner(std::cout,
+              "Network fabrics x workload families, both allocators "
+              "(72 periods, triangular 20x where the pattern applies)");
+
+  // In-binary neutrality: a default-constructed episode (net/workload
+  // fields untouched) and the explicit baseline (--net bus --workload
+  // paper) must be the same episode bit for bit.
+  const TopoCell bus{"bus", net::NetKind::kBus, 1, net::FabricTopology::kLine};
+  const experiments::EpisodeResult control =
+      runCell(spec, fitted.models, experiments::AlgorithmKind::kPredictive,
+              [] {
+                experiments::EpisodeConfig cfg;
+                cfg.periods = 72;
+                return cfg;
+              }());
+  const bool neutrality_ok = sameEpisode(
+      control,
+      runCell(spec, fitted.models, experiments::AlgorithmKind::kPredictive,
+              makeEpisode(bus, workload::WorkloadMix::kPaper)));
+  if (!neutrality_ok) {
+    std::cout << "NEUTRALITY VIOLATION: --net bus --workload paper diverged "
+                 "from the default-config episode\n";
+  }
+
+  const std::vector<TopoCell> topologies = {
+      bus,
+      {"line-2", net::NetKind::kSwitched, 2, net::FabricTopology::kLine},
+      {"star-3", net::NetKind::kSwitched, 3, net::FabricTopology::kStar},
+  };
+  const std::vector<workload::WorkloadMix> mixes = {
+      workload::WorkloadMix::kPaper, workload::WorkloadMix::kPareto,
+      workload::WorkloadMix::kSurge, workload::WorkloadMix::kMulti};
+  const std::vector<experiments::AlgorithmKind> algorithms = {
+      experiments::AlgorithmKind::kPredictive,
+      experiments::AlgorithmKind::kNonPredictive};
+
+  Table t({"net", "workload", "algorithm", "missed %", "net %",
+           "avg replicas", "combined C"},
+          3);
+  std::ostringstream json_rows;
+  double best_c = 1e18;
+  std::string best_cell;
+  double mean_c_predictive = 0.0;
+  double mean_c_nonpredictive = 0.0;
+  std::size_t cells = 0;
+  for (const TopoCell& topo : topologies) {
+    for (const workload::WorkloadMix mix : mixes) {
+      for (const experiments::AlgorithmKind algorithm : algorithms) {
+        const experiments::EpisodeResult r = runCell(
+            spec, fitted.models, algorithm, makeEpisode(topo, mix));
+        const std::string alg = experiments::algorithmName(algorithm);
+        t.addRow({topo.name, std::string(workload::workloadMixName(mix)), alg,
+                  r.missed_pct, r.net_pct, r.avg_replicas, r.combined});
+        if (!json_rows.str().empty()) {
+          json_rows << ",\n";
+        }
+        json_rows << "    { \"net\": \"" << topo.name << "\", \"workload\": \""
+                  << workload::workloadMixName(mix) << "\", \"algorithm\": \""
+                  << alg << "\", \"missed_pct\": " << std::fixed
+                  << std::setprecision(3) << r.missed_pct
+                  << ", \"net_pct\": " << r.net_pct
+                  << ", \"avg_replicas\": " << r.avg_replicas
+                  << ", \"combined\": " << std::setprecision(4) << r.combined
+                  << " }";
+        if (algorithm == experiments::AlgorithmKind::kPredictive) {
+          mean_c_predictive += r.combined;
+          ++cells;
+          if (r.combined < best_c) {
+            best_c = r.combined;
+            best_cell = topo.name + "/" + workload::workloadMixName(mix);
+          }
+        } else {
+          mean_c_nonpredictive += r.combined;
+        }
+      }
+    }
+  }
+  t.print(std::cout);
+  mean_c_predictive /= static_cast<double>(cells);
+  mean_c_nonpredictive /= static_cast<double>(cells);
+
+  bool ok = neutrality_ok;
+  if (mean_c_predictive > mean_c_nonpredictive + 1e-9) {
+    std::cout << "Shape check FAILED: the predictive allocator's mean C ("
+              << mean_c_predictive << ") is worse than non-predictive ("
+              << mean_c_nonpredictive << ") across the fabric surface.\n";
+    ok = false;
+  }
+
+  std::filesystem::create_directories("bench_out");
+  if (t.writeCsv("bench_out/ext_fabric.csv")) {
+    std::cout << "(series written to bench_out/ext_fabric.csv)\n";
+  }
+
+  {
+    const net::SwitchedFabricConfig defaults{};
+    std::ofstream json("BENCH_fabric.json");
+    json << "{\n"
+         << "  \"benchmark\": \"bench_ext_fabric\",\n"
+         << "  \"description\": \"Network substrates (shared bus / 2-segment "
+            "switched line / 3-segment switched star) crossed with workload "
+            "families (paper triangular ramp, heavy-tailed Pareto arrivals, "
+            "correlated multi-sensor surges, ramp plus co-hosted contender "
+            "flows) for both allocators on the Table-1 cluster, reporting "
+            "the paper's combined metric C per cell (smaller is better). "
+            "Simulation-deterministic (no wall-clock).\",\n"
+         << "  \"config\": {\n"
+         << "    \"periods\": 72,\n"
+         << "    \"ramp_periods\": 30,\n"
+         << "    \"paper_workload_units_x500\": 20,\n"
+         << "    \"port_buffer_frames\": " << defaults.port_buffer_frames
+         << ",\n"
+         << "    \"switch_latency_us\": " << std::fixed << std::setprecision(1)
+         << defaults.switch_latency.ms() * 1000.0 << ",\n"
+         << "    \"contender_flows\": 3,\n"
+         << "    " << bench::runContextJson() << "\n"
+         << "  },\n"
+         << "  \"headline\": {\n"
+         << "    \"best_cell\": \"" << best_cell << "\",\n"
+         << "    \"best_combined\": " << std::setprecision(4) << best_c
+         << ",\n"
+         << "    \"mean_combined_predictive\": " << mean_c_predictive << ",\n"
+         << "    \"mean_combined_nonpredictive\": " << mean_c_nonpredictive
+         << "\n"
+         << "  },\n"
+         << "  \"rows\": [\n"
+         << json_rows.str() << "\n  ],\n"
+         << "  \"neutrality\": \"" << (neutrality_ok ? "PASSED" : "FAILED")
+         << ": --net bus --workload paper reproduces the default-config "
+            "episode bit for bit\"\n"
+         << "}\n";
+    std::cout << "(headline written to BENCH_fabric.json)\n";
+  }
+
+  if (ok) {
+    std::cout << "\nShape check PASSED: baseline flags are neutral and the "
+                 "predictive allocator holds a mean C no worse than "
+                 "non-predictive across every fabric and workload family.\n";
+  }
+  return ok ? 0 : 1;
+}

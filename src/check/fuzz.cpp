@@ -69,6 +69,12 @@ std::string ShrinkSpec::cliFlags() const {
   if (drop_period_adjust) {
     out += " --drop-period-adjust";
   }
+  if (drop_net_topology) {
+    out += " --drop-net-topology";
+  }
+  if (drop_workload_mix) {
+    out += " --drop-workload-mix";
+  }
   return out;
 }
 
@@ -109,12 +115,24 @@ std::string FuzzScenario::summary() const {
     os << " +period-adjust(max=" << spec.effectiveMaxPeriod().ms()
        << "ms step=" << manager.period_adjust_step << ")";
   }
+  if (net_kind == net::NetKind::kSwitched) {
+    os << " net=switched(" << fabric.segments << "x"
+       << net::fabricTopologyName(fabric.topology)
+       << " buf=" << fabric.port_buffer_frames << ")";
+  }
+  if (workload_mix != workload::WorkloadMix::kPaper) {
+    os << " workload=" << workload::workloadMixName(workload_mix);
+    if (workload_mix == workload::WorkloadMix::kMulti) {
+      os << "(" << contenders.flows << " flows)";
+    }
+  }
   return os.str();
 }
 
 FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
                               bool with_faults, bool with_manager_faults,
-                              bool with_sched, bool with_period_adjust) {
+                              bool with_sched, bool with_period_adjust,
+                              bool with_net_topology, bool with_workload_mix) {
   // Every draw below happens unconditionally and in a fixed order, so the
   // same seed yields the same scenario no matter which caps apply.
   RngStreams streams(seed);
@@ -336,6 +354,27 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
   const double max_period_mult = g.uniform(1.25, 2.5);
   const double period_step_draw = g.uniform(0.1, 0.5);
 
+  // Network-topology and workload-mix draws: appended after the sched and
+  // elastic-period draws, so dropping either dimension reproduces the base
+  // scenario (and every narrower dimension stack) byte for byte.
+  const bool net_switched_draw = g.uniform01() < 0.75;
+  const auto segments_draw =
+      static_cast<std::size_t>(g.uniformInt(2, 4));
+  const auto topo_draw = g.uniform01() < 0.5 ? net::FabricTopology::kLine
+                                             : net::FabricTopology::kStar;
+  const auto port_buffer_draw =
+      static_cast<std::size_t>(g.uniformInt(8, 48));
+  const auto mix_draw = static_cast<workload::WorkloadMix>(g.uniformInt(
+      1, static_cast<std::int64_t>(workload::WorkloadMix::kMulti)));
+  const double pareto_tail_draw = g.uniform(1.2, 2.5);
+  const double pareto_scale_draw = g.uniform(0.2, 0.8);
+  const double surge_join_draw = g.uniform(0.3, 1.0);
+  const auto surge_sensors_draw =
+      static_cast<std::size_t>(g.uniformInt(2, 5));
+  const auto contender_flows_draw =
+      static_cast<std::size_t>(g.uniformInt(1, 4));
+  const double contender_payload_draw = g.uniform(4000.0, 40000.0);
+
   const bool apply_faults = with_faults && !shrink.drop_faults;
   const bool apply_manager_faults =
       with_manager_faults && !shrink.drop_manager_faults;
@@ -367,6 +406,46 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink,
     s.spec.max_period = SimDuration::millis(period_ms * max_period_mult);
     s.manager.allow_period_adjust = true;
     s.manager.period_adjust_step = period_step_draw;
+  }
+  if (with_net_topology && !shrink.drop_net_topology && net_switched_draw) {
+    s.net_kind = net::NetKind::kSwitched;
+    s.fabric.segments = std::min(segments_draw, s.node_count);
+    s.fabric.topology = topo_draw;
+    s.fabric.port_buffer_frames = port_buffer_draw;
+  }
+  if (with_workload_mix && !shrink.drop_workload_mix) {
+    s.workload_mix = mix_draw;
+    if (mix_draw == workload::WorkloadMix::kPareto) {
+      // Heavy-tailed rewrite of the offered table, anchored on the band
+      // already drawn for the base scenario. Generator draws are pure
+      // per-period functions, so the rewrite itself consumes no RNG state.
+      workload::ParetoParams pp;
+      pp.floor = DataSize::tracks(min_tracks);
+      pp.scale = DataSize::tracks(max_tracks * pareto_scale_draw);
+      pp.tail_index = pareto_tail_draw;
+      pp.cap = DataSize::tracks(max_tracks * 4.0);
+      const workload::ParetoArrivals gen(pp, seed);
+      for (std::uint64_t p = 0; p < periods_full; ++p) {
+        s.workload_tracks[p] = gen.at(p).count();
+      }
+    } else if (mix_draw == workload::WorkloadMix::kSurge) {
+      workload::SurgeParams sp;
+      sp.baseline = DataSize::tracks(min_tracks);
+      sp.amplitude = DataSize::tracks(
+          (max_tracks - min_tracks) /
+          static_cast<double>(surge_sensors_draw));
+      sp.join_probability = surge_join_draw;
+      const workload::CorrelatedSurge gen(sp, surge_sensors_draw, seed);
+      const auto fused = gen.fusedPattern();
+      for (std::uint64_t p = 0; p < periods_full; ++p) {
+        s.workload_tracks[p] = fused->at(p).count();
+      }
+    } else {  // kMulti keeps the table; contender flows ride the substrate
+      s.contenders.flows = contender_flows_draw;
+      s.contenders.payload = Bytes::of(contender_payload_draw);
+      s.contenders.period = SimDuration::millis(period_ms * 0.25);
+      s.contenders.seed = seed ^ 0x9E3779B97F4A7C15ULL;
+    }
   }
 
   // ---- all RNG draws done; apply the shrink caps by truncation ----------
@@ -427,6 +506,8 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   sc.node_count = scenario.node_count;
   sc.seed = scenario.seed;
   sc.cpu.policy = scenario.sched;
+  sc.net_kind = scenario.net_kind;
+  sc.fabric = scenario.fabric;
   // The fuzz plan drives per-node targets itself.
   sc.ambient_load = Utilization::zero();
   sc.sim_shards = exec.sim_shards;
@@ -489,7 +570,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   InvariantOracle oracle(oracle_config);
   oracle.watch(testbed.sim());
   oracle.watch(testbed.cluster());
-  oracle.watch(testbed.ethernet());
+  oracle.watch(testbed.net());
   oracle.watch(ledger);
 
   core::ResourceManager manager(
@@ -515,7 +596,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     pc.gossip_interval = scenario.spec.period * 0.2;
     pc.staleness_bound = scenario.spec.period * 0.8;
     plane = std::make_unique<core::ManagementPlane>(
-        testbed.sim(), testbed.ethernet(), testbed.cluster(), pc);
+        testbed.sim(), testbed.net(), testbed.cluster(), pc);
     plane->adopt(manager);
     if (obs != nullptr) {
       plane->attachObs(*obs);
@@ -532,7 +613,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   std::unique_ptr<fault::FailureDetector> mgr_detector;
   if (!scenario.faults.empty()) {
     injector = std::make_unique<fault::FaultInjector>(
-        testbed.sim(), testbed.cluster(), &testbed.ethernet(),
+        testbed.sim(), testbed.cluster(), &testbed.net(),
         &testbed.clocks(), scenario.faults);
     if (plane != nullptr) {
       injector->setManagerFaultTarget(
@@ -544,7 +625,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     oracle.watch(*injector);
     injector->arm();
     detector = std::make_unique<fault::FailureDetector>(
-        testbed.sim(), testbed.cluster(), testbed.ethernet(),
+        testbed.sim(), testbed.cluster(), testbed.net(),
         scenario.detector,
         [&manager, &cluster = testbed.cluster(),
          p = plane.get()](ProcessorId pid) {
@@ -585,10 +666,21 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
           [p = plane.get(), mi] { return p->endpointReachable(mi); }});
     }
     mgr_detector = std::make_unique<fault::FailureDetector>(
-        testbed.sim(), testbed.ethernet(), scenario.detector,
+        testbed.sim(), testbed.net(), scenario.detector,
         std::move(targets),
         [p = plane.get()](std::uint32_t m) { p->onManagerSuspected(m); },
         [p = plane.get()](std::uint32_t m) { p->onManagerRecovered(m); });
+  }
+
+  // Multi-pipeline mix: contender flows posting on the network substrate,
+  // contending with the pipeline (and heartbeats) for fabric capacity.
+  // Their draws are pure functions of (contender seed, flow, tick), so
+  // they never perturb any other component's RNG stream.
+  std::unique_ptr<workload::ContenderTraffic> contenders;
+  if (scenario.workload_mix == workload::WorkloadMix::kMulti) {
+    contenders = std::make_unique<workload::ContenderTraffic>(
+        testbed.sim(), testbed.net(), scenario.node_count,
+        scenario.contenders);
   }
 
   std::unique_ptr<sim::PeriodicActivity> poster;
@@ -603,6 +695,9 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
         });
   }
 
+  if (contenders != nullptr) {
+    contenders->start();
+  }
   manager.start(testbed.sim().now());
   if (plane != nullptr) {
     plane->start(testbed.sim().now());
@@ -644,6 +739,23 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     out.report = oracle.report();
   }
 
+  // Fabric frame conservation: the NACK path delays frames, it never
+  // destroys them, so at every instant (including now, mid-drain if
+  // anything is still queued) chunked == arrived + live recount.
+  if (scenario.net_kind == net::NetKind::kSwitched) {
+    const net::SwitchedFabric& fab = testbed.fabric();
+    ++out.checks;
+    if (fab.framesOriginated() !=
+        fab.framesArrived() + fab.framesInFabric()) {
+      ++out.violations;
+      out.report += "fabric frame conservation violated: originated=" +
+                    std::to_string(fab.framesOriginated()) +
+                    " arrived=" + std::to_string(fab.framesArrived()) +
+                    " in-fabric=" + std::to_string(fab.framesInFabric()) +
+                    "\n";
+    }
+  }
+
   // Byte-exact digest of everything observable about the run.
   std::string& d = out.digest;
   for (const sim::TraceEvent& e : trace.events()) {
@@ -666,9 +778,9 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   appendCount(d, m.shutdown_actions);
   appendCount(d, m.allocation_failures);
   appendCount(d, trace.dropped());
-  appendCount(d, testbed.ethernet().messagesDelivered());
-  appendCount(d, testbed.ethernet().framesOnWire());
-  appendHex(d, testbed.ethernet().payloadBytesCarried());
+  appendCount(d, testbed.net().messagesDelivered());
+  appendCount(d, testbed.net().framesOnWire());
+  appendHex(d, testbed.net().payloadBytesCarried());
   appendHex(d, testbed.sim().now().ms());
   appendCount(d, oracle.checksRun());
   if (injector != nullptr) {
@@ -679,8 +791,8 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     appendCount(d, detector->acksReceived());
     appendCount(d, detector->declaredDead());
     appendCount(d, detector->declaredRecovered());
-    appendCount(d, testbed.ethernet().framesLost());
-    appendCount(d, testbed.ethernet().framesDuplicated());
+    appendCount(d, testbed.net().framesLost());
+    appendCount(d, testbed.net().framesDuplicated());
     appendCount(d, testbed.clocks().syncRoundsSkipped());
     appendCount(d, m.node_failures_handled);
     appendCount(d, m.failover_replacements);
@@ -715,6 +827,24 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
       appendCount(d, mgr_detector->declaredRecovered());
     }
   }
+  // Fabric and workload-mix sections: keyed on the scenario and absent in
+  // the baseline configuration, so every historical digest is untouched.
+  if (scenario.net_kind == net::NetKind::kSwitched) {
+    const net::SwitchedFabric& fab = testbed.fabric();
+    d += net::fabricTopologyName(scenario.fabric.topology);
+    d += ',';
+    appendCount(d, scenario.fabric.segments);
+    appendCount(d, fab.framesOriginated());
+    appendCount(d, fab.framesArrived());
+    appendCount(d, fab.framesDropped());
+  }
+  if (scenario.workload_mix != workload::WorkloadMix::kPaper) {
+    d += workload::workloadMixName(scenario.workload_mix);
+    d += ',';
+    if (contenders != nullptr) {
+      appendCount(d, contenders->messagesPosted());
+    }
+  }
 
   // Observability reconciliation: the obs trace/registry, EpisodeMetrics,
   // and the oracle's independent observation counters must tell the same
@@ -722,7 +852,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
   // never perturb it.
   if (obs != nullptr) {
     testbed.sim().exportMetrics(obs->metrics);
-    testbed.ethernet().exportMetrics(obs->metrics);
+    testbed.net().exportMetrics(obs->metrics);
     testbed.cluster().exportMetrics(obs->metrics);
     manager.exportMetrics(obs->metrics);
     if (detector != nullptr) {
@@ -747,7 +877,7 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
     const obs::Counter* delivered =
         obs->metrics.findCounter("net.messages_delivered");
     reconcile(r, "deliveries", delivered != nullptr ? delivered->value() : 0,
-              testbed.ethernet().messagesDelivered(),
+              testbed.net().messagesDelivered(),
               oracle.receiptsObserved());
     const obs::Counter* reg_misses =
         obs->metrics.findCounter("core.missed_deadlines");
@@ -766,10 +896,12 @@ FuzzCaseResult runFuzzCase(const FuzzScenario& scenario, AllocatorKind kind,
 FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
                         bool with_faults, const FuzzExecConfig& exec,
                         bool with_manager_faults, bool with_sched,
-                        bool with_period_adjust) {
+                        bool with_period_adjust, bool with_net_topology,
+                        bool with_workload_mix) {
   const FuzzScenario scenario =
       makeFuzzScenario(seed, shrink, with_faults, with_manager_faults,
-                       with_sched, with_period_adjust);
+                       with_sched, with_period_adjust, with_net_topology,
+                       with_workload_mix);
   FuzzOutcome out;
   for (const AllocatorKind kind :
        {AllocatorKind::kPredictive, AllocatorKind::kNonPredictive}) {
@@ -802,16 +934,36 @@ FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink,
 ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
                     const FailsFn& fails, bool with_faults,
                     bool with_manager_faults, bool with_sched,
-                    bool with_period_adjust) {
+                    bool with_period_adjust, bool with_net_topology,
+                    bool with_workload_mix) {
   ShrinkSpec current = initial;
   bool improved = true;
   while (improved) {
     improved = false;
     const FuzzScenario s = makeFuzzScenario(seed, current);
 
-    // Simplest explanation first: does the failure survive on the baseline
-    // scheduler, without the elastic lever, without the decentralized-plane
+    // Simplest explanation first: does the failure survive on the shared
+    // bus, with the paper workload family, on the baseline scheduler,
+    // without the elastic lever, without the decentralized-plane
     // dimension, or without any faults at all?
+    if (with_net_topology && !current.drop_net_topology) {
+      ShrinkSpec c = current;
+      c.drop_net_topology = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+        continue;
+      }
+    }
+    if (with_workload_mix && !current.drop_workload_mix) {
+      ShrinkSpec c = current;
+      c.drop_workload_mix = true;
+      if (fails(seed, c)) {
+        current = c;
+        improved = true;
+        continue;
+      }
+    }
     if (with_sched && !current.drop_sched) {
       ShrinkSpec c = current;
       c.drop_sched = true;

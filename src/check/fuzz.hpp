@@ -37,6 +37,16 @@
 // draws are appended after the manager-plane draws, so every narrower
 // configuration of the same seed is byte-identical, and each dimension is
 // one more shrink cap (drop_sched / drop_period_adjust).
+//
+// With the network-topology dimension enabled (--net-topology) every seed
+// draws a network substrate — bus, or a switched fabric with 2-4 segments,
+// line or star topology, and a bounded port buffer — and with the
+// workload-mix dimension enabled (--workload-mix) a workload family
+// (pareto / surge / multi) whose parameters ride on the band already drawn
+// for the base table. Both draws are appended after the sched/period
+// draws, so the `--drop-net-topology` / `--drop-workload-mix` caps
+// reproduce the base digests byte for byte. Switched runs additionally
+// check the fabric's frame-conservation invariant at the end of the run.
 #pragma once
 
 #include <cstdint>
@@ -49,8 +59,10 @@
 #include "core/models.hpp"
 #include "fault/detector.hpp"
 #include "fault/plan.hpp"
+#include "net/fabric.hpp"
 #include "node/sched_policy.hpp"
 #include "task/spec.hpp"
+#include "workload/generators.hpp"
 #include "workload/patterns.hpp"
 
 namespace rtdrm::obs {
@@ -78,11 +90,17 @@ struct ShrinkSpec {
   /// Strip the elastic-period dimension: inelastic spec, lever off (only
   /// meaningful when period adjustment is enabled).
   bool drop_period_adjust = false;
+  /// Back to the shared bus (only meaningful when the network-topology
+  /// dimension is enabled).
+  bool drop_net_topology = false;
+  /// Back to the paper workload family (only meaningful when the
+  /// workload-mix dimension is enabled).
+  bool drop_workload_mix = false;
 
   bool unshrunk() const {
     return max_subtasks == 0 && max_periods == 0 && !flatten_workload &&
            !drop_faults && !drop_manager_faults && !drop_sched &&
-           !drop_period_adjust;
+           !drop_period_adjust && !drop_net_topology && !drop_workload_mix;
   }
   /// Command-line fragment reproducing these caps (" --max-subtasks=3 ...";
   /// empty when unshrunk).
@@ -146,6 +164,18 @@ struct FuzzScenario {
   /// Cluster-wide node scheduling policy; non-RR only when generated with
   /// the scheduler dimension enabled.
   node::SchedPolicy sched = node::SchedPolicy::kRoundRobin;
+  /// Network substrate; kSwitched only when generated with the
+  /// network-topology dimension enabled (and the seed drew switched).
+  net::NetKind net_kind = net::NetKind::kBus;
+  /// Fabric shape when net_kind == kSwitched (link parameters are the
+  /// scenario defaults, as on the bus path).
+  net::SwitchedFabricConfig fabric{};
+  /// Workload family; non-paper only when generated with the workload-mix
+  /// dimension enabled. kPareto/kSurge rewrite `workload_tracks` from the
+  /// corresponding generator (pure per-period draws); kMulti keeps the
+  /// table and adds contender flows on the network substrate.
+  workload::WorkloadMix workload_mix = workload::WorkloadMix::kPaper;
+  workload::ContenderConfig contenders{};
 
   std::string summary() const;
 };
@@ -159,7 +189,9 @@ FuzzScenario makeFuzzScenario(std::uint64_t seed, const ShrinkSpec& shrink = {},
                               bool with_faults = false,
                               bool with_manager_faults = false,
                               bool with_sched = false,
-                              bool with_period_adjust = false);
+                              bool with_period_adjust = false,
+                              bool with_net_topology = false,
+                              bool with_workload_mix = false);
 
 enum class AllocatorKind { kPredictive, kNonPredictive };
 const char* allocatorKindName(AllocatorKind kind);
@@ -221,7 +253,9 @@ FuzzOutcome runFuzzSeed(std::uint64_t seed, const ShrinkSpec& shrink = {},
                         const FuzzExecConfig& exec = {},
                         bool with_manager_faults = false,
                         bool with_sched = false,
-                        bool with_period_adjust = false);
+                        bool with_period_adjust = false,
+                        bool with_net_topology = false,
+                        bool with_workload_mix = false);
 
 /// Failure predicate: does `seed` under these caps still fail?
 using FailsFn = std::function<bool(std::uint64_t, const ShrinkSpec&)>;
@@ -235,6 +269,8 @@ ShrinkSpec minimize(std::uint64_t seed, const ShrinkSpec& initial,
                     const FailsFn& fails, bool with_faults = false,
                     bool with_manager_faults = false,
                     bool with_sched = false,
-                    bool with_period_adjust = false);
+                    bool with_period_adjust = false,
+                    bool with_net_topology = false,
+                    bool with_workload_mix = false);
 
 }  // namespace rtdrm::check

@@ -56,7 +56,7 @@ void InvariantOracle::watch(const node::Cluster& cluster) {
   clusters_.push_back(&cluster);
 }
 
-void InvariantOracle::watch(net::Ethernet& net) {
+void InvariantOracle::watch(net::NetworkModel& net) {
   RTDRM_ASSERT_MSG(net_ == nullptr, "oracle already watches a network");
   net_ = &net;
   net.setDeliveryObserver([this](const net::MessageReceipt& r) {

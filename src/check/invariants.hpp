@@ -1,7 +1,7 @@
 // System-wide invariant oracle.
 //
 // An observer wired into the ResourceManager (via core::ManagerObserver),
-// the Simulator (post-event hook), the Ethernet (delivery receipts), the
+// the Simulator (post-event hook), the network (delivery receipts), the
 // Cluster and the WorkloadLedger, asserting after every simulation event
 // the properties the paper states as invariants:
 //
@@ -54,7 +54,7 @@
 #include "core/manager.hpp"
 #include "core/plane.hpp"
 #include "fault/injector.hpp"
-#include "net/ethernet.hpp"
+#include "net/network_model.hpp"
 #include "node/cluster.hpp"
 #include "sim/simulator.hpp"
 
@@ -97,8 +97,8 @@ class InvariantOracle final : public core::ManagerObserver,
   /// hook slot; released on destruction).
   void watch(sim::Simulator& sim);
   void watch(const node::Cluster& cluster);
-  /// Claims the Ethernet's delivery-observer slot (released on destruction).
-  void watch(net::Ethernet& net);
+  /// Claims the network's delivery-observer slot (released on destruction).
+  void watch(net::NetworkModel& net);
   void watch(const core::WorkloadLedger& ledger);
   /// Attaches as the manager's observer. Multiple managers may be watched.
   void watch(core::ResourceManager& manager);
@@ -121,7 +121,7 @@ class InvariantOracle final : public core::ManagerObserver,
   // Tallied from the oracle's own hook invocations, so they form a third
   // accounting source (besides EpisodeMetrics and the obs layer) for the
   // observability cross-check tests.
-  /// Delivery receipts seen through the watched Ethernet.
+  /// Delivery receipts seen through the watched network.
   std::uint64_t receiptsObserved() const { return receipts_observed_; }
   /// Period records whose end-to-end latency missed the spec deadline.
   std::uint64_t missesObserved() const { return misses_observed_; }
@@ -210,7 +210,7 @@ class InvariantOracle final : public core::ManagerObserver,
   OracleConfig config_;
   sim::Simulator* sim_ = nullptr;
   std::vector<const node::Cluster*> clusters_;
-  net::Ethernet* net_ = nullptr;
+  net::NetworkModel* net_ = nullptr;
   std::vector<const core::WorkloadLedger*> ledgers_;
   std::vector<core::ResourceManager*> managers_;
   fault::FaultInjector* injector_ = nullptr;

@@ -10,10 +10,10 @@
 namespace rtdrm::core {
 
 ManagementPlane::ManagementPlane(sim::Simulator& simulator,
-                                 net::Ethernet& ethernet,
+                                 net::NetworkModel& network,
                                  node::Cluster& cluster, PlaneConfig config)
     : sim_(simulator),
-      net_(ethernet),
+      net_(network),
       cluster_(cluster),
       config_(config),
       ticker_(simulator, config.gossip_interval,

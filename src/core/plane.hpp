@@ -10,7 +10,7 @@
 //   * every live endpoint samples its own partition's utilization
 //     privately each gossip interval and broadcasts a
 //     net::PartitionSummary to the other endpoints over the shared
-//     Ethernet (real wire traffic; the payload rides in the closure like
+//     network substrate (real wire traffic; the payload rides in the closure like
 //     every other message in src/net);
 //   * exactly one endpoint is the *active* manager: only it publishes
 //     received summaries into the cluster view the allocators read, and
@@ -43,7 +43,7 @@
 #include <utility>
 #include <vector>
 
-#include "net/ethernet.hpp"
+#include "net/network_model.hpp"
 #include "net/gossip.hpp"
 #include "node/cluster.hpp"
 #include "obs/record.hpp"
@@ -81,7 +81,7 @@ class ManagementPlane {
   /// `manager` index meaning "no live active exists" (headless gap).
   static constexpr std::uint32_t kNoManager = 0xffffffffu;
 
-  ManagementPlane(sim::Simulator& simulator, net::Ethernet& ethernet,
+  ManagementPlane(sim::Simulator& simulator, net::NetworkModel& network,
                   node::Cluster& cluster, PlaneConfig config);
   ManagementPlane(const ManagementPlane&) = delete;
   ManagementPlane& operator=(const ManagementPlane&) = delete;
@@ -189,7 +189,7 @@ class ManagementPlane {
   double currentLedgerTracks() const;
 
   sim::Simulator& sim_;
-  net::Ethernet& net_;
+  net::NetworkModel& net_;
   node::Cluster& cluster_;
   PlaneConfig config_;
   ResourceManager* manager_ = nullptr;

@@ -18,6 +18,37 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
                          const EpisodeConfig& config) {
   apps::Scenario scenario(config.scenario);
 
+  // Workload mix: kPaper offers the caller's pattern verbatim; the
+  // generator mixes swap it (seeded from the scenario seed so paired
+  // algorithm runs see identical arrivals); kMulti keeps the pattern and
+  // adds contender flows below.
+  std::unique_ptr<workload::CorrelatedSurge> surge_gen;
+  std::unique_ptr<workload::Pattern> generated;
+  const workload::Pattern* offered = &pattern;
+  switch (config.workload_mix) {
+    case workload::WorkloadMix::kPaper:
+    case workload::WorkloadMix::kMulti:
+      break;
+    case workload::WorkloadMix::kPareto:
+      generated = std::make_unique<workload::ParetoArrivals>(
+          config.pareto, config.scenario.seed);
+      offered = generated.get();
+      break;
+    case workload::WorkloadMix::kSurge:
+      surge_gen = std::make_unique<workload::CorrelatedSurge>(
+          config.surge, config.surge_sensors, config.scenario.seed);
+      generated = surge_gen->fusedPattern();
+      offered = generated.get();
+      break;
+  }
+  std::unique_ptr<workload::ContenderTraffic> contenders;
+  if (config.workload_mix == workload::WorkloadMix::kMulti) {
+    workload::ContenderConfig cc = config.contenders;
+    cc.seed ^= config.scenario.seed * 0x9e3779b97f4a7c15ULL;
+    contenders = std::make_unique<workload::ContenderTraffic>(
+        scenario.sim(), scenario.net(), config.scenario.node_count, cc);
+  }
+
   // The pipeline reads the spec at job-submission time, so mutating this
   // local copy mid-run changes the ground truth for subsequent instances.
   task::TaskSpec live_spec = spec;
@@ -54,7 +85,7 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
 
   core::ResourceManager manager(
       scenario.runtime(), live_spec, task::Placement(homes),
-      [&pattern](std::uint64_t period) { return pattern.at(period); },
+      [offered](std::uint64_t period) { return offered->at(period); },
       std::move(allocator), models, config.manager,
       scenario.streams().get("exec-noise"));
 
@@ -71,7 +102,7 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
   std::unique_ptr<fault::FailureDetector> mgr_detector;
   if (config.plane.managers > 1) {
     plane = std::make_unique<core::ManagementPlane>(
-        scenario.sim(), scenario.ethernet(), scenario.cluster(),
+        scenario.sim(), scenario.net(), scenario.cluster(),
         config.plane);
     plane->adopt(manager);
     if (config.obs != nullptr) {
@@ -90,7 +121,7 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
       }
       fp.manager_crashes.push_back(mc);
       injector = std::make_unique<fault::FaultInjector>(
-          scenario.sim(), scenario.cluster(), &scenario.ethernet(),
+          scenario.sim(), scenario.cluster(), &scenario.net(),
           &scenario.clocks(), fp);
       injector->setManagerFaultTarget(
           config.plane.managers,
@@ -108,12 +139,15 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
           [p = plane.get(), mi] { return p->endpointReachable(mi); }});
     }
     mgr_detector = std::make_unique<fault::FailureDetector>(
-        scenario.sim(), scenario.ethernet(), config.manager_detector,
+        scenario.sim(), scenario.net(), config.manager_detector,
         std::move(targets),
         [p = plane.get()](std::uint32_t m) { p->onManagerSuspected(m); },
         [p = plane.get()](std::uint32_t m) { p->onManagerRecovered(m); });
   }
 
+  if (contenders != nullptr) {
+    contenders->start();
+  }
   manager.start(scenario.sim().now());
   if (plane != nullptr) {
     plane->start(scenario.sim().now());
@@ -131,7 +165,7 @@ EpisodeResult runEpisode(const task::TaskSpec& spec,
 
   if (config.obs != nullptr) {
     scenario.sim().exportMetrics(config.obs->metrics);
-    scenario.ethernet().exportMetrics(config.obs->metrics);
+    scenario.net().exportMetrics(config.obs->metrics);
     scenario.cluster().exportMetrics(config.obs->metrics);
     manager.exportMetrics(config.obs->metrics);
     if (plane != nullptr) {

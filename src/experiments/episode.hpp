@@ -19,6 +19,7 @@
 #include "fault/detector.hpp"
 #include "obs/obs.hpp"
 #include "task/spec.hpp"
+#include "workload/generators.hpp"
 #include "workload/patterns.hpp"
 
 namespace rtdrm::experiments {
@@ -61,6 +62,17 @@ struct EpisodeConfig {
   /// Heartbeat detector over the manager endpoints (managers > 1 only;
   /// drives elections).
   fault::DetectorConfig manager_detector{};
+  /// Workload family. kPaper (the default) offers exactly the pattern the
+  /// caller passed — byte-identical to every run before the generators
+  /// existed. kPareto/kSurge replace it with the corresponding generator
+  /// (seeded from the scenario seed); kMulti keeps the caller's pattern
+  /// and adds co-hosted contender flows on the network substrate.
+  workload::WorkloadMix workload_mix = workload::WorkloadMix::kPaper;
+  workload::ParetoParams pareto{};
+  workload::SurgeParams surge{};
+  /// Sensor count for kSurge (the pipeline fuses all sensors' tracks).
+  std::size_t surge_sensors = 4;
+  workload::ContenderConfig contenders{};
 };
 
 struct EpisodeResult {

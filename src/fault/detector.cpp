@@ -30,11 +30,11 @@ std::vector<DetectorTarget> nodeTargets(node::Cluster& cluster) {
 
 FailureDetector::FailureDetector(sim::Simulator& simulator,
                                  node::Cluster& cluster,
-                                 net::Ethernet& ethernet,
+                                 net::NetworkModel& network,
                                  DetectorConfig config, DownFn on_down,
                                  UpFn on_up)
     : FailureDetector(
-          simulator, ethernet, config, nodeTargets(cluster),
+          simulator, network, config, nodeTargets(cluster),
           [down = std::move(on_down)](std::uint32_t id) {
             down(ProcessorId{id});
           },
@@ -49,12 +49,12 @@ FailureDetector::FailureDetector(sim::Simulator& simulator,
 }
 
 FailureDetector::FailureDetector(sim::Simulator& simulator,
-                                 net::Ethernet& ethernet,
+                                 net::NetworkModel& network,
                                  DetectorConfig config,
                                  std::vector<DetectorTarget> targets,
                                  TargetDownFn on_down, TargetUpFn on_up)
     : sim_(simulator),
-      net_(ethernet),
+      net_(network),
       config_(config),
       on_down_(std::move(on_down)),
       on_up_(std::move(on_up)),

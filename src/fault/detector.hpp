@@ -1,4 +1,4 @@
-// Heartbeat-based failure detection over the shared Ethernet segment.
+// Heartbeat-based failure detection over the shared network substrate.
 //
 // A management ("home") node probes every monitored endpoint each interval
 // with a small heartbeat message; an endpoint that is alive when the probe
@@ -29,7 +29,7 @@
 #include <functional>
 #include <vector>
 
-#include "net/ethernet.hpp"
+#include "net/network_model.hpp"
 #include "node/cluster.hpp"
 #include "sim/simulator.hpp"
 
@@ -72,12 +72,12 @@ class FailureDetector {
   /// from Cluster::isUp. Byte-identical to the pre-generalization wire
   /// schedule.
   FailureDetector(sim::Simulator& simulator, node::Cluster& cluster,
-                  net::Ethernet& ethernet, DetectorConfig config,
+                  net::NetworkModel& network, DetectorConfig config,
                   DownFn on_down, UpFn on_up = {});
 
   /// Target mode: probe an explicit endpoint list with the same
   /// timeout/retry/backoff machinery.
-  FailureDetector(sim::Simulator& simulator, net::Ethernet& ethernet,
+  FailureDetector(sim::Simulator& simulator, net::NetworkModel& network,
                   DetectorConfig config, std::vector<DetectorTarget> targets,
                   TargetDownFn on_down, TargetUpFn on_up = {});
 
@@ -127,7 +127,7 @@ class FailureDetector {
   std::size_t slotOf(std::uint32_t id) const;
 
   sim::Simulator& sim_;
-  net::Ethernet& net_;
+  net::NetworkModel& net_;
   DetectorConfig config_;
   TargetDownFn on_down_;
   TargetUpFn on_up_;

@@ -9,18 +9,19 @@
 namespace rtdrm::fault {
 
 FaultInjector::FaultInjector(sim::Simulator& simulator,
-                             node::Cluster& cluster, net::Ethernet* ethernet,
+                             node::Cluster& cluster,
+                             net::NetworkModel* network,
                              net::ClockFabric* clocks, FaultPlan plan)
     : sim_(simulator),
       cluster_(cluster),
-      ethernet_(ethernet),
+      network_(network),
       clocks_(clocks),
       plan_(std::move(plan)),
       rng_(plan_.seed) {}
 
 FaultInjector::~FaultInjector() {
   if (hook_installed_) {
-    ethernet_->setFrameFateHook(nullptr);
+    network_->setFrameFateHook(nullptr);
   }
 }
 
@@ -114,35 +115,36 @@ void FaultInjector::arm() {
   }
 
   if (!plan_.links.empty()) {
-    RTDRM_ASSERT_MSG(ethernet_ != nullptr, "link faults need an ethernet");
+    RTDRM_ASSERT_MSG(network_ != nullptr, "link faults need a network");
     hook_installed_ = true;
-    ethernet_->setFrameFateHook(
-        [this](ProcessorId src, ProcessorId dst) {
-          return decideFrameFate(src, dst);
-        });
+    network_->setFrameFateHook(
+        [this](const net::FrameHop& hop) { return decideFrameFate(hop); });
   }
 }
 
-net::Ethernet::FrameFate FaultInjector::decideFrameFate(ProcessorId src,
-                                                        ProcessorId dst) {
+net::FrameFate FaultInjector::decideFrameFate(const net::FrameHop& hop) {
   const SimTime now = sim_.now();
   for (const LinkFault& l : plan_.links) {
-    const bool src_match = l.src == kAnyNode || l.src == src;
-    const bool dst_match = l.dst == kAnyNode || l.dst == dst;
-    if (!src_match || !dst_match || now < l.from || now >= l.until) {
+    const bool src_match = l.src == kAnyNode || l.src == hop.src;
+    const bool dst_match = l.dst == kAnyNode || l.dst == hop.dst;
+    const bool seg_match =
+        l.segment == net::kAnySegment || l.segment == hop.segment;
+    const bool port_match = l.port == net::kAnyPort || l.port == hop.port;
+    if (!src_match || !dst_match || !seg_match || !port_match ||
+        now < l.from || now >= l.until) {
       continue;
     }
     // First matching open window decides; RNG advances only here, in
     // simulator event order, so replay is exact.
     if (l.loss > 0.0 && rng_.uniform01() < l.loss) {
-      return net::Ethernet::FrameFate::kLose;
+      return net::FrameFate::kLose;
     }
     if (l.dup > 0.0 && rng_.uniform01() < l.dup) {
-      return net::Ethernet::FrameFate::kDuplicate;
+      return net::FrameFate::kDuplicate;
     }
-    return net::Ethernet::FrameFate::kDeliver;
+    return net::FrameFate::kDeliver;
   }
-  return net::Ethernet::FrameFate::kDeliver;
+  return net::FrameFate::kDeliver;
 }
 
 }  // namespace rtdrm::fault

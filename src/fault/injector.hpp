@@ -2,7 +2,7 @@
 //
 // arm() schedules every crash/restart/throttle/outage edge as an ordinary
 // simulator event and — only when the plan carries link faults — installs
-// the Ethernet frame-fate hook. With an empty plan arm() schedules nothing
+// the network frame-fate hook. With an empty plan arm() schedules nothing
 // and installs nothing, so a faultless run is bit-for-bit identical to one
 // with no injector at all.
 //
@@ -18,7 +18,7 @@
 #include "common/rng.hpp"
 #include "fault/plan.hpp"
 #include "net/clock_sync.hpp"
-#include "net/ethernet.hpp"
+#include "net/network_model.hpp"
 #include "node/cluster.hpp"
 #include "sim/simulator.hpp"
 
@@ -50,10 +50,10 @@ class FaultObserver {
 
 class FaultInjector {
  public:
-  /// `ethernet` and `clocks` may be null when the plan carries no faults
+  /// `network` and `clocks` may be null when the plan carries no faults
   /// of the corresponding kind (validated at arm()).
   FaultInjector(sim::Simulator& simulator, node::Cluster& cluster,
-                net::Ethernet* ethernet, net::ClockFabric* clocks,
+                net::NetworkModel* network, net::ClockFabric* clocks,
                 FaultPlan plan);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -86,11 +86,11 @@ class FaultInjector {
   }
 
  private:
-  net::Ethernet::FrameFate decideFrameFate(ProcessorId src, ProcessorId dst);
+  net::FrameFate decideFrameFate(const net::FrameHop& hop);
 
   sim::Simulator& sim_;
   node::Cluster& cluster_;
-  net::Ethernet* ethernet_;
+  net::NetworkModel* network_;
   net::ClockFabric* clocks_;
   FaultPlan plan_;
   Xoshiro256 rng_;

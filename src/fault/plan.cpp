@@ -29,6 +29,10 @@ void FaultPlan::validate(std::size_t node_count,
                      "loss probability out of [0, 0.9]");
     RTDRM_ASSERT_MSG(l.dup >= 0.0 && l.dup <= 1.0,
                      "duplication probability out of [0, 1]");
+    // A port constraint without a segment is ambiguous: port indices are
+    // only meaningful within one segment's numbering.
+    RTDRM_ASSERT_MSG(l.port == net::kAnyPort || l.segment != net::kAnySegment,
+                     "link-fault port targeting needs a segment");
   }
   for (const ClockOutage& o : clock_outages) {
     RTDRM_ASSERT_MSG(o.until > o.from, "empty clock outage window");

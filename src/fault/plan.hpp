@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "net/network_model.hpp"
 
 namespace rtdrm::fault {
 
@@ -42,6 +43,13 @@ struct ThrottleFault {
 /// frame costs its wire time and is retransmitted by the link layer; a
 /// duplicated frame costs an extra wire slot and is discarded by the
 /// receiver — delivery accounting never sees either (see net::Ethernet).
+///
+/// Faults target physical links, not just message endpoints: `segment` and
+/// `port` narrow the fault to one egress port of one segment (the shared
+/// bus is segment 0, port 0; switched fabrics report the transmitting
+/// port's coordinates per hop — see net::SwitchedFabric for the numbering).
+/// The wildcard defaults match every link, which on the bus reproduces the
+/// pre-(segment, port) behaviour draw for draw.
 struct LinkFault {
   ProcessorId src = kAnyNode;
   ProcessorId dst = kAnyNode;
@@ -49,6 +57,8 @@ struct LinkFault {
   SimTime until = SimTime::zero();
   double loss = 0.0;
   double dup = 0.0;
+  std::uint32_t segment = net::kAnySegment;
+  std::uint32_t port = net::kAnyPort;
 };
 
 /// Clock-sync service outage: sync rounds inside the window are skipped

@@ -114,9 +114,11 @@ void Ethernet::onFrameEnd(std::size_t nic) {
   bus_busy_ = false;
 
   Pending& p = nics_[nic].front();
-  const FrameFate fate = frame_fate_hook_
-                             ? frame_fate_hook_(p.msg.src, p.msg.dst)
-                             : FrameFate::kDeliver;
+  // The bus is one link: every frame is one hop on (segment 0, port 0).
+  const FrameFate fate =
+      frame_fate_hook_
+          ? frame_fate_hook_(FrameHop{p.msg.src, p.msg.dst, 0, 0})
+          : FrameFate::kDeliver;
   if (fate == FrameFate::kLose) {
     // The wire time is spent but the receiver rejects the frame (bad FCS).
     // The chunk was never applied and the message stays at the head of its
@@ -213,7 +215,10 @@ Utilization NetworkProbe::peek() const {
   if (window <= SimDuration::zero()) {
     return Utilization::zero();
   }
-  return Utilization::fraction((net_.busyTime() - last_busy_) / window);
+  // Capacity 1.0 (the bus) divides exactly, so the legacy path is
+  // bit-identical; multi-link fabrics normalize by their link count.
+  return Utilization::fraction((net_.busyTime() - last_busy_) / window /
+                               net_.utilizationCapacity());
 }
 
 Utilization NetworkProbe::sample() {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/network_model.hpp"
 #include "sim/simulator.hpp"
 
 namespace rtdrm::net {
@@ -58,7 +59,7 @@ struct EthernetConfig {
   }
 };
 
-class Ethernet {
+class Ethernet final : public NetworkModel {
  public:
   Ethernet(sim::Simulator& simulator, std::size_t node_count,
            EthernetConfig config = {});
@@ -69,53 +70,55 @@ class Ethernet {
 
   /// Enqueue a message at its source NIC. Local delivery (src == dst)
   /// bypasses the wire and completes after `propagation` only.
-  void send(Message msg);
+  void send(Message msg) override;
 
   /// Observer invoked with every delivery receipt, at the receipt's
   /// `delivered` time — after the propagation delay, never before
   /// (correctness oracles verify causality here: enqueued <= first_bit <=
   /// delivered == now). Pass nullptr to clear.
-  using DeliveryObserver = std::function<void(const MessageReceipt&)>;
-  void setDeliveryObserver(DeliveryObserver observer) {
+  void setDeliveryObserver(DeliveryObserver observer) override {
     delivery_observer_ = std::move(observer);
   }
 
-  /// Fate of a wire frame, decided by the fault-injection hook the instant
-  /// its last bit is serialized. kLose spends the wire time but the
-  /// receiver rejects the frame (bad FCS): the payload chunk is not
-  /// applied and the message stays queued for link-layer retransmission.
-  /// kDuplicate delivers the chunk normally, then a spurious copy occupies
-  /// the wire for a second frame time; the receiver discards it, so
-  /// delivery accounting sees exactly one receipt either way.
-  enum class FrameFate { kDeliver, kLose, kDuplicate };
+  /// Frame fates (see net::FrameFate). Kept as a member alias so
+  /// pre-interface spellings (`Ethernet::FrameFate::kLose`) stay valid.
+  using FrameFate = net::FrameFate;
 
-  /// Per-frame fate decision for wire frames. Same-node hand-offs never
-  /// touch the wire and are exempt. With no hook installed every frame
-  /// delivers, at zero added cost. Pass nullptr to clear.
-  using FrameFateHook = std::function<FrameFate(ProcessorId src,
-                                                ProcessorId dst)>;
-  void setFrameFateHook(FrameFateHook hook) {
+  /// Per-frame fate decision for wire frames. The bus is a single link, so
+  /// every frame is exactly one hop: the hook fires once per frame with
+  /// segment 0, port 0. Same-node hand-offs never touch the wire and are
+  /// exempt. With no hook installed every frame delivers, at zero added
+  /// cost. Pass nullptr to clear.
+  void setFrameFateHook(FrameFateHook hook) override {
     frame_fate_hook_ = std::move(hook);
   }
 
+  /// The sharded engine's conservative barrier lookahead (see
+  /// EthernetConfig::minCrossShardLatency()).
+  SimDuration minCrossShardLatency() const override {
+    return config_.minCrossShardLatency();
+  }
+
   /// Cumulative wire-busy time (for utilization accounting).
-  SimDuration busyTime() const;
-  std::uint64_t messagesDelivered() const { return delivered_; }
-  std::uint64_t framesOnWire() const { return frames_; }
+  SimDuration busyTime() const override;
+  std::uint64_t messagesDelivered() const override { return delivered_; }
+  std::uint64_t framesOnWire() const override { return frames_; }
   /// Frames whose wire time was spent but whose payload the receiver
   /// rejected (each forced a retransmission).
-  std::uint64_t framesLost() const { return frames_lost_; }
+  std::uint64_t framesLost() const override { return frames_lost_; }
   /// Spurious extra copies that occupied the wire and were discarded.
-  std::uint64_t framesDuplicated() const { return frames_duplicated_; }
-  double payloadBytesCarried() const { return payload_bytes_; }
+  std::uint64_t framesDuplicated() const override {
+    return frames_duplicated_;
+  }
+  double payloadBytesCarried() const override { return payload_bytes_; }
   /// Payload bytes this NIC has put on the wire so far (per-sender
   /// attribution for hot-talker diagnosis).
-  double payloadBytesFrom(ProcessorId nic) const;
-  std::size_t backloggedMessages() const;
+  double payloadBytesFrom(ProcessorId nic) const override;
+  std::size_t backloggedMessages() const override;
 
   /// Publishes bus counters (frames, losses, dups, delivered messages,
   /// payload bytes, wire utilization since t=0) into `reg` under "net.".
-  void exportMetrics(obs::MetricsRegistry& reg) const;
+  void exportMetrics(obs::MetricsRegistry& reg) const override;
 
  private:
   struct Pending {
@@ -157,10 +160,13 @@ class Ethernet {
   FrameFateHook frame_fate_hook_;
 };
 
-/// Windowed utilization sampling for the bus, mirroring node::UtilizationProbe.
+/// Windowed utilization sampling for any network model, mirroring
+/// node::UtilizationProbe. Busy time is normalized by the model's
+/// utilizationCapacity() — 1.0 for the bus (bit-identical to the
+/// pre-interface probe), the link count for multi-link fabrics.
 class NetworkProbe {
  public:
-  NetworkProbe(const sim::Simulator& simulator, const Ethernet& net)
+  NetworkProbe(const sim::Simulator& simulator, const NetworkModel& net)
       : sim_(simulator), net_(net), last_t_(simulator.now()),
         last_busy_(net.busyTime()) {}
 
@@ -169,7 +175,7 @@ class NetworkProbe {
 
  private:
   const sim::Simulator& sim_;
-  const Ethernet& net_;
+  const NetworkModel& net_;
   SimTime last_t_;
   SimDuration last_busy_;
 };

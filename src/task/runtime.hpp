@@ -2,7 +2,7 @@
 #pragma once
 
 #include "net/clock_sync.hpp"
-#include "net/ethernet.hpp"
+#include "net/network_model.hpp"
 #include "node/cluster.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
@@ -11,10 +11,10 @@ namespace rtdrm::task {
 
 struct Runtime {
   /// The control shard's simulator (the only simulator when unsharded):
-  /// managers, pipelines, the Ethernet segment and clocks all live here.
+  /// managers, pipelines, the network substrate and clocks all live here.
   sim::Simulator& sim;
   node::Cluster& cluster;
-  net::Ethernet& net;
+  net::NetworkModel& net;
   net::ClockFabric& clocks;
   /// Multi-shard engine when processors live on data shards; nullptr for
   /// the legacy single-queue path. Pipelines marshal job submits, aborts

@@ -1,0 +1,169 @@
+// Workload generators beyond the paper's Fig. 8 ramps.
+//
+// The paper evaluates smooth ramp/triangular track counts; real radar and
+// sensor-fusion workloads are burstier. This module adds three stressor
+// families for the extension studies:
+//
+//   * ParetoArrivals    — heavy-tailed per-period track counts (Lomax
+//                         excess over a floor, tail index alpha), the
+//                         "rare giant scan" regime;
+//   * CorrelatedSurge   — multiple sensors sharing global surge events,
+//                         so per-sensor workloads spike *together* with a
+//                         tunable join probability (the cross-sensor
+//                         correlation knob);
+//   * ContenderTraffic  — K co-hosted flows posting periodic messages on
+//                         the network substrate, contending with the
+//                         pipelines for fabric capacity without consuming
+//                         CPU.
+//
+// All three are deterministic pure functions of (seed, indices): every
+// draw derives from a SplitMix64-keyed generator, so values are
+// random-access, thread-count independent, and replay byte-identically —
+// the property the generator test suite pins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/network_model.hpp"
+#include "sim/simulator.hpp"
+#include "workload/patterns.hpp"
+
+namespace rtdrm::workload {
+
+/// Which workload family an episode offers its pipelines.
+enum class WorkloadMix {
+  kPaper,   ///< the paper's ramp patterns, unchanged
+  kPareto,  ///< heavy-tailed per-period track counts
+  kSurge,   ///< correlated multi-sensor surges
+  kMulti,   ///< paper pattern + co-hosted flows contending for the fabric
+};
+
+const char* workloadMixName(WorkloadMix mix);
+/// Parses "paper" | "pareto" | "surge" | "multi". Returns false (leaving
+/// `out` untouched) on anything else.
+bool parseWorkloadMix(const std::string& s, WorkloadMix* out);
+
+struct ParetoParams {
+  /// Every period offers at least this much.
+  DataSize floor = DataSize::tracks(500);
+  /// Scale of the heavy-tailed excess (the Lomax sigma).
+  DataSize scale = DataSize::tracks(1500);
+  /// Tail index alpha: smaller = heavier tail. 1 < alpha < 2 gives finite
+  /// mean but infinite variance — the interesting regime for admission
+  /// control.
+  double tail_index = 1.5;
+  /// Safety ceiling (keeps pathological draws from exploding a run while
+  /// staying far above anything the tail-index estimator samples).
+  DataSize cap = DataSize::tracks(1e7);
+};
+
+/// Heavy-tailed track arrivals: at(c) = floor + Lomax(scale, alpha) excess,
+/// capped. The excess survival function is (1 + x/scale)^-alpha, so the
+/// upper tail decays polynomially with index alpha — a Hill estimator over
+/// the sample maxima recovers alpha (the generator suite checks this).
+/// Each period's draw is a pure function of (seed, period).
+class ParetoArrivals final : public Pattern {
+ public:
+  ParetoArrivals(ParetoParams p, std::uint64_t seed) : p_(p), seed_(seed) {}
+  DataSize at(std::uint64_t period) const override;
+  std::string name() const override { return "pareto"; }
+  const ParetoParams& params() const { return p_; }
+
+ private:
+  ParetoParams p_;
+  std::uint64_t seed_;
+};
+
+struct SurgeParams {
+  DataSize baseline = DataSize::tracks(1000);
+  /// Workload added at the peak of a fresh surge a sensor joined.
+  DataSize amplitude = DataSize::tracks(6000);
+  /// Per-period probability that a new global surge event starts.
+  double start_probability = 0.08;
+  /// Probability each sensor joins a given surge — the cross-sensor
+  /// correlation knob (1.0 = all sensors spike in lockstep, 0.0 =
+  /// independent baselines).
+  double join_probability = 0.8;
+  /// Geometric per-period decay of a surge's contribution.
+  double decay = 0.6;
+  /// Periods after which a surge's contribution is truncated to zero
+  /// (keeps at() a pure O(window) function of the period index).
+  std::uint64_t window = 8;
+};
+
+/// Correlated multi-sensor surges: global events shared by all sensors,
+/// each sensor joining per-event with `join_probability`. Sensor j's
+/// workload at period c is
+///
+///   baseline + amplitude * sum over surge starts s in (c-window, c] of
+///                          started(s) * joins(j, s) * decay^(c-s)
+///
+/// where started() and joins() are pure coin flips keyed on (seed, s) and
+/// (seed, s, j). Sensors correlate exactly because they share started().
+class CorrelatedSurge {
+ public:
+  CorrelatedSurge(SurgeParams p, std::size_t sensor_count,
+                  std::uint64_t seed);
+
+  std::size_t sensorCount() const { return sensors_; }
+  const SurgeParams& params() const { return p_; }
+  DataSize sensorAt(std::size_t sensor, std::uint64_t period) const;
+  /// Pattern adapter for one sensor (must not outlive this generator).
+  std::unique_ptr<Pattern> sensorPattern(std::size_t sensor) const;
+  /// Fusion view: the sum over every sensor — what a track-fusion pipeline
+  /// ingesting all sensors sees per period (must not outlive this
+  /// generator).
+  std::unique_ptr<Pattern> fusedPattern() const;
+
+ private:
+  bool surgeStarts(std::uint64_t period) const;
+  bool sensorJoins(std::size_t sensor, std::uint64_t start) const;
+
+  SurgeParams p_;
+  std::size_t sensors_;
+  std::uint64_t seed_;
+};
+
+struct ContenderConfig {
+  /// Number of co-hosted flows.
+  std::size_t flows = 2;
+  /// Posting cadence per flow.
+  SimDuration period = SimDuration::millis(25.0);
+  /// Mean payload per post (lognormal-jittered, unit mean).
+  Bytes payload = Bytes::of(20000.0);
+  double jitter_sigma = 0.35;
+  std::uint64_t seed = 1;
+};
+
+/// K co-hosted flows posting periodic cross-node messages on the network
+/// substrate — fabric contention without CPU cost. Flow endpoints are
+/// fixed per-flow pure draws; per-post payload jitter is a pure function
+/// of (seed, flow, tick), so contender traffic replays byte-identically
+/// and never perturbs any other component's RNG stream.
+class ContenderTraffic {
+ public:
+  ContenderTraffic(sim::Simulator& simulator, net::NetworkModel& net,
+                   std::size_t node_count, ContenderConfig config);
+
+  /// Begin posting (first posts after one period). Call at most once.
+  void start();
+  std::uint64_t messagesPosted() const { return posted_; }
+  const ContenderConfig& config() const { return config_; }
+
+ private:
+  void post(std::size_t flow, std::uint64_t tick);
+
+  sim::Simulator& sim_;
+  net::NetworkModel& net_;
+  std::size_t node_count_;
+  ContenderConfig config_;
+  bool started_ = false;
+  std::uint64_t posted_ = 0;
+};
+
+}  // namespace rtdrm::workload

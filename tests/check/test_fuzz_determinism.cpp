@@ -162,6 +162,58 @@ TEST_F(FuzzDeterminism, SchedDimensionDigestsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(FuzzDeterminism, SwitchedFabricDigestsByteIdenticalAcrossThreadCounts) {
+  // Switched-fabric episodes on the sharded engine: per-port FIFO service,
+  // store-and-forward hops, tail-drop NACK returns, and the generator
+  // workload mixes must all be pure functions of the scenario — the
+  // worker-thread count can never leak into a deterministic-mode digest.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive
+                                               : AllocatorKind::kNonPredictive;
+    FuzzExecConfig exec;
+    exec.sim_shards = 3;
+    exec.sim_mode = parallel::SimMode::kDeterministic;
+    const FuzzScenario scenario = makeFuzzScenario(
+        seed, cappedScenario(), false, false, false, false,
+        /*with_net_topology=*/true, /*with_workload_mix=*/true);
+    parallel::setThreads(1);
+    const FuzzCaseResult base = runFuzzCase(scenario, kind, nullptr, exec);
+    EXPECT_EQ(base.violations, 0u) << "seed " << seed << ": " << base.report;
+    ASSERT_FALSE(base.digest.empty());
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      parallel::setThreads(threads);
+      const FuzzCaseResult run = runFuzzCase(scenario, kind, nullptr, exec);
+      EXPECT_EQ(base.digest, run.digest)
+          << "seed " << seed << " (" << scenario.summary()
+          << "): switched-fabric digest diverged at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_F(FuzzDeterminism, DroppedFabricDimensionsReproduceBaseDigests) {
+  // Bus neutrality at the digest level: a build that enables the
+  // network-topology and workload-mix dimensions but shrinks them away
+  // must reproduce the historical baseline digests byte for byte — the
+  // same property `--net bus` pins for the CLIs.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive
+                                               : AllocatorKind::kNonPredictive;
+    ShrinkSpec dropped = cappedScenario();
+    dropped.drop_net_topology = true;
+    dropped.drop_workload_mix = true;
+    const FuzzCaseResult base =
+        runFuzzCase(makeFuzzScenario(seed, cappedScenario()), kind);
+    const FuzzCaseResult capped = runFuzzCase(
+        makeFuzzScenario(seed, dropped, false, false, false, false,
+                         /*with_net_topology=*/true,
+                         /*with_workload_mix=*/true),
+        kind);
+    ASSERT_FALSE(base.digest.empty());
+    EXPECT_EQ(base.digest, capped.digest) << "seed " << seed;
+  }
+}
+
 TEST_F(FuzzDeterminism, FastDigestsByteIdenticalAcrossThreadCounts) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     const AllocatorKind kind = (seed % 2 == 0) ? AllocatorKind::kPredictive

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "net/ethernet.hpp"
 
 namespace rtdrm::core {
 namespace {

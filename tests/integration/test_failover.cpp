@@ -9,6 +9,7 @@
 #include "core/manager.hpp"
 #include "fault/detector.hpp"
 #include "fault/injector.hpp"
+#include "net/ethernet.hpp"
 
 namespace rtdrm::core {
 namespace {

@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "core/manager.hpp"
+#include "net/ethernet.hpp"
 
 namespace rtdrm::core {
 namespace {

@@ -9,6 +9,7 @@
 #include "check/invariants.hpp"
 #include "common/rng.hpp"
 #include "core/manager.hpp"
+#include "net/ethernet.hpp"
 
 namespace rtdrm::core {
 namespace {

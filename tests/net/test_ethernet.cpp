@@ -329,7 +329,7 @@ TEST(Ethernet, LostFrameIsRetransmittedNotSuppressed) {
   sim::Simulator sim;
   Ethernet net(sim, 2, wireOnly());
   int calls = 0;
-  net.setFrameFateHook([&](ProcessorId, ProcessorId) {
+  net.setFrameFateHook([&](const FrameHop&) {
     return ++calls == 1 ? Ethernet::FrameFate::kLose
                         : Ethernet::FrameFate::kDeliver;
   });
@@ -352,7 +352,7 @@ TEST(Ethernet, SameNodeHandoffExemptFromFrameFateHook) {
   sim::Simulator sim;
   Ethernet net(sim, 2, wireOnly());
   int hook_calls = 0;
-  net.setFrameFateHook([&](ProcessorId, ProcessorId) {
+  net.setFrameFateHook([&](const FrameHop&) {
     ++hook_calls;
     return Ethernet::FrameFate::kLose;
   });

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/rng.hpp"
+#include "net/ethernet.hpp"
 
 namespace rtdrm::task {
 namespace {

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/rng.hpp"
+#include "net/ethernet.hpp"
 #include "task/pipeline.hpp"
 
 namespace rtdrm::task {

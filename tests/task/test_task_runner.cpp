@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/ethernet.hpp"
 
 namespace rtdrm::task {
 namespace {

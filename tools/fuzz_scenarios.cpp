@@ -24,7 +24,9 @@ rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
                                          bool drop_faults,
                                          bool drop_manager_faults,
                                          bool drop_sched,
-                                         bool drop_period_adjust) {
+                                         bool drop_period_adjust,
+                                         bool drop_net_topology,
+                                         bool drop_workload_mix) {
   rtdrm::check::ShrinkSpec shrink;
   if (max_subtasks > 0) {
     shrink.max_subtasks = static_cast<std::size_t>(max_subtasks);
@@ -37,17 +39,22 @@ rtdrm::check::ShrinkSpec shrinkFromFlags(std::int64_t max_subtasks,
   shrink.drop_manager_faults = drop_manager_faults;
   shrink.drop_sched = drop_sched;
   shrink.drop_period_adjust = drop_period_adjust;
+  shrink.drop_net_topology = drop_net_topology;
+  shrink.drop_workload_mix = drop_workload_mix;
   return shrink;
 }
 
 std::string reproLine(std::uint64_t seed,
                       const rtdrm::check::ShrinkSpec& shrink, bool faults,
-                      bool manager_faults, bool sched, bool period_adjust) {
+                      bool manager_faults, bool sched, bool period_adjust,
+                      bool net_topology, bool workload_mix) {
   return "fuzz_scenarios --replay-seed=" + std::to_string(seed) +
          (faults ? " --faults" : "") +
          (manager_faults ? " --manager-faults" : "") +
          (sched ? " --sched" : "") +
-         (period_adjust ? " --period-adjust" : "") + shrink.cliFlags();
+         (period_adjust ? " --period-adjust" : "") +
+         (net_topology ? " --net-topology" : "") +
+         (workload_mix ? " --workload-mix" : "") + shrink.cliFlags();
 }
 
 }  // namespace
@@ -63,10 +70,14 @@ int main(int argc, char** argv) {
   bool manager_faults = false;
   bool sched = false;
   bool period_adjust = false;
+  bool net_topology = false;
+  bool workload_mix = false;
   bool drop_faults = false;
   bool drop_manager_faults = false;
   bool drop_sched = false;
   bool drop_period_adjust = false;
+  bool drop_net_topology = false;
+  bool drop_workload_mix = false;
   bool no_shrink = false;
   bool verbose = false;
   std::string repro_out;
@@ -104,6 +115,14 @@ int main(int argc, char** argv) {
                "grow an elastic-period dimension per seed (max_period bound "
                "plus the manager's dilation lever)",
                &period_adjust)
+      .addFlag("net-topology",
+               "grow a network-topology dimension per seed (bus or a 2-4 "
+               "segment switched fabric, line or star)",
+               &net_topology)
+      .addFlag("workload-mix",
+               "grow a workload-mix dimension per seed (pareto / surge / "
+               "multi contender flows)",
+               &workload_mix)
       .addFlag("drop-faults", "strip the fault schedule (shrink cap)",
                &drop_faults)
       .addFlag("drop-manager-faults",
@@ -115,6 +134,12 @@ int main(int argc, char** argv) {
       .addFlag("drop-period-adjust",
                "strip the elastic-period dimension (shrink cap)",
                &drop_period_adjust)
+      .addFlag("drop-net-topology",
+               "back to the shared bus (shrink cap)",
+               &drop_net_topology)
+      .addFlag("drop-workload-mix",
+               "back to the paper workload family (shrink cap)",
+               &drop_workload_mix)
       .addFlag("no-shrink", "report failures without minimizing", &no_shrink)
       .addFlag("verbose", "print every scenario as it runs", &verbose)
       .addString("repro-out",
@@ -152,16 +177,19 @@ int main(int argc, char** argv) {
 
   const rtdrm::check::ShrinkSpec shrink =
       shrinkFromFlags(max_subtasks, max_periods, flat, drop_faults,
-                      drop_manager_faults, drop_sched, drop_period_adjust);
+                      drop_manager_faults, drop_sched, drop_period_adjust,
+                      drop_net_topology, drop_workload_mix);
 
   if (replay_seed >= 0) {
     const auto seed = static_cast<std::uint64_t>(replay_seed);
     const rtdrm::check::FuzzScenario scenario =
         rtdrm::check::makeFuzzScenario(seed, shrink, faults, manager_faults,
-                                       sched, period_adjust);
+                                       sched, period_adjust, net_topology,
+                                       workload_mix);
     std::cout << "replaying " << scenario.summary() << "\n";
     const rtdrm::check::FuzzOutcome outcome = rtdrm::check::runFuzzSeed(
-        seed, shrink, faults, exec, manager_faults, sched, period_adjust);
+        seed, shrink, faults, exec, manager_faults, sched, period_adjust,
+        net_topology, workload_mix);
     if (outcome.failed()) {
       std::cout << "FAIL: " << outcome.detail << "\n";
       return 1;
@@ -179,12 +207,14 @@ int main(int argc, char** argv) {
       std::cout
           << rtdrm::check::makeFuzzScenario(seed, shrink, faults,
                                             manager_faults, sched,
-                                            period_adjust)
+                                            period_adjust, net_topology,
+                                            workload_mix)
                  .summary()
           << std::endl;
     }
     const rtdrm::check::FuzzOutcome outcome = rtdrm::check::runFuzzSeed(
-        seed, shrink, faults, exec, manager_faults, sched, period_adjust);
+        seed, shrink, faults, exec, manager_faults, sched, period_adjust,
+        net_topology, workload_mix);
     total_checks += outcome.checks;
     if (!outcome.failed()) {
       if (!verbose && (seed - first + 1) % 50 == 0) {
@@ -204,24 +234,29 @@ int main(int argc, char** argv) {
       std::cout << "shrinking...\n";
       minimal = rtdrm::check::minimize(
           seed, shrink,
-          [faults, manager_faults, sched, period_adjust,
+          [faults, manager_faults, sched, period_adjust, net_topology,
+           workload_mix,
            &exec](std::uint64_t s, const rtdrm::check::ShrinkSpec& c) {
             return rtdrm::check::runFuzzSeed(s, c, faults, exec,
                                              manager_faults, sched,
-                                             period_adjust)
+                                             period_adjust, net_topology,
+                                             workload_mix)
                 .failed();
           },
-          faults, manager_faults, sched, period_adjust);
+          faults, manager_faults, sched, period_adjust, net_topology,
+          workload_mix);
       std::cout << "minimal scenario: "
                 << rtdrm::check::makeFuzzScenario(seed, minimal, faults,
                                                   manager_faults, sched,
-                                                  period_adjust)
+                                                  period_adjust, net_topology,
+                                                  workload_mix)
                        .summary()
                 << "\n";
     }
     const std::string repro = reproLine(seed, minimal, faults,
                                         manager_faults, sched,
-                                        period_adjust);
+                                        period_adjust, net_topology,
+                                        workload_mix);
     std::cout << "reproduce with:\n  " << repro << "\n";
     if (!repro_out.empty()) {
       std::ofstream out(repro_out);

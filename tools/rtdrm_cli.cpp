@@ -153,6 +153,46 @@ int applyExecFlags(std::int64_t threads, const std::string& sim_mode,
   return 0;
 }
 
+/// Applies the shared network/workload flags (--net, --segments,
+/// --fabric-topology, --port-buffer, --workload, --tail-index,
+/// --contenders) to an episode config. Returns 0, or 1 on a bad value.
+int applyNetWorkloadFlags(const std::string& net_model,
+                          std::int64_t segments,
+                          const std::string& fabric_topology,
+                          std::int64_t port_buffer,
+                          const std::string& workload_mix,
+                          double tail_index, std::int64_t contenders,
+                          experiments::EpisodeConfig* cfg) {
+  if (!net::parseNetKind(net_model, &cfg->scenario.net_kind)) {
+    std::cerr << "unknown network model '" << net_model
+              << "' (bus | switched)\n";
+    return 1;
+  }
+  cfg->scenario.fabric.segments =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, segments));
+  if (!net::parseFabricTopology(fabric_topology,
+                                &cfg->scenario.fabric.topology)) {
+    std::cerr << "unknown fabric topology '" << fabric_topology
+              << "' (line | star)\n";
+    return 1;
+  }
+  cfg->scenario.fabric.port_buffer_frames =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, port_buffer));
+  if (!workload::parseWorkloadMix(workload_mix, &cfg->workload_mix)) {
+    std::cerr << "unknown workload mix '" << workload_mix
+              << "' (paper | pareto | surge | multi)\n";
+    return 1;
+  }
+  if (tail_index <= 0.0) {
+    std::cerr << "--tail-index must be positive\n";
+    return 1;
+  }
+  cfg->pareto.tail_index = tail_index;
+  cfg->contenders.flows =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, contenders));
+  return 0;
+}
+
 int cmdEpisode(int argc, const char* const* argv) {
   std::string pattern = "triangular";
   std::string algorithm = "predictive";
@@ -172,6 +212,13 @@ int cmdEpisode(int argc, const char* const* argv) {
   std::int64_t manager_fault = 0;
   std::int64_t manager_fault_target = 0;
   double manager_restart = 0.0;
+  std::string net_model = "bus";
+  std::int64_t segments = 2;
+  std::string fabric_topology = "line";
+  std::int64_t port_buffer = 32;
+  std::string workload_mix = "paper";
+  double tail_index = 1.5;
+  std::int64_t contenders = 2;
   ArgParser args("rtdrm episode", "run one evaluation episode");
   args.addString("pattern", "increasing | decreasing | triangular", &pattern)
       .addString("algorithm", "predictive | nonpredictive", &algorithm)
@@ -210,6 +257,26 @@ int cmdEpisode(int argc, const char* const* argv) {
                  "off | on (elastic period dilation when the forecast "
                  "rejects replication)",
                  &period_adjust)
+      .addString("net",
+                 "network substrate: bus (shared 100 Mbps segment, the "
+                 "paper's Table 1) | switched (multi-segment store-and-"
+                 "forward fabric)",
+                 &net_model)
+      .addInt("segments", "switch segments (--net switched)", &segments)
+      .addString("fabric-topology", "line | star (--net switched)",
+                 &fabric_topology)
+      .addInt("port-buffer",
+              "per-egress-port buffer in frames (--net switched)",
+              &port_buffer)
+      .addString("workload",
+                 "workload mix: paper | pareto (heavy-tailed arrivals) | "
+                 "surge (correlated multi-sensor) | multi (paper + "
+                 "co-hosted contender flows)",
+                 &workload_mix)
+      .addDouble("tail-index",
+                 "Pareto tail index alpha (--workload pareto)", &tail_index)
+      .addInt("contenders",
+              "co-hosted contender flows (--workload multi)", &contenders)
       .addFlag("refit", "enable online model refinement", &refit)
       .addFlag("histogram", "print the end-to-end latency histogram",
                &histogram)
@@ -248,6 +315,11 @@ int cmdEpisode(int argc, const char* const* argv) {
     return 1;
   }
   cfg.scenario.cpu.validate();
+  if (applyNetWorkloadFlags(net_model, segments, fabric_topology,
+                            port_buffer, workload_mix, tail_index,
+                            contenders, &cfg) != 0) {
+    return 1;
+  }
   if (parsePeriodAdjust(period_adjust, &cfg.manager.allow_period_adjust) !=
       0) {
     return 1;
@@ -321,6 +393,13 @@ int cmdSweep(int argc, const char* const* argv) {
   std::string lookahead = "adaptive";
   std::string sched = "rr";
   std::string period_adjust = "off";
+  std::string net_model = "bus";
+  std::int64_t segments = 2;
+  std::string fabric_topology = "line";
+  std::int64_t port_buffer = 32;
+  std::string workload_mix = "paper";
+  double tail_index = 1.5;
+  std::int64_t contenders = 2;
   bool serial = false;
   ArgParser args("rtdrm sweep",
                  "both algorithms across max workloads (Figs. 9/10 style)");
@@ -347,6 +426,19 @@ int cmdSweep(int argc, const char* const* argv) {
                  "off | on (elastic period dilation when the forecast "
                  "rejects replication)",
                  &period_adjust)
+      .addString("net", "bus | switched (network substrate)", &net_model)
+      .addInt("segments", "switch segments (--net switched)", &segments)
+      .addString("fabric-topology", "line | star (--net switched)",
+                 &fabric_topology)
+      .addInt("port-buffer",
+              "per-egress-port buffer in frames (--net switched)",
+              &port_buffer)
+      .addString("workload", "paper | pareto | surge | multi",
+                 &workload_mix)
+      .addDouble("tail-index",
+                 "Pareto tail index alpha (--workload pareto)", &tail_index)
+      .addInt("contenders",
+              "co-hosted contender flows (--workload multi)", &contenders)
       .addFlag("serial", "run sweep points one at a time", &serial);
   if (!args.parse(argc, argv)) {
     return args.helpRequested() ? 0 : 1;
@@ -370,6 +462,11 @@ int cmdSweep(int argc, const char* const* argv) {
     return 1;
   }
   cfg.episode.scenario.cpu.validate();
+  if (applyNetWorkloadFlags(net_model, segments, fabric_topology,
+                            port_buffer, workload_mix, tail_index,
+                            contenders, &cfg.episode) != 0) {
+    return 1;
+  }
   if (parsePeriodAdjust(period_adjust,
                         &cfg.episode.manager.allow_period_adjust) != 0) {
     return 1;
